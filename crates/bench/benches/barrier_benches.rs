@@ -1,0 +1,174 @@
+//! Criterion micro-benchmarks for the fuzzy-barrier suite.
+//!
+//! The host is single-core (see DESIGN.md), so these measure
+//! single-participant protocol costs, simulator throughput and compiler
+//! pipeline latency rather than contended multi-thread scaling — the
+//! contended comparisons live in the simulator experiments
+//! (`exp_hotspot_scaling`, `exp_encore`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_barrier::{
+    CentralBarrier, CountingBarrier, DisseminationBarrier, ProcMask, SplitBarrier, TreeBarrier,
+};
+use std::hint::black_box;
+
+/// Cost of one arrive+wait episode per backend (single participant: the
+/// uncontended fast path every design should make cheap).
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("episode_uncontended");
+    let backends: Vec<(&str, Box<dyn SplitBarrier>)> = vec![
+        ("central", Box::new(CentralBarrier::new(1))),
+        ("counting", Box::new(CountingBarrier::new(1))),
+        ("dissemination", Box::new(DisseminationBarrier::new(1))),
+        ("tree", Box::new(TreeBarrier::new(1))),
+    ];
+    for (name, b) in &backends {
+        g.bench_with_input(BenchmarkId::from_parameter(name), b, |bench, b| {
+            bench.iter(|| {
+                let t = b.arrive(0);
+                black_box(b.wait(t));
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Split-phase with a region of useful work vs point synchronization:
+/// the protocol overhead should stay constant as the region grows.
+fn bench_region_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arrive_region_wait");
+    for region in [0u64, 32, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(region), &region, |bench, &r| {
+            let b = CentralBarrier::new(1);
+            bench.iter(|| {
+                let t = b.arrive(0);
+                let mut acc = 0u64;
+                for i in 0..r {
+                    acc = acc.wrapping_add(i);
+                }
+                black_box(acc);
+                black_box(b.wait(t));
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Mask operations used on every subset-barrier arrival.
+fn bench_masks(c: &mut Criterion) {
+    c.bench_function("mask_rank_of", |bench| {
+        let mask: ProcMask = (0..64).step_by(3).collect();
+        bench.iter(|| black_box(mask.rank_of(black_box(33))));
+    });
+}
+
+/// Simulator throughput: a two-processor barrier-per-iteration loop.
+fn bench_simulator(c: &mut Criterion) {
+    use fuzzy_sim::assembler::assemble_program;
+    use fuzzy_sim::machine::{Machine, MachineConfig};
+    let src = "\
+.stream
+    li r1, 0
+    li r2, 64
+loop:
+    addi r1, r1, 1
+B:  nop
+B:  blt r1, r2, loop
+    halt
+.stream
+    li r1, 0
+    li r2, 64
+loop:
+    addi r1, r1, 1
+B:  nop
+B:  blt r1, r2, loop
+    halt
+";
+    let program = assemble_program(src).expect("assembles");
+    c.bench_function("sim_64_synchronized_iterations", |bench| {
+        bench.iter(|| {
+            let mut m =
+                Machine::new(program.clone(), MachineConfig::default()).expect("loads");
+            black_box(m.run(1_000_000).expect("runs"));
+        });
+    });
+}
+
+/// Compiler pipeline latency: Poisson body from AST to reordered regions.
+fn bench_compiler(c: &mut Criterion) {
+    use fuzzy_compiler::ast::*;
+    use fuzzy_compiler::{deps, lower, reorder};
+    let nest = {
+        let k = VarId(0);
+        let i = VarId(1);
+        let j = VarId(2);
+        let p = ArrayId(0);
+        let acc = |di: i64, dj: i64| {
+            Expr::Access(ArrayAccess::new(
+                p,
+                vec![Subscript::var(i, di), Subscript::var(j, dj)],
+            ))
+        };
+        LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "P".into(),
+                dims: vec![4, 4],
+                base: 0,
+            }],
+            seq_var: k,
+            seq_lo: 1,
+            seq_hi: 20,
+            private_vars: vec![i, j],
+            body: vec![Stmt::Assign(Assign {
+                target: ArrayAccess::new(
+                    p,
+                    vec![Subscript::var(i, 0), Subscript::var(j, 0)],
+                ),
+                value: Expr::div_const(
+                    Expr::add(
+                        Expr::add(Expr::add(acc(0, 1), acc(0, -1)), acc(1, 0)),
+                        acc(-1, 0),
+                    ),
+                    4,
+                ),
+            })],
+            var_names: vec!["k".into(), "i".into(), "j".into()],
+        }
+    };
+    c.bench_function("compile_poisson_to_regions", |bench| {
+        bench.iter(|| {
+            let info = deps::analyze(black_box(&nest));
+            let body = lower::lower_body(&nest, &info.marked_for_carried());
+            black_box(reorder::reorder(&body))
+        });
+    });
+}
+
+/// Scheduling policies: full dispatch sequence for 10k iterations.
+fn bench_schedulers(c: &mut Criterion) {
+    use fuzzy_sched::self_sched::{
+        chunk_sequence, FixedChunk, GuidedSelfScheduling, SelfScheduling,
+    };
+    let mut g = c.benchmark_group("dispatch_10k_iters");
+    g.bench_function("self", |b| {
+        b.iter(|| black_box(chunk_sequence(10_000, 8, &SelfScheduling)))
+    });
+    g.bench_function("chunk64", |b| {
+        b.iter(|| black_box(chunk_sequence(10_000, 8, &FixedChunk(64))))
+    });
+    g.bench_function("gss", |b| {
+        b.iter(|| black_box(chunk_sequence(10_000, 8, &GuidedSelfScheduling)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backends,
+    bench_region_overlap,
+    bench_masks,
+    bench_simulator,
+    bench_compiler,
+    bench_schedulers
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Experiment E11 — Sec. 1's motivating claims.
+//!
+//! "Such implementations entail significant run-time overhead as they
+//! require execution of several instructions in each stream … The
+//! synchronization overhead increases linearly … with the number of
+//! processors synchronizing at the barrier. Furthermore, the techniques
+//! are known to cause hot-spot accesses." The hardware fuzzy barrier
+//! instead costs **zero instructions** per synchronization and does not
+//! touch memory.
+//!
+//! The experiment scales the processor count and compares, on the same
+//! simulated machine:
+//!
+//! * the shared-variable software barrier (fetch-add + spin on a
+//!   generation word) — instructions, memory-bank queueing (hot spot) and
+//!   cycles per episode grow with P;
+//! * the hardware fuzzy barrier (barrier-region bit, broadcast sync) —
+//!   zero instructions and zero memory traffic per episode.
+
+use fuzzy_bench::{banner, Table};
+use fuzzy_sim::builder::MachineBuilder;
+use fuzzy_sim::isa::{Cond, Instr};
+use fuzzy_sim::program::{Program, Stream, StreamBuilder};
+use fuzzy_sim::softbarrier::{emit_soft_barrier, SoftBarrierRegs};
+
+const EPISODES: i64 = 100;
+const WORK: i64 = 20;
+
+fn work_loop(b: &mut StreamBuilder, iters: i64, label: &str) {
+    b.plain(Instr::Li { rd: 10, imm: 0 });
+    b.plain(Instr::Li { rd: 11, imm: iters });
+    b.label(label);
+    b.plain(Instr::Addi {
+        rd: 10,
+        rs: 10,
+        imm: 1,
+    });
+    b.plain_branch(Cond::Lt, 10, 11, label);
+}
+
+fn soft_stream(n: usize) -> Stream {
+    let mut b = StreamBuilder::new();
+    b.plain(Instr::Li { rd: 24, imm: 0 });
+    b.plain(Instr::Li { rd: 1, imm: 0 });
+    b.plain(Instr::Li { rd: 2, imm: EPISODES });
+    b.label("outer");
+    work_loop(&mut b, WORK, "w");
+    emit_soft_barrier(&mut b, n as i64, 0, SoftBarrierRegs::default());
+    b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+    b.plain_branch(Cond::Lt, 1, 2, "outer");
+    b.plain(Instr::Halt);
+    b.finish().expect("labels")
+}
+
+fn hw_stream() -> Stream {
+    let mut b = StreamBuilder::new();
+    b.plain(Instr::Li { rd: 1, imm: 0 });
+    b.plain(Instr::Li { rd: 2, imm: EPISODES });
+    b.label("outer");
+    work_loop(&mut b, WORK, "w");
+    // The entire synchronization: a null barrier region. Loop control
+    // rides inside it, costing nothing extra.
+    b.fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+    b.fuzzy_branch(Cond::Lt, 1, 2, "outer");
+    b.plain(Instr::Halt);
+    b.finish().expect("labels")
+}
+
+struct Row {
+    cycles_per_episode: f64,
+    instrs_per_episode: f64,
+    bank_wait_per_episode: f64,
+}
+
+fn measure(streams: Vec<Stream>, banks: usize) -> Row {
+    let n = streams.len();
+    let mut m = MachineBuilder::new(Program::new(streams))
+        .banks(banks)
+        .build()
+        .expect("loads");
+    let out = m.run(1_000_000_000).expect("runs");
+    assert!(out.is_halted(), "{out:?}");
+    let stats = m.stats();
+    // Instructions beyond the work loop + loop control, per proc episode.
+    let overhead_instrs = stats.total_instructions() as f64
+        - (n as i64 * EPISODES * (WORK * 2 + 2 + 2) + n as i64 * 4) as f64;
+    let bank_wait: u64 = (0..n).map(|p| m.memory().stats(p).bank_wait_cycles).sum();
+    Row {
+        cycles_per_episode: stats.cycles as f64 / EPISODES as f64,
+        instrs_per_episode: (overhead_instrs / (n as i64 * EPISODES) as f64).max(0.0),
+        bank_wait_per_episode: bank_wait as f64 / EPISODES as f64,
+    }
+}
+
+fn main() {
+    banner(
+        "E11: software-barrier overhead and hot spots vs processor count",
+        "Sec. 1 claims of Gupta, ASPLOS 1989",
+    );
+    println!(
+        "\n{EPISODES} barrier episodes, {WORK}-iteration work phase, 2 memory banks\n\
+         (barrier variables share a bank -> hot spot).\n"
+    );
+    let mut t = Table::new([
+        "procs",
+        "soft cycles/episode",
+        "soft instrs/proc/episode",
+        "soft bank-wait/episode",
+        "hw cycles/episode",
+        "hw instrs/proc/episode",
+    ]);
+    let mut soft_growth = Vec::new();
+    let mut hw_growth = Vec::new();
+    for n in [2usize, 4, 8, 16] {
+        let soft = measure((0..n).map(|_| soft_stream(n)).collect(), 2);
+        let hw = measure((0..n).map(|_| hw_stream()).collect(), 2);
+        soft_growth.push(soft.cycles_per_episode);
+        hw_growth.push(hw.cycles_per_episode);
+        t.row([
+            n.to_string(),
+            format!("{:.0}", soft.cycles_per_episode),
+            format!("{:.1}", soft.instrs_per_episode),
+            format!("{:.0}", soft.bank_wait_per_episode),
+            format!("{:.0}", hw.cycles_per_episode),
+            format!("{:.1}", hw.instrs_per_episode),
+        ]);
+    }
+    println!("{}", t.render());
+    let soft_ratio = soft_growth.last().unwrap() / soft_growth.first().unwrap();
+    let hw_ratio = hw_growth.last().unwrap() / hw_growth.first().unwrap();
+    println!(
+        "scaling 2 -> 16 processors: software barrier cycles/episode grow {soft_ratio:.1}x;\n\
+         hardware fuzzy barrier grows {hw_ratio:.2}x (stays flat).\n"
+    );
+    assert!(
+        soft_ratio > 1.5 && hw_ratio < 1.2,
+        "software cost must grow with P while hardware stays flat \
+         ({soft_ratio:.2} vs {hw_ratio:.2})"
+    );
+    println!(
+        "Reading: the shared counter/generation words serialize at their\n\
+         memory bank (column 4 grows superlinearly — the hot spot), while\n\
+         the hardware barrier needs zero instructions and zero memory\n\
+         traffic regardless of processor count."
+    );
+}

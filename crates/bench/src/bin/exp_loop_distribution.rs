@@ -1,0 +1,254 @@
+//! Experiment E4 — Fig. 5: enlarging barrier regions via loop
+//! distribution.
+//!
+//! The Fig. 5(a) loop has two statements: S1 carries a cross-processor
+//! dependence (`a[j][i] = a[j+1][i-1] + 2`), S2 is private
+//! (`b[j][i] = b[j][i] + c[j][i]`). Each of S processors owns a chunk of
+//! the inner `j` loop.
+//!
+//! * **Without distribution** (Fig. 5(b)) the loop body alternates S1;S2,
+//!   and only the *last* execution of S2 can sit in the barrier region.
+//! * **With distribution** (Fig. 5(c)) all S1 instances run first, then the
+//!   whole S2 loop forms the barrier region.
+//!
+//! The experiment compiles both shapes to the simulator, reports barrier-
+//! region sizes, and measures stall cycles under drift.
+
+use fuzzy_bench::{banner, Table};
+use fuzzy_compiler::ast::{
+    ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId,
+};
+use fuzzy_compiler::codegen::{emit_regions, VarMap};
+use fuzzy_compiler::deps::{self, AccessRef};
+use fuzzy_compiler::lower::lower_assign_at;
+use fuzzy_compiler::transform::distribution::distribute;
+use fuzzy_sim::builder::MachineBuilder;
+use fuzzy_sim::isa::{Cond, Instr};
+use fuzzy_sim::program::{Program, Stream, StreamBuilder};
+use std::collections::BTreeSet;
+
+const N_OUTER: i64 = 8; // outer i iterations
+const M_INNER: i64 = 12; // total inner j iterations
+const PROCS: usize = 3; // S processors, chunk = M/S
+
+fn fig5_nest() -> LoopNest {
+    let i = VarId(0);
+    let j = VarId(1);
+    let a = ArrayId(0);
+    let b = ArrayId(1);
+    let c = ArrayId(2);
+    let decl = |name: &str, base: i64| ArrayDecl {
+        name: name.into(),
+        dims: vec![(M_INNER + 2) as usize, (N_OUTER + 2) as usize],
+        base,
+    };
+    LoopNest {
+        arrays: vec![decl("a", 0), decl("b", 200), decl("c", 400)],
+        seq_var: i,
+        seq_lo: 1,
+        seq_hi: N_OUTER,
+        private_vars: vec![j],
+        body: vec![
+            Stmt::Assign(Assign {
+                target: ArrayAccess::new(a, vec![Subscript::var(j, 0), Subscript::var(i, 0)]),
+                value: Expr::add(
+                    Expr::Access(ArrayAccess::new(
+                        a,
+                        vec![Subscript::var(j, 1), Subscript::var(i, -1)],
+                    )),
+                    Expr::Const(2),
+                ),
+            }),
+            Stmt::Assign(Assign {
+                target: ArrayAccess::new(b, vec![Subscript::var(j, 0), Subscript::var(i, 0)]),
+                value: Expr::add(
+                    Expr::Access(ArrayAccess::new(
+                        b,
+                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
+                    )),
+                    Expr::Access(ArrayAccess::new(
+                        c,
+                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
+                    )),
+                ),
+            }),
+        ],
+        var_names: vec!["i".into(), "j".into()],
+    }
+}
+
+/// Register conventions for this experiment.
+const R_I: u8 = 1; // outer var i
+const R_J: u8 = 2; // inner var j
+const R_JLO: u8 = 3; // chunk start
+const R_JHI: u8 = 4; // chunk end (inclusive)
+const R_IHI: u8 = 5; // outer bound
+const SPILL: i64 = 1 << 14;
+
+struct Pieces {
+    s1: Vec<fuzzy_compiler::tac::AnnotatedInstr>,
+    s2: Vec<fuzzy_compiler::tac::AnnotatedInstr>,
+}
+
+fn lower_pieces(nest: &LoopNest, marked: &BTreeSet<AccessRef>) -> Pieces {
+    let assigns = deps::flatten(&nest.body);
+    let b1 = lower_assign_at(nest, assigns[0], 0, marked, 1);
+    let b2 = lower_assign_at(nest, assigns[1], 1, marked, b1.next_temp);
+    Pieces {
+        s1: b1.instrs,
+        s2: b2.instrs,
+    }
+}
+
+fn vars() -> VarMap {
+    let mut v = VarMap::new();
+    v.assign(VarId(0), R_I);
+    v.assign(VarId(1), R_J);
+    v
+}
+
+/// Shared prologue: i = 1; bounds; per-proc chunk [jlo, jhi].
+fn prologue(b: &mut StreamBuilder, proc: usize) {
+    let chunk = M_INNER / PROCS as i64;
+    let jlo = 1 + proc as i64 * chunk;
+    let jhi = jlo + chunk - 1;
+    b.fuzzy(Instr::Li { rd: R_I, imm: 1 });
+    b.fuzzy(Instr::Li { rd: R_IHI, imm: N_OUTER });
+    b.fuzzy(Instr::Li { rd: R_JLO, imm: jlo });
+    b.fuzzy(Instr::Li { rd: R_JHI, imm: jhi });
+}
+
+fn epilogue(b: &mut StreamBuilder) {
+    b.fuzzy(Instr::Addi {
+        rd: R_I,
+        rs: R_I,
+        imm: 1,
+    });
+    b.fuzzy_branch(Cond::Le, R_I, R_IHI, "outer");
+    b.plain(Instr::Halt);
+}
+
+/// Fig. 5(b): fused inner loop over all but the last j, then a peeled
+/// last iteration whose S2 forms the (small) barrier region.
+fn stream_without_distribution(pieces: &Pieces, proc: usize, spill: i64) -> Stream {
+    let mut b = StreamBuilder::new();
+    prologue(&mut b, proc);
+    b.label("outer");
+    // j runs jlo .. jhi-1 fused, all non-barrier.
+    b.plain(Instr::Mov { rd: R_J, rs: R_JLO });
+    b.label("inner");
+    emit_regions(&mut b, &[(&pieces.s1, false), (&pieces.s2, false)], &vars(), spill)
+        .expect("codegen");
+    b.plain(Instr::Addi {
+        rd: R_J,
+        rs: R_J,
+        imm: 1,
+    });
+    b.plain_branch(Cond::Lt, R_J, R_JHI, "inner");
+    // Peeled last iteration (j == jhi): S1 non-barrier, S2 barrier.
+    emit_regions(
+        &mut b,
+        &[(&pieces.s1, false), (&pieces.s2, true)],
+        &vars(),
+        spill + 32,
+    )
+    .expect("codegen");
+    epilogue(&mut b);
+    b.finish().expect("labels")
+}
+
+/// Fig. 5(c): distributed — an S1 loop (non-barrier), then the whole S2
+/// loop as the barrier region.
+fn stream_with_distribution(pieces: &Pieces, proc: usize, spill: i64) -> Stream {
+    let mut b = StreamBuilder::new();
+    prologue(&mut b, proc);
+    b.label("outer");
+    // S1 loop, non-barrier.
+    b.plain(Instr::Mov { rd: R_J, rs: R_JLO });
+    b.label("s1loop");
+    emit_regions(&mut b, &[(&pieces.s1, false)], &vars(), spill).expect("codegen");
+    b.plain(Instr::Addi {
+        rd: R_J,
+        rs: R_J,
+        imm: 1,
+    });
+    b.plain_branch(Cond::Le, R_J, R_JHI, "s1loop");
+    // S2 loop, entirely barrier region.
+    b.fuzzy(Instr::Mov { rd: R_J, rs: R_JLO });
+    b.label("s2loop");
+    emit_regions(&mut b, &[(&pieces.s2, true)], &vars(), spill + 32).expect("codegen");
+    b.fuzzy(Instr::Addi {
+        rd: R_J,
+        rs: R_J,
+        imm: 1,
+    });
+    b.fuzzy_branch(Cond::Le, R_J, R_JHI, "s2loop");
+    epilogue(&mut b);
+    b.finish().expect("labels")
+}
+
+fn measure(streams: Vec<Stream>) -> (u64, u64, u64) {
+    let mut m = MachineBuilder::new(Program::new(streams))
+        .miss_rate(0.25)
+        .miss_penalty(25)
+        .seed(5)
+        .build()
+        .expect("loads");
+    let out = m.run(100_000_000).expect("runs");
+    assert!(out.is_halted(), "{out:?}");
+    let s = m.stats();
+    (s.cycles, s.total_stall_cycles(), s.sync_events)
+}
+
+fn main() {
+    banner(
+        "E4: loop distribution enlarges barrier regions",
+        "Fig. 5 of Gupta, ASPLOS 1989",
+    );
+    let nest = fig5_nest();
+
+    // The transformation layer identifies what can be distributed.
+    let dist = distribute(&nest);
+    println!(
+        "\ndistribution analysis: groups = {:?}, pinned = {:?}",
+        dist.groups, dist.pinned
+    );
+    assert_eq!(dist.movable_groups(), vec![1], "S2 moves, S1 stays");
+
+    let info = deps::analyze(&nest);
+    let marked = info.marked_for_carried();
+    let pieces = lower_pieces(&nest, &marked);
+    let chunk = M_INNER / PROCS as i64;
+
+    let without: Vec<Stream> = (0..PROCS)
+        .map(|p| stream_without_distribution(&pieces, p, SPILL + p as i64 * 128))
+        .collect();
+    let with: Vec<Stream> = (0..PROCS)
+        .map(|p| stream_with_distribution(&pieces, p, SPILL + p as i64 * 128))
+        .collect();
+
+    // Barrier-region sizes (static instruction counts in one outer
+    // iteration).
+    let count_barrier = |s: &Stream| s.ops().iter().filter(|o| o.barrier).count();
+    println!(
+        "\nstatic barrier-region instructions per stream:\n  \
+         without distribution: {} (one S2 instance)\n  \
+         with distribution:    {} (the whole {}-iteration S2 loop)\n",
+        count_barrier(&without[0]),
+        count_barrier(&with[0]),
+        chunk
+    );
+
+    let mut t = Table::new(["version", "cycles", "stall cycles", "sync events"]);
+    let (c1, s1, e1) = measure(without);
+    t.row(["fused (Fig 5b)".to_string(), c1.to_string(), s1.to_string(), e1.to_string()]);
+    let (c2, s2, e2) = measure(with);
+    t.row(["distributed (Fig 5c)".to_string(), c2.to_string(), s2.to_string(), e2.to_string()]);
+    println!("{}", t.render());
+    println!(
+        "Reading: distributing S2 into its own loop grows the barrier region\n\
+         from one statement instance to an entire loop; under drift the\n\
+         distributed version stalls far less."
+    );
+    assert!(s2 < s1, "distribution should reduce stalls ({s2} vs {s1})");
+}

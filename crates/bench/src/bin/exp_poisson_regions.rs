@@ -1,0 +1,145 @@
+//! Experiment E3 — Figs. 3 & 4: the Poisson solver and code reordering.
+//!
+//! Compiles the Poisson relaxation body, prints the Fig. 4(a)/(b)-style
+//! listings, reports region sizes before/after the three-phase reordering,
+//! and runs both versions on the simulator under injected cache-miss drift
+//! to show the enlarged barrier region absorbing skew.
+
+use fuzzy_bench::{banner, Table};
+use fuzzy_compiler::ast::{
+    ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId,
+};
+use fuzzy_compiler::driver::{compile_nest, CompileOptions};
+use fuzzy_compiler::pretty::{render_split, summarize_split};
+use fuzzy_compiler::{deps, lower, region::RegionSplit, reorder};
+use fuzzy_sim::builder::MachineBuilder;
+
+/// The Fig. 3 Poisson nest for an M×M interior (array (M+2)×(M+2)),
+/// M² processors, `10·M` outer iterations.
+fn poisson(m: usize) -> (LoopNest, Vec<Vec<(VarId, i64)>>) {
+    let k = VarId(0);
+    let i = VarId(1);
+    let j = VarId(2);
+    let p = ArrayId(0);
+    let acc = |di: i64, dj: i64| {
+        Expr::Access(ArrayAccess::new(
+            p,
+            vec![Subscript::var(i, di), Subscript::var(j, dj)],
+        ))
+    };
+    let value = Expr::div_const(
+        Expr::add(
+            Expr::add(Expr::add(acc(0, 1), acc(0, -1)), acc(1, 0)),
+            acc(-1, 0),
+        ),
+        4,
+    );
+    let nest = LoopNest {
+        arrays: vec![ArrayDecl {
+            name: "P".into(),
+            dims: vec![m + 2, m + 2],
+            base: 0,
+        }],
+        seq_var: k,
+        seq_lo: 1,
+        seq_hi: (10 * m) as i64,
+        private_vars: vec![i, j],
+        body: vec![Stmt::Assign(Assign {
+            target: ArrayAccess::new(p, vec![Subscript::var(i, 0), Subscript::var(j, 0)]),
+            value,
+        })],
+        var_names: vec!["k".into(), "i".into(), "j".into()],
+    };
+    // M² processors: processor (l, m') handles element (l, m').
+    let inits = (1..=m as i64)
+        .flat_map(|l| (1..=m as i64).map(move |mm| vec![(i, l), (j, mm)]))
+        .collect();
+    (nest, inits)
+}
+
+fn main() {
+    banner(
+        "E3: Poisson solver — barrier regions before/after reordering",
+        "Figs. 3 and 4 of Gupta, ASPLOS 1989",
+    );
+
+    let (nest, inits) = poisson(2); // M=2 → 4 processors, like the paper's listing
+    let info = deps::analyze(&nest);
+    let marked = info.marked_for_carried();
+    let body = lower::lower_body(&nest, &marked);
+    let before = RegionSplit::by_marks(&body);
+    let after = reorder(&body);
+
+    println!("\n--- intermediate code, regions by marked positions (Fig. 4(a)) ---");
+    println!("{}", render_split("before reordering", &before));
+    println!("--- after three-phase reordering (Fig. 4(b)) ---");
+    println!("{}", render_split("after reordering", &after));
+
+    let mut t = Table::new(["", "barrier instrs", "non-barrier instrs", "barrier fraction"]);
+    t.row([
+        "before".to_string(),
+        before.barrier_len().to_string(),
+        before.non_barrier_len().to_string(),
+        format!("{:.2}", before.barrier_fraction()),
+    ]);
+    t.row([
+        "after".to_string(),
+        after.barrier_len().to_string(),
+        after.non_barrier_len().to_string(),
+        format!("{:.2}", after.barrier_fraction()),
+    ]);
+    println!("{}", t.render());
+    println!("before: {}", summarize_split(&before));
+    println!("after:  {}", summarize_split(&after));
+    println!(
+        "\npaper: the non-barrier region shrinks to I1..I4 plus one divide\n\
+         (5 instructions); ours: {} instructions.\n",
+        after.non_barrier_len()
+    );
+
+    // Run both under cache-miss drift.
+    println!("--- simulated execution under cache-miss drift (miss rate 30%, penalty 20) ---\n");
+    let mut t = Table::new([
+        "version",
+        "cycles",
+        "stall cycles",
+        "stalls/sync",
+        "sync events",
+    ]);
+    for (label, use_reorder) in [("marks only", false), ("reordered", true)] {
+        let compiled = compile_nest(
+            &nest,
+            &inits,
+            &CompileOptions {
+                reorder: use_reorder,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compiles");
+        let mut machine = MachineBuilder::new(compiled.program)
+            .miss_rate(0.3)
+            .miss_penalty(20)
+            .seed(11)
+            .build()
+            .expect("loads");
+        let out = machine.run(50_000_000).expect("runs");
+        assert!(out.is_halted(), "{out:?}");
+        let stats = machine.stats();
+        t.row([
+            label.to_string(),
+            stats.cycles.to_string(),
+            stats.total_stall_cycles().to_string(),
+            format!(
+                "{:.1}",
+                stats.total_stall_cycles() as f64 / stats.sync_events.max(1) as f64
+            ),
+            stats.sync_events.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: the reordered version pushes the address arithmetic into\n\
+         the barrier region, so drift from cache misses is absorbed and the\n\
+         per-synchronization stall drops."
+    );
+}

@@ -1,0 +1,120 @@
+//! Experiment E9 — Fig. 12: run-time scheduling of loop iterations.
+//!
+//! The inner trip count is unknown at compile time, so iterations are
+//! dispensed at run time. Compared policies: block-static (oracle trip
+//! count), pure self-scheduling, fixed chunks, and Guided Self-Scheduling
+//! — GSS "attempts to distribute the work among the processors so that
+//! they complete execution at about the same time", minimizing idling at
+//! the barrier between outer iterations.
+//!
+//! The fuzzy barrier composes with all of them: the multi-version loop
+//! bodies of Fig. 12 give every processor barrier-region work, so the
+//! residual finish-time skew is absorbed.
+
+use fuzzy_bench::{banner, Table};
+use fuzzy_compiler::transform::multiversion::{chunk_versions, LoopVersion};
+use fuzzy_sched::executor::{simulate_dynamic, simulate_static};
+use fuzzy_sched::self_sched::{
+    ChunkPolicy, Factoring, FixedChunk, GuidedSelfScheduling, SelfScheduling, Trapezoid,
+};
+use fuzzy_sched::static_sched::block;
+use fuzzy_sched::workload::CostModel;
+
+const PROCS: usize = 4;
+const ITERS: usize = 120;
+const DISPATCH: u64 = 3; // cost of one trip through the scheduler
+const REGION: u64 = 30; // fuzzy barrier-region work per processor
+
+fn main() {
+    banner(
+        "E9: run-time scheduling — self-scheduling, chunking, GSS",
+        "Fig. 12 of Gupta, ASPLOS 1989",
+    );
+    println!(
+        "\n{ITERS} iterations, {PROCS} processors, dispatch cost {DISPATCH}, \
+         linearly growing iteration costs (triangular workload).\n"
+    );
+
+    let costs = CostModel::Linear { base: 2, slope: 1 }.costs(ITERS, 17);
+
+    let mut t = Table::new([
+        "policy",
+        "makespan",
+        "dispatches",
+        "point idle",
+        "fuzzy stall (region=30)",
+    ]);
+
+    let static_run = simulate_static(&block(ITERS, PROCS), &costs);
+    t.row([
+        "static block".to_string(),
+        static_run.makespan().to_string(),
+        PROCS.to_string(),
+        static_run.total_point_idle().to_string(),
+        static_run.total_fuzzy_stall(REGION).to_string(),
+    ]);
+
+    let policies: Vec<Box<dyn ChunkPolicy>> = vec![
+        Box::new(SelfScheduling),
+        Box::new(FixedChunk(8)),
+        Box::new(Factoring),
+        Box::new(Trapezoid),
+        Box::new(GuidedSelfScheduling),
+    ];
+    let mut gss_idle = u64::MAX;
+    let mut ss_dispatches = 0usize;
+    let mut gss_dispatches = 0usize;
+    for policy in &policies {
+        let run = simulate_dynamic(PROCS, &costs, &**policy, DISPATCH);
+        if policy.name() == "gss" {
+            gss_idle = run.total_point_idle();
+            gss_dispatches = run.dispatches.iter().sum();
+        }
+        if policy.name() == "self" {
+            ss_dispatches = run.dispatches.iter().sum();
+        }
+        t.row([
+            policy.name().to_string(),
+            run.makespan().to_string(),
+            run.dispatches.iter().sum::<usize>().to_string(),
+            run.total_point_idle().to_string(),
+            run.total_fuzzy_stall(REGION).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    assert!(
+        gss_idle <= static_run.total_point_idle(),
+        "GSS should idle no more than static block"
+    );
+    assert!(
+        gss_dispatches < ss_dispatches,
+        "GSS should dispatch far less often than pure self-scheduling"
+    );
+
+    // Fig. 12's four compiled versions, as selected for a processor that
+    // received a chunk of k iterations.
+    println!("--- multi-version loop selection (Fig. 12) ---\n");
+    let mut t = Table::new(["chunk size", "versions chosen"]);
+    for k in 1..=4usize {
+        let versions: Vec<&str> = chunk_versions(k)
+            .iter()
+            .map(|v| match v {
+                LoopVersion::BarrierBefore => "v1:barrier-before",
+                LoopVersion::BarrierAfter => "v2:barrier-after",
+                LoopVersion::NoBarrier => "v3:none",
+                LoopVersion::BarrierBoth => "v4:both",
+            })
+            .collect();
+        t.row([k.to_string(), versions.join(", ")]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: GSS approaches the minimum idle with a fraction of the\n\
+         dispatches of pure self-scheduling, and the fuzzy barrier's region\n\
+         work absorbs the residual skew (last column) for every policy.\n\
+         The four versions reproduce the paper's run-time dispatch: first\n\
+         iteration starts with a barrier region, last ends with one,\n\
+         middles have none, singletons have both."
+    );
+}

@@ -1,0 +1,146 @@
+//! Experiment E1 — Fig. 1: fuzzy-barrier semantics.
+//!
+//! Two demonstrations on the cycle-level simulator:
+//!
+//! 1. **Ordering**: no processor executes an instruction from the
+//!    non-barrier region following a barrier (UNSHADED2) until all
+//!    processors have finished the non-barrier region preceding it
+//!    (UNSHADED1) — checked with cross-processor flag reads.
+//! 2. **Skew tolerance**: sweeping the barrier-region size shows stall
+//!    cycles dropping to zero once the region covers the arrival skew —
+//!    "the larger the barrier region, the more likely it is that none of
+//!    the processors will have to stall".
+//!
+//! Run with `--pipelined` to use overlapped issue, where a processor "may
+//! enter the barrier region before exiting the preceding non-barrier
+//! region" (Sec. 6).
+
+use fuzzy_bench::{banner, Table};
+use fuzzy_sim::isa::{Cond, Instr};
+use fuzzy_sim::machine::{Machine, MachineConfig};
+use fuzzy_sim::program::{Program, Stream, StreamBuilder};
+
+/// Builds one stream: `work` units of pre-barrier work, a flag store, a
+/// barrier region of `region` busy iterations, then a read of the other
+/// processor's flag.
+fn stream(proc: usize, procs: usize, work: i64, region: i64) -> Stream {
+    let mut b = StreamBuilder::new();
+    // UNSHADED1: variable-length work loop.
+    b.plain(Instr::Li { rd: 1, imm: 0 });
+    b.plain(Instr::Li { rd: 2, imm: work });
+    b.label("work");
+    b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+    b.plain_branch(Cond::Lt, 1, 2, "work");
+    // Publish "I finished UNSHADED1".
+    b.plain(Instr::Li { rd: 3, imm: 1 });
+    b.plain(Instr::Store {
+        rs: 3,
+        rb: 0,
+        offset: 100 + proc as i64,
+    });
+    // SHADED: the barrier region.
+    if region == 0 {
+        b.fuzzy(Instr::Nop); // null barrier region (Sec. 6)
+    } else {
+        b.fuzzy(Instr::Li { rd: 4, imm: 0 });
+        b.fuzzy(Instr::Li { rd: 5, imm: region });
+        b.label("region");
+        b.fuzzy(Instr::Addi { rd: 4, rs: 4, imm: 1 });
+        b.fuzzy_branch(Cond::Lt, 4, 5, "region");
+    }
+    // UNSHADED2: read every other processor's flag.
+    for other in 0..procs {
+        if other != proc {
+            b.plain(Instr::Load {
+                rd: 6,
+                rs: 0,
+                offset: 100 + other as i64,
+            });
+            // Trap: store 999 to a check word if the flag was not set.
+            b.plain(Instr::Li { rd: 7, imm: 1 });
+            b.plain_branch(Cond::Eq, 6, 7, &format!("ok{other}"));
+            b.plain(Instr::Li { rd: 8, imm: 999 });
+            b.plain(Instr::Store {
+                rs: 8,
+                rb: 0,
+                offset: 200 + proc as i64,
+            });
+            b.label(format!("ok{other}"));
+            b.plain(Instr::Nop);
+        }
+    }
+    b.plain(Instr::Halt);
+    b.finish().expect("labels resolve")
+}
+
+fn run(works: &[i64], region: i64, pipelined: bool) -> (u64, u64, bool, Vec<u64>) {
+    let procs = works.len();
+    let streams = works
+        .iter()
+        .enumerate()
+        .map(|(p, &w)| stream(p, procs, w, region))
+        .collect();
+    let cfg = MachineConfig {
+        pipelined,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(Program::new(streams), cfg).expect("valid program");
+    let out = m.run(10_000_000).expect("no memory faults");
+    assert!(out.is_halted(), "unexpected outcome: {out:?}");
+    let violated = (0..procs).any(|p| m.memory().peek(200 + p) == 999);
+    (
+        m.stats().total_stall_cycles(),
+        m.stats().sync_events,
+        violated,
+        m.sync_positions().to_vec(),
+    )
+}
+
+fn main() {
+    let pipelined = std::env::args().any(|a| a == "--pipelined");
+    banner(
+        "E1: fuzzy barrier semantics and skew tolerance",
+        "Fig. 1 of Gupta, ASPLOS 1989",
+    );
+    if pipelined {
+        println!("mode: pipelined issue\n");
+    } else {
+        println!("mode: serial issue\n");
+    }
+
+    // Four processors with very different UNSHADED1 lengths (2x instr/iter).
+    let works = [50i64, 200, 400, 800];
+    println!(
+        "four processors, pre-barrier work of {works:?} loop iterations;\n\
+         sweeping the barrier-region length:\n"
+    );
+    let mut t = Table::new([
+        "region iters",
+        "stall cycles",
+        "sync events",
+        "ordering violated",
+        "region positions at sync",
+    ]);
+    for region in [0i64, 50, 100, 200, 400, 800] {
+        let (stalls, syncs, violated, mut positions) = run(&works, region, pipelined);
+        positions.sort_unstable();
+        t.row([
+            region.to_string(),
+            stalls.to_string(),
+            syncs.to_string(),
+            violated.to_string(),
+            format!("{positions:?}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The last column is Fig. 1's defining image: at the moment of\n\
+         synchronization, the processors are at *different* positions in\n\
+         their barrier regions (0 = just entered, larger = deeper in).\n"
+    );
+    println!(
+        "Reading: ordering is never violated (Fig. 1's condition holds at\n\
+         every region size), while stall cycles fall monotonically and reach\n\
+         zero once each region covers the fastest-to-slowest skew."
+    );
+}

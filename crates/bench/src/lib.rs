@@ -1,0 +1,157 @@
+//! # fuzzy-bench
+//!
+//! Experiment harness regenerating every figure and the Sec.-8 measurement
+//! of Gupta's fuzzy-barrier paper. Each binary in `src/bin/` reproduces
+//! one artifact (see `DESIGN.md`'s experiment index); this library holds
+//! the shared table/CSV formatting and timing utilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Duration;
+
+/// A simple aligned text table for experiment output.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row<S: Display, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                line.push_str(&format!("{cell:>w$}"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("(reproduces {paper_ref})");
+    println!("{}", "=".repeat(72));
+}
+
+/// Formats a duration as microseconds with two decimals.
+#[must_use]
+pub fn micros(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e6)
+}
+
+/// Ratio `a / b`, formatted as e.g. `12.3x`; `inf` when `b` is zero.
+#[must_use]
+pub fn speedup(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "inf".to_string()
+    } else {
+        format!("{:.1}x", a / b)
+    }
+}
+
+/// Median of a sample (consumes and sorts it). Returns zero duration for
+/// an empty sample.
+#[must_use]
+pub fn median(mut samples: Vec<Duration>) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "22222"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("    1"));
+    }
+
+    #[test]
+    fn csv_is_plain() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(micros(Duration::from_micros(1500)), "1500.00");
+        assert_eq!(speedup(30.0, 3.0), "10.0x");
+        assert_eq!(speedup(1.0, 0.0), "inf");
+        assert_eq!(
+            median(vec![
+                Duration::from_secs(3),
+                Duration::from_secs(1),
+                Duration::from_secs(2)
+            ]),
+            Duration::from_secs(2)
+        );
+        assert_eq!(median(vec![]), Duration::ZERO);
+    }
+}

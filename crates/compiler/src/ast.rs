@@ -1,0 +1,346 @@
+//! Source-level representation of parallel loop nests.
+//!
+//! The paper's compiler examples (Poisson solver Fig. 3, loop distribution
+//! Fig. 5, lexically forward dependences Fig. 9) all share one shape: an
+//! outer **sequential** loop whose iterations are separated by barriers,
+//! containing statements over arrays whose subscripts are affine
+//! (`var + constant`) in the loop variables, executed in parallel across
+//! processors. This module models exactly that shape.
+
+use std::fmt;
+
+/// Identifier of a scalar (loop) variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Identifier of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// An affine subscript: `var + offset`, or a constant when `var` is `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Subscript {
+    /// The loop variable, if any.
+    pub var: Option<VarId>,
+    /// The constant offset.
+    pub offset: i64,
+}
+
+impl Subscript {
+    /// `var + offset`.
+    #[must_use]
+    pub fn var(v: VarId, offset: i64) -> Self {
+        Subscript {
+            var: Some(v),
+            offset,
+        }
+    }
+
+    /// A constant subscript.
+    #[must_use]
+    pub fn constant(offset: i64) -> Self {
+        Subscript { var: None, offset }
+    }
+
+    /// The constant distance between two subscripts if they use the same
+    /// variable (or are both constant): `self − other`.
+    #[must_use]
+    pub fn distance(&self, other: &Subscript) -> Option<i64> {
+        if self.var == other.var {
+            Some(self.offset - other.offset)
+        } else {
+            None
+        }
+    }
+}
+
+/// A subscripted array reference, e.g. `P[i][j+1]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayAccess {
+    /// Which array.
+    pub array: ArrayId,
+    /// One subscript per dimension.
+    pub subs: Vec<Subscript>,
+}
+
+impl ArrayAccess {
+    /// Creates an access.
+    #[must_use]
+    pub fn new(array: ArrayId, subs: Vec<Subscript>) -> Self {
+        ArrayAccess { array, subs }
+    }
+}
+
+/// An arithmetic expression over array accesses, variables and constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An array element read.
+    Access(ArrayAccess),
+    /// A scalar variable read.
+    Var(VarId),
+    /// A constant.
+    Const(i64),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division by a constant.
+    DivConst(Box<Expr>, i64),
+}
+
+impl Expr {
+    /// Convenience constructor for `a + b`.
+    #[must_use]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `a - b`.
+    #[must_use]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `a * b`.
+    #[must_use]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `a / c`.
+    #[must_use]
+    pub fn div_const(a: Expr, c: i64) -> Expr {
+        Expr::DivConst(Box::new(a), c)
+    }
+
+    /// All array reads in the expression, in evaluation order.
+    #[must_use]
+    pub fn reads(&self) -> Vec<&ArrayAccess> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads<'a>(&'a self, out: &mut Vec<&'a ArrayAccess>) {
+        match self {
+            Expr::Access(a) => out.push(a),
+            Expr::Var(_) | Expr::Const(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::DivConst(a, _) => a.collect_reads(out),
+        }
+    }
+}
+
+/// An assignment statement `target = value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// The array element written.
+    pub target: ArrayAccess,
+    /// The value expression.
+    pub value: Expr,
+}
+
+/// A statement of the (restricted) source language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// An array assignment.
+    Assign(Assign),
+    /// A two-way conditional on `var cmp const` (enough for the Fig. 7
+    /// variable-length-stream experiments).
+    If {
+        /// The scrutinized variable.
+        var: VarId,
+        /// Comparison constant; the branch tests `var == constant`.
+        equals: i64,
+        /// Statements when equal.
+        then_branch: Vec<Stmt>,
+        /// Statements when not equal.
+        else_branch: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// All array assignments inside the statement (flattening branches).
+    #[must_use]
+    pub fn assignments(&self) -> Vec<&Assign> {
+        let mut out = Vec::new();
+        self.collect_assignments(&mut out);
+        out
+    }
+
+    fn collect_assignments<'a>(&'a self, out: &mut Vec<&'a Assign>) {
+        match self {
+            Stmt::Assign(a) => out.push(a),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for s in then_branch {
+                    s.collect_assignments(out);
+                }
+                for s in else_branch {
+                    s.collect_assignments(out);
+                }
+            }
+        }
+    }
+}
+
+/// Declaration of an array with rectangular dimensions (row-major,
+/// one word per element).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name (for listings).
+    pub name: String,
+    /// Extents, outermost first.
+    pub dims: Vec<usize>,
+    /// Base word address in simulator memory.
+    pub base: i64,
+}
+
+impl ArrayDecl {
+    /// Total elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the array has zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major stride (in words) of dimension `d`: the product of the
+    /// extents of all inner dimensions.
+    #[must_use]
+    pub fn stride(&self, d: usize) -> i64 {
+        self.dims[d + 1..].iter().product::<usize>() as i64
+    }
+}
+
+/// A parallel loop nest in the paper's canonical shape: a sequential outer
+/// loop (iterations separated by barriers) whose body each processor
+/// executes with its own private coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    /// Arrays referenced by the body.
+    pub arrays: Vec<ArrayDecl>,
+    /// The sequential loop variable (e.g. `k` in the Poisson solver).
+    pub seq_var: VarId,
+    /// Outer loop bounds: `seq_var` runs from `lo` to `hi` inclusive,
+    /// step 1.
+    pub seq_lo: i64,
+    /// Inclusive upper bound.
+    pub seq_hi: i64,
+    /// Per-processor private variables and how each processor initializes
+    /// them (the paper's "private i, j, k" with `i = l; j = m`).
+    pub private_vars: Vec<VarId>,
+    /// The loop body, executed by every processor per outer iteration.
+    pub body: Vec<Stmt>,
+    /// Names for variables (for listings), indexed by `VarId`.
+    pub var_names: Vec<String>,
+}
+
+impl LoopNest {
+    /// The declaration of `array`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn array(&self, array: ArrayId) -> &ArrayDecl {
+        &self.arrays[array.0]
+    }
+
+    /// The display name of `var`.
+    #[must_use]
+    pub fn var_name(&self, var: VarId) -> &str {
+        self.var_names
+            .get(var.0)
+            .map_or("?", String::as_str)
+    }
+}
+
+impl fmt::Display for Subscript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.var, self.offset) {
+            (None, c) => write!(f, "{c}"),
+            (Some(v), 0) => write!(f, "v{}", v.0),
+            (Some(v), c) if c > 0 => write!(f, "v{}+{c}", v.0),
+            (Some(v), c) => write!(f, "v{}{c}", v.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscript_distance() {
+        let i = VarId(0);
+        let j = VarId(1);
+        assert_eq!(
+            Subscript::var(i, 1).distance(&Subscript::var(i, -1)),
+            Some(2)
+        );
+        assert_eq!(Subscript::var(i, 0).distance(&Subscript::var(j, 0)), None);
+        assert_eq!(
+            Subscript::constant(5).distance(&Subscript::constant(3)),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn expr_reads_in_order() {
+        let p = ArrayId(0);
+        let i = VarId(0);
+        let a1 = ArrayAccess::new(p, vec![Subscript::var(i, 1)]);
+        let a2 = ArrayAccess::new(p, vec![Subscript::var(i, -1)]);
+        let e = Expr::div_const(
+            Expr::add(Expr::Access(a1.clone()), Expr::Access(a2.clone())),
+            4,
+        );
+        let reads = e.reads();
+        assert_eq!(reads, vec![&a1, &a2]);
+    }
+
+    #[test]
+    fn stmt_assignments_flatten_branches() {
+        let p = ArrayId(0);
+        let i = VarId(0);
+        let mk = |off| {
+            Stmt::Assign(Assign {
+                target: ArrayAccess::new(p, vec![Subscript::var(i, off)]),
+                value: Expr::Const(off),
+            })
+        };
+        let s = Stmt::If {
+            var: i,
+            equals: 0,
+            then_branch: vec![mk(1)],
+            else_branch: vec![mk(2), mk(3)],
+        };
+        assert_eq!(s.assignments().len(), 3);
+    }
+
+    #[test]
+    fn array_strides_are_row_major() {
+        let d = ArrayDecl {
+            name: "P".into(),
+            dims: vec![3, 4, 5],
+            base: 100,
+        };
+        assert_eq!(d.len(), 60);
+        assert_eq!(d.stride(0), 20);
+        assert_eq!(d.stride(1), 5);
+        assert_eq!(d.stride(2), 1);
+    }
+}

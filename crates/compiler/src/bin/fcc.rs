@@ -1,0 +1,201 @@
+//! `fcc` — the fuzzy-barrier compiler driver.
+//!
+//! ```text
+//! fcc SOURCE.fc [options]
+//!
+//!   --no-reorder     skip the three-phase reordering (Fig. 4(a) regions)
+//!   --listing        print the intermediate-code listing with regions
+//!   --asm            print the generated machine streams
+//!   --run            execute on the simulated multiprocessor
+//!   --cycles N       cycle budget for --run (default 10_000_000)
+//!   --miss-rate X    drift injection for --run
+//!   --dump A B       with --run, print memory words A..B afterwards
+//! ```
+//!
+//! `SOURCE.fc` uses the paper's Fig. 3(a) syntax:
+//!
+//! ```text
+//! int P[4][4];
+//! for (k=1; k<=20; k++) do seq
+//!   for (i=1; i<=2; i++) do par
+//!     for (j=1; j<=2; j++) do par
+//!       P[i][j] = (P[i][j+1] + P[i][j-1] + P[i+1][j] + P[i-1][j]) / 4;
+//! ```
+
+use fuzzy_compiler::driver::{compile_nest, CompileOptions};
+use fuzzy_compiler::parse::parse_program;
+use fuzzy_compiler::pretty::{render_split, summarize_split};
+use fuzzy_sim::builder::MachineBuilder;
+use std::process::ExitCode;
+
+struct Options {
+    path: String,
+    reorder: bool,
+    listing: bool,
+    asm: bool,
+    run: bool,
+    cycles: u64,
+    miss_rate: Option<f64>,
+    dump: Option<(usize, usize)>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        path: String::new(),
+        reorder: true,
+        listing: false,
+        asm: false,
+        run: false,
+        cycles: 10_000_000,
+        miss_rate: None,
+        dump: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--no-reorder" => opts.reorder = false,
+            "--listing" => opts.listing = true,
+            "--asm" => opts.asm = true,
+            "--run" => opts.run = true,
+            "--cycles" => {
+                opts.cycles = args
+                    .next()
+                    .ok_or("--cycles needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--cycles: {e}"))?;
+            }
+            "--miss-rate" => {
+                opts.miss_rate = Some(
+                    args.next()
+                        .ok_or("--miss-rate needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--miss-rate: {e}"))?,
+                );
+            }
+            "--dump" => {
+                let a = args
+                    .next()
+                    .ok_or("--dump needs two values")?
+                    .parse()
+                    .map_err(|e| format!("--dump: {e}"))?;
+                let b = args
+                    .next()
+                    .ok_or("--dump needs two values")?
+                    .parse()
+                    .map_err(|e| format!("--dump: {e}"))?;
+                opts.dump = Some((a, b));
+            }
+            "--help" | "-h" => return Err("usage".into()),
+            other if opts.path.is_empty() && !other.starts_with('-') => {
+                opts.path = other.to_string();
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err("no source file given".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("fcc: {msg}");
+            eprintln!(
+                "usage: fcc SOURCE.fc [--no-reorder] [--listing] [--asm] [--run] \
+                 [--cycles N] [--miss-rate X] [--dump A B]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fcc: cannot read `{}`: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fcc: {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{}: seq `{}` over {}..={}, {} processors",
+        opts.path,
+        parsed.nest.var_name(parsed.nest.seq_var),
+        parsed.nest.seq_lo,
+        parsed.nest.seq_hi,
+        parsed.proc_inits.len()
+    );
+
+    let compiled = match compile_nest(
+        &parsed.nest,
+        &parsed.proc_inits,
+        &CompileOptions {
+            reorder: opts.reorder,
+            ..CompileOptions::default()
+        },
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fcc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("regions before reordering: {}", summarize_split(&compiled.before));
+    println!("regions after  reordering: {}", summarize_split(&compiled.after));
+
+    if opts.listing {
+        println!();
+        println!("{}", render_split("compiled regions", &compiled.after));
+    }
+    if opts.asm {
+        for (p, stream) in compiled.program.streams().iter().enumerate() {
+            println!("\n; processor {p} ({} instructions)", stream.len());
+            for (i, op) in stream.ops().iter().enumerate() {
+                println!("{i:>4}: {op}");
+            }
+        }
+    }
+    if opts.run {
+        let mut builder =
+            MachineBuilder::new(compiled.program).preload(parsed.data.clone());
+        if let Some(r) = opts.miss_rate {
+            builder = builder.miss_rate(r);
+        }
+        let mut machine = match builder.build() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("fcc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let outcome = match machine.run(opts.cycles) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("fcc: runtime fault: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stats = machine.stats();
+        println!(
+            "\nrun: {outcome:?} — {} cycles, {} syncs, {} stall cycles",
+            stats.cycles, stats.sync_events, stats.total_stall_cycles()
+        );
+        if let Some((a, b)) = opts.dump {
+            println!("memory[{a}..{b}]:");
+            for w in a..b {
+                println!("  [{w:>6}] = {}", machine.memory().peek(w));
+            }
+        }
+        if !outcome.is_halted() {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

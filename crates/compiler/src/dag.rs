@@ -1,0 +1,228 @@
+//! The data-dependence DAG over a straight-line TAC body (Sec. 4: "a
+//! directed acyclic graph (DAG) representing the data dependences for the
+//! code in the non-barrier region is built").
+
+use crate::tac::{AnnotatedInstr, Temp};
+use std::collections::HashMap;
+
+/// Dependence DAG: node *i* is instruction *i* of the body; an edge
+/// `a → b` means *a* must execute before *b*.
+///
+/// Edges come from temp def→use chains (each temp is defined once) and
+/// from conservative memory ordering: a store is ordered after every
+/// earlier memory-touching instruction and before every later one; loads
+/// commute with loads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepDag {
+    /// `succs[i]`: instructions that must come after `i`.
+    pub succs: Vec<Vec<usize>>,
+    /// `preds[i]`: instructions that must come before `i`.
+    pub preds: Vec<Vec<usize>>,
+}
+
+impl DepDag {
+    /// Builds the DAG for `instrs`.
+    #[must_use]
+    pub fn build(instrs: &[AnnotatedInstr]) -> Self {
+        let n = instrs.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let add_edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, preds: &mut Vec<Vec<usize>>| {
+            if !succs[from].contains(&to) {
+                succs[from].push(to);
+                preds[to].push(from);
+            }
+        };
+
+        // Temp def sites.
+        let mut def_site: HashMap<Temp, usize> = HashMap::new();
+        for (i, a) in instrs.iter().enumerate() {
+            for u in a.instr.uses() {
+                if let Some(&d) = def_site.get(&u) {
+                    add_edge(d, i, &mut succs, &mut preds);
+                }
+            }
+            if let Some(d) = a.instr.def() {
+                def_site.insert(d, i);
+            }
+        }
+
+        // Conservative memory ordering.
+        let mut last_store: Option<usize> = None;
+        let mut mem_ops_since_store: Vec<usize> = Vec::new();
+        for (i, a) in instrs.iter().enumerate() {
+            if a.instr.writes_mem() {
+                if let Some(s) = last_store {
+                    add_edge(s, i, &mut succs, &mut preds);
+                }
+                for &m in &mem_ops_since_store {
+                    add_edge(m, i, &mut succs, &mut preds);
+                }
+                last_store = Some(i);
+                mem_ops_since_store.clear();
+            } else if a.instr.reads_mem() {
+                if let Some(s) = last_store {
+                    add_edge(s, i, &mut succs, &mut preds);
+                }
+                mem_ops_since_store.push(i);
+            }
+        }
+
+        DepDag { succs, preds }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The set of nodes reachable from `roots` along successor edges
+    /// (including the roots themselves).
+    #[must_use]
+    pub fn descendants_of(&self, roots: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<usize> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            stack.extend(self.succs[n].iter().copied());
+        }
+        seen
+    }
+
+    /// The set of nodes from which some node in `targets` is reachable
+    /// (including the targets themselves).
+    #[must_use]
+    pub fn ancestors_of(&self, targets: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<usize> = targets.to_vec();
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            stack.extend(self.preds[n].iter().copied());
+        }
+        seen
+    }
+
+    /// Checks that `order` (a permutation of node indices) respects every
+    /// edge. Used by tests and by the reorder pass's self-check.
+    #[must_use]
+    pub fn respects(&self, order: &[usize]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut position = vec![usize::MAX; self.len()];
+        for (pos, &n) in order.iter().enumerate() {
+            if n >= self.len() || position[n] != usize::MAX {
+                return false;
+            }
+            position[n] = pos;
+        }
+        for (from, succs) in self.succs.iter().enumerate() {
+            for &to in succs {
+                if position[from] >= position[to] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tac::{BinOp, Src, TacInstr};
+
+    fn instr(i: TacInstr) -> AnnotatedInstr {
+        AnnotatedInstr::plain(i)
+    }
+
+    fn t(n: usize) -> Temp {
+        Temp(n)
+    }
+
+    /// T1 = 1; T2 = T1 + 1; store [T2] = T1; T3 = [T2]
+    fn sample() -> Vec<AnnotatedInstr> {
+        vec![
+            instr(TacInstr::Const { dst: t(1), value: 1 }),
+            instr(TacInstr::Bin {
+                dst: t(2),
+                op: BinOp::Add,
+                lhs: Src::Temp(t(1)),
+                rhs: Src::Const(1),
+            }),
+            instr(TacInstr::Store {
+                addr: t(2),
+                src: Src::Temp(t(1)),
+            }),
+            instr(TacInstr::Copy {
+                dst: t(3),
+                src: Src::Mem(t(2)),
+            }),
+        ]
+    }
+
+    #[test]
+    fn raw_edges_follow_defs() {
+        let dag = DepDag::build(&sample());
+        assert!(dag.succs[0].contains(&1)); // T1 → T2 computation
+        assert!(dag.succs[0].contains(&2)); // T1 → store
+        assert!(dag.succs[1].contains(&2)); // T2 → store (address)
+        assert!(dag.succs[1].contains(&3)); // T2 → load (address)
+    }
+
+    #[test]
+    fn store_orders_with_later_load() {
+        let dag = DepDag::build(&sample());
+        assert!(dag.succs[2].contains(&3), "load after store must be ordered");
+    }
+
+    #[test]
+    fn loads_commute() {
+        let body = vec![
+            instr(TacInstr::Const { dst: t(1), value: 0 }),
+            instr(TacInstr::Copy {
+                dst: t(2),
+                src: Src::Mem(t(1)),
+            }),
+            instr(TacInstr::Copy {
+                dst: t(3),
+                src: Src::Mem(t(1)),
+            }),
+        ];
+        let dag = DepDag::build(&body);
+        assert!(!dag.succs[1].contains(&2));
+        assert!(!dag.succs[2].contains(&1));
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let dag = DepDag::build(&sample());
+        let desc = dag.descendants_of(&[1]);
+        assert_eq!(desc, vec![false, true, true, true]);
+        let anc = dag.ancestors_of(&[2]);
+        assert_eq!(anc, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn respects_detects_violations() {
+        let dag = DepDag::build(&sample());
+        assert!(dag.respects(&[0, 1, 2, 3]));
+        assert!(!dag.respects(&[1, 0, 2, 3]), "T2 before its def");
+        assert!(!dag.respects(&[0, 1, 3, 2]), "load before store");
+        assert!(!dag.respects(&[0, 1, 2]), "wrong length");
+        assert!(!dag.respects(&[0, 1, 2, 2]), "not a permutation");
+    }
+}

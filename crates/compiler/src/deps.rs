@@ -1,0 +1,496 @@
+//! Dependence analysis over loop nests.
+//!
+//! Two kinds of dependence drive barrier placement in the paper:
+//!
+//! * **loop-carried** dependences of the sequential outer loop (Sec. 4:
+//!   "a barrier at the end of each iteration of the outer loop enforces
+//!   loop carried dependences") — these determine the *marked*
+//!   instructions;
+//! * **lexically forward** dependences (Sec. 7.2, Fig. 8): a statement
+//!   later in the iteration reads what an earlier statement wrote, possibly
+//!   on a different processor — "in an architecture where processors
+//!   execute asynchronously, a barrier synchronization is required to
+//!   guarantee these dependences".
+//!
+//! Subscripts are affine (`var + c`), so the analysis is the constant-
+//! distance (SIV) test; anything it cannot prove independent is treated as
+//! dependent.
+
+use crate::ast::{ArrayAccess, ArrayId, LoopNest, Stmt, VarId};
+use std::collections::BTreeSet;
+
+/// Where an access sits inside a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessLoc {
+    /// The assignment target (a write).
+    Target,
+    /// The `k`-th array read of the value expression.
+    Read(usize),
+}
+
+/// A reference to one array access in the flattened assignment list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccessRef {
+    /// Index into the flattened assignment list (see [`flatten`]).
+    pub stmt: usize,
+    /// Which access within that assignment.
+    pub loc: AccessLoc,
+}
+
+/// Classification of a dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Carried by the sequential outer loop. Enforced by the
+    /// end-of-iteration barrier. `distance` is the iteration distance when
+    /// the sequential variable appears in the subscripts; when it does not
+    /// (as in the Poisson solver, where `k` never subscripts `P`), the
+    /// dependence holds at **every** distance and is recorded as 0.
+    Carried {
+        /// Outer-loop iteration distance; 0 means "unconstrained".
+        distance: i64,
+    },
+    /// Within one outer iteration, source statement lexically precedes the
+    /// sink — a *lexically forward* dependence (Fig. 8).
+    LexForward,
+    /// Within one outer iteration, source statement lexically follows or
+    /// equals the sink — only satisfiable by a barrier *before* the sink's
+    /// next execution; shows up when code is unrolled incorrectly.
+    LexBackward,
+}
+
+/// One dependence edge: `from` (a write) must complete before `to` (a read
+/// or write of an overlapping element).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dependence {
+    /// The source access (always a write).
+    pub from: AccessRef,
+    /// The sink access.
+    pub to: AccessRef,
+    /// The array involved.
+    pub array: ArrayId,
+    /// Classification.
+    pub kind: DepKind,
+    /// Whether the endpoints can be executed by different processors
+    /// (subscripts differ in a private/processor variable).
+    pub cross_processor: bool,
+}
+
+/// Flattens a statement list into `(assignment index, &Assign)` pairs in
+/// program order, descending into both branches of conditionals.
+#[must_use]
+pub fn flatten(body: &[Stmt]) -> Vec<&crate::ast::Assign> {
+    body.iter().flat_map(Stmt::assignments).collect()
+}
+
+/// Relation between two accesses to the same array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Relation {
+    /// Provably never the same element.
+    Independent,
+    /// Possibly the same element, with the given outer-loop distance
+    /// (`None` when the sequential variable does not constrain the pair)
+    /// and cross-processor flag.
+    Dependent {
+        seq_distance: Option<i64>,
+        cross_processor: bool,
+    },
+}
+
+/// Compares two accesses dimension by dimension.
+fn relate(
+    write: &ArrayAccess,
+    read: &ArrayAccess,
+    seq_var: VarId,
+    private_vars: &BTreeSet<VarId>,
+) -> Relation {
+    if write.array != read.array || write.subs.len() != read.subs.len() {
+        return Relation::Independent;
+    }
+    let mut seq_distance: Option<i64> = None;
+    let mut cross_processor = false;
+    for (ws, rs) in write.subs.iter().zip(&read.subs) {
+        match ws.distance(rs) {
+            Some(d) => {
+                let var = ws.var;
+                if var == Some(seq_var) {
+                    seq_distance = Some(d);
+                } else if d != 0 {
+                    // Same non-sequential variable, different offsets: the
+                    // accesses coincide only for different values of that
+                    // variable — different processors when it is private.
+                    if var.map_or(false, |v| private_vars.contains(&v)) {
+                        cross_processor = true;
+                    } else if var.is_none() {
+                        // Two distinct constants: provably different element.
+                        return Relation::Independent;
+                    } else {
+                        cross_processor = true;
+                    }
+                }
+            }
+            None => {
+                // Different variables in the same dimension: cannot prove
+                // independence; conservatively cross-processor.
+                cross_processor = true;
+            }
+        }
+    }
+    Relation::Dependent {
+        seq_distance,
+        cross_processor,
+    }
+}
+
+/// Result of analysing a [`LoopNest`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepInfo {
+    /// All dependences found, in discovery order.
+    pub deps: Vec<Dependence>,
+}
+
+impl DepInfo {
+    /// Dependences carried by the outer loop.
+    pub fn carried(&self) -> impl Iterator<Item = &Dependence> {
+        self.deps
+            .iter()
+            .filter(|d| matches!(d.kind, DepKind::Carried { .. }))
+    }
+
+    /// Lexically forward dependences within an iteration.
+    pub fn lex_forward(&self) -> impl Iterator<Item = &Dependence> {
+        self.deps
+            .iter()
+            .filter(|d| d.kind == DepKind::LexForward)
+    }
+
+    /// The *marked* accesses for a barrier enforcing the given dependences:
+    /// every source and sink access (Sec. 4: "the marked instructions are
+    /// those instructions which either access a value computed by another
+    /// processor or compute a value that will be accessed by another
+    /// processor").
+    #[must_use]
+    pub fn marked_accesses<'a>(
+        &self,
+        deps: impl IntoIterator<Item = &'a Dependence>,
+    ) -> BTreeSet<AccessRef> {
+        let mut set = BTreeSet::new();
+        for d in deps {
+            set.insert(d.from);
+            set.insert(d.to);
+        }
+        set
+    }
+
+    /// Marked accesses for the end-of-iteration barrier (carried deps that
+    /// may cross processors).
+    #[must_use]
+    pub fn marked_for_carried(&self) -> BTreeSet<AccessRef> {
+        self.marked_accesses(self.carried().filter(|d| d.cross_processor))
+    }
+}
+
+/// Analyses all write→read and write→write pairs in the nest body.
+#[must_use]
+pub fn analyze(nest: &LoopNest) -> DepInfo {
+    let assigns = flatten(&nest.body);
+    let private: BTreeSet<VarId> = nest.private_vars.iter().copied().collect();
+    let mut deps = Vec::new();
+
+    for (wi, w) in assigns.iter().enumerate() {
+        // write → read pairs
+        for (ri, r) in assigns.iter().enumerate() {
+            for (k, read) in r.value.reads().iter().enumerate() {
+                if let Relation::Dependent {
+                    seq_distance,
+                    cross_processor,
+                } = relate(&w.target, read, nest.seq_var, &private)
+                {
+                    let kind = classify(seq_distance, cross_processor, wi, ri);
+                    // A zero-distance dependence of a statement on itself
+                    // through the same element is just a reuse, not an
+                    // ordering constraint between processors.
+                    if kind == DepKind::LexBackward && wi == ri && !cross_processor {
+                        continue;
+                    }
+                    deps.push(Dependence {
+                        from: AccessRef {
+                            stmt: wi,
+                            loc: AccessLoc::Target,
+                        },
+                        to: AccessRef {
+                            stmt: ri,
+                            loc: AccessLoc::Read(k),
+                        },
+                        array: w.target.array,
+                        kind,
+                        cross_processor,
+                    });
+                }
+            }
+        }
+        // write → write pairs (output dependences), needed for marking
+        // when two processors may write overlapping elements.
+        for (vi, v) in assigns.iter().enumerate() {
+            if vi == wi {
+                continue;
+            }
+            if let Relation::Dependent {
+                seq_distance,
+                cross_processor,
+            } = relate(&w.target, &v.target, nest.seq_var, &private)
+            {
+                if cross_processor || seq_distance.unwrap_or(0) != 0 {
+                    deps.push(Dependence {
+                        from: AccessRef {
+                            stmt: wi,
+                            loc: AccessLoc::Target,
+                        },
+                        to: AccessRef {
+                            stmt: vi,
+                            loc: AccessLoc::Target,
+                        },
+                        array: w.target.array,
+                        kind: classify(seq_distance, cross_processor, wi, vi),
+                        cross_processor,
+                    });
+                }
+            }
+        }
+    }
+    DepInfo { deps }
+}
+
+fn classify(
+    seq_distance: Option<i64>,
+    cross_processor: bool,
+    from_stmt: usize,
+    to_stmt: usize,
+) -> DepKind {
+    match seq_distance {
+        Some(d) if d != 0 => DepKind::Carried { distance: d },
+        Some(_) => {
+            if from_stmt < to_stmt {
+                DepKind::LexForward
+            } else {
+                DepKind::LexBackward
+            }
+        }
+        None => {
+            // The sequential variable does not constrain the pair: the
+            // dependence exists between *every* pair of outer iterations
+            // when it can cross processors (Poisson), and degenerates to a
+            // same-processor reuse otherwise.
+            if cross_processor {
+                DepKind::Carried { distance: 0 }
+            } else if from_stmt < to_stmt {
+                DepKind::LexForward
+            } else {
+                DepKind::LexBackward
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArrayDecl, Assign, Expr, Subscript};
+
+    /// The Poisson solver body (Fig. 3):
+    /// `P[i][j] = (P[i][j+1] + P[i][j-1] + P[i+1][j] + P[i-1][j]) / 4`
+    /// with `k` sequential and `i`, `j` private.
+    fn poisson() -> LoopNest {
+        let k = VarId(0);
+        let i = VarId(1);
+        let j = VarId(2);
+        let p = ArrayId(0);
+        let acc = |di: i64, dj: i64| {
+            Expr::Access(ArrayAccess::new(
+                p,
+                vec![Subscript::var(i, di), Subscript::var(j, dj)],
+            ))
+        };
+        let value = Expr::div_const(
+            Expr::add(
+                Expr::add(acc(0, 1), acc(0, -1)),
+                Expr::add(acc(1, 0), acc(-1, 0)),
+            ),
+            4,
+        );
+        LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "P".into(),
+                dims: vec![4, 4],
+                base: 0,
+            }],
+            seq_var: k,
+            seq_lo: 1,
+            seq_hi: 20,
+            private_vars: vec![i, j],
+            body: vec![Stmt::Assign(Assign {
+                target: ArrayAccess::new(p, vec![Subscript::var(i, 0), Subscript::var(j, 0)]),
+                value,
+            })],
+            var_names: vec!["k".into(), "i".into(), "j".into()],
+        }
+    }
+
+    #[test]
+    fn poisson_has_carried_cross_processor_deps_on_all_reads() {
+        // P[i][j] written; P[i±1][j], P[i][j±1] read: four dependences,
+        // all cross-processor. The outer variable k does not appear in the
+        // subscripts, so each holds at every iteration distance — the
+        // loop-carried dependences the end-of-iteration barrier enforces.
+        let info = analyze(&poisson());
+        let cross: Vec<_> = info.deps.iter().filter(|d| d.cross_processor).collect();
+        assert_eq!(cross.len(), 4);
+        assert!(cross
+            .iter()
+            .all(|d| matches!(d.kind, DepKind::Carried { .. })));
+        // The marked accesses are the write target plus all four reads —
+        // exactly the paper's I1…I4 instructions.
+        let marked = info.marked_for_carried();
+        assert_eq!(marked.len(), 5);
+        assert!(marked.contains(&AccessRef {
+            stmt: 0,
+            loc: AccessLoc::Target
+        }));
+    }
+
+    /// Fig. 9: `a[j][i] = a[j-1][i-1] + i*j` with `j` sequential, `i`
+    /// private.
+    fn fig9() -> LoopNest {
+        let j = VarId(0);
+        let i = VarId(1);
+        let a = ArrayId(0);
+        LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "a".into(),
+                dims: vec![10, 4],
+                base: 0,
+            }],
+            seq_var: j,
+            seq_lo: 1,
+            seq_hi: 9,
+            private_vars: vec![i],
+            body: vec![Stmt::Assign(Assign {
+                target: ArrayAccess::new(a, vec![Subscript::var(j, 0), Subscript::var(i, 0)]),
+                value: Expr::add(
+                    Expr::Access(ArrayAccess::new(
+                        a,
+                        vec![Subscript::var(j, -1), Subscript::var(i, -1)],
+                    )),
+                    Expr::mul(Expr::Var(i), Expr::Var(j)),
+                ),
+            })],
+            var_names: vec!["j".into(), "i".into()],
+        }
+    }
+
+    #[test]
+    fn fig9_dependence_is_carried_and_cross_processor() {
+        let info = analyze(&fig9());
+        assert_eq!(info.deps.len(), 1);
+        let d = &info.deps[0];
+        assert_eq!(d.kind, DepKind::Carried { distance: 1 });
+        assert!(d.cross_processor);
+        let marked = info.marked_for_carried();
+        assert_eq!(marked.len(), 2);
+        assert!(marked.contains(&AccessRef {
+            stmt: 0,
+            loc: AccessLoc::Target
+        }));
+        assert!(marked.contains(&AccessRef {
+            stmt: 0,
+            loc: AccessLoc::Read(0)
+        }));
+    }
+
+    /// Fig. 9 unrolled once: two statements; the second reads what the
+    /// first wrote on a *different processor* in the same outer iteration —
+    /// a lexically forward dependence.
+    #[test]
+    fn unrolled_fig9_exposes_lex_forward_dep() {
+        let j = VarId(0);
+        let i = VarId(1);
+        let a = ArrayId(0);
+        let s1 = Stmt::Assign(Assign {
+            target: ArrayAccess::new(a, vec![Subscript::var(j, 0), Subscript::var(i, 0)]),
+            value: Expr::Access(ArrayAccess::new(
+                a,
+                vec![Subscript::var(j, -1), Subscript::var(i, -1)],
+            )),
+        });
+        let s2 = Stmt::Assign(Assign {
+            target: ArrayAccess::new(a, vec![Subscript::var(j, 1), Subscript::var(i, 0)]),
+            value: Expr::Access(ArrayAccess::new(
+                a,
+                vec![Subscript::var(j, 0), Subscript::var(i, -1)],
+            )),
+        });
+        let nest = LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "a".into(),
+                dims: vec![10, 4],
+                base: 0,
+            }],
+            seq_var: j,
+            seq_lo: 1,
+            seq_hi: 9,
+            private_vars: vec![i],
+            body: vec![s1, s2],
+            var_names: vec!["j".into(), "i".into()],
+        };
+        let info = analyze(&nest);
+        let fwd: Vec<_> = info.lex_forward().collect();
+        assert!(
+            fwd.iter()
+                .any(|d| d.from.stmt == 0 && d.to.stmt == 1 && d.cross_processor),
+            "expected S1→S2 cross-processor lexically forward dep, got {:?}",
+            info.deps
+        );
+    }
+
+    #[test]
+    fn constant_subscript_mismatch_is_independent() {
+        let private = BTreeSet::new();
+        let a = ArrayId(0);
+        let w = ArrayAccess::new(a, vec![Subscript::constant(1)]);
+        let r = ArrayAccess::new(a, vec![Subscript::constant(2)]);
+        assert_eq!(relate(&w, &r, VarId(9), &private), Relation::Independent);
+    }
+
+    #[test]
+    fn different_arrays_are_independent() {
+        let info = {
+            let j = VarId(0);
+            let a = ArrayId(0);
+            let b = ArrayId(1);
+            let nest = LoopNest {
+                arrays: vec![
+                    ArrayDecl {
+                        name: "a".into(),
+                        dims: vec![8],
+                        base: 0,
+                    },
+                    ArrayDecl {
+                        name: "b".into(),
+                        dims: vec![8],
+                        base: 8,
+                    },
+                ],
+                seq_var: j,
+                seq_lo: 0,
+                seq_hi: 7,
+                private_vars: vec![],
+                body: vec![Stmt::Assign(Assign {
+                    target: ArrayAccess::new(a, vec![Subscript::var(j, 0)]),
+                    value: Expr::Access(ArrayAccess::new(b, vec![Subscript::var(j, 0)])),
+                })],
+                var_names: vec!["j".into()],
+            };
+            analyze(&nest)
+        };
+        assert!(info.deps.is_empty(), "{:?}", info.deps);
+    }
+}

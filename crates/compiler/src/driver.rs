@@ -1,0 +1,553 @@
+//! The compile driver: loop nest → simulator program.
+//!
+//! Reproduces the paper's per-processor task layout (Fig. 3(b)/Fig. 4):
+//! each processor gets its own stream with private loop variables, the
+//! sequential loop's body split into barrier / non-barrier regions, and the
+//! loop-control instructions (`k = k + 1; if k ≤ hi goto L1`) inside the
+//! barrier region so that the region "extends across consecutive
+//! iterations" (Sec. 3).
+
+use crate::ast::{LoopNest, Stmt, VarId};
+use crate::codegen::{emit_regions, CodegenError, VarMap};
+use crate::deps::{self, AccessRef};
+use crate::lower::{lower_assign_at, lower_body};
+use crate::region::RegionSplit;
+use crate::reorder::reorder;
+use fuzzy_sim::isa::{Cond, Instr, Reg};
+use fuzzy_sim::program::{BuildError, Program, StreamBuilder};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Register assigned to the sequential loop variable.
+pub const SEQ_REG: Reg = 1;
+/// First register assigned to private variables.
+pub const PRIVATE_REG_BASE: Reg = 2;
+/// Scratch register used by conditional statements.
+pub const COND_REG: Reg = 6;
+/// Register holding the sequential loop bound.
+pub const BOUND_REG: Reg = 7;
+/// Maximum private variables the driver supports.
+pub const MAX_PRIVATE_VARS: usize = (COND_REG - PRIVATE_REG_BASE) as usize;
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Apply the three-phase reordering (Sec. 4). When off, regions are
+    /// built purely from marked-instruction positions (Fig. 4(a)).
+    pub reorder: bool,
+    /// Step of the sequential loop variable per iteration (default 1;
+    /// unrolled and cycle-shrunk loops step by their factor).
+    pub seq_step: i64,
+    /// Base address of the spill area; processor `p` spills at
+    /// `spill_base + p * spill_stride`.
+    pub spill_base: i64,
+    /// Stride between per-processor spill areas.
+    pub spill_stride: i64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            reorder: true,
+            seq_step: 1,
+            spill_base: 1 << 14,
+            spill_stride: 64,
+        }
+    }
+}
+
+/// Compilation errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// More private variables than the driver's register convention holds.
+    TooManyPrivateVars {
+        /// How many the nest declared.
+        got: usize,
+    },
+    /// A conditional statement appeared before the last assignment; the
+    /// driver only supports trailing conditionals (they are emitted into
+    /// the barrier region, Fig. 7).
+    MisplacedConditional,
+    /// A conditional's branches contained marked accesses, which would
+    /// belong in the non-barrier region.
+    MarkedConditional,
+    /// Code generation failed.
+    Codegen(CodegenError),
+    /// Label resolution failed (internal).
+    Build(BuildError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::TooManyPrivateVars { got } => write!(
+                f,
+                "{got} private variables exceed the supported {MAX_PRIVATE_VARS}"
+            ),
+            CompileError::MisplacedConditional => {
+                write!(f, "conditional statements must follow all assignments")
+            }
+            CompileError::MarkedConditional => write!(
+                f,
+                "conditional branches contain cross-processor accesses"
+            ),
+            CompileError::Codegen(e) => write!(f, "codegen: {e}"),
+            CompileError::Build(e) => write!(f, "label resolution: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Codegen(e) => Some(e),
+            CompileError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodegenError> for CompileError {
+    fn from(e: CodegenError) -> Self {
+        CompileError::Codegen(e)
+    }
+}
+
+impl From<BuildError> for CompileError {
+    fn from(e: BuildError) -> Self {
+        CompileError::Build(e)
+    }
+}
+
+/// The result of compiling a loop nest.
+#[derive(Debug)]
+pub struct CompiledLoop {
+    /// One stream per processor.
+    pub program: Program,
+    /// The region split before reordering (Fig. 4(a)) — for reporting.
+    pub before: RegionSplit,
+    /// The split actually compiled (equal to `before` when reordering is
+    /// off).
+    pub after: RegionSplit,
+}
+
+/// Builds the driver's register map for a nest.
+///
+/// # Errors
+///
+/// Returns [`CompileError::TooManyPrivateVars`] if the convention cannot
+/// hold all private variables.
+pub fn var_map(nest: &LoopNest) -> Result<VarMap, CompileError> {
+    if nest.private_vars.len() > MAX_PRIVATE_VARS {
+        return Err(CompileError::TooManyPrivateVars {
+            got: nest.private_vars.len(),
+        });
+    }
+    let mut vars = VarMap::new();
+    vars.assign(nest.seq_var, SEQ_REG);
+    for (idx, &v) in nest.private_vars.iter().enumerate() {
+        if v != nest.seq_var {
+            vars.assign(v, PRIVATE_REG_BASE + idx as Reg);
+        }
+    }
+    Ok(vars)
+}
+
+/// Compiles `nest` for the processors described by `per_proc_inits`
+/// (each entry: the initial values of the private variables for that
+/// processor, e.g. the paper's `i = l; j = m`).
+///
+/// The barrier enforces the nest's **loop-carried** dependences, exactly
+/// as in Sec. 4: marked instructions are those involved in cross-processor
+/// carried dependences.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn compile_nest(
+    nest: &LoopNest,
+    per_proc_inits: &[Vec<(VarId, i64)>],
+    opts: &CompileOptions,
+) -> Result<CompiledLoop, CompileError> {
+    let info = deps::analyze(nest);
+    compile_nest_with_marks(nest, per_proc_inits, &info.marked_for_carried(), opts)
+}
+
+/// Like [`compile_nest`] but with an explicit marked-access set (used when
+/// the barrier enforces a different dependence class, e.g. lexically
+/// forward dependences).
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn compile_nest_with_marks(
+    nest: &LoopNest,
+    per_proc_inits: &[Vec<(VarId, i64)>],
+    marked: &BTreeSet<AccessRef>,
+    opts: &CompileOptions,
+) -> Result<CompiledLoop, CompileError> {
+    // Split trailing conditionals from the assignment core.
+    let first_if = nest
+        .body
+        .iter()
+        .position(|s| matches!(s, Stmt::If { .. }))
+        .unwrap_or(nest.body.len());
+    if nest.body[first_if..]
+        .iter()
+        .any(|s| matches!(s, Stmt::Assign(_)))
+    {
+        return Err(CompileError::MisplacedConditional);
+    }
+    let core_nest = LoopNest {
+        body: nest.body[..first_if].to_vec(),
+        ..nest.clone()
+    };
+    let tail_ifs = &nest.body[first_if..];
+
+    let body = lower_body(&core_nest, marked);
+    let before = RegionSplit::by_marks(&body);
+    let after = if opts.reorder {
+        reorder(&body)
+    } else {
+        before.clone()
+    };
+
+    let vars = var_map(nest)?;
+    let mut streams = Vec::with_capacity(per_proc_inits.len());
+    for (p, inits) in per_proc_inits.iter().enumerate() {
+        let spill = opts.spill_base + p as i64 * opts.spill_stride;
+        let mut b = StreamBuilder::new();
+        // Initialization, inside the (leading) barrier region per
+        // Fig. 4(a)'s "Barrier: i=1; j=m; k=1".
+        b.fuzzy(Instr::Li {
+            rd: SEQ_REG,
+            imm: nest.seq_lo,
+        });
+        b.fuzzy(Instr::Li {
+            rd: BOUND_REG,
+            imm: nest.seq_hi,
+        });
+        for &(v, value) in inits {
+            let rd = vars
+                .reg(v)
+                .ok_or(CodegenError::UnmappedVar { var: v })?;
+            b.fuzzy(Instr::Li { rd, imm: value });
+        }
+        b.label("L1");
+        emit_regions(
+            &mut b,
+            &[
+                (&after.prefix, true),
+                (&after.non_barrier, false),
+                (&after.suffix, true),
+            ],
+            &vars,
+            spill,
+        )?;
+        emit_tail_ifs(&mut b, &core_nest, tail_ifs, &vars, marked, spill, p)?;
+        // Loop control in the barrier region (Fig. 4: "Barrier: k = k+1;
+        // if k <= 10M go to L1").
+        b.fuzzy(Instr::Addi {
+            rd: SEQ_REG,
+            rs: SEQ_REG,
+            imm: opts.seq_step,
+        });
+        b.fuzzy_branch(Cond::Le, SEQ_REG, BOUND_REG, "L1");
+        b.plain(Instr::Halt);
+        streams.push(b.finish()?);
+    }
+
+    Ok(CompiledLoop {
+        program: Program::new(streams),
+        before,
+        after,
+    })
+}
+
+/// Emits trailing conditional statements entirely inside the barrier
+/// region — the Fig. 7(b)(ii) placement ("the entire if-statement is part
+/// of the barrier").
+fn emit_tail_ifs(
+    b: &mut StreamBuilder,
+    core_nest: &LoopNest,
+    tail_ifs: &[Stmt],
+    vars: &VarMap,
+    marked: &BTreeSet<AccessRef>,
+    spill: i64,
+    proc: usize,
+) -> Result<(), CompileError> {
+    // Statement indices for marked-set lookups continue after the core.
+    let core_assigns = deps::flatten(&core_nest.body).len();
+    let mut stmt_idx = core_assigns;
+    for (if_idx, stmt) in tail_ifs.iter().enumerate() {
+        let Stmt::If {
+            var,
+            equals,
+            then_branch,
+            else_branch,
+        } = stmt
+        else {
+            return Err(CompileError::MisplacedConditional);
+        };
+        let var_reg = vars
+            .reg(*var)
+            .ok_or(CodegenError::UnmappedVar { var: *var })?;
+        let else_label = format!("__else_{proc}_{if_idx}");
+        let end_label = format!("__endif_{proc}_{if_idx}");
+        b.fuzzy(Instr::Li {
+            rd: COND_REG,
+            imm: *equals,
+        });
+        b.fuzzy_branch(Cond::Ne, var_reg, COND_REG, else_label.clone());
+        stmt_idx = emit_branch_body(b, core_nest, then_branch, vars, marked, spill, stmt_idx)?;
+        b.jump(end_label.clone(), true);
+        b.label(else_label);
+        stmt_idx = emit_branch_body(b, core_nest, else_branch, vars, marked, spill, stmt_idx)?;
+        b.label(end_label);
+        // Keep the join point inside the barrier region so the region stays
+        // contiguous through the conditional.
+        b.fuzzy(Instr::Nop);
+    }
+    Ok(())
+}
+
+fn emit_branch_body(
+    b: &mut StreamBuilder,
+    nest: &LoopNest,
+    stmts: &[Stmt],
+    vars: &VarMap,
+    marked: &BTreeSet<AccessRef>,
+    spill: i64,
+    mut stmt_idx: usize,
+) -> Result<usize, CompileError> {
+    for s in stmts {
+        let Stmt::Assign(assign) = s else {
+            return Err(CompileError::MisplacedConditional);
+        };
+        let body = lower_assign_at(nest, assign, stmt_idx, marked, 1);
+        if body.instrs.iter().any(|a| a.marked) {
+            return Err(CompileError::MarkedConditional);
+        }
+        emit_regions(b, &[(&body.instrs, true)], vars, spill)?;
+        stmt_idx += 1;
+    }
+    Ok(stmt_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, Subscript};
+    use fuzzy_sim::machine::{Machine, MachineConfig};
+
+    /// Fig. 9's nest: `for j seq { for i par: a[j][i] = a[j-1][i-1] + i*j }`
+    /// with 4 processors, each owning one value of `i` (1..=4); the array
+    /// is 12 rows × 6 cols so that i±1 and j−1 stay in bounds.
+    fn fig9_nest() -> (LoopNest, Vec<Vec<(VarId, i64)>>) {
+        let j = VarId(0);
+        let i = VarId(1);
+        let a = ArrayId(0);
+        let nest = LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "a".into(),
+                dims: vec![12, 6],
+                base: 0,
+            }],
+            seq_var: j,
+            seq_lo: 1,
+            seq_hi: 9,
+            private_vars: vec![i],
+            body: vec![Stmt::Assign(Assign {
+                target: ArrayAccess::new(a, vec![Subscript::var(j, 0), Subscript::var(i, 0)]),
+                value: Expr::add(
+                    Expr::Access(ArrayAccess::new(
+                        a,
+                        vec![Subscript::var(j, -1), Subscript::var(i, -1)],
+                    )),
+                    Expr::mul(Expr::Var(i), Expr::Var(j)),
+                ),
+            })],
+            var_names: vec!["j".into(), "i".into()],
+        };
+        let inits = (1..=4).map(|l| vec![(i, l)]).collect();
+        (nest, inits)
+    }
+
+    /// Reference execution of the Fig. 9 recurrence on the host.
+    fn fig9_reference() -> Vec<i64> {
+        let mut a = vec![0i64; 12 * 6];
+        for j in 1..=9i64 {
+            let prev = a.clone();
+            for i in 1..=4i64 {
+                a[(j * 6 + i) as usize] = prev[((j - 1) * 6 + (i - 1)) as usize] + i * j;
+            }
+        }
+        a
+    }
+
+    fn run_compiled(compiled: &CompiledLoop) -> Vec<i64> {
+        let mut m = Machine::new(
+            compiled.program.clone(),
+            MachineConfig {
+                memory: fuzzy_sim::memory::MemoryConfig {
+                    size_words: 1 << 16,
+                    ..Default::default()
+                },
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        let out = m.run(10_000_000).unwrap();
+        assert!(out.is_halted(), "outcome {out:?}");
+        (0..12 * 6).map(|w| m.memory().peek(w)).collect()
+    }
+
+    #[test]
+    fn fig9_compiles_and_computes_reference_values_without_reorder() {
+        let (nest, inits) = fig9_nest();
+        let compiled = compile_nest(
+            &nest,
+            &inits,
+            &CompileOptions {
+                reorder: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run_compiled(&compiled), fig9_reference());
+    }
+
+    #[test]
+    fn fig9_compiles_and_computes_reference_values_with_reorder() {
+        let (nest, inits) = fig9_nest();
+        let compiled = compile_nest(&nest, &inits, &CompileOptions::default()).unwrap();
+        assert_eq!(run_compiled(&compiled), fig9_reference());
+        assert!(
+            compiled.after.non_barrier_len() < compiled.before.non_barrier_len(),
+            "reordering must shrink the non-barrier region"
+        );
+    }
+
+    #[test]
+    fn compiled_program_validates() {
+        let (nest, inits) = fig9_nest();
+        let compiled = compile_nest(&nest, &inits, &CompileOptions::default()).unwrap();
+        assert!(compiled.program.validate().is_ok());
+    }
+
+    #[test]
+    fn reordering_reduces_stall_cycles_under_drift() {
+        // With probabilistic cache misses injecting drift, the enlarged
+        // barrier region must absorb more skew: total stall cycles with
+        // reordering <= without.
+        let (nest, inits) = fig9_nest();
+        let run = |reorder: bool| -> u64 {
+            let compiled = compile_nest(
+                &nest,
+                &inits,
+                &CompileOptions {
+                    reorder,
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap();
+            let mut m = fuzzy_sim::builder::MachineBuilder::new(compiled.program)
+                .miss_rate(0.3)
+                .miss_penalty(20)
+                .seed(7)
+                .build()
+                .unwrap();
+            assert!(m.run(10_000_000).unwrap().is_halted());
+            m.stats().total_stall_cycles()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with <= without,
+            "reordered stalls ({with}) should not exceed unreordered ({without})"
+        );
+    }
+
+    #[test]
+    fn too_many_private_vars_rejected() {
+        let (mut nest, _) = fig9_nest();
+        nest.private_vars = (1..=5).map(VarId).collect();
+        let err = compile_nest(&nest, &[vec![]], &CompileOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::TooManyPrivateVars { got: 5 }));
+    }
+
+    #[test]
+    fn trailing_conditional_compiles_into_barrier_region() {
+        // for k seq { a[i] = a[i] + 1; if i == 1 then b[i] = k } with the
+        // conditional unmarked → emitted in barrier region.
+        let k = VarId(0);
+        let i = VarId(1);
+        let a = ArrayId(0);
+        let bb = ArrayId(1);
+        let nest = LoopNest {
+            arrays: vec![
+                ArrayDecl {
+                    name: "a".into(),
+                    dims: vec![8],
+                    base: 0,
+                },
+                ArrayDecl {
+                    name: "b".into(),
+                    dims: vec![8],
+                    base: 8,
+                },
+            ],
+            seq_var: k,
+            seq_lo: 1,
+            seq_hi: 3,
+            private_vars: vec![i],
+            body: vec![
+                Stmt::Assign(Assign {
+                    target: ArrayAccess::new(a, vec![Subscript::var(i, 0)]),
+                    value: Expr::add(
+                        Expr::Access(ArrayAccess::new(a, vec![Subscript::var(i, 0)])),
+                        Expr::Const(1),
+                    ),
+                }),
+                Stmt::If {
+                    var: i,
+                    equals: 1,
+                    then_branch: vec![Stmt::Assign(Assign {
+                        target: ArrayAccess::new(bb, vec![Subscript::var(i, 0)]),
+                        value: Expr::Var(k),
+                    })],
+                    else_branch: vec![],
+                },
+            ],
+            var_names: vec!["k".into(), "i".into()],
+        };
+        let inits: Vec<Vec<(VarId, i64)>> = (1..=2).map(|l| vec![(i, l)]).collect();
+        let compiled = compile_nest(&nest, &inits, &CompileOptions::default()).unwrap();
+        assert!(compiled.program.validate().is_ok());
+        let mut m = Machine::new(compiled.program, MachineConfig::default()).unwrap();
+        assert!(m.run(1_000_000).unwrap().is_halted());
+        assert_eq!(m.memory().peek(1), 3, "a[1] incremented 3 times");
+        assert_eq!(m.memory().peek(2), 3, "a[2] incremented 3 times");
+        assert_eq!(m.memory().peek(8 + 1), 3, "b[1] = k from last iteration");
+        assert_eq!(m.memory().peek(8 + 2), 0, "proc 2 never takes the branch");
+    }
+
+    #[test]
+    fn misplaced_conditional_rejected() {
+        let (nest, _) = fig9_nest();
+        let mut bad = nest.clone();
+        bad.body.insert(
+            0,
+            Stmt::If {
+                var: VarId(1),
+                equals: 0,
+                then_branch: vec![],
+                else_branch: vec![],
+            },
+        );
+        let err = compile_nest(&bad, &[vec![]], &CompileOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::MisplacedConditional));
+    }
+}

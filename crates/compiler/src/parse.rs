@@ -1,0 +1,835 @@
+//! A parser for the paper's source syntax (Fig. 3(a)).
+//!
+//! Accepts programs in the style the paper writes them:
+//!
+//! ```text
+//! /* Boundary conditions are held in rows/columns 0 and M+1 */
+//! int P[4][4];
+//!
+//! for (k=1; k<=20; k++) do seq
+//!   for (i=1; i<=2; i++) do par
+//!     for (j=1; j<=2; j++) do par
+//!       P[i][j] = (P[i][j+1] + P[i][j-1] + P[i+1][j] + P[i-1][j]) / 4;
+//! ```
+//!
+//! and produces a [`LoopNest`] plus the per-processor private-variable
+//! initializations (the cartesian product of the `par` loop ranges — the
+//! paper's "M² processors", Fig. 3(b)).
+//!
+//! Restrictions (by design, matching what the analyses support): exactly
+//! one outermost `seq` loop; `par` loops directly nested inside it; loop
+//! bounds are integer literals; subscripts are affine (`var ± const`);
+//! division only by constants; `if` conditions are `var == const`.
+
+use crate::ast::{ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Result of parsing: the nest plus the processor grid implied by the
+/// `par` loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedProgram {
+    /// The loop nest (sequential loop + body statements, `par` variables
+    /// private).
+    pub nest: LoopNest,
+    /// One entry per processor: initial values of the private variables,
+    /// enumerating the cartesian product of the `par` ranges.
+    pub proc_inits: Vec<Vec<(VarId, i64)>>,
+    /// Initial memory image from top-level constant assignments such as
+    /// `P[0][1] = 100;` (the paper's "boundary conditions are held in
+    /// rows/columns 0 and M+1"): `(word address, value)` pairs.
+    pub data: Vec<(usize, i64)>,
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Punct(char),
+    /// `++`
+    Incr,
+    /// `<=`
+    Le,
+    /// `==`
+    EqEq,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        loop {
+                            match chars.next() {
+                                Some('\n') => {
+                                    line += 1;
+                                    prev = '\n';
+                                }
+                                Some('/') if prev == '*' => break,
+                                Some(c) => prev = c,
+                                None => {
+                                    return Err(ParseError {
+                                        line,
+                                        message: "unterminated comment".into(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    Some('/') => {
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    _ => out.push(Token {
+                        tok: Tok::Punct('/'),
+                        line,
+                    }),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = 0i64;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n * 10 + i64::from(v);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Num(n),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            '+' => {
+                chars.next();
+                if chars.peek() == Some(&'+') {
+                    chars.next();
+                    out.push(Token {
+                        tok: Tok::Incr,
+                        line,
+                    });
+                } else {
+                    out.push(Token {
+                        tok: Tok::Punct('+'),
+                        line,
+                    });
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token { tok: Tok::Le, line });
+                } else {
+                    return Err(ParseError {
+                        line,
+                        message: "only `<=` comparisons are supported".into(),
+                    });
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token {
+                        tok: Tok::EqEq,
+                        line,
+                    });
+                } else {
+                    out.push(Token {
+                        tok: Tok::Punct('='),
+                        line,
+                    });
+                }
+            }
+            c if "()[]{};,*-".contains(c) => {
+                chars.next();
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    arrays: Vec<ArrayDecl>,
+    array_ids: HashMap<String, ArrayId>,
+    vars: Vec<String>,
+    var_ids: HashMap<String, VarId>,
+    /// (var, lo, hi) of each `par` loop, in nesting order.
+    par_ranges: Vec<(VarId, i64, i64)>,
+    seq: Option<(VarId, i64, i64)>,
+    /// Next array base address (arrays are laid out contiguously).
+    next_base: i64,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or_else(|| self.err("unexpected end of input"))?
+            .tok
+            .clone();
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next()? {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let s = self.expect_ident()?;
+        if s == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found `{s}`")))
+        }
+    }
+
+    fn expect_num(&mut self) -> Result<i64, ParseError> {
+        match self.next()? {
+            Tok::Num(n) => Ok(n),
+            Tok::Punct('-') => Ok(-self.expect_num()?),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn var(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.var_ids.get(name) {
+            return v;
+        }
+        let v = VarId(self.vars.len());
+        self.vars.push(name.to_string());
+        self.var_ids.insert(name.to_string(), v);
+        v
+    }
+
+    // int NAME [n][m]... ;
+    fn parse_decl(&mut self) -> Result<(), ParseError> {
+        self.expect_keyword("int")?;
+        let name = self.expect_ident()?;
+        let mut dims = Vec::new();
+        while self.peek() == Some(&Tok::Punct('[')) {
+            self.expect_punct('[')?;
+            let n = self.expect_num()?;
+            if n <= 0 {
+                return Err(self.err("array dimensions must be positive literals"));
+            }
+            dims.push(n as usize);
+            self.expect_punct(']')?;
+        }
+        if dims.is_empty() {
+            return Err(self.err("scalar declarations are not supported"));
+        }
+        self.expect_punct(';')?;
+        let id = ArrayId(self.arrays.len());
+        let decl = ArrayDecl {
+            name: name.clone(),
+            dims,
+            base: self.next_base,
+        };
+        self.next_base += decl.len() as i64;
+        if self.array_ids.insert(name.clone(), id).is_some() {
+            return Err(self.err(format!("array `{name}` declared twice")));
+        }
+        self.arrays.push(decl);
+        Ok(())
+    }
+
+    // for (v=lo; v<=hi; v++) do seq|par  <item>
+    fn parse_loop(&mut self, depth: usize) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_keyword("for")?;
+        self.expect_punct('(')?;
+        let name = self.expect_ident()?;
+        let v = self.var(&name);
+        self.expect_punct('=')?;
+        let lo = self.expect_num()?;
+        self.expect_punct(';')?;
+        let name2 = self.expect_ident()?;
+        if name2 != name {
+            return Err(self.err("loop condition must test the loop variable"));
+        }
+        match self.next()? {
+            Tok::Le => {}
+            other => return Err(self.err(format!("expected `<=`, found {other:?}"))),
+        }
+        let hi = self.expect_num()?;
+        self.expect_punct(';')?;
+        let name3 = self.expect_ident()?;
+        if name3 != name {
+            return Err(self.err("loop increment must update the loop variable"));
+        }
+        match self.next()? {
+            Tok::Incr => {}
+            other => return Err(self.err(format!("expected `++`, found {other:?}"))),
+        }
+        self.expect_punct(')')?;
+        self.expect_keyword("do")?;
+        let kind = self.expect_ident()?;
+        match kind.as_str() {
+            "seq" => {
+                if depth != 0 || self.seq.is_some() {
+                    return Err(self.err("exactly one outermost `seq` loop is supported"));
+                }
+                self.seq = Some((v, lo, hi));
+            }
+            "par" => {
+                if self.seq.is_none() {
+                    return Err(self.err("`par` loops must be inside the `seq` loop"));
+                }
+                self.par_ranges.push((v, lo, hi));
+            }
+            other => return Err(self.err(format!("expected `seq` or `par`, found `{other}`"))),
+        }
+        self.parse_item(depth + 1)
+    }
+
+    /// A loop body item: `{ items }`, a nested loop, or a statement.
+    fn parse_item(&mut self, depth: usize) -> Result<Vec<Stmt>, ParseError> {
+        match self.peek() {
+            Some(Tok::Punct('{')) => {
+                self.expect_punct('{')?;
+                let mut stmts = Vec::new();
+                while self.peek() != Some(&Tok::Punct('}')) {
+                    stmts.extend(self.parse_item(depth)?);
+                }
+                self.expect_punct('}')?;
+                Ok(stmts)
+            }
+            Some(Tok::Ident(s)) if s == "for" => self.parse_loop(depth),
+            Some(Tok::Ident(s)) if s == "if" => {
+                let stmt = self.parse_if(depth)?;
+                Ok(vec![stmt])
+            }
+            _ => Ok(vec![self.parse_assign()?]),
+        }
+    }
+
+    // if (v == n) item [else item]
+    fn parse_if(&mut self, depth: usize) -> Result<Stmt, ParseError> {
+        self.expect_keyword("if")?;
+        self.expect_punct('(')?;
+        let name = self.expect_ident()?;
+        let v = self.var(&name);
+        match self.next()? {
+            Tok::EqEq => {}
+            other => return Err(self.err(format!("expected `==`, found {other:?}"))),
+        }
+        let n = self.expect_num()?;
+        self.expect_punct(')')?;
+        let then_branch = self.parse_item(depth)?;
+        let else_branch = if matches!(self.peek(), Some(Tok::Ident(s)) if s == "else") {
+            self.expect_keyword("else")?;
+            self.parse_item(depth)?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            var: v,
+            equals: n,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    // access = expr ;
+    fn parse_assign(&mut self) -> Result<Stmt, ParseError> {
+        let target = self.parse_access()?;
+        self.expect_punct('=')?;
+        let value = self.parse_expr()?;
+        self.expect_punct(';')?;
+        Ok(Stmt::Assign(Assign { target, value }))
+    }
+
+    fn parse_access(&mut self) -> Result<ArrayAccess, ParseError> {
+        let name = self.expect_ident()?;
+        let &id = self
+            .array_ids
+            .get(&name)
+            .ok_or_else(|| self.err(format!("undeclared array `{name}`")))?;
+        let dims = self.arrays[id.0].dims.len();
+        let mut subs = Vec::new();
+        while self.peek() == Some(&Tok::Punct('[')) {
+            self.expect_punct('[')?;
+            subs.push(self.parse_subscript()?);
+            self.expect_punct(']')?;
+        }
+        if subs.len() != dims {
+            return Err(self.err(format!(
+                "array `{name}` has {dims} dimensions but {} subscripts given",
+                subs.len()
+            )));
+        }
+        Ok(ArrayAccess::new(id, subs))
+    }
+
+    // var | var+c | var-c | c
+    fn parse_subscript(&mut self) -> Result<Subscript, ParseError> {
+        match self.next()? {
+            Tok::Num(c) => Ok(Subscript::constant(c)),
+            Tok::Ident(name) => {
+                let v = self.var(&name);
+                match self.peek() {
+                    Some(Tok::Punct('+')) => {
+                        self.next()?;
+                        let c = self.expect_num()?;
+                        Ok(Subscript::var(v, c))
+                    }
+                    Some(Tok::Punct('-')) => {
+                        self.next()?;
+                        let c = self.expect_num()?;
+                        Ok(Subscript::var(v, -c))
+                    }
+                    _ => Ok(Subscript::var(v, 0)),
+                }
+            }
+            other => Err(self.err(format!("expected subscript, found {other:?}"))),
+        }
+    }
+
+    // expr := term (("+"|"-") term)*
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('+')) => {
+                    self.next()?;
+                    lhs = Expr::add(lhs, self.parse_term()?);
+                }
+                Some(Tok::Punct('-')) => {
+                    self.next()?;
+                    lhs = Expr::sub(lhs, self.parse_term()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    // term := factor (("*"|"/") factor)*   — "/" requires a constant rhs
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('*')) => {
+                    self.next()?;
+                    lhs = Expr::mul(lhs, self.parse_factor()?);
+                }
+                Some(Tok::Punct('/')) => {
+                    self.next()?;
+                    match self.parse_factor()? {
+                        Expr::Const(c) if c != 0 => lhs = Expr::div_const(lhs, c),
+                        Expr::Const(_) => return Err(self.err("division by zero")),
+                        _ => {
+                            return Err(self.err("division is only supported by constants"))
+                        }
+                    }
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    // factor := num | "(" expr ")" | array-access | var
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Num(_)) => Ok(Expr::Const(self.expect_num()?)),
+            Some(Tok::Punct('-')) => {
+                self.next()?;
+                Ok(Expr::sub(Expr::Const(0), self.parse_factor()?))
+            }
+            Some(Tok::Punct('(')) => {
+                self.expect_punct('(')?;
+                let e = self.parse_expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.array_ids.contains_key(name) {
+                    Ok(Expr::Access(self.parse_access()?))
+                } else {
+                    let name = self.expect_ident()?;
+                    let v = self.var(&name);
+                    Ok(Expr::Var(v))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a program in the paper's source syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line information on any syntax or
+/// structure violation (see the module docs for the accepted subset).
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_compiler::parse::parse_program;
+///
+/// let parsed = parse_program(
+///     "int A[8];\n\
+///      for (k=1; k<=4; k++) do seq\n\
+///        for (i=1; i<=3; i++) do par\n\
+///          A[i] = A[i] + k;\n",
+/// )?;
+/// assert_eq!(parsed.proc_inits.len(), 3);
+/// # Ok::<(), fuzzy_compiler::parse::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<ParsedProgram, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        arrays: Vec::new(),
+        array_ids: HashMap::new(),
+        vars: Vec::new(),
+        var_ids: HashMap::new(),
+        par_ranges: Vec::new(),
+        seq: None,
+        next_base: 0,
+    };
+    // Declarations.
+    while matches!(p.peek(), Some(Tok::Ident(s)) if s == "int") {
+        p.parse_decl()?;
+    }
+    // Top-level constant initializers (boundary conditions).
+    let mut data: Vec<(usize, i64)> = Vec::new();
+    loop {
+        let Some(Tok::Ident(name)) = p.peek() else {
+            break;
+        };
+        if !p.array_ids.contains_key(name) {
+            break;
+        }
+        let access = p.parse_access()?;
+        p.expect_punct('=')?;
+        let value = p.expect_num()?;
+        p.expect_punct(';')?;
+        let decl = &p.arrays[access.array.0];
+        let mut addr = decl.base;
+        for (d, sub) in access.subs.iter().enumerate() {
+            if sub.var.is_some() {
+                return Err(p.err("initializer subscripts must be constants"));
+            }
+            if sub.offset < 0 || sub.offset as usize >= decl.dims[d] {
+                return Err(p.err(format!(
+                    "initializer subscript {} out of bounds for `{}`",
+                    sub.offset, decl.name
+                )));
+            }
+            addr += decl.stride(d) * sub.offset;
+        }
+        data.push((addr as usize, value));
+    }
+    // The loop nest.
+    if !matches!(p.peek(), Some(Tok::Ident(s)) if s == "for") {
+        return Err(p.err("expected the outer `for … do seq` loop"));
+    }
+    let body = p.parse_loop(0)?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing input after the loop nest"));
+    }
+    let (seq_var, seq_lo, seq_hi) = p.seq.ok_or_else(|| p.err("missing `seq` loop"))?;
+
+    // Enumerate the processor grid: cartesian product of par ranges.
+    let mut proc_inits: Vec<Vec<(VarId, i64)>> = vec![Vec::new()];
+    for &(v, lo, hi) in &p.par_ranges {
+        let mut next = Vec::new();
+        for base in &proc_inits {
+            for value in lo..=hi {
+                let mut entry = base.clone();
+                entry.push((v, value));
+                next.push(entry);
+            }
+        }
+        proc_inits = next;
+    }
+    if p.par_ranges.is_empty() {
+        // A single processor with no private coordinates.
+        proc_inits = vec![Vec::new()];
+    }
+
+    let nest = LoopNest {
+        arrays: p.arrays,
+        seq_var,
+        seq_lo,
+        seq_hi,
+        private_vars: p.par_ranges.iter().map(|&(v, _, _)| v).collect(),
+        body,
+        var_names: p.vars,
+    };
+    Ok(ParsedProgram {
+        nest,
+        proc_inits,
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{compile_nest, CompileOptions};
+    use fuzzy_sim::builder::MachineBuilder;
+
+    const POISSON: &str = "\
+/* Boundary conditions are held in rows/columns 0 and M+1 */
+int P[4][4];
+
+for (k=1; k<=20; k++) do seq
+  for (i=1; i<=2; i++) do par
+    for (j=1; j<=2; j++) do par
+      P[i][j] = (P[i][j+1] + P[i][j-1] + P[i+1][j] + P[i-1][j]) / 4;
+";
+
+    #[test]
+    fn parses_the_papers_poisson_solver() {
+        let parsed = parse_program(POISSON).unwrap();
+        assert_eq!(parsed.nest.arrays.len(), 1);
+        assert_eq!(parsed.nest.arrays[0].dims, vec![4, 4]);
+        assert_eq!(parsed.nest.seq_lo, 1);
+        assert_eq!(parsed.nest.seq_hi, 20);
+        assert_eq!(parsed.nest.private_vars.len(), 2);
+        assert_eq!(parsed.proc_inits.len(), 4, "M^2 = 4 processors");
+        assert_eq!(parsed.nest.body.len(), 1);
+        // Variable names survive for listings.
+        assert_eq!(parsed.nest.var_name(parsed.nest.seq_var), "k");
+    }
+
+    #[test]
+    fn parsed_poisson_compiles_and_runs() {
+        let parsed = parse_program(POISSON).unwrap();
+        let compiled =
+            compile_nest(&parsed.nest, &parsed.proc_inits, &CompileOptions::default()).unwrap();
+        let mut m = MachineBuilder::new(compiled.program).build().unwrap();
+        for col in 0..4 {
+            m.memory_mut().poke(col, 80);
+        }
+        assert!(m.run(10_000_000).unwrap().is_halted());
+        // Host reference.
+        let mut g = vec![0i64; 16];
+        for col in 0..4 {
+            g[col] = 80;
+        }
+        for _ in 0..20 {
+            let prev = g.clone();
+            for i in 1..=2usize {
+                for j in 1..=2usize {
+                    g[i * 4 + j] = (prev[i * 4 + j + 1]
+                        + prev[i * 4 + j - 1]
+                        + prev[(i + 1) * 4 + j]
+                        + prev[(i - 1) * 4 + j])
+                        / 4;
+                }
+            }
+        }
+        let sim: Vec<i64> = (0..16).map(|w| m.memory().peek(w)).collect();
+        assert_eq!(sim, g);
+    }
+
+    #[test]
+    fn boundary_initializers_become_data() {
+        let src = "\
+int P[4][4];
+P[0][1] = 100;
+P[0][2] = 100;
+for (k=1; k<=2; k++) do seq
+  for (i=1; i<=2; i++) do par
+    P[i][i] = P[i-1][i] / 2;
+";
+        let parsed = parse_program(src).unwrap();
+        assert_eq!(parsed.data, vec![(1, 100), (2, 100)]);
+    }
+
+    #[test]
+    fn initializer_bounds_are_checked() {
+        let src = "int P[2][2];\nP[0][5] = 1;\nfor (k=1; k<=2; k++) do seq P[1][1] = 0;\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("out of bounds"), "{e}");
+    }
+
+    #[test]
+    fn initializer_with_variable_subscript_rejected() {
+        let src = "int P[4];\nP[i] = 1;\nfor (k=1; k<=2; k++) do seq P[1] = 0;\n";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn parses_if_statements() {
+        let src = "\
+int A[8];
+int B[8];
+for (k=1; k<=3; k++) do seq
+  for (i=1; i<=2; i++) do par {
+    A[i] = A[i] + 1;
+    if (i == 1) { B[i] = k; } else { B[i] = 0 - k; }
+  }
+";
+        let parsed = parse_program(src).unwrap();
+        assert_eq!(parsed.nest.body.len(), 2);
+        assert!(matches!(parsed.nest.body[1], Stmt::If { equals: 1, .. }));
+        assert_eq!(parsed.nest.arrays[1].base, 8, "arrays laid out contiguously");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// line comment\nint A[4];\n/* block\n comment */\nfor (k=0; k<=1; k++) do seq A[k] = 1;\n";
+        assert!(parse_program(src).is_ok());
+    }
+
+    #[test]
+    fn rejects_two_seq_loops() {
+        let src = "int A[4];\nfor (k=0; k<=1; k++) do seq for (m=0; m<=1; m++) do seq A[k] = 1;\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("seq"), "{e}");
+    }
+
+    #[test]
+    fn rejects_par_outside_seq() {
+        let src = "int A[4];\nfor (k=0; k<=1; k++) do par A[k] = 1;\n";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared_array() {
+        let src = "for (k=0; k<=1; k++) do seq Q[k] = 1;\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("expected the outer") || e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_division_by_variable() {
+        let src = "int A[4];\nfor (k=1; k<=2; k++) do seq A[k] = A[k] / k;\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("division"), "{e}");
+    }
+
+    #[test]
+    fn rejects_wrong_dimensionality() {
+        let src = "int A[4][4];\nfor (k=1; k<=2; k++) do seq A[k] = 1;\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("dimensions"), "{e}");
+    }
+
+    #[test]
+    fn error_carries_line_numbers() {
+        let src = "int A[4];\n\nfor (k=1; k<=2; k++) do zigzag A[k] = 1;\n";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn negative_constants_and_precedence() {
+        let src = "int A[16];\nfor (k=2; k<=9; k++) do seq A[k] = A[k-2] * 2 + 3 - 1;\n";
+        let parsed = parse_program(src).unwrap();
+        let Stmt::Assign(a) = &parsed.nest.body[0] else {
+            panic!()
+        };
+        // ((A[k-2] * 2) + 3) - 1
+        assert!(matches!(a.value, Expr::Sub(_, _)));
+    }
+}

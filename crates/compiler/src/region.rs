@@ -1,0 +1,161 @@
+//! Barrier / non-barrier region construction (Sec. 4).
+//!
+//! "All instructions starting with the first marked instruction and ending
+//! at the last marked instruction are included in the non-barrier region.
+//! The remaining instructions form the barrier region."
+
+use crate::tac::{AnnotatedInstr, TacBody};
+
+/// A loop body split into the barrier region *preceding* the non-barrier
+/// region, the non-barrier region itself, and the barrier region
+/// *following* it. For a barrier at the end of a loop, `prefix` and
+/// `suffix` are the two halves of one barrier region that "extends across
+/// consecutive iterations" (Sec. 3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionSplit {
+    /// Barrier-region instructions placed before the non-barrier region
+    /// (executed at the *start* of an iteration, overlapping the previous
+    /// iteration's synchronization).
+    pub prefix: Vec<AnnotatedInstr>,
+    /// The non-barrier region: everything between the first and last
+    /// marked instruction inclusive.
+    pub non_barrier: Vec<AnnotatedInstr>,
+    /// Barrier-region instructions placed after the non-barrier region.
+    pub suffix: Vec<AnnotatedInstr>,
+}
+
+impl RegionSplit {
+    /// Splits `body` by the positions of its marked instructions, without
+    /// any reordering — the Fig. 4(a) construction.
+    ///
+    /// A body with no marked instructions becomes pure barrier region
+    /// (everything in `prefix`).
+    #[must_use]
+    pub fn by_marks(body: &TacBody) -> Self {
+        let marked = body.marked_indices();
+        match (marked.first(), marked.last()) {
+            (Some(&first), Some(&last)) => RegionSplit {
+                prefix: body.instrs[..first].to_vec(),
+                non_barrier: body.instrs[first..=last].to_vec(),
+                suffix: body.instrs[last + 1..].to_vec(),
+            },
+            _ => RegionSplit {
+                prefix: body.instrs.clone(),
+                non_barrier: Vec::new(),
+                suffix: Vec::new(),
+            },
+        }
+    }
+
+    /// Instructions in the barrier region (prefix + suffix).
+    #[must_use]
+    pub fn barrier_len(&self) -> usize {
+        self.prefix.len() + self.suffix.len()
+    }
+
+    /// Instructions in the non-barrier region.
+    #[must_use]
+    pub fn non_barrier_len(&self) -> usize {
+        self.non_barrier.len()
+    }
+
+    /// Total instructions.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.barrier_len() + self.non_barrier_len()
+    }
+
+    /// Fraction of the body inside the barrier region, in `[0, 1]` — the
+    /// paper's figure of merit ("the larger the barrier regions, the less
+    /// likely it is that the processors will stall").
+    #[must_use]
+    pub fn barrier_fraction(&self) -> f64 {
+        if self.total_len() == 0 {
+            0.0
+        } else {
+            self.barrier_len() as f64 / self.total_len() as f64
+        }
+    }
+
+    /// All instructions in execution order (prefix, non-barrier, suffix).
+    #[must_use]
+    pub fn in_order(&self) -> Vec<AnnotatedInstr> {
+        let mut v = Vec::with_capacity(self.total_len());
+        v.extend(self.prefix.iter().cloned());
+        v.extend(self.non_barrier.iter().cloned());
+        v.extend(self.suffix.iter().cloned());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tac::{TacInstr, Temp};
+
+    fn body(marks: &[bool]) -> TacBody {
+        TacBody {
+            instrs: marks
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| AnnotatedInstr {
+                    instr: TacInstr::Const {
+                        dst: Temp(i + 1),
+                        value: i as i64,
+                    },
+                    marked: m,
+                    comment: None,
+                })
+                .collect(),
+            next_temp: marks.len() + 1,
+        }
+    }
+
+    #[test]
+    fn split_spans_first_to_last_mark() {
+        let split = RegionSplit::by_marks(&body(&[false, false, true, false, true, false]));
+        assert_eq!(split.prefix.len(), 2);
+        assert_eq!(split.non_barrier.len(), 3);
+        assert_eq!(split.suffix.len(), 1);
+        assert_eq!(split.total_len(), 6);
+        assert!((split.barrier_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmarked_body_is_all_barrier() {
+        let split = RegionSplit::by_marks(&body(&[false, false]));
+        assert_eq!(split.non_barrier_len(), 0);
+        assert_eq!(split.barrier_len(), 2);
+        assert_eq!(split.barrier_fraction(), 1.0);
+    }
+
+    #[test]
+    fn fully_marked_body_is_all_non_barrier() {
+        let split = RegionSplit::by_marks(&body(&[true, true, true]));
+        assert_eq!(split.barrier_len(), 0);
+        assert_eq!(split.non_barrier_len(), 3);
+    }
+
+    #[test]
+    fn in_order_round_trips() {
+        let b = body(&[false, true, false]);
+        let split = RegionSplit::by_marks(&b);
+        let flat = split.in_order();
+        assert_eq!(flat, b.instrs);
+    }
+
+    #[test]
+    fn empty_body() {
+        let split = RegionSplit::by_marks(&TacBody::default());
+        assert_eq!(split.total_len(), 0);
+        assert_eq!(split.barrier_fraction(), 0.0);
+    }
+
+    #[test]
+    fn store_only_marked_at_ends() {
+        let split = RegionSplit::by_marks(&body(&[true, false, false]));
+        assert_eq!(split.prefix.len(), 0);
+        assert_eq!(split.non_barrier.len(), 1);
+        assert_eq!(split.suffix.len(), 2);
+    }
+}

@@ -1,0 +1,351 @@
+//! Three-address intermediate code, in the style of the paper's Fig. 4.
+//!
+//! The paper's intermediate code fuses memory references into arithmetic
+//! (`T11 = [T5] + [T10]`), which is what makes its marked-instruction
+//! counts come out the way they do. [`Src::Mem`] reproduces that: a source
+//! operand may be a memory reference through an address temp.
+
+use crate::ast::VarId;
+use std::fmt;
+
+/// A compiler temporary (`T1`, `T2`, … in the paper's listings). Each temp
+/// is assigned exactly once within a lowered body (SSA-style), which keeps
+/// the dependence DAG simple and faithful to the paper's examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Temp(pub usize);
+
+impl fmt::Display for Temp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (by a constant in practice).
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        })
+    }
+}
+
+/// A source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// A temp.
+    Temp(Temp),
+    /// A constant.
+    Const(i64),
+    /// A scalar variable (loop variable or processor coordinate; read-only
+    /// within a lowered body).
+    Var(VarId),
+    /// A memory reference `[t]` through address temp `t`.
+    Mem(Temp),
+}
+
+impl Src {
+    /// The temp this operand reads, if any (address temps count).
+    #[must_use]
+    pub fn read_temp(&self) -> Option<Temp> {
+        match self {
+            Src::Temp(t) | Src::Mem(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Whether this operand reads memory.
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Src::Mem(_))
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Temp(t) => write!(f, "{t}"),
+            Src::Const(c) => write!(f, "{c}"),
+            Src::Var(v) => write!(f, "v{}", v.0),
+            Src::Mem(t) => write!(f, "[{t}]"),
+        }
+    }
+}
+
+/// One three-address instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TacInstr {
+    /// `dst ← value`
+    Const {
+        /// Destination temp.
+        dst: Temp,
+        /// The constant.
+        value: i64,
+    },
+    /// `dst ← lhs op rhs`
+    Bin {
+        /// Destination temp.
+        dst: Temp,
+        /// The operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Src,
+        /// Right operand.
+        rhs: Src,
+    },
+    /// `dst ← src`
+    Copy {
+        /// Destination temp.
+        dst: Temp,
+        /// Source operand.
+        src: Src,
+    },
+    /// `[addr] ← src`
+    Store {
+        /// Address temp.
+        addr: Temp,
+        /// Stored operand.
+        src: Src,
+    },
+}
+
+impl TacInstr {
+    /// The temp this instruction defines, if any.
+    #[must_use]
+    pub fn def(&self) -> Option<Temp> {
+        match self {
+            TacInstr::Const { dst, .. }
+            | TacInstr::Bin { dst, .. }
+            | TacInstr::Copy { dst, .. } => Some(*dst),
+            TacInstr::Store { .. } => None,
+        }
+    }
+
+    /// The temps this instruction reads (including address temps).
+    #[must_use]
+    pub fn uses(&self) -> Vec<Temp> {
+        let mut out = Vec::new();
+        match self {
+            TacInstr::Const { .. } => {}
+            TacInstr::Bin { lhs, rhs, .. } => {
+                out.extend(lhs.read_temp());
+                out.extend(rhs.read_temp());
+            }
+            TacInstr::Copy { src, .. } => out.extend(src.read_temp()),
+            TacInstr::Store { addr, src } => {
+                out.push(*addr);
+                out.extend(src.read_temp());
+            }
+        }
+        out
+    }
+
+    /// Whether the instruction reads memory.
+    #[must_use]
+    pub fn reads_mem(&self) -> bool {
+        match self {
+            TacInstr::Const { .. } => false,
+            TacInstr::Bin { lhs, rhs, .. } => lhs.is_mem() || rhs.is_mem(),
+            TacInstr::Copy { src, .. } => src.is_mem(),
+            TacInstr::Store { src, .. } => src.is_mem(),
+        }
+    }
+
+    /// Whether the instruction writes memory.
+    #[must_use]
+    pub fn writes_mem(&self) -> bool {
+        matches!(self, TacInstr::Store { .. })
+    }
+
+    /// Whether the instruction touches memory at all.
+    #[must_use]
+    pub fn touches_mem(&self) -> bool {
+        self.reads_mem() || self.writes_mem()
+    }
+}
+
+impl fmt::Display for TacInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TacInstr::Const { dst, value } => write!(f, "{dst} = {value}"),
+            TacInstr::Bin { dst, op, lhs, rhs } => write!(f, "{dst} = {lhs} {op} {rhs}"),
+            TacInstr::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            TacInstr::Store { addr, src } => write!(f, "[{addr}] = {src}"),
+        }
+    }
+}
+
+/// An instruction plus its compiler annotations: the *marked* flag (the
+/// instruction "either accesses a value computed by another processor or
+/// computes a value that will be accessed by another processor", Sec. 4)
+/// and an optional listing comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotatedInstr {
+    /// The instruction.
+    pub instr: TacInstr,
+    /// Whether the instruction is marked (must stay in the non-barrier
+    /// region).
+    pub marked: bool,
+    /// Listing comment (e.g. `T5 <- address of P[i][j+1]`).
+    pub comment: Option<String>,
+}
+
+impl AnnotatedInstr {
+    /// An unmarked instruction without comment.
+    #[must_use]
+    pub fn plain(instr: TacInstr) -> Self {
+        AnnotatedInstr {
+            instr,
+            marked: false,
+            comment: None,
+        }
+    }
+
+    /// A marked instruction.
+    #[must_use]
+    pub fn marked(instr: TacInstr) -> Self {
+        AnnotatedInstr {
+            instr,
+            marked: true,
+            comment: None,
+        }
+    }
+
+    /// Attaches a comment.
+    #[must_use]
+    pub fn with_comment(mut self, comment: impl Into<String>) -> Self {
+        self.comment = Some(comment.into());
+        self
+    }
+}
+
+impl fmt::Display for AnnotatedInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = if self.marked { "*" } else { " " };
+        write!(f, "{mark} {}", self.instr)?;
+        if let Some(c) = &self.comment {
+            write!(f, "  /* {c} */")?;
+        }
+        Ok(())
+    }
+}
+
+/// A straight-line lowered loop body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TacBody {
+    /// The instructions, in program order.
+    pub instrs: Vec<AnnotatedInstr>,
+    /// Number of temps allocated (temp indices are `1..=next_temp-1`,
+    /// matching the paper's 1-based `T1…`).
+    pub next_temp: usize,
+}
+
+impl TacBody {
+    /// Indices of the marked instructions.
+    #[must_use]
+    pub fn marked_indices(&self) -> Vec<usize> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.marked.then_some(i))
+            .collect()
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the body is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_and_uses() {
+        let t = |n| Temp(n);
+        let i = TacInstr::Bin {
+            dst: t(3),
+            op: BinOp::Add,
+            lhs: Src::Mem(t(1)),
+            rhs: Src::Temp(t(2)),
+        };
+        assert_eq!(i.def(), Some(t(3)));
+        assert_eq!(i.uses(), vec![t(1), t(2)]);
+        assert!(i.reads_mem());
+        assert!(!i.writes_mem());
+
+        let s = TacInstr::Store {
+            addr: t(4),
+            src: Src::Const(0),
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![t(4)]);
+        assert!(s.writes_mem());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let i = TacInstr::Bin {
+            dst: Temp(11),
+            op: BinOp::Add,
+            lhs: Src::Mem(Temp(5)),
+            rhs: Src::Mem(Temp(10)),
+        };
+        assert_eq!(i.to_string(), "T11 = [T5] + [T10]");
+        let c = TacInstr::Const {
+            dst: Temp(1),
+            value: 7,
+        };
+        assert_eq!(c.to_string(), "T1 = 7");
+    }
+
+    #[test]
+    fn annotated_display_shows_mark_and_comment() {
+        let a = AnnotatedInstr::marked(TacInstr::Store {
+            addr: Temp(28),
+            src: Src::Temp(Temp(24)),
+        })
+        .with_comment("P[i][j] = T24");
+        assert_eq!(a.to_string(), "* [T28] = T24  /* P[i][j] = T24 */");
+    }
+
+    #[test]
+    fn marked_indices_filter() {
+        let body = TacBody {
+            instrs: vec![
+                AnnotatedInstr::plain(TacInstr::Const {
+                    dst: Temp(1),
+                    value: 0,
+                }),
+                AnnotatedInstr::marked(TacInstr::Copy {
+                    dst: Temp(2),
+                    src: Src::Mem(Temp(1)),
+                }),
+            ],
+            next_temp: 3,
+        };
+        assert_eq!(body.marked_indices(), vec![1]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Cycle shrinking (Polychronopoulos, the paper's \[5\]).
+//!
+//! The paper's introduction notes that "application of transformations
+//! such as cycle shrinking depend heavily upon use of barriers.
+//! Availability of an efficient barrier mechanism makes their application
+//! practical." When the minimum dependence distance carried by a
+//! sequential loop is *d > 1*, groups of *d* consecutive iterations are
+//! mutually independent: the loop can run *d* iterations in parallel with
+//! a barrier between groups, turning a serial loop into a barrier-per-
+//! group parallel loop.
+
+use crate::ast::{LoopNest, VarId};
+use crate::deps::{AccessRef, DepInfo, DepKind};
+use std::collections::BTreeSet;
+
+/// A cycle-shrinking opportunity: `group_size` consecutive iterations of
+/// the sequential loop may run in parallel, separated by barriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shrunk {
+    /// Number of iterations per parallel group (the minimum carried
+    /// dependence distance).
+    pub group_size: i64,
+}
+
+/// Analyses the nest's carried dependences and returns the shrinking
+/// opportunity, if any.
+///
+/// Returns `None` when
+/// * some carried dependence is unconstrained in the sequential variable
+///   (distance recorded as 0 — it binds *every* pair of iterations), or
+/// * the minimum distance is 1 (no two consecutive iterations are
+///   independent), or
+/// * there are no carried dependences at all (the loop is fully parallel
+///   and needs no barriers — shrinking is moot).
+#[must_use]
+pub fn shrink(info: &DepInfo) -> Option<Shrunk> {
+    let mut min_distance: Option<i64> = None;
+    for dep in info.carried() {
+        let DepKind::Carried { distance } = dep.kind else {
+            continue;
+        };
+        let d = distance.abs();
+        if d == 0 {
+            return None; // unconstrained: every iteration pair depends
+        }
+        min_distance = Some(min_distance.map_or(d, |m: i64| m.min(d)));
+    }
+    match min_distance {
+        Some(d) if d > 1 => Some(Shrunk { group_size: d }),
+        _ => None,
+    }
+}
+
+impl Shrunk {
+    /// Marked accesses for the group barrier: the endpoints of **all**
+    /// carried dependences. (Under shrinking, iterations of a group run
+    /// on different processors, so even same-variable carried dependences
+    /// become cross-processor.)
+    #[must_use]
+    pub fn marked(&self, info: &DepInfo) -> BTreeSet<AccessRef> {
+        info.marked_accesses(info.carried())
+    }
+
+    /// Per-processor initial values for the sequential variable:
+    /// processor *p* executes iterations `lo + p, lo + p + group_size, …`.
+    /// Feed into [`crate::driver::compile_nest_with_marks`] together with
+    /// [`Self::options`].
+    #[must_use]
+    pub fn per_proc_inits(&self, nest: &LoopNest) -> Vec<Vec<(VarId, i64)>> {
+        (0..self.group_size)
+            .map(|p| vec![(nest.seq_var, nest.seq_lo + p)])
+            .collect()
+    }
+
+    /// Compile options with the sequential step set to the group size.
+    #[must_use]
+    pub fn options(&self, base: crate::driver::CompileOptions) -> crate::driver::CompileOptions {
+        crate::driver::CompileOptions {
+            seq_step: self.group_size,
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, Stmt, Subscript};
+    use crate::deps;
+    use crate::driver::{compile_nest_with_marks, CompileOptions};
+    use fuzzy_sim::machine::{Machine, MachineConfig};
+
+    /// `for k seq: a[k] = a[k-2] + 1` — distance-2 recurrence.
+    fn distance2_nest() -> LoopNest {
+        let k = VarId(0);
+        let a = ArrayId(0);
+        LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "a".into(),
+                dims: vec![64],
+                base: 0,
+            }],
+            seq_var: k,
+            seq_lo: 2,
+            seq_hi: 41,
+            private_vars: vec![],
+            body: vec![Stmt::Assign(Assign {
+                target: ArrayAccess::new(a, vec![Subscript::var(k, 0)]),
+                value: Expr::add(
+                    Expr::Access(ArrayAccess::new(a, vec![Subscript::var(k, -2)])),
+                    Expr::Const(1),
+                ),
+            })],
+            var_names: vec!["k".into()],
+        }
+    }
+
+    #[test]
+    fn detects_distance_two() {
+        let nest = distance2_nest();
+        let info = deps::analyze(&nest);
+        assert_eq!(shrink(&info), Some(Shrunk { group_size: 2 }));
+    }
+
+    #[test]
+    fn distance_one_cannot_shrink() {
+        let mut nest = distance2_nest();
+        let Stmt::Assign(a) = &mut nest.body[0] else {
+            unreachable!()
+        };
+        let Expr::Add(read, _) = &mut a.value else {
+            unreachable!()
+        };
+        let Expr::Access(acc) = read.as_mut() else {
+            unreachable!()
+        };
+        acc.subs[0].offset = -1;
+        let info = deps::analyze(&nest);
+        assert_eq!(shrink(&info), None);
+    }
+
+    #[test]
+    fn unconstrained_dependence_cannot_shrink() {
+        // Poisson-style: seq var absent from subscripts.
+        let k = VarId(0);
+        let i = VarId(1);
+        let a = ArrayId(0);
+        let nest = LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "a".into(),
+                dims: vec![8],
+                base: 0,
+            }],
+            seq_var: k,
+            seq_lo: 1,
+            seq_hi: 4,
+            private_vars: vec![i],
+            body: vec![Stmt::Assign(Assign {
+                target: ArrayAccess::new(a, vec![Subscript::var(i, 0)]),
+                value: Expr::Access(ArrayAccess::new(a, vec![Subscript::var(i, 1)])),
+            })],
+            var_names: vec!["k".into(), "i".into()],
+        };
+        let info = deps::analyze(&nest);
+        assert_eq!(shrink(&info), None);
+    }
+
+    #[test]
+    fn shrunk_compilation_matches_serial_reference() {
+        let nest = distance2_nest();
+        let info = deps::analyze(&nest);
+        let shrunk = shrink(&info).expect("distance 2");
+        let marked = shrunk.marked(&info);
+        assert!(!marked.is_empty(), "carried endpoints must be marked");
+        let compiled = compile_nest_with_marks(
+            &nest,
+            &shrunk.per_proc_inits(&nest),
+            &marked,
+            &shrunk.options(CompileOptions::default()),
+        )
+        .expect("compiles");
+        assert_eq!(compiled.program.num_procs(), 2);
+
+        let mut m = Machine::new(compiled.program, MachineConfig::default()).unwrap();
+        m.memory_mut().poke(0, 100);
+        m.memory_mut().poke(1, 200);
+        let out = m.run(10_000_000).unwrap();
+        assert!(out.is_halted(), "{out:?}");
+
+        // Serial reference.
+        let mut a = vec![0i64; 64];
+        a[0] = 100;
+        a[1] = 200;
+        for k in 2..=41usize {
+            a[k] = a[k - 2] + 1;
+        }
+        let simulated: Vec<i64> = (0..64).map(|w| m.memory().peek(w)).collect();
+        assert_eq!(simulated, a);
+    }
+}

@@ -1,0 +1,252 @@
+//! Loop distribution (Fig. 5).
+//!
+//! "Loop distribution is a transformation that takes a loop with several
+//! statements and divides it into multiple loops, each of which contains
+//! only a subset of statements from the loop body." Statements that carry
+//! the cross-iteration dependences stay in the first loop(s); independent
+//! statements split into their own loop, which can then be placed entirely
+//! inside the barrier region — growing it from a single statement instance
+//! (Fig. 5(b)) to a whole loop (Fig. 5(c)).
+
+use crate::ast::LoopNest;
+use crate::deps::{self, DepKind};
+
+/// The result of distributing a loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distribution {
+    /// Statement groups, each becoming one loop, in original statement
+    /// order. `groups[g]` holds flattened-assignment indices.
+    pub groups: Vec<Vec<usize>>,
+    /// For each group, whether any of its statements participates in a
+    /// cross-processor dependence (and therefore must stay in the
+    /// non-barrier region). Groups with `false` can be placed entirely
+    /// inside the barrier region.
+    pub pinned: Vec<bool>,
+}
+
+impl Distribution {
+    /// Indices of groups that may move wholly into the barrier region.
+    #[must_use]
+    pub fn movable_groups(&self) -> Vec<usize> {
+        (0..self.groups.len()).filter(|&g| !self.pinned[g]).collect()
+    }
+}
+
+/// Partitions the flattened assignments of `nest` into distributable
+/// groups.
+///
+/// Two statements must stay in the same loop when a *within-iteration*
+/// dependence (lexically forward or backward) connects them — splitting
+/// them would reorder the dependent instances. Dependences carried by the
+/// outer sequential loop do **not** force fusion: the barrier between
+/// iterations enforces them regardless of how the body is split (this is
+/// precisely why Fig. 5 can split S₂ away from S₁).
+///
+/// Groups are emitted in order of their smallest statement index, and
+/// statement order is preserved inside each group, so the transformation
+/// is always legal for the dependences it models.
+#[must_use]
+pub fn distribute(nest: &LoopNest) -> Distribution {
+    let n = deps::flatten(&nest.body).len();
+    let info = deps::analyze(nest);
+
+    // Union-find over statements connected by within-iteration deps.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let union = |a: usize, b: usize, parent: &mut Vec<usize>| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+    for d in &info.deps {
+        if matches!(d.kind, DepKind::LexForward | DepKind::LexBackward)
+            && d.from.stmt != d.to.stmt
+        {
+            union(d.from.stmt, d.to.stmt, &mut parent);
+        }
+    }
+
+    // Collect groups ordered by first member.
+    let mut group_of_root: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for s in 0..n {
+        let root = find(&mut parent, s);
+        let g = *group_of_root.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(s);
+    }
+
+    // A group is pinned if any member appears in a cross-processor
+    // dependence endpoint — those accesses are the marked ones.
+    let pinned: Vec<bool> = groups
+        .iter()
+        .map(|members| {
+            members.iter().any(|&s| {
+                info.deps.iter().any(|d| {
+                    d.cross_processor && (d.from.stmt == s || d.to.stmt == s)
+                })
+            })
+        })
+        .collect();
+
+    Distribution { groups, pinned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, Stmt, Subscript, VarId};
+
+    /// Fig. 5(a): for i seq, j par:
+    ///   S1: a[j][i] = a[j+1][i-1] + 2
+    ///   S2: b[j][i] = b[j][i] + c[j][i]
+    fn fig5() -> LoopNest {
+        let i = VarId(0);
+        let j = VarId(1);
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let c = ArrayId(2);
+        let decl = |name: &str, base: i64| ArrayDecl {
+            name: name.into(),
+            dims: vec![10, 10],
+            base,
+        };
+        LoopNest {
+            arrays: vec![decl("a", 0), decl("b", 100), decl("c", 200)],
+            seq_var: i,
+            seq_lo: 1,
+            seq_hi: 8,
+            private_vars: vec![j],
+            body: vec![
+                Stmt::Assign(Assign {
+                    target: ArrayAccess::new(
+                        a,
+                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
+                    ),
+                    value: Expr::add(
+                        Expr::Access(ArrayAccess::new(
+                            a,
+                            vec![Subscript::var(j, 1), Subscript::var(i, -1)],
+                        )),
+                        Expr::Const(2),
+                    ),
+                }),
+                Stmt::Assign(Assign {
+                    target: ArrayAccess::new(
+                        b,
+                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
+                    ),
+                    value: Expr::add(
+                        Expr::Access(ArrayAccess::new(
+                            b,
+                            vec![Subscript::var(j, 0), Subscript::var(i, 0)],
+                        )),
+                        Expr::Access(ArrayAccess::new(
+                            c,
+                            vec![Subscript::var(j, 0), Subscript::var(i, 0)],
+                        )),
+                    ),
+                }),
+            ],
+            var_names: vec!["i".into(), "j".into()],
+        }
+    }
+
+    #[test]
+    fn fig5_splits_into_two_loops() {
+        let dist = distribute(&fig5());
+        assert_eq!(dist.groups, vec![vec![0], vec![1]]);
+        // S1 carries the cross-processor dependence (a[j][i] vs
+        // a[j+1][i-1]); S2 is private per processor.
+        assert_eq!(dist.pinned, vec![true, false]);
+        assert_eq!(dist.movable_groups(), vec![1]);
+    }
+
+    #[test]
+    fn within_iteration_dep_fuses_statements() {
+        // S1 writes a[j][i]; S2 reads a[j][i] in the same iteration on the
+        // same processor — they must stay together.
+        let i = VarId(0);
+        let j = VarId(1);
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let decl = |name: &str, base: i64| ArrayDecl {
+            name: name.into(),
+            dims: vec![10, 10],
+            base,
+        };
+        let nest = LoopNest {
+            arrays: vec![decl("a", 0), decl("b", 100)],
+            seq_var: i,
+            seq_lo: 1,
+            seq_hi: 8,
+            private_vars: vec![j],
+            body: vec![
+                Stmt::Assign(Assign {
+                    target: ArrayAccess::new(
+                        a,
+                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
+                    ),
+                    value: Expr::Const(1),
+                }),
+                Stmt::Assign(Assign {
+                    target: ArrayAccess::new(
+                        b,
+                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
+                    ),
+                    value: Expr::Access(ArrayAccess::new(
+                        a,
+                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
+                    )),
+                }),
+            ],
+            var_names: vec!["i".into(), "j".into()],
+        };
+        let dist = distribute(&nest);
+        assert_eq!(dist.groups, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn independent_statements_all_split() {
+        // Three statements on three disjoint arrays: three groups, none
+        // pinned.
+        let i = VarId(0);
+        let decls: Vec<ArrayDecl> = (0..3)
+            .map(|n| ArrayDecl {
+                name: format!("a{n}"),
+                dims: vec![16],
+                base: n * 16,
+            })
+            .collect();
+        let body = (0..3)
+            .map(|n| {
+                Stmt::Assign(Assign {
+                    target: ArrayAccess::new(ArrayId(n), vec![Subscript::var(i, 0)]),
+                    value: Expr::Const(n as i64),
+                })
+            })
+            .collect();
+        let nest = LoopNest {
+            arrays: decls,
+            seq_var: VarId(9),
+            seq_lo: 0,
+            seq_hi: 3,
+            private_vars: vec![i],
+            body,
+            var_names: vec!["i".into()],
+        };
+        let dist = distribute(&nest);
+        assert_eq!(dist.groups.len(), 3);
+        assert_eq!(dist.pinned, vec![false, false, false]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Statement-level program transformations that enlarge barrier regions.
+//!
+//! "In addition to reordering at the intermediate code level, statement
+//! level transformations may be useful in increasing the size of the
+//! barrier region" (Sec. 4). Three are reproduced:
+//!
+//! * [`distribution`] — loop distribution (Fig. 5), which turns a single
+//!   statement-instance barrier region into an entire loop;
+//! * [`cycle_shrink`] — cycle shrinking (the paper’s \[5\]): a loop whose
+//!   minimum carried distance is *d* runs *d* iterations in parallel per
+//!   barrier-separated group;
+//! * [`unroll`] — outer-loop unrolling until the iteration count divides
+//!   the processor count (Fig. 11);
+//! * [`multiversion`] — the four loop-body versions selected at run time
+//!   under self-scheduling (Fig. 12).
+
+pub mod cycle_shrink;
+pub mod distribution;
+pub mod multiversion;
+pub mod unroll;

@@ -1,0 +1,140 @@
+//! Multiple-version loops for run-time scheduling (Fig. 12).
+//!
+//! Under self-scheduling the compiler cannot know at compile time which
+//! iteration of the inner loop a processor will execute first or last, so
+//! it compiles **four versions** of the loop body and the run-time system
+//! picks one per iteration:
+//!
+//! > "the first iteration of the inner loop that a processor executes
+//! > should start with a barrier, the last iteration should be followed by
+//! > a barrier and the intervening iterations should have no barriers at
+//! > all. If the processor is allocated only a single iteration, the loop
+//! > body should be compiled such that it is both preceded and followed by
+//! > a barrier region."
+//!
+//! "Compiling multiple versions of code and selecting the appropriate one
+//! at run-time is a common practice in parallelizing compilers."
+
+/// The four compiled versions of a self-scheduled loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopVersion {
+    /// Version 1: first (but not last) iteration — starts with a barrier
+    /// region.
+    BarrierBefore,
+    /// Version 2: last (but not first) iteration — followed by a barrier
+    /// region.
+    BarrierAfter,
+    /// Version 3: an intervening iteration — no barrier regions.
+    NoBarrier,
+    /// Version 4: the only iteration — barrier regions on both sides.
+    BarrierBoth,
+}
+
+impl LoopVersion {
+    /// Selects the version for an iteration, per Fig. 12's dispatch.
+    #[must_use]
+    pub fn select(is_first: bool, is_last: bool) -> Self {
+        match (is_first, is_last) {
+            (true, false) => LoopVersion::BarrierBefore,
+            (false, true) => LoopVersion::BarrierAfter,
+            (false, false) => LoopVersion::NoBarrier,
+            (true, true) => LoopVersion::BarrierBoth,
+        }
+    }
+
+    /// Whether this version opens with a barrier region.
+    #[must_use]
+    pub fn barrier_before(&self) -> bool {
+        matches!(self, LoopVersion::BarrierBefore | LoopVersion::BarrierBoth)
+    }
+
+    /// Whether this version closes with a barrier region.
+    #[must_use]
+    pub fn barrier_after(&self) -> bool {
+        matches!(self, LoopVersion::BarrierAfter | LoopVersion::BarrierBoth)
+    }
+
+    /// All four versions (compile-them-all order).
+    #[must_use]
+    pub fn all() -> [LoopVersion; 4] {
+        [
+            LoopVersion::BarrierBefore,
+            LoopVersion::BarrierAfter,
+            LoopVersion::NoBarrier,
+            LoopVersion::BarrierBoth,
+        ]
+    }
+}
+
+/// Assigns a version to every iteration index of a processor's allocated
+/// chunk of `total` iterations (0-based positions within the chunk).
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_compiler::transform::multiversion::{chunk_versions, LoopVersion};
+///
+/// assert_eq!(chunk_versions(1), vec![LoopVersion::BarrierBoth]);
+/// assert_eq!(
+///     chunk_versions(3),
+///     vec![
+///         LoopVersion::BarrierBefore,
+///         LoopVersion::NoBarrier,
+///         LoopVersion::BarrierAfter,
+///     ]
+/// );
+/// ```
+#[must_use]
+pub fn chunk_versions(total: usize) -> Vec<LoopVersion> {
+    (0..total)
+        .map(|pos| LoopVersion::select(pos == 0, pos + 1 == total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_matches_fig12() {
+        assert_eq!(
+            LoopVersion::select(true, false),
+            LoopVersion::BarrierBefore
+        );
+        assert_eq!(LoopVersion::select(false, true), LoopVersion::BarrierAfter);
+        assert_eq!(LoopVersion::select(false, false), LoopVersion::NoBarrier);
+        assert_eq!(LoopVersion::select(true, true), LoopVersion::BarrierBoth);
+    }
+
+    #[test]
+    fn barrier_sides() {
+        assert!(LoopVersion::BarrierBefore.barrier_before());
+        assert!(!LoopVersion::BarrierBefore.barrier_after());
+        assert!(LoopVersion::BarrierBoth.barrier_before());
+        assert!(LoopVersion::BarrierBoth.barrier_after());
+        assert!(!LoopVersion::NoBarrier.barrier_before());
+        assert!(!LoopVersion::NoBarrier.barrier_after());
+    }
+
+    #[test]
+    fn chunk_of_two() {
+        assert_eq!(
+            chunk_versions(2),
+            vec![LoopVersion::BarrierBefore, LoopVersion::BarrierAfter]
+        );
+    }
+
+    #[test]
+    fn empty_chunk_has_no_versions() {
+        assert!(chunk_versions(0).is_empty());
+    }
+
+    #[test]
+    fn every_chunk_has_exactly_one_open_and_one_close() {
+        for n in 1..10 {
+            let vs = chunk_versions(n);
+            assert_eq!(vs.iter().filter(|v| v.barrier_before()).count(), 1);
+            assert_eq!(vs.iter().filter(|v| v.barrier_after()).count(), 1);
+        }
+    }
+}

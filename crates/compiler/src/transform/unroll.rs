@@ -1,0 +1,216 @@
+//! Outer-loop unrolling (Fig. 11).
+//!
+//! When the iterations of an inner parallel loop do not divide evenly among
+//! the processors, the paper proposes (a) rotating the extra iteration
+//! among processors, and (b) unrolling the outer loop "until the total
+//! number of loop iterations available becomes divisible by the number of
+//! processors", after which code reordering can create barrier regions
+//! large enough to eliminate idling.
+
+use crate::ast::{ArrayAccess, Assign, Expr, LoopNest, Stmt, Subscript};
+
+/// The factor by which the outer loop must be unrolled so that
+/// `iters_per_outer × factor` is divisible by `procs`. In Fig. 11 the
+/// inner loop has 4 iterations on 3 processors; replicating the body 3×
+/// ("unrolling the outer loop twice" in the paper's counting) yields 12
+/// iterations, divisible by 3. Computed as
+/// `procs / gcd(iters_per_outer, procs)`.
+///
+/// # Panics
+///
+/// Panics if either argument is zero.
+#[must_use]
+pub fn divisibility_factor(iters_per_outer: usize, procs: usize) -> usize {
+    assert!(iters_per_outer > 0 && procs > 0);
+    procs / gcd(iters_per_outer, procs)
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Unrolls the sequential loop of `nest` by `factor`: the body is
+/// replicated `factor` times with the sequential variable's subscript
+/// offsets shifted by `0, 1, …, factor−1`, and the loop steps by `factor`.
+///
+/// The caller is responsible for ensuring the trip count divides `factor`
+/// (use [`divisibility_factor`] / pad bounds first); this function asserts
+/// it.
+///
+/// # Panics
+///
+/// Panics if `factor == 0` or the trip count is not divisible by `factor`.
+#[must_use]
+pub fn unroll_seq(nest: &LoopNest, factor: usize) -> UnrolledNest {
+    assert!(factor > 0, "unroll factor must be positive");
+    let trip = (nest.seq_hi - nest.seq_lo + 1) as usize;
+    assert!(
+        trip % factor == 0,
+        "trip count {trip} not divisible by unroll factor {factor}"
+    );
+    let mut body = Vec::with_capacity(nest.body.len() * factor);
+    for copy in 0..factor as i64 {
+        for stmt in &nest.body {
+            body.push(shift_stmt(stmt, nest, copy));
+        }
+    }
+    UnrolledNest {
+        nest: LoopNest {
+            body,
+            ..nest.clone()
+        },
+        factor,
+        step: factor as i64,
+    }
+}
+
+/// An unrolled nest plus the metadata the code generator needs (the
+/// sequential variable now steps by `step`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnrolledNest {
+    /// The transformed nest (body replicated with shifted subscripts).
+    pub nest: LoopNest,
+    /// The unroll factor.
+    pub factor: usize,
+    /// New step of the sequential variable.
+    pub step: i64,
+}
+
+fn shift_stmt(stmt: &Stmt, nest: &LoopNest, shift: i64) -> Stmt {
+    match stmt {
+        Stmt::Assign(a) => Stmt::Assign(Assign {
+            target: shift_access(&a.target, nest, shift),
+            value: shift_expr(&a.value, nest, shift),
+        }),
+        Stmt::If {
+            var,
+            equals,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            var: *var,
+            equals: *equals,
+            then_branch: then_branch
+                .iter()
+                .map(|s| shift_stmt(s, nest, shift))
+                .collect(),
+            else_branch: else_branch
+                .iter()
+                .map(|s| shift_stmt(s, nest, shift))
+                .collect(),
+        },
+    }
+}
+
+fn shift_access(access: &ArrayAccess, nest: &LoopNest, shift: i64) -> ArrayAccess {
+    ArrayAccess {
+        array: access.array,
+        subs: access
+            .subs
+            .iter()
+            .map(|s| {
+                if s.var == Some(nest.seq_var) {
+                    Subscript {
+                        var: s.var,
+                        offset: s.offset + shift,
+                    }
+                } else {
+                    *s
+                }
+            })
+            .collect(),
+    }
+}
+
+fn shift_expr(expr: &Expr, nest: &LoopNest, shift: i64) -> Expr {
+    match expr {
+        Expr::Access(a) => Expr::Access(shift_access(a, nest, shift)),
+        Expr::Var(v) if *v == nest.seq_var && shift != 0 => {
+            // `seq_var` in a value position becomes `seq_var + shift`.
+            Expr::add(Expr::Var(*v), Expr::Const(shift))
+        }
+        Expr::Var(v) => Expr::Var(*v),
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::Add(a, b) => Expr::add(shift_expr(a, nest, shift), shift_expr(b, nest, shift)),
+        Expr::Sub(a, b) => Expr::sub(shift_expr(a, nest, shift), shift_expr(b, nest, shift)),
+        Expr::Mul(a, b) => Expr::mul(shift_expr(a, nest, shift), shift_expr(b, nest, shift)),
+        Expr::DivConst(a, c) => Expr::div_const(shift_expr(a, nest, shift), *c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArrayDecl, ArrayId, VarId};
+
+    #[test]
+    fn divisibility_factors() {
+        // Fig. 11: 4 inner iterations on 3 processors → the outer loop
+        // must be unrolled 3×: 12 iterations = 3 × 4.
+        assert_eq!(divisibility_factor(4, 3), 3);
+        assert_eq!(divisibility_factor(6, 3), 1);
+        assert_eq!(divisibility_factor(6, 4), 2);
+        assert_eq!(divisibility_factor(5, 5), 1);
+        assert_eq!(divisibility_factor(1, 8), 8);
+    }
+
+    fn simple_nest() -> LoopNest {
+        let k = VarId(0);
+        let i = VarId(1);
+        let a = ArrayId(0);
+        LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "a".into(),
+                dims: vec![32, 8],
+                base: 0,
+            }],
+            seq_var: k,
+            seq_lo: 1,
+            seq_hi: 6,
+            private_vars: vec![i],
+            body: vec![Stmt::Assign(Assign {
+                target: ArrayAccess::new(a, vec![Subscript::var(k, 0), Subscript::var(i, 0)]),
+                value: Expr::add(
+                    Expr::Access(ArrayAccess::new(
+                        a,
+                        vec![Subscript::var(k, -1), Subscript::var(i, 0)],
+                    )),
+                    Expr::Var(k),
+                ),
+            })],
+            var_names: vec!["k".into(), "i".into()],
+        }
+    }
+
+    #[test]
+    fn unroll_replicates_and_shifts() {
+        let u = unroll_seq(&simple_nest(), 2);
+        assert_eq!(u.nest.body.len(), 2);
+        assert_eq!(u.step, 2);
+        // Second copy writes a[k+1][i] and reads a[k][i], uses k+1 as value.
+        let Stmt::Assign(second) = &u.nest.body[1] else {
+            panic!("expected assignment");
+        };
+        assert_eq!(second.target.subs[0].offset, 1);
+        let reads = second.value.reads();
+        assert_eq!(reads[0].subs[0].offset, 0);
+        assert!(matches!(&second.value, Expr::Add(_, _)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn unroll_requires_divisible_trip() {
+        let _ = unroll_seq(&simple_nest(), 4); // trip 6, factor 4
+    }
+
+    #[test]
+    fn unroll_by_one_is_identity_body() {
+        let nest = simple_nest();
+        let u = unroll_seq(&nest, 1);
+        assert_eq!(u.nest.body, nest.body);
+    }
+}

@@ -1,0 +1,122 @@
+//! Classic single-point barrier baseline.
+
+use crate::centralized::CentralBarrier;
+use crate::spin::StallPolicy;
+use crate::stats::StatsSnapshot;
+use crate::token::WaitOutcome;
+use crate::SplitBarrier;
+
+/// A conventional barrier with a single synchronization **point** — the
+/// baseline the fuzzy barrier is measured against.
+///
+/// Semantically this is a fuzzy barrier whose region is empty: every
+/// participant arrives and immediately waits, so any skew between
+/// participants turns directly into stall time. The paper's Fig. 7(b)(i)
+/// and the Sec. 8 measurement both use exactly this as the point of
+/// comparison.
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::PointBarrier;
+///
+/// let b = PointBarrier::new(1);
+/// let outcome = b.wait(0);
+/// assert_eq!(outcome.episode, 0);
+/// ```
+#[derive(Debug)]
+pub struct PointBarrier {
+    inner: CentralBarrier,
+}
+
+impl PointBarrier {
+    /// Creates a point barrier for `n` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        PointBarrier {
+            inner: CentralBarrier::new(n),
+        }
+    }
+
+    /// Creates a point barrier with an explicit stall policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_policy(n: usize, policy: StallPolicy) -> Self {
+        PointBarrier {
+            inner: CentralBarrier::with_policy(n, policy),
+        }
+    }
+
+    /// Blocks participant `id` until all participants have called `wait`
+    /// for the current episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn wait(&self, id: usize) -> WaitOutcome {
+        self.inner.point(id)
+    }
+
+    /// Number of participants.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.inner.participants()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn all_threads_released_together() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 4;
+        let b = Arc::new(PointBarrier::new(n));
+        let before = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for id in 0..n {
+                let b = Arc::clone(&b);
+                let before = Arc::clone(&before);
+                s.spawn(move || {
+                    before.fetch_add(1, Ordering::SeqCst);
+                    b.wait(id);
+                    // After the barrier everyone must observe all n
+                    // pre-barrier increments.
+                    assert_eq!(before.load(Ordering::SeqCst), n);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn skew_turns_into_stall() {
+        let b = Arc::new(PointBarrier::new(2));
+        std::thread::scope(|s| {
+            let early = Arc::clone(&b);
+            s.spawn(move || {
+                let o = early.wait(0);
+                assert!(o.stalled, "the early participant must stall at a point barrier");
+            });
+            let late = Arc::clone(&b);
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                late.wait(1);
+            });
+        });
+    }
+}

@@ -1,0 +1,162 @@
+//! Flat counting split-phase barrier (the maximal hot-spot baseline).
+
+use crate::spin::{self, StallPolicy};
+use crate::stats::{BarrierStats, StatsSnapshot};
+use crate::token::{ArrivalToken, WaitOutcome};
+use crate::SplitBarrier;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A split-phase barrier built on a single monotone arrival counter.
+///
+/// Episode *e* is complete once `arrivals >= (e + 1) * n`. Both arrivers
+/// and waiters touch the **same** word, making this the most hot-spot-prone
+/// design possible — deliberately so: the paper's Sec. 1 argument is that
+/// shared-variable barriers "are known to cause hot-spot accesses", and the
+/// experiment suite uses this backend as the worst-case software baseline.
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::{CountingBarrier, SplitBarrier};
+///
+/// let b = CountingBarrier::new(1);
+/// let t = b.arrive(0);
+/// assert!(b.wait(t).episode == 0);
+/// ```
+#[derive(Debug)]
+pub struct CountingBarrier {
+    n: usize,
+    policy: StallPolicy,
+    arrivals: CachePadded<AtomicU64>,
+    local_episode: Vec<CachePadded<AtomicU64>>,
+    stats: BarrierStats,
+}
+
+impl CountingBarrier {
+    /// Creates a barrier for `n` participants with the default stall policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_policy(n, StallPolicy::default())
+    }
+
+    /// Creates a barrier with an explicit [`StallPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_policy(n: usize, policy: StallPolicy) -> Self {
+        assert!(n > 0, "a barrier needs at least one participant");
+        CountingBarrier {
+            n,
+            policy,
+            arrivals: CachePadded::new(AtomicU64::new(0)),
+            local_episode: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            stats: BarrierStats::new(),
+        }
+    }
+
+    fn threshold(&self, episode: u64) -> u64 {
+        (episode + 1) * self.n as u64
+    }
+}
+
+impl SplitBarrier for CountingBarrier {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        assert!(
+            id < self.n,
+            "participant id {id} out of range for {} participants",
+            self.n
+        );
+        let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
+        self.stats.record_arrival();
+        let before = self.arrivals.fetch_add(1, Ordering::AcqRel);
+        if (before + 1) % self.n as u64 == 0 {
+            self.stats.record_episode();
+        }
+        ArrivalToken::new(id, episode)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.arrivals.load(Ordering::Acquire) >= self.threshold(token.episode)
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        let threshold = self.threshold(token.episode);
+        let report = spin::wait_until(self.policy, || {
+            self.arrivals.load(Ordering::Acquire) >= threshold
+        });
+        let outcome = WaitOutcome::from_report(token.episode, report);
+        self.stats.record_wait(&outcome);
+        outcome
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn threshold_math() {
+        let b = CountingBarrier::new(3);
+        assert_eq!(b.threshold(0), 3);
+        assert_eq!(b.threshold(1), 6);
+    }
+
+    #[test]
+    fn single_thread_round_trips() {
+        let b = CountingBarrier::new(1);
+        for e in 0..8 {
+            let t = b.arrive(0);
+            assert_eq!(t.episode(), e);
+            assert!(b.is_complete(&t));
+            assert_eq!(b.wait(t).episode, e);
+        }
+        assert_eq!(b.stats().episodes, 8);
+    }
+
+    #[test]
+    fn waiting_on_stale_token_returns_instantly() {
+        let b = CountingBarrier::new(1);
+        let t0 = b.arrive(0);
+        b.wait(t0);
+        let t1 = b.arrive(0);
+        // Episode 1 completes the moment the single participant arrives, so
+        // this wait is instant even though another episode already passed.
+        assert!(!b.wait(t1).stalled);
+    }
+
+    #[test]
+    fn eight_threads_sync_repeatedly() {
+        let n = 8;
+        let b = Arc::new(CountingBarrier::new(n));
+        std::thread::scope(|s| {
+            for id in 0..n {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    for e in 0..300u64 {
+                        let t = b.arrive(id);
+                        assert_eq!(b.wait(t).episode, e);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.stats().episodes, 300);
+    }
+}

@@ -1,0 +1,260 @@
+//! Dissemination split-phase barrier — O(log n) rounds, no hot spot.
+
+use crate::spin::{self, StallPolicy};
+use crate::stats::{BarrierStats, StatsSnapshot};
+use crate::token::{ArrivalToken, WaitOutcome};
+use crate::SplitBarrier;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A dissemination barrier with a split-phase interface.
+///
+/// In round *r* participant *i* signals participant *(i + 2^r) mod n* and
+/// waits for the signal from *(i − 2^r) mod n*; after ⌈log₂ n⌉ rounds every
+/// participant transitively knows that everyone arrived. No word is written
+/// by more than one participant, so there is no hot spot — this is the
+/// "best possible software implementation" with logarithmic cost that the
+/// paper cites (\[4\] in Sec. 1).
+///
+/// The split is cooperative: [`SplitBarrier::arrive`] performs the round-0
+/// signal and returns; later rounds progress inside
+/// [`SplitBarrier::is_complete`] / [`SplitBarrier::wait`] probes. Signals
+/// carry monotone episode numbers, so late observers of an overwritten slot
+/// still see a value at least as large as the one they wait for.
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::{DisseminationBarrier, SplitBarrier};
+///
+/// let b = DisseminationBarrier::new(1);
+/// let t = b.arrive(0);
+/// assert!(!b.wait(t).stalled);
+/// ```
+#[derive(Debug)]
+pub struct DisseminationBarrier {
+    n: usize,
+    rounds: u32,
+    policy: StallPolicy,
+    /// `flags[r][i]`: highest episode for which the round-`r` signal aimed
+    /// at participant `i` has been sent. Single writer per slot.
+    flags: Vec<Vec<CachePadded<AtomicU64>>>,
+    /// Per-participant progress through the current episode's rounds.
+    progress: Vec<CachePadded<Progress>>,
+    /// Highest episode any participant has fully completed (for stats).
+    completed: CachePadded<AtomicU64>,
+    stats: BarrierStats,
+}
+
+#[derive(Debug, Default)]
+struct Progress {
+    episode: AtomicU64,
+    round: AtomicU32,
+}
+
+impl DisseminationBarrier {
+    /// Creates a barrier for `n` participants with the default stall policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_policy(n, StallPolicy::default())
+    }
+
+    /// Creates a barrier with an explicit [`StallPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_policy(n: usize, policy: StallPolicy) -> Self {
+        assert!(n > 0, "a barrier needs at least one participant");
+        let rounds = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n); 0 for n == 1
+        let flags = (0..rounds)
+            .map(|_| {
+                (0..n)
+                    .map(|_| CachePadded::new(AtomicU64::new(0)))
+                    .collect()
+            })
+            .collect();
+        DisseminationBarrier {
+            n,
+            rounds,
+            policy,
+            flags,
+            progress: (0..n).map(|_| CachePadded::new(Progress::default())).collect(),
+            completed: CachePadded::new(AtomicU64::new(0)),
+            stats: BarrierStats::new(),
+        }
+    }
+
+    /// Number of signalling rounds per episode (⌈log₂ n⌉).
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn partner(&self, id: usize, round: u32) -> usize {
+        (id + (1usize << round)) % self.n
+    }
+
+    fn signal(&self, from: usize, round: u32, episode_plus_one: u64) {
+        let target = self.partner(from, round);
+        self.flags[round as usize][target].store(episode_plus_one, Ordering::Release);
+    }
+
+    /// Advances participant `id` through as many rounds of `episode` as the
+    /// received signals allow, without blocking. Returns true once all
+    /// rounds are complete.
+    fn try_progress(&self, id: usize, episode: u64) -> bool {
+        let goal = episode + 1;
+        loop {
+            let round = self.progress[id].round.load(Ordering::Relaxed);
+            if round >= self.rounds {
+                return true;
+            }
+            if self.flags[round as usize][id].load(Ordering::Acquire) >= goal {
+                let next = round + 1;
+                if next < self.rounds {
+                    self.signal(id, next, goal);
+                }
+                self.progress[id].round.store(next, Ordering::Relaxed);
+                if next == self.rounds {
+                    // This participant has completed the episode; record it
+                    // once globally.
+                    if self.completed.fetch_max(goal, Ordering::AcqRel) < goal {
+                        self.stats.record_episode();
+                    }
+                    return true;
+                }
+            } else {
+                return false;
+            }
+        }
+    }
+}
+
+impl SplitBarrier for DisseminationBarrier {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        assert!(
+            id < self.n,
+            "participant id {id} out of range for {} participants",
+            self.n
+        );
+        let episode = self.progress[id].episode.fetch_add(1, Ordering::Relaxed);
+        self.progress[id].round.store(0, Ordering::Relaxed);
+        self.stats.record_arrival();
+        if self.rounds == 0 {
+            // Single participant: the episode is complete on arrival.
+            if self.completed.fetch_max(episode + 1, Ordering::AcqRel) < episode + 1 {
+                self.stats.record_episode();
+            }
+        } else {
+            self.signal(id, 0, episode + 1);
+        }
+        ArrivalToken::new(id, episode)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.try_progress(token.id, token.episode)
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        let report =
+            spin::wait_until(self.policy, || self.try_progress(token.id, token.episode));
+        let outcome = WaitOutcome::from_report(token.episode, report);
+        self.stats.record_wait(&outcome);
+        outcome
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(DisseminationBarrier::new(1).rounds(), 0);
+        assert_eq!(DisseminationBarrier::new(2).rounds(), 1);
+        assert_eq!(DisseminationBarrier::new(3).rounds(), 2);
+        assert_eq!(DisseminationBarrier::new(4).rounds(), 2);
+        assert_eq!(DisseminationBarrier::new(5).rounds(), 3);
+        assert_eq!(DisseminationBarrier::new(8).rounds(), 3);
+        assert_eq!(DisseminationBarrier::new(9).rounds(), 4);
+    }
+
+    #[test]
+    fn partners_wrap_around() {
+        let b = DisseminationBarrier::new(5);
+        assert_eq!(b.partner(3, 0), 4);
+        assert_eq!(b.partner(4, 0), 0);
+        assert_eq!(b.partner(3, 1), 0);
+        assert_eq!(b.partner(2, 2), 1);
+    }
+
+    #[test]
+    fn single_participant_instant() {
+        let b = DisseminationBarrier::new(1);
+        for e in 0..5 {
+            let t = b.arrive(0);
+            assert!(b.is_complete(&t));
+            assert_eq!(b.wait(t).episode, e);
+        }
+        assert_eq!(b.stats().episodes, 5);
+    }
+
+    #[test]
+    fn non_power_of_two_participants() {
+        for n in [2usize, 3, 5, 6, 7] {
+            let b = Arc::new(DisseminationBarrier::new(n));
+            std::thread::scope(|s| {
+                for id in 0..n {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || {
+                        for e in 0..200u64 {
+                            let t = b.arrive(id);
+                            assert_eq!(b.wait(t).episode, e, "n={n} id={id}");
+                        }
+                    });
+                }
+            });
+            assert_eq!(b.stats().episodes, 200, "n={n}");
+        }
+    }
+
+    #[test]
+    fn separates_phases_with_real_data() {
+        use std::sync::atomic::AtomicU64;
+        let n = 4;
+        let cells: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let b = Arc::new(DisseminationBarrier::new(n));
+        std::thread::scope(|s| {
+            for id in 0..n {
+                let b = Arc::clone(&b);
+                let cells = Arc::clone(&cells);
+                s.spawn(move || {
+                    for phase in 1..=300u64 {
+                        cells[id].store(phase, Ordering::Release);
+                        let t = b.arrive(id);
+                        b.wait(t);
+                        let v = cells[(id + n - 1) % n].load(Ordering::Acquire);
+                        assert!(v >= phase, "stale read {v} in phase {phase}");
+                        let t = b.arrive(id);
+                        b.wait(t);
+                    }
+                });
+            }
+        });
+    }
+}

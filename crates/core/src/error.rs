@@ -1,0 +1,124 @@
+//! Error types for barrier operations.
+
+use crate::tag::Tag;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by fallible barrier operations.
+///
+/// Most of the split-phase protocol is infallible by construction (the type
+/// system ties an [`crate::ArrivalToken`] to the episode it belongs to);
+/// errors arise only at the edges the paper calls out — tag mismatches
+/// between processors that try to synchronize at logically different
+/// barriers (Sec. 5), invalid participants, and exhaustion of the *N − 1*
+/// barrier budget of a registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BarrierError {
+    /// A participant tried to synchronize at a barrier whose tag does not
+    /// match the tag it holds. In the paper's hardware "two processors can
+    /// only synchronize at a barrier if their tags match"; the software
+    /// library surfaces the mismatch instead of silently mis-synchronizing.
+    TagMismatch {
+        /// The tag the participant presented.
+        presented: Tag,
+        /// The tag of the barrier it addressed.
+        expected: Tag,
+    },
+    /// The participant id is not a member of the barrier's mask.
+    NotAParticipant {
+        /// The offending participant id.
+        id: usize,
+    },
+    /// A participant id exceeds the capacity of the underlying mask or
+    /// barrier (participant ids must be `< n`).
+    InvalidParticipant {
+        /// The offending participant id.
+        id: usize,
+        /// The number of participants the barrier was built for.
+        capacity: usize,
+    },
+    /// The registry has already allocated its maximum of *N − 1* barriers
+    /// (Sec. 5: "in a N processor system which allows creation of at most N
+    /// streams, a maximum of N−1 barriers is needed").
+    RegistryFull {
+        /// The registry capacity that was exhausted.
+        capacity: usize,
+    },
+    /// A barrier with this tag has already been allocated.
+    DuplicateTag {
+        /// The tag that was requested twice.
+        tag: Tag,
+    },
+    /// No barrier with this tag exists in the registry.
+    UnknownTag {
+        /// The tag that was looked up.
+        tag: Tag,
+    },
+    /// A barrier group was asked for zero participants.
+    EmptyGroup,
+}
+
+impl fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarrierError::TagMismatch {
+                presented,
+                expected,
+            } => write!(
+                f,
+                "tag mismatch: presented {presented}, barrier expects {expected}"
+            ),
+            BarrierError::NotAParticipant { id } => {
+                write!(f, "participant {id} is not in the barrier mask")
+            }
+            BarrierError::InvalidParticipant { id, capacity } => {
+                write!(f, "participant id {id} out of range for {capacity} participants")
+            }
+            BarrierError::RegistryFull { capacity } => {
+                write!(f, "registry full: at most {capacity} barriers may be allocated")
+            }
+            BarrierError::DuplicateTag { tag } => {
+                write!(f, "a barrier with tag {tag} already exists")
+            }
+            BarrierError::UnknownTag { tag } => {
+                write!(f, "no barrier with tag {tag} exists")
+            }
+            BarrierError::EmptyGroup => write!(f, "barrier group must have at least one member"),
+        }
+    }
+}
+
+impl Error for BarrierError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = BarrierError::NotAParticipant { id: 3 };
+        let s = e.to_string();
+        assert!(s.starts_with("participant"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> =
+            Box::new(BarrierError::RegistryFull { capacity: 7 });
+        assert!(e.to_string().contains("registry full"));
+    }
+
+    #[test]
+    fn tag_mismatch_mentions_both_tags() {
+        let a = Tag::new(3).unwrap();
+        let b = Tag::new(5).unwrap();
+        let e = BarrierError::TagMismatch {
+            presented: a,
+            expected: b,
+        };
+        let s = e.to_string();
+        assert!(s.contains("tag(3)") && s.contains("tag(5)"), "{s}");
+    }
+}

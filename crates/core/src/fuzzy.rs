@@ -1,0 +1,221 @@
+//! The split-phase barrier trait and the [`FuzzyBarrier`] front door.
+
+use crate::centralized::CentralBarrier;
+use crate::spin::StallPolicy;
+use crate::stats::StatsSnapshot;
+use crate::token::{ArrivalToken, WaitOutcome};
+
+/// A barrier whose synchronization is split into an *arrive* phase and a
+/// *wait* phase.
+///
+/// This is the library form of the paper's fuzzy barrier: between `arrive`
+/// and `wait` the participant executes its **barrier region** — work that
+/// neither produces values other participants read after the barrier nor
+/// consumes values they produce before it. The same split later appeared in
+/// `MPI_Ibarrier` and C++20's `std::barrier` `arrive`/`wait` pair.
+///
+/// # Protocol
+///
+/// Each participant `id` in `0..n` must, per episode, call `arrive(id)`
+/// exactly once and then `wait` on the returned token exactly once, in that
+/// order. Tokens are episode-bound, so protocol violations are confined:
+/// waiting on an old token returns immediately, and a participant cannot
+/// arrive twice for the same episode without having waited (its own episode
+/// counter advances only on arrival).
+///
+/// # Panics
+///
+/// Implementations panic if `id >= n`; participant ids are dense indices
+/// chosen at construction time, so an out-of-range id is a program bug, not
+/// a recoverable condition.
+pub trait SplitBarrier: Send + Sync {
+    /// Announces that participant `id` is ready to synchronize and returns
+    /// the token for this episode. Never blocks.
+    fn arrive(&self, id: usize) -> ArrivalToken;
+
+    /// Returns true if the episode named by `token` has completed, without
+    /// blocking. The fuzzy analogue of peeking at the hardware "synchronized"
+    /// state bit.
+    fn is_complete(&self, token: &ArrivalToken) -> bool;
+
+    /// Blocks (per the backend's [`StallPolicy`]) until the episode named by
+    /// `token` completes.
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome;
+
+    /// Number of participants.
+    fn participants(&self) -> usize;
+
+    /// Snapshot of this barrier's accumulated statistics.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Arrive and immediately wait: the classic single-point barrier the
+    /// paper compares against (a fuzzy barrier with an empty region).
+    fn point(&self, id: usize) -> WaitOutcome {
+        let token = self.arrive(id);
+        self.wait(token)
+    }
+
+    /// Runs `region` between arrive and wait — the canonical fuzzy-barrier
+    /// shape. Returns the region's result together with the wait outcome.
+    fn fuzzy<R>(&self, id: usize, region: impl FnOnce() -> R) -> (R, WaitOutcome)
+    where
+        Self: Sized,
+    {
+        let token = self.arrive(id);
+        let value = region();
+        let outcome = self.wait(token);
+        (value, outcome)
+    }
+}
+
+/// The default fuzzy barrier: a [`SplitBarrier`] backend (centralized
+/// sense-reversing by default) behind a thin, well-documented front door.
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::{FuzzyBarrier, SplitBarrier};
+/// use std::sync::Arc;
+///
+/// let barrier = Arc::new(FuzzyBarrier::new(2));
+/// std::thread::scope(|s| {
+///     for id in 0..2 {
+///         let b = Arc::clone(&barrier);
+///         s.spawn(move || {
+///             let token = b.arrive(id);
+///             // barrier region: overlap work with synchronization
+///             let outcome = b.wait(token);
+///             assert_eq!(outcome.episode, 0);
+///         });
+///     }
+/// });
+/// ```
+#[derive(Debug)]
+pub struct FuzzyBarrier<B: SplitBarrier = CentralBarrier> {
+    inner: B,
+}
+
+impl FuzzyBarrier<CentralBarrier> {
+    /// Creates a fuzzy barrier for `n` participants with the default
+    /// (centralized sense-reversing) backend and default stall policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        FuzzyBarrier {
+            inner: CentralBarrier::new(n),
+        }
+    }
+
+    /// Creates a fuzzy barrier with an explicit stall policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_policy(n: usize, policy: StallPolicy) -> Self {
+        FuzzyBarrier {
+            inner: CentralBarrier::with_policy(n, policy),
+        }
+    }
+}
+
+impl<B: SplitBarrier> FuzzyBarrier<B> {
+    /// Wraps an arbitrary backend.
+    #[must_use]
+    pub fn from_backend(backend: B) -> Self {
+        FuzzyBarrier { inner: backend }
+    }
+
+    /// Borrows the underlying backend.
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwraps the underlying backend.
+    #[must_use]
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: SplitBarrier> SplitBarrier for FuzzyBarrier<B> {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        self.inner.arrive(id)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.inner.is_complete(token)
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        self.inner.wait(token)
+    }
+
+    fn participants(&self) -> usize {
+        self.inner.participants()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_stalls() {
+        let b = FuzzyBarrier::new(1);
+        for episode in 0..10 {
+            let t = b.arrive(0);
+            assert_eq!(t.episode(), episode);
+            assert!(b.is_complete(&t));
+            let o = b.wait(t);
+            assert!(!o.stalled);
+            assert_eq!(o.episode, episode);
+        }
+        assert_eq!(b.stats().episodes, 10);
+    }
+
+    #[test]
+    fn fuzzy_helper_runs_region_between_phases() {
+        let b = FuzzyBarrier::new(1);
+        let (value, outcome) = b.fuzzy(0, || 41 + 1);
+        assert_eq!(value, 42);
+        assert_eq!(outcome.episode, 0);
+    }
+
+    #[test]
+    fn point_is_arrive_plus_wait() {
+        let b = FuzzyBarrier::new(1);
+        let o = b.point(0);
+        assert_eq!(o.episode, 0);
+        assert_eq!(b.stats().episodes, 1);
+    }
+
+    #[test]
+    fn two_threads_many_episodes() {
+        let b = Arc::new(FuzzyBarrier::new(2));
+        std::thread::scope(|s| {
+            for id in 0..2 {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    for e in 0..1000u64 {
+                        let t = b.arrive(id);
+                        assert_eq!(t.episode(), e);
+                        let o = b.wait(t);
+                        assert_eq!(o.episode, e);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.stats().episodes, 1000);
+        assert_eq!(b.stats().arrivals, 2000);
+    }
+}

@@ -1,0 +1,290 @@
+//! Subset barriers: synchronize an arbitrary masked subset of participants
+//! under a tag (the paper's "multiple barriers", Sec. 5).
+
+use crate::centralized::CentralBarrier;
+use crate::error::BarrierError;
+use crate::mask::ProcMask;
+use crate::spin::StallPolicy;
+use crate::stats::StatsSnapshot;
+use crate::tag::Tag;
+use crate::token::{ArrivalToken, WaitOutcome};
+
+
+/// A split-phase barrier over a subset of global participants, identified
+/// by a [`Tag`].
+///
+/// Participants address the barrier with their **global** ids; the barrier
+/// maps them to dense internal indices via the mask's rank. Arrival checks
+/// the presented tag against the barrier's tag — the software analogue of
+/// the hardware's combinational tag-match logic: "two processors can only
+/// synchronize at a barrier if their tags match".
+///
+/// Disjoint subsets of processors owning different `SubsetBarrier`s
+/// synchronize completely independently, reproducing Fig. 6's stream-merge
+/// topology.
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::{SubsetBarrier, ProcMask, Tag};
+///
+/// let tag = Tag::new(1).expect("non-zero");
+/// let mask: ProcMask = [2, 5].into_iter().collect();
+/// let b = SubsetBarrier::new(tag, mask)?;
+/// // Only participants 2 and 5 may arrive, and only with the right tag.
+/// assert!(b.arrive(3, tag).is_err());
+/// # Ok::<(), fuzzy_barrier::BarrierError>(())
+/// ```
+#[derive(Debug)]
+pub struct SubsetBarrier<B: crate::SplitBarrier = CentralBarrier> {
+    tag: Tag,
+    mask: ProcMask,
+    inner: B,
+}
+
+impl SubsetBarrier<CentralBarrier> {
+    /// Creates a barrier for the participants in `mask`, identified by
+    /// `tag`, with the default (centralized) backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BarrierError::EmptyGroup`] if the mask is empty.
+    pub fn new(tag: Tag, mask: ProcMask) -> Result<Self, BarrierError> {
+        Self::with_policy(tag, mask, StallPolicy::default())
+    }
+
+    /// Creates a barrier with an explicit stall policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BarrierError::EmptyGroup`] if the mask is empty.
+    pub fn with_policy(
+        tag: Tag,
+        mask: ProcMask,
+        policy: StallPolicy,
+    ) -> Result<Self, BarrierError> {
+        if mask.is_empty() {
+            return Err(BarrierError::EmptyGroup);
+        }
+        Ok(SubsetBarrier {
+            tag,
+            mask,
+            inner: CentralBarrier::with_policy(mask.len(), policy),
+        })
+    }
+}
+
+impl<B: crate::SplitBarrier> SubsetBarrier<B> {
+    /// Wraps an arbitrary [`crate::SplitBarrier`] backend (e.g. a
+    /// [`crate::DisseminationBarrier`] for hot-spot-free subsets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BarrierError::EmptyGroup`] if the mask is empty, and
+    /// [`BarrierError::InvalidParticipant`] if the backend was built for a
+    /// different participant count than `mask.len()`.
+    pub fn from_backend(tag: Tag, mask: ProcMask, backend: B) -> Result<Self, BarrierError> {
+        if mask.is_empty() {
+            return Err(BarrierError::EmptyGroup);
+        }
+        if backend.participants() != mask.len() {
+            return Err(BarrierError::InvalidParticipant {
+                id: backend.participants(),
+                capacity: mask.len(),
+            });
+        }
+        Ok(SubsetBarrier {
+            tag,
+            mask,
+            inner: backend,
+        })
+    }
+
+    /// The barrier's tag.
+    #[must_use]
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// The participant mask.
+    #[must_use]
+    pub fn mask(&self) -> ProcMask {
+        self.mask
+    }
+
+    /// Announces that global participant `id` is ready to synchronize,
+    /// presenting `tag`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BarrierError::TagMismatch`] if `tag` differs from the barrier's
+    ///   tag (the hardware would simply never match; the library surfaces
+    ///   the bug).
+    /// * [`BarrierError::NotAParticipant`] if `id` is not in the mask.
+    pub fn arrive(&self, id: usize, tag: Tag) -> Result<ArrivalToken, BarrierError> {
+        if !tag.matches(&self.tag) {
+            return Err(BarrierError::TagMismatch {
+                presented: tag,
+                expected: self.tag,
+            });
+        }
+        let rank = self
+            .mask
+            .rank_of(id)
+            .ok_or(BarrierError::NotAParticipant { id })?;
+        Ok(self.inner.arrive(rank))
+    }
+
+    /// Non-blocking completion check for a token from [`Self::arrive`].
+    #[must_use]
+    pub fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.inner.is_complete(token)
+    }
+
+    /// Blocks until the episode named by `token` completes.
+    pub fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        self.inner.wait(token)
+    }
+
+    /// Arrive + wait with no region: a point synchronization of the subset.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::arrive`].
+    pub fn point(&self, id: usize, tag: Tag) -> Result<WaitOutcome, BarrierError> {
+        let token = self.arrive(id, tag)?;
+        Ok(self.wait(token))
+    }
+
+    /// Number of participants in the subset.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.inner.participants()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tag(raw: u16) -> Tag {
+        Tag::new(raw).expect("non-zero")
+    }
+
+    #[test]
+    fn empty_mask_rejected() {
+        assert_eq!(
+            SubsetBarrier::new(tag(1), ProcMask::new()).unwrap_err(),
+            BarrierError::EmptyGroup
+        );
+    }
+
+    #[test]
+    fn tag_mismatch_detected() {
+        let b = SubsetBarrier::new(tag(1), ProcMask::first_n(2)).unwrap();
+        let err = b.arrive(0, tag(2)).unwrap_err();
+        assert!(matches!(err, BarrierError::TagMismatch { .. }));
+    }
+
+    #[test]
+    fn non_member_rejected() {
+        let mask: ProcMask = [1, 3].into_iter().collect();
+        let b = SubsetBarrier::new(tag(1), mask).unwrap();
+        assert_eq!(
+            b.arrive(2, tag(1)).unwrap_err(),
+            BarrierError::NotAParticipant { id: 2 }
+        );
+    }
+
+    #[test]
+    fn sparse_members_synchronize() {
+        let mask: ProcMask = [2, 5, 9].into_iter().collect();
+        let b = Arc::new(SubsetBarrier::new(tag(4), mask).unwrap());
+        std::thread::scope(|s| {
+            for id in [2usize, 5, 9] {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    for e in 0..200u64 {
+                        let t = b.arrive(id, tag(4)).unwrap();
+                        assert_eq!(b.wait(t).episode, e);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.stats().episodes, 200);
+    }
+
+    #[test]
+    fn disjoint_subsets_do_not_interfere() {
+        // Two disjoint groups with different tags: group A synchronizes
+        // many times while group B never arrives. If the groups shared
+        // state, A would deadlock.
+        let a = Arc::new(
+            SubsetBarrier::new(tag(1), [0, 1].into_iter().collect()).unwrap(),
+        );
+        let _b = SubsetBarrier::new(tag(2), [2, 3].into_iter().collect()).unwrap();
+        std::thread::scope(|s| {
+            for id in 0..2usize {
+                let a = Arc::clone(&a);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let t = a.arrive(id, tag(1)).unwrap();
+                        a.wait(t);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.stats().episodes, 100);
+    }
+
+    #[test]
+    fn dissemination_backend_subset() {
+        use crate::dissemination::DisseminationBarrier;
+        let mask: ProcMask = [1, 4, 6].into_iter().collect();
+        let b = Arc::new(
+            SubsetBarrier::from_backend(tag(8), mask, DisseminationBarrier::new(3)).unwrap(),
+        );
+        std::thread::scope(|s| {
+            for id in [1usize, 4, 6] {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    for e in 0..100u64 {
+                        let t = b.arrive(id, tag(8)).unwrap();
+                        assert_eq!(b.wait(t).episode, e);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.stats().episodes, 100);
+    }
+
+    #[test]
+    fn mismatched_backend_size_rejected() {
+        use crate::counting::CountingBarrier;
+        let mask: ProcMask = [0, 1].into_iter().collect();
+        let err =
+            SubsetBarrier::from_backend(tag(1), mask, CountingBarrier::new(5)).unwrap_err();
+        assert!(matches!(err, BarrierError::InvalidParticipant { .. }));
+    }
+
+    #[test]
+    fn point_sync_works() {
+        let b = Arc::new(SubsetBarrier::new(tag(9), ProcMask::first_n(2)).unwrap());
+        std::thread::scope(|s| {
+            for id in 0..2usize {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    b.point(id, tag(9)).unwrap();
+                });
+            }
+        });
+        assert_eq!(b.stats().episodes, 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Participant masks: which processors take part in a barrier.
+//!
+//! The paper's hardware gives each processor an *n − 1*-bit mask naming the
+//! processors it synchronizes with (Sec. 6). [`ProcMask`] is the software
+//! analogue — a bitset over global participant ids — used by
+//! [`crate::SubsetBarrier`] to let "disjoint subsets of processors …
+//! independently synchronize among themselves".
+
+use std::fmt;
+
+/// A set of participant ids, at most [`ProcMask::CAPACITY`] of them.
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::ProcMask;
+///
+/// let mask: ProcMask = [0, 2, 3].into_iter().collect();
+/// assert!(mask.contains(2));
+/// assert!(!mask.contains(1));
+/// assert_eq!(mask.len(), 3);
+/// assert_eq!(mask.iter().collect::<Vec<_>>(), vec![0, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcMask(u64);
+
+impl ProcMask {
+    /// Maximum participant id representable plus one.
+    pub const CAPACITY: usize = 64;
+
+    /// The empty mask.
+    #[must_use]
+    pub fn new() -> Self {
+        ProcMask(0)
+    }
+
+    /// A mask containing ids `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    #[must_use]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= Self::CAPACITY, "mask supports at most 64 participants");
+        if n == Self::CAPACITY {
+            ProcMask(u64::MAX)
+        } else {
+            ProcMask((1u64 << n) - 1)
+        }
+    }
+
+    /// A mask containing a single id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= 64`.
+    #[must_use]
+    pub fn single(id: usize) -> Self {
+        let mut m = ProcMask::new();
+        m.insert(id);
+        m
+    }
+
+    /// Inserts `id`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= 64`.
+    pub fn insert(&mut self, id: usize) -> bool {
+        assert!(id < Self::CAPACITY, "participant id {id} exceeds mask capacity");
+        let bit = 1u64 << id;
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes `id`; returns true if it was present.
+    pub fn remove(&mut self, id: usize) -> bool {
+        if id >= Self::CAPACITY {
+            return false;
+        }
+        let bit = 1u64 << id;
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Whether `id` is in the mask.
+    #[must_use]
+    pub fn contains(&self, id: usize) -> bool {
+        id < Self::CAPACITY && self.0 & (1u64 << id) != 0
+    }
+
+    /// Number of participants in the mask.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the mask is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &ProcMask) -> ProcMask {
+        ProcMask(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(&self, other: &ProcMask) -> ProcMask {
+        ProcMask(self.0 & other.0)
+    }
+
+    /// Whether the two masks share no participants — the condition under
+    /// which two barriers may proceed fully independently (Sec. 5).
+    #[must_use]
+    pub fn is_disjoint(&self, other: &ProcMask) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether every member of `self` is also in `other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &ProcMask) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The dense rank of `id` within the mask (how many smaller members
+    /// precede it), or `None` if `id` is not a member. Used to map global
+    /// ids onto a subset barrier's dense participant indices.
+    #[must_use]
+    pub fn rank_of(&self, id: usize) -> Option<usize> {
+        if !self.contains(id) {
+            return None;
+        }
+        let below = self.0 & ((1u64 << id) - 1);
+        Some(below.count_ones() as usize)
+    }
+
+    /// Iterates over member ids in ascending order.
+    pub fn iter(&self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// The raw 64-bit representation (bit *i* set ⇔ id *i* is a member),
+    /// matching the paper's hardware mask register.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+
+    /// Builds a mask from its raw bit representation.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Self {
+        ProcMask(bits)
+    }
+}
+
+impl fmt::Display for ProcMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for id in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for ProcMask {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut mask = ProcMask::new();
+        for id in iter {
+            mask.insert(id);
+        }
+        mask
+    }
+}
+
+impl Extend<usize> for ProcMask {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl IntoIterator for ProcMask {
+    type Item = usize;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+impl IntoIterator for &ProcMask {
+    type Item = usize;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+/// Iterator over the member ids of a [`ProcMask`], ascending.
+#[derive(Debug, Clone)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let id = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(id)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_n_and_len() {
+        assert_eq!(ProcMask::first_n(0).len(), 0);
+        assert_eq!(ProcMask::first_n(4).len(), 4);
+        assert_eq!(ProcMask::first_n(64).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn first_n_over_capacity_panics() {
+        let _ = ProcMask::first_n(65);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut m = ProcMask::new();
+        assert!(m.insert(5));
+        assert!(!m.insert(5));
+        assert!(m.contains(5));
+        assert!(m.remove(5));
+        assert!(!m.remove(5));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn rank_is_dense_index() {
+        let m: ProcMask = [1, 4, 9].into_iter().collect();
+        assert_eq!(m.rank_of(1), Some(0));
+        assert_eq!(m.rank_of(4), Some(1));
+        assert_eq!(m.rank_of(9), Some(2));
+        assert_eq!(m.rank_of(2), None);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: ProcMask = [0, 1].into_iter().collect();
+        let b: ProcMask = [1, 2].into_iter().collect();
+        let c: ProcMask = [3].into_iter().collect();
+        assert_eq!(a.union(&b), [0, 1, 2].into_iter().collect());
+        assert_eq!(a.intersection(&b), ProcMask::single(1));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(ProcMask::single(1).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let m: ProcMask = [2, 0].into_iter().collect();
+        assert_eq!(m.to_string(), "{0,2}");
+        assert_eq!(ProcMask::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn iter_ascending_and_exact_size() {
+        let m: ProcMask = [7, 3, 63].into_iter().collect();
+        let v: Vec<usize> = m.iter().collect();
+        assert_eq!(v, vec![3, 7, 63]);
+        assert_eq!(m.iter().len(), 3);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let m: ProcMask = [0, 63].into_iter().collect();
+        assert_eq!(ProcMask::from_bits(m.bits()), m);
+    }
+}

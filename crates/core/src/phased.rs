@@ -1,0 +1,168 @@
+//! High-level phased execution: scoped threads stepping through
+//! barrier-separated phases with explicit barrier regions.
+//!
+//! This is the ergonomic layer over the split-phase protocol — the shape
+//! the paper's compiler generates (work, arrive, region, wait), packaged
+//! for hand-written Rust the way a programmer "may be able to construct
+//! barrier regions while coding an application" (Sec. 4).
+
+use crate::centralized::CentralBarrier;
+use crate::spin::StallPolicy;
+use crate::stats::StatsSnapshot;
+use crate::SplitBarrier;
+use std::sync::Arc;
+
+/// Per-thread context handed to the phase closure.
+#[derive(Debug)]
+pub struct PhaseCtx {
+    id: usize,
+    phase: u64,
+    barrier: Arc<CentralBarrier>,
+    /// Whether `barrier_region` has been called this phase.
+    sealed: bool,
+}
+
+impl PhaseCtx {
+    /// This thread's participant id.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The current phase number (0-based).
+    #[must_use]
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// Ends the phase's non-barrier work and runs `region` as the barrier
+    /// region: the synchronization overlaps it. Returns the region's
+    /// value. Call at most once per phase; if not called, the executor
+    /// synchronizes with an empty region (a point barrier).
+    pub fn barrier_region<R>(&mut self, region: impl FnOnce() -> R) -> R {
+        let token = self.barrier.arrive(self.id);
+        let value = region();
+        self.barrier.wait(token);
+        self.sealed = true;
+        value
+    }
+}
+
+/// Runs `phases` barrier-separated phases on `threads` scoped threads.
+///
+/// Each phase calls `body(&mut ctx)`; the body does its non-barrier work
+/// and then (optionally) calls [`PhaseCtx::barrier_region`] with the work
+/// that may overlap synchronization. If the body returns without calling
+/// it, an empty barrier region is synchronized automatically, so phases
+/// always stay aligned across threads.
+///
+/// Returns the barrier's accumulated statistics.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`. Panics in the body propagate after all
+/// threads are joined (standard `std::thread::scope` behaviour).
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::phased::run_phases;
+///
+/// let stats = run_phases(4, 10, fuzzy_barrier::StallPolicy::default(), |ctx| {
+///     // non-barrier work for this phase ...
+///     let _ = ctx.id();
+///     ctx.barrier_region(|| {
+///         // work overlapping the synchronization ...
+///     });
+/// });
+/// assert_eq!(stats.episodes, 10);
+/// ```
+pub fn run_phases<F>(
+    threads: usize,
+    phases: u64,
+    policy: StallPolicy,
+    body: F,
+) -> StatsSnapshot
+where
+    F: Fn(&mut PhaseCtx) + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let barrier = Arc::new(CentralBarrier::with_policy(threads, policy));
+    let body = &body;
+    std::thread::scope(|s| {
+        for id in 0..threads {
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                for phase in 0..phases {
+                    let mut ctx = PhaseCtx {
+                        id,
+                        phase,
+                        barrier: Arc::clone(&barrier),
+                        sealed: false,
+                    };
+                    body(&mut ctx);
+                    if !ctx.sealed {
+                        // The body did no explicit region: point barrier.
+                        let token = barrier.arrive(id);
+                        barrier.wait(token);
+                    }
+                }
+            });
+        }
+    });
+    barrier.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn phases_stay_aligned_without_explicit_region() {
+        let stats = run_phases(3, 7, StallPolicy::default(), |_ctx| {});
+        assert_eq!(stats.episodes, 7);
+        assert_eq!(stats.arrivals, 21);
+    }
+
+    #[test]
+    fn explicit_regions_count_once_per_phase() {
+        let counter = AtomicU64::new(0);
+        let stats = run_phases(2, 5, StallPolicy::default(), |ctx| {
+            ctx.barrier_region(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(stats.episodes, 5);
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn ctx_reports_identity_and_phase() {
+        let seen = std::sync::Mutex::new(Vec::new());
+        run_phases(2, 3, StallPolicy::default(), |ctx| {
+            seen.lock().unwrap().push((ctx.id(), ctx.phase()));
+            ctx.barrier_region(|| {});
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn region_value_is_returned() {
+        run_phases(1, 1, StallPolicy::default(), |ctx| {
+            let v = ctx.barrier_region(|| 17);
+            assert_eq!(v, 17);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = run_phases(0, 1, StallPolicy::default(), |_| {});
+    }
+}

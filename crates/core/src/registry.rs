@@ -1,0 +1,255 @@
+//! A registry of logical barriers for dynamically created streams.
+//!
+//! Sec. 5 of the paper: *"Barriers are allocated when the streams are
+//! created. The creation of the first stream does not require allocation of
+//! a barrier … Subsequently, creation of every stream requires allocation
+//! of at most one barrier which may be used by the newly created stream to
+//! synchronize with its parent. Thus, in a N processor system which allows
+//! creation of at most N streams, a maximum of N−1 barriers is needed."*
+//!
+//! [`GroupRegistry`] enforces exactly that budget and hands out
+//! tag-identified [`SubsetBarrier`]s.
+
+use crate::error::BarrierError;
+use crate::group::SubsetBarrier;
+use crate::mask::ProcMask;
+use crate::spin::StallPolicy;
+use crate::tag::Tag;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Allocates and tracks logical barriers for up to `max_streams` streams.
+///
+/// At most `max_streams − 1` barriers may be live at once. Barriers are
+/// identified by [`Tag`]; looking one up with the wrong tag fails, which is
+/// how the library surfaces the paper's Fig. 6 bug (processor P₃ reaching
+/// barrier B₁ must not synchronize with P₁ waiting at B₂).
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::{GroupRegistry, ProcMask};
+///
+/// let registry = GroupRegistry::new(4); // up to 4 streams, 3 barriers
+/// let (tag, barrier) = registry.allocate([0, 1].into_iter().collect())?;
+/// assert_eq!(barrier.tag(), tag);
+/// assert_eq!(registry.live_barriers(), 1);
+/// registry.release(tag)?;
+/// # Ok::<(), fuzzy_barrier::BarrierError>(())
+/// ```
+#[derive(Debug)]
+pub struct GroupRegistry {
+    max_streams: usize,
+    policy: StallPolicy,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    barriers: HashMap<Tag, Arc<SubsetBarrier>>,
+    next_tag: Tag,
+}
+
+impl GroupRegistry {
+    /// Creates a registry for a system with at most `max_streams` streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_streams < 2` (a single stream never synchronizes, so
+    /// a registry would be pointless — the paper's "creation of the first
+    /// stream does not require allocation of a barrier").
+    #[must_use]
+    pub fn new(max_streams: usize) -> Self {
+        Self::with_policy(max_streams, StallPolicy::default())
+    }
+
+    /// Creates a registry whose barriers use `policy` when stalling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_streams < 2`.
+    #[must_use]
+    pub fn with_policy(max_streams: usize, policy: StallPolicy) -> Self {
+        assert!(
+            max_streams >= 2,
+            "a registry needs at least two streams to ever synchronize"
+        );
+        GroupRegistry {
+            max_streams,
+            policy,
+            inner: Mutex::new(Inner {
+                barriers: HashMap::new(),
+                next_tag: Tag::new(1).expect("1 is non-zero"),
+            }),
+        }
+    }
+
+    /// Maximum number of simultaneously live barriers: `max_streams − 1`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.max_streams - 1
+    }
+
+    /// Number of currently live barriers.
+    #[must_use]
+    pub fn live_barriers(&self) -> usize {
+        self.inner.lock().expect("registry lock").barriers.len()
+    }
+
+    /// Allocates a fresh barrier over `mask`, assigning it the next free
+    /// tag.
+    ///
+    /// # Errors
+    ///
+    /// * [`BarrierError::RegistryFull`] if `max_streams − 1` barriers are
+    ///   already live.
+    /// * [`BarrierError::EmptyGroup`] if `mask` is empty.
+    pub fn allocate(&self, mask: ProcMask) -> Result<(Tag, Arc<SubsetBarrier>), BarrierError> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if inner.barriers.len() >= self.capacity() {
+            return Err(BarrierError::RegistryFull {
+                capacity: self.capacity(),
+            });
+        }
+        // Find the next unused tag (tags of released barriers are reusable,
+        // mirroring the paper's "streams that need to synchronize repeatedly
+        // can reuse the barrier shared by them").
+        let mut tag = inner.next_tag;
+        while inner.barriers.contains_key(&tag) {
+            tag = tag.next();
+        }
+        let barrier = Arc::new(SubsetBarrier::with_policy(tag, mask, self.policy)?);
+        inner.barriers.insert(tag, Arc::clone(&barrier));
+        inner.next_tag = tag.next();
+        Ok((tag, barrier))
+    }
+
+    /// Allocates a barrier with a caller-chosen tag.
+    ///
+    /// # Errors
+    ///
+    /// Like [`Self::allocate`], plus [`BarrierError::DuplicateTag`] if the
+    /// tag is already live.
+    pub fn allocate_tagged(
+        &self,
+        tag: Tag,
+        mask: ProcMask,
+    ) -> Result<Arc<SubsetBarrier>, BarrierError> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if inner.barriers.len() >= self.capacity() {
+            return Err(BarrierError::RegistryFull {
+                capacity: self.capacity(),
+            });
+        }
+        if inner.barriers.contains_key(&tag) {
+            return Err(BarrierError::DuplicateTag { tag });
+        }
+        let barrier = Arc::new(SubsetBarrier::with_policy(tag, mask, self.policy)?);
+        inner.barriers.insert(tag, Arc::clone(&barrier));
+        Ok(barrier)
+    }
+
+    /// Looks up the live barrier with `tag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BarrierError::UnknownTag`] if no such barrier is live.
+    pub fn lookup(&self, tag: Tag) -> Result<Arc<SubsetBarrier>, BarrierError> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .barriers
+            .get(&tag)
+            .cloned()
+            .ok_or(BarrierError::UnknownTag { tag })
+    }
+
+    /// Releases the barrier with `tag`, freeing its registry slot.
+    /// Existing `Arc` handles remain usable; only the slot is reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BarrierError::UnknownTag`] if no such barrier is live.
+    pub fn release(&self, tag: Tag) -> Result<(), BarrierError> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .barriers
+            .remove(&tag)
+            .map(|_| ())
+            .ok_or(BarrierError::UnknownTag { tag })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least two streams")]
+    fn single_stream_registry_panics() {
+        let _ = GroupRegistry::new(1);
+    }
+
+    #[test]
+    fn capacity_is_n_minus_one() {
+        assert_eq!(GroupRegistry::new(4).capacity(), 3);
+        assert_eq!(GroupRegistry::new(2).capacity(), 1);
+    }
+
+    #[test]
+    fn allocation_exhausts_at_capacity() {
+        let r = GroupRegistry::new(3);
+        let m = ProcMask::first_n(2);
+        r.allocate(m).unwrap();
+        r.allocate(m).unwrap();
+        assert_eq!(
+            r.allocate(m).unwrap_err(),
+            BarrierError::RegistryFull { capacity: 2 }
+        );
+    }
+
+    #[test]
+    fn release_frees_slot_and_tag_reuse_works() {
+        let r = GroupRegistry::new(2);
+        let m = ProcMask::first_n(2);
+        let (tag, _b) = r.allocate(m).unwrap();
+        assert!(r.allocate(m).is_err());
+        r.release(tag).unwrap();
+        assert_eq!(r.live_barriers(), 0);
+        let (_tag2, _b2) = r.allocate(m).unwrap();
+        assert_eq!(r.live_barriers(), 1);
+    }
+
+    #[test]
+    fn tags_are_unique_among_live_barriers() {
+        let r = GroupRegistry::new(8);
+        let m = ProcMask::first_n(2);
+        let mut tags = std::collections::HashSet::new();
+        for _ in 0..7 {
+            let (tag, _) = r.allocate(m).unwrap();
+            assert!(tags.insert(tag), "duplicate live tag {tag}");
+        }
+    }
+
+    #[test]
+    fn explicit_tag_allocation_and_duplicate_rejection() {
+        let r = GroupRegistry::new(4);
+        let tag = Tag::new(17).unwrap();
+        let m = ProcMask::first_n(2);
+        r.allocate_tagged(tag, m).unwrap();
+        assert_eq!(
+            r.allocate_tagged(tag, m).unwrap_err(),
+            BarrierError::DuplicateTag { tag }
+        );
+        assert_eq!(r.lookup(tag).unwrap().tag(), tag);
+    }
+
+    #[test]
+    fn lookup_unknown_tag_fails() {
+        let r = GroupRegistry::new(4);
+        let tag = Tag::new(5).unwrap();
+        assert_eq!(r.lookup(tag).unwrap_err(), BarrierError::UnknownTag { tag });
+        assert_eq!(r.release(tag).unwrap_err(), BarrierError::UnknownTag { tag });
+    }
+}

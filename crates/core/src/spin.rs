@@ -1,0 +1,190 @@
+//! Stall policies: what a participant does when it truly has to wait.
+//!
+//! The paper's Sec. 8 observes that on the Encore Multimax "the cost of
+//! barrier synchronization is mainly due to context saves and restores for
+//! the tasks that must be stalled". [`StallPolicy`] lets experiments model
+//! that spectrum: pure spinning (cheap stall, the hardware-like case),
+//! spin-then-yield, and spin-then-park (expensive stall, the Encore-like
+//! case where a stall implies a context switch).
+
+use std::time::{Duration, Instant};
+
+/// How a participant waits once it has exhausted its barrier region and
+/// synchronization has not yet occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StallPolicy {
+    /// Busy-wait with a CPU relax hint. Models a hardware stall: the
+    /// processor simply does not issue instructions.
+    Spin,
+    /// Spin for `spin_limit` iterations, then call
+    /// [`std::thread::yield_now`] between probes.
+    SpinYield {
+        /// Number of busy-wait probes before yielding the CPU.
+        spin_limit: u32,
+    },
+    /// Spin for `spin_limit` iterations, then sleep in `park_interval`
+    /// slices between probes. Models the Encore software implementation
+    /// where a stalled task suffers a context save/restore.
+    Park {
+        /// Number of busy-wait probes before parking.
+        spin_limit: u32,
+        /// How long each park slice lasts.
+        park_interval: Duration,
+    },
+}
+
+impl StallPolicy {
+    /// A spin-then-yield policy with a reasonable default spin budget.
+    #[must_use]
+    pub fn yielding() -> Self {
+        StallPolicy::SpinYield { spin_limit: 1 << 10 }
+    }
+
+    /// A spin-then-park policy with a reasonable default spin budget and a
+    /// 50 µs park slice; models an expensive (context-switching) stall.
+    #[must_use]
+    pub fn parking() -> Self {
+        StallPolicy::Park {
+            spin_limit: 1 << 8,
+            park_interval: Duration::from_micros(50),
+        }
+    }
+}
+
+impl Default for StallPolicy {
+    fn default() -> Self {
+        StallPolicy::SpinYield { spin_limit: 1 << 10 }
+    }
+}
+
+/// Outcome of a [`wait_until`] call: how hard the caller had to wait.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpinReport {
+    /// Total number of predicate probes performed (0 means the predicate
+    /// held on entry — the fuzzy ideal: no stall at all).
+    pub probes: u64,
+    /// Whether the policy escalated past pure spinning (a yield or park
+    /// happened — the "context switch" the paper wants to avoid).
+    pub descheduled: bool,
+    /// Wall-clock time spent waiting.
+    pub waited: Duration,
+}
+
+impl SpinReport {
+    /// True if the caller never had to wait at all.
+    #[must_use]
+    pub fn was_instant(&self) -> bool {
+        self.probes == 0
+    }
+}
+
+/// Wait until `pred` returns true, following `policy`.
+///
+/// Returns a [`SpinReport`] describing the wait. The first probe happens
+/// before any timing machinery is set up, so the common fuzzy-barrier fast
+/// path (synchronization already happened while the caller was in its
+/// barrier region) costs a single predicate call.
+pub fn wait_until(policy: StallPolicy, mut pred: impl FnMut() -> bool) -> SpinReport {
+    if pred() {
+        return SpinReport::default();
+    }
+    let start = Instant::now();
+    let mut probes: u64 = 1;
+    let mut descheduled = false;
+    match policy {
+        StallPolicy::Spin => loop {
+            std::hint::spin_loop();
+            probes += 1;
+            if pred() {
+                break;
+            }
+        },
+        StallPolicy::SpinYield { spin_limit } => loop {
+            if probes < u64::from(spin_limit) {
+                std::hint::spin_loop();
+            } else {
+                descheduled = true;
+                std::thread::yield_now();
+            }
+            probes += 1;
+            if pred() {
+                break;
+            }
+        },
+        StallPolicy::Park {
+            spin_limit,
+            park_interval,
+        } => loop {
+            if probes < u64::from(spin_limit) {
+                std::hint::spin_loop();
+            } else {
+                descheduled = true;
+                std::thread::sleep(park_interval);
+            }
+            probes += 1;
+            if pred() {
+                break;
+            }
+        },
+    }
+    SpinReport {
+        probes,
+        descheduled,
+        waited: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn immediate_predicate_is_free() {
+        let r = wait_until(StallPolicy::Spin, || true);
+        assert!(r.was_instant());
+        assert_eq!(r.probes, 0);
+        assert!(!r.descheduled);
+    }
+
+    #[test]
+    fn spin_waits_for_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            f2.store(true, Ordering::Release);
+        });
+        let r = wait_until(StallPolicy::yielding(), || flag.load(Ordering::Acquire));
+        h.join().unwrap();
+        assert!(r.probes > 0);
+        assert!(!r.was_instant());
+    }
+
+    #[test]
+    fn park_policy_marks_descheduled() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            f2.store(true, Ordering::Release);
+        });
+        let policy = StallPolicy::Park {
+            spin_limit: 4,
+            park_interval: Duration::from_micros(100),
+        };
+        let r = wait_until(policy, || flag.load(Ordering::Acquire));
+        h.join().unwrap();
+        assert!(r.descheduled, "park policy should have descheduled: {r:?}");
+    }
+
+    #[test]
+    fn default_policy_is_spin_yield() {
+        assert!(matches!(
+            StallPolicy::default(),
+            StallPolicy::SpinYield { .. }
+        ));
+    }
+}

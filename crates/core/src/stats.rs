@@ -1,0 +1,164 @@
+//! Lock-free per-barrier statistics.
+//!
+//! Every backend records how many episodes completed, how many arrivals it
+//! saw, and — crucially for reproducing the paper's Sec. 8 measurement —
+//! how many waits actually *stalled* and for how long. A stall that
+//! escalates to a deschedule corresponds to the Encore context save/restore
+//! the paper identifies as the dominant synchronization cost.
+
+use crate::token::WaitOutcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic counters updated by barrier operations.
+///
+/// Cheap enough to leave enabled: every field is a relaxed atomic add on a
+/// path that already performed at least one synchronizing atomic.
+#[derive(Debug, Default)]
+pub struct BarrierStats {
+    episodes: AtomicU64,
+    arrivals: AtomicU64,
+    waits: AtomicU64,
+    stalls: AtomicU64,
+    deschedules: AtomicU64,
+    stall_nanos: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl BarrierStats {
+    /// Creates a zeroed statistics block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_arrival(&self) {
+        self.arrivals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_episode(&self) {
+        self.episodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wait(&self, outcome: &WaitOutcome) {
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        if outcome.stalled {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+            let nanos = u64::try_from(outcome.stall_time.as_nanos()).unwrap_or(u64::MAX);
+            self.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+            self.probes.fetch_add(outcome.probes, Ordering::Relaxed);
+        }
+        if outcome.descheduled {
+            self.deschedules.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a consistent-enough snapshot for reporting (fields are read
+    /// individually with relaxed ordering; exact cross-field consistency is
+    /// not needed for statistics).
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            episodes: self.episodes.load(Ordering::Relaxed),
+            arrivals: self.arrivals.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            deschedules: self.deschedules.load(Ordering::Relaxed),
+            stall_time: Duration::from_nanos(self.stall_nanos.load(Ordering::Relaxed)),
+            probes: self.probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`BarrierStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Completed barrier episodes.
+    pub episodes: u64,
+    /// Total arrivals across all participants and episodes.
+    pub arrivals: u64,
+    /// Total waits (should equal arrivals when the protocol is followed).
+    pub waits: u64,
+    /// Waits that found synchronization incomplete and had to stall.
+    pub stalls: u64,
+    /// Stalls that escalated to a yield or park (context switch analogue).
+    pub deschedules: u64,
+    /// Total wall-clock time spent stalled, summed over participants.
+    pub stall_time: Duration,
+    /// Total wait probes performed while stalled.
+    pub probes: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of waits that stalled, in `[0, 1]`. Returns 0 when no waits
+    /// have happened yet.
+    #[must_use]
+    pub fn stall_rate(&self) -> f64 {
+        if self.waits == 0 {
+            0.0
+        } else {
+            self.stalls as f64 / self.waits as f64
+        }
+    }
+
+    /// Mean stall time per wait (not per stall), the per-synchronization
+    /// overhead comparable to the paper's µs-per-barrier numbers.
+    #[must_use]
+    pub fn mean_stall_per_wait(&self) -> Duration {
+        if self.waits == 0 {
+            Duration::ZERO
+        } else {
+            self.stall_time / u32::try_from(self.waits.min(u64::from(u32::MAX))).unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_of_fresh_stats_is_zero() {
+        let s = BarrierStats::new().snapshot();
+        assert_eq!(s, StatsSnapshot::default());
+        assert_eq!(s.stall_rate(), 0.0);
+        assert_eq!(s.mean_stall_per_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn record_wait_accumulates() {
+        let stats = BarrierStats::new();
+        stats.record_arrival();
+        stats.record_wait(&WaitOutcome {
+            episode: 0,
+            stalled: true,
+            descheduled: true,
+            probes: 12,
+            stall_time: Duration::from_micros(3),
+        });
+        stats.record_wait(&WaitOutcome::default());
+        let s = stats.snapshot();
+        assert_eq!(s.arrivals, 1);
+        assert_eq!(s.waits, 2);
+        assert_eq!(s.stalls, 1);
+        assert_eq!(s.deschedules, 1);
+        assert_eq!(s.probes, 12);
+        assert!((s.stall_rate() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn mean_stall_divides_by_waits() {
+        let stats = BarrierStats::new();
+        for _ in 0..4 {
+            stats.record_wait(&WaitOutcome {
+                episode: 0,
+                stalled: true,
+                descheduled: false,
+                probes: 1,
+                stall_time: Duration::from_micros(8),
+            });
+        }
+        let s = stats.snapshot();
+        assert_eq!(s.mean_stall_per_wait(), Duration::from_micros(8));
+    }
+}

@@ -1,0 +1,137 @@
+//! Barrier tags: the identity of a logical barrier.
+//!
+//! The paper's hardware attaches an *m*-bit tag register to each processor;
+//! "two processors can only synchronize at a barrier if their tags match",
+//! and "a system with an m-bit tag supports 2^m − 1 logical barriers, where
+//! a combination of all zeros is used to indicate that the processor is not
+//! participating" (Sec. 6). [`Tag`] encodes exactly that: a non-zero 16-bit
+//! identity, with `Option<Tag>` standing in for the all-zeros
+//! "not participating" encoding.
+
+use std::fmt;
+use std::num::NonZeroU16;
+
+/// A non-zero barrier identity.
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::Tag;
+///
+/// let t = Tag::new(3).expect("non-zero");
+/// assert_eq!(t.get(), 3);
+/// assert!(Tag::new(0).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(NonZeroU16);
+
+impl Tag {
+    /// Number of distinct logical barriers supported: 2^16 − 1.
+    pub const MAX_LOGICAL_BARRIERS: usize = u16::MAX as usize;
+
+    /// Creates a tag from a raw value; `None` if `raw == 0` (the paper's
+    /// "not participating" encoding).
+    #[must_use]
+    pub fn new(raw: u16) -> Option<Self> {
+        NonZeroU16::new(raw).map(Tag)
+    }
+
+    /// The raw tag value.
+    #[must_use]
+    pub fn get(&self) -> u16 {
+        self.0.get()
+    }
+
+    /// Whether two tags match, i.e. the processors may synchronize.
+    #[must_use]
+    pub fn matches(&self, other: &Tag) -> bool {
+        self == other
+    }
+
+    /// The successor tag, wrapping from 2^16 − 1 back to 1 (skipping 0).
+    /// Convenient for allocators that hand out fresh tags.
+    #[must_use]
+    pub fn next(&self) -> Tag {
+        match self.0.get().checked_add(1) {
+            Some(v) => Tag(NonZeroU16::new(v).expect("v >= 2")),
+            None => Tag(NonZeroU16::new(1).expect("1 is non-zero")),
+        }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag({})", self.0)
+    }
+}
+
+impl From<Tag> for u16 {
+    fn from(tag: Tag) -> u16 {
+        tag.get()
+    }
+}
+
+impl TryFrom<u16> for Tag {
+    type Error = ZeroTagError;
+
+    fn try_from(raw: u16) -> Result<Self, ZeroTagError> {
+        Tag::new(raw).ok_or(ZeroTagError)
+    }
+}
+
+/// Error returned when constructing a [`Tag`] from zero — the reserved
+/// "not participating" encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroTagError;
+
+impl fmt::Display for ZeroTagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag zero is reserved for \"not participating\"")
+    }
+}
+
+impl std::error::Error for ZeroTagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_rejected() {
+        assert!(Tag::new(0).is_none());
+        assert_eq!(Tag::try_from(0u16), Err(ZeroTagError));
+    }
+
+    #[test]
+    fn matches_is_equality() {
+        let a = Tag::new(7).unwrap();
+        let b = Tag::new(7).unwrap();
+        let c = Tag::new(8).unwrap();
+        assert!(a.matches(&b));
+        assert!(!a.matches(&c));
+    }
+
+    #[test]
+    fn next_wraps_past_max() {
+        let max = Tag::new(u16::MAX).unwrap();
+        assert_eq!(max.next().get(), 1);
+        assert_eq!(Tag::new(1).unwrap().next().get(), 2);
+    }
+
+    #[test]
+    fn round_trips_through_u16() {
+        let t = Tag::new(42).unwrap();
+        let raw: u16 = t.into();
+        assert_eq!(Tag::try_from(raw).unwrap(), t);
+    }
+
+    #[test]
+    fn option_is_pointer_sized() {
+        // The all-zeros niche means Option<Tag> costs nothing extra, just
+        // like the hardware's zero encoding.
+        assert_eq!(
+            std::mem::size_of::<Option<Tag>>(),
+            std::mem::size_of::<Tag>()
+        );
+    }
+}

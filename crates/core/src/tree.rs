@@ -1,0 +1,256 @@
+//! Combining-tree split-phase barrier with configurable fan-in.
+
+use crate::spin::{self, StallPolicy};
+use crate::stats::{BarrierStats, StatsSnapshot};
+use crate::token::{ArrivalToken, WaitOutcome};
+use crate::SplitBarrier;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A combining-tree barrier: arrivals are counted in a tree of nodes with
+/// fan-in `k`, so at most `k` participants ever contend on the same word.
+///
+/// The last arriver at each node propagates one arrival to its parent; the
+/// last arriver at the root publishes the episode, releasing all waiters.
+/// Arrival latency is O(log_k n) for the final arriver and O(1) for
+/// everyone else, splitting the difference between the centralized design
+/// (O(1) instructions, O(n) contention) and dissemination (O(log n)
+/// instructions, zero contention).
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::{TreeBarrier, SplitBarrier};
+///
+/// let b = TreeBarrier::new(1);
+/// let t = b.arrive(0);
+/// assert!(!b.wait(t).stalled);
+/// ```
+#[derive(Debug)]
+pub struct TreeBarrier {
+    n: usize,
+    fan_in: usize,
+    policy: StallPolicy,
+    nodes: Vec<CachePadded<Node>>,
+    /// Leaf node index for each participant.
+    leaf_of: Vec<usize>,
+    episode: CachePadded<AtomicU64>,
+    local_episode: Vec<CachePadded<AtomicU64>>,
+    stats: BarrierStats,
+}
+
+#[derive(Debug)]
+struct Node {
+    count: AtomicUsize,
+    expected: usize,
+    parent: Option<usize>,
+}
+
+impl TreeBarrier {
+    /// Creates a binary (fan-in 2) tree barrier for `n` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_fan_in(n, 2, StallPolicy::default())
+    }
+
+    /// Creates a tree barrier with explicit fan-in and stall policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `fan_in < 2`.
+    #[must_use]
+    pub fn with_fan_in(n: usize, fan_in: usize, policy: StallPolicy) -> Self {
+        assert!(n > 0, "a barrier needs at least one participant");
+        assert!(fan_in >= 2, "fan-in must be at least 2");
+
+        // Build levels bottom-up. Level 0 nodes absorb the participants;
+        // each higher level absorbs the level below, until one root remains.
+        let mut nodes: Vec<CachePadded<Node>> = Vec::new();
+        let mut leaf_of = vec![0usize; n];
+
+        // level 0
+        let level0 = n.div_ceil(fan_in);
+        for g in 0..level0 {
+            let members = members_of_group(n, fan_in, g);
+            nodes.push(CachePadded::new(Node {
+                count: AtomicUsize::new(members),
+                expected: members,
+                parent: None,
+            }));
+        }
+        for (id, leaf) in leaf_of.iter_mut().enumerate() {
+            *leaf = id / fan_in;
+        }
+
+        // higher levels
+        let mut level_start = 0usize;
+        let mut level_len = level0;
+        while level_len > 1 {
+            let next_len = level_len.div_ceil(fan_in);
+            let next_start = nodes.len();
+            for g in 0..next_len {
+                let members = members_of_group(level_len, fan_in, g);
+                nodes.push(CachePadded::new(Node {
+                    count: AtomicUsize::new(members),
+                    expected: members,
+                    parent: None,
+                }));
+            }
+            for i in 0..level_len {
+                let parent = next_start + i / fan_in;
+                nodes[level_start + i].parent = Some(parent);
+            }
+            level_start = next_start;
+            level_len = next_len;
+        }
+
+        TreeBarrier {
+            n,
+            fan_in,
+            policy,
+            nodes,
+            leaf_of,
+            episode: CachePadded::new(AtomicU64::new(0)),
+            local_episode: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            stats: BarrierStats::new(),
+        }
+    }
+
+    /// The tree fan-in.
+    #[must_use]
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Total number of tree nodes (exposed for tests and diagnostics).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn signal_node(&self, index: usize) {
+        let node = &self.nodes[index];
+        if node.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Re-arm this node *before* propagating, so participants released
+            // by the eventual episode bump find a full counter.
+            node.count.store(node.expected, Ordering::Release);
+            match node.parent {
+                Some(parent) => self.signal_node(parent),
+                None => {
+                    self.episode.fetch_add(1, Ordering::Release);
+                    self.stats.record_episode();
+                }
+            }
+        }
+    }
+}
+
+fn members_of_group(total: usize, fan_in: usize, group: usize) -> usize {
+    let start = group * fan_in;
+    fan_in.min(total - start)
+}
+
+impl SplitBarrier for TreeBarrier {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        assert!(
+            id < self.n,
+            "participant id {id} out of range for {} participants",
+            self.n
+        );
+        let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
+        self.stats.record_arrival();
+        self.signal_node(self.leaf_of[id]);
+        ArrivalToken::new(id, episode)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.episode.load(Ordering::Acquire) > token.episode
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        let report = spin::wait_until(self.policy, || {
+            self.episode.load(Ordering::Acquire) > token.episode
+        });
+        let outcome = WaitOutcome::from_report(token.episode, report);
+        self.stats.record_wait(&outcome);
+        outcome
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn group_membership_math() {
+        assert_eq!(members_of_group(5, 2, 0), 2);
+        assert_eq!(members_of_group(5, 2, 1), 2);
+        assert_eq!(members_of_group(5, 2, 2), 1);
+        assert_eq!(members_of_group(7, 4, 1), 3);
+    }
+
+    #[test]
+    fn tree_shapes() {
+        // 1 participant: a single root node.
+        assert_eq!(TreeBarrier::new(1).node_count(), 1);
+        // 4 participants, fan-in 2: 2 leaves + 1 root.
+        assert_eq!(TreeBarrier::new(4).node_count(), 3);
+        // 8 participants, fan-in 2: 4 + 2 + 1.
+        assert_eq!(TreeBarrier::new(8).node_count(), 7);
+        // 9 participants, fan-in 4: 3 leaves + 1 root.
+        assert_eq!(
+            TreeBarrier::with_fan_in(9, 4, StallPolicy::default()).node_count(),
+            4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in")]
+    fn fan_in_one_panics() {
+        let _ = TreeBarrier::with_fan_in(4, 1, StallPolicy::default());
+    }
+
+    #[test]
+    fn single_participant() {
+        let b = TreeBarrier::new(1);
+        for e in 0..4 {
+            let t = b.arrive(0);
+            assert!(b.is_complete(&t));
+            assert_eq!(b.wait(t).episode, e);
+        }
+    }
+
+    #[test]
+    fn many_threads_many_fanins() {
+        for (n, fan_in) in [(3usize, 2usize), (4, 2), (7, 3), (8, 4), (13, 2)] {
+            let b = Arc::new(TreeBarrier::with_fan_in(n, fan_in, StallPolicy::default()));
+            std::thread::scope(|s| {
+                for id in 0..n {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || {
+                        for e in 0..200u64 {
+                            let t = b.arrive(id);
+                            assert_eq!(b.wait(t).episode, e, "n={n} k={fan_in}");
+                        }
+                    });
+                }
+            });
+            assert_eq!(b.stats().episodes, 200, "n={n} k={fan_in}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the fuzzy-barrier core invariants.
+
+use fuzzy_barrier::{
+    CentralBarrier, CountingBarrier, DisseminationBarrier, GroupRegistry, ProcMask, SplitBarrier,
+    StallPolicy, Tag, TreeBarrier,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Runs `episodes` barrier episodes on `n` threads with per-thread random
+/// work delays, checking the fundamental fuzzy-barrier safety property
+/// (Fig. 1): no thread observes a neighbour's pre-barrier write from an
+/// *older* phase after the barrier.
+fn exercise_backend<B: SplitBarrier + 'static>(b: B, n: usize, episodes: u64, delays: &[u8]) {
+    let b = Arc::new(b);
+    let cells: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+    std::thread::scope(|s| {
+        for id in 0..n {
+            let b = Arc::clone(&b);
+            let cells = Arc::clone(&cells);
+            let delay = u64::from(delays[id % delays.len()]);
+            s.spawn(move || {
+                for phase in 1..=episodes {
+                    cells[id].store(phase, Ordering::Release);
+                    let token = b.arrive(id);
+                    // Barrier region: busy work proportional to the random
+                    // delay, modelling drift between streams.
+                    let mut acc = 0u64;
+                    for i in 0..delay * 50 {
+                        acc = acc.wrapping_add(i);
+                    }
+                    std::hint::black_box(acc);
+                    let outcome = b.wait(token);
+                    assert_eq!(outcome.episode, 2 * (phase - 1));
+                    let seen = cells[(id + 1) % n].load(Ordering::Acquire);
+                    assert!(
+                        seen >= phase,
+                        "phase {phase}: participant {id} saw stale write {seen}"
+                    );
+                    // Second barrier to close the phase before the next store.
+                    let token = b.arrive(id);
+                    b.wait(token);
+                }
+            });
+        }
+    });
+    assert_eq!(b.stats().episodes, 2 * episodes);
+    assert_eq!(b.stats().arrivals, 2 * episodes * n as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn central_barrier_is_safe(n in 1usize..6, delays in prop::collection::vec(0u8..16, 1..6)) {
+        exercise_backend(CentralBarrier::new(n), n, 40, &delays);
+    }
+
+    #[test]
+    fn counting_barrier_is_safe(n in 1usize..6, delays in prop::collection::vec(0u8..16, 1..6)) {
+        exercise_backend(CountingBarrier::new(n), n, 40, &delays);
+    }
+
+    #[test]
+    fn dissemination_barrier_is_safe(n in 1usize..6, delays in prop::collection::vec(0u8..16, 1..6)) {
+        exercise_backend(DisseminationBarrier::new(n), n, 40, &delays);
+    }
+
+    #[test]
+    fn tree_barrier_is_safe(
+        n in 1usize..6,
+        fan_in in 2usize..5,
+        delays in prop::collection::vec(0u8..16, 1..6),
+    ) {
+        exercise_backend(
+            TreeBarrier::with_fan_in(n, fan_in, StallPolicy::default()),
+            n,
+            40,
+            &delays,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mask_rank_matches_iteration_order(ids in prop::collection::btree_set(0usize..64, 0..20)) {
+        let mask: ProcMask = ids.iter().copied().collect();
+        prop_assert_eq!(mask.len(), ids.len());
+        for (rank, id) in mask.iter().enumerate() {
+            prop_assert_eq!(mask.rank_of(id), Some(rank));
+        }
+        // Non-members have no rank.
+        for id in 0..64 {
+            if !ids.contains(&id) {
+                prop_assert_eq!(mask.rank_of(id), None);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_set_laws(a in any::<u64>(), b in any::<u64>()) {
+        let ma = ProcMask::from_bits(a);
+        let mb = ProcMask::from_bits(b);
+        prop_assert_eq!(ma.union(&mb), mb.union(&ma));
+        prop_assert_eq!(ma.intersection(&mb), mb.intersection(&ma));
+        prop_assert!(ma.intersection(&mb).is_subset(&ma));
+        prop_assert!(ma.is_subset(&ma.union(&mb)));
+        prop_assert_eq!(ma.is_disjoint(&mb), ma.intersection(&mb).is_empty());
+        prop_assert_eq!(
+            ma.union(&mb).len() + ma.intersection(&mb).len(),
+            ma.len() + mb.len()
+        );
+    }
+
+    #[test]
+    fn tag_next_never_yields_zero(raw in 1u16..) {
+        let tag = Tag::new(raw).unwrap();
+        prop_assert!(tag.next().get() != 0);
+    }
+
+    #[test]
+    fn registry_never_exceeds_budget(
+        max_streams in 2usize..10,
+        ops in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        // true = allocate, false = release the oldest live barrier.
+        let registry = GroupRegistry::new(max_streams);
+        let mask = ProcMask::first_n(2);
+        let mut live: Vec<Tag> = Vec::new();
+        for op in ops {
+            if op {
+                match registry.allocate(mask) {
+                    Ok((tag, _)) => live.push(tag),
+                    Err(_) => prop_assert_eq!(live.len(), max_streams - 1),
+                }
+            } else if let Some(tag) = live.first().copied() {
+                registry.release(tag).unwrap();
+                live.remove(0);
+            }
+            prop_assert!(registry.live_barriers() <= max_streams - 1);
+            prop_assert_eq!(registry.live_barriers(), live.len());
+        }
+    }
+}
+
+#[test]
+fn backends_agree_on_episode_counts() {
+    // Every backend must count the same number of episodes for the same
+    // protocol-following schedule.
+    let n = 3;
+    let episodes = 50;
+    let backends: Vec<Box<dyn SplitBarrier>> = vec![
+        Box::new(CentralBarrier::new(n)),
+        Box::new(CountingBarrier::new(n)),
+        Box::new(DisseminationBarrier::new(n)),
+        Box::new(TreeBarrier::new(n)),
+    ];
+    for b in &backends {
+        let b = &**b;
+        std::thread::scope(|s| {
+            for id in 0..n {
+                s.spawn(move || {
+                    for _ in 0..episodes {
+                        let t = b.arrive(id);
+                        b.wait(t);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.stats().episodes, episodes);
+    }
+}

@@ -1,0 +1,46 @@
+//! # fuzzy-sched
+//!
+//! Static and run-time scheduling of barrier-synchronized parallel loops,
+//! reproducing Secs. 7.3 and 7.4 of Gupta's fuzzy-barrier paper:
+//!
+//! * [`static_sched`] — block, cyclic and *rotated* block schedules
+//!   (Fig. 11: the extra iteration takes turns so processors do equal work
+//!   over outer iterations);
+//! * [`self_sched`] — self-scheduling, fixed chunking and Guided
+//!   Self-Scheduling (the paper's \[19\]) over a thread-safe work queue;
+//! * [`workload`] — iteration cost models (uniform, bimodal if-statements,
+//!   jitter, triangular);
+//! * [`executor`] — a deterministic virtual-time executor that reports
+//!   idle/stall time at point vs. fuzzy barriers, plus a real thread
+//!   executor built on the `fuzzy-barrier` crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use fuzzy_sched::executor::{simulate_dynamic, simulate_static};
+//! use fuzzy_sched::self_sched::GuidedSelfScheduling;
+//! use fuzzy_sched::static_sched::block;
+//! use fuzzy_sched::workload::CostModel;
+//!
+//! let costs = CostModel::Linear { base: 1, slope: 3 }.costs(32, 0);
+//! let static_run = simulate_static(&block(32, 4), &costs);
+//! let gss_run = simulate_dynamic(4, &costs, &GuidedSelfScheduling, 1);
+//! assert!(gss_run.total_point_idle() <= static_run.total_point_idle());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod executor;
+pub mod self_sched;
+pub mod static_sched;
+pub mod workload;
+
+pub use executor::{simulate_dynamic, simulate_static, VirtualReport};
+pub use self_sched::{
+    ChunkPolicy, Factoring, FixedChunk, GuidedSelfScheduling, SelfScheduling, Trapezoid,
+    WorkQueue,
+};
+pub use static_sched::{block, cyclic, rotated_block, Assignment};
+pub use workload::CostModel;

@@ -1,0 +1,274 @@
+//! Run-time (self-)scheduling of loop iterations (Sec. 7.4).
+//!
+//! "In situations where the number of loop iterations and/or the number of
+//! processors available are not known at compile-time, compiler assisted
+//! run-time scheduling techniques can be used." A [`ChunkPolicy`] decides
+//! how many iterations a processor grabs from the shared work pool each
+//! time it asks; [`WorkQueue`] is the pool itself (usable from real
+//! threads).
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many iterations to hand a processor that asks for work.
+pub trait ChunkPolicy: Send + Sync + fmt::Debug {
+    /// Chunk size given `remaining` unassigned iterations and `procs`
+    /// processors. Must return ≥ 1 when `remaining > 0`.
+    fn chunk(&self, remaining: usize, procs: usize) -> usize;
+
+    /// Human-readable policy name (for experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+/// Pure self-scheduling: one iteration at a time. Minimal idle time at the
+/// end, maximal dispatch overhead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfScheduling;
+
+impl ChunkPolicy for SelfScheduling {
+    fn chunk(&self, remaining: usize, _procs: usize) -> usize {
+        usize::from(remaining > 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "self"
+    }
+}
+
+/// Fixed-size chunking.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedChunk(
+    /// The chunk size (≥ 1).
+    pub usize,
+);
+
+impl ChunkPolicy for FixedChunk {
+    fn chunk(&self, remaining: usize, _procs: usize) -> usize {
+        self.0.max(1).min(remaining)
+    }
+
+    fn name(&self) -> &'static str {
+        "chunk"
+    }
+}
+
+/// Guided Self-Scheduling (Polychronopoulos & Kuck, the paper's \[19\]):
+/// each request receives ⌈remaining / procs⌉ iterations, so chunks start
+/// large and shrink toward 1, and processors "complete execution at about
+/// the same time".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GuidedSelfScheduling;
+
+impl ChunkPolicy for GuidedSelfScheduling {
+    fn chunk(&self, remaining: usize, procs: usize) -> usize {
+        if remaining == 0 {
+            0
+        } else {
+            remaining.div_ceil(procs.max(1))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "gss"
+    }
+}
+
+/// Factoring (Hummel/Schonberg/Flynn), in its stateless per-grab form
+/// ("FAC2"): every chunk is `remaining / (2·procs)`, so a round of
+/// `procs` grabs consumes roughly half the remaining work — between
+/// fixed chunking's low overhead and GSS's adaptivity. A useful
+/// comparison point for the paper's Sec. 7.4 discussion of run-time
+/// scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Factoring;
+
+impl ChunkPolicy for Factoring {
+    fn chunk(&self, remaining: usize, procs: usize) -> usize {
+        if remaining == 0 {
+            0
+        } else {
+            // Chunk so that a full batch of `procs` chunks consumes about
+            // half the remaining work.
+            (remaining.div_ceil(2 * procs.max(1))).max(1)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "factoring"
+    }
+}
+
+/// Trapezoid self-scheduling (Tzen/Ni): chunk sizes decrease linearly
+/// from `first = total/(2*procs)` down to 1. Cheaper to compute than GSS
+/// while keeping most of its balance. The linear decrement is derived
+/// from the remaining work on each grab, making it usable without
+/// knowing the original trip count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Trapezoid;
+
+impl ChunkPolicy for Trapezoid {
+    fn chunk(&self, remaining: usize, procs: usize) -> usize {
+        if remaining == 0 {
+            0
+        } else {
+            // Linear ramp: proportional to sqrt of remaining, bounded by
+            // the classic first-chunk size. This keeps chunks decreasing
+            // roughly linearly in the number of grabs.
+            let first = (remaining / (2 * procs.max(1))).max(1);
+            let est = (remaining as f64).sqrt() as usize;
+            first.min(est.max(1))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "trapezoid"
+    }
+}
+
+/// A shared pool of loop iterations `0..total`, dispensed in chunks chosen
+/// by a [`ChunkPolicy`]. Thread-safe; used by both the virtual-time
+/// executor and real-thread experiments.
+#[derive(Debug)]
+pub struct WorkQueue {
+    total: usize,
+    next: AtomicUsize,
+}
+
+impl WorkQueue {
+    /// A queue over iterations `0..total`.
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        WorkQueue {
+            total,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Grabs the next chunk under `policy` for a machine with `procs`
+    /// processors. Returns `None` when the pool is exhausted.
+    ///
+    /// The chunk size is computed from the remaining count at acquisition
+    /// time using a compare-exchange loop, so concurrent grabbers never
+    /// receive overlapping ranges.
+    pub fn grab(&self, policy: &dyn ChunkPolicy, procs: usize) -> Option<Range<usize>> {
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.total {
+                return None;
+            }
+            let remaining = self.total - cur;
+            let take = policy.chunk(remaining, procs).clamp(1, remaining);
+            match self.next.compare_exchange_weak(
+                cur,
+                cur + take,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(cur..cur + take),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total iterations in the pool.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Iterations dispensed so far.
+    #[must_use]
+    pub fn dispensed(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.total)
+    }
+}
+
+/// Convenience: the full sequence of chunks a single consumer would see.
+#[must_use]
+pub fn chunk_sequence(total: usize, procs: usize, policy: &dyn ChunkPolicy) -> Vec<usize> {
+    let queue = WorkQueue::new(total);
+    let mut out = Vec::new();
+    while let Some(r) = queue.grab(policy, procs) {
+        out.push(r.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn gss_chunks_decay_toward_one() {
+        // Classic GSS example: 100 iterations, 4 processors:
+        // 25, 19, 14, 11, 8, 6, 5, 3, 3, 2, 1, 1, 1, 1  (sums to 100)
+        let seq = chunk_sequence(100, 4, &GuidedSelfScheduling);
+        assert_eq!(seq.iter().sum::<usize>(), 100);
+        assert_eq!(seq[0], 25);
+        assert!(seq.windows(2).all(|w| w[0] >= w[1]), "{seq:?}");
+        assert_eq!(*seq.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn self_scheduling_is_all_ones() {
+        let seq = chunk_sequence(5, 3, &SelfScheduling);
+        assert_eq!(seq, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn fixed_chunks_respect_remainder() {
+        let seq = chunk_sequence(10, 3, &FixedChunk(4));
+        assert_eq!(seq, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn concurrent_grabs_partition_the_range() {
+        let queue = Arc::new(WorkQueue::new(10_000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let q = Arc::clone(&queue);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Some(r) = q.grab(&GuidedSelfScheduling, 8) {
+                    mine.extend(r);
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10_000).collect::<Vec<_>>());
+        assert_eq!(queue.dispensed(), 10_000);
+    }
+
+    #[test]
+    fn factoring_first_chunk_is_an_eighth() {
+        let seq = chunk_sequence(128, 4, &Factoring);
+        assert_eq!(seq.iter().sum::<usize>(), 128);
+        // First chunk: 128 / (2*4) = 16; chunks never grow.
+        assert_eq!(seq[0], 16);
+        assert!(seq.windows(2).all(|w| w[0] >= w[1]), "{seq:?}");
+        // Smaller chunks than GSS at the start (lower end-imbalance risk).
+        let gss = chunk_sequence(128, 4, &GuidedSelfScheduling);
+        assert!(seq[0] < gss[0]);
+    }
+
+    #[test]
+    fn trapezoid_covers_and_decreases() {
+        let seq = chunk_sequence(400, 4, &Trapezoid);
+        assert_eq!(seq.iter().sum::<usize>(), 400);
+        assert!(seq.windows(2).all(|w| w[0] >= w[1]), "{seq:?}");
+        assert_eq!(*seq.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let queue = WorkQueue::new(0);
+        assert!(queue.grab(&SelfScheduling, 4).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Static loop schedules (Sec. 7.3, Fig. 11).
+//!
+//! "The schedule for execution of a parallel loop can be statically
+//! specified at compile-time if the number of loop iterations and the
+//! number of available processors are known." When the iteration count
+//! does not divide the processor count, one processor gets an extra
+//! iteration — unless the extra iteration *rotates* across outer
+//! iterations (Fig. 11(b)), equalizing work over time.
+
+/// A static assignment of inner-loop iterations to processors for one
+/// outer iteration: `assignment[p]` lists the iteration indices processor
+/// `p` executes, in order.
+pub type Assignment = Vec<Vec<usize>>;
+
+/// Block (contiguous-chunk) scheduling: the first `iters % procs`
+/// processors receive one extra iteration.
+///
+/// # Panics
+///
+/// Panics if `procs == 0`.
+#[must_use]
+pub fn block(iters: usize, procs: usize) -> Assignment {
+    assert!(procs > 0, "need at least one processor");
+    let base = iters / procs;
+    let extra = iters % procs;
+    let mut out = Vec::with_capacity(procs);
+    let mut next = 0usize;
+    for p in 0..procs {
+        let take = base + usize::from(p < extra);
+        out.push((next..next + take).collect());
+        next += take;
+    }
+    out
+}
+
+/// Cyclic (round-robin) scheduling: iteration `i` goes to processor
+/// `i % procs`.
+///
+/// # Panics
+///
+/// Panics if `procs == 0`.
+#[must_use]
+pub fn cyclic(iters: usize, procs: usize) -> Assignment {
+    assert!(procs > 0, "need at least one processor");
+    let mut out = vec![Vec::new(); procs];
+    for i in 0..iters {
+        out[i % procs].push(i);
+    }
+    out
+}
+
+/// Fig. 11(b): block scheduling whose extra iterations rotate with the
+/// outer iteration, so that "over multiple iterations of the outer loop,
+/// the processors do equal amounts of work". `outer` is the outer
+/// iteration index (0-based).
+///
+/// # Panics
+///
+/// Panics if `procs == 0`.
+#[must_use]
+pub fn rotated_block(iters: usize, procs: usize, outer: usize) -> Assignment {
+    assert!(procs > 0, "need at least one processor");
+    let plain = block(iters, procs);
+    // Rotate which processor receives which chunk by `outer`.
+    let mut out = vec![Vec::new(); procs];
+    for (chunk_idx, chunk) in plain.into_iter().enumerate() {
+        out[(chunk_idx + outer) % procs] = chunk;
+    }
+    out
+}
+
+/// Total work assigned to each processor by `assignment` under the given
+/// per-iteration costs.
+#[must_use]
+pub fn per_proc_work(assignment: &Assignment, costs: &[u64]) -> Vec<u64> {
+    assignment
+        .iter()
+        .map(|iters| iters.iter().map(|&i| costs[i]).sum())
+        .collect()
+}
+
+/// Idle time (work units) per processor at a barrier closing the inner
+/// loop: the slowest processor's total minus each processor's own.
+#[must_use]
+pub fn idle_at_barrier(work: &[u64]) -> Vec<u64> {
+    let max = work.iter().copied().max().unwrap_or(0);
+    work.iter().map(|w| max - w).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_covers_all_iterations_once() {
+        for iters in 0..20 {
+            for procs in 1..6 {
+                let a = block(iters, procs);
+                let mut all: Vec<usize> = a.iter().flatten().copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..iters).collect::<Vec<_>>(), "{iters}/{procs}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_chunk_sizes_differ_by_at_most_one() {
+        let a = block(10, 4);
+        let sizes: Vec<usize> = a.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn cyclic_round_robins() {
+        let a = cyclic(5, 2);
+        assert_eq!(a[0], vec![0, 2, 4]);
+        assert_eq!(a[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn rotation_moves_the_extra_iteration() {
+        // Fig. 11: 4 iterations on 3 processors. The extra iteration
+        // lands on a different processor each outer iteration.
+        let who_gets_two = |outer: usize| -> usize {
+            rotated_block(4, 3, outer)
+                .iter()
+                .position(|c| c.len() == 2)
+                .unwrap()
+        };
+        let owners: Vec<usize> = (0..3).map(who_gets_two).collect();
+        let mut sorted = owners.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "each processor takes a turn: {owners:?}");
+    }
+
+    #[test]
+    fn rotation_equalizes_work_over_period() {
+        // Over `procs` consecutive outer iterations, every processor
+        // executes the same total number of iterations.
+        let procs = 3;
+        let iters = 4;
+        let mut totals = vec![0usize; procs];
+        for outer in 0..procs {
+            for (p, chunk) in rotated_block(iters, procs, outer).iter().enumerate() {
+                totals[p] += chunk.len();
+            }
+        }
+        assert!(totals.iter().all(|&t| t == totals[0]), "{totals:?}");
+    }
+
+    #[test]
+    fn work_and_idle_computations() {
+        let a = block(4, 2); // [0,1], [2,3]
+        let costs = vec![1, 2, 3, 4];
+        let work = per_proc_work(&a, &costs);
+        assert_eq!(work, vec![3, 7]);
+        assert_eq!(idle_at_barrier(&work), vec![4, 0]);
+    }
+
+    #[test]
+    fn empty_iterations_yield_empty_chunks() {
+        let a = block(0, 3);
+        assert!(a.iter().all(Vec::is_empty));
+        assert_eq!(idle_at_barrier(&[]), Vec::<u64>::new());
+    }
+}

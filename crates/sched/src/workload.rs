@@ -1,0 +1,122 @@
+//! Iteration cost models for scheduling experiments.
+//!
+//! The paper's scheduling sections revolve around *variance* in iteration
+//! cost: conditionals make streams variable-length (Sec. 7.1), cache
+//! misses make processors drift (Sec. 1), and uneven iteration counts make
+//! static schedules idle (Sec. 7.3). These models generate the costs the
+//! schedulers are evaluated against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A model assigning a cost (in abstract work units) to each iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostModel {
+    /// Every iteration costs the same.
+    Uniform {
+        /// The per-iteration cost.
+        cost: u64,
+    },
+    /// Each iteration independently takes `fast` or `slow` with
+    /// probability `p_slow` of being slow — the Fig. 7 if-statement whose
+    /// branches do different amounts of work.
+    Bimodal {
+        /// Cost of the fast branch.
+        fast: u64,
+        /// Cost of the slow branch.
+        slow: u64,
+        /// Probability of taking the slow branch.
+        p_slow: f64,
+    },
+    /// Uniformly distributed in `[lo, hi]` — generic drift.
+    Jitter {
+        /// Minimum cost.
+        lo: u64,
+        /// Maximum cost.
+        hi: u64,
+    },
+    /// Cost grows linearly with the iteration index — the classic
+    /// triangular workload that defeats block scheduling.
+    Linear {
+        /// Cost of iteration 0.
+        base: u64,
+        /// Additional cost per iteration index.
+        slope: u64,
+    },
+}
+
+impl CostModel {
+    /// Materializes costs for `n` iterations, deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]` or `lo > hi`.
+    #[must_use]
+    pub fn costs(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            CostModel::Uniform { cost } => vec![cost; n],
+            CostModel::Bimodal { fast, slow, p_slow } => {
+                assert!((0.0..=1.0).contains(&p_slow), "p_slow is a probability");
+                (0..n)
+                    .map(|_| if rng.gen::<f64>() < p_slow { slow } else { fast })
+                    .collect()
+            }
+            CostModel::Jitter { lo, hi } => {
+                assert!(lo <= hi, "lo must not exceed hi");
+                (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+            }
+            CostModel::Linear { base, slope } => {
+                (0..n).map(|i| base + slope * i as u64).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_constant() {
+        assert_eq!(
+            CostModel::Uniform { cost: 7 }.costs(3, 0),
+            vec![7, 7, 7]
+        );
+    }
+
+    #[test]
+    fn bimodal_hits_both_modes() {
+        let costs = CostModel::Bimodal {
+            fast: 1,
+            slow: 100,
+            p_slow: 0.5,
+        }
+        .costs(64, 42);
+        assert!(costs.iter().any(|&c| c == 1));
+        assert!(costs.iter().any(|&c| c == 100));
+        assert!(costs.iter().all(|&c| c == 1 || c == 100));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = CostModel::Jitter { lo: 5, hi: 50 };
+        assert_eq!(m.costs(32, 9), m.costs(32, 9));
+        assert_ne!(m.costs(32, 9), m.costs(32, 10));
+    }
+
+    #[test]
+    fn jitter_stays_in_range() {
+        let costs = CostModel::Jitter { lo: 3, hi: 9 }.costs(100, 1);
+        assert!(costs.iter().all(|&c| (3..=9).contains(&c)));
+    }
+
+    #[test]
+    fn linear_grows() {
+        assert_eq!(
+            CostModel::Linear { base: 2, slope: 3 }.costs(4, 0),
+            vec![2, 5, 8, 11]
+        );
+    }
+}

@@ -1,0 +1,580 @@
+//! A small text assembler for writing simulator programs by hand.
+//!
+//! One instruction per line. An instruction belongs to a **barrier region**
+//! when its line starts with `B:`. Labels are `name:` on their own line or
+//! before an instruction. `;` and `#` start comments. Streams are separated
+//! by `.stream` directives; a file with no `.stream` produces a single
+//! stream.
+//!
+//! ```text
+//!     li   r1, 0
+//!     li   r2, 10
+//! loop:
+//!     addi r1, r1, 1
+//! B:  nop                  ; barrier region spans the back edge
+//! B:  blt  r1, r2, loop
+//!     halt
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use fuzzy_sim::assembler::assemble_stream;
+//!
+//! let s = assemble_stream("li r1, 42\nB: nop\nhalt\n")?;
+//! assert_eq!(s.len(), 3);
+//! assert!(s.ops()[1].barrier);
+//! # Ok::<(), fuzzy_sim::assembler::AsmError>(())
+//! ```
+
+use crate::isa::{Cond, Instr, Reg};
+use crate::program::{Program, Stream, StreamBuilder};
+use std::error::Error;
+use std::fmt;
+
+/// Assembly error with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let tok = tok.trim();
+    let digits = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
+    let n: u32 = digits
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    if n >= crate::isa::NUM_REGS as u32 {
+        return Err(err(line, format!("register r{n} out of range")));
+    }
+    Ok(n as Reg)
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Parses a `[rB+off]` or `[rB-off]` or `[rB]` memory operand.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), AsmError> {
+    let tok = tok.trim();
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [rB+off], got `{tok}`")))?;
+    if let Some(pos) = inner.find('+') {
+        Ok((
+            parse_reg(&inner[..pos], line)?,
+            parse_imm(&inner[pos + 1..], line)?,
+        ))
+    } else if let Some(pos) = inner.rfind('-') {
+        if pos == 0 {
+            return Err(err(line, format!("expected [rB+off], got `{tok}`")));
+        }
+        Ok((
+            parse_reg(&inner[..pos], line)?,
+            -parse_imm(&inner[pos + 1..], line)?,
+        ))
+    } else {
+        Ok((parse_reg(inner, line)?, 0))
+    }
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    // Split on commas that are not inside brackets.
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in rest.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn cond_of(mnemonic: &str) -> Option<Cond> {
+    match mnemonic {
+        "beq" => Some(Cond::Eq),
+        "bne" => Some(Cond::Ne),
+        "blt" => Some(Cond::Lt),
+        "bge" => Some(Cond::Ge),
+        "ble" => Some(Cond::Le),
+        "bgt" => Some(Cond::Gt),
+        _ => None,
+    }
+}
+
+/// Assembles a single stream.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line on any syntax problem or
+/// undefined label.
+pub fn assemble_stream(source: &str) -> Result<Stream, AsmError> {
+    let mut builder = StreamBuilder::new();
+    let mut last_line = 0usize;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        last_line = line;
+        parse_line(raw, line, &mut builder)?;
+    }
+    builder
+        .finish()
+        .map_err(|e| err(last_line, e.to_string()))
+}
+
+/// A fully assembled translation unit: the program plus its initial
+/// memory image (from `.word` directives).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assembled {
+    /// The per-processor streams.
+    pub program: Program,
+    /// Initial memory words: `(address, value)` pairs in source order.
+    pub data: Vec<(usize, i64)>,
+}
+
+/// Assembles a whole program; `.stream` directives separate processors
+/// and `.word <addr> <value>` directives preload shared memory.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line on any syntax problem
+/// or undefined label.
+pub fn assemble(source: &str) -> Result<Assembled, AsmError> {
+    let mut streams = Vec::new();
+    let mut data = Vec::new();
+    let mut builder = StreamBuilder::new();
+    let mut started = false;
+    let mut last_line = 0usize;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        last_line = line;
+        let stripped = strip_comment(raw).trim();
+        if stripped == ".stream" {
+            if started {
+                streams.push(
+                    std::mem::take(&mut builder)
+                        .finish()
+                        .map_err(|e| err(line, e.to_string()))?,
+                );
+            }
+            started = true;
+            continue;
+        }
+        if let Some(rest) = stripped.strip_prefix(".word") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 2 {
+                return Err(err(line, "`.word` expects an address and a value"));
+            }
+            let addr = parse_imm(parts[0], line)?;
+            let value = parse_imm(parts[1], line)?;
+            let addr = usize::try_from(addr)
+                .map_err(|_| err(line, "`.word` address must be non-negative"))?;
+            data.push((addr, value));
+            continue;
+        }
+        if !stripped.is_empty() {
+            started = true;
+        }
+        parse_line(raw, line, &mut builder)?;
+    }
+    streams.push(builder.finish().map_err(|e| err(last_line, e.to_string()))?);
+    Ok(Assembled {
+        program: Program::new(streams),
+        data,
+    })
+}
+
+/// Assembles a whole program, discarding any `.word` data (use
+/// [`assemble`] to keep it).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line on any syntax problem
+/// or undefined label.
+pub fn assemble_program(source: &str) -> Result<Program, AsmError> {
+    assemble(source).map(|a| a.program)
+}
+
+fn strip_comment(raw: &str) -> &str {
+    let end = raw
+        .find(|c| c == ';' || c == '#')
+        .unwrap_or(raw.len());
+    &raw[..end]
+}
+
+fn parse_line(raw: &str, line: usize, builder: &mut StreamBuilder) -> Result<(), AsmError> {
+    let mut text = strip_comment(raw).trim();
+    if text.is_empty() {
+        return Ok(());
+    }
+
+    // Barrier-region marker.
+    let barrier = if let Some(rest) = text.strip_prefix("B:") {
+        text = rest.trim();
+        true
+    } else {
+        false
+    };
+
+    // Leading label(s): `name:` — but careful not to eat `B:` (handled) or
+    // mistake operand colons (there are none in this ISA).
+    while let Some(pos) = text.find(':') {
+        let (head, tail) = text.split_at(pos);
+        let head = head.trim();
+        if head.is_empty() || !head.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(err(line, format!("bad label `{head}`")));
+        }
+        builder.label(head);
+        text = tail[1..].trim();
+        if text.is_empty() {
+            return Ok(());
+        }
+    }
+
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let ops = split_operands(rest);
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+
+    let push = |builder: &mut StreamBuilder, instr: Instr| {
+        builder.op(instr, barrier);
+    };
+
+    match mnemonic {
+        "li" => {
+            want(2)?;
+            push(
+                builder,
+                Instr::Li {
+                    rd: parse_reg(&ops[0], line)?,
+                    imm: parse_imm(&ops[1], line)?,
+                },
+            );
+        }
+        "mov" => {
+            want(2)?;
+            push(
+                builder,
+                Instr::Mov {
+                    rd: parse_reg(&ops[0], line)?,
+                    rs: parse_reg(&ops[1], line)?,
+                },
+            );
+        }
+        "add" | "sub" | "mul" => {
+            want(3)?;
+            let rd = parse_reg(&ops[0], line)?;
+            let rs1 = parse_reg(&ops[1], line)?;
+            let rs2 = parse_reg(&ops[2], line)?;
+            push(
+                builder,
+                match mnemonic {
+                    "add" => Instr::Add { rd, rs1, rs2 },
+                    "sub" => Instr::Sub { rd, rs1, rs2 },
+                    _ => Instr::Mul { rd, rs1, rs2 },
+                },
+            );
+        }
+        "addi" | "muli" | "divi" => {
+            want(3)?;
+            let rd = parse_reg(&ops[0], line)?;
+            let rs = parse_reg(&ops[1], line)?;
+            let imm = parse_imm(&ops[2], line)?;
+            push(
+                builder,
+                match mnemonic {
+                    "addi" => Instr::Addi { rd, rs, imm },
+                    "muli" => Instr::Muli { rd, rs, imm },
+                    _ => Instr::Divi { rd, rs, imm },
+                },
+            );
+        }
+        "ld" => {
+            want(2)?;
+            let rd = parse_reg(&ops[0], line)?;
+            let (rs, offset) = parse_mem(&ops[1], line)?;
+            push(builder, Instr::Load { rd, rs, offset });
+        }
+        "st" => {
+            want(2)?;
+            let rs = parse_reg(&ops[0], line)?;
+            let (rb, offset) = parse_mem(&ops[1], line)?;
+            push(builder, Instr::Store { rs, rb, offset });
+        }
+        "faa" => {
+            want(3)?;
+            let rd = parse_reg(&ops[0], line)?;
+            let (rb, offset) = parse_mem(&ops[1], line)?;
+            let imm = parse_imm(&ops[2], line)?;
+            push(
+                builder,
+                Instr::FetchAdd {
+                    rd,
+                    rb,
+                    offset,
+                    imm,
+                },
+            );
+        }
+        "j" => {
+            want(1)?;
+            builder.jump(ops[0].clone(), barrier);
+        }
+        "call" => {
+            want(1)?;
+            builder.call(ops[0].clone(), barrier);
+        }
+        "ret" => {
+            want(0)?;
+            push(builder, Instr::Ret);
+        }
+        "trap" => {
+            want(1)?;
+            let cause = parse_imm(&ops[0], line)?;
+            let cause = u16::try_from(cause).map_err(|_| err(line, "trap cause out of range"))?;
+            push(builder, Instr::Trap { cause });
+        }
+        "setmask" => {
+            want(1)?;
+            let mask = parse_imm(&ops[0], line)?;
+            push(builder, Instr::SetMask { mask: mask as u64 });
+        }
+        "settag" => {
+            want(1)?;
+            let tag = parse_imm(&ops[0], line)?;
+            let tag = u16::try_from(tag).map_err(|_| err(line, "tag out of range"))?;
+            push(builder, Instr::SetTag { tag });
+        }
+        "nop" => {
+            want(0)?;
+            push(builder, Instr::Nop);
+        }
+        "halt" => {
+            want(0)?;
+            push(builder, Instr::Halt);
+        }
+        other => {
+            if let Some(cond) = cond_of(other) {
+                want(3)?;
+                let rs1 = parse_reg(&ops[0], line)?;
+                let rs2 = parse_reg(&ops[1], line)?;
+                if barrier {
+                    builder.fuzzy_branch(cond, rs1, rs2, ops[2].clone());
+                } else {
+                    builder.plain_branch(cond, rs1, rs2, ops[2].clone());
+                }
+            } else {
+                return Err(err(line, format!("unknown mnemonic `{other}`")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, Op};
+
+    #[test]
+    fn assembles_arithmetic_and_memory() {
+        let s = assemble_stream(
+            "li r1, 0x10\nadd r2, r1, r1\nld r3, [r1+4]\nst r3, [r1-2]\nfaa r4, [r1], 1\nhalt\n",
+        )
+        .unwrap();
+        assert_eq!(
+            s.ops()[0],
+            Op::plain(Instr::Li { rd: 1, imm: 16 })
+        );
+        assert_eq!(
+            s.ops()[2],
+            Op::plain(Instr::Load {
+                rd: 3,
+                rs: 1,
+                offset: 4
+            })
+        );
+        assert_eq!(
+            s.ops()[3],
+            Op::plain(Instr::Store {
+                rs: 3,
+                rb: 1,
+                offset: -2
+            })
+        );
+        assert_eq!(
+            s.ops()[4],
+            Op::plain(Instr::FetchAdd {
+                rd: 4,
+                rb: 1,
+                offset: 0,
+                imm: 1
+            })
+        );
+    }
+
+    #[test]
+    fn barrier_marker_sets_the_bit() {
+        let s = assemble_stream("nop\nB: nop\nB: addi r1, r1, 1\nhalt\n").unwrap();
+        assert!(!s.ops()[0].barrier);
+        assert!(s.ops()[1].barrier);
+        assert!(s.ops()[2].barrier);
+        assert!(!s.ops()[3].barrier);
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let src = "li r1, 0\nli r2, 3\nloop:\naddi r1, r1, 1\nblt r1, r2, loop\nhalt\n";
+        let s = assemble_stream(src).unwrap();
+        assert_eq!(s.ops()[3].instr.branch_target(), Some(2));
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let s = assemble_stream("start: nop\nj start\n").unwrap();
+        assert_eq!(s.ops()[1].instr.branch_target(), Some(0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = assemble_stream("; header\n\n# another\nnop ; trailing\nhalt\n").unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble_stream("nop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn undefined_label_reports_error() {
+        assert!(assemble_stream("j nowhere\n").is_err());
+    }
+
+    #[test]
+    fn multi_stream_program() {
+        let src = ".stream\nli r1, 1\nhalt\n.stream\nli r1, 2\nhalt\n";
+        let p = assemble_program(src).unwrap();
+        assert_eq!(p.num_procs(), 2);
+        assert_eq!(p.streams()[1].ops()[0], Op::plain(Instr::Li { rd: 1, imm: 2 }));
+    }
+
+    #[test]
+    fn settag_and_setmask() {
+        let s = assemble_stream("setmask 0b110\nsettag 3\nhalt\n").unwrap();
+        assert_eq!(s.ops()[0], Op::plain(Instr::SetMask { mask: 0b110 }));
+        assert_eq!(s.ops()[1], Op::plain(Instr::SetTag { tag: 3 }));
+    }
+
+    #[test]
+    fn word_directives_preload_memory() {
+        let src = ".word 5 42\n.word 0x10 -3\nld r1, [r0+5]\nhalt\n";
+        let a = assemble(src).unwrap();
+        assert_eq!(a.data, vec![(5, 42), (16, -3)]);
+        assert_eq!(a.program.num_procs(), 1);
+
+        use crate::builder::MachineBuilder;
+        let mut m = MachineBuilder::new(a.program)
+            .preload(a.data)
+            .build()
+            .unwrap();
+        assert!(m.run(100).unwrap().is_halted());
+        assert_eq!(m.procs()[0].reg(1), 42);
+        assert_eq!(m.memory().peek(16), -3);
+    }
+
+    #[test]
+    fn bad_word_directive_reports_line() {
+        let e = assemble("nop\n.word 5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn assembled_program_runs() {
+        use crate::machine::{Machine, MachineConfig};
+        let src = "\
+.stream
+    li r1, 0
+    li r2, 5
+loop:
+    addi r1, r1, 1
+B:  nop
+B:  blt r1, r2, loop
+    halt
+.stream
+    li r1, 0
+    li r2, 5
+loop:
+    addi r1, r1, 1
+B:  nop
+B:  blt r1, r2, loop
+    halt
+";
+        let p = assemble_program(src).unwrap();
+        let mut m = Machine::new(p, MachineConfig::default()).unwrap();
+        assert!(m.run(100_000).unwrap().is_halted());
+        assert_eq!(m.stats().sync_events, 5);
+    }
+}

@@ -1,0 +1,220 @@
+//! The per-processor fuzzy-barrier hardware (Sec. 6).
+//!
+//! "Each processor contains an identical copy of the fuzzy barrier
+//! hardware. This consists of a state machine that determines the status of
+//! the barrier for the processor, an internal register that contains the
+//! current tag and mask for the processor, and some combinational logic
+//! which determines whether the processor's tag matches the tags of
+//! processors with which it wishes to synchronize."
+
+/// The four states of the paper's barrier state machine:
+///
+/// 1. executing instructions from a non-barrier region;
+/// 2. in the barrier region and not synchronized;
+/// 3. in the barrier region and synchronized;
+/// 4. synchronization has not taken place and the processor is stalled,
+///    having completed the barrier region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierState {
+    /// State (i): executing non-barrier code.
+    #[default]
+    NonBarrier,
+    /// State (ii): inside the barrier region, synchronization pending. The
+    /// ready line is raised.
+    ReadyUnsynced,
+    /// State (iii): inside the barrier region, synchronization observed.
+    Synced,
+    /// State (iv): finished the barrier region without synchronization —
+    /// the processor idles. The ready line stays raised.
+    Stalled,
+}
+
+/// One processor's barrier unit: state machine plus mask/tag register.
+#[derive(Debug, Clone, Default)]
+pub struct BarrierUnit {
+    /// Current state of the state machine.
+    pub state: BarrierState,
+    /// Participation mask: bit *j* set ⇔ this processor synchronizes with
+    /// processor *j*.
+    pub mask: u64,
+    /// Barrier tag; 0 means "not participating".
+    pub tag: u16,
+}
+
+impl BarrierUnit {
+    /// A unit configured to synchronize with the processors in `mask`
+    /// under `tag`.
+    #[must_use]
+    pub fn new(mask: u64, tag: u16) -> Self {
+        BarrierUnit {
+            state: BarrierState::NonBarrier,
+            mask,
+            tag,
+        }
+    }
+
+    /// The broadcast ready line: raised while the processor is ready to
+    /// synchronize and synchronization has not occurred (states ii and iv).
+    #[must_use]
+    pub fn ready_line(&self) -> bool {
+        matches!(
+            self.state,
+            BarrierState::ReadyUnsynced | BarrierState::Stalled
+        )
+    }
+
+    /// Whether the processor is currently stalled at the barrier exit.
+    #[must_use]
+    pub fn is_stalled(&self) -> bool {
+        self.state == BarrierState::Stalled
+    }
+}
+
+/// Evaluates the broadcast synchronization condition across all units and
+/// applies it simultaneously, exactly as the hardware does ("since the
+/// signals are being broadcast and monitored by each processor
+/// independently, all processors simultaneously discover the occurrence of
+/// synchronization").
+///
+/// A processor synchronizes when its ready line is up, its tag is non-zero,
+/// and every processor in its mask has its ready line up with a matching
+/// tag. Returns the ids of processors that synchronized this cycle.
+///
+/// `ready_override` lets the machine veto a unit's ready line (used in the
+/// pipelined model where "exiting the non-barrier region and entering the
+/// barrier region are not equivalent": a processor that has *entered* the
+/// barrier region may still have non-barrier instructions in flight).
+pub fn evaluate_sync(units: &mut [BarrierUnit], ready_override: &[bool]) -> Vec<usize> {
+    debug_assert_eq!(units.len(), ready_override.len());
+    let effective_ready: Vec<bool> = units
+        .iter()
+        .zip(ready_override)
+        .map(|(u, &ok)| u.ready_line() && ok)
+        .collect();
+
+    let mut synced = Vec::new();
+    for (i, unit) in units.iter().enumerate() {
+        if !effective_ready[i] || unit.tag == 0 {
+            continue;
+        }
+        let mut all_partners_ready = true;
+        for j in 0..units.len() {
+            if j == i || unit.mask & (1u64 << j) == 0 {
+                continue;
+            }
+            if !effective_ready[j] || units[j].tag != unit.tag {
+                all_partners_ready = false;
+                break;
+            }
+        }
+        if all_partners_ready {
+            synced.push(i);
+        }
+    }
+    for &i in &synced {
+        units[i].state = BarrierState::Synced;
+    }
+    synced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready_unit(mask: u64, tag: u16) -> BarrierUnit {
+        BarrierUnit {
+            state: BarrierState::ReadyUnsynced,
+            mask,
+            tag,
+        }
+    }
+
+    #[test]
+    fn ready_line_follows_state() {
+        let mut u = BarrierUnit::new(0, 1);
+        assert!(!u.ready_line());
+        u.state = BarrierState::ReadyUnsynced;
+        assert!(u.ready_line());
+        u.state = BarrierState::Stalled;
+        assert!(u.ready_line());
+        assert!(u.is_stalled());
+        u.state = BarrierState::Synced;
+        assert!(!u.ready_line());
+    }
+
+    #[test]
+    fn two_ready_matching_units_sync() {
+        let mut units = vec![ready_unit(0b10, 1), ready_unit(0b01, 1)];
+        let synced = evaluate_sync(&mut units, &[true, true]);
+        assert_eq!(synced, vec![0, 1]);
+        assert!(units.iter().all(|u| u.state == BarrierState::Synced));
+    }
+
+    #[test]
+    fn sync_waits_for_all_masked_partners() {
+        let mut units = vec![
+            ready_unit(0b110, 1),
+            ready_unit(0b101, 1),
+            BarrierUnit::new(0b011, 1), // not ready
+        ];
+        let synced = evaluate_sync(&mut units, &[true, true, true]);
+        assert!(synced.is_empty());
+        units[2].state = BarrierState::Stalled; // now ready (state iv)
+        let synced = evaluate_sync(&mut units, &[true, true, true]);
+        assert_eq!(synced, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tag_mismatch_blocks_sync() {
+        // Fig. 2 / Fig. 6: processors must not synchronize at logically
+        // different barriers.
+        let mut units = vec![ready_unit(0b10, 1), ready_unit(0b01, 2)];
+        assert!(evaluate_sync(&mut units, &[true, true]).is_empty());
+    }
+
+    #[test]
+    fn zero_tag_never_participates() {
+        let mut units = vec![ready_unit(0b10, 0), ready_unit(0b01, 0)];
+        assert!(evaluate_sync(&mut units, &[true, true]).is_empty());
+    }
+
+    #[test]
+    fn disjoint_groups_sync_independently() {
+        // Processors {0,1} under tag 1 and {2,3} under tag 2; group 2 is
+        // not ready, group 1 must still fire.
+        let mut units = vec![
+            ready_unit(0b0010, 1),
+            ready_unit(0b0001, 1),
+            ready_unit(0b1000, 2),
+            BarrierUnit::new(0b0100, 2),
+        ];
+        let synced = evaluate_sync(&mut units, &[true; 4]);
+        assert_eq!(synced, vec![0, 1]);
+        assert_eq!(units[2].state, BarrierState::ReadyUnsynced);
+    }
+
+    #[test]
+    fn pipeline_override_vetoes_ready_line() {
+        let mut units = vec![ready_unit(0b10, 1), ready_unit(0b01, 1)];
+        // Unit 0 has entered its barrier region but still has non-barrier
+        // instructions in flight.
+        assert!(evaluate_sync(&mut units, &[false, true]).is_empty());
+        let synced = evaluate_sync(&mut units, &[true, true]);
+        assert_eq!(synced, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_mask_syncs_alone() {
+        let mut units = vec![ready_unit(0, 1)];
+        assert_eq!(evaluate_sync(&mut units, &[true]), vec![0]);
+    }
+
+    #[test]
+    fn masks_may_be_asymmetric_without_firing_prematurely() {
+        // 0 waits for 1, but 1 waits for nobody: 1 syncs alone, 0 keeps
+        // waiting until 1 is ready again — matching the hardware, where
+        // correctness is the software's responsibility.
+        let mut units = vec![ready_unit(0b10, 1), BarrierUnit::new(0, 1)];
+        assert!(evaluate_sync(&mut units, &[true, true]).is_empty());
+    }
+}

@@ -1,0 +1,524 @@
+//! Binary instruction encoding.
+//!
+//! The paper's implementation marks barrier-region membership with "a
+//! single bit in each instruction" (Sec. 6). This module makes that
+//! concrete: every [`Op`] encodes into one 64-bit word whose **top bit is
+//! the barrier-region bit**, with an 8-bit opcode, three 8-bit register
+//! fields and a 32-bit signed immediate/target. Round-tripping is exact
+//! for all encodable programs; immediates outside ±2³¹ are rejected at
+//! encode time.
+//!
+//! Layout (most significant bit first):
+//!
+//! ```text
+//! | 63 | 62..56 |  55..48 | 47..40 | 39..32 | 31..0 |
+//! | B  | unused | opcode  |   rd   |   rs   |  imm  |
+//! ```
+//!
+//! (Three-register instructions place the second source in the low byte
+//! of the immediate field.)
+
+use crate::isa::{Cond, Instr, Op, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The immediate/offset/target does not fit in 32 bits.
+    ImmediateOutOfRange {
+        /// The offending value.
+        value: i64,
+    },
+    /// The word's opcode field is not a known instruction.
+    BadOpcode {
+        /// The opcode byte.
+        opcode: u8,
+    },
+    /// A register field exceeds the register-file size.
+    BadRegister {
+        /// The register byte.
+        reg: u8,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::ImmediateOutOfRange { value } => {
+                write!(f, "immediate {value} does not fit in 32 bits")
+            }
+            CodecError::BadOpcode { opcode } => write!(f, "unknown opcode {opcode:#x}"),
+            CodecError::BadRegister { reg } => write!(f, "register field {reg} out of range"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+const B_BIT: u64 = 1 << 63;
+
+mod opcodes {
+    pub const LI: u8 = 0x01;
+    pub const MOV: u8 = 0x02;
+    pub const ADD: u8 = 0x03;
+    pub const SUB: u8 = 0x04;
+    pub const MUL: u8 = 0x05;
+    pub const ADDI: u8 = 0x06;
+    pub const MULI: u8 = 0x07;
+    pub const DIVI: u8 = 0x08;
+    pub const LOAD: u8 = 0x09;
+    pub const STORE: u8 = 0x0A;
+    pub const FAA: u8 = 0x0B;
+    pub const JUMP: u8 = 0x0C;
+    pub const BEQ: u8 = 0x0D;
+    pub const BNE: u8 = 0x0E;
+    pub const BLT: u8 = 0x0F;
+    pub const BGE: u8 = 0x10;
+    pub const BLE: u8 = 0x11;
+    pub const BGT: u8 = 0x12;
+    pub const SETMASK: u8 = 0x13;
+    pub const SETTAG: u8 = 0x14;
+    pub const NOP: u8 = 0x15;
+    pub const CALL: u8 = 0x16;
+    pub const RET: u8 = 0x17;
+    pub const TRAP: u8 = 0x18;
+    pub const HALT: u8 = 0x19;
+}
+
+fn imm32(value: i64) -> Result<u32, CodecError> {
+    i32::try_from(value)
+        .map(|v| v as u32)
+        .map_err(|_| CodecError::ImmediateOutOfRange { value })
+}
+
+fn pack(opcode: u8, rd: Reg, rs: Reg, imm: u32) -> u64 {
+    (u64::from(opcode) << 48) | (u64::from(rd) << 40) | (u64::from(rs) << 32) | u64::from(imm)
+}
+
+/// Encodes one instruction+bit pair into a 64-bit word.
+///
+/// # Errors
+///
+/// Returns [`CodecError::ImmediateOutOfRange`] if an immediate, offset,
+/// mask or branch target exceeds 32 bits. (Masks wider than 32 processors
+/// cannot be encoded in this format; use the in-memory representation.)
+pub fn encode(op: &Op) -> Result<u64, CodecError> {
+    use opcodes::*;
+    let word = match op.instr {
+        Instr::Li { rd, imm } => pack(LI, rd, 0, imm32(imm)?),
+        Instr::Mov { rd, rs } => pack(MOV, rd, rs, 0),
+        Instr::Add { rd, rs1, rs2 } => pack(ADD, rd, rs1, u32::from(rs2)),
+        Instr::Sub { rd, rs1, rs2 } => pack(SUB, rd, rs1, u32::from(rs2)),
+        Instr::Mul { rd, rs1, rs2 } => pack(MUL, rd, rs1, u32::from(rs2)),
+        Instr::Addi { rd, rs, imm } => pack(ADDI, rd, rs, imm32(imm)?),
+        Instr::Muli { rd, rs, imm } => pack(MULI, rd, rs, imm32(imm)?),
+        Instr::Divi { rd, rs, imm } => pack(DIVI, rd, rs, imm32(imm)?),
+        Instr::Load { rd, rs, offset } => pack(LOAD, rd, rs, imm32(offset)?),
+        Instr::Store { rs, rb, offset } => pack(STORE, rs, rb, imm32(offset)?),
+        Instr::FetchAdd {
+            rd,
+            rb,
+            offset,
+            imm,
+        } => {
+            // Fetch-add packs the offset in the imm field's high half and
+            // the addend in the low half; both must fit in 16 bits.
+            let off = i16::try_from(offset)
+                .map_err(|_| CodecError::ImmediateOutOfRange { value: offset })?;
+            let add = i16::try_from(imm)
+                .map_err(|_| CodecError::ImmediateOutOfRange { value: imm })?;
+            pack(
+                FAA,
+                rd,
+                rb,
+                (u32::from(off as u16) << 16) | u32::from(add as u16),
+            )
+        }
+        Instr::Jump { target } => pack(JUMP, 0, 0, imm32(target as i64)?),
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            let opcode = match cond {
+                Cond::Eq => BEQ,
+                Cond::Ne => BNE,
+                Cond::Lt => BLT,
+                Cond::Ge => BGE,
+                Cond::Le => BLE,
+                Cond::Gt => BGT,
+            };
+            // Branch packs rs1/rs2 in the register fields and the target
+            // in the imm field's high 24 bits.
+            let t = u32::try_from(target)
+                .ok()
+                .filter(|&t| t < (1 << 24))
+                .ok_or(CodecError::ImmediateOutOfRange {
+                    value: target as i64,
+                })?;
+            pack(opcode, rs1, rs2, t << 8)
+        }
+        Instr::SetMask { mask } => {
+            let m = u32::try_from(mask).map_err(|_| CodecError::ImmediateOutOfRange {
+                value: mask as i64,
+            })?;
+            pack(SETMASK, 0, 0, m)
+        }
+        Instr::SetTag { tag } => pack(SETTAG, 0, 0, u32::from(tag)),
+        Instr::Nop => pack(NOP, 0, 0, 0),
+        Instr::Call { target } => pack(CALL, 0, 0, imm32(target as i64)?),
+        Instr::Ret => pack(RET, 0, 0, 0),
+        Instr::Trap { cause } => pack(TRAP, 0, 0, u32::from(cause)),
+        Instr::Halt => pack(HALT, 0, 0, 0),
+    };
+    Ok(word | if op.barrier { B_BIT } else { 0 })
+}
+
+fn reg_checked(byte: u8) -> Result<Reg, CodecError> {
+    if usize::from(byte) < crate::isa::NUM_REGS {
+        Ok(byte)
+    } else {
+        Err(CodecError::BadRegister { reg: byte })
+    }
+}
+
+/// Decodes one 64-bit word back into an instruction+bit pair.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadOpcode`] or [`CodecError::BadRegister`] on
+/// malformed words.
+pub fn decode(word: u64) -> Result<Op, CodecError> {
+    use opcodes::*;
+    let barrier = word & B_BIT != 0;
+    let opcode = ((word >> 48) & 0xFF) as u8;
+    let rd = reg_checked(((word >> 40) & 0xFF) as u8);
+    let rs = reg_checked(((word >> 32) & 0xFF) as u8);
+    let imm_u = (word & 0xFFFF_FFFF) as u32;
+    let imm = i64::from(imm_u as i32);
+    let instr = match opcode {
+        LI => Instr::Li { rd: rd?, imm },
+        MOV => Instr::Mov { rd: rd?, rs: rs? },
+        ADD | SUB | MUL => {
+            let rs2 = reg_checked((imm_u & 0xFF) as u8)?;
+            let (rd, rs1) = (rd?, rs?);
+            match opcode {
+                ADD => Instr::Add { rd, rs1, rs2 },
+                SUB => Instr::Sub { rd, rs1, rs2 },
+                _ => Instr::Mul { rd, rs1, rs2 },
+            }
+        }
+        ADDI => Instr::Addi {
+            rd: rd?,
+            rs: rs?,
+            imm,
+        },
+        MULI => Instr::Muli {
+            rd: rd?,
+            rs: rs?,
+            imm,
+        },
+        DIVI => Instr::Divi {
+            rd: rd?,
+            rs: rs?,
+            imm,
+        },
+        LOAD => Instr::Load {
+            rd: rd?,
+            rs: rs?,
+            offset: imm,
+        },
+        STORE => Instr::Store {
+            rs: rd?,
+            rb: rs?,
+            offset: imm,
+        },
+        FAA => Instr::FetchAdd {
+            rd: rd?,
+            rb: rs?,
+            offset: i64::from((imm_u >> 16) as u16 as i16),
+            imm: i64::from((imm_u & 0xFFFF) as u16 as i16),
+        },
+        JUMP => Instr::Jump {
+            target: imm_u as usize,
+        },
+        BEQ | BNE | BLT | BGE | BLE | BGT => {
+            let cond = match opcode {
+                BEQ => Cond::Eq,
+                BNE => Cond::Ne,
+                BLT => Cond::Lt,
+                BGE => Cond::Ge,
+                BLE => Cond::Le,
+                _ => Cond::Gt,
+            };
+            Instr::Branch {
+                cond,
+                rs1: rd?,
+                rs2: rs?,
+                target: (imm_u >> 8) as usize,
+            }
+        }
+        SETMASK => Instr::SetMask {
+            mask: u64::from(imm_u),
+        },
+        SETTAG => Instr::SetTag {
+            tag: (imm_u & 0xFFFF) as u16,
+        },
+        NOP => Instr::Nop,
+        CALL => Instr::Call {
+            target: imm_u as usize,
+        },
+        RET => Instr::Ret,
+        TRAP => Instr::Trap {
+            cause: (imm_u & 0xFFFF) as u16,
+        },
+        HALT => Instr::Halt,
+        other => return Err(CodecError::BadOpcode { opcode: other }),
+    };
+    Ok(Op { instr, barrier })
+}
+
+/// Encodes a whole instruction sequence.
+///
+/// # Errors
+///
+/// Fails on the first unencodable instruction.
+pub fn encode_stream(ops: &[Op]) -> Result<Vec<u64>, CodecError> {
+    ops.iter().map(encode).collect()
+}
+
+/// Decodes a whole image back into instructions.
+///
+/// # Errors
+///
+/// Fails on the first malformed word.
+pub fn decode_stream(words: &[u64]) -> Result<Vec<Op>, CodecError> {
+    words.iter().copied().map(decode).collect()
+}
+
+/// Magic number identifying a fuzzy-barrier program image.
+pub const IMAGE_MAGIC: u32 = 0xF022_1989;
+
+/// Serializes a whole [`crate::program::Program`] into a binary image:
+/// a small header (magic, stream count, per-stream lengths) followed by
+/// the encoded instruction words, all little-endian.
+///
+/// # Errors
+///
+/// Fails on the first unencodable instruction.
+pub fn encode_program(program: &crate::program::Program) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&IMAGE_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(program.num_procs() as u32).to_le_bytes());
+    for stream in program.streams() {
+        out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+    }
+    for stream in program.streams() {
+        for op in stream.ops() {
+            out.extend_from_slice(&encode(op)?.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Image deserialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// The image is truncated or has a bad magic number.
+    Malformed,
+    /// A word failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Malformed => write!(f, "malformed program image"),
+            ImageError::Codec(e) => write!(f, "bad instruction word: {e}"),
+        }
+    }
+}
+
+impl Error for ImageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImageError::Codec(e) => Some(e),
+            ImageError::Malformed => None,
+        }
+    }
+}
+
+/// Deserializes a program image produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns [`ImageError`] on truncation, bad magic or malformed words.
+pub fn decode_program(bytes: &[u8]) -> Result<crate::program::Program, ImageError> {
+    let take_u32 = |bytes: &[u8], at: usize| -> Result<u32, ImageError> {
+        bytes
+            .get(at..at + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .ok_or(ImageError::Malformed)
+    };
+    if take_u32(bytes, 0)? != IMAGE_MAGIC {
+        return Err(ImageError::Malformed);
+    }
+    let streams = take_u32(bytes, 4)? as usize;
+    let mut lens = Vec::with_capacity(streams);
+    let mut pos = 8usize;
+    for _ in 0..streams {
+        lens.push(take_u32(bytes, pos)? as usize);
+        pos += 4;
+    }
+    let mut out = Vec::with_capacity(streams);
+    for len in lens {
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            let w = bytes
+                .get(pos..pos + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .ok_or(ImageError::Malformed)?;
+            ops.push(decode(w).map_err(ImageError::Codec)?);
+            pos += 8;
+        }
+        out.push(crate::program::Stream::from_ops(ops));
+    }
+    if pos != bytes.len() {
+        return Err(ImageError::Malformed);
+    }
+    Ok(crate::program::Program::new(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_bit_is_the_top_bit() {
+        let plain = encode(&Op::plain(Instr::Nop)).unwrap();
+        let fuzzy = encode(&Op::fuzzy(Instr::Nop)).unwrap();
+        assert_eq!(plain & B_BIT, 0);
+        assert_eq!(fuzzy & B_BIT, B_BIT);
+        assert_eq!(plain | B_BIT, fuzzy);
+    }
+
+    #[test]
+    fn round_trips_every_shape() {
+        let samples = vec![
+            Op::plain(Instr::Li { rd: 3, imm: -70000 }),
+            Op::fuzzy(Instr::Mov { rd: 1, rs: 2 }),
+            Op::plain(Instr::Add { rd: 1, rs1: 2, rs2: 3 }),
+            Op::fuzzy(Instr::Sub { rd: 4, rs1: 5, rs2: 6 }),
+            Op::plain(Instr::Mul { rd: 7, rs1: 8, rs2: 9 }),
+            Op::fuzzy(Instr::Addi { rd: 1, rs: 1, imm: -1 }),
+            Op::plain(Instr::Muli { rd: 2, rs: 3, imm: 12 }),
+            Op::fuzzy(Instr::Divi { rd: 2, rs: 3, imm: 4 }),
+            Op::plain(Instr::Load { rd: 9, rs: 0, offset: 12345 }),
+            Op::fuzzy(Instr::Store { rs: 9, rb: 0, offset: -7 }),
+            Op::plain(Instr::FetchAdd { rd: 25, rb: 24, offset: 1, imm: -2 }),
+            Op::fuzzy(Instr::Jump { target: 99 }),
+            Op::plain(Instr::Branch { cond: Cond::Lt, rs1: 1, rs2: 2, target: 1000 }),
+            Op::fuzzy(Instr::Branch { cond: Cond::Ge, rs1: 30, rs2: 31, target: 0 }),
+            Op::plain(Instr::SetMask { mask: 0b1011 }),
+            Op::fuzzy(Instr::SetTag { tag: 65535 }),
+            Op::plain(Instr::Nop),
+            Op::fuzzy(Instr::Call { target: 7 }),
+            Op::plain(Instr::Ret),
+            Op::fuzzy(Instr::Trap { cause: 42 }),
+            Op::plain(Instr::Halt),
+        ];
+        for op in samples {
+            let word = encode(&op).unwrap();
+            assert_eq!(decode(word).unwrap(), op, "word {word:#018x}");
+        }
+    }
+
+    #[test]
+    fn oversized_immediates_rejected() {
+        assert!(matches!(
+            encode(&Op::plain(Instr::Li {
+                rd: 0,
+                imm: 1 << 40
+            })),
+            Err(CodecError::ImmediateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            encode(&Op::plain(Instr::FetchAdd {
+                rd: 0,
+                rb: 0,
+                offset: 1 << 20,
+                imm: 0
+            })),
+            Err(CodecError::ImmediateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            encode(&Op::plain(Instr::Branch {
+                cond: Cond::Eq,
+                rs1: 0,
+                rs2: 0,
+                target: 1 << 25
+            })),
+            Err(CodecError::ImmediateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_words_rejected() {
+        assert!(matches!(
+            decode(0xFF << 48),
+            Err(CodecError::BadOpcode { opcode: 0xFF })
+        ));
+        // LI with register 200.
+        let word = (u64::from(opcodes::LI) << 48) | (200u64 << 40);
+        assert!(matches!(
+            decode(word),
+            Err(CodecError::BadRegister { reg: 200 })
+        ));
+    }
+
+    #[test]
+    fn program_image_round_trips() {
+        use crate::assembler::assemble_program;
+        let p = assemble_program(
+            ".stream\nli r1, 1\nB: nop\nhalt\n.stream\nli r1, 2\nB: nop\nhalt\n",
+        )
+        .unwrap();
+        let image = encode_program(&p).unwrap();
+        let back = decode_program(&image).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn image_validation() {
+        assert_eq!(decode_program(&[1, 2, 3]), Err(ImageError::Malformed));
+        let mut bad_magic = vec![0u8; 8];
+        bad_magic[0] = 9;
+        assert_eq!(decode_program(&bad_magic), Err(ImageError::Malformed));
+        // Truncated body.
+        use crate::assembler::assemble_program;
+        let p = assemble_program("nop\nhalt\n").unwrap();
+        let mut image = encode_program(&p).unwrap();
+        image.truncate(image.len() - 3);
+        assert_eq!(decode_program(&image), Err(ImageError::Malformed));
+        // Trailing garbage.
+        let mut image = encode_program(&p).unwrap();
+        image.push(0);
+        assert_eq!(decode_program(&image), Err(ImageError::Malformed));
+    }
+
+    #[test]
+    fn whole_stream_round_trips() {
+        use crate::assembler::assemble_stream;
+        let s = assemble_stream(
+            "li r1, 0\nli r2, 5\nloop:\naddi r1, r1, 1\nB: nop\nB: blt r1, r2, loop\nhalt\n",
+        )
+        .unwrap();
+        let words = encode_stream(s.ops()).unwrap();
+        let back = decode_stream(&words).unwrap();
+        assert_eq!(back, s.ops());
+    }
+}

@@ -1,0 +1,394 @@
+//! The mini RISC instruction set executed by the simulator.
+//!
+//! The paper implements the fuzzy barrier "in a multiprocessor system that
+//! uses RISC processors" and distinguishes barrier-region instructions from
+//! non-barrier instructions with "a single bit in each instruction"
+//! (Sec. 6). [`Op`] is exactly that pairing: an [`Instr`] plus the
+//! barrier-region bit.
+
+use std::fmt;
+
+/// A register index (`r0`–`r31`).
+pub type Reg = u8;
+
+/// Number of general-purpose registers per processor.
+pub const NUM_REGS: usize = 32;
+
+/// Branch/comparison conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+}
+
+impl Cond {
+    /// Evaluates the condition on two operands.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+        }
+    }
+
+    /// The condition's assembler mnemonic suffix (`eq`, `ne`, …).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+        }
+    }
+}
+
+/// One machine instruction.
+///
+/// Branch targets are absolute instruction indices within the stream
+/// (labels are resolved by the assembler or stream builder before
+/// execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `rd ← imm`
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `rd ← rs`
+    Mov {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd ← rs1 + rs2`
+    Add {
+        /// Destination register.
+        rd: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rd ← rs1 − rs2`
+    Sub {
+        /// Destination register.
+        rd: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rd ← rs1 × rs2`
+    Mul {
+        /// Destination register.
+        rd: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rd ← rs + imm`
+    Addi {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `rd ← rs × imm`
+    Muli {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `rd ← rs ÷ imm` (truncating; `imm` must be non-zero).
+    Divi {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+        /// Immediate divisor.
+        imm: i64,
+    },
+    /// `rd ← mem[rs + offset]`
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        rs: Reg,
+        /// Word offset.
+        offset: i64,
+    },
+    /// `mem[rb + offset] ← rs`
+    Store {
+        /// Value register.
+        rs: Reg,
+        /// Base address register.
+        rb: Reg,
+        /// Word offset.
+        offset: i64,
+    },
+    /// Atomic fetch-and-add: `rd ← mem[rb + offset]; mem[rb + offset] += imm`.
+    /// The primitive shared-variable software barriers are built from.
+    FetchAdd {
+        /// Destination register (receives the old value).
+        rd: Reg,
+        /// Base address register.
+        rb: Reg,
+        /// Word offset.
+        offset: i64,
+        /// Added value.
+        imm: i64,
+    },
+    /// Unconditional jump to instruction index `target`.
+    Jump {
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// Conditional branch: if `cond(rs1, rs2)` jump to `target`.
+    Branch {
+        /// The comparison.
+        cond: Cond,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// Sets the processor's barrier participation mask (bit *i* ⇔
+    /// synchronize with processor *i*). Sec. 6.
+    SetMask {
+        /// Raw mask bits.
+        mask: u64,
+    },
+    /// Sets the processor's barrier tag (0 = not participating). Sec. 6.
+    SetTag {
+        /// Raw tag value.
+        tag: u16,
+    },
+    /// No operation. Inserted to represent an otherwise-empty barrier
+    /// region (Sec. 6: "a null operation is introduced to create a barrier
+    /// region").
+    Nop,
+    /// Procedure call: push the return address and jump to `target`.
+    /// Sec. 9 lists "allowing procedure calls from barrier regions" as
+    /// under investigation; this implementation resolves it by letting the
+    /// callee's own barrier-region bits govern (see the `machine` module
+    /// docs).
+    Call {
+        /// Absolute instruction index of the procedure entry.
+        target: usize,
+    },
+    /// Return from a procedure (or from an interrupt/trap handler).
+    Ret,
+    /// Synchronous trap to the processor's registered trap handler —
+    /// "traps … are often used in RISC based systems to implement floating
+    /// point operations" (Sec. 9). The barrier unit's state is frozen for
+    /// the duration of the handler.
+    Trap {
+        /// Cause code, written to the trap-cause register (r31 by
+        /// convention) for the handler to inspect.
+        cause: u16,
+    },
+    /// Stops the processor.
+    Halt,
+}
+
+impl Instr {
+    /// Whether the instruction accesses shared memory.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. } | Instr::Store { .. } | Instr::FetchAdd { .. }
+        )
+    }
+
+    /// Whether the instruction may transfer control.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jump { .. }
+                | Instr::Branch { .. }
+                | Instr::Call { .. }
+                | Instr::Ret
+                | Instr::Trap { .. }
+        )
+    }
+
+    /// The branch destination, if any. `Call` targets are reported by
+    /// [`Instr::call_target`] instead, since the region rules treat calls
+    /// differently (the callee's own bits govern).
+    #[must_use]
+    pub fn branch_target(&self) -> Option<usize> {
+        match self {
+            Instr::Jump { target } | Instr::Branch { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// The call destination, if any.
+    #[must_use]
+    pub fn call_target(&self) -> Option<usize> {
+        match self {
+            Instr::Call { target } => Some(*target),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Li { rd, imm } => write!(f, "li r{rd}, {imm}"),
+            Instr::Mov { rd, rs } => write!(f, "mov r{rd}, r{rs}"),
+            Instr::Add { rd, rs1, rs2 } => write!(f, "add r{rd}, r{rs1}, r{rs2}"),
+            Instr::Sub { rd, rs1, rs2 } => write!(f, "sub r{rd}, r{rs1}, r{rs2}"),
+            Instr::Mul { rd, rs1, rs2 } => write!(f, "mul r{rd}, r{rs1}, r{rs2}"),
+            Instr::Addi { rd, rs, imm } => write!(f, "addi r{rd}, r{rs}, {imm}"),
+            Instr::Muli { rd, rs, imm } => write!(f, "muli r{rd}, r{rs}, {imm}"),
+            Instr::Divi { rd, rs, imm } => write!(f, "divi r{rd}, r{rs}, {imm}"),
+            Instr::Load { rd, rs, offset } => write!(f, "ld r{rd}, [r{rs}+{offset}]"),
+            Instr::Store { rs, rb, offset } => write!(f, "st r{rs}, [r{rb}+{offset}]"),
+            Instr::FetchAdd {
+                rd,
+                rb,
+                offset,
+                imm,
+            } => write!(f, "faa r{rd}, [r{rb}+{offset}], {imm}"),
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => write!(f, "b{} r{rs1}, r{rs2}, @{target}", cond.mnemonic()),
+            Instr::SetMask { mask } => write!(f, "setmask {mask:#b}"),
+            Instr::SetTag { tag } => write!(f, "settag {tag}"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Call { target } => write!(f, "call @{target}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Trap { cause } => write!(f, "trap {cause}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// An instruction together with its barrier-region bit.
+///
+/// "The bit is one if the instruction is from a barrier region and zero
+/// otherwise" (Sec. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Op {
+    /// The instruction.
+    pub instr: Instr,
+    /// The barrier-region bit.
+    pub barrier: bool,
+}
+
+impl Op {
+    /// A non-barrier-region instruction.
+    #[must_use]
+    pub fn plain(instr: Instr) -> Self {
+        Op {
+            instr,
+            barrier: false,
+        }
+    }
+
+    /// A barrier-region instruction.
+    #[must_use]
+    pub fn fuzzy(instr: Instr) -> Self {
+        Op {
+            instr,
+            barrier: true,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.barrier {
+            write!(f, "B| {}", self.instr)
+        } else {
+            write!(f, " | {}", self.instr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_covers_all_cases() {
+        assert!(Cond::Eq.eval(1, 1));
+        assert!(Cond::Ne.eval(1, 2));
+        assert!(Cond::Lt.eval(-1, 0));
+        assert!(Cond::Ge.eval(3, 3));
+        assert!(Cond::Le.eval(2, 3));
+        assert!(Cond::Gt.eval(3, 2));
+        assert!(!Cond::Gt.eval(2, 2));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Instr::Load {
+            rd: 0,
+            rs: 1,
+            offset: 0
+        }
+        .is_memory());
+        assert!(Instr::FetchAdd {
+            rd: 0,
+            rb: 1,
+            offset: 0,
+            imm: 1
+        }
+        .is_memory());
+        assert!(!Instr::Nop.is_memory());
+        assert!(Instr::Jump { target: 3 }.is_control());
+        assert_eq!(Instr::Jump { target: 3 }.branch_target(), Some(3));
+        assert_eq!(Instr::Nop.branch_target(), None);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(
+            Op::fuzzy(Instr::Addi {
+                rd: 1,
+                rs: 2,
+                imm: 4
+            })
+            .to_string(),
+            "B| addi r1, r2, 4"
+        );
+        assert_eq!(Op::plain(Instr::Nop).to_string(), " | nop");
+    }
+}

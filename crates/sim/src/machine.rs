@@ -1,0 +1,1334 @@
+//! The multiprocessor machine: common clock, processors, memory and the
+//! broadcast barrier network.
+//!
+//! "It is assumed that all processors use a common clock and are reset
+//! simultaneously" (Sec. 6). [`Machine::step`] advances that clock by one
+//! cycle: every processor attempts to issue, then the synchronization
+//! condition is evaluated once, broadcast-style, so all members of a
+//! barrier group discover synchronization in the same cycle.
+
+use crate::barrier_hw::{evaluate_sync, BarrierState, BarrierUnit};
+use crate::isa::Instr;
+use crate::memory::{Memory, MemoryConfig, OutOfBounds};
+use crate::processor::Processor;
+use crate::program::{Program, ProgramError};
+use crate::stats::{MachineStats, ProcStats};
+use crate::trace::{EventKind, TraceLog};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Machine-level configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Memory system configuration.
+    pub memory: MemoryConfig,
+    /// Pipelined issue: instructions overlap, and "a processor may enter
+    /// the barrier region before exiting the preceding non-barrier region"
+    /// (Sec. 6). When false, instructions execute serially to completion.
+    pub pipelined: bool,
+    /// Latency of `mul`/`muli` in cycles.
+    pub mul_latency: u64,
+    /// Enable the event trace.
+    pub trace: bool,
+    /// Maximum trace events retained.
+    pub trace_capacity: usize,
+    /// Run the static validator when loading the program. Disable only to
+    /// demonstrate what invalid programs (Fig. 2) do to the hardware.
+    pub validate: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            memory: MemoryConfig::default(),
+            pipelined: false,
+            mul_latency: 3,
+            trace: false,
+            trace_capacity: 1 << 16,
+            validate: true,
+        }
+    }
+}
+
+/// Why a [`Machine::run`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every processor halted.
+    Halted {
+        /// Cycles elapsed.
+        cycles: u64,
+    },
+    /// No processor can ever make progress again: every live processor is
+    /// stalled at a barrier and the synchronization condition cannot fire
+    /// (e.g. Fig. 2's invalid branch).
+    Deadlock {
+        /// Cycle at which deadlock was detected.
+        cycle: u64,
+    },
+    /// The cycle budget ran out first.
+    CycleLimit {
+        /// Cycles elapsed.
+        cycles: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the program ran to completion.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        matches!(self, RunOutcome::Halted { .. })
+    }
+
+    /// Whether the machine deadlocked.
+    #[must_use]
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, RunOutcome::Deadlock { .. })
+    }
+
+    /// Cycles elapsed when the run ended.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        match self {
+            RunOutcome::Halted { cycles }
+            | RunOutcome::CycleLimit { cycles } => *cycles,
+            RunOutcome::Deadlock { cycle } => *cycle,
+        }
+    }
+}
+
+/// Simulation errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The loaded program failed static validation.
+    InvalidProgram(ProgramError),
+    /// A processor accessed memory out of bounds.
+    Memory {
+        /// Offending processor.
+        proc: usize,
+        /// Cycle of the access.
+        cycle: u64,
+        /// The underlying bounds error.
+        source: OutOfBounds,
+    },
+    /// The call/handler stack exceeded [`crate::processor::MAX_CALL_DEPTH`].
+    CallDepthExceeded {
+        /// Offending processor.
+        proc: usize,
+        /// Cycle of the call.
+        cycle: u64,
+    },
+    /// `ret` executed with no frame to return to.
+    ReturnWithoutFrame {
+        /// Offending processor.
+        proc: usize,
+        /// Cycle of the return.
+        cycle: u64,
+    },
+    /// `trap` executed with no trap handler registered for the processor.
+    UnhandledTrap {
+        /// Offending processor.
+        proc: usize,
+        /// Cycle of the trap.
+        cycle: u64,
+        /// The trap cause.
+        cause: u16,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+            SimError::Memory {
+                proc,
+                cycle,
+                source,
+            } => write!(f, "processor {proc} at cycle {cycle}: {source}"),
+            SimError::CallDepthExceeded { proc, cycle } => {
+                write!(f, "processor {proc} at cycle {cycle}: call stack overflow")
+            }
+            SimError::ReturnWithoutFrame { proc, cycle } => {
+                write!(f, "processor {proc} at cycle {cycle}: ret with empty call stack")
+            }
+            SimError::UnhandledTrap { proc, cycle, cause } => {
+                write!(
+                    f,
+                    "processor {proc} at cycle {cycle}: trap {cause} with no handler registered"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidProgram(e) => Some(e),
+            SimError::Memory { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for SimError {
+    fn from(e: ProgramError) -> Self {
+        SimError::InvalidProgram(e)
+    }
+}
+
+/// The simulated multiprocessor.
+#[derive(Debug)]
+pub struct Machine {
+    program: Program,
+    procs: Vec<Processor>,
+    memory: Memory,
+    cfg: MachineConfig,
+    cycle: u64,
+    sync_events: u64,
+    trace: TraceLog,
+    /// Per-processor trap handler entry points (`trap` faults without one).
+    trap_handlers: Vec<Option<usize>>,
+    /// Pending asynchronous interrupts: `(deliver_at_cycle, proc, handler)`.
+    interrupts: Vec<(u64, usize, usize)>,
+    /// Samples of each synchronizing processor's position inside its
+    /// barrier region (instructions already executed from the region) at
+    /// the moment synchronization occurred.
+    sync_positions: Vec<u64>,
+}
+
+impl Machine {
+    /// Loads `program` onto a machine with one processor per stream.
+    /// Every processor's mask defaults to "all other processors" and its
+    /// tag to 1; use [`crate::builder::MachineBuilder`] or `setmask` /
+    /// `settag` instructions to change that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] if validation is enabled and
+    /// the program violates the Sec. 3 branch rules.
+    pub fn new(program: Program, cfg: MachineConfig) -> Result<Self, SimError> {
+        if cfg.validate {
+            program.validate()?;
+        }
+        let n = program.num_procs();
+        let all = if n >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        };
+        let procs = (0..n)
+            .map(|id| {
+                let mask = all & !(1u64 << id);
+                Processor::new(id, BarrierUnit::new(mask, 1))
+            })
+            .collect();
+        Ok(Machine {
+            memory: Memory::new(cfg.memory.clone(), n),
+            trace: TraceLog::new(cfg.trace, cfg.trace_capacity),
+            procs,
+            program,
+            cfg,
+            cycle: 0,
+            sync_events: 0,
+            trap_handlers: vec![None; n],
+            interrupts: Vec::new(),
+            sync_positions: Vec::new(),
+        })
+    }
+
+    /// Registers a trap handler entry point for `proc`. A `trap`
+    /// instruction jumps there with the cause code in `r31`; the barrier
+    /// unit's state is frozen until the matching `ret`.
+    pub fn set_trap_handler(&mut self, proc: usize, handler: usize) {
+        self.trap_handlers[proc] = Some(handler);
+    }
+
+    /// Schedules an asynchronous interrupt: at the first cycle ≥ `cycle`
+    /// where `proc` is live and not already in a handler, control
+    /// transfers to `handler` (with a handler frame pushed). Barrier
+    /// state is frozen for the handler's duration — a stalled processor
+    /// takes the interrupt, runs the handler, and resumes its stall.
+    pub fn schedule_interrupt(&mut self, proc: usize, cycle: u64, handler: usize) {
+        self.interrupts.push((cycle, proc, handler));
+    }
+
+    /// Creates a machine and applies per-processor initial masks and tags.
+    ///
+    /// # Errors
+    ///
+    /// Like [`Machine::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units.len()` differs from the number of streams.
+    pub fn with_units(
+        program: Program,
+        cfg: MachineConfig,
+        units: Vec<BarrierUnit>,
+    ) -> Result<Self, SimError> {
+        assert_eq!(
+            units.len(),
+            program.num_procs(),
+            "one barrier unit per stream"
+        );
+        let mut machine = Machine::new(program, cfg)?;
+        for (proc, unit) in machine.procs.iter_mut().zip(units) {
+            proc.unit = unit;
+        }
+        Ok(machine)
+    }
+
+    /// The current cycle count.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Shared memory access (host side).
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable shared memory access (host side), e.g. to load input data.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// The processors.
+    #[must_use]
+    pub fn procs(&self) -> &[Processor] {
+        &self.procs
+    }
+
+    /// The event trace.
+    #[must_use]
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Samples of processors’ positions inside their barrier regions at
+    /// the moment each synchronization occurred: 0 means the processor
+    /// had only just entered the region; larger values mean it was deep
+    /// inside. The spread of these samples is the "fuzziness" of Fig. 1.
+    #[must_use]
+    pub fn sync_positions(&self) -> &[u64] {
+        &self.sync_positions
+    }
+
+    /// Whether every processor has halted.
+    #[must_use]
+    pub fn all_halted(&self) -> bool {
+        self.procs.iter().all(|p| p.halted)
+    }
+
+    /// Aggregated statistics.
+    #[must_use]
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            cycles: self.cycle,
+            sync_events: self.sync_events,
+            procs: self.procs.iter().map(|p| p.stats).collect(),
+        }
+    }
+
+    /// Per-processor statistics.
+    #[must_use]
+    pub fn proc_stats(&self, proc: usize) -> ProcStats {
+        self.procs[proc].stats
+    }
+
+    /// Advances the machine one cycle. Returns true if any processor is
+    /// still live (not halted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Memory`] on an out-of-bounds access.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        let cycle = self.cycle;
+        for i in 0..self.procs.len() {
+            self.step_proc(i, cycle)?;
+        }
+
+        // Broadcast synchronization evaluation, once per cycle, after all
+        // processors have acted — "all processors simultaneously discover
+        // the occurrence of synchronization".
+        let ready_override: Vec<bool> = self
+            .procs
+            .iter()
+            .map(|p| {
+                if self.cfg.pipelined {
+                    p.outstanding_plain.iter().all(|&done| done <= cycle)
+                } else {
+                    true
+                }
+            })
+            .collect();
+        let mut units: Vec<BarrierUnit> =
+            self.procs.iter().map(|p| p.unit.clone()).collect();
+        let synced = evaluate_sync(&mut units, &ready_override);
+        if !synced.is_empty() {
+            let tags: BTreeSet<u16> = synced.iter().map(|&i| units[i].tag).collect();
+            self.sync_events += tags.len() as u64;
+            for &i in &synced {
+                self.procs[i].unit.state = BarrierState::Synced;
+                self.procs[i].stats.syncs += 1;
+                if self.sync_positions.len() < (1 << 20) {
+                    self.sync_positions.push(self.procs[i].region_progress);
+                }
+                self.trace.record(cycle, i, EventKind::Sync);
+            }
+        }
+
+        self.cycle += 1;
+        Ok(!self.all_halted())
+    }
+
+    /// Runs until halt, deadlock or `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Memory`] on an out-of-bounds access.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunOutcome, SimError> {
+        while self.cycle < max_cycles {
+            let live = self.step()?;
+            if !live {
+                return Ok(RunOutcome::Halted { cycles: self.cycle });
+            }
+            if self.is_deadlocked() {
+                return Ok(RunOutcome::Deadlock { cycle: self.cycle });
+            }
+        }
+        Ok(RunOutcome::CycleLimit { cycles: self.cycle })
+    }
+
+    /// True when no future cycle can change any processor's state: every
+    /// live processor is stalled at a barrier exit with nothing in flight,
+    /// and the synchronization condition just failed to fire.
+    fn is_deadlocked(&self) -> bool {
+        // A pending interrupt can still unblock a stalled processor.
+        if !self.interrupts.is_empty() {
+            return false;
+        }
+        let mut any_live = false;
+        for p in &self.procs {
+            if p.halted {
+                continue;
+            }
+            any_live = true;
+            if p.unit.state != BarrierState::Stalled || p.in_handler() {
+                return false;
+            }
+            if !p.outstanding_plain.is_empty() {
+                return false;
+            }
+        }
+        any_live
+    }
+
+    fn step_proc(&mut self, i: usize, cycle: u64) -> Result<(), SimError> {
+        if self.procs[i].halted {
+            return Ok(());
+        }
+        if self.cfg.pipelined {
+            self.procs[i].retire(cycle);
+        } else if self.procs[i].busy_until > cycle {
+            self.procs[i].stats.busy_cycles += 1;
+            return Ok(());
+        }
+
+        // Deliver a pending interrupt (one at a time; never nested).
+        if !self.procs[i].in_handler() {
+            if let Some(idx) = self
+                .interrupts
+                .iter()
+                .position(|&(at, proc, _)| proc == i && at <= cycle)
+            {
+                let (_, _, handler) = self.interrupts.swap_remove(idx);
+                let return_pc = self.procs[i].pc;
+                self.procs[i]
+                    .frames
+                    .push(crate::processor::Frame::Handler { return_pc });
+                self.procs[i].handler_depth += 1;
+                self.procs[i].pc = handler;
+                self.trace.record(cycle, i, EventKind::Interrupt);
+            }
+        }
+
+        let pc = self.procs[i].pc;
+        let stream = &self.program.streams()[i];
+        if pc >= stream.len() {
+            self.procs[i].halted = true;
+            self.procs[i].unit.state = BarrierState::NonBarrier;
+            self.trace.record(cycle, i, EventKind::Halt);
+            return Ok(());
+        }
+        let op = stream.ops()[pc];
+
+        // Region transitions at issue time. Suspended while inside an
+        // interrupt/trap handler: the handler's instructions execute with
+        // the barrier unit frozen, so a stalled processor can service an
+        // interrupt and resume its stall afterwards (our resolution of the
+        // paper's Sec. 9 open question).
+        match (
+            op.barrier && !self.procs[i].in_handler(),
+            if self.procs[i].in_handler() {
+                BarrierState::NonBarrier // disables the transition arms below
+            } else {
+                self.procs[i].unit.state
+            },
+        ) {
+            (true, BarrierState::NonBarrier) => {
+                self.procs[i].unit.state = BarrierState::ReadyUnsynced;
+                self.procs[i].stats.barrier_entries += 1;
+                self.procs[i].region_progress = 0;
+                self.trace.record(cycle, i, EventKind::EnterBarrier);
+            }
+            (false, BarrierState::ReadyUnsynced) => {
+                // Reached the barrier-region exit before synchronization:
+                // stall (state iv).
+                self.procs[i].unit.state = BarrierState::Stalled;
+                self.procs[i].stats.stall_cycles += 1;
+                self.trace.record(cycle, i, EventKind::StallStart);
+                return Ok(());
+            }
+            (false, BarrierState::Stalled) => {
+                self.procs[i].stats.stall_cycles += 1;
+                return Ok(());
+            }
+            (false, BarrierState::Synced) => {
+                // Crossing the barrier: first non-barrier instruction after
+                // synchronization (state iii → i).
+                self.procs[i].unit.state = BarrierState::NonBarrier;
+                self.trace.record(cycle, i, EventKind::Cross);
+            }
+            _ => {}
+        }
+
+        // Execute.
+        let latency = self.execute(i, op.instr, cycle)?;
+        self.procs[i].stats.instructions += 1;
+        if op.barrier && !self.procs[i].in_handler() {
+            self.procs[i].region_progress += 1;
+        }
+        if self.cfg.pipelined {
+            if !op.barrier && latency > 1 {
+                self.procs[i].outstanding_plain.push(cycle + latency);
+            }
+        } else {
+            self.procs[i].busy_until = cycle + latency;
+        }
+        Ok(())
+    }
+
+    /// Executes one instruction functionally, returning its latency.
+    fn execute(&mut self, i: usize, instr: Instr, cycle: u64) -> Result<u64, SimError> {
+        let mem_err = |source: OutOfBounds| SimError::Memory {
+            proc: i,
+            cycle,
+            source,
+        };
+        let mut next_pc = self.procs[i].pc + 1;
+        let latency = match instr {
+            Instr::Li { rd, imm } => {
+                self.procs[i].set_reg(rd, imm);
+                1
+            }
+            Instr::Mov { rd, rs } => {
+                let v = self.procs[i].reg(rs);
+                self.procs[i].set_reg(rd, v);
+                1
+            }
+            Instr::Add { rd, rs1, rs2 } => {
+                let v = self.procs[i].reg(rs1).wrapping_add(self.procs[i].reg(rs2));
+                self.procs[i].set_reg(rd, v);
+                1
+            }
+            Instr::Sub { rd, rs1, rs2 } => {
+                let v = self.procs[i].reg(rs1).wrapping_sub(self.procs[i].reg(rs2));
+                self.procs[i].set_reg(rd, v);
+                1
+            }
+            Instr::Mul { rd, rs1, rs2 } => {
+                let v = self.procs[i].reg(rs1).wrapping_mul(self.procs[i].reg(rs2));
+                self.procs[i].set_reg(rd, v);
+                self.cfg.mul_latency
+            }
+            Instr::Addi { rd, rs, imm } => {
+                let v = self.procs[i].reg(rs).wrapping_add(imm);
+                self.procs[i].set_reg(rd, v);
+                1
+            }
+            Instr::Muli { rd, rs, imm } => {
+                let v = self.procs[i].reg(rs).wrapping_mul(imm);
+                self.procs[i].set_reg(rd, v);
+                self.cfg.mul_latency
+            }
+            Instr::Divi { rd, rs, imm } => {
+                // Division by zero is defined to produce 0 rather than
+                // trapping (the simulated machine has no trap model).
+                let v = if imm == 0 {
+                    0
+                } else {
+                    self.procs[i].reg(rs).wrapping_div(imm)
+                };
+                self.procs[i].set_reg(rd, v);
+                self.cfg.mul_latency
+            }
+            Instr::Load { rd, rs, offset } => {
+                let addr = self.procs[i].reg(rs).wrapping_add(offset);
+                let (v, lat) = self.memory.read(i, addr, cycle).map_err(mem_err)?;
+                self.procs[i].set_reg(rd, v);
+                lat
+            }
+            Instr::Store { rs, rb, offset } => {
+                let addr = self.procs[i].reg(rb).wrapping_add(offset);
+                let v = self.procs[i].reg(rs);
+                self.memory.write(i, addr, v, cycle).map_err(mem_err)?
+            }
+            Instr::FetchAdd {
+                rd,
+                rb,
+                offset,
+                imm,
+            } => {
+                let addr = self.procs[i].reg(rb).wrapping_add(offset);
+                let (old, lat) = self
+                    .memory
+                    .fetch_add(i, addr, imm, cycle)
+                    .map_err(mem_err)?;
+                self.procs[i].set_reg(rd, old);
+                lat
+            }
+            Instr::Jump { target } => {
+                next_pc = target;
+                1
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if cond.eval(self.procs[i].reg(rs1), self.procs[i].reg(rs2)) {
+                    next_pc = target;
+                }
+                1
+            }
+            Instr::SetMask { mask } => {
+                self.procs[i].unit.mask = mask;
+                1
+            }
+            Instr::SetTag { tag } => {
+                let unit = &mut self.procs[i].unit;
+                // Changing the tag while inside a barrier region begins a
+                // new logical barrier: the state machine re-arms so the
+                // processor must synchronize again under the new identity.
+                // This implements the paper's observation that the Fig. 2
+                // problem "will not arise in an implementation which
+                // explicitly specifies unique identifiers for barriers in
+                // the code" (Sec. 3).
+                if tag != unit.tag
+                    && matches!(
+                        unit.state,
+                        BarrierState::Synced | BarrierState::ReadyUnsynced
+                    )
+                {
+                    unit.state = BarrierState::ReadyUnsynced;
+                }
+                unit.tag = tag;
+                1
+            }
+            Instr::Nop => 1,
+            Instr::Call { target } => {
+                if self.procs[i].frames.len() >= crate::processor::MAX_CALL_DEPTH {
+                    return Err(SimError::CallDepthExceeded { proc: i, cycle });
+                }
+                let return_pc = self.procs[i].pc + 1;
+                self.procs[i]
+                    .frames
+                    .push(crate::processor::Frame::Call { return_pc });
+                next_pc = target;
+                1
+            }
+            Instr::Ret => match self.procs[i].frames.pop() {
+                Some(crate::processor::Frame::Call { return_pc }) => {
+                    next_pc = return_pc;
+                    1
+                }
+                Some(crate::processor::Frame::Handler { return_pc }) => {
+                    self.procs[i].handler_depth -= 1;
+                    next_pc = return_pc;
+                    1
+                }
+                None => return Err(SimError::ReturnWithoutFrame { proc: i, cycle }),
+            },
+            Instr::Trap { cause } => {
+                let handler = self.trap_handlers[i].ok_or(SimError::UnhandledTrap {
+                    proc: i,
+                    cycle,
+                    cause,
+                })?;
+                if self.procs[i].frames.len() >= crate::processor::MAX_CALL_DEPTH {
+                    return Err(SimError::CallDepthExceeded { proc: i, cycle });
+                }
+                self.procs[i].set_reg(31, i64::from(cause));
+                let return_pc = self.procs[i].pc + 1;
+                self.procs[i]
+                    .frames
+                    .push(crate::processor::Frame::Handler { return_pc });
+                self.procs[i].handler_depth += 1;
+                self.trace.record(cycle, i, EventKind::Trap);
+                next_pc = handler;
+                1
+            }
+            Instr::Halt => {
+                self.procs[i].halted = true;
+                self.procs[i].unit.state = BarrierState::NonBarrier;
+                self.trace.record(cycle, i, EventKind::Halt);
+                1
+            }
+        };
+        self.procs[i].pc = next_pc;
+        Ok(latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Instr, Op};
+    use crate::program::{Stream, StreamBuilder};
+
+    fn quiet_memory() -> MemoryConfig {
+        MemoryConfig {
+            banks: 8,
+            bank_occupancy: 1,
+            hit_latency: 1,
+            miss_penalty: 0,
+            ..MemoryConfig::default()
+        }
+    }
+
+    fn config() -> MachineConfig {
+        MachineConfig {
+            memory: quiet_memory(),
+            ..MachineConfig::default()
+        }
+    }
+
+    fn single(stream: Stream) -> Machine {
+        Machine::new(Program::new(vec![stream]), config()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_executes() {
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Li { rd: 1, imm: 6 });
+        b.plain(Instr::Li { rd: 2, imm: 7 });
+        b.plain(Instr::Mul {
+            rd: 3,
+            rs1: 1,
+            rs2: 2,
+        });
+        b.plain(Instr::Addi {
+            rd: 3,
+            rs: 3,
+            imm: -2,
+        });
+        b.plain(Instr::Halt);
+        let mut m = single(b.finish().unwrap());
+        let out = m.run(1000).unwrap();
+        assert!(out.is_halted());
+        assert_eq!(m.procs()[0].reg(3), 40);
+    }
+
+    #[test]
+    fn loop_counts_to_ten() {
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Li { rd: 1, imm: 0 });
+        b.plain(Instr::Li { rd: 2, imm: 10 });
+        b.label("loop");
+        b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.plain_branch(Cond::Lt, 1, 2, "loop");
+        b.plain(Instr::Halt);
+        let mut m = single(b.finish().unwrap());
+        assert!(m.run(1000).unwrap().is_halted());
+        assert_eq!(m.procs()[0].reg(1), 10);
+    }
+
+    #[test]
+    fn memory_round_trip_through_machine() {
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Li { rd: 1, imm: 100 });
+        b.plain(Instr::Li { rd: 2, imm: 55 });
+        b.plain(Instr::Store {
+            rs: 2,
+            rb: 1,
+            offset: 3,
+        });
+        b.plain(Instr::Load {
+            rd: 3,
+            rs: 1,
+            offset: 3,
+        });
+        b.plain(Instr::Halt);
+        let mut m = single(b.finish().unwrap());
+        m.run(1000).unwrap();
+        assert_eq!(m.procs()[0].reg(3), 55);
+        assert_eq!(m.memory().peek(103), 55);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_with_context() {
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Load {
+            rd: 1,
+            rs: 0,
+            offset: -5,
+        });
+        let mut m = single(b.finish().unwrap());
+        let err = m.run(10).unwrap_err();
+        assert!(matches!(err, SimError::Memory { proc: 0, .. }));
+        assert!(err.to_string().contains("processor 0"));
+    }
+
+    /// Two processors, each: non-barrier work of different lengths, then a
+    /// barrier region, then a store that must not execute until both
+    /// finished their pre-barrier work (Fig. 1 semantics).
+    #[test]
+    fn barrier_orders_cross_processor_phases() {
+        let mk = |work: i64| {
+            let mut b = StreamBuilder::new();
+            // UNSHADED1: busy loop of `work` iterations.
+            b.plain(Instr::Li { rd: 1, imm: 0 });
+            b.plain(Instr::Li { rd: 2, imm: work });
+            b.label("w");
+            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain_branch(Cond::Lt, 1, 2, "w");
+            // Mark the end of phase 1 in memory.
+            b.plain(Instr::Li { rd: 3, imm: 1 });
+            b.plain(Instr::Store {
+                rs: 3,
+                rb: 0,
+                offset: 10, // both write their own cell via offset+id trick below
+            });
+            // Barrier region (a couple of overlap instructions).
+            b.fuzzy(Instr::Nop);
+            b.fuzzy(Instr::Nop);
+            // UNSHADED2: read the *other* processor's flag.
+            b.plain(Instr::Load {
+                rd: 4,
+                rs: 0,
+                offset: 11,
+            });
+            b.plain(Instr::Halt);
+            b
+        };
+        // Proc 0 writes word 10 and reads word 11; proc 1 vice versa.
+        let mut b0 = mk(5);
+        let mut b1 = mk(200);
+        // Patch offsets by rebuilding proc 1's store/load.
+        let s0 = b0.finish().unwrap();
+        let ops1: Vec<Op> = b1
+            .finish()
+            .unwrap()
+            .ops()
+            .iter()
+            .map(|op| {
+                let instr = match op.instr {
+                    Instr::Store { rs, rb, offset: 10 } => Instr::Store {
+                        rs,
+                        rb,
+                        offset: 11,
+                    },
+                    Instr::Load { rd, rs, offset: 11 } => Instr::Load {
+                        rd,
+                        rs,
+                        offset: 10,
+                    },
+                    other => other,
+                };
+                Op {
+                    instr,
+                    barrier: op.barrier,
+                }
+            })
+            .collect();
+        let s1 = Stream::from_ops(ops1);
+        let mut m = Machine::new(Program::new(vec![s0, s1]), config()).unwrap();
+        let out = m.run(100_000).unwrap();
+        assert!(out.is_halted(), "outcome: {out:?}");
+        // Each processor must have seen the other's flag — impossible
+        // without the barrier ordering, since proc 0 finishes its work ~40x
+        // earlier.
+        assert_eq!(m.procs()[0].reg(4), 1);
+        assert_eq!(m.procs()[1].reg(4), 1);
+        // The fast processor stalled; the slow one (last arriver) did not.
+        assert!(m.proc_stats(0).stall_cycles > 0);
+        assert_eq!(m.proc_stats(1).stall_cycles, 0);
+        assert_eq!(m.stats().sync_events, 1);
+    }
+
+    #[test]
+    fn fuzzy_region_absorbs_skew() {
+        // Same structure, but the fast processor's barrier region is long
+        // enough to cover the slow processor's extra work: nobody stalls.
+        let mk = |work: i64, region: i64| {
+            let mut b = StreamBuilder::new();
+            b.plain(Instr::Li { rd: 1, imm: 0 });
+            b.plain(Instr::Li { rd: 2, imm: work });
+            b.label("w");
+            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain_branch(Cond::Lt, 1, 2, "w");
+            // Barrier region: busy loop of `region` iterations.
+            b.fuzzy(Instr::Li { rd: 5, imm: 0 });
+            b.fuzzy(Instr::Li { rd: 6, imm: region });
+            b.label("r");
+            b.fuzzy(Instr::Addi { rd: 5, rs: 5, imm: 1 });
+            b.fuzzy_branch(Cond::Lt, 5, 6, "r");
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        // Proc 0: 10 work + huge region. Proc 1: 300 work + tiny region.
+        let p = Program::new(vec![mk(10, 400), mk(300, 2)]);
+        let mut m = Machine::new(p, config()).unwrap();
+        assert!(m.run(100_000).unwrap().is_halted());
+        assert_eq!(m.proc_stats(0).stall_cycles, 0, "region must absorb skew");
+        assert_eq!(m.proc_stats(1).stall_cycles, 0);
+        assert_eq!(m.stats().sync_events, 1);
+    }
+
+    #[test]
+    fn invalid_branch_program_is_rejected_by_default() {
+        let mut b = StreamBuilder::new();
+        b.fuzzy(Instr::Nop);
+        b.jump("b2", true);
+        b.plain(Instr::Nop);
+        b.label("b2");
+        b.fuzzy(Instr::Nop);
+        b.plain(Instr::Halt);
+        let p = Program::new(vec![b.finish().unwrap()]);
+        assert!(matches!(
+            Machine::new(p, config()),
+            Err(SimError::InvalidProgram(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_tags_deadlock_and_are_detected() {
+        // Both processors reach barrier regions but with different tags:
+        // the sync condition can never fire.
+        let mk = |tag: u16| {
+            let mut b = StreamBuilder::new();
+            b.plain(Instr::SetTag { tag });
+            b.fuzzy(Instr::Nop);
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let p = Program::new(vec![mk(1), mk(2)]);
+        let mut m = Machine::new(p, config()).unwrap();
+        let out = m.run(10_000).unwrap();
+        assert!(out.is_deadlock(), "outcome: {out:?}");
+    }
+
+    #[test]
+    fn halted_partner_deadlocks_waiter() {
+        // Proc 1 halts without entering any barrier; proc 0 waits forever.
+        let mut b0 = StreamBuilder::new();
+        b0.fuzzy(Instr::Nop);
+        b0.plain(Instr::Halt);
+        let mut b1 = StreamBuilder::new();
+        b1.plain(Instr::Halt);
+        let p = Program::new(vec![b0.finish().unwrap(), b1.finish().unwrap()]);
+        let mut m = Machine::new(p, config()).unwrap();
+        assert!(m.run(10_000).unwrap().is_deadlock());
+    }
+
+    #[test]
+    fn repeated_synchronization_in_a_loop() {
+        // Two procs, 50 iterations, one barrier per iteration.
+        let mk = || {
+            let mut b = StreamBuilder::new();
+            b.plain(Instr::Li { rd: 1, imm: 0 });
+            b.plain(Instr::Li { rd: 2, imm: 50 });
+            b.label("loop");
+            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            // Barrier region at end of each iteration, including the
+            // back-edge branch (regions may span the back edge, Sec. 3).
+            b.fuzzy(Instr::Nop);
+            b.fuzzy_branch(Cond::Lt, 1, 2, "loop");
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let p = Program::new(vec![mk(), mk()]);
+        let mut m = Machine::new(p, config()).unwrap();
+        assert!(m.run(100_000).unwrap().is_halted());
+        assert_eq!(m.stats().sync_events, 50);
+        assert_eq!(m.proc_stats(0).syncs, 50);
+    }
+
+    #[test]
+    fn trace_records_barrier_lifecycle() {
+        let mut cfg = config();
+        cfg.trace = true;
+        let mk = || {
+            let mut b = StreamBuilder::new();
+            b.plain(Instr::Nop);
+            b.fuzzy(Instr::Nop);
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let mut m = Machine::new(Program::new(vec![mk(), mk()]), cfg).unwrap();
+        m.run(1000).unwrap();
+        use crate::trace::EventKind as K;
+        assert_eq!(m.trace().of_kind(K::EnterBarrier).count(), 2);
+        assert_eq!(m.trace().of_kind(K::Sync).count(), 2);
+        assert_eq!(m.trace().of_kind(K::Cross).count(), 2);
+        assert_eq!(m.trace().of_kind(K::Halt).count(), 2);
+    }
+
+    #[test]
+    fn tag_change_inside_barrier_region_rearms_the_barrier() {
+        // P0 branches from barrier 1 directly into barrier 2's code
+        // (contiguous barrier bits), but barrier 2 announces a new tag:
+        // the tag change re-arms the state machine, so P0 synchronizes
+        // twice like its partner and the run completes (Sec. 3's
+        // "unique identifiers" remedy for Fig. 2).
+        let mut b0 = StreamBuilder::new();
+        b0.plain(Instr::SetTag { tag: 1 });
+        b0.fuzzy(Instr::Nop); // barrier 1
+        b0.jump("skip", true);
+        b0.plain(Instr::Nop); // skipped non-barrier region
+        b0.label("skip");
+        b0.fuzzy(Instr::SetTag { tag: 2 }); // barrier 2's identity
+        b0.fuzzy(Instr::Nop);
+        b0.plain(Instr::Halt);
+        let mut b1 = StreamBuilder::new();
+        b1.plain(Instr::SetTag { tag: 1 });
+        b1.fuzzy(Instr::Nop); // barrier 1
+        b1.plain(Instr::Nop);
+        b1.plain(Instr::SetTag { tag: 2 });
+        b1.fuzzy(Instr::Nop); // barrier 2
+        b1.plain(Instr::Halt);
+        let p = Program::new(vec![b0.finish().unwrap(), b1.finish().unwrap()]);
+        let mut cfg = config();
+        cfg.validate = false; // contains the Fig. 2 branch shape
+        let mut m = Machine::new(p, cfg).unwrap();
+        let out = m.run(100_000).unwrap();
+        assert!(out.is_halted(), "outcome {out:?}");
+        assert_eq!(m.proc_stats(0).syncs, 2);
+        assert_eq!(m.proc_stats(1).syncs, 2);
+    }
+
+    #[test]
+    fn procedure_call_and_return() {
+        // main: r1 = 5; call double; halt.  double: r1 = r1 * 2; ret.
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Li { rd: 1, imm: 5 });
+        b.call("double", false);
+        b.plain(Instr::Halt);
+        b.label("double");
+        b.plain(Instr::Muli { rd: 1, rs: 1, imm: 2 });
+        b.plain(Instr::Ret);
+        let mut m = single(b.finish().unwrap());
+        assert!(m.run(1000).unwrap().is_halted());
+        assert_eq!(m.procs()[0].reg(1), 10);
+    }
+
+    #[test]
+    fn recursive_calls_compute_factorial() {
+        // fact(n): if n <= 1 return 1 in r2 else r2 = n * fact(n-1).
+        // Iterative-recursive via explicit stack of calls on r1.
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Li { rd: 1, imm: 6 }); // n
+        b.plain(Instr::Li { rd: 2, imm: 1 }); // acc
+        b.call("fact", false);
+        b.plain(Instr::Halt);
+        b.label("fact");
+        b.plain(Instr::Li { rd: 3, imm: 1 });
+        b.plain_branch(Cond::Le, 1, 3, "base");
+        b.plain(Instr::Mul { rd: 2, rs1: 2, rs2: 1 });
+        b.plain(Instr::Addi { rd: 1, rs: 1, imm: -1 });
+        b.call("fact", false);
+        b.label("base");
+        b.plain(Instr::Ret);
+        let mut m = single(b.finish().unwrap());
+        assert!(m.run(10_000).unwrap().is_halted());
+        assert_eq!(m.procs()[0].reg(2), 720);
+    }
+
+    #[test]
+    fn call_inside_barrier_region_extends_the_region() {
+        // Both procs enter a barrier region and CALL a procedure whose
+        // body is barrier-region code (Sec. 9's "parallel procedure
+        // calls"); synchronization happens while inside the callee, and
+        // both return and cross normally.
+        let mk = |work: i64| {
+            let mut b = StreamBuilder::new();
+            b.plain(Instr::Li { rd: 1, imm: 0 });
+            b.plain(Instr::Li { rd: 2, imm: work });
+            b.label("w");
+            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain_branch(Cond::Lt, 1, 2, "w");
+            b.fuzzy(Instr::Nop); // enter barrier region
+            b.call("helper", true); // call from the region
+            b.plain(Instr::Halt); // crossing requires sync
+            b.label("helper");
+            b.fuzzy(Instr::Addi { rd: 5, rs: 5, imm: 1 }); // region code
+            b.fuzzy(Instr::Ret);
+            b.finish().unwrap()
+        };
+        let p = Program::new(vec![mk(5), mk(60)]);
+        let mut m = Machine::new(p, config()).unwrap();
+        let out = m.run(100_000).unwrap();
+        assert!(out.is_halted(), "{out:?}");
+        assert_eq!(m.stats().sync_events, 1);
+        assert_eq!(m.procs()[0].reg(5), 1, "helper body executed once");
+    }
+
+    #[test]
+    fn ret_without_frame_is_an_error() {
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Ret);
+        let mut m = single(b.finish().unwrap());
+        assert!(matches!(
+            m.run(100).unwrap_err(),
+            SimError::ReturnWithoutFrame { proc: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn runaway_recursion_overflows_call_stack() {
+        let mut b = StreamBuilder::new();
+        b.label("f");
+        b.call("f", false);
+        let mut m = single(b.finish().unwrap());
+        assert!(matches!(
+            m.run(100_000).unwrap_err(),
+            SimError::CallDepthExceeded { proc: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn trap_without_handler_faults() {
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Trap { cause: 7 });
+        let mut m = single(b.finish().unwrap());
+        assert!(matches!(
+            m.run(100).unwrap_err(),
+            SimError::UnhandledTrap { cause: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn trap_inside_barrier_region_freezes_barrier_state() {
+        // Proc 0 traps from inside its barrier region; the handler (plain
+        // code) runs with the unit frozen, so synchronization with proc 1
+        // still completes exactly once.
+        let mut b0 = StreamBuilder::new();
+        b0.plain(Instr::Nop);
+        b0.fuzzy(Instr::Trap { cause: 3 }); // in barrier region
+        b0.fuzzy(Instr::Nop);
+        b0.plain(Instr::Halt);
+        b0.label("handler");
+        b0.plain(Instr::Mov { rd: 7, rs: 31 }); // read cause (plain code!)
+        b0.plain(Instr::Ret);
+        let handler_pc = 4;
+        let mut b1 = StreamBuilder::new();
+        b1.plain(Instr::Nop);
+        b1.fuzzy(Instr::Nop);
+        b1.plain(Instr::Halt);
+        let p = Program::new(vec![b0.finish().unwrap(), b1.finish().unwrap()]);
+        let mut m = Machine::new(p, config()).unwrap();
+        m.set_trap_handler(0, handler_pc);
+        let out = m.run(10_000).unwrap();
+        assert!(out.is_halted(), "{out:?}");
+        assert_eq!(m.procs()[0].reg(7), 3, "handler saw the trap cause");
+        assert_eq!(m.proc_stats(0).syncs, 1);
+        assert_eq!(m.proc_stats(1).syncs, 1);
+    }
+
+    #[test]
+    fn interrupt_during_stall_runs_handler_and_resumes_stall() {
+        // Proc 0 stalls at its barrier exit; an interrupt arrives, the
+        // handler runs (incrementing r6), and the stall resumes until
+        // proc 1 finally arrives.
+        let mut b0 = StreamBuilder::new();
+        b0.fuzzy(Instr::Nop);
+        b0.plain(Instr::Halt); // will stall here
+        b0.label("handler");
+        b0.plain(Instr::Addi { rd: 6, rs: 6, imm: 1 });
+        b0.plain(Instr::Ret);
+        let handler_pc = 2;
+        let mut b1 = StreamBuilder::new();
+        // Proc 1: long work before its barrier.
+        b1.plain(Instr::Li { rd: 1, imm: 0 });
+        b1.plain(Instr::Li { rd: 2, imm: 100 });
+        b1.label("w");
+        b1.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b1.plain_branch(Cond::Lt, 1, 2, "w");
+        b1.fuzzy(Instr::Nop);
+        b1.plain(Instr::Halt);
+        let p = Program::new(vec![b0.finish().unwrap(), b1.finish().unwrap()]);
+        let mut m = Machine::new(p, config()).unwrap();
+        m.schedule_interrupt(0, 50, handler_pc);
+        let out = m.run(100_000).unwrap();
+        assert!(out.is_halted(), "{out:?}");
+        assert_eq!(m.procs()[0].reg(6), 1, "handler ran exactly once");
+        assert_eq!(m.proc_stats(0).syncs, 1);
+        use crate::trace::EventKind as K;
+        let _ = K::Interrupt; // (trace disabled in this config)
+    }
+
+    #[test]
+    fn pending_interrupt_defers_deadlock_detection() {
+        // Proc 0 stalls forever (partner halts immediately) but an
+        // interrupt at cycle 30 runs a handler that HALTS the processor,
+        // resolving the situation; deadlock must not fire before cycle 30.
+        let mut b0 = StreamBuilder::new();
+        b0.fuzzy(Instr::Nop);
+        b0.plain(Instr::Nop);
+        b0.plain(Instr::Halt);
+        b0.label("handler");
+        b0.plain(Instr::Halt);
+        let handler_pc = 3;
+        let mut b1 = StreamBuilder::new();
+        b1.plain(Instr::Halt);
+        let p = Program::new(vec![b0.finish().unwrap(), b1.finish().unwrap()]);
+        let mut m = Machine::new(p, config()).unwrap();
+        m.schedule_interrupt(0, 30, handler_pc);
+        let out = m.run(10_000).unwrap();
+        assert!(out.is_halted(), "interrupt should resolve the stall: {out:?}");
+        assert!(out.cycles() >= 30);
+    }
+
+    #[test]
+    fn sync_positions_show_the_fuzziness() {
+        // Proc 0 reaches its (long) barrier region early and is deep
+        // inside it when the late proc 1 enters; proc 1 is at its start.
+        let mk = |work: i64, region: i64| {
+            let mut b = StreamBuilder::new();
+            b.plain(Instr::Li { rd: 1, imm: 0 });
+            b.plain(Instr::Li { rd: 2, imm: work });
+            b.label("w");
+            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain_branch(Cond::Lt, 1, 2, "w");
+            for _ in 0..region {
+                b.fuzzy(Instr::Nop);
+            }
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let p = Program::new(vec![mk(2, 200), mk(50, 5)]);
+        let mut m = Machine::new(p, config()).unwrap();
+        assert!(m.run(100_000).unwrap().is_halted());
+        let pos = m.sync_positions().to_vec();
+        assert_eq!(pos.len(), 2);
+        let (deep, shallow) = (pos.iter().max().unwrap(), pos.iter().min().unwrap());
+        assert!(
+            *deep > 50 && *shallow <= 1,
+            "early proc should be deep in its region, late proc at the              start: {pos:?}"
+        );
+    }
+
+    #[test]
+    fn pipelined_readiness_waits_for_in_flight_non_barrier_ops() {
+        // Sec. 2: "exiting this non-barrier region is not same as entering
+        // the barrier region for a pipelined machine". Proc 0 issues a
+        // long-latency load (plain) and immediately enters its barrier
+        // region; proc 1 is ready from cycle 1. Synchronization must be
+        // delayed until proc 0's load completes, even though proc 0
+        // *entered* its region long before.
+        let mut cfg = config();
+        cfg.pipelined = true;
+        cfg.trace = true;
+        cfg.memory.miss_penalty = 40;
+        cfg.memory.cache = Some(crate::memory::CacheConfig::default());
+        let mut b0 = StreamBuilder::new();
+        b0.plain(Instr::Load {
+            rd: 3,
+            rs: 0,
+            offset: 9,
+        }); // cold miss: ~40 cycles in flight
+        b0.fuzzy(Instr::Nop); // enters the barrier region right away
+        b0.fuzzy(Instr::Nop);
+        b0.plain(Instr::Halt);
+        let mut b1 = StreamBuilder::new();
+        b1.fuzzy(Instr::Nop);
+        b1.plain(Instr::Halt);
+        let p = Program::new(vec![b0.finish().unwrap(), b1.finish().unwrap()]);
+        let mut m = Machine::new(p, cfg).unwrap();
+        assert!(m.run(10_000).unwrap().is_halted());
+        use crate::trace::EventKind as K;
+        let enter0 = m
+            .trace()
+            .events()
+            .iter()
+            .find(|e| e.proc == 0 && e.kind == K::EnterBarrier)
+            .unwrap()
+            .cycle;
+        let sync = m
+            .trace()
+            .of_kind(K::Sync)
+            .next()
+            .unwrap()
+            .cycle;
+        assert!(
+            sync >= enter0 + 30,
+            "sync at {sync} must wait for the in-flight load              (entered at {enter0}, load latency ~40)"
+        );
+    }
+
+    #[test]
+    fn serial_mode_readiness_is_at_entry() {
+        // The same program in serial mode: the load completes before the
+        // region is entered, so readiness and entry coincide.
+        let mut cfg = config();
+        cfg.trace = true;
+        let mut b0 = StreamBuilder::new();
+        b0.plain(Instr::Nop);
+        b0.fuzzy(Instr::Nop);
+        b0.plain(Instr::Halt);
+        let mut b1 = StreamBuilder::new();
+        b1.fuzzy(Instr::Nop);
+        b1.plain(Instr::Halt);
+        let p = Program::new(vec![b0.finish().unwrap(), b1.finish().unwrap()]);
+        let mut m = Machine::new(p, cfg).unwrap();
+        assert!(m.run(10_000).unwrap().is_halted());
+        use crate::trace::EventKind as K;
+        let enter0 = m
+            .trace()
+            .events()
+            .iter()
+            .find(|e| e.proc == 0 && e.kind == K::EnterBarrier)
+            .unwrap()
+            .cycle;
+        let sync = m.trace().of_kind(K::Sync).next().unwrap().cycle;
+        assert_eq!(sync, enter0, "serial: ready the cycle the region is entered");
+    }
+
+    #[test]
+    fn pipelined_mode_reaches_same_results() {
+        let mut cfg = config();
+        cfg.pipelined = true;
+        let mk = || {
+            let mut b = StreamBuilder::new();
+            b.plain(Instr::Li { rd: 1, imm: 21 });
+            b.plain(Instr::Muli { rd: 1, rs: 1, imm: 2 });
+            b.fuzzy(Instr::Nop);
+            b.plain(Instr::Store {
+                rs: 1,
+                rb: 0,
+                offset: 0,
+            });
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let mut m = Machine::new(Program::new(vec![mk()]), cfg).unwrap();
+        assert!(m.run(1000).unwrap().is_halted());
+        assert_eq!(m.memory().peek(0), 42);
+    }
+}

@@ -1,0 +1,266 @@
+//! The alternative barrier-region encoding of Sec. 6.
+//!
+//! > "An alternative and less expensive approach is to use special
+//! > instructions that when executed, indicate an entry or exit from a
+//! > barrier region. If special instructions are used to mark the
+//! > boundaries of a barrier region then the null operation is no longer
+//! > needed to represent a null barrier region."
+//!
+//! This module converts between the bit-per-instruction form the machine
+//! executes and the marker form: a flat instruction sequence with
+//! [`MarkerItem::EnterRegion`] / [`MarkerItem::ExitRegion`] boundary
+//! markers. Null barrier regions (a single placeholder `nop`) convert to
+//! an adjacent Enter/Exit pair with **no** instruction between — the
+//! saving the paper describes. [`encoding_overhead`] quantifies the
+//! trade-off for a given stream.
+
+use crate::isa::{Instr, Op};
+use crate::program::regions_of;
+use std::error::Error;
+use std::fmt;
+
+/// One element of the marker-form instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerItem {
+    /// An ordinary instruction (its region membership is implied by the
+    /// surrounding markers).
+    Instr(Instr),
+    /// Entry into a barrier region.
+    EnterRegion,
+    /// Exit from a barrier region.
+    ExitRegion,
+}
+
+/// Errors reconstructing bit form from marker form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MarkerError {
+    /// `EnterRegion` while already inside a region.
+    NestedEnter {
+        /// Item index.
+        at: usize,
+    },
+    /// `ExitRegion` while outside any region.
+    ExitOutsideRegion {
+        /// Item index.
+        at: usize,
+    },
+    /// The stream ended inside a region.
+    UnclosedRegion,
+}
+
+impl fmt::Display for MarkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkerError::NestedEnter { at } => write!(f, "nested region entry at item {at}"),
+            MarkerError::ExitOutsideRegion { at } => {
+                write!(f, "region exit outside a region at item {at}")
+            }
+            MarkerError::UnclosedRegion => write!(f, "stream ends inside a barrier region"),
+        }
+    }
+}
+
+impl Error for MarkerError {}
+
+/// Whether an instruction is a placeholder for an otherwise-empty barrier
+/// region (the "null operation" of Sec. 6).
+fn is_placeholder(instr: &Instr) -> bool {
+    matches!(instr, Instr::Nop)
+}
+
+/// Converts a bit-per-instruction stream to marker form. Barrier regions
+/// consisting solely of `nop` placeholders lose their nops — the marker
+/// pair alone represents the (null) region.
+#[must_use]
+pub fn to_markers(ops: &[Op]) -> Vec<MarkerItem> {
+    let mut out = Vec::with_capacity(ops.len() + 8);
+    for region in regions_of(ops) {
+        let slice = &ops[region.start..region.end];
+        if region.barrier {
+            out.push(MarkerItem::EnterRegion);
+            let all_placeholders = slice.iter().all(|o| is_placeholder(&o.instr));
+            if !all_placeholders {
+                out.extend(slice.iter().map(|o| MarkerItem::Instr(o.instr)));
+            }
+            out.push(MarkerItem::ExitRegion);
+        } else {
+            out.extend(slice.iter().map(|o| MarkerItem::Instr(o.instr)));
+        }
+    }
+    out
+}
+
+/// Reconstructs the bit-per-instruction form. An empty Enter/Exit pair
+/// regenerates the placeholder `nop` the machine needs (a barrier region
+/// must contain at least one instruction in bit form).
+///
+/// # Errors
+///
+/// Returns a [`MarkerError`] if the markers do not alternate properly.
+pub fn from_markers(items: &[MarkerItem]) -> Result<Vec<Op>, MarkerError> {
+    let mut out = Vec::with_capacity(items.len());
+    let mut in_region = false;
+    let mut region_len = 0usize;
+    for (at, item) in items.iter().enumerate() {
+        match item {
+            MarkerItem::EnterRegion => {
+                if in_region {
+                    return Err(MarkerError::NestedEnter { at });
+                }
+                in_region = true;
+                region_len = 0;
+            }
+            MarkerItem::ExitRegion => {
+                if !in_region {
+                    return Err(MarkerError::ExitOutsideRegion { at });
+                }
+                if region_len == 0 {
+                    out.push(Op::fuzzy(Instr::Nop));
+                }
+                in_region = false;
+            }
+            MarkerItem::Instr(instr) => {
+                if in_region {
+                    region_len += 1;
+                    out.push(Op::fuzzy(*instr));
+                } else {
+                    out.push(Op::plain(*instr));
+                }
+            }
+        }
+    }
+    if in_region {
+        return Err(MarkerError::UnclosedRegion);
+    }
+    Ok(out)
+}
+
+/// The cost comparison of Sec. 6: the bit form pays one bit on *every*
+/// instruction; the marker form pays two extra instructions per barrier
+/// region but drops the null-region placeholders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerStats {
+    /// Barrier regions in the stream.
+    pub regions: usize,
+    /// Bit-form overhead: one bit per instruction.
+    pub bit_overhead_bits: usize,
+    /// Marker-form overhead: boundary instructions added.
+    pub marker_instrs_added: usize,
+    /// Placeholder `nop`s the marker form eliminates.
+    pub placeholder_nops_saved: usize,
+}
+
+/// Computes the encoding trade-off for a stream.
+#[must_use]
+pub fn encoding_overhead(ops: &[Op]) -> MarkerStats {
+    let regions: Vec<_> = regions_of(ops).into_iter().filter(|r| r.barrier).collect();
+    let placeholder_nops_saved = regions
+        .iter()
+        .filter(|r| ops[r.start..r.end].iter().all(|o| is_placeholder(&o.instr)))
+        .map(|r| r.len())
+        .sum();
+    MarkerStats {
+        regions: regions.len(),
+        bit_overhead_bits: ops.len(),
+        marker_instrs_added: regions.len() * 2,
+        placeholder_nops_saved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Cond;
+
+    fn sample() -> Vec<Op> {
+        vec![
+            Op::plain(Instr::Li { rd: 1, imm: 0 }),
+            Op::fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 }),
+            Op::fuzzy(Instr::Branch {
+                cond: Cond::Lt,
+                rs1: 1,
+                rs2: 2,
+                target: 1,
+            }),
+            Op::plain(Instr::Halt),
+        ]
+    }
+
+    #[test]
+    fn round_trips_plain_regions() {
+        let ops = sample();
+        let markers = to_markers(&ops);
+        assert_eq!(from_markers(&markers).unwrap(), ops);
+        assert_eq!(
+            markers.iter().filter(|m| matches!(m, MarkerItem::EnterRegion)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn null_regions_lose_their_placeholder() {
+        let ops = vec![
+            Op::plain(Instr::Li { rd: 1, imm: 0 }),
+            Op::fuzzy(Instr::Nop), // null barrier region
+            Op::plain(Instr::Halt),
+        ];
+        let markers = to_markers(&ops);
+        // No instruction between the markers.
+        assert_eq!(
+            markers,
+            vec![
+                MarkerItem::Instr(Instr::Li { rd: 1, imm: 0 }),
+                MarkerItem::EnterRegion,
+                MarkerItem::ExitRegion,
+                MarkerItem::Instr(Instr::Halt),
+            ]
+        );
+        // Reconstruction regenerates the placeholder.
+        assert_eq!(from_markers(&markers).unwrap(), ops);
+    }
+
+    #[test]
+    fn malformed_markers_rejected() {
+        assert_eq!(
+            from_markers(&[MarkerItem::ExitRegion]),
+            Err(MarkerError::ExitOutsideRegion { at: 0 })
+        );
+        assert_eq!(
+            from_markers(&[MarkerItem::EnterRegion, MarkerItem::EnterRegion]),
+            Err(MarkerError::NestedEnter { at: 1 })
+        );
+        assert_eq!(
+            from_markers(&[MarkerItem::EnterRegion]),
+            Err(MarkerError::UnclosedRegion)
+        );
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let ops = vec![
+            Op::plain(Instr::Li { rd: 1, imm: 0 }),
+            Op::fuzzy(Instr::Nop),
+            Op::plain(Instr::Nop),
+            Op::fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 }),
+            Op::plain(Instr::Halt),
+        ];
+        let stats = encoding_overhead(&ops);
+        assert_eq!(stats.regions, 2);
+        assert_eq!(stats.bit_overhead_bits, 5);
+        assert_eq!(stats.marker_instrs_added, 4);
+        assert_eq!(stats.placeholder_nops_saved, 1);
+    }
+
+    #[test]
+    fn compiled_stream_round_trips() {
+        use crate::assembler::assemble_stream;
+        let s = assemble_stream(
+            "li r1, 0\nli r2, 5\nloop:\naddi r1, r1, 1\nB: nop\nB: blt r1, r2, loop\nhalt\n",
+        )
+        .unwrap();
+        let markers = to_markers(s.ops());
+        let back = from_markers(&markers).unwrap();
+        assert_eq!(back, s.ops());
+    }
+}

@@ -1,0 +1,512 @@
+//! The shared-memory system: banks, caches, latency and hot-spot modelling.
+//!
+//! The paper's Sec. 1 argument against shared-variable barriers is that
+//! they "cause hot-spot accesses": every processor read-modify-writes the
+//! same location, serializing at the memory module. This model captures
+//! that with banked memory (requests to a busy bank queue up) plus an
+//! optional per-processor cache (write-through, invalidate-on-remote-write)
+//! and an optional probabilistic miss model used to inject the *drift*
+//! between processors that Sec. 1 attributes to cache misses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kind of memory access, for statistics and bank occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An atomic read-modify-write (fetch-and-add).
+    Rmw,
+}
+
+/// Configuration of the memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryConfig {
+    /// Memory size in words.
+    pub size_words: usize,
+    /// Number of interleaved banks (`addr % banks`); at least 1.
+    pub banks: usize,
+    /// Latency of a cache hit (or of every access when no cache and no
+    /// probabilistic misses are configured).
+    pub hit_latency: u64,
+    /// Extra cycles added on a miss (cache miss or probabilistic miss).
+    pub miss_penalty: u64,
+    /// How many cycles a request occupies its bank; concurrent requests to
+    /// the same bank queue behind each other — the hot-spot mechanism.
+    pub bank_occupancy: u64,
+    /// Optional per-processor direct-mapped cache.
+    pub cache: Option<CacheConfig>,
+    /// Optional probability (0.0–1.0) that an uncached access misses;
+    /// models drift from cache misses without simulating a cache.
+    pub miss_rate: f64,
+    /// Seed for the per-processor miss RNGs.
+    pub seed: u64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            size_words: 1 << 16,
+            banks: 8,
+            hit_latency: 1,
+            miss_penalty: 10,
+            bank_occupancy: 2,
+            cache: None,
+            miss_rate: 0.0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Direct-mapped cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of cache lines (power of two recommended).
+    pub lines: usize,
+    /// Words per line (power of two recommended).
+    pub words_per_line: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            lines: 64,
+            words_per_line: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DirectCache {
+    cfg: CacheConfig,
+    /// `tags[line]`: Some(line address) if valid.
+    tags: Vec<Option<usize>>,
+}
+
+impl DirectCache {
+    fn new(cfg: CacheConfig) -> Self {
+        DirectCache {
+            cfg,
+            tags: vec![None; cfg.lines],
+        }
+    }
+
+    fn line_addr(&self, addr: usize) -> usize {
+        addr / self.cfg.words_per_line
+    }
+
+    fn slot(&self, addr: usize) -> usize {
+        self.line_addr(addr) % self.cfg.lines
+    }
+
+    fn lookup(&self, addr: usize) -> bool {
+        self.tags[self.slot(addr)] == Some(self.line_addr(addr))
+    }
+
+    fn fill(&mut self, addr: usize) {
+        let slot = self.slot(addr);
+        self.tags[slot] = Some(self.line_addr(addr));
+    }
+
+    fn invalidate(&mut self, addr: usize) {
+        let slot = self.slot(addr);
+        if self.tags[slot] == Some(self.line_addr(addr)) {
+            self.tags[slot] = None;
+        }
+    }
+}
+
+/// Per-processor memory statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Cache or probabilistic misses.
+    pub misses: u64,
+    /// Cycles spent queued behind a busy bank (hot-spot contention).
+    pub bank_wait_cycles: u64,
+}
+
+/// Out-of-bounds memory access error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBounds {
+    /// The offending word address.
+    pub addr: i64,
+    /// The memory size in words.
+    pub size: usize,
+}
+
+impl std::fmt::Display for OutOfBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory access at {} outside 0..{}",
+            self.addr, self.size
+        )
+    }
+}
+
+impl std::error::Error for OutOfBounds {}
+
+/// The shared memory of the simulated machine.
+#[derive(Debug)]
+pub struct Memory {
+    cfg: MemoryConfig,
+    data: Vec<i64>,
+    /// Cycle at which each bank next becomes free.
+    bank_free: Vec<u64>,
+    caches: Vec<DirectCache>,
+    rngs: Vec<StdRng>,
+    stats: Vec<MemStats>,
+}
+
+impl Memory {
+    /// Creates the memory system for `num_procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.banks == 0` or `cfg.size_words == 0`, or if
+    /// `cfg.miss_rate` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(cfg: MemoryConfig, num_procs: usize) -> Self {
+        assert!(cfg.banks > 0, "memory needs at least one bank");
+        assert!(cfg.size_words > 0, "memory needs at least one word");
+        assert!(
+            (0.0..=1.0).contains(&cfg.miss_rate),
+            "miss rate must be a probability"
+        );
+        let caches = match cfg.cache {
+            Some(c) => (0..num_procs).map(|_| DirectCache::new(c)).collect(),
+            None => Vec::new(),
+        };
+        Memory {
+            bank_free: vec![0; cfg.banks],
+            caches,
+            rngs: (0..num_procs)
+                .map(|p| StdRng::seed_from_u64(cfg.seed.wrapping_add(p as u64 * 0x9E37_79B9)))
+                .collect(),
+            stats: vec![MemStats::default(); num_procs],
+            data: vec![0; cfg.size_words],
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// Direct (zero-time) read, for loading initial data and inspecting
+    /// results from the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[must_use]
+    pub fn peek(&self, addr: usize) -> i64 {
+        self.data[addr]
+    }
+
+    /// Direct (zero-time) write from the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn poke(&mut self, addr: usize, value: i64) {
+        self.data[addr] = value;
+    }
+
+    /// Per-processor statistics.
+    #[must_use]
+    pub fn stats(&self, proc: usize) -> MemStats {
+        self.stats[proc]
+    }
+
+    fn check(&self, addr: i64) -> Result<usize, OutOfBounds> {
+        if addr < 0 || addr as usize >= self.cfg.size_words {
+            Err(OutOfBounds {
+                addr,
+                size: self.cfg.size_words,
+            })
+        } else {
+            Ok(addr as usize)
+        }
+    }
+
+    /// Computes access latency (bank queueing + hit/miss) and updates bank
+    /// and cache state. Returns total cycles from issue to completion.
+    fn access_latency(
+        &mut self,
+        proc: usize,
+        addr: usize,
+        kind: AccessKind,
+        cycle: u64,
+    ) -> u64 {
+        self.stats[proc].accesses += 1;
+
+        // Cache lookup: only reads can hit; writes and RMWs always go to
+        // memory (write-through) but refresh the writer's cache line.
+        let cached = !self.caches.is_empty();
+        if cached && kind == AccessKind::Read && self.caches[proc].lookup(addr) {
+            return self.cfg.hit_latency;
+        }
+
+        // Probabilistic miss model (used when no cache is configured).
+        let prob_miss = !cached
+            && kind == AccessKind::Read
+            && self.cfg.miss_rate > 0.0
+            && self.rngs[proc].gen::<f64>() < self.cfg.miss_rate;
+
+        // A read reaching this point with a cache configured has missed;
+        // writes and RMWs always travel to memory (write-through) but are
+        // not counted as misses.
+        let is_miss = if cached {
+            kind == AccessKind::Read
+        } else {
+            prob_miss
+        };
+        let mut service = self.cfg.hit_latency;
+        if is_miss {
+            self.stats[proc].misses += 1;
+            service += self.cfg.miss_penalty;
+        }
+
+        // Bank queueing: the request starts when the bank frees up; the
+        // bank stays occupied for `bank_occupancy` cycles after the start.
+        let bank = addr % self.cfg.banks;
+        let start = self.bank_free[bank].max(cycle);
+        self.stats[proc].bank_wait_cycles += start - cycle;
+        self.bank_free[bank] = start + self.cfg.bank_occupancy;
+
+        // Fill the reader's cache line.
+        if cached {
+            self.caches[proc].fill(addr);
+        }
+
+        (start - cycle) + service
+    }
+
+    fn invalidate_others(&mut self, proc: usize, addr: usize) {
+        for (p, cache) in self.caches.iter_mut().enumerate() {
+            if p != proc {
+                cache.invalidate(addr);
+            }
+        }
+    }
+
+    /// A load by `proc` at `cycle`. Returns `(value, latency_cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBounds`] if the address is outside memory.
+    pub fn read(&mut self, proc: usize, addr: i64, cycle: u64) -> Result<(i64, u64), OutOfBounds> {
+        let addr = self.check(addr)?;
+        let latency = self.access_latency(proc, addr, AccessKind::Read, cycle);
+        Ok((self.data[addr], latency))
+    }
+
+    /// A store by `proc` at `cycle`. Returns the latency in cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBounds`] if the address is outside memory.
+    pub fn write(
+        &mut self,
+        proc: usize,
+        addr: i64,
+        value: i64,
+        cycle: u64,
+    ) -> Result<u64, OutOfBounds> {
+        let addr = self.check(addr)?;
+        let latency = self.access_latency(proc, addr, AccessKind::Write, cycle);
+        self.data[addr] = value;
+        self.invalidate_others(proc, addr);
+        Ok(latency)
+    }
+
+    /// An atomic fetch-and-add by `proc` at `cycle`. Returns
+    /// `(old_value, latency_cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBounds`] if the address is outside memory.
+    pub fn fetch_add(
+        &mut self,
+        proc: usize,
+        addr: i64,
+        delta: i64,
+        cycle: u64,
+    ) -> Result<(i64, u64), OutOfBounds> {
+        let addr = self.check(addr)?;
+        let latency = self.access_latency(proc, addr, AccessKind::Rmw, cycle);
+        let old = self.data[addr];
+        self.data[addr] = old.wrapping_add(delta);
+        self.invalidate_others(proc, addr);
+        Ok((old, latency))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_config() -> MemoryConfig {
+        MemoryConfig {
+            banks: 1,
+            bank_occupancy: 1,
+            miss_rate: 0.0,
+            cache: None,
+            ..MemoryConfig::default()
+        }
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Memory::new(flat_config(), 1);
+        m.write(0, 10, 42, 0).unwrap();
+        let (v, _) = m.read(0, 10, 5).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn fetch_add_returns_old_value() {
+        let mut m = Memory::new(flat_config(), 2);
+        let (old, _) = m.fetch_add(0, 0, 5, 0).unwrap();
+        assert_eq!(old, 0);
+        let (old, _) = m.fetch_add(1, 0, 3, 1).unwrap();
+        assert_eq!(old, 5);
+        assert_eq!(m.peek(0), 8);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = Memory::new(flat_config(), 1);
+        assert!(m.read(0, -1, 0).is_err());
+        assert!(m.write(0, 1 << 20, 0, 0).is_err());
+    }
+
+    #[test]
+    fn bank_contention_serializes_same_bank() {
+        // Two simultaneous requests to the same bank: the second waits.
+        let mut cfg = flat_config();
+        cfg.bank_occupancy = 4;
+        let mut m = Memory::new(cfg, 2);
+        let (_, l0) = m.read(0, 0, 100).unwrap();
+        let (_, l1) = m.read(1, 0, 100).unwrap();
+        assert!(l1 > l0, "second access ({l1}) must queue behind first ({l0})");
+        assert_eq!(m.stats(1).bank_wait_cycles, 4);
+        assert_eq!(m.stats(0).bank_wait_cycles, 0);
+    }
+
+    #[test]
+    fn different_banks_do_not_contend() {
+        let mut cfg = flat_config();
+        cfg.banks = 2;
+        cfg.bank_occupancy = 4;
+        let mut m = Memory::new(cfg, 2);
+        let (_, l0) = m.read(0, 0, 100).unwrap();
+        let (_, l1) = m.read(1, 1, 100).unwrap();
+        assert_eq!(l0, l1);
+    }
+
+    #[test]
+    fn cache_hit_is_fast_and_skips_bank() {
+        let mut cfg = flat_config();
+        cfg.cache = Some(CacheConfig::default());
+        cfg.miss_penalty = 20;
+        let mut m = Memory::new(cfg, 1);
+        let (_, miss) = m.read(0, 8, 0).unwrap();
+        let (_, hit) = m.read(0, 8, 50).unwrap();
+        assert!(miss > hit, "miss {miss} should exceed hit {hit}");
+        assert_eq!(hit, 1);
+        assert_eq!(m.stats(0).misses, 1);
+    }
+
+    #[test]
+    fn remote_write_invalidates_cached_line() {
+        let mut cfg = flat_config();
+        cfg.cache = Some(CacheConfig::default());
+        let mut m = Memory::new(cfg, 2);
+        let _ = m.read(0, 8, 0).unwrap(); // proc 0 caches line
+        m.write(1, 8, 7, 10).unwrap(); // proc 1 writes through
+        let (v, lat) = m.read(0, 8, 20).unwrap();
+        assert_eq!(v, 7, "coherence: proc 0 must see proc 1's store");
+        assert!(lat > 1, "the invalidated line must miss");
+    }
+
+    #[test]
+    fn probabilistic_misses_are_deterministic_per_seed() {
+        let mut cfg = flat_config();
+        cfg.miss_rate = 0.5;
+        let lat_a: Vec<u64> = {
+            let mut m = Memory::new(cfg.clone(), 1);
+            (0..32).map(|i| m.read(0, i, 0).unwrap().1).collect()
+        };
+        let lat_b: Vec<u64> = {
+            let mut m = Memory::new(cfg, 1);
+            (0..32).map(|i| m.read(0, i, 0).unwrap().1).collect()
+        };
+        assert_eq!(lat_a, lat_b, "same seed must give same latencies");
+        assert!(
+            lat_a.iter().any(|&l| l > 1),
+            "with 50% miss rate some access should miss"
+        );
+    }
+
+    #[test]
+    fn conflicting_lines_evict_each_other() {
+        // Direct-mapped: two addresses `lines * words_per_line` apart map
+        // to the same slot and keep evicting each other.
+        let mut cfg = flat_config();
+        cfg.cache = Some(CacheConfig {
+            lines: 4,
+            words_per_line: 4,
+        });
+        let mut m = Memory::new(cfg, 1);
+        let a = 0i64;
+        let b = (4 * 4) as i64; // same slot as a
+        let (_, l1) = m.read(0, a, 0).unwrap();
+        let (_, l2) = m.read(0, b, 10).unwrap(); // evicts a
+        let (_, l3) = m.read(0, a, 20).unwrap(); // misses again
+        assert!(l1 > 1 && l2 > 1 && l3 > 1, "{l1} {l2} {l3}");
+        assert_eq!(m.stats(0).misses, 3);
+    }
+
+    #[test]
+    fn same_line_neighbours_hit() {
+        let mut cfg = flat_config();
+        cfg.cache = Some(CacheConfig {
+            lines: 4,
+            words_per_line: 4,
+        });
+        let mut m = Memory::new(cfg, 1);
+        let (_, miss) = m.read(0, 8, 0).unwrap();
+        let (_, hit) = m.read(0, 9, 10).unwrap(); // same 4-word line
+        assert!(miss > hit);
+        assert_eq!(m.stats(0).misses, 1);
+    }
+
+    #[test]
+    fn fetch_add_visible_to_other_procs_with_caches() {
+        let mut cfg = flat_config();
+        cfg.cache = Some(CacheConfig::default());
+        let mut m = Memory::new(cfg, 2);
+        let _ = m.read(1, 0, 0).unwrap(); // proc 1 caches the line
+        let (old, _) = m.fetch_add(0, 0, 5, 10).unwrap();
+        assert_eq!(old, 0);
+        let (v, _) = m.read(1, 0, 20).unwrap();
+        assert_eq!(v, 5, "RMW must invalidate the remote cached line");
+    }
+
+    #[test]
+    fn peek_poke_do_not_touch_stats() {
+        let mut m = Memory::new(flat_config(), 1);
+        m.poke(3, 9);
+        assert_eq!(m.peek(3), 9);
+        assert_eq!(m.stats(0).accesses, 0);
+    }
+}

@@ -1,0 +1,613 @@
+//! Instruction streams, programs and the static validator.
+//!
+//! "Instruction streams are viewed as consisting of barrier regions and
+//! non-barrier regions" (Sec. 2). A [`Stream`] is one processor's
+//! instruction sequence; a [`Program`] is the set of streams loaded onto
+//! the machine. The validator enforces the compiler obligations of Sec. 3:
+//! branch destinations must be "either an instruction in the same barrier
+//! region or an instruction in a non-barrier region" — never a *different*
+//! barrier region (Fig. 2's invalid branch, which deadlocks the machine).
+
+use crate::isa::{Instr, Op};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A static (layout-order) region of a stream: a maximal run of
+/// instructions with the same barrier bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticRegion {
+    /// Index of this region within the stream (0-based, layout order).
+    pub index: usize,
+    /// First instruction index of the region.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Whether this is a barrier region.
+    pub barrier: bool,
+}
+
+impl StaticRegion {
+    /// Number of instructions in the region.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the region is empty (never produced by [`regions_of`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Computes the static regions of an instruction sequence.
+#[must_use]
+pub fn regions_of(ops: &[Op]) -> Vec<StaticRegion> {
+    let mut regions = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=ops.len() {
+        if i == ops.len() || ops[i].barrier != ops[start].barrier {
+            regions.push(StaticRegion {
+                index: regions.len(),
+                start,
+                end: i,
+                barrier: ops[start].barrier,
+            });
+            start = i;
+        }
+    }
+    regions
+}
+
+/// One processor's instruction stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stream {
+    ops: Vec<Op>,
+    labels: HashMap<String, usize>,
+}
+
+impl Stream {
+    /// Creates an empty stream. Use [`StreamBuilder`] for label support.
+    #[must_use]
+    pub fn new() -> Self {
+        Stream::default()
+    }
+
+    /// Creates a stream from finished ops (targets already resolved).
+    #[must_use]
+    pub fn from_ops(ops: Vec<Op>) -> Self {
+        Stream {
+            ops,
+            labels: HashMap::new(),
+        }
+    }
+
+    /// The instruction sequence.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the stream has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The instruction index of a label, if defined.
+    #[must_use]
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+
+    /// The static regions of this stream.
+    #[must_use]
+    pub fn regions(&self) -> Vec<StaticRegion> {
+        regions_of(&self.ops)
+    }
+
+    /// The region containing instruction `pc`, if in range.
+    #[must_use]
+    pub fn region_at(&self, pc: usize) -> Option<StaticRegion> {
+        self.regions().into_iter().find(|r| r.start <= pc && pc < r.end)
+    }
+
+    /// Validates the stream per the Sec. 3 rules. See [`ValidationError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rule violation found.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let regions = self.regions();
+        let region_of = |pc: usize| regions.iter().find(|r| r.start <= pc && pc < r.end);
+        for (pc, op) in self.ops.iter().enumerate() {
+            // Call targets only need a bounds check: the callee's own
+            // barrier-region bits govern the region rules (a procedure is
+            // compiled for the region class of its call sites).
+            if let Some(target) = op.instr.call_target() {
+                if target >= self.ops.len() {
+                    return Err(ValidationError::BranchOutOfRange { pc, target });
+                }
+            }
+            if let Some(target) = op.instr.branch_target() {
+                if target >= self.ops.len() {
+                    return Err(ValidationError::BranchOutOfRange { pc, target });
+                }
+                let src = region_of(pc).expect("pc in range");
+                let dst = region_of(target).expect("target in range");
+                // "The compiler should not generate code where control can
+                // be transferred directly from one barrier to another"
+                // (Fig. 2). A *forward* branch from one barrier region into
+                // a later one skips the intervening non-barrier region, so
+                // the branching processor crosses two logical barriers with
+                // a single synchronization while its partners synchronize
+                // twice — deadlock. A *backward* barrier→barrier branch is
+                // the paper's own loop back edge (Fig. 4: `if k<10M go to
+                // L1` sits in the barrier region and targets barrier code):
+                // dynamically the two static regions fuse into one region
+                // that "extends across consecutive iterations", so it is
+                // allowed. Mismatches the static check cannot see are
+                // caught at run time by the machine's deadlock detector.
+                if src.barrier && dst.barrier && src.index != dst.index && target > pc {
+                    return Err(ValidationError::BarrierToBarrierBranch {
+                        pc,
+                        target,
+                        from_region: src.index,
+                        to_region: dst.index,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`Stream`] with labels and forward references.
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_sim::program::StreamBuilder;
+/// use fuzzy_sim::isa::{Cond, Instr};
+///
+/// let mut b = StreamBuilder::new();
+/// b.plain(Instr::Li { rd: 1, imm: 0 });
+/// b.label("loop");
+/// b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+/// b.plain_branch(Cond::Lt, 1, 2, "loop");
+/// b.plain(Instr::Halt);
+/// let stream = b.finish()?;
+/// assert_eq!(stream.len(), 4);
+/// # Ok::<(), fuzzy_sim::program::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamBuilder {
+    ops: Vec<Op>,
+    labels: HashMap<String, usize>,
+    /// (op index, label) pairs to patch at finish time.
+    fixups: Vec<(usize, String)>,
+}
+
+impl StreamBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        StreamBuilder::default()
+    }
+
+    /// Number of instructions appended so far (also the index the next
+    /// instruction will get — handy for minting unique labels).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no instructions have been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        self.labels.insert(name.into(), self.ops.len());
+        self
+    }
+
+    /// Appends a non-barrier-region instruction.
+    pub fn plain(&mut self, instr: Instr) -> &mut Self {
+        self.ops.push(Op::plain(instr));
+        self
+    }
+
+    /// Appends a barrier-region instruction.
+    pub fn fuzzy(&mut self, instr: Instr) -> &mut Self {
+        self.ops.push(Op::fuzzy(instr));
+        self
+    }
+
+    /// Appends an instruction with an explicit barrier bit.
+    pub fn op(&mut self, instr: Instr, barrier: bool) -> &mut Self {
+        self.ops.push(Op { instr, barrier });
+        self
+    }
+
+    /// Appends a non-barrier conditional branch to `label`.
+    pub fn plain_branch(
+        &mut self,
+        cond: crate::isa::Cond,
+        rs1: crate::isa::Reg,
+        rs2: crate::isa::Reg,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.branch_with_bit(cond, rs1, rs2, label, false)
+    }
+
+    /// Appends a barrier-region conditional branch to `label`.
+    pub fn fuzzy_branch(
+        &mut self,
+        cond: crate::isa::Cond,
+        rs1: crate::isa::Reg,
+        rs2: crate::isa::Reg,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.branch_with_bit(cond, rs1, rs2, label, true)
+    }
+
+    fn branch_with_bit(
+        &mut self,
+        cond: crate::isa::Cond,
+        rs1: crate::isa::Reg,
+        rs2: crate::isa::Reg,
+        label: impl Into<String>,
+        barrier: bool,
+    ) -> &mut Self {
+        self.fixups.push((self.ops.len(), label.into()));
+        self.ops.push(Op {
+            instr: Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target: usize::MAX,
+            },
+            barrier,
+        });
+        self
+    }
+
+    /// Appends a jump to `label` with the given barrier bit.
+    pub fn jump(&mut self, label: impl Into<String>, barrier: bool) -> &mut Self {
+        self.fixups.push((self.ops.len(), label.into()));
+        self.ops.push(Op {
+            instr: Instr::Jump { target: usize::MAX },
+            barrier,
+        });
+        self
+    }
+
+    /// Appends a procedure call to `label` with the given barrier bit.
+    pub fn call(&mut self, label: impl Into<String>, barrier: bool) -> &mut Self {
+        self.fixups.push((self.ops.len(), label.into()));
+        self.ops.push(Op {
+            instr: Instr::Call { target: usize::MAX },
+            barrier,
+        });
+        self
+    }
+
+    /// Resolves labels and produces the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UndefinedLabel`] if a branch references an
+    /// undefined label.
+    pub fn finish(mut self) -> Result<Stream, BuildError> {
+        for (index, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| BuildError::UndefinedLabel {
+                    label: label.clone(),
+                })?;
+            match &mut self.ops[*index].instr {
+                Instr::Jump { target: t } => *t = target,
+                Instr::Branch { target: t, .. } => *t = target,
+                Instr::Call { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        Ok(Stream {
+            ops: self.ops,
+            labels: self.labels,
+        })
+    }
+}
+
+/// Error from [`StreamBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// A whole-machine program: one stream per processor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    streams: Vec<Stream>,
+}
+
+impl Program {
+    /// Creates a program from per-processor streams.
+    #[must_use]
+    pub fn new(streams: Vec<Stream>) -> Self {
+        Program { streams }
+    }
+
+    /// The streams.
+    #[must_use]
+    pub fn streams(&self) -> &[Stream] {
+        &self.streams
+    }
+
+    /// Number of processors the program targets.
+    #[must_use]
+    pub fn num_procs(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Validates every stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation together with the offending stream.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        for (proc, stream) in self.streams.iter().enumerate() {
+            stream
+                .validate()
+                .map_err(|error| ProgramError { proc, error })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Stream> for Program {
+    fn from_iter<I: IntoIterator<Item = Stream>>(iter: I) -> Self {
+        Program {
+            streams: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Static validation failures (Sec. 3 rules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidationError {
+    /// A branch target is outside the stream.
+    BranchOutOfRange {
+        /// Instruction index of the branch.
+        pc: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// A forward branch transfers control directly from one barrier region
+    /// to a later one — Fig. 2's invalid branch, which "can result in
+    /// improper synchronization and deadlocks".
+    BarrierToBarrierBranch {
+        /// Instruction index of the branch.
+        pc: usize,
+        /// The destination instruction index.
+        target: usize,
+        /// Static region index of the source.
+        from_region: usize,
+        /// Static region index of the destination.
+        to_region: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::BranchOutOfRange { pc, target } => {
+                write!(f, "branch at {pc} targets out-of-range instruction {target}")
+            }
+            ValidationError::BarrierToBarrierBranch {
+                pc,
+                target,
+                from_region,
+                to_region,
+            } => write!(
+                f,
+                "invalid branch at {pc} → {target}: control transfers directly from \
+                 barrier region {from_region} to barrier region {to_region}"
+            ),
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// A [`ValidationError`] tagged with the offending processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramError {
+    /// Processor whose stream failed validation.
+    pub proc: usize,
+    /// The underlying violation.
+    pub error: ValidationError,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "processor {}: {}", self.proc, self.error)
+    }
+}
+
+impl Error for ProgramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Cond;
+
+    fn nop(barrier: bool) -> Op {
+        Op {
+            instr: Instr::Nop,
+            barrier,
+        }
+    }
+
+    #[test]
+    fn regions_alternate() {
+        let ops = vec![nop(false), nop(false), nop(true), nop(false), nop(true)];
+        let regions = regions_of(&ops);
+        assert_eq!(regions.len(), 4);
+        assert_eq!((regions[0].start, regions[0].end, regions[0].barrier), (0, 2, false));
+        assert_eq!((regions[1].start, regions[1].end, regions[1].barrier), (2, 3, true));
+        assert_eq!((regions[2].start, regions[2].end, regions[2].barrier), (3, 4, false));
+        assert_eq!((regions[3].start, regions[3].end, regions[3].barrier), (4, 5, true));
+        assert!(regions.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn empty_stream_has_no_regions() {
+        assert!(regions_of(&[]).is_empty());
+    }
+
+    #[test]
+    fn builder_resolves_forward_and_backward_labels() {
+        let mut b = StreamBuilder::new();
+        b.jump("end", false);
+        b.label("mid");
+        b.plain(Instr::Nop);
+        b.label("end");
+        b.plain_branch(Cond::Eq, 0, 0, "mid");
+        let s = b.finish().unwrap();
+        assert_eq!(s.ops()[0].instr.branch_target(), Some(2));
+        assert_eq!(s.ops()[2].instr.branch_target(), Some(1));
+        assert_eq!(s.label("mid"), Some(1));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = StreamBuilder::new();
+        b.jump("nowhere", false);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::UndefinedLabel {
+                label: "nowhere".into()
+            }
+        );
+    }
+
+    #[test]
+    fn branch_within_barrier_region_is_valid() {
+        // A loop entirely inside one barrier region (Sec. 3: "entire
+        // control structures, such as loops and if-statements, can be
+        // included in a barrier region").
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Li { rd: 1, imm: 0 });
+        b.label("loop");
+        b.fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.fuzzy_branch(Cond::Lt, 1, 2, "loop");
+        b.plain(Instr::Halt);
+        let s = b.finish().unwrap();
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn barrier_to_barrier_branch_is_invalid() {
+        // Fig. 2: a branch from barrier_1 directly into barrier_2.
+        let mut b = StreamBuilder::new();
+        b.fuzzy(Instr::Nop); // barrier region 0
+        b.jump("second", true); // still barrier region 0
+        b.plain(Instr::Nop); // non-barrier
+        b.label("second");
+        b.fuzzy(Instr::Nop); // barrier region 2
+        b.plain(Instr::Halt);
+        let s = b.finish().unwrap();
+        let err = s.validate().unwrap_err();
+        assert!(matches!(err, ValidationError::BarrierToBarrierBranch { .. }));
+    }
+
+    #[test]
+    fn backward_barrier_to_barrier_branch_is_the_loop_back_edge() {
+        // Fig. 4's layout: barrier prefix at the loop head, non-barrier
+        // body, barrier suffix ending in `if k <= hi goto L1` where L1 is
+        // barrier code. The back edge fuses the two static regions into
+        // one dynamic region spanning iterations — valid.
+        let mut b = StreamBuilder::new();
+        b.label("L1");
+        b.fuzzy(Instr::Nop); // barrier prefix
+        b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 }); // non-barrier body
+        b.fuzzy(Instr::Nop); // barrier suffix
+        b.fuzzy_branch(Cond::Lt, 1, 2, "L1"); // back edge, barrier → barrier
+        b.plain(Instr::Halt);
+        let s = b.finish().unwrap();
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn branch_from_barrier_to_non_barrier_is_valid() {
+        // Multiple exits from a barrier region are explicitly allowed.
+        let mut b = StreamBuilder::new();
+        b.fuzzy(Instr::Nop);
+        b.fuzzy_branch(Cond::Eq, 0, 0, "out");
+        b.fuzzy(Instr::Nop);
+        b.label("out");
+        b.plain(Instr::Halt);
+        let s = b.finish().unwrap();
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_branch_detected() {
+        let s = Stream::from_ops(vec![Op::plain(Instr::Jump { target: 99 })]);
+        assert!(matches!(
+            s.validate().unwrap_err(),
+            ValidationError::BranchOutOfRange { pc: 0, target: 99 }
+        ));
+    }
+
+    #[test]
+    fn program_validation_reports_processor() {
+        let good = Stream::from_ops(vec![Op::plain(Instr::Halt)]);
+        let bad = Stream::from_ops(vec![Op::plain(Instr::Jump { target: 5 })]);
+        let p: Program = [good, bad].into_iter().collect();
+        let err = p.validate().unwrap_err();
+        assert_eq!(err.proc, 1);
+        assert!(err.to_string().contains("processor 1"));
+    }
+
+    #[test]
+    fn region_at_finds_enclosing_region() {
+        let s = Stream::from_ops(vec![nop(false), nop(true), nop(true), nop(false)]);
+        assert_eq!(s.region_at(0).unwrap().index, 0);
+        assert_eq!(s.region_at(2).unwrap().index, 1);
+        assert!(s.region_at(2).unwrap().barrier);
+        assert_eq!(s.region_at(4), None);
+    }
+}

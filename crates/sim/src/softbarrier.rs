@@ -1,0 +1,297 @@
+//! Shared-variable software barrier, compiled to the simulator ISA.
+//!
+//! This is the baseline the paper argues against in Sec. 1: a barrier
+//! "easily implemented in software using one or more shared variables" that
+//! (a) costs several instructions per synchronization and (b) hot-spots the
+//! memory module holding the counter. Emitting it as ISA code lets the
+//! experiment suite compare, on the *same* simulated machine, a software
+//! spin barrier against the zero-instruction hardware fuzzy barrier.
+
+use crate::isa::{Cond, Instr};
+use crate::program::StreamBuilder;
+
+/// Register conventions used by the emitted code. All four scratch
+/// registers are clobbered.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftBarrierRegs {
+    /// Base register holding the barrier's memory address. Word 0 is the
+    /// arrival counter, word 1 the generation number.
+    pub base: u8,
+    /// Scratch registers (distinct).
+    pub scratch: [u8; 4],
+}
+
+impl Default for SoftBarrierRegs {
+    fn default() -> Self {
+        SoftBarrierRegs {
+            base: 24,
+            scratch: [25, 26, 27, 28],
+        }
+    }
+}
+
+/// Number of memory words a software barrier occupies (counter +
+/// generation).
+pub const SOFT_BARRIER_WORDS: usize = 2;
+
+/// Emits only the **arrive** half of the software barrier: snapshot the
+/// generation and increment the arrival counter. The snapshot register
+/// (`regs.scratch[0]`) and the last-arriver flag (`regs.scratch[1]`) must
+/// be preserved by the barrier-region code executed between this and
+/// [`emit_soft_wait`].
+///
+/// This is the software fuzzy barrier of the paper's Sec. 8: splitting the
+/// shared-variable barrier into an announcement and a delayed spin lets a
+/// barrier region run in between.
+pub fn emit_soft_arrive(builder: &mut StreamBuilder, n: i64, regs: SoftBarrierRegs) {
+    let [s0, s1, s2, _s3] = regs.scratch;
+    let base = regs.base;
+    // s0 ← generation snapshot
+    builder.plain(Instr::Load {
+        rd: s0,
+        rs: base,
+        offset: 1,
+    });
+    // s1 ← old counter + 1 (my arrival rank)
+    builder.plain(Instr::FetchAdd {
+        rd: s1,
+        rb: base,
+        offset: 0,
+        imm: 1,
+    });
+    builder.plain(Instr::Addi {
+        rd: s1,
+        rs: s1,
+        imm: 1,
+    });
+    // If I am the last arriver, release everyone NOW (reset counter, bump
+    // generation); my own wait will then fall straight through. Doing the
+    // release at arrive time (not wait time) is what makes the split-phase
+    // version correct: the last arriver may have a long barrier region.
+    builder.plain(Instr::Li { rd: s2, imm: n });
+    let not_last = format!("__sfa_done_{}", builder_len(builder));
+    builder.plain_branch(Cond::Ne, s1, s2, not_last.clone());
+    builder.plain(Instr::Li { rd: s2, imm: 0 });
+    builder.plain(Instr::Store {
+        rs: s2,
+        rb: base,
+        offset: 0,
+    });
+    builder.plain(Instr::Addi {
+        rd: s2,
+        rs: s0,
+        imm: 1,
+    });
+    builder.plain(Instr::Store {
+        rs: s2,
+        rb: base,
+        offset: 1,
+    });
+    builder.label(not_last);
+    builder.plain(Instr::Nop);
+}
+
+/// Emits the **wait** half: spin until the generation moves past the
+/// snapshot taken by [`emit_soft_arrive`].
+pub fn emit_soft_wait(builder: &mut StreamBuilder, regs: SoftBarrierRegs) {
+    let [s0, _s1, s2, _s3] = regs.scratch;
+    let base = regs.base;
+    let spin = format!("__sfw_spin_{}", builder_len(builder));
+    builder.label(spin.clone());
+    builder.plain(Instr::Load {
+        rd: s2,
+        rs: base,
+        offset: 1,
+    });
+    builder.plain_branch(Cond::Eq, s2, s0, spin);
+}
+
+/// Current instruction count of a builder, used to mint unique labels.
+fn builder_len(builder: &StreamBuilder) -> usize {
+    builder.len()
+}
+
+/// Emits a centralized sense-counting software barrier into `builder`.
+///
+/// Protocol: snapshot the generation, atomically increment the arrival
+/// counter; the last arriver resets the counter and bumps the generation,
+/// everyone else spins on the generation word — the classic hot-spot
+/// pattern.
+///
+/// `n` is the number of participants and `seq` a unique integer used to
+/// generate fresh labels (call sites in the same stream must pass different
+/// values).
+pub fn emit_soft_barrier(builder: &mut StreamBuilder, n: i64, seq: usize, regs: SoftBarrierRegs) {
+    let [s0, s1, s2, _s3] = regs.scratch;
+    let base = regs.base;
+    let spin = format!("__softb_spin_{seq}");
+    let last = format!("__softb_last_{seq}");
+    let done = format!("__softb_done_{seq}");
+
+    // s0 ← generation snapshot
+    builder.plain(Instr::Load {
+        rd: s0,
+        rs: base,
+        offset: 1,
+    });
+    // s1 ← old counter; counter += 1
+    builder.plain(Instr::FetchAdd {
+        rd: s1,
+        rb: base,
+        offset: 0,
+        imm: 1,
+    });
+    builder.plain(Instr::Addi {
+        rd: s1,
+        rs: s1,
+        imm: 1,
+    });
+    builder.plain(Instr::Li { rd: s2, imm: n });
+    builder.plain_branch(Cond::Eq, s1, s2, last.clone());
+    // Spin: reload the generation until it changes — the hot-spot loop.
+    builder.label(spin.clone());
+    builder.plain(Instr::Load {
+        rd: s2,
+        rs: base,
+        offset: 1,
+    });
+    builder.plain_branch(Cond::Eq, s2, s0, spin);
+    builder.jump(done.clone(), false);
+    // Last arriver: reset counter, bump generation.
+    builder.label(last);
+    builder.plain(Instr::Li { rd: s2, imm: 0 });
+    builder.plain(Instr::Store {
+        rs: s2,
+        rb: base,
+        offset: 0,
+    });
+    builder.plain(Instr::Addi {
+        rd: s2,
+        rs: s0,
+        imm: 1,
+    });
+    builder.plain(Instr::Store {
+        rs: s2,
+        rb: base,
+        offset: 1,
+    });
+    builder.label(done);
+    builder.plain(Instr::Nop);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, MachineConfig};
+    use crate::memory::MemoryConfig;
+    use crate::program::Program;
+
+    fn soft_barrier_program(n: usize, works: &[i64], barrier_addr: i64) -> Program {
+        let streams = (0..n)
+            .map(|p| {
+                let mut b = StreamBuilder::new();
+                b.plain(Instr::Li {
+                    rd: 24,
+                    imm: barrier_addr,
+                });
+                // Pre-barrier work.
+                b.plain(Instr::Li { rd: 1, imm: 0 });
+                b.plain(Instr::Li {
+                    rd: 2,
+                    imm: works[p],
+                });
+                b.label("w");
+                b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+                b.plain_branch(Cond::Lt, 1, 2, "w");
+                // Publish the phase flag.
+                b.plain(Instr::Li { rd: 3, imm: 1 });
+                b.plain(Instr::Store {
+                    rs: 3,
+                    rb: 0,
+                    offset: 100 + p as i64,
+                });
+                emit_soft_barrier(&mut b, n as i64, 0, SoftBarrierRegs::default());
+                // Read the next processor's flag — must be 1.
+                b.plain(Instr::Load {
+                    rd: 4,
+                    rs: 0,
+                    offset: 100 + ((p + 1) % n) as i64,
+                });
+                b.plain(Instr::Halt);
+                b.finish().unwrap()
+            })
+            .collect();
+        Program::new(streams)
+    }
+
+    #[test]
+    fn software_barrier_synchronizes_four_procs() {
+        let p = soft_barrier_program(4, &[10, 200, 50, 120], 0);
+        let cfg = MachineConfig {
+            memory: MemoryConfig {
+                miss_penalty: 5,
+                ..MemoryConfig::default()
+            },
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(p, cfg).unwrap();
+        let out = m.run(1_000_000).unwrap();
+        assert!(out.is_halted(), "outcome {out:?}");
+        for proc in m.procs() {
+            assert_eq!(proc.reg(4), 1, "proc {} saw a stale flag", proc.id);
+        }
+    }
+
+    #[test]
+    fn software_barrier_reusable_across_iterations() {
+        // Each proc runs 5 barrier episodes in a loop; the generation word
+        // must make the barrier reusable.
+        let n = 3;
+        let streams = (0..n)
+            .map(|_| {
+                let mut b = StreamBuilder::new();
+                b.plain(Instr::Li { rd: 24, imm: 0 });
+                b.plain(Instr::Li { rd: 10, imm: 0 });
+                b.plain(Instr::Li { rd: 11, imm: 5 });
+                b.label("iter");
+                b.plain(Instr::Addi {
+                    rd: 10,
+                    rs: 10,
+                    imm: 1,
+                });
+                emit_soft_barrier(&mut b, n as i64, 7, SoftBarrierRegs::default());
+                b.plain_branch(Cond::Lt, 10, 11, "iter");
+                b.plain(Instr::Halt);
+                b.finish().unwrap()
+            })
+            .collect();
+        let mut m = Machine::new(Program::new(streams), MachineConfig::default()).unwrap();
+        let out = m.run(1_000_000).unwrap();
+        assert!(out.is_halted(), "outcome {out:?}");
+        // Generation must equal the number of episodes.
+        assert_eq!(m.memory().peek(1), 5);
+        assert_eq!(m.memory().peek(0), 0, "counter resets after each episode");
+    }
+
+    #[test]
+    fn hot_spot_shows_up_in_bank_waits() {
+        // With everything on one bank, the spin loops of the waiting
+        // processors hammer the generation word.
+        let p = soft_barrier_program(4, &[1, 1, 1, 400], 0);
+        let cfg = MachineConfig {
+            memory: MemoryConfig {
+                banks: 1,
+                bank_occupancy: 3,
+                ..MemoryConfig::default()
+            },
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(p, cfg).unwrap();
+        assert!(m.run(1_000_000).unwrap().is_halted());
+        let total_bank_wait: u64 = (0..4).map(|p| m.memory().stats(p).bank_wait_cycles).sum();
+        assert!(
+            total_bank_wait > 100,
+            "spinning should queue at the bank (got {total_bank_wait})"
+        );
+    }
+}

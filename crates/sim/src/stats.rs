@@ -1,0 +1,109 @@
+//! Execution statistics collected by the machine.
+
+/// Per-processor counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Instructions issued (and, in this model, executed).
+    pub instructions: u64,
+    /// Cycles spent stalled at a barrier exit (state iv). This is the
+    /// quantity the fuzzy barrier exists to minimize.
+    pub stall_cycles: u64,
+    /// Cycles the processor was busy waiting on a multi-cycle instruction
+    /// (dominated by memory latency).
+    pub busy_cycles: u64,
+    /// Number of dynamic barrier-region entries.
+    pub barrier_entries: u64,
+    /// Number of synchronizations this processor took part in.
+    pub syncs: u64,
+}
+
+impl ProcStats {
+    /// Total cycles attributable to this processor's activity so far
+    /// (issue + busy + stall). Useful as a sanity cross-check against the
+    /// machine clock.
+    #[must_use]
+    pub fn active_cycles(&self) -> u64 {
+        self.instructions + self.busy_cycles + self.stall_cycles
+    }
+}
+
+/// Machine-level aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Synchronization events (one per tag-group per firing cycle).
+    pub sync_events: u64,
+    /// Per-processor counters.
+    pub procs: Vec<ProcStats>,
+}
+
+impl MachineStats {
+    /// Sum of stall cycles across processors — the headline cost metric in
+    /// the experiments.
+    #[must_use]
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.procs.iter().map(|p| p.stall_cycles).sum()
+    }
+
+    /// Sum of instructions across processors.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.procs.iter().map(|p| p.instructions).sum()
+    }
+
+    /// Fraction of processor-cycles lost to barrier stalls, in `[0, 1]`.
+    #[must_use]
+    pub fn stall_fraction(&self) -> f64 {
+        let total = self.cycles * self.procs.len() as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.total_stall_cycles() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_over_procs() {
+        let stats = MachineStats {
+            cycles: 100,
+            sync_events: 3,
+            procs: vec![
+                ProcStats {
+                    instructions: 50,
+                    stall_cycles: 10,
+                    ..ProcStats::default()
+                },
+                ProcStats {
+                    instructions: 60,
+                    stall_cycles: 30,
+                    ..ProcStats::default()
+                },
+            ],
+        };
+        assert_eq!(stats.total_stall_cycles(), 40);
+        assert_eq!(stats.total_instructions(), 110);
+        assert!((stats.stall_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_stall_fraction() {
+        assert_eq!(MachineStats::default().stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn active_cycles_adds_components() {
+        let p = ProcStats {
+            instructions: 5,
+            stall_cycles: 2,
+            busy_cycles: 3,
+            ..ProcStats::default()
+        };
+        assert_eq!(p.active_cycles(), 10);
+    }
+}

@@ -1,0 +1,165 @@
+//! Event tracing for barrier activity.
+
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The processor issued its first instruction of a barrier region
+    /// (state i → ii).
+    EnterBarrier,
+    /// Synchronization was observed (state ii/iv → iii).
+    Sync,
+    /// The processor reached the barrier-region exit before
+    /// synchronization and stalled (state ii → iv).
+    StallStart,
+    /// The processor crossed into the following non-barrier region
+    /// (state iii → i).
+    Cross,
+    /// An asynchronous interrupt was delivered (barrier state frozen for
+    /// the handler's duration).
+    Interrupt,
+    /// A synchronous trap was taken.
+    Trap,
+    /// The processor halted.
+    Halt,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::EnterBarrier => "enter-barrier",
+            EventKind::Sync => "sync",
+            EventKind::StallStart => "stall",
+            EventKind::Cross => "cross",
+            EventKind::Interrupt => "interrupt",
+            EventKind::Trap => "trap",
+            EventKind::Halt => "halt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Machine cycle at which the event occurred.
+    pub cycle: u64,
+    /// Processor id.
+    pub proc: usize,
+    /// The event kind.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>6}] p{} {}", self.cycle, self.proc, self.kind)
+    }
+}
+
+/// A bounded in-memory event log.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    events: Vec<Event>,
+    enabled: bool,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a log holding at most `capacity` events; further events are
+    /// counted but dropped.
+    #[must_use]
+    pub fn new(enabled: bool, capacity: usize) -> Self {
+        TraceLog {
+            events: Vec::new(),
+            enabled,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, cycle: u64, proc: usize, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(Event { cycle, proc, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events of a given kind.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Number of events dropped after the capacity was reached.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether tracing is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::new(false, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::default();
+        log.record(1, 0, EventKind::Sync);
+        assert!(log.events().is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut log = TraceLog::new(true, 2);
+        for c in 0..5 {
+            log.record(c, 0, EventKind::EnterBarrier);
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let mut log = TraceLog::new(true, 16);
+        log.record(0, 0, EventKind::EnterBarrier);
+        log.record(1, 1, EventKind::Sync);
+        log.record(2, 0, EventKind::Sync);
+        assert_eq!(log.of_kind(EventKind::Sync).count(), 2);
+        assert_eq!(log.of_kind(EventKind::Halt).count(), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Event {
+            cycle: 12,
+            proc: 3,
+            kind: EventKind::StallStart,
+        };
+        assert_eq!(e.to_string(), "[    12] p3 stall");
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests for the simulator: random structured programs
+//! always synchronize and halt, memory behaves like a reference model,
+//! and runs are deterministic.
+
+use fuzzy_sim::isa::{Cond, Instr};
+use fuzzy_sim::machine::{Machine, MachineConfig, RunOutcome};
+use fuzzy_sim::memory::{Memory, MemoryConfig};
+use fuzzy_sim::program::{Program, Stream, StreamBuilder};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a stream of `segments` phases: a work loop of `work[s]`
+/// iterations followed by a barrier region of `region[s]` nops.
+fn structured_stream(works: &[u8], regions: &[u8]) -> Stream {
+    let mut b = StreamBuilder::new();
+    for (s, (&w, &r)) in works.iter().zip(regions).enumerate() {
+        if w > 0 {
+            b.plain(Instr::Li { rd: 1, imm: 0 });
+            b.plain(Instr::Li { rd: 2, imm: i64::from(w) });
+            let label = format!("w{s}");
+            b.label(label.clone());
+            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain_branch(Cond::Lt, 1, 2, label);
+        } else {
+            b.plain(Instr::Nop);
+        }
+        for _ in 0..=r {
+            b.fuzzy(Instr::Nop); // at least one barrier-region instr
+        }
+    }
+    b.plain(Instr::Halt);
+    b.finish().expect("labels")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any set of streams with the SAME number of barrier phases halts
+    /// (never deadlocks) and synchronizes exactly once per phase.
+    #[test]
+    fn equal_phase_programs_always_halt(
+        procs in 1usize..5,
+        phases in 1usize..6,
+        seed_works in prop::collection::vec(0u8..40, 1..30),
+        seed_regions in prop::collection::vec(0u8..8, 1..30),
+    ) {
+        let streams: Vec<Stream> = (0..procs)
+            .map(|p| {
+                let works: Vec<u8> = (0..phases)
+                    .map(|s| seed_works[(p * 7 + s * 3) % seed_works.len()])
+                    .collect();
+                let regions: Vec<u8> = (0..phases)
+                    .map(|s| seed_regions[(p * 5 + s) % seed_regions.len()])
+                    .collect();
+                structured_stream(&works, &regions)
+            })
+            .collect();
+        let program = Program::new(streams);
+        prop_assert!(program.validate().is_ok());
+        let mut m = Machine::new(program, MachineConfig::default()).unwrap();
+        let out = m.run(10_000_000).unwrap();
+        prop_assert!(matches!(out, RunOutcome::Halted { .. }), "{out:?}");
+        prop_assert_eq!(m.stats().sync_events, phases as u64);
+        for p in 0..procs {
+            prop_assert_eq!(m.proc_stats(p).syncs, phases as u64);
+        }
+    }
+
+    /// Mismatched phase counts deadlock (detected, not hung).
+    #[test]
+    fn unequal_phase_programs_deadlock(extra in 1usize..4) {
+        let a = structured_stream(&[2; 2], &[0; 2]);
+        let works = vec![2u8; 2 + extra];
+        let regions = vec![0u8; 2 + extra];
+        let b = structured_stream(&works, &regions);
+        let mut m = Machine::new(Program::new(vec![a, b]), MachineConfig::default()).unwrap();
+        let out = m.run(10_000_000).unwrap();
+        prop_assert!(out.is_deadlock(), "{out:?}");
+    }
+
+    /// The memory system agrees with a flat reference model regardless of
+    /// banks, caches and miss injection.
+    #[test]
+    fn memory_matches_reference_model(
+        ops in prop::collection::vec((0usize..2, 0i64..128, -50i64..50), 1..200),
+        banks in 1usize..5,
+        miss_rate in 0.0f64..0.9,
+        use_cache in any::<bool>(),
+    ) {
+        let cfg = MemoryConfig {
+            size_words: 128,
+            banks,
+            miss_rate: if use_cache { 0.0 } else { miss_rate },
+            cache: use_cache.then(fuzzy_sim::memory::CacheConfig::default),
+            ..MemoryConfig::default()
+        };
+        let mut mem = Memory::new(cfg, 2);
+        let mut model: HashMap<i64, i64> = HashMap::new();
+        let mut cycle = 0u64;
+        for (kind, addr, val) in ops {
+            let proc = (addr % 2) as usize;
+            match kind {
+                0 => {
+                    let (got, _) = mem.read(proc, addr, cycle).unwrap();
+                    prop_assert_eq!(got, *model.get(&addr).unwrap_or(&0));
+                }
+                _ => {
+                    mem.write(proc, addr, val, cycle).unwrap();
+                    model.insert(addr, val);
+                }
+            }
+            cycle += 3;
+        }
+    }
+
+    /// Identical programs and seeds give identical cycle counts and stats.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>()) {
+        let src = "\
+.stream
+    li r1, 0
+    li r2, 20
+loop:
+    ld r3, [r0+5]
+    addi r1, r1, 1
+B:  nop
+B:  blt r1, r2, loop
+    halt
+.stream
+    li r1, 0
+    li r2, 20
+loop:
+    ld r3, [r0+5]
+    addi r1, r1, 1
+B:  nop
+B:  blt r1, r2, loop
+    halt
+";
+        let program = fuzzy_sim::assembler::assemble_program(src).unwrap();
+        let run = || {
+            let mut m = fuzzy_sim::builder::MachineBuilder::new(program.clone())
+                .miss_rate(0.4)
+                .miss_penalty(17)
+                .seed(seed)
+                .build()
+                .unwrap();
+            m.run(1_000_000).unwrap();
+            (m.stats().cycles, m.stats().total_stall_cycles())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// encode -> decode round trip over random instructions (data and
+    /// control) with both barrier-bit values.
+    #[test]
+    fn encoding_round_trips(
+        instrs in prop::collection::vec(arb_codable_instr(), 1..60),
+        bits in prop::collection::vec(any::<bool>(), 1..60),
+    ) {
+        use fuzzy_sim::encoding::{decode_stream, encode_stream};
+        use fuzzy_sim::isa::Op;
+        let ops: Vec<Op> = instrs
+            .iter()
+            .zip(bits.iter().cycle())
+            .map(|(&instr, &barrier)| Op { instr, barrier })
+            .collect();
+        let words = encode_stream(&ops).unwrap();
+        prop_assert_eq!(decode_stream(&words).unwrap(), ops);
+    }
+
+    /// Display -> assemble round trip for data instructions.
+    #[test]
+    fn assembler_round_trips_data_instructions(
+        instrs in prop::collection::vec(arb_data_instr(), 1..40),
+    ) {
+        let mut src = String::new();
+        for i in &instrs {
+            src.push_str(&i.to_string());
+            src.push('\n');
+        }
+        let stream = fuzzy_sim::assembler::assemble_stream(&src).unwrap();
+        let parsed: Vec<Instr> = stream.ops().iter().map(|o| o.instr).collect();
+        prop_assert_eq!(parsed, instrs);
+    }
+}
+
+/// Strategy extending [`arb_data_instr`] with encodable control
+/// instructions.
+fn arb_codable_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        arb_data_instr(),
+        (0usize..1 << 20).prop_map(|target| Instr::Jump { target }),
+        (0usize..1 << 20).prop_map(|target| Instr::Call { target }),
+        Just(Instr::Ret),
+        (0u16..1000).prop_map(|cause| Instr::Trap { cause }),
+        (0u8..32, 0u8..32, 0usize..1 << 20, 0u8..6).prop_map(|(rs1, rs2, target, c)| {
+            let cond = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt][c as usize];
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            }
+        }),
+    ]
+}
+
+/// Strategy for data (non-control) instructions whose Display form the
+/// assembler accepts.
+fn arb_data_instr() -> impl Strategy<Value = Instr> {
+    let reg = 0u8..32;
+    let imm = -1000i64..1000;
+    let off = -64i64..64;
+    prop_oneof![
+        (reg.clone(), imm.clone()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+        (reg.clone(), reg.clone()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(rd, rs1, rs2)| Instr::Add { rd, rs1, rs2 }),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(rd, rs1, rs2)| Instr::Sub { rd, rs1, rs2 }),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
+        (reg.clone(), reg.clone(), imm.clone())
+            .prop_map(|(rd, rs, imm)| Instr::Addi { rd, rs, imm }),
+        (reg.clone(), reg.clone(), imm.clone())
+            .prop_map(|(rd, rs, imm)| Instr::Muli { rd, rs, imm }),
+        (reg.clone(), reg.clone(), imm.clone())
+            .prop_map(|(rd, rs, imm)| Instr::Divi { rd, rs, imm }),
+        (reg.clone(), reg.clone(), 0i64..64)
+            .prop_map(|(rd, rs, offset)| Instr::Load { rd, rs, offset }),
+        (reg.clone(), reg.clone(), 0i64..64)
+            .prop_map(|(rs, rb, offset)| Instr::Store { rs, rb, offset }),
+        (reg.clone(), reg, off, imm).prop_map(|(rd, rb, _o, imm)| Instr::FetchAdd {
+            rd,
+            rb,
+            offset: 0,
+            imm
+        }),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        (1u64..1000).prop_map(|m| Instr::SetMask { mask: m }),
+        (0u16..100).prop_map(|t| Instr::SetTag { tag: t }),
+    ]
+}

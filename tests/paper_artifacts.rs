@@ -1,0 +1,197 @@
+//! Integration tests asserting the paper-matching facts that the
+//! experiment binaries report — kept as tests so regressions in any crate
+//! surface as failures, not just changed experiment output.
+
+use fuzzy_compiler::ast::{
+    ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId,
+};
+use fuzzy_compiler::region::RegionSplit;
+use fuzzy_compiler::transform::multiversion::{chunk_versions, LoopVersion};
+use fuzzy_compiler::transform::unroll::divisibility_factor;
+use fuzzy_compiler::{deps, lower, reorder};
+use fuzzy_sched::self_sched::{chunk_sequence, GuidedSelfScheduling};
+use fuzzy_sim::assembler::assemble_program;
+use fuzzy_sim::builder::MachineBuilder;
+
+fn poisson_nest() -> LoopNest {
+    let k = VarId(0);
+    let i = VarId(1);
+    let j = VarId(2);
+    let p = ArrayId(0);
+    let acc = |di: i64, dj: i64| {
+        Expr::Access(ArrayAccess::new(
+            p,
+            vec![Subscript::var(i, di), Subscript::var(j, dj)],
+        ))
+    };
+    LoopNest {
+        arrays: vec![ArrayDecl {
+            name: "P".into(),
+            dims: vec![4, 4],
+            base: 0,
+        }],
+        seq_var: k,
+        seq_lo: 1,
+        seq_hi: 20,
+        private_vars: vec![i, j],
+        body: vec![Stmt::Assign(Assign {
+            target: ArrayAccess::new(p, vec![Subscript::var(i, 0), Subscript::var(j, 0)]),
+            value: Expr::div_const(
+                Expr::add(
+                    Expr::add(Expr::add(acc(0, 1), acc(0, -1)), acc(1, 0)),
+                    acc(-1, 0),
+                ),
+                4,
+            ),
+        })],
+        var_names: vec!["k".into(), "i".into(), "j".into()],
+    }
+}
+
+/// Fig. 4(b): after reordering, the Poisson non-barrier region is exactly
+/// I1..I4 plus the divide — five instructions, nothing left for phase 3.
+#[test]
+fn fig4b_poisson_non_barrier_region_is_five_instructions() {
+    let nest = poisson_nest();
+    let info = deps::analyze(&nest);
+    let body = lower::lower_body(&nest, &info.marked_for_carried());
+    let after = reorder::reorder(&body);
+    assert_eq!(after.non_barrier_len(), 5);
+    assert!(after.suffix.is_empty());
+    assert_eq!(body.marked_indices().len(), 4, "the paper's I1..I4");
+    // And the before/after contrast of Fig. 4(a) vs (b).
+    let before = RegionSplit::by_marks(&body);
+    assert!(before.non_barrier_len() > 3 * after.non_barrier_len());
+}
+
+/// Fig. 2: the invalid branch deadlocks at run time and is rejected
+/// statically.
+#[test]
+fn fig2_invalid_branch_rejected_and_deadlocks() {
+    let src = "\
+.stream
+B:  nop
+B:  j skip
+    nop
+skip:
+B:  nop
+    halt
+.stream
+B:  nop
+    nop
+B:  nop
+    halt
+";
+    let program = assemble_program(src).unwrap();
+    assert!(MachineBuilder::new(program.clone()).build().is_err());
+    let mut m = MachineBuilder::new(program).validate(false).build().unwrap();
+    assert!(m.run(100_000).unwrap().is_deadlock());
+}
+
+/// Sec. 5: N streams need at most N−1 barriers.
+#[test]
+fn sec5_barrier_budget() {
+    use fuzzy_barrier::{GroupRegistry, ProcMask};
+    for n in 2..8 {
+        let r = GroupRegistry::new(n);
+        assert_eq!(r.capacity(), n - 1);
+        for _ in 0..n - 1 {
+            r.allocate(ProcMask::first_n(2)).unwrap();
+        }
+        assert!(r.allocate(ProcMask::first_n(2)).is_err());
+    }
+}
+
+/// Fig. 11: 4 iterations on 3 processors needs a 3x unroll; the rotated
+/// schedule equalizes work over a period.
+#[test]
+fn fig11_unroll_factor_and_rotation() {
+    assert_eq!(divisibility_factor(4, 3), 3);
+    let mut totals = [0usize; 3];
+    for outer in 0..3 {
+        for (p, chunk) in fuzzy_sched::rotated_block(4, 3, outer).iter().enumerate() {
+            totals[p] += chunk.len();
+        }
+    }
+    assert_eq!(totals, [4, 4, 4]);
+}
+
+/// Fig. 12: the four-version dispatch table.
+#[test]
+fn fig12_version_selection() {
+    assert_eq!(chunk_versions(1), vec![LoopVersion::BarrierBoth]);
+    assert_eq!(
+        chunk_versions(3),
+        vec![
+            LoopVersion::BarrierBefore,
+            LoopVersion::NoBarrier,
+            LoopVersion::BarrierAfter
+        ]
+    );
+}
+
+/// GSS (the paper's [19]): chunks are ceil(R/P), non-increasing, and
+/// cover the iteration space exactly.
+#[test]
+fn gss_chunk_law() {
+    for (total, procs) in [(100usize, 4usize), (57, 3), (1000, 8), (5, 8)] {
+        let seq = chunk_sequence(total, procs, &GuidedSelfScheduling);
+        assert_eq!(seq.iter().sum::<usize>(), total);
+        assert!(seq.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(seq[0], total.div_ceil(procs));
+    }
+}
+
+/// Sec. 1: on the same machine, software barrier cost grows with the
+/// processor count while the hardware fuzzy barrier cost stays flat.
+#[test]
+fn sec1_software_grows_hardware_flat() {
+    use fuzzy_sim::isa::{Cond, Instr};
+    use fuzzy_sim::program::{Program, Stream, StreamBuilder};
+    use fuzzy_sim::softbarrier::{emit_soft_barrier, SoftBarrierRegs};
+
+    let episodes = 30i64;
+    let soft = |n: usize| -> Stream {
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Li { rd: 24, imm: 0 });
+        b.plain(Instr::Li { rd: 1, imm: 0 });
+        b.plain(Instr::Li { rd: 2, imm: episodes });
+        b.label("outer");
+        emit_soft_barrier(&mut b, n as i64, 0, SoftBarrierRegs::default());
+        b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.plain_branch(Cond::Lt, 1, 2, "outer");
+        b.plain(Instr::Halt);
+        b.finish().unwrap()
+    };
+    let hw = || -> Stream {
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Li { rd: 1, imm: 0 });
+        b.plain(Instr::Li { rd: 2, imm: episodes });
+        b.label("outer");
+        b.fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.fuzzy_branch(Cond::Lt, 1, 2, "outer");
+        b.plain(Instr::Halt);
+        b.finish().unwrap()
+    };
+    let cycles = |streams: Vec<Stream>| -> u64 {
+        let mut m = MachineBuilder::new(Program::new(streams))
+            .banks(1)
+            .build()
+            .unwrap();
+        let out = m.run(100_000_000).unwrap();
+        assert!(out.is_halted(), "{out:?}");
+        m.stats().cycles
+    };
+    let soft2 = cycles((0..2).map(|_| soft(2)).collect());
+    let soft8 = cycles((0..8).map(|_| soft(8)).collect());
+    let hw2 = cycles((0..2).map(|_| hw()).collect());
+    let hw8 = cycles((0..8).map(|_| hw()).collect());
+    assert!(
+        soft8 as f64 > soft2 as f64 * 1.5,
+        "software barrier must slow down with P ({soft2} -> {soft8})"
+    );
+    assert!(
+        hw8 <= hw2 + 2,
+        "hardware barrier must stay flat ({hw2} -> {hw8})"
+    );
+}

@@ -1,0 +1,64 @@
+//! Integration: scheduling policies driving the threaded executor with a
+//! fuzzy barrier, and the virtual-time executor agreeing with hand
+//! computation.
+
+use fuzzy_barrier::StallPolicy;
+use fuzzy_sched::executor::{run_threaded, simulate_dynamic, Strategy};
+use fuzzy_sched::self_sched::{FixedChunk, GuidedSelfScheduling, SelfScheduling};
+use fuzzy_sched::static_sched::{block, rotated_block};
+use fuzzy_sched::workload::CostModel;
+
+#[test]
+fn threaded_gss_completes_all_outer_iterations() {
+    let costs: Vec<Vec<u64>> = (0..8)
+        .map(|k| CostModel::Jitter { lo: 1, hi: 30 }.costs(32, k as u64))
+        .collect();
+    let report = run_threaded(
+        3,
+        &costs,
+        &Strategy::Dynamic(&GuidedSelfScheduling),
+        50,
+        StallPolicy::yielding(),
+    );
+    assert_eq!(report.barrier.episodes, 8);
+    assert_eq!(report.barrier.arrivals, 24);
+    assert_eq!(report.barrier.waits, 24);
+}
+
+#[test]
+fn threaded_static_rotation_matches_episode_count() {
+    let costs: Vec<Vec<u64>> = (0..9).map(|_| vec![3u64; 10]).collect();
+    let assign = |outer: usize| rotated_block(10, 4, outer);
+    let report = run_threaded(
+        4,
+        &costs,
+        &Strategy::Static(&assign),
+        0,
+        StallPolicy::yielding(),
+    );
+    assert_eq!(report.barrier.episodes, 9);
+}
+
+#[test]
+fn virtual_executor_conserves_work_across_policies() {
+    let costs = CostModel::Linear { base: 1, slope: 2 }.costs(100, 0);
+    let total: u64 = costs.iter().sum();
+    let policies: [&dyn fuzzy_sched::ChunkPolicy; 3] =
+        [&SelfScheduling, &FixedChunk(7), &GuidedSelfScheduling];
+    for policy in policies {
+        let r = simulate_dynamic(5, &costs, policy, 0);
+        let done: u64 = r.finish.iter().sum();
+        assert_eq!(done, total, "policy {} lost work", policy.name());
+    }
+}
+
+#[test]
+fn block_schedule_point_idle_matches_hand_math() {
+    use fuzzy_sched::executor::simulate_static;
+    // 6 iterations of cost 10 on 4 procs: chunks 2,2,1,1 -> work
+    // 20,20,10,10 -> idle 0,0,10,10.
+    let r = simulate_static(&block(6, 4), &vec![10u64; 6]);
+    assert_eq!(r.point_idle(), vec![0, 0, 10, 10]);
+    assert_eq!(r.total_fuzzy_stall(10), 0);
+    assert_eq!(r.total_fuzzy_stall(5), 10);
+}

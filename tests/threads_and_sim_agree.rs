@@ -1,0 +1,130 @@
+//! Cross-substrate integration: the same phased computation produces the
+//! same values whether synchronized by the thread library's split-phase
+//! barrier or by the simulator's hardware fuzzy barrier.
+
+use fuzzy_barrier::{FuzzyBarrier, SplitBarrier};
+use fuzzy_sim::builder::MachineBuilder;
+use fuzzy_sim::isa::{Cond, Instr};
+use fuzzy_sim::program::{Program, Stream, StreamBuilder};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+const PROCS: usize = 3;
+const PHASES: i64 = 40;
+
+/// Phase recurrence: x_p <- x_{(p+1) mod P} + p, all updates
+/// simultaneous (read the old neighbour value, barrier, write, barrier).
+fn host_reference() -> Vec<i64> {
+    let mut x = vec![0i64; PROCS];
+    for _ in 0..PHASES {
+        let prev = x.clone();
+        for p in 0..PROCS {
+            x[p] = prev[(p + 1) % PROCS] + p as i64;
+        }
+    }
+    x
+}
+
+#[test]
+fn thread_library_computes_reference() {
+    let barrier = Arc::new(FuzzyBarrier::new(PROCS));
+    let cells: Arc<Vec<AtomicI64>> = Arc::new((0..PROCS).map(|_| AtomicI64::new(0)).collect());
+    std::thread::scope(|s| {
+        for p in 0..PROCS {
+            let barrier = Arc::clone(&barrier);
+            let cells = Arc::clone(&cells);
+            s.spawn(move || {
+                for _ in 0..PHASES {
+                    let neighbour = cells[(p + 1) % PROCS].load(Ordering::Acquire);
+                    // Everyone has read; barrier region is empty here.
+                    let t = barrier.arrive(p);
+                    barrier.wait(t);
+                    cells[p].store(neighbour + p as i64, Ordering::Release);
+                    let t = barrier.arrive(p);
+                    barrier.wait(t);
+                }
+            });
+        }
+    });
+    let values: Vec<i64> = cells.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+    assert_eq!(values, host_reference());
+}
+
+#[test]
+fn simulator_computes_reference() {
+    // Same recurrence in ISA: cells at words 0..PROCS.
+    let stream = |p: usize| -> Stream {
+        let mut b = StreamBuilder::new();
+        b.plain(Instr::Li { rd: 1, imm: 0 }); // phase counter
+        b.plain(Instr::Li { rd: 2, imm: PHASES });
+        b.plain(Instr::Li { rd: 3, imm: p as i64 }); // my id / addend
+        b.label("loop");
+        // read neighbour
+        b.plain(Instr::Load {
+            rd: 4,
+            rs: 0,
+            offset: ((p + 1) % PROCS) as i64,
+        });
+        // barrier 1 (everyone has read)
+        b.fuzzy(Instr::Nop);
+        // write my cell
+        b.plain(Instr::Add {
+            rd: 5,
+            rs1: 4,
+            rs2: 3,
+        });
+        b.plain(Instr::Store {
+            rs: 5,
+            rb: 0,
+            offset: p as i64,
+        });
+        // barrier 2 closes the phase; loop control rides inside it.
+        b.fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.fuzzy_branch(Cond::Lt, 1, 2, "loop");
+        b.plain(Instr::Halt);
+        b.finish().unwrap()
+    };
+    let program = Program::new((0..PROCS).map(stream).collect());
+    let mut m = MachineBuilder::new(program)
+        .miss_rate(0.2)
+        .miss_penalty(15)
+        .seed(3)
+        .build()
+        .unwrap();
+    let out = m.run(10_000_000).unwrap();
+    assert!(out.is_halted(), "{out:?}");
+    let values: Vec<i64> = (0..PROCS).map(|w| m.memory().peek(w)).collect();
+    assert_eq!(values, host_reference());
+    assert_eq!(m.stats().sync_events, 2 * PHASES as u64);
+}
+
+#[test]
+fn all_backends_compute_the_same_thing() {
+    use fuzzy_barrier::{CentralBarrier, CountingBarrier, DisseminationBarrier, TreeBarrier};
+    let run = |b: Arc<dyn SplitBarrier>| -> Vec<i64> {
+        let cells: Arc<Vec<AtomicI64>> =
+            Arc::new((0..PROCS).map(|_| AtomicI64::new(0)).collect());
+        std::thread::scope(|s| {
+            for p in 0..PROCS {
+                let b = Arc::clone(&b);
+                let cells = Arc::clone(&cells);
+                s.spawn(move || {
+                    for _ in 0..PHASES {
+                        let neighbour = cells[(p + 1) % PROCS].load(Ordering::Acquire);
+                        let t = b.arrive(p);
+                        b.wait(t);
+                        cells[p].store(neighbour + p as i64, Ordering::Release);
+                        let t = b.arrive(p);
+                        b.wait(t);
+                    }
+                });
+            }
+        });
+        cells.iter().map(|c| c.load(Ordering::SeqCst)).collect()
+    };
+    let expected = host_reference();
+    assert_eq!(run(Arc::new(CentralBarrier::new(PROCS))), expected);
+    assert_eq!(run(Arc::new(CountingBarrier::new(PROCS))), expected);
+    assert_eq!(run(Arc::new(DisseminationBarrier::new(PROCS))), expected);
+    assert_eq!(run(Arc::new(TreeBarrier::new(PROCS))), expected);
+}
