@@ -1,21 +1,52 @@
-//! Criterion micro-benchmarks for the fuzzy-barrier suite.
+//! Micro-benchmarks for the fuzzy-barrier suite.
 //!
 //! The host is single-core (see DESIGN.md), so these measure
 //! single-participant protocol costs, simulator throughput and compiler
 //! pipeline latency rather than contended multi-thread scaling — the
 //! contended comparisons live in the simulator experiments
 //! (`exp_hotspot_scaling`, `exp_encore`).
+//!
+//! Formerly a criterion harness; the build environment is offline, so a
+//! small self-timing loop (`bench`) reports median-of-batches ns/iter.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fuzzy_barrier::{
     CentralBarrier, CountingBarrier, DisseminationBarrier, ProcMask, SplitBarrier, TreeBarrier,
 };
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over several batches and prints the median ns/iter.
+fn bench<F: FnMut()>(name: &str, mut f: F) {
+    // Warm-up, then pick a batch size targeting ~2ms per batch.
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= 2 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!("{name:<44} {median:>12.1} ns/iter   ({iters} iters/batch)");
+}
 
 /// Cost of one arrive+wait episode per backend (single participant: the
 /// uncontended fast path every design should make cheap).
-fn bench_backends(c: &mut Criterion) {
-    let mut g = c.benchmark_group("episode_uncontended");
+fn bench_backends() {
     let backends: Vec<(&str, Box<dyn SplitBarrier>)> = vec![
         ("central", Box::new(CentralBarrier::new(1))),
         ("counting", Box::new(CountingBarrier::new(1))),
@@ -23,47 +54,40 @@ fn bench_backends(c: &mut Criterion) {
         ("tree", Box::new(TreeBarrier::new(1))),
     ];
     for (name, b) in &backends {
-        g.bench_with_input(BenchmarkId::from_parameter(name), b, |bench, b| {
-            bench.iter(|| {
-                let t = b.arrive(0);
-                black_box(b.wait(t));
-            });
+        bench(&format!("episode_uncontended/{name}"), || {
+            let t = b.arrive(0);
+            black_box(b.wait(t));
         });
     }
-    g.finish();
 }
 
 /// Split-phase with a region of useful work vs point synchronization:
 /// the protocol overhead should stay constant as the region grows.
-fn bench_region_overlap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("arrive_region_wait");
+fn bench_region_overlap() {
     for region in [0u64, 32, 256] {
-        g.bench_with_input(BenchmarkId::from_parameter(region), &region, |bench, &r| {
-            let b = CentralBarrier::new(1);
-            bench.iter(|| {
-                let t = b.arrive(0);
-                let mut acc = 0u64;
-                for i in 0..r {
-                    acc = acc.wrapping_add(i);
-                }
-                black_box(acc);
-                black_box(b.wait(t));
-            });
+        let b = CentralBarrier::new(1);
+        bench(&format!("arrive_region_wait/{region}"), || {
+            let t = b.arrive(0);
+            let mut acc = 0u64;
+            for i in 0..region {
+                acc = acc.wrapping_add(i);
+            }
+            black_box(acc);
+            black_box(b.wait(t));
         });
     }
-    g.finish();
 }
 
 /// Mask operations used on every subset-barrier arrival.
-fn bench_masks(c: &mut Criterion) {
-    c.bench_function("mask_rank_of", |bench| {
-        let mask: ProcMask = (0..64).step_by(3).collect();
-        bench.iter(|| black_box(mask.rank_of(black_box(33))));
+fn bench_masks() {
+    let mask: ProcMask = (0..64).step_by(3).collect();
+    bench("mask_rank_of", || {
+        black_box(mask.rank_of(black_box(33)));
     });
 }
 
 /// Simulator throughput: a two-processor barrier-per-iteration loop.
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     use fuzzy_sim::assembler::assemble_program;
     use fuzzy_sim::machine::{Machine, MachineConfig};
     let src = "\
@@ -85,17 +109,14 @@ B:  blt r1, r2, loop
     halt
 ";
     let program = assemble_program(src).expect("assembles");
-    c.bench_function("sim_64_synchronized_iterations", |bench| {
-        bench.iter(|| {
-            let mut m =
-                Machine::new(program.clone(), MachineConfig::default()).expect("loads");
-            black_box(m.run(1_000_000).expect("runs"));
-        });
+    bench("sim_64_synchronized_iterations", || {
+        let mut m = Machine::new(program.clone(), MachineConfig::default()).expect("loads");
+        black_box(m.run(1_000_000).expect("runs"));
     });
 }
 
 /// Compiler pipeline latency: Poisson body from AST to reordered regions.
-fn bench_compiler(c: &mut Criterion) {
+fn bench_compiler() {
     use fuzzy_compiler::ast::*;
     use fuzzy_compiler::{deps, lower, reorder};
     let nest = {
@@ -120,10 +141,7 @@ fn bench_compiler(c: &mut Criterion) {
             seq_hi: 20,
             private_vars: vec![i, j],
             body: vec![Stmt::Assign(Assign {
-                target: ArrayAccess::new(
-                    p,
-                    vec![Subscript::var(i, 0), Subscript::var(j, 0)],
-                ),
+                target: ArrayAccess::new(p, vec![Subscript::var(i, 0), Subscript::var(j, 0)]),
                 value: Expr::div_const(
                     Expr::add(
                         Expr::add(Expr::add(acc(0, 1), acc(0, -1)), acc(1, 0)),
@@ -135,40 +153,34 @@ fn bench_compiler(c: &mut Criterion) {
             var_names: vec!["k".into(), "i".into(), "j".into()],
         }
     };
-    c.bench_function("compile_poisson_to_regions", |bench| {
-        bench.iter(|| {
-            let info = deps::analyze(black_box(&nest));
-            let body = lower::lower_body(&nest, &info.marked_for_carried());
-            black_box(reorder::reorder(&body))
-        });
+    bench("compile_poisson_to_regions", || {
+        let info = deps::analyze(black_box(&nest));
+        let body = lower::lower_body(&nest, &info.marked_for_carried());
+        black_box(reorder::reorder(&body));
     });
 }
 
 /// Scheduling policies: full dispatch sequence for 10k iterations.
-fn bench_schedulers(c: &mut Criterion) {
+fn bench_schedulers() {
     use fuzzy_sched::self_sched::{
         chunk_sequence, FixedChunk, GuidedSelfScheduling, SelfScheduling,
     };
-    let mut g = c.benchmark_group("dispatch_10k_iters");
-    g.bench_function("self", |b| {
-        b.iter(|| black_box(chunk_sequence(10_000, 8, &SelfScheduling)))
+    bench("dispatch_10k_iters/self", || {
+        black_box(chunk_sequence(10_000, 8, &SelfScheduling));
     });
-    g.bench_function("chunk64", |b| {
-        b.iter(|| black_box(chunk_sequence(10_000, 8, &FixedChunk(64))))
+    bench("dispatch_10k_iters/chunk64", || {
+        black_box(chunk_sequence(10_000, 8, &FixedChunk(64)));
     });
-    g.bench_function("gss", |b| {
-        b.iter(|| black_box(chunk_sequence(10_000, 8, &GuidedSelfScheduling)))
+    bench("dispatch_10k_iters/gss", || {
+        black_box(chunk_sequence(10_000, 8, &GuidedSelfScheduling));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_backends,
-    bench_region_overlap,
-    bench_masks,
-    bench_simulator,
-    bench_compiler,
-    bench_schedulers
-);
-criterion_main!(benches);
+fn main() {
+    bench_backends();
+    bench_region_overlap();
+    bench_masks();
+    bench_simulator();
+    bench_compiler();
+    bench_schedulers();
+}

@@ -11,7 +11,7 @@
 //! and measures the speedup — which only exists because the per-group
 //! barrier is nearly free.
 
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, StatsExport, Table};
 use fuzzy_compiler::ast::{
     ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId,
 };
@@ -74,6 +74,7 @@ fn run(per_proc: &[Vec<(VarId, i64)>], opts: &CompileOptions, marked: &std::coll
 }
 
 fn main() {
+    let mut export = StatsExport::from_env("cycle_shrink");
     banner(
         "E13: cycle shrinking — parallel groups between fuzzy barriers",
         "Sec. 1 of Gupta, ASPLOS 1989 (transformation [5])",
@@ -116,6 +117,7 @@ fn main() {
         (shrunk_vals == expected).to_string(),
     ]);
     println!("{}", t.render());
+    export.table("results", &t);
     assert_eq!(serial_vals, expected);
     assert_eq!(shrunk_vals, expected);
     assert!(
@@ -132,4 +134,5 @@ fn main() {
          parallel; the barrier between groups costs no instructions, which\n\
          is exactly what makes the transformation pay off."
     );
+    export.finish();
 }

@@ -20,14 +20,14 @@
 //!    not exactly specified". Point vs. fuzzy barriers, serial vs.
 //!    pipelined issue.
 
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, StatsExport, Table};
 use fuzzy_sim::builder::MachineBuilder;
 use fuzzy_sim::isa::{Cond, Instr};
 use fuzzy_sim::machine::{Machine, MachineConfig};
 use fuzzy_sim::program::{Program, Stream, StreamBuilder};
 
 /// Part 1+2: calls and traps from barrier regions.
-fn calls_and_traps() {
+fn calls_and_traps(export: &mut StatsExport) {
     println!("--- procedure calls and traps from barrier regions ---\n");
     let mk = |work: i64| -> Stream {
         let mut b = StreamBuilder::new();
@@ -67,6 +67,7 @@ fn calls_and_traps() {
         ]);
     }
     println!("{}", t.render());
+    export.table("calls_and_traps", &t);
     assert!(out.is_halted());
     assert_eq!(m.procs()[0].reg(3), 30);
     assert_eq!(m.procs()[1].reg(3), 240);
@@ -79,7 +80,7 @@ fn calls_and_traps() {
 }
 
 /// Part 3: pipelined issue vs point/fuzzy barriers.
-fn pipelining() {
+fn pipelining(export: &mut StatsExport) {
     println!("--- pipelining: point vs fuzzy barriers ---\n");
     // Loop body with multi-cycle instructions (muls + loads) so a
     // pipeline drain is expensive; barrier each iteration.
@@ -164,6 +165,7 @@ fn pipelining() {
         }
     }
     println!("{}", t.render());
+    export.table("pipelining", &t);
     let cycles = |p: bool, f: bool| {
         results
             .iter()
@@ -196,7 +198,9 @@ fn main() {
         "E12: Sec. 9 extensions — calls, traps, pipelining",
         "Sec. 9 and Sec. 1 of Gupta, ASPLOS 1989",
     );
+    let mut export = StatsExport::from_env("extensions");
     println!();
-    calls_and_traps();
-    pipelining();
+    calls_and_traps(&mut export);
+    pipelining(&mut export);
+    export.finish();
 }

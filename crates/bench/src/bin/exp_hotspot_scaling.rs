@@ -17,7 +17,7 @@
 //! * the hardware fuzzy barrier (barrier-region bit, broadcast sync) —
 //!   zero instructions and zero memory traffic per episode.
 
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, StatsExport, Table};
 use fuzzy_sim::builder::MachineBuilder;
 use fuzzy_sim::isa::{Cond, Instr};
 use fuzzy_sim::program::{Program, Stream, StreamBuilder};
@@ -93,6 +93,7 @@ fn measure(streams: Vec<Stream>, banks: usize) -> Row {
 }
 
 fn main() {
+    let mut export = StatsExport::from_env("hotspot_scaling");
     banner(
         "E11: software-barrier overhead and hot spots vs processor count",
         "Sec. 1 claims of Gupta, ASPLOS 1989",
@@ -126,6 +127,7 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    export.table("results", &t);
     let soft_ratio = soft_growth.last().unwrap() / soft_growth.first().unwrap();
     let hw_ratio = hw_growth.last().unwrap() / hw_growth.first().unwrap();
     println!(
@@ -143,4 +145,5 @@ fn main() {
          the hardware barrier needs zero instructions and zero memory\n\
          traffic regardless of processor count."
     );
+    export.finish();
 }

@@ -15,7 +15,8 @@
 //!    barriers in the code" — with tags, the mis-matched synchronization
 //!    attempt is simply never satisfied and the bug is confined.
 
-use fuzzy_bench::banner;
+use fuzzy_bench::{banner, StatsExport};
+use fuzzy_util::Json;
 use fuzzy_sim::assembler::assemble_program;
 use fuzzy_sim::builder::MachineBuilder;
 
@@ -62,6 +63,7 @@ B:  nop            ; barrier 2 (tag 2)
 ";
 
 fn main() {
+    let mut export = StatsExport::from_env("invalid_branch");
     banner("E2: the invalid branch", "Fig. 2 of Gupta, ASPLOS 1989");
 
     let program = assemble_program(INVALID).expect("assembles");
@@ -95,6 +97,7 @@ fn main() {
         m.proc_stats(1).stall_cycles
     );
     assert!(out.is_deadlock(), "the paper predicts deadlock");
+    let deadlock_stats = m.stats();
 
     // 3. Tags disambiguate the barriers.
     let tagged = assemble_program(TAGGED).expect("assembles");
@@ -103,6 +106,21 @@ fn main() {
         .build()
         .expect("load");
     let out = m.run(100_000).expect("no memory faults");
+    if export.enabled() {
+        export.section(
+            "invalid_run",
+            Json::obj()
+                .field("deadlocked", true)
+                .field("machine", fuzzy_bench::sim_stats_json(&deadlock_stats)),
+        );
+        export.section(
+            "tagged_run",
+            Json::obj()
+                .field("deadlocked", false)
+                .field("machine", fuzzy_bench::sim_stats_json(&m.stats())),
+        );
+    }
+    export.finish();
     println!(
         "\nwith unique tags per barrier: outcome = {out:?} \
          (the bogus cross-barrier match can no longer fire;\n\

@@ -12,7 +12,7 @@
 //! reordered version, runs them under cache-miss drift, verifies the
 //! computed array against a host reference, and compares stall cycles.
 
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, StatsExport, Table};
 use fuzzy_compiler::ast::{
     ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId,
 };
@@ -171,6 +171,7 @@ fn run(fuzzy: bool, s1: &TacBody, s2: &TacBody) -> (u64, u64, Vec<i64>) {
 }
 
 fn main() {
+    let mut export = StatsExport::from_env("lexforward");
     banner(
         "E7: lexically forward dependences, two barriers per iteration",
         "Figs. 8-10 of Gupta, ASPLOS 1989",
@@ -225,6 +226,7 @@ fn main() {
         (vals_fz == expected).to_string(),
     ]);
     println!("{}", t.render());
+    export.table("results", &t);
     assert_eq!(vals_pt, expected, "point version must compute the recurrence");
     assert_eq!(vals_fz, expected, "fuzzy version must compute the recurrence");
     assert!(
@@ -236,4 +238,5 @@ fn main() {
          barrier regions absorb the cache-miss drift that the point barriers\n\
          convert into stalls."
     );
+    export.finish();
 }

@@ -14,7 +14,7 @@
 //! The experiment compiles both shapes to the simulator, reports barrier-
 //! region sizes, and measures stall cycles under drift.
 
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, StatsExport, Table};
 use fuzzy_compiler::ast::{
     ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId,
 };
@@ -201,6 +201,7 @@ fn measure(streams: Vec<Stream>) -> (u64, u64, u64) {
 }
 
 fn main() {
+    let mut export = StatsExport::from_env("loop_distribution");
     banner(
         "E4: loop distribution enlarges barrier regions",
         "Fig. 5 of Gupta, ASPLOS 1989",
@@ -245,10 +246,12 @@ fn main() {
     let (c2, s2, e2) = measure(with);
     t.row(["distributed (Fig 5c)".to_string(), c2.to_string(), s2.to_string(), e2.to_string()]);
     println!("{}", t.render());
+    export.table("results", &t);
     println!(
         "Reading: distributing S2 into its own loop grows the barrier region\n\
          from one statement instance to an entire loop; under drift the\n\
          distributed version stalls far less."
     );
     assert!(s2 < s1, "distribution should reduce stalls ({s2} vs {s1})");
+    export.finish();
 }

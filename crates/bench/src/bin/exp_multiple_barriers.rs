@@ -14,7 +14,8 @@
 //!    independently.
 
 use fuzzy_barrier::{GroupRegistry, ProcMask};
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, telemetry_json, StatsExport, Table};
+use fuzzy_util::Json;
 use fuzzy_sim::assembler::assemble_program;
 use fuzzy_sim::builder::MachineBuilder;
 use std::sync::Arc;
@@ -119,6 +120,7 @@ fn run(src: &str) -> (bool, u64, Vec<u64>, Vec<u64>) {
 }
 
 fn main() {
+    let mut export = StatsExport::from_env("multiple_barriers");
     banner(
         "E5: multiple barriers via masks and tags",
         "Fig. 6 of Gupta, ASPLOS 1989",
@@ -131,6 +133,7 @@ fn main() {
         t.row([p.to_string(), syncs[p].to_string(), stalls[p].to_string()]);
     }
     println!("{}", t.render());
+    export.table("multi_barrier", &t);
     println!("halted: {halted}, total sync events: {events}");
     assert!(halted);
     assert_eq!(syncs, vec![2, 2, 1], "P2 attends only B2");
@@ -142,6 +145,7 @@ fn main() {
         t.row([p.to_string(), syncs[p].to_string(), stalls[p].to_string()]);
     }
     println!("{}", t.render());
+    export.table("single_barrier", &t);
     println!("halted: {halted}, total sync events: {events}");
     assert!(halted);
     assert_eq!(
@@ -205,4 +209,21 @@ fn main() {
          (no redundant synchronization), and N streams never need more than\n\
          N-1 logical barriers."
     );
+    if export.enabled() {
+        // Registry-level telemetry aggregation: merged histograms and
+        // summed counters across all live pair barriers, plus per-tag
+        // breakdown.
+        let (total, per_barrier) = registry.aggregate_telemetry();
+        let mut per = Json::obj();
+        for (tag, telemetry) in &per_barrier {
+            per = per.field(&tag.to_string(), telemetry_json(telemetry));
+        }
+        export.section(
+            "registry",
+            Json::obj()
+                .field("total", telemetry_json(&total))
+                .field("per_barrier", per),
+        );
+    }
+    export.finish();
 }

@@ -5,7 +5,7 @@
 //! and runs both versions on the simulator under injected cache-miss drift
 //! to show the enlarged barrier region absorbing skew.
 
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, StatsExport, Table};
 use fuzzy_compiler::ast::{
     ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId,
 };
@@ -58,6 +58,7 @@ fn poisson(m: usize) -> (LoopNest, Vec<Vec<(VarId, i64)>>) {
 }
 
 fn main() {
+    let mut export = StatsExport::from_env("poisson_regions");
     banner(
         "E3: Poisson solver — barrier regions before/after reordering",
         "Figs. 3 and 4 of Gupta, ASPLOS 1989",
@@ -89,6 +90,7 @@ fn main() {
         format!("{:.2}", after.barrier_fraction()),
     ]);
     println!("{}", t.render());
+    export.table("region_sizes", &t);
     println!("before: {}", summarize_split(&before));
     println!("after:  {}", summarize_split(&after));
     println!(
@@ -137,9 +139,11 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    export.table("drift_run", &t);
     println!(
         "Reading: the reordered version pushes the address arithmetic into\n\
          the barrier region, so drift from cache misses is absorbed and the\n\
          per-synchronization stall drops."
     );
+    export.finish();
 }

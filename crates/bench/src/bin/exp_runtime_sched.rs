@@ -11,7 +11,7 @@
 //! bodies of Fig. 12 give every processor barrier-region work, so the
 //! residual finish-time skew is absorbed.
 
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, StatsExport, Table};
 use fuzzy_compiler::transform::multiversion::{chunk_versions, LoopVersion};
 use fuzzy_sched::executor::{simulate_dynamic, simulate_static};
 use fuzzy_sched::self_sched::{
@@ -26,6 +26,7 @@ const DISPATCH: u64 = 3; // cost of one trip through the scheduler
 const REGION: u64 = 30; // fuzzy barrier-region work per processor
 
 fn main() {
+    let mut export = StatsExport::from_env("runtime_sched");
     banner(
         "E9: run-time scheduling — self-scheduling, chunking, GSS",
         "Fig. 12 of Gupta, ASPLOS 1989",
@@ -82,6 +83,7 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    export.table("policies", &t);
 
     assert!(
         gss_idle <= static_run.total_point_idle(),
@@ -109,6 +111,7 @@ fn main() {
         t.row([k.to_string(), versions.join(", ")]);
     }
     println!("{}", t.render());
+    export.table("multi_version", &t);
     println!(
         "Reading: GSS approaches the minimum idle with a fraction of the\n\
          dispatches of pure self-scheduling, and the fuzzy barrier's region\n\
@@ -117,4 +120,5 @@ fn main() {
          iteration starts with a barrier region, last ends with one,\n\
          middles have none, singletons have both."
     );
+    export.finish();
 }

@@ -15,7 +15,7 @@
 //! enter the barrier region before exiting the preceding non-barrier
 //! region" (Sec. 6).
 
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, StatsExport, Table};
 use fuzzy_sim::isa::{Cond, Instr};
 use fuzzy_sim::machine::{Machine, MachineConfig};
 use fuzzy_sim::program::{Program, Stream, StreamBuilder};
@@ -58,7 +58,7 @@ fn stream(proc: usize, procs: usize, work: i64, region: i64) -> Stream {
             });
             // Trap: store 999 to a check word if the flag was not set.
             b.plain(Instr::Li { rd: 7, imm: 1 });
-            b.plain_branch(Cond::Eq, 6, 7, &format!("ok{other}"));
+            b.plain_branch(Cond::Eq, 6, 7, format!("ok{other}"));
             b.plain(Instr::Li { rd: 8, imm: 999 });
             b.plain(Instr::Store {
                 rs: 8,
@@ -97,6 +97,7 @@ fn run(works: &[i64], region: i64, pipelined: bool) -> (u64, u64, bool, Vec<u64>
 }
 
 fn main() {
+    let mut export = StatsExport::from_env("semantics");
     let pipelined = std::env::args().any(|a| a == "--pipelined");
     banner(
         "E1: fuzzy barrier semantics and skew tolerance",
@@ -133,6 +134,7 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    export.table("results", &t);
     println!(
         "The last column is Fig. 1's defining image: at the moment of\n\
          synchronization, the processors are at *different* positions in\n\
@@ -143,4 +145,5 @@ fn main() {
          every region size), while stall cycles fall monotonically and reach\n\
          zero once each region covers the fastest-to-slowest skew."
     );
+    export.finish();
 }

@@ -12,7 +12,7 @@
 //!   of work (what unrolling + reordering achieves, Fig. 11(c)), the
 //!   within-iteration imbalance is absorbed and idling vanishes.
 
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, StatsExport, Table};
 use fuzzy_compiler::transform::unroll::divisibility_factor;
 use fuzzy_sched::executor::simulate_static;
 use fuzzy_sched::static_sched::{block, rotated_block};
@@ -24,6 +24,7 @@ const OUTER: usize = 30;
 const COST: u64 = 100; // units per inner iteration
 
 fn main() {
+    let mut export = StatsExport::from_env("static_sched");
     banner(
         "E8: static scheduling — rotation, unrolling and fuzzy regions",
         "Fig. 11 of Gupta, ASPLOS 1989",
@@ -84,6 +85,7 @@ fn main() {
         format!("{rotated_work:?}"),
     ]);
     println!("{}", t.render());
+    export.table("results", &t);
 
     assert_eq!(fixed_idle, rotated_idle, "rotation alone moves, not removes, idle");
     assert!(
@@ -102,4 +104,5 @@ fn main() {
          barrier regions of one iteration's work (via unrolling+reordering)\n\
          the idling disappears entirely — the paper's Fig. 11(c)."
     );
+    export.finish();
 }

@@ -11,7 +11,7 @@
 //!   region**, "even if the two processors take different paths they may
 //!   not have to stall".
 
-use fuzzy_bench::{banner, Table};
+use fuzzy_bench::{banner, StatsExport, Table};
 use fuzzy_sim::builder::MachineBuilder;
 use fuzzy_sim::isa::{Cond, Instr};
 use fuzzy_sim::program::{Program, Stream, StreamBuilder};
@@ -108,6 +108,7 @@ fn run(fuzzy_if: bool) -> (u64, u64, u64) {
 }
 
 fn main() {
+    let mut export = StatsExport::from_env("variable_streams");
     banner(
         "E6: variable-length streams — if-statements in barrier regions",
         "Fig. 7 of Gupta, ASPLOS 1989",
@@ -140,10 +141,12 @@ fn main() {
         e2.to_string(),
     ]);
     println!("{}", t.render());
+    export.table("results", &t);
     println!(
         "Reading: with the if-statement inside the barrier region the two\n\
          processors' opposite-branch skew is absorbed; with a point barrier\n\
          the short-path processor stalls every iteration."
     );
     assert!(s2 < s1 / 4, "fuzzy if-statement should remove most stalls");
+    export.finish();
 }

@@ -8,7 +8,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use fuzzy_barrier::{HistogramSnapshot, StallHistogram, TelemetrySnapshot};
+use fuzzy_sim::MachineStats;
+use fuzzy_util::Json;
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// A simple aligned text table for experiment output.
@@ -79,6 +83,213 @@ impl Table {
         }
         out
     }
+
+    /// Renders the table as a JSON array of row objects keyed by header.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|row| {
+                    let mut obj = Json::obj();
+                    for (h, cell) in self.headers.iter().zip(row) {
+                        // Numeric cells export as numbers so downstream
+                        // tooling need not re-parse strings.
+                        let value = match cell.parse::<f64>() {
+                            Ok(x) if x.is_finite() => Json::Num(x),
+                            _ => Json::Str(cell.clone()),
+                        };
+                        obj = obj.field(h, value);
+                    }
+                    obj
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Converts a 64-bucket power-of-two histogram into JSON: only non-empty
+/// buckets are listed, each with its inclusive `[lo, hi]` value range in
+/// `unit` (`"ns"` for the thread library, `"cycles"` for the simulator).
+#[must_use]
+pub fn histogram_json(buckets: &[u64], unit: &str) -> Json {
+    let entries: Vec<Json> = buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(i, &count)| {
+            let (lo, hi) = StallHistogram::bucket_bounds(i);
+            Json::obj()
+                .field("bucket", i)
+                .field("lo", lo)
+                .field("hi", hi)
+                .field("count", count)
+        })
+        .collect();
+    Json::obj()
+        .field("unit", unit)
+        .field("total", buckets.iter().sum::<u64>())
+        .field("buckets", Json::Arr(entries))
+}
+
+/// Converts a barrier [`TelemetrySnapshot`] (thread library, nanoseconds)
+/// into the JSON schema documented in README.md's Telemetry section.
+#[must_use]
+pub fn telemetry_json(t: &TelemetrySnapshot) -> Json {
+    let hist: &HistogramSnapshot = &t.stall_hist;
+    Json::obj()
+        .field("episodes", t.base.episodes)
+        .field("arrivals", t.base.arrivals)
+        .field("waits", t.base.waits)
+        .field("stalls", t.base.stalls)
+        .field("deschedules", t.base.deschedules)
+        .field("probes", t.base.probes)
+        .field("stall_ns", t.base.stall_time.as_nanos() as u64)
+        .field("stall_hist", histogram_json(&hist.buckets, "ns"))
+        .field(
+            "spread",
+            Json::obj()
+                .field("episodes", t.spread.episodes)
+                .field("total_ns", t.spread.total.as_nanos() as u64)
+                .field("max_ns", t.spread.max.as_nanos() as u64)
+                .field("last_ns", t.spread.last.as_nanos() as u64)
+                .field("mean_ns", t.spread.mean().as_nanos() as u64),
+        )
+        .field(
+            "per_participant",
+            Json::Arr(
+                t.per_participant
+                    .iter()
+                    .map(|p| {
+                        Json::obj()
+                            .field("arrivals", p.arrivals)
+                            .field("waits", p.waits)
+                            .field("stalls", p.stalls)
+                            .field("stall_ns", p.stall_time.as_nanos() as u64)
+                            .field("probes", p.probes)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Converts simulator [`MachineStats`] (cycle domain) into the same JSON
+/// shape, with `"cycles"` as the histogram unit. Delegates to
+/// [`MachineStats::to_json`] so `fsim` (which cannot depend on this
+/// crate) and the `exp_*` binaries share one schema.
+#[must_use]
+pub fn sim_stats_json(s: &MachineStats) -> Json {
+    s.to_json()
+}
+
+/// Extracts the `--stats-json <path>` (or `--stats-json=<path>`) argument
+/// from an argument iterator. Returns `None` when absent.
+pub fn stats_json_arg<I: IntoIterator<Item = String>>(args: I) -> Option<PathBuf> {
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--stats-json" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(path) = a.strip_prefix("--stats-json=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
+/// Convenience: `stats_json_arg` over the process's own arguments.
+#[must_use]
+pub fn stats_json_arg_from_env() -> Option<PathBuf> {
+    stats_json_arg(std::env::args().skip(1))
+}
+
+/// Accumulates the machine-readable output of one experiment run and
+/// writes it to the `--stats-json` path, if one was given.
+///
+/// Every `exp_*` binary builds one of these from its environment; when the
+/// flag is absent all recording calls are cheap no-ops, so the human
+/// output is unchanged.
+#[derive(Debug)]
+pub struct StatsExport {
+    experiment: String,
+    sections: Vec<(String, Json)>,
+    path: Option<PathBuf>,
+}
+
+impl StatsExport {
+    /// Creates an export sink for `experiment`, reading `--stats-json`
+    /// from the process arguments.
+    #[must_use]
+    pub fn from_env(experiment: &str) -> Self {
+        Self::to_path(experiment, stats_json_arg_from_env())
+    }
+
+    /// Creates an export sink writing to an explicit path (`None`
+    /// disables recording entirely).
+    #[must_use]
+    pub fn to_path(experiment: &str, path: Option<PathBuf>) -> Self {
+        StatsExport {
+            experiment: experiment.to_string(),
+            sections: Vec::new(),
+            path,
+        }
+    }
+
+    /// Whether a `--stats-json` path was supplied.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Records a named JSON section (no-op when disabled).
+    pub fn section(&mut self, name: &str, json: Json) {
+        if self.path.is_some() {
+            self.sections.push((name.to_string(), json));
+        }
+    }
+
+    /// Records a table as a named section of row objects.
+    pub fn table(&mut self, name: &str, t: &Table) {
+        if self.path.is_some() {
+            self.section(name, t.to_json());
+        }
+    }
+
+    /// Writes the accumulated document, if a path was supplied.
+    ///
+    /// An experiment explicitly asked to export stats must not silently
+    /// drop them, so an unwritable path (including an empty
+    /// `--stats-json=`) terminates the process with a diagnostic rather
+    /// than letting the run look successful.
+    pub fn finish(self) {
+        let Some(path) = self.path else { return };
+        let mut doc = Json::obj().field("experiment", self.experiment.as_str());
+        for (name, json) in self.sections {
+            doc = doc.field(&name, json);
+        }
+        if let Err(e) = write_json(&path, &doc) {
+            eprintln!("stats export: cannot write `{}`: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("stats written to {}", path.display());
+    }
+}
+
+/// Writes a JSON document to `path` (pretty-printed, trailing newline),
+/// creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_json(path: &Path, json: &Json) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut text = json.to_string_pretty();
+    text.push('\n');
+    std::fs::write(path, text)
 }
 
 /// Prints an experiment banner.
@@ -137,6 +348,105 @@ mod tests {
         let mut t = Table::new(["a", "b"]);
         t.row(["1", "2"]);
         assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn table_to_json_types_cells() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1.5"]);
+        let j = t.to_json();
+        let row = &j.as_arr().unwrap()[0];
+        assert_eq!(row.get("name"), Some(&Json::Str("alpha".into())));
+        assert_eq!(row.get("value").and_then(Json::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn histogram_json_lists_only_nonempty_buckets() {
+        let mut buckets = [0u64; 64];
+        buckets[0] = 2;
+        buckets[5] = 1;
+        let j = histogram_json(&buckets, "cycles");
+        assert_eq!(j.get("unit"), Some(&Json::Str("cycles".into())));
+        assert_eq!(j.get("total").and_then(Json::as_f64), Some(3.0));
+        let entries = j.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].get("lo").and_then(Json::as_f64), Some(32.0));
+        assert_eq!(entries[1].get("hi").and_then(Json::as_f64), Some(63.0));
+    }
+
+    #[test]
+    fn telemetry_json_has_schema_fields() {
+        use fuzzy_barrier::{CentralBarrier, SplitBarrier};
+        let b = CentralBarrier::new(2);
+        std::thread::scope(|s| {
+            for id in 0..2 {
+                let b = &b;
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        let t = b.arrive(id);
+                        b.wait(t);
+                    }
+                });
+            }
+        });
+        let j = telemetry_json(&b.telemetry());
+        assert_eq!(j.get("episodes").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(j.get("arrivals").and_then(Json::as_f64), Some(6.0));
+        assert!(j.get("stall_hist").is_some());
+        assert!(j.get("spread").unwrap().get("mean_ns").is_some());
+        assert_eq!(j.get("per_participant").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stats_json_arg_forms() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            stats_json_arg(args(&["--stats-json", "out.json"])),
+            Some(PathBuf::from("out.json"))
+        );
+        assert_eq!(
+            stats_json_arg(args(&["x", "--stats-json=a/b.json"])),
+            Some(PathBuf::from("a/b.json"))
+        );
+        assert_eq!(stats_json_arg(args(&["--stats-json"])), None);
+        assert_eq!(stats_json_arg(args(&["--other"])), None);
+    }
+
+    #[test]
+    fn stats_export_writes_named_sections() {
+        let dir = std::env::temp_dir().join("fuzzy_bench_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("stats.json");
+        let mut export = StatsExport::to_path("demo", Some(path.clone()));
+        assert!(export.enabled());
+        let mut t = Table::new(["x"]);
+        t.row(["7"]);
+        export.table("sweep", &t);
+        export.section("extra", Json::obj().field("k", 1u64));
+        export.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"demo\""));
+        assert!(text.contains("\"sweep\""));
+        assert!(text.contains("\"extra\""));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Disabled sink records nothing and writes nothing.
+        let mut off = StatsExport::to_path("demo", None);
+        assert!(!off.enabled());
+        off.section("s", Json::Null);
+        off.finish();
+    }
+
+    #[test]
+    fn write_json_creates_parents() {
+        let dir = std::env::temp_dir().join("fuzzy_bench_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/stats.json");
+        write_json(&path, &Json::obj().field("ok", true)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with("}\n"));
+        assert!(text.contains("\"ok\": true"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

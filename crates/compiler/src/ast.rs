@@ -91,19 +91,25 @@ pub enum Expr {
 }
 
 impl Expr {
+    // These are boxing constructors taking both operands by value, not
+    // operator methods — implementing `std::ops::{Add, Sub, Mul}` instead
+    // would misleadingly suggest arithmetic on evaluated values.
     /// Convenience constructor for `a + b`.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Add(Box::new(a), Box::new(b))
     }
 
     /// Convenience constructor for `a - b`.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Sub(Box::new(a), Box::new(b))
     }
 
     /// Convenience constructor for `a * b`.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Mul(Box::new(a), Box::new(b))

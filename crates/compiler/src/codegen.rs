@@ -521,12 +521,13 @@ mod tests {
         let mut m = Machine::new(Program::new(vec![stream]), MachineConfig::default()).unwrap();
         // Neighbours of P[1][1] in a 4x4 array at base 0:
         // P[1][2]=8, P[1][0]=2, P[2][1]=20, P[0][1]=10 → (8+2+20+10)/4 = 10
-        m.memory_mut().poke(1 * 4 + 2, 8);
-        m.memory_mut().poke(1 * 4 + 0, 2);
-        m.memory_mut().poke(2 * 4 + 1, 20);
-        m.memory_mut().poke(0 * 4 + 1, 10);
+        let at = |row: usize, col: usize| row * 4 + col;
+        m.memory_mut().poke(at(1, 2), 8);
+        m.memory_mut().poke(at(1, 0), 2);
+        m.memory_mut().poke(at(2, 1), 20);
+        m.memory_mut().poke(at(0, 1), 10);
         assert!(m.run(100_000).unwrap().is_halted());
-        m.memory().peek(1 * 4 + 1)
+        m.memory().peek(at(1, 1))
     }
 
     #[test]

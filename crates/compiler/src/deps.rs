@@ -118,7 +118,7 @@ fn relate(
                     // Same non-sequential variable, different offsets: the
                     // accesses coincide only for different values of that
                     // variable — different processors when it is private.
-                    if var.map_or(false, |v| private_vars.contains(&v)) {
+                    if var.is_some_and(|v| private_vars.contains(&v)) {
                         cross_processor = true;
                     } else if var.is_none() {
                         // Two distinct constants: provably different element.

@@ -599,10 +599,7 @@ pub fn parse_program(src: &str) -> Result<ParsedProgram, ParseError> {
     }
     // Top-level constant initializers (boundary conditions).
     let mut data: Vec<(usize, i64)> = Vec::new();
-    loop {
-        let Some(Tok::Ident(name)) = p.peek() else {
-            break;
-        };
+    while let Some(Tok::Ident(name)) = p.peek() {
         if !p.array_ids.contains_key(name) {
             break;
         }
@@ -712,8 +709,8 @@ for (k=1; k<=20; k++) do seq
         assert!(m.run(10_000_000).unwrap().is_halted());
         // Host reference.
         let mut g = vec![0i64; 16];
-        for col in 0..4 {
-            g[col] = 80;
+        for cell in g.iter_mut().take(4) {
+            *cell = 80;
         }
         for _ in 0..20 {
             let prev = g.clone();
@@ -823,13 +820,21 @@ for (k=1; k<=3; k++) do seq
     }
 
     #[test]
-    fn negative_constants_and_precedence() {
+    fn negative_constants_and_precedence() -> Result<(), ParseError> {
         let src = "int A[16];\nfor (k=2; k<=9; k++) do seq A[k] = A[k-2] * 2 + 3 - 1;\n";
-        let parsed = parse_program(src).unwrap();
+        let parsed = parse_program(src)?;
         let Stmt::Assign(a) = &parsed.nest.body[0] else {
-            panic!()
+            // The assignment sits on line 2 of `src`.
+            return Err(ParseError {
+                line: 2,
+                message: format!(
+                    "expected the loop body to parse as an assignment, got {:?}",
+                    parsed.nest.body[0]
+                ),
+            });
         };
         // ((A[k-2] * 2) + 3) - 1
         assert!(matches!(a.value, Expr::Sub(_, _)));
+        Ok(())
     }
 }

@@ -49,7 +49,7 @@ pub fn unroll_seq(nest: &LoopNest, factor: usize) -> UnrolledNest {
     assert!(factor > 0, "unroll factor must be positive");
     let trip = (nest.seq_hi - nest.seq_lo + 1) as usize;
     assert!(
-        trip % factor == 0,
+        trip.is_multiple_of(factor),
         "trip count {trip} not divisible by unroll factor {factor}"
     );
     let mut body = Vec::with_capacity(nest.body.len() * factor);
@@ -187,18 +187,24 @@ mod tests {
     }
 
     #[test]
-    fn unroll_replicates_and_shifts() {
+    fn unroll_replicates_and_shifts() -> Result<(), String> {
         let u = unroll_seq(&simple_nest(), 2);
         assert_eq!(u.nest.body.len(), 2);
         assert_eq!(u.step, 2);
         // Second copy writes a[k+1][i] and reads a[k][i], uses k+1 as value.
         let Stmt::Assign(second) = &u.nest.body[1] else {
-            panic!("expected assignment");
+            return Err(format!(
+                "{}:{}: expected body[1] of the unrolled nest to be an assignment, got {:?}",
+                file!(),
+                line!(),
+                u.nest.body[1]
+            ));
         };
         assert_eq!(second.target.subs[0].offset, 1);
         let reads = second.value.reads();
         assert_eq!(reads[0].subs[0].offset, 0);
         assert!(matches!(&second.value, Expr::Add(_, _)));
+        Ok(())
     }
 
     #[test]

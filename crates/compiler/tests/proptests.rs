@@ -1,6 +1,10 @@
-//! Property-based tests for the compiler: reordering is always a legal
+//! Randomized tests for the compiler: reordering is always a legal
 //! schedule, distribution partitions statements, and compiled random
 //! expressions evaluate exactly as a host interpreter says they should.
+//!
+//! Formerly written with `proptest`; the build environment is offline, so
+//! the same properties are exercised with a deterministic seeded generator
+//! ([`fuzzy_util::SplitMix64`]) sweeping many random cases.
 
 use fuzzy_compiler::ast::{
     ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId,
@@ -14,85 +18,82 @@ use fuzzy_compiler::tac::{AnnotatedInstr, BinOp, Src, TacBody, TacInstr, Temp};
 use fuzzy_compiler::transform::distribution::distribute;
 use fuzzy_sim::machine::{Machine, MachineConfig};
 use fuzzy_sim::program::{Program, StreamBuilder};
-use proptest::prelude::*;
+use fuzzy_util::SplitMix64;
 use std::collections::BTreeSet;
 
-/// Strategy: random straight-line TAC bodies. Instruction `k` defines
-/// temp `k+1` and may use any earlier temp; stores use earlier temps as
-/// addresses.
-fn arb_body() -> impl Strategy<Value = TacBody> {
-    prop::collection::vec((0usize..4, any::<u16>(), any::<bool>()), 2..40).prop_map(|spec| {
-        let mut instrs = Vec::new();
-        let mut next_temp = 1usize;
-        for (kind, r, marked) in spec {
-            let pick = |r: u16, n: usize| Temp(1 + (r as usize) % n.max(1));
-            let instr = if next_temp == 1 {
-                TacInstr::Const {
+/// Random straight-line TAC body. Instruction `k` defines temp `k+1` and
+/// may use any earlier temp; stores use earlier temps as addresses.
+fn random_body(rng: &mut SplitMix64) -> TacBody {
+    let len = 2 + rng.below(38);
+    let mut instrs = Vec::new();
+    let mut next_temp = 1usize;
+    for _ in 0..len {
+        let kind = rng.below(4);
+        let r = rng.range_u64(0, u64::from(u16::MAX)) as u16;
+        let marked = rng.chance(0.5);
+        let pick = |r: u16, n: usize| Temp(1 + (r as usize) % n.max(1));
+        let instr = if next_temp == 1 {
+            TacInstr::Const {
+                dst: Temp(next_temp),
+                value: i64::from(r),
+            }
+        } else {
+            match kind {
+                0 => TacInstr::Const {
                     dst: Temp(next_temp),
                     value: i64::from(r),
+                },
+                1 => TacInstr::Bin {
+                    dst: Temp(next_temp),
+                    op: BinOp::Add,
+                    lhs: Src::Temp(pick(r, next_temp - 1)),
+                    rhs: Src::Const(1),
+                },
+                2 => TacInstr::Copy {
+                    dst: Temp(next_temp),
+                    src: Src::Mem(pick(r, next_temp - 1)),
+                },
+                _ => {
+                    let addr = pick(r, next_temp - 1);
+                    instrs.push(AnnotatedInstr {
+                        instr: TacInstr::Store {
+                            addr,
+                            src: Src::Const(i64::from(r)),
+                        },
+                        marked,
+                        comment: None,
+                    });
+                    continue;
                 }
-            } else {
-                match kind {
-                    0 => TacInstr::Const {
-                        dst: Temp(next_temp),
-                        value: i64::from(r),
-                    },
-                    1 => TacInstr::Bin {
-                        dst: Temp(next_temp),
-                        op: BinOp::Add,
-                        lhs: Src::Temp(pick(r, next_temp - 1)),
-                        rhs: Src::Const(1),
-                    },
-                    2 => TacInstr::Copy {
-                        dst: Temp(next_temp),
-                        src: Src::Mem(pick(r, next_temp - 1)),
-                    },
-                    _ => {
-                        let addr = pick(r, next_temp - 1);
-                        instrs.push(AnnotatedInstr {
-                            instr: TacInstr::Store {
-                                addr,
-                                src: Src::Const(i64::from(r)),
-                            },
-                            marked,
-                            comment: None,
-                        });
-                        continue;
-                    }
-                }
-            };
-            let defines = instr.def().is_some();
-            instrs.push(AnnotatedInstr {
-                instr,
-                marked,
-                comment: None,
-            });
-            if defines {
-                next_temp += 1;
             }
+        };
+        let defines = instr.def().is_some();
+        instrs.push(AnnotatedInstr {
+            instr,
+            marked,
+            comment: None,
+        });
+        if defines {
+            next_temp += 1;
         }
-        TacBody {
-            instrs,
-            next_temp,
-        }
-    })
+    }
+    TacBody { instrs, next_temp }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Reordering any body yields a permutation that respects the
-    /// dependence DAG, keeps every marked instruction in the non-barrier
-    /// region and nothing marked outside it.
-    #[test]
-    fn reorder_is_always_a_legal_partition(body in arb_body()) {
+/// Reordering any body yields a permutation that respects the
+/// dependence DAG, keeps every marked instruction in the non-barrier
+/// region and nothing marked outside it.
+#[test]
+fn reorder_is_always_a_legal_partition() {
+    let mut rng = SplitMix64::seed_from_u64(0xDA6);
+    for _case in 0..128 {
+        let body = random_body(&mut rng);
         let split = reorder(&body);
-        prop_assert_eq!(split.total_len(), body.instrs.len());
+        assert_eq!(split.total_len(), body.instrs.len());
 
         // Multiset equality: match reordered instructions back to the
         // original by searching (instructions may repeat, so consume).
-        let mut remaining: Vec<Option<&AnnotatedInstr>> =
-            body.instrs.iter().map(Some).collect();
+        let mut remaining: Vec<Option<&AnnotatedInstr>> = body.instrs.iter().map(Some).collect();
         let order: Vec<usize> = split
             .in_order()
             .iter()
@@ -111,30 +112,43 @@ proptest! {
         // operands coincide, which `position` handles conservatively for
         // stores; defs are unique so definers can't swap.)
         let dag = DepDag::build(&body.instrs);
-        prop_assert!(dag.respects(&order), "illegal schedule: {order:?}");
+        assert!(dag.respects(&order), "illegal schedule: {order:?}");
 
-        prop_assert!(split.prefix.iter().all(|a| !a.marked));
-        prop_assert!(split.suffix.iter().all(|a| !a.marked));
+        assert!(split.prefix.iter().all(|a| !a.marked));
+        assert!(split.suffix.iter().all(|a| !a.marked));
         let marked_in = split.non_barrier.iter().filter(|a| a.marked).count();
-        prop_assert_eq!(marked_in, body.marked_indices().len());
+        assert_eq!(marked_in, body.marked_indices().len());
     }
+}
 
-    /// by_marks and reorder agree on totals, and reorder's non-barrier
-    /// region is never larger.
-    #[test]
-    fn reorder_never_grows_the_non_barrier_region(body in arb_body()) {
+/// by_marks and reorder agree on totals, and reorder's non-barrier
+/// region is never larger.
+#[test]
+fn reorder_never_grows_the_non_barrier_region() {
+    let mut rng = SplitMix64::seed_from_u64(0xFAB);
+    for _case in 0..128 {
+        let body = random_body(&mut rng);
         let before = RegionSplit::by_marks(&body);
         let after = reorder(&body);
-        prop_assert_eq!(before.total_len(), after.total_len());
-        prop_assert!(after.non_barrier_len() <= before.non_barrier_len());
+        assert_eq!(before.total_len(), after.total_len());
+        assert!(after.non_barrier_len() <= before.non_barrier_len());
     }
+}
 
-    /// distribute() partitions the statement indices exactly.
-    #[test]
-    fn distribution_partitions_statements(
-        n_stmts in 1usize..5,
-        offsets in prop::collection::vec((-1i64..2, -1i64..2), 5),
-    ) {
+/// distribute() partitions the statement indices exactly.
+#[test]
+fn distribution_partitions_statements() {
+    let mut rng = SplitMix64::seed_from_u64(0xD15);
+    for _case in 0..64 {
+        let n_stmts = 1 + rng.below(4);
+        let offsets: Vec<(i64, i64)> = (0..5)
+            .map(|_| {
+                (
+                    rng.range_u64(0, 2) as i64 - 1,
+                    rng.range_u64(0, 2) as i64 - 1,
+                )
+            })
+            .collect();
         let i = VarId(0);
         let j = VarId(1);
         let body: Vec<Stmt> = (0..n_stmts)
@@ -171,18 +185,72 @@ proptest! {
         let dist = distribute(&nest);
         let mut seen: Vec<usize> = dist.groups.iter().flatten().copied().collect();
         seen.sort_unstable();
-        prop_assert_eq!(seen, (0..n_stmts).collect::<Vec<_>>());
-        prop_assert_eq!(dist.groups.len(), dist.pinned.len());
+        assert_eq!(seen, (0..n_stmts).collect::<Vec<_>>());
+        assert_eq!(dist.groups.len(), dist.pinned.len());
         // Statement order is preserved within each group.
         for g in &dist.groups {
-            prop_assert!(g.windows(2).all(|w| w[0] < w[1]));
+            assert!(g.windows(2).all(|w| w[0] < w[1]));
         }
     }
+}
 
-    /// Compiled random expressions compute exactly what a host
-    /// interpreter computes (end-to-end: lower -> codegen -> simulate).
-    #[test]
-    fn compiled_expressions_match_interpreter(expr in arb_expr(), init in prop::collection::vec(-100i64..100, 16)) {
+/// Random expression over a[i+c] reads (c in -7..=8, so addresses stay in
+/// 0..16 for i=7), the variable i, and constants.
+fn random_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 || rng.chance(0.4) {
+        match rng.below(3) {
+            0 => Expr::Const(rng.range_u64(0, 39) as i64 - 20),
+            1 => Expr::Var(VarId(0)),
+            _ => Expr::Access(ArrayAccess::new(
+                ArrayId(0),
+                vec![Subscript::var(VarId(0), rng.range_u64(0, 15) as i64 - 7)],
+            )),
+        }
+    } else {
+        let a = random_expr(rng, depth - 1);
+        let b = random_expr(rng, depth - 1);
+        match rng.below(4) {
+            0 => Expr::add(a, b),
+            1 => Expr::sub(a, b),
+            2 => Expr::mul(a, b),
+            _ => Expr::div_const(a, rng.range_u64(1, 9) as i64),
+        }
+    }
+}
+
+fn eval(expr: &Expr, i: i64, mem: &[i64]) -> i64 {
+    match expr {
+        Expr::Const(c) => *c,
+        Expr::Var(_) => i,
+        Expr::Access(a) => {
+            let sub = &a.subs[0];
+            let idx = i + sub.offset;
+            mem[idx as usize]
+        }
+        Expr::Add(a, b) => eval(a, i, mem).wrapping_add(eval(b, i, mem)),
+        Expr::Sub(a, b) => eval(a, i, mem).wrapping_sub(eval(b, i, mem)),
+        Expr::Mul(a, b) => eval(a, i, mem).wrapping_mul(eval(b, i, mem)),
+        Expr::DivConst(a, c) => {
+            let v = eval(a, i, mem);
+            if *c == 0 {
+                0
+            } else {
+                v.wrapping_div(*c)
+            }
+        }
+    }
+}
+
+/// Compiled random expressions compute exactly what a host interpreter
+/// computes (end-to-end: lower -> codegen -> simulate).
+#[test]
+fn compiled_expressions_match_interpreter() {
+    let mut rng = SplitMix64::seed_from_u64(0xE4A);
+    for _case in 0..64 {
+        let expr = random_expr(&mut rng, 3);
+        let init: Vec<i64> = (0..16)
+            .map(|_| rng.range_u64(0, 199) as i64 - 100)
+            .collect();
         let i_var = VarId(0);
         let arr = ArrayId(0);
         let nest = LoopNest {
@@ -220,35 +288,33 @@ proptest! {
             m.memory_mut().poke(w, v);
         }
         let out = m.run(1_000_000).unwrap();
-        prop_assert!(out.is_halted(), "{out:?}");
+        assert!(out.is_halted(), "{out:?}");
 
         let expected = eval(&expr, i_value, &init);
-        prop_assert_eq!(m.memory().peek((i_value + 1) as usize), expected);
+        assert_eq!(m.memory().peek((i_value + 1) as usize), expected);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// End-to-end: random parallel loop nests compiled for several
-    /// processors compute exactly what a lockstep (Jacobi) interpreter
-    /// computes. With zero drift every processor executes the identical
-    /// instruction sequence in lockstep, so all reads of an outer
-    /// iteration happen before any writes — matching the interpreter's
-    /// read-prev/write-next semantics.
-    #[test]
-    fn compiled_nests_match_jacobi_interpreter(
-        procs in 1usize..5,
-        outer in 1i64..8,
-        di in -1i64..=1,
-        dk in -1i64..=0,
-        scale in 1i64..4,
-        with_reorder in proptest::bool::ANY,
-    ) {
+/// End-to-end: random parallel loop nests compiled for several
+/// processors compute exactly what a lockstep (Jacobi) interpreter
+/// computes. With zero drift every processor executes the identical
+/// instruction sequence in lockstep, so all reads of an outer
+/// iteration happen before any writes — matching the interpreter's
+/// read-prev/write-next semantics.
+#[test]
+fn compiled_nests_match_jacobi_interpreter() {
+    let mut rng = SplitMix64::seed_from_u64(0x1AC0);
+    for case in 0..24 {
+        let procs = 1 + rng.below(4);
+        let outer = 1 + rng.range_u64(0, 6) as i64;
+        let di = rng.range_u64(0, 2) as i64 - 1;
+        let dk = rng.range_u64(0, 1) as i64 - 1;
+        let scale = 1 + rng.range_u64(0, 2) as i64;
+        let with_reorder = case % 2 == 0;
         let k = VarId(0);
         let i = VarId(1);
         let arr = ArrayId(0);
-        let rows = (procs + 2) as usize;
+        let rows = procs + 2;
         let cols = (outer + 2) as usize;
         // a[i][k] = a[i+di][k+dk] * scale + i + k
         let nest = LoopNest {
@@ -262,10 +328,7 @@ proptest! {
             seq_hi: outer,
             private_vars: vec![i],
             body: vec![Stmt::Assign(Assign {
-                target: ArrayAccess::new(
-                    arr,
-                    vec![Subscript::var(i, 0), Subscript::var(k, 0)],
-                ),
+                target: ArrayAccess::new(arr, vec![Subscript::var(i, 0), Subscript::var(k, 0)]),
                 value: Expr::add(
                     Expr::mul(
                         Expr::Access(ArrayAccess::new(
@@ -279,8 +342,7 @@ proptest! {
             })],
             var_names: vec!["k".into(), "i".into()],
         };
-        let inits: Vec<Vec<(VarId, i64)>> =
-            (1..=procs as i64).map(|l| vec![(i, l)]).collect();
+        let inits: Vec<Vec<(VarId, i64)>> = (1..=procs as i64).map(|l| vec![(i, l)]).collect();
         let compiled = fuzzy_compiler::driver::compile_nest(
             &nest,
             &inits,
@@ -299,7 +361,7 @@ proptest! {
         }
         let out = m.run(50_000_000).unwrap();
         let halted = matches!(out, fuzzy_sim::machine::RunOutcome::Halted { .. });
-        prop_assert!(halted, "run did not halt");
+        assert!(halted, "run did not halt");
 
         // Jacobi interpreter.
         let mut g: Vec<i64> = (0..rows * cols)
@@ -314,50 +376,6 @@ proptest! {
             }
         }
         let sim: Vec<i64> = (0..rows * cols).map(|w| m.memory().peek(w)).collect();
-        prop_assert_eq!(sim, g);
-    }
-}
-
-/// Random expression over a[i+c] reads (c in 0..=8, so addresses stay in
-/// 0..16 for i=7), the variable i, and constants.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(Expr::Const),
-        Just(Expr::Var(VarId(0))),
-        (-7i64..=8).prop_map(|c| Expr::Access(ArrayAccess::new(
-            ArrayId(0),
-            vec![Subscript::var(VarId(0), c)]
-        ))),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::sub(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::mul(a, b)),
-            (inner, 1i64..10).prop_map(|(a, c)| Expr::div_const(a, c)),
-        ]
-    })
-}
-
-fn eval(expr: &Expr, i: i64, mem: &[i64]) -> i64 {
-    match expr {
-        Expr::Const(c) => *c,
-        Expr::Var(_) => i,
-        Expr::Access(a) => {
-            let sub = &a.subs[0];
-            let idx = i + sub.offset;
-            mem[idx as usize]
-        }
-        Expr::Add(a, b) => eval(a, i, mem).wrapping_add(eval(b, i, mem)),
-        Expr::Sub(a, b) => eval(a, i, mem).wrapping_sub(eval(b, i, mem)),
-        Expr::Mul(a, b) => eval(a, i, mem).wrapping_mul(eval(b, i, mem)),
-        Expr::DivConst(a, c) => {
-            let v = eval(a, i, mem);
-            if *c == 0 {
-                0
-            } else {
-                v.wrapping_div(*c)
-            }
-        }
+        assert_eq!(sim, g);
     }
 }

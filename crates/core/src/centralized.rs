@@ -1,10 +1,10 @@
 //! Centralized (single-counter) split-phase barrier.
 
 use crate::spin::{self, StallPolicy};
-use crate::stats::{BarrierStats, StatsSnapshot};
+use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
 use crate::token::{ArrivalToken, WaitOutcome};
 use crate::SplitBarrier;
-use crossbeam::utils::CachePadded;
+use fuzzy_util::CachePadded;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A centralized split-phase barrier: one shared count-down word plus a
@@ -77,7 +77,7 @@ impl CentralBarrier {
             local_episode: (0..n)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
-            stats: BarrierStats::new(),
+            stats: BarrierStats::with_participants(n),
         }
     }
 
@@ -115,7 +115,7 @@ impl CentralBarrier {
             prev > 1,
             "the last remaining participant cannot leave the barrier"
         );
-        self.stats.record_arrival();
+        self.stats.record_arrival(id);
         if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
             let expected = self.expected.load(Ordering::Acquire);
             self.count.store(expected, Ordering::Release);
@@ -137,7 +137,7 @@ impl SplitBarrier for CentralBarrier {
     fn arrive(&self, id: usize) -> ArrivalToken {
         self.check_id(id);
         let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
-        self.stats.record_arrival();
+        self.stats.record_arrival(id);
         if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arriver: re-arm the counter for the next episode, then
             // publish completion. The order matters — participants released
@@ -161,7 +161,7 @@ impl SplitBarrier for CentralBarrier {
             self.episode.load(Ordering::Acquire) > token.episode
         });
         let outcome = WaitOutcome::from_report(token.episode, report);
-        self.stats.record_wait(&outcome);
+        self.stats.record_wait(token.id, &outcome);
         outcome
     }
 
@@ -171,6 +171,10 @@ impl SplitBarrier for CentralBarrier {
 
     fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        self.stats.telemetry()
     }
 }
 

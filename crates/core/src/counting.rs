@@ -1,10 +1,10 @@
 //! Flat counting split-phase barrier (the maximal hot-spot baseline).
 
 use crate::spin::{self, StallPolicy};
-use crate::stats::{BarrierStats, StatsSnapshot};
+use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
 use crate::token::{ArrivalToken, WaitOutcome};
 use crate::SplitBarrier;
-use crossbeam::utils::CachePadded;
+use fuzzy_util::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A split-phase barrier built on a single monotone arrival counter.
@@ -59,7 +59,7 @@ impl CountingBarrier {
             local_episode: (0..n)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
-            stats: BarrierStats::new(),
+            stats: BarrierStats::with_participants(n),
         }
     }
 
@@ -76,9 +76,9 @@ impl SplitBarrier for CountingBarrier {
             self.n
         );
         let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
-        self.stats.record_arrival();
+        self.stats.record_arrival(id);
         let before = self.arrivals.fetch_add(1, Ordering::AcqRel);
-        if (before + 1) % self.n as u64 == 0 {
+        if (before + 1).is_multiple_of(self.n as u64) {
             self.stats.record_episode();
         }
         ArrivalToken::new(id, episode)
@@ -94,7 +94,7 @@ impl SplitBarrier for CountingBarrier {
             self.arrivals.load(Ordering::Acquire) >= threshold
         });
         let outcome = WaitOutcome::from_report(token.episode, report);
-        self.stats.record_wait(&outcome);
+        self.stats.record_wait(token.id, &outcome);
         outcome
     }
 
@@ -104,6 +104,10 @@ impl SplitBarrier for CountingBarrier {
 
     fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        self.stats.telemetry()
     }
 }
 

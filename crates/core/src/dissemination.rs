@@ -1,10 +1,10 @@
 //! Dissemination split-phase barrier — O(log n) rounds, no hot spot.
 
 use crate::spin::{self, StallPolicy};
-use crate::stats::{BarrierStats, StatsSnapshot};
+use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
 use crate::token::{ArrivalToken, WaitOutcome};
 use crate::SplitBarrier;
-use crossbeam::utils::CachePadded;
+use fuzzy_util::CachePadded;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// A dissemination barrier with a split-phase interface.
@@ -46,6 +46,24 @@ pub struct DisseminationBarrier {
     stats: BarrierStats,
 }
 
+/// Memory-ordering note (audited): `episode` and `round` are accessed
+/// **only through participant `id`'s own calls** — `arrive(id)` and the
+/// `try_progress(token.id, ..)` probes driven by that arrival's token.
+/// `Relaxed` is therefore sufficient for both:
+///
+/// * If the token stays on the arriving thread (the normal protocol), all
+///   accesses to `progress[id]` are same-thread, and per-location coherence
+///   alone guarantees each load sees the preceding store.
+/// * If the token is handed to another thread, the hand-off mechanism
+///   (channel, join, mutex — anything that makes the transfer sound) itself
+///   establishes happens-before between the two threads' accesses, so the
+///   receiver still observes the owner's last `Relaxed` store.
+///
+/// Cross-participant synchronization never flows through `progress`: it is
+/// carried exclusively by the `flags` slots, whose `Release` stores
+/// ([`DisseminationBarrier::signal`]) pair with the `Acquire` loads in
+/// `try_progress` to order each signaller's pre-barrier writes before the
+/// observer's post-barrier reads, transitively across all ⌈log₂ n⌉ rounds.
 #[derive(Debug, Default)]
 struct Progress {
     episode: AtomicU64,
@@ -86,7 +104,7 @@ impl DisseminationBarrier {
             flags,
             progress: (0..n).map(|_| CachePadded::new(Progress::default())).collect(),
             completed: CachePadded::new(AtomicU64::new(0)),
-            stats: BarrierStats::new(),
+            stats: BarrierStats::with_participants(n),
         }
     }
 
@@ -145,7 +163,7 @@ impl SplitBarrier for DisseminationBarrier {
         );
         let episode = self.progress[id].episode.fetch_add(1, Ordering::Relaxed);
         self.progress[id].round.store(0, Ordering::Relaxed);
-        self.stats.record_arrival();
+        self.stats.record_arrival(id);
         if self.rounds == 0 {
             // Single participant: the episode is complete on arrival.
             if self.completed.fetch_max(episode + 1, Ordering::AcqRel) < episode + 1 {
@@ -165,7 +183,7 @@ impl SplitBarrier for DisseminationBarrier {
         let report =
             spin::wait_until(self.policy, || self.try_progress(token.id, token.episode));
         let outcome = WaitOutcome::from_report(token.episode, report);
-        self.stats.record_wait(&outcome);
+        self.stats.record_wait(token.id, &outcome);
         outcome
     }
 
@@ -175,6 +193,10 @@ impl SplitBarrier for DisseminationBarrier {
 
     fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        self.stats.telemetry()
     }
 }
 

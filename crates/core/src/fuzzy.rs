@@ -2,7 +2,7 @@
 
 use crate::centralized::CentralBarrier;
 use crate::spin::StallPolicy;
-use crate::stats::StatsSnapshot;
+use crate::stats::{StatsSnapshot, TelemetrySnapshot};
 use crate::token::{ArrivalToken, WaitOutcome};
 
 /// A barrier whose synchronization is split into an *arrive* phase and a
@@ -47,6 +47,14 @@ pub trait SplitBarrier: Send + Sync {
 
     /// Snapshot of this barrier's accumulated statistics.
     fn stats(&self) -> StatsSnapshot;
+
+    /// Full telemetry snapshot: flat counters plus stall histogram,
+    /// arrival spread and per-participant counters. Backends that track
+    /// only flat counters fall back to wrapping [`Self::stats`] with empty
+    /// telemetry.
+    fn telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::from_base(self.stats())
+    }
 
     /// Arrive and immediately wait: the classic single-point barrier the
     /// paper compares against (a fuzzy barrier with an empty region).
@@ -161,6 +169,10 @@ impl<B: SplitBarrier> SplitBarrier for FuzzyBarrier<B> {
 
     fn stats(&self) -> StatsSnapshot {
         self.inner.stats()
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        self.inner.telemetry()
     }
 }
 

@@ -5,7 +5,7 @@ use crate::centralized::CentralBarrier;
 use crate::error::BarrierError;
 use crate::mask::ProcMask;
 use crate::spin::StallPolicy;
-use crate::stats::StatsSnapshot;
+use crate::stats::{StatsSnapshot, TelemetrySnapshot};
 use crate::tag::Tag;
 use crate::token::{ArrivalToken, WaitOutcome};
 
@@ -166,6 +166,14 @@ impl<B: crate::SplitBarrier> SubsetBarrier<B> {
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats()
+    }
+
+    /// Full telemetry of the underlying backend. Per-participant entries
+    /// are indexed by *rank within the mask* (iteration order), not by
+    /// global participant id.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.inner.telemetry()
     }
 }
 

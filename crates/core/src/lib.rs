@@ -96,6 +96,10 @@ pub use group::SubsetBarrier;
 pub use mask::ProcMask;
 pub use registry::GroupRegistry;
 pub use spin::StallPolicy;
+pub use stats::{
+    HistogramSnapshot, ParticipantSnapshot, SpreadSnapshot, StallHistogram, StatsSnapshot,
+    TelemetrySnapshot,
+};
 pub use tag::Tag;
 pub use token::{ArrivalToken, WaitOutcome};
 pub use tree::TreeBarrier;

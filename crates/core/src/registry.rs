@@ -14,6 +14,7 @@ use crate::error::BarrierError;
 use crate::group::SubsetBarrier;
 use crate::mask::ProcMask;
 use crate::spin::StallPolicy;
+use crate::stats::TelemetrySnapshot;
 use crate::tag::Tag;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -162,6 +163,41 @@ impl GroupRegistry {
             .get(&tag)
             .cloned()
             .ok_or(BarrierError::UnknownTag { tag })
+    }
+
+    /// Aggregates telemetry across all currently live barriers: flat
+    /// counters and spread totals are summed, histograms are merged.
+    /// Per-participant counters are dropped (ranks of different masks do
+    /// not line up), and the per-barrier breakdown is returned alongside,
+    /// keyed by tag and sorted for deterministic reporting.
+    #[must_use]
+    pub fn aggregate_telemetry(&self) -> (TelemetrySnapshot, Vec<(Tag, TelemetrySnapshot)>) {
+        let per_barrier: Vec<(Tag, TelemetrySnapshot)> = {
+            let inner = self.inner.lock().expect("registry lock");
+            let mut v: Vec<_> = inner
+                .barriers
+                .iter()
+                .map(|(tag, b)| (*tag, b.telemetry()))
+                .collect();
+            v.sort_by_key(|(tag, _)| *tag);
+            v
+        };
+        let mut total = TelemetrySnapshot::default();
+        for (_, t) in &per_barrier {
+            total.base.episodes += t.base.episodes;
+            total.base.arrivals += t.base.arrivals;
+            total.base.waits += t.base.waits;
+            total.base.stalls += t.base.stalls;
+            total.base.deschedules += t.base.deschedules;
+            total.base.stall_time += t.base.stall_time;
+            total.base.probes += t.base.probes;
+            total.stall_hist.merge(&t.stall_hist);
+            total.spread.episodes += t.spread.episodes;
+            total.spread.total += t.spread.total;
+            total.spread.max = total.spread.max.max(t.spread.max);
+            total.spread.last = t.spread.last;
+        }
+        (total, per_barrier)
     }
 
     /// Releases the barrier with `tag`, freeing its registry slot.

@@ -1,20 +1,205 @@
-//! Lock-free per-barrier statistics.
+//! Lock-free per-barrier statistics and episode telemetry.
 //!
 //! Every backend records how many episodes completed, how many arrivals it
 //! saw, and — crucially for reproducing the paper's Sec. 8 measurement —
 //! how many waits actually *stalled* and for how long. A stall that
 //! escalates to a deschedule corresponds to the Encore context save/restore
 //! the paper identifies as the dominant synchronization cost.
+//!
+//! On top of the flat counters, [`BarrierStats`] maintains per-episode
+//! telemetry:
+//!
+//! * a fixed-bucket power-of-two-nanosecond **stall-time histogram**
+//!   ([`StallHistogram`]) — bucket `i` counts stalls whose duration in
+//!   nanoseconds satisfies `2^i <= ns < 2^(i+1)` (bucket 0 also absorbs
+//!   zero), so the whole `u64` range is covered by 64 buckets;
+//! * **arrival spread** — the time between the first and last `arrive`
+//!   of each episode, the direct measure of how much drift the fuzzy
+//!   barrier region absorbed;
+//! * **per-participant** stall/probe counters, which expose asymmetric
+//!   load (one slow stream stalls everyone else, Sec. 8).
+//!
+//! Everything is updated with relaxed atomic adds on paths that already
+//! performed at least one synchronizing atomic; nothing on the hot path
+//! allocates (all storage is sized at construction).
 
 use crate::token::WaitOutcome;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets: one per power of two of a `u64` value.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Sentinel meaning "no arrival recorded yet for this episode".
+const SPREAD_ARMED: u64 = u64::MAX;
+
+/// A lock-free fixed-bucket histogram over power-of-two ranges.
+///
+/// Bucket `i` counts recorded values `v` with `floor(log2(v)) == i`
+/// (bucket 0 also counts `v == 0`). For barrier stalls the recorded value
+/// is nanoseconds, so bucket 10 ≈ 1–2 µs, bucket 20 ≈ 1–2 ms, and so on;
+/// `u64::MAX` saturates into the last bucket.
+#[derive(Debug)]
+pub struct StallHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for StallHistogram {
+    fn default() -> Self {
+        StallHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl StallHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in: `floor(log2(v))`, with 0 for 0.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (63 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive lower and upper bound of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= HISTOGRAM_BUCKETS`.
+    #[must_use]
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HISTOGRAM_BUCKETS);
+        let lo = if i == 0 { 0 } else { 1u64 << i };
+        let hi = if i == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        };
+        (lo, hi)
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the bucket counts.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`StallHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per power-of-two bucket; see [`StallHistogram::bucket_bounds`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Index of the highest non-empty bucket, or `None` when empty.
+    #[must_use]
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 <= q <= 1.0`) of the recorded values, or `None` when empty.
+    /// A coarse estimate — resolution is one power of two.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(StallHistogram::bucket_bounds(i).1);
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Adds another snapshot's counts into this one (for aggregation
+    /// across barriers or participants).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+    }
+}
+
+/// Per-episode arrival-spread accumulator: the gap between the first and
+/// last arrival of each episode.
+#[derive(Debug, Default)]
+struct SpreadTracker {
+    /// Earliest arrival timestamp (ns since the stats anchor) of the
+    /// episode in flight; `SPREAD_ARMED` when none recorded yet.
+    first: AtomicU64,
+    /// Latest arrival timestamp of the episode in flight.
+    last: AtomicU64,
+    /// Sum of spreads over completed episodes.
+    total_nanos: AtomicU64,
+    /// Largest spread seen.
+    max_nanos: AtomicU64,
+    /// Spread of the most recently completed episode.
+    last_nanos: AtomicU64,
+    /// Episodes with a measured spread.
+    episodes: AtomicU64,
+}
+
+/// Per-participant relaxed counters (indexed by participant id).
+#[derive(Debug, Default)]
+struct ParticipantCounters {
+    arrivals: AtomicU64,
+    waits: AtomicU64,
+    stalls: AtomicU64,
+    stall_nanos: AtomicU64,
+    probes: AtomicU64,
+}
 
 /// Atomic counters updated by barrier operations.
 ///
 /// Cheap enough to leave enabled: every field is a relaxed atomic add on a
-/// path that already performed at least one synchronizing atomic.
-#[derive(Debug, Default)]
+/// path that already performed at least one synchronizing atomic. Construct
+/// with [`BarrierStats::with_participants`] to additionally get
+/// per-participant counters; the plain [`BarrierStats::new`] keeps only the
+/// aggregate view.
+#[derive(Debug)]
 pub struct BarrierStats {
     episodes: AtomicU64,
     arrivals: AtomicU64,
@@ -23,30 +208,99 @@ pub struct BarrierStats {
     deschedules: AtomicU64,
     stall_nanos: AtomicU64,
     probes: AtomicU64,
+    stall_hist: StallHistogram,
+    spread: SpreadTracker,
+    /// Monotonic time origin for arrival timestamps.
+    anchor: Instant,
+    /// Per-participant counters; empty when participant-blind.
+    per_participant: Box<[ParticipantCounters]>,
+}
+
+impl Default for BarrierStats {
+    fn default() -> Self {
+        Self::with_participants(0)
+    }
 }
 
 impl BarrierStats {
-    /// Creates a zeroed statistics block.
+    /// Creates a zeroed, participant-blind statistics block.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    pub(crate) fn record_arrival(&self) {
+    /// Creates a statistics block that also keeps per-participant counters
+    /// for participants `0..n`. All storage is allocated here; recording
+    /// never allocates.
+    #[must_use]
+    pub fn with_participants(n: usize) -> Self {
+        let spread = SpreadTracker::default();
+        spread.first.store(SPREAD_ARMED, Ordering::Relaxed);
+        BarrierStats {
+            episodes: AtomicU64::new(0),
+            arrivals: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            deschedules: AtomicU64::new(0),
+            stall_nanos: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            stall_hist: StallHistogram::new(),
+            spread,
+            anchor: Instant::now(),
+            per_participant: (0..n).map(|_| ParticipantCounters::default()).collect(),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn record_arrival(&self, id: usize) {
         self.arrivals.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = self.per_participant.get(id) {
+            p.arrivals.fetch_add(1, Ordering::Relaxed);
+        }
+        // Arrival-spread bookkeeping. `first` uses fetch_min against the
+        // SPREAD_ARMED sentinel so the earliest arrival of the episode wins;
+        // `last` uses fetch_max. When episodes overlap (a fast participant
+        // arrives for episode e+1 before e's completion is recorded) the
+        // spread attributed to e may include the head of e+1 — an accepted
+        // approximation; telemetry is statistics, not synchronization.
+        let now = self.now_nanos().min(SPREAD_ARMED - 1);
+        self.spread.first.fetch_min(now, Ordering::Relaxed);
+        self.spread.last.fetch_max(now, Ordering::Relaxed);
     }
 
     pub(crate) fn record_episode(&self) {
         self.episodes.fetch_add(1, Ordering::Relaxed);
+        let first = self.spread.first.swap(SPREAD_ARMED, Ordering::Relaxed);
+        let last = self.spread.last.swap(0, Ordering::Relaxed);
+        if first != SPREAD_ARMED && last >= first {
+            let spread = last - first;
+            self.spread.total_nanos.fetch_add(spread, Ordering::Relaxed);
+            self.spread.max_nanos.fetch_max(spread, Ordering::Relaxed);
+            self.spread.last_nanos.store(spread, Ordering::Relaxed);
+            self.spread.episodes.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    pub(crate) fn record_wait(&self, outcome: &WaitOutcome) {
+    pub(crate) fn record_wait(&self, id: usize, outcome: &WaitOutcome) {
         self.waits.fetch_add(1, Ordering::Relaxed);
+        let p = self.per_participant.get(id);
+        if let Some(p) = p {
+            p.waits.fetch_add(1, Ordering::Relaxed);
+        }
         if outcome.stalled {
             self.stalls.fetch_add(1, Ordering::Relaxed);
             let nanos = u64::try_from(outcome.stall_time.as_nanos()).unwrap_or(u64::MAX);
             self.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
             self.probes.fetch_add(outcome.probes, Ordering::Relaxed);
+            self.stall_hist.record(nanos);
+            if let Some(p) = p {
+                p.stalls.fetch_add(1, Ordering::Relaxed);
+                p.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+                p.probes.fetch_add(outcome.probes, Ordering::Relaxed);
+            }
         }
         if outcome.descheduled {
             self.deschedules.fetch_add(1, Ordering::Relaxed);
@@ -68,9 +322,36 @@ impl BarrierStats {
             probes: self.probes.load(Ordering::Relaxed),
         }
     }
+
+    /// Takes the full telemetry snapshot: flat counters plus the stall
+    /// histogram, arrival spread and per-participant counters.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            base: self.snapshot(),
+            stall_hist: self.stall_hist.snapshot(),
+            spread: SpreadSnapshot {
+                episodes: self.spread.episodes.load(Ordering::Relaxed),
+                total: Duration::from_nanos(self.spread.total_nanos.load(Ordering::Relaxed)),
+                max: Duration::from_nanos(self.spread.max_nanos.load(Ordering::Relaxed)),
+                last: Duration::from_nanos(self.spread.last_nanos.load(Ordering::Relaxed)),
+            },
+            per_participant: self
+                .per_participant
+                .iter()
+                .map(|p| ParticipantSnapshot {
+                    arrivals: p.arrivals.load(Ordering::Relaxed),
+                    waits: p.waits.load(Ordering::Relaxed),
+                    stalls: p.stalls.load(Ordering::Relaxed),
+                    stall_time: Duration::from_nanos(p.stall_nanos.load(Ordering::Relaxed)),
+                    probes: p.probes.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
 }
 
-/// A point-in-time copy of [`BarrierStats`].
+/// A point-in-time copy of [`BarrierStats`]' flat counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Completed barrier episodes.
@@ -113,6 +394,73 @@ impl StatsSnapshot {
     }
 }
 
+/// Arrival-spread summary: per-episode gap between first and last arrival.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpreadSnapshot {
+    /// Episodes with a measured spread.
+    pub episodes: u64,
+    /// Sum of spreads over those episodes.
+    pub total: Duration,
+    /// Largest single-episode spread.
+    pub max: Duration,
+    /// Spread of the most recently completed episode.
+    pub last: Duration,
+}
+
+impl SpreadSnapshot {
+    /// Mean spread per measured episode.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.episodes == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.episodes.min(u64::from(u32::MAX))).unwrap_or(1)
+        }
+    }
+}
+
+/// One participant's view of the counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParticipantSnapshot {
+    /// Arrivals performed by this participant.
+    pub arrivals: u64,
+    /// Waits performed by this participant.
+    pub waits: u64,
+    /// Waits that stalled.
+    pub stalls: u64,
+    /// Total time this participant spent stalled.
+    pub stall_time: Duration,
+    /// Probes performed while stalled.
+    pub probes: u64,
+}
+
+/// The full telemetry picture: flat counters, stall histogram, arrival
+/// spread, and per-participant counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// The flat counters (same values as [`BarrierStats::snapshot`]).
+    pub base: StatsSnapshot,
+    /// Power-of-two-nanosecond histogram of individual stall durations.
+    pub stall_hist: HistogramSnapshot,
+    /// Per-episode first-to-last arrival gap summary.
+    pub spread: SpreadSnapshot,
+    /// Per-participant counters; empty for participant-blind stats.
+    pub per_participant: Vec<ParticipantSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Wraps a flat snapshot with empty telemetry — the default
+    /// [`crate::SplitBarrier::telemetry`] for backends that only track flat
+    /// counters.
+    #[must_use]
+    pub fn from_base(base: StatsSnapshot) -> Self {
+        TelemetrySnapshot {
+            base,
+            ..TelemetrySnapshot::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,15 +476,18 @@ mod tests {
     #[test]
     fn record_wait_accumulates() {
         let stats = BarrierStats::new();
-        stats.record_arrival();
-        stats.record_wait(&WaitOutcome {
-            episode: 0,
-            stalled: true,
-            descheduled: true,
-            probes: 12,
-            stall_time: Duration::from_micros(3),
-        });
-        stats.record_wait(&WaitOutcome::default());
+        stats.record_arrival(0);
+        stats.record_wait(
+            0,
+            &WaitOutcome {
+                episode: 0,
+                stalled: true,
+                descheduled: true,
+                probes: 12,
+                stall_time: Duration::from_micros(3),
+            },
+        );
+        stats.record_wait(0, &WaitOutcome::default());
         let s = stats.snapshot();
         assert_eq!(s.arrivals, 1);
         assert_eq!(s.waits, 2);
@@ -150,15 +501,137 @@ mod tests {
     fn mean_stall_divides_by_waits() {
         let stats = BarrierStats::new();
         for _ in 0..4 {
-            stats.record_wait(&WaitOutcome {
-                episode: 0,
-                stalled: true,
-                descheduled: false,
-                probes: 1,
-                stall_time: Duration::from_micros(8),
-            });
+            stats.record_wait(
+                0,
+                &WaitOutcome {
+                    episode: 0,
+                    stalled: true,
+                    descheduled: false,
+                    probes: 1,
+                    stall_time: Duration::from_micros(8),
+                },
+            );
         }
         let s = stats.snapshot();
         assert_eq!(s.mean_stall_per_wait(), Duration::from_micros(8));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 holds 0 and 1; bucket i holds [2^i, 2^(i+1)).
+        assert_eq!(StallHistogram::bucket_index(0), 0);
+        assert_eq!(StallHistogram::bucket_index(1), 0);
+        assert_eq!(StallHistogram::bucket_index(2), 1);
+        assert_eq!(StallHistogram::bucket_index(3), 1);
+        assert_eq!(StallHistogram::bucket_index(4), 2);
+        assert_eq!(StallHistogram::bucket_index(1023), 9);
+        assert_eq!(StallHistogram::bucket_index(1024), 10);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = StallHistogram::bucket_bounds(i);
+            assert_eq!(StallHistogram::bucket_index(lo.max(1)), i);
+            assert_eq!(StallHistogram::bucket_index(hi), i);
+            if i > 0 {
+                let (_, prev_hi) = StallHistogram::bucket_bounds(i - 1);
+                assert_eq!(prev_hi + 1, lo, "buckets must tile the u64 range");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_saturates_at_u64_max() {
+        let h = StallHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 2);
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.max_bucket(), Some(HISTOGRAM_BUCKETS - 1));
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = StallHistogram::new();
+        for _ in 0..9 {
+            h.record(100); // bucket 6 (64..127)
+        }
+        h.record(1 << 20); // bucket 20
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_bound(0.5), Some(127));
+        assert_eq!(s.quantile_upper_bound(1.0), Some((1 << 21) - 1));
+        assert_eq!(HistogramSnapshot::default().quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let a = StallHistogram::new();
+        let b = StallHistogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(1000);
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa.buckets[StallHistogram::bucket_index(10)], 2);
+        assert_eq!(sa.buckets[StallHistogram::bucket_index(1000)], 1);
+        assert_eq!(sa.total(), 3);
+    }
+
+    #[test]
+    fn empty_episode_telemetry_snapshot() {
+        let t = BarrierStats::with_participants(3).telemetry();
+        assert_eq!(t.base, StatsSnapshot::default());
+        assert!(t.stall_hist.is_empty());
+        assert_eq!(t.spread, SpreadSnapshot::default());
+        assert_eq!(t.spread.mean(), Duration::ZERO);
+        assert_eq!(t.per_participant.len(), 3);
+        assert!(t.per_participant.iter().all(|p| *p == ParticipantSnapshot::default()));
+    }
+
+    #[test]
+    fn spread_measures_first_to_last_arrival() {
+        let stats = BarrierStats::with_participants(2);
+        stats.record_arrival(0);
+        std::thread::sleep(Duration::from_millis(2));
+        stats.record_arrival(1);
+        stats.record_episode();
+        let t = stats.telemetry();
+        assert_eq!(t.spread.episodes, 1);
+        assert!(t.spread.last >= Duration::from_millis(2), "{:?}", t.spread);
+        assert_eq!(t.spread.last, t.spread.max);
+        assert_eq!(t.spread.last, t.spread.total);
+        // The next episode re-arms cleanly.
+        stats.record_arrival(0);
+        stats.record_arrival(1);
+        stats.record_episode();
+        let t = stats.telemetry();
+        assert_eq!(t.spread.episodes, 2);
+        assert!(t.spread.last <= t.spread.max);
+    }
+
+    #[test]
+    fn per_participant_counters_attribute_stalls() {
+        let stats = BarrierStats::with_participants(2);
+        stats.record_arrival(0);
+        stats.record_arrival(1);
+        stats.record_wait(
+            1,
+            &WaitOutcome {
+                episode: 0,
+                stalled: true,
+                descheduled: false,
+                probes: 7,
+                stall_time: Duration::from_micros(5),
+            },
+        );
+        stats.record_wait(0, &WaitOutcome::default());
+        let t = stats.telemetry();
+        assert_eq!(t.per_participant[0].stalls, 0);
+        assert_eq!(t.per_participant[1].stalls, 1);
+        assert_eq!(t.per_participant[1].probes, 7);
+        assert_eq!(t.per_participant[1].stall_time, Duration::from_micros(5));
+        assert_eq!(t.stall_hist.total(), 1);
+        // Out-of-range ids (from participant-blind callers) are ignored,
+        // not a panic.
+        stats.record_wait(9, &WaitOutcome::default());
+        assert_eq!(stats.snapshot().waits, 3);
     }
 }

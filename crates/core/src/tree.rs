@@ -1,10 +1,10 @@
 //! Combining-tree split-phase barrier with configurable fan-in.
 
 use crate::spin::{self, StallPolicy};
-use crate::stats::{BarrierStats, StatsSnapshot};
+use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
 use crate::token::{ArrivalToken, WaitOutcome};
 use crate::SplitBarrier;
-use crossbeam::utils::CachePadded;
+use fuzzy_util::CachePadded;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A combining-tree barrier: arrivals are counted in a tree of nodes with
@@ -118,7 +118,7 @@ impl TreeBarrier {
             local_episode: (0..n)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
-            stats: BarrierStats::new(),
+            stats: BarrierStats::with_participants(n),
         }
     }
 
@@ -164,7 +164,7 @@ impl SplitBarrier for TreeBarrier {
             self.n
         );
         let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
-        self.stats.record_arrival();
+        self.stats.record_arrival(id);
         self.signal_node(self.leaf_of[id]);
         ArrivalToken::new(id, episode)
     }
@@ -178,7 +178,7 @@ impl SplitBarrier for TreeBarrier {
             self.episode.load(Ordering::Acquire) > token.episode
         });
         let outcome = WaitOutcome::from_report(token.episode, report);
-        self.stats.record_wait(&outcome);
+        self.stats.record_wait(token.id, &outcome);
         outcome
     }
 
@@ -188,6 +188,10 @@ impl SplitBarrier for TreeBarrier {
 
     fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        self.stats.telemetry()
     }
 }
 

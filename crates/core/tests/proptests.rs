@@ -1,10 +1,14 @@
-//! Property-based tests for the fuzzy-barrier core invariants.
+//! Randomized tests for the fuzzy-barrier core invariants.
+//!
+//! Formerly written with `proptest`; the build environment is offline, so
+//! the same properties are now exercised with a deterministic seeded
+//! generator ([`fuzzy_util::SplitMix64`]) sweeping many random cases.
 
 use fuzzy_barrier::{
     CentralBarrier, CountingBarrier, DisseminationBarrier, GroupRegistry, ProcMask, SplitBarrier,
     StallPolicy, Tag, TreeBarrier,
 };
-use proptest::prelude::*;
+use fuzzy_util::SplitMix64;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -49,30 +53,48 @@ fn exercise_backend<B: SplitBarrier + 'static>(b: B, n: usize, episodes: u64, de
     assert_eq!(b.stats().arrivals, 2 * episodes * n as u64);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Generates a random (n, delays) case like the old proptest strategies:
+/// `n in 1..6`, `delays in vec(0u8..16, 1..6)`.
+fn random_case(rng: &mut SplitMix64) -> (usize, Vec<u8>) {
+    let n = 1 + rng.below(5);
+    let len = 1 + rng.below(5);
+    let delays = (0..len).map(|_| rng.range_u64(0, 15) as u8).collect();
+    (n, delays)
+}
 
-    #[test]
-    fn central_barrier_is_safe(n in 1usize..6, delays in prop::collection::vec(0u8..16, 1..6)) {
+#[test]
+fn central_barrier_is_safe() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0FFEE);
+    for _case in 0..12 {
+        let (n, delays) = random_case(&mut rng);
         exercise_backend(CentralBarrier::new(n), n, 40, &delays);
     }
+}
 
-    #[test]
-    fn counting_barrier_is_safe(n in 1usize..6, delays in prop::collection::vec(0u8..16, 1..6)) {
+#[test]
+fn counting_barrier_is_safe() {
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF);
+    for _case in 0..12 {
+        let (n, delays) = random_case(&mut rng);
         exercise_backend(CountingBarrier::new(n), n, 40, &delays);
     }
+}
 
-    #[test]
-    fn dissemination_barrier_is_safe(n in 1usize..6, delays in prop::collection::vec(0u8..16, 1..6)) {
+#[test]
+fn dissemination_barrier_is_safe() {
+    let mut rng = SplitMix64::seed_from_u64(0xD15C0);
+    for _case in 0..12 {
+        let (n, delays) = random_case(&mut rng);
         exercise_backend(DisseminationBarrier::new(n), n, 40, &delays);
     }
+}
 
-    #[test]
-    fn tree_barrier_is_safe(
-        n in 1usize..6,
-        fan_in in 2usize..5,
-        delays in prop::collection::vec(0u8..16, 1..6),
-    ) {
+#[test]
+fn tree_barrier_is_safe() {
+    let mut rng = SplitMix64::seed_from_u64(0x7EEE);
+    for _case in 0..12 {
+        let (n, delays) = random_case(&mut rng);
+        let fan_in = 2 + rng.below(3);
         exercise_backend(
             TreeBarrier::with_fan_in(n, fan_in, StallPolicy::default()),
             n,
@@ -82,50 +104,65 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mask_rank_matches_iteration_order(ids in prop::collection::btree_set(0usize..64, 0..20)) {
+#[test]
+fn mask_rank_matches_iteration_order() {
+    let mut rng = SplitMix64::seed_from_u64(1);
+    for _case in 0..64 {
+        let count = rng.below(20);
+        let ids: std::collections::BTreeSet<usize> =
+            (0..count).map(|_| rng.below(64)).collect();
         let mask: ProcMask = ids.iter().copied().collect();
-        prop_assert_eq!(mask.len(), ids.len());
+        assert_eq!(mask.len(), ids.len());
         for (rank, id) in mask.iter().enumerate() {
-            prop_assert_eq!(mask.rank_of(id), Some(rank));
+            assert_eq!(mask.rank_of(id), Some(rank));
         }
         // Non-members have no rank.
         for id in 0..64 {
             if !ids.contains(&id) {
-                prop_assert_eq!(mask.rank_of(id), None);
+                assert_eq!(mask.rank_of(id), None);
             }
         }
     }
+}
 
-    #[test]
-    fn mask_set_laws(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn mask_set_laws() {
+    let mut rng = SplitMix64::seed_from_u64(2);
+    for _case in 0..64 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let ma = ProcMask::from_bits(a);
         let mb = ProcMask::from_bits(b);
-        prop_assert_eq!(ma.union(&mb), mb.union(&ma));
-        prop_assert_eq!(ma.intersection(&mb), mb.intersection(&ma));
-        prop_assert!(ma.intersection(&mb).is_subset(&ma));
-        prop_assert!(ma.is_subset(&ma.union(&mb)));
-        prop_assert_eq!(ma.is_disjoint(&mb), ma.intersection(&mb).is_empty());
-        prop_assert_eq!(
+        assert_eq!(ma.union(&mb), mb.union(&ma));
+        assert_eq!(ma.intersection(&mb), mb.intersection(&ma));
+        assert!(ma.intersection(&mb).is_subset(&ma));
+        assert!(ma.is_subset(&ma.union(&mb)));
+        assert_eq!(ma.is_disjoint(&mb), ma.intersection(&mb).is_empty());
+        assert_eq!(
             ma.union(&mb).len() + ma.intersection(&mb).len(),
             ma.len() + mb.len()
         );
     }
+}
 
-    #[test]
-    fn tag_next_never_yields_zero(raw in 1u16..) {
+#[test]
+fn tag_next_never_yields_zero() {
+    let mut rng = SplitMix64::seed_from_u64(3);
+    for _case in 0..64 {
+        let raw = rng.range_u64(1, u64::from(u16::MAX)) as u16;
         let tag = Tag::new(raw).unwrap();
-        prop_assert!(tag.next().get() != 0);
+        assert!(tag.next().get() != 0);
     }
+    // The wrap-around case, explicitly.
+    assert!(Tag::new(u16::MAX).unwrap().next().get() != 0);
+}
 
-    #[test]
-    fn registry_never_exceeds_budget(
-        max_streams in 2usize..10,
-        ops in prop::collection::vec(any::<bool>(), 1..40),
-    ) {
+#[test]
+fn registry_never_exceeds_budget() {
+    let mut rng = SplitMix64::seed_from_u64(4);
+    for _case in 0..64 {
+        let max_streams = 2 + rng.below(8);
+        let ops: Vec<bool> = (0..1 + rng.below(39)).map(|_| rng.chance(0.5)).collect();
         // true = allocate, false = release the oldest live barrier.
         let registry = GroupRegistry::new(max_streams);
         let mask = ProcMask::first_n(2);
@@ -134,14 +171,14 @@ proptest! {
             if op {
                 match registry.allocate(mask) {
                     Ok((tag, _)) => live.push(tag),
-                    Err(_) => prop_assert_eq!(live.len(), max_streams - 1),
+                    Err(_) => assert_eq!(live.len(), max_streams - 1),
                 }
             } else if let Some(tag) = live.first().copied() {
                 registry.release(tag).unwrap();
                 live.remove(0);
             }
-            prop_assert!(registry.live_barriers() <= max_streams - 1);
-            prop_assert_eq!(registry.live_barriers(), live.len());
+            assert!(registry.live_barriers() < max_streams);
+            assert_eq!(registry.live_barriers(), live.len());
         }
     }
 }

@@ -116,6 +116,10 @@ pub struct ThreadReport {
     pub elapsed: Duration,
     /// Barrier statistics accumulated over all episodes.
     pub barrier: fuzzy_barrier::stats::StatsSnapshot,
+    /// Full barrier telemetry (stall histogram, arrival spread,
+    /// per-participant counters) for the same run; `telemetry.base`
+    /// equals `barrier`.
+    pub telemetry: fuzzy_barrier::TelemetrySnapshot,
 }
 
 /// Calibrated busy work: spins for roughly `units` abstract units.
@@ -203,6 +207,7 @@ pub fn run_threaded(
     ThreadReport {
         elapsed: start.elapsed(),
         barrier: barrier.stats(),
+        telemetry: barrier.telemetry(),
     }
 }
 
@@ -279,6 +284,10 @@ mod tests {
         );
         assert_eq!(report.barrier.episodes, 5);
         assert_eq!(report.barrier.arrivals, 20);
+        assert_eq!(report.telemetry.base, report.barrier);
+        assert_eq!(report.telemetry.per_participant.len(), 4);
+        let per: u64 = report.telemetry.per_participant.iter().map(|p| p.arrivals).sum();
+        assert_eq!(per, 20);
     }
 
     #[test]

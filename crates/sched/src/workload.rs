@@ -6,8 +6,7 @@
 //! static schedules idle (Sec. 7.3). These models generate the costs the
 //! schedulers are evaluated against.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fuzzy_util::SplitMix64;
 
 /// A model assigning a cost (in abstract work units) to each iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,18 +53,18 @@ impl CostModel {
     /// Panics if a probability is outside `[0, 1]` or `lo > hi`.
     #[must_use]
     pub fn costs(&self, n: usize, seed: u64) -> Vec<u64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         match *self {
             CostModel::Uniform { cost } => vec![cost; n],
             CostModel::Bimodal { fast, slow, p_slow } => {
                 assert!((0.0..=1.0).contains(&p_slow), "p_slow is a probability");
                 (0..n)
-                    .map(|_| if rng.gen::<f64>() < p_slow { slow } else { fast })
+                    .map(|_| if rng.next_f64() < p_slow { slow } else { fast })
                     .collect()
             }
             CostModel::Jitter { lo, hi } => {
                 assert!(lo <= hi, "lo must not exceed hi");
-                (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+                (0..n).map(|_| rng.range_u64(lo, hi)).collect()
             }
             CostModel::Linear { base, slope } => {
                 (0..n).map(|i| base + slope * i as u64).collect()
@@ -94,8 +93,8 @@ mod tests {
             p_slow: 0.5,
         }
         .costs(64, 42);
-        assert!(costs.iter().any(|&c| c == 1));
-        assert!(costs.iter().any(|&c| c == 100));
+        assert!(costs.contains(&1));
+        assert!(costs.contains(&100));
         assert!(costs.iter().all(|&c| c == 1 || c == 100));
     }
 

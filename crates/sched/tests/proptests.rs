@@ -1,4 +1,8 @@
-//! Property-based tests for the scheduling crate.
+//! Randomized tests for the scheduling crate.
+//!
+//! Formerly written with `proptest`; the build environment is offline, so
+//! the same properties are exercised with a deterministic seeded generator
+//! ([`fuzzy_util::SplitMix64`]) sweeping many random cases.
 
 use fuzzy_sched::executor::{simulate_dynamic, simulate_static};
 use fuzzy_sched::self_sched::{
@@ -6,109 +10,142 @@ use fuzzy_sched::self_sched::{
 };
 use fuzzy_sched::static_sched::{block, cyclic, idle_at_barrier, per_proc_work, rotated_block};
 use fuzzy_sched::workload::CostModel;
-use proptest::prelude::*;
+use fuzzy_util::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Every static schedule assigns each iteration exactly once.
-    #[test]
-    fn static_schedules_partition_iterations(
-        iters in 0usize..200,
-        procs in 1usize..9,
-        outer in 0usize..12,
-    ) {
-        for a in [block(iters, procs), cyclic(iters, procs), rotated_block(iters, procs, outer)] {
+/// Every static schedule assigns each iteration exactly once.
+#[test]
+fn static_schedules_partition_iterations() {
+    let mut rng = SplitMix64::seed_from_u64(10);
+    for _case in 0..96 {
+        let iters = rng.below(200);
+        let procs = 1 + rng.below(8);
+        let outer = rng.below(12);
+        for a in [
+            block(iters, procs),
+            cyclic(iters, procs),
+            rotated_block(iters, procs, outer),
+        ] {
             let mut all: Vec<usize> = a.iter().flatten().copied().collect();
             all.sort_unstable();
-            prop_assert_eq!(all, (0..iters).collect::<Vec<_>>());
-            prop_assert_eq!(a.len(), procs);
+            assert_eq!(all, (0..iters).collect::<Vec<_>>());
+            assert_eq!(a.len(), procs);
         }
     }
+}
 
-    /// Rotation preserves the multiset of chunk sizes of plain block.
-    #[test]
-    fn rotation_preserves_chunk_sizes(iters in 0usize..100, procs in 1usize..8, outer in 0usize..20) {
+/// Rotation preserves the multiset of chunk sizes of plain block.
+#[test]
+fn rotation_preserves_chunk_sizes() {
+    let mut rng = SplitMix64::seed_from_u64(11);
+    for _case in 0..96 {
+        let iters = rng.below(100);
+        let procs = 1 + rng.below(7);
+        let outer = rng.below(20);
         let mut plain: Vec<usize> = block(iters, procs).iter().map(Vec::len).collect();
         let mut rot: Vec<usize> = rotated_block(iters, procs, outer).iter().map(Vec::len).collect();
         plain.sort_unstable();
         rot.sort_unstable();
-        prop_assert_eq!(plain, rot);
+        assert_eq!(plain, rot);
     }
+}
 
-    /// Every chunk policy covers the iteration space exactly, with every
-    /// chunk at least one iteration.
-    #[test]
-    fn chunk_policies_cover_exactly(total in 0usize..500, procs in 1usize..9) {
+/// Every chunk policy covers the iteration space exactly, with every
+/// chunk at least one iteration.
+#[test]
+fn chunk_policies_cover_exactly() {
+    let mut rng = SplitMix64::seed_from_u64(12);
+    for _case in 0..96 {
+        let total = rng.below(500);
+        let procs = 1 + rng.below(8);
         let policies: [&dyn ChunkPolicy; 3] =
             [&SelfScheduling, &FixedChunk(13), &GuidedSelfScheduling];
         for policy in policies {
             let seq = chunk_sequence(total, procs, policy);
-            prop_assert_eq!(seq.iter().sum::<usize>(), total, "{}", policy.name());
-            prop_assert!(seq.iter().all(|&c| c >= 1));
+            assert_eq!(seq.iter().sum::<usize>(), total, "{}", policy.name());
+            assert!(seq.iter().all(|&c| c >= 1));
         }
     }
+}
 
-    /// GSS chunks never increase and start at ceil(total/procs).
-    #[test]
-    fn gss_chunks_monotone(total in 1usize..500, procs in 1usize..9) {
+/// GSS chunks never increase and start at ceil(total/procs).
+#[test]
+fn gss_chunks_monotone() {
+    let mut rng = SplitMix64::seed_from_u64(13);
+    for _case in 0..96 {
+        let total = 1 + rng.below(499);
+        let procs = 1 + rng.below(8);
         let seq = chunk_sequence(total, procs, &GuidedSelfScheduling);
-        prop_assert_eq!(seq[0], total.div_ceil(procs));
-        prop_assert!(seq.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(seq[0], total.div_ceil(procs));
+        assert!(seq.windows(2).all(|w| w[0] >= w[1]));
     }
+}
 
-    /// The dynamic executor conserves work: total busy time equals the
-    /// sum of iteration costs plus dispatch overhead.
-    #[test]
-    fn dynamic_executor_conserves_work(
-        n in 1usize..120,
-        procs in 1usize..7,
-        dispatch in 0u64..5,
-        seed in any::<u64>(),
-    ) {
+/// The dynamic executor conserves work: total busy time equals the
+/// sum of iteration costs plus dispatch overhead.
+#[test]
+fn dynamic_executor_conserves_work() {
+    let mut rng = SplitMix64::seed_from_u64(14);
+    for _case in 0..96 {
+        let n = 1 + rng.below(119);
+        let procs = 1 + rng.below(6);
+        let dispatch = rng.range_u64(0, 4);
+        let seed = rng.next_u64();
         let costs = CostModel::Jitter { lo: 1, hi: 25 }.costs(n, seed);
         let r = simulate_dynamic(procs, &costs, &GuidedSelfScheduling, dispatch);
         let total_cost: u64 = costs.iter().sum();
         let total_dispatch: u64 = r.dispatches.iter().map(|&d| d as u64 * dispatch).sum();
-        prop_assert_eq!(r.finish.iter().sum::<u64>(), total_cost + total_dispatch);
+        assert_eq!(r.finish.iter().sum::<u64>(), total_cost + total_dispatch);
     }
+}
 
-    /// Fuzzy stall is monotone non-increasing in the region size and hits
-    /// zero for a region as large as the makespan.
-    #[test]
-    fn fuzzy_stall_monotone_in_region(
-        n in 1usize..60,
-        procs in 1usize..6,
-        seed in any::<u64>(),
-    ) {
+/// Fuzzy stall is monotone non-increasing in the region size and hits
+/// zero for a region as large as the makespan.
+#[test]
+fn fuzzy_stall_monotone_in_region() {
+    let mut rng = SplitMix64::seed_from_u64(15);
+    for _case in 0..96 {
+        let n = 1 + rng.below(59);
+        let procs = 1 + rng.below(5);
+        let seed = rng.next_u64();
         let costs = CostModel::Jitter { lo: 1, hi: 40 }.costs(n, seed);
         let r = simulate_static(&block(n, procs), &costs);
         let mut last = u64::MAX;
         for region in [0u64, 5, 20, 80, 320] {
             let stall = r.total_fuzzy_stall(region);
-            prop_assert!(stall <= last);
+            assert!(stall <= last);
             last = stall;
         }
-        prop_assert_eq!(r.total_fuzzy_stall(r.makespan()), 0);
-        prop_assert_eq!(r.total_fuzzy_stall(0), r.total_point_idle());
+        assert_eq!(r.total_fuzzy_stall(r.makespan()), 0);
+        assert_eq!(r.total_fuzzy_stall(0), r.total_point_idle());
     }
+}
 
-    /// idle_at_barrier is zero exactly for the maximal worker.
-    #[test]
-    fn idle_math(work in prop::collection::vec(0u64..1000, 1..10)) {
+/// idle_at_barrier is zero exactly for the maximal worker.
+#[test]
+fn idle_math() {
+    let mut rng = SplitMix64::seed_from_u64(16);
+    for _case in 0..96 {
+        let len = 1 + rng.below(9);
+        let work: Vec<u64> = (0..len).map(|_| rng.range_u64(0, 999)).collect();
         let idle = idle_at_barrier(&work);
         let max = *work.iter().max().unwrap();
         for (w, i) in work.iter().zip(&idle) {
-            prop_assert_eq!(w + i, max);
+            assert_eq!(w + i, max);
         }
     }
+}
 
-    /// per_proc_work sums the right costs.
-    #[test]
-    fn work_sums(iters in 1usize..50, procs in 1usize..6, seed in any::<u64>()) {
+/// per_proc_work sums the right costs.
+#[test]
+fn work_sums() {
+    let mut rng = SplitMix64::seed_from_u64(17);
+    for _case in 0..96 {
+        let iters = 1 + rng.below(49);
+        let procs = 1 + rng.below(5);
+        let seed = rng.next_u64();
         let costs = CostModel::Jitter { lo: 0, hi: 9 }.costs(iters, seed);
         let a = block(iters, procs);
         let work = per_proc_work(&a, &costs);
-        prop_assert_eq!(work.iter().sum::<u64>(), costs.iter().sum::<u64>());
+        assert_eq!(work.iter().sum::<u64>(), costs.iter().sum::<u64>());
     }
 }

@@ -246,7 +246,7 @@ pub fn assemble_program(source: &str) -> Result<Program, AsmError> {
 
 fn strip_comment(raw: &str) -> &str {
     let end = raw
-        .find(|c| c == ';' || c == '#')
+        .find([';', '#'])
         .unwrap_or(raw.len());
     &raw[..end]
 }

@@ -11,6 +11,8 @@
 //!   --banks N        memory banks
 //!   --seed N         RNG seed for miss injection
 //!   --dump A B       print memory words A..B after the run
+//!   --stats-json P   write the full stats snapshot (stall histogram,
+//!                    arrival spread, per-proc counters) as JSON to P
 //! ```
 //!
 //! The program format is the `fuzzy_sim::assembler` syntax: `.stream`
@@ -31,6 +33,7 @@ struct Options {
     banks: Option<usize>,
     seed: Option<u64>,
     dump: Option<(usize, usize)>,
+    stats_json: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
         banks: None,
         seed: None,
         dump: None,
+        stats_json: None,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or(format!("{flag} needs a value"))
@@ -95,6 +99,9 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--dump: {e}"))?;
                 opts.dump = Some((a, b));
             }
+            "--stats-json" => {
+                opts.stats_json = Some(need(&mut args, "--stats-json")?);
+            }
             "--help" | "-h" => return Err("usage".into()),
             other if opts.path.is_empty() && !other.starts_with('-') => {
                 opts.path = other.to_string();
@@ -115,7 +122,8 @@ fn main() -> ExitCode {
             eprintln!("fsim: {msg}");
             eprintln!(
                 "usage: fsim PROGRAM.fasm [--cycles N] [--pipelined] [--trace] \
-                 [--miss-rate X] [--miss-penalty N] [--banks N] [--seed N] [--dump A B]"
+                 [--miss-rate X] [--miss-penalty N] [--banks N] [--seed N] [--dump A B] \
+                 [--stats-json PATH]"
             );
             return ExitCode::FAILURE;
         }
@@ -203,6 +211,25 @@ fn main() -> ExitCode {
         for w in a..b {
             println!("  [{w:>6}] = {}", machine.memory().peek(w));
         }
+    }
+    if let Some(path) = &opts.stats_json {
+        let doc = fuzzy_util::Json::obj()
+            .field("program", opts.path.as_str())
+            .field("outcome", format!("{outcome:?}"))
+            .field("stats", stats.to_json());
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("fsim: cannot create `{}`: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, doc.to_string_pretty() + "\n") {
+            eprintln!("fsim: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("stats written to {path}");
     }
     if outcome.is_halted() {
         ExitCode::SUCCESS

@@ -12,7 +12,7 @@ use crate::isa::Instr;
 use crate::memory::{Memory, MemoryConfig, OutOfBounds};
 use crate::processor::Processor;
 use crate::program::{Program, ProgramError};
-use crate::stats::{MachineStats, ProcStats};
+use crate::stats::{MachineStats, ProcStats, SyncTelemetry};
 use crate::trace::{EventKind, TraceLog};
 use std::collections::BTreeSet;
 use std::error::Error;
@@ -196,6 +196,9 @@ pub struct Machine {
     /// barrier region (instructions already executed from the region) at
     /// the moment synchronization occurred.
     sync_positions: Vec<u64>,
+    /// Machine-level stall histogram and arrival-spread accumulators —
+    /// the cycle-domain mirror of the thread library's telemetry.
+    telemetry: SyncTelemetry,
 }
 
 impl Machine {
@@ -235,6 +238,7 @@ impl Machine {
             trap_handlers: vec![None; n],
             interrupts: Vec::new(),
             sync_positions: Vec::new(),
+            telemetry: SyncTelemetry::default(),
         })
     }
 
@@ -330,6 +334,7 @@ impl Machine {
         MachineStats {
             cycles: self.cycle,
             sync_events: self.sync_events,
+            sync: self.telemetry,
             procs: self.procs.iter().map(|p| p.stats).collect(),
         }
     }
@@ -372,9 +377,32 @@ impl Machine {
         if !synced.is_empty() {
             let tags: BTreeSet<u16> = synced.iter().map(|&i| units[i].tag).collect();
             self.sync_events += tags.len() as u64;
+            // Arrival spread per tag group: first-to-last barrier-region
+            // entry cycle among the group's members.
+            for &tag in &tags {
+                let mut first: Option<u64> = None;
+                let mut last: Option<u64> = None;
+                for &i in &synced {
+                    if units[i].tag != tag {
+                        continue;
+                    }
+                    if let Some(entered) = self.procs[i].region_entered_at {
+                        first = Some(first.map_or(entered, |f: u64| f.min(entered)));
+                        last = Some(last.map_or(entered, |l: u64| l.max(entered)));
+                    }
+                }
+                if let (Some(f), Some(l)) = (first, last) {
+                    self.telemetry.record_spread(l - f);
+                }
+            }
             for &i in &synced {
                 self.procs[i].unit.state = BarrierState::Synced;
                 self.procs[i].stats.syncs += 1;
+                if let Some(start) = self.procs[i].stall_started.take() {
+                    // Inclusive: a stall that starts and resolves in the
+                    // same cycle costs one stall cycle.
+                    self.telemetry.stall_hist.record(cycle - start + 1);
+                }
                 if self.sync_positions.len() < (1 << 20) {
                     self.sync_positions.push(self.procs[i].region_progress);
                 }
@@ -484,6 +512,7 @@ impl Machine {
                 self.procs[i].unit.state = BarrierState::ReadyUnsynced;
                 self.procs[i].stats.barrier_entries += 1;
                 self.procs[i].region_progress = 0;
+                self.procs[i].region_entered_at = Some(cycle);
                 self.trace.record(cycle, i, EventKind::EnterBarrier);
             }
             (false, BarrierState::ReadyUnsynced) => {
@@ -491,6 +520,8 @@ impl Machine {
                 // stall (state iv).
                 self.procs[i].unit.state = BarrierState::Stalled;
                 self.procs[i].stats.stall_cycles += 1;
+                self.procs[i].stats.stall_events += 1;
+                self.procs[i].stall_started = Some(cycle);
                 self.trace.record(cycle, i, EventKind::StallStart);
                 return Ok(());
             }
@@ -630,15 +661,19 @@ impl Machine {
                 // problem "will not arise in an implementation which
                 // explicitly specifies unique identifiers for barriers in
                 // the code" (Sec. 3).
-                if tag != unit.tag
+                let rearmed = tag != unit.tag
                     && matches!(
                         unit.state,
                         BarrierState::Synced | BarrierState::ReadyUnsynced
-                    )
-                {
+                    );
+                if rearmed {
                     unit.state = BarrierState::ReadyUnsynced;
                 }
                 unit.tag = tag;
+                if rearmed {
+                    // A new logical barrier starts here for spread purposes.
+                    self.procs[i].region_entered_at = Some(cycle);
+                }
                 1
             }
             Instr::Nop => 1,
@@ -828,8 +863,8 @@ mod tests {
             b
         };
         // Proc 0 writes word 10 and reads word 11; proc 1 vice versa.
-        let mut b0 = mk(5);
-        let mut b1 = mk(200);
+        let b0 = mk(5);
+        let b1 = mk(200);
         // Patch offsets by rebuilding proc 1's store/load.
         let s0 = b0.finish().unwrap();
         let ops1: Vec<Op> = b1
@@ -899,6 +934,50 @@ mod tests {
         assert_eq!(m.proc_stats(0).stall_cycles, 0, "region must absorb skew");
         assert_eq!(m.proc_stats(1).stall_cycles, 0);
         assert_eq!(m.stats().sync_events, 1);
+        // No stalls → an empty stall histogram; one sync event → one
+        // spread sample, covering the 290-cycle arrival skew.
+        let stats = m.stats();
+        assert!(stats.sync.stall_hist.is_empty());
+        assert_eq!(stats.sync.spread_events, 1);
+        assert!(stats.sync.spread_max_cycles > 200, "{stats:?}");
+    }
+
+    #[test]
+    fn telemetry_histogram_matches_stall_accounting() {
+        // Proc 0: 10 work + 2-instruction region (stalls ~290 cycles).
+        // Proc 1: 300 work + 2-instruction region (last arriver, no stall).
+        let mk = |work: i64| {
+            let mut b = StreamBuilder::new();
+            b.plain(Instr::Li { rd: 1, imm: 0 });
+            b.plain(Instr::Li { rd: 2, imm: work });
+            b.label("w");
+            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain_branch(Cond::Lt, 1, 2, "w");
+            b.fuzzy(Instr::Nop);
+            b.fuzzy(Instr::Nop);
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let p = Program::new(vec![mk(10), mk(300)]);
+        let mut m = Machine::new(p, config()).unwrap();
+        assert!(m.run(100_000).unwrap().is_halted());
+        let stats = m.stats();
+        // One stall episode, recorded once in the histogram, with a
+        // duration equal to the stalling processor's stall-cycle count.
+        assert_eq!(stats.procs[0].stall_events, 1);
+        assert_eq!(stats.procs[1].stall_events, 0);
+        assert_eq!(stats.sync.stall_hist.total(), 1);
+        let stall = stats.procs[0].stall_cycles;
+        assert!(stall > 0);
+        let bucket = crate::stats::CycleHistogram::bucket_index(stall);
+        assert_eq!(
+            stats.sync.stall_hist.buckets[bucket], 1,
+            "stall of {stall} cycles must land in bucket {bucket}: {stats:?}"
+        );
+        // One sync event → one spread sample; the two region entries are
+        // ~290 cycles apart.
+        assert_eq!(stats.sync.spread_events, stats.sync_events);
+        assert!(stats.sync.spread_last_cycles > 200, "{stats:?}");
     }
 
     #[test]

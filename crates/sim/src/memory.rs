@@ -8,8 +8,7 @@
 //! and an optional probabilistic miss model used to inject the *drift*
 //! between processors that Sec. 1 attributes to cache misses.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fuzzy_util::SplitMix64;
 
 /// Kind of memory access, for statistics and bank occupancy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,7 +158,7 @@ pub struct Memory {
     /// Cycle at which each bank next becomes free.
     bank_free: Vec<u64>,
     caches: Vec<DirectCache>,
-    rngs: Vec<StdRng>,
+    rngs: Vec<SplitMix64>,
     stats: Vec<MemStats>,
 }
 
@@ -186,7 +185,7 @@ impl Memory {
             bank_free: vec![0; cfg.banks],
             caches,
             rngs: (0..num_procs)
-                .map(|p| StdRng::seed_from_u64(cfg.seed.wrapping_add(p as u64 * 0x9E37_79B9)))
+                .map(|p| SplitMix64::seed_from_u64(cfg.seed.wrapping_add(p as u64 * 0x9E37_79B9)))
                 .collect(),
             stats: vec![MemStats::default(); num_procs],
             data: vec![0; cfg.size_words],
@@ -259,7 +258,7 @@ impl Memory {
         let prob_miss = !cached
             && kind == AccessKind::Read
             && self.cfg.miss_rate > 0.0
-            && self.rngs[proc].gen::<f64>() < self.cfg.miss_rate;
+            && self.rngs[proc].next_f64() < self.cfg.miss_rate;
 
         // A read reaching this point with a cache configured has missed;
         // writes and RMWs always travel to memory (write-through) but are

@@ -56,6 +56,14 @@ pub struct Processor {
     /// synchronization time (Fig. 1: "the processors could be executing
     /// at any point in their respective barrier regions").
     pub region_progress: u64,
+    /// Cycle at which the current stall (state iv) began, if stalled.
+    /// Cleared when the stall resolves; its duration feeds the machine's
+    /// stall histogram.
+    pub stall_started: Option<u64>,
+    /// Cycle at which the current barrier region was entered, if inside
+    /// one. The first-to-last spread of these values across a synchronizing
+    /// group is the arrival spread recorded per sync event.
+    pub region_entered_at: Option<u64>,
     /// Statistics.
     pub stats: ProcStats,
 }
@@ -75,6 +83,8 @@ impl Processor {
             frames: Vec::new(),
             handler_depth: 0,
             region_progress: 0,
+            stall_started: None,
+            region_entered_at: None,
             stats: ProcStats::default(),
         }
     }

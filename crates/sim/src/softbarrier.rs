@@ -8,7 +8,31 @@
 //! spin barrier against the zero-instruction hardware fuzzy barrier.
 
 use crate::isa::{Cond, Instr};
+use crate::memory::Memory;
 use crate::program::StreamBuilder;
+
+/// Host-side snapshot of a software barrier's shared words — the
+/// software-baseline analogue of the machine's sync telemetry. The
+/// generation word counts completed episodes; the counter word holds the
+/// arrivals pending in the episode currently forming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftBarrierProbe {
+    /// Arrivals recorded for the episode currently forming (resets to 0
+    /// when the last arriver releases the barrier).
+    pub pending_arrivals: i64,
+    /// Completed episodes (the generation word).
+    pub episodes: i64,
+}
+
+/// Reads the shared words of the software barrier at `base` from host-side
+/// memory. Word 0 is the arrival counter, word 1 the generation.
+#[must_use]
+pub fn probe_soft_barrier(memory: &Memory, base: usize) -> SoftBarrierProbe {
+    SoftBarrierProbe {
+        pending_arrivals: memory.peek(base),
+        episodes: memory.peek(base + 1),
+    }
+}
 
 /// Register conventions used by the emitted code. All four scratch
 /// registers are clobbered.
@@ -271,6 +295,14 @@ mod tests {
         // Generation must equal the number of episodes.
         assert_eq!(m.memory().peek(1), 5);
         assert_eq!(m.memory().peek(0), 0, "counter resets after each episode");
+        let probe = probe_soft_barrier(m.memory(), 0);
+        assert_eq!(
+            probe,
+            SoftBarrierProbe {
+                pending_arrivals: 0,
+                episodes: 5
+            }
+        );
     }
 
     #[test]

@@ -1,12 +1,16 @@
-//! Property-based tests for the simulator: random structured programs
-//! always synchronize and halt, memory behaves like a reference model,
-//! and runs are deterministic.
+//! Randomized tests for the simulator: random structured programs always
+//! synchronize and halt, memory behaves like a reference model, and runs
+//! are deterministic.
+//!
+//! Formerly written with `proptest`; the build environment is offline, so
+//! the same properties are exercised with a deterministic seeded generator
+//! ([`fuzzy_util::SplitMix64`]) sweeping many random cases.
 
-use fuzzy_sim::isa::{Cond, Instr};
+use fuzzy_sim::isa::{Cond, Instr, Op};
 use fuzzy_sim::machine::{Machine, MachineConfig, RunOutcome};
 use fuzzy_sim::memory::{Memory, MemoryConfig};
 use fuzzy_sim::program::{Program, Stream, StreamBuilder};
-use proptest::prelude::*;
+use fuzzy_util::SplitMix64;
 use std::collections::HashMap;
 
 /// Builds a stream of `segments` phases: a work loop of `work[s]`
@@ -32,18 +36,20 @@ fn structured_stream(works: &[u8], regions: &[u8]) -> Stream {
     b.finish().expect("labels")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any set of streams with the SAME number of barrier phases halts
-    /// (never deadlocks) and synchronizes exactly once per phase.
-    #[test]
-    fn equal_phase_programs_always_halt(
-        procs in 1usize..5,
-        phases in 1usize..6,
-        seed_works in prop::collection::vec(0u8..40, 1..30),
-        seed_regions in prop::collection::vec(0u8..8, 1..30),
-    ) {
+/// Any set of streams with the SAME number of barrier phases halts
+/// (never deadlocks) and synchronizes exactly once per phase.
+#[test]
+fn equal_phase_programs_always_halt() {
+    let mut rng = SplitMix64::seed_from_u64(0x51A1);
+    for _case in 0..48 {
+        let procs = 1 + rng.below(4);
+        let phases = 1 + rng.below(5);
+        let seed_works: Vec<u8> = (0..1 + rng.below(29))
+            .map(|_| rng.range_u64(0, 39) as u8)
+            .collect();
+        let seed_regions: Vec<u8> = (0..1 + rng.below(29))
+            .map(|_| rng.range_u64(0, 7) as u8)
+            .collect();
         let streams: Vec<Stream> = (0..procs)
             .map(|p| {
                 let works: Vec<u8> = (0..phases)
@@ -56,37 +62,40 @@ proptest! {
             })
             .collect();
         let program = Program::new(streams);
-        prop_assert!(program.validate().is_ok());
+        assert!(program.validate().is_ok());
         let mut m = Machine::new(program, MachineConfig::default()).unwrap();
         let out = m.run(10_000_000).unwrap();
-        prop_assert!(matches!(out, RunOutcome::Halted { .. }), "{out:?}");
-        prop_assert_eq!(m.stats().sync_events, phases as u64);
+        assert!(matches!(out, RunOutcome::Halted { .. }), "{out:?}");
+        assert_eq!(m.stats().sync_events, phases as u64);
         for p in 0..procs {
-            prop_assert_eq!(m.proc_stats(p).syncs, phases as u64);
+            assert_eq!(m.proc_stats(p).syncs, phases as u64);
         }
     }
+}
 
-    /// Mismatched phase counts deadlock (detected, not hung).
-    #[test]
-    fn unequal_phase_programs_deadlock(extra in 1usize..4) {
+/// Mismatched phase counts deadlock (detected, not hung).
+#[test]
+fn unequal_phase_programs_deadlock() {
+    for extra in 1usize..4 {
         let a = structured_stream(&[2; 2], &[0; 2]);
         let works = vec![2u8; 2 + extra];
         let regions = vec![0u8; 2 + extra];
         let b = structured_stream(&works, &regions);
         let mut m = Machine::new(Program::new(vec![a, b]), MachineConfig::default()).unwrap();
         let out = m.run(10_000_000).unwrap();
-        prop_assert!(out.is_deadlock(), "{out:?}");
+        assert!(out.is_deadlock(), "{out:?}");
     }
+}
 
-    /// The memory system agrees with a flat reference model regardless of
-    /// banks, caches and miss injection.
-    #[test]
-    fn memory_matches_reference_model(
-        ops in prop::collection::vec((0usize..2, 0i64..128, -50i64..50), 1..200),
-        banks in 1usize..5,
-        miss_rate in 0.0f64..0.9,
-        use_cache in any::<bool>(),
-    ) {
+/// The memory system agrees with a flat reference model regardless of
+/// banks, caches and miss injection.
+#[test]
+fn memory_matches_reference_model() {
+    let mut rng = SplitMix64::seed_from_u64(0x3E3);
+    for case in 0..32 {
+        let banks = 1 + rng.below(4);
+        let miss_rate = rng.next_f64() * 0.9;
+        let use_cache = case % 2 == 0;
         let cfg = MemoryConfig {
             size_words: 128,
             banks,
@@ -97,12 +106,15 @@ proptest! {
         let mut mem = Memory::new(cfg, 2);
         let mut model: HashMap<i64, i64> = HashMap::new();
         let mut cycle = 0u64;
-        for (kind, addr, val) in ops {
+        for _ in 0..1 + rng.below(199) {
+            let kind = rng.below(2);
+            let addr = rng.range_u64(0, 127) as i64;
+            let val = rng.range_u64(0, 99) as i64 - 50;
             let proc = (addr % 2) as usize;
             match kind {
                 0 => {
                     let (got, _) = mem.read(proc, addr, cycle).unwrap();
-                    prop_assert_eq!(got, *model.get(&addr).unwrap_or(&0));
+                    assert_eq!(got, *model.get(&addr).unwrap_or(&0));
                 }
                 _ => {
                     mem.write(proc, addr, val, cycle).unwrap();
@@ -112,10 +124,14 @@ proptest! {
             cycle += 3;
         }
     }
+}
 
-    /// Identical programs and seeds give identical cycle counts and stats.
-    #[test]
-    fn runs_are_deterministic(seed in any::<u64>()) {
+/// Identical programs and seeds give identical cycle counts and stats.
+#[test]
+fn runs_are_deterministic() {
+    let mut rng = SplitMix64::seed_from_u64(0xDE7);
+    for _case in 0..8 {
+        let seed = rng.next_u64();
         let src = "\
 .stream
     li r1, 0
@@ -147,32 +163,36 @@ B:  blt r1, r2, loop
             m.run(1_000_000).unwrap();
             (m.stats().cycles, m.stats().total_stall_cycles())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// encode -> decode round trip over random instructions (data and
-    /// control) with both barrier-bit values.
-    #[test]
-    fn encoding_round_trips(
-        instrs in prop::collection::vec(arb_codable_instr(), 1..60),
-        bits in prop::collection::vec(any::<bool>(), 1..60),
-    ) {
-        use fuzzy_sim::encoding::{decode_stream, encode_stream};
-        use fuzzy_sim::isa::Op;
-        let ops: Vec<Op> = instrs
-            .iter()
-            .zip(bits.iter().cycle())
-            .map(|(&instr, &barrier)| Op { instr, barrier })
+/// encode -> decode round trip over random instructions (data and
+/// control) with both barrier-bit values.
+#[test]
+fn encoding_round_trips() {
+    use fuzzy_sim::encoding::{decode_stream, encode_stream};
+    let mut rng = SplitMix64::seed_from_u64(0xE2C);
+    for _case in 0..48 {
+        let len = 1 + rng.below(59);
+        let ops: Vec<Op> = (0..len)
+            .map(|_| Op {
+                instr: random_codable_instr(&mut rng),
+                barrier: rng.chance(0.5),
+            })
             .collect();
         let words = encode_stream(&ops).unwrap();
-        prop_assert_eq!(decode_stream(&words).unwrap(), ops);
+        assert_eq!(decode_stream(&words).unwrap(), ops);
     }
+}
 
-    /// Display -> assemble round trip for data instructions.
-    #[test]
-    fn assembler_round_trips_data_instructions(
-        instrs in prop::collection::vec(arb_data_instr(), 1..40),
-    ) {
+/// Display -> assemble round trip for data instructions.
+#[test]
+fn assembler_round_trips_data_instructions() {
+    let mut rng = SplitMix64::seed_from_u64(0xA55);
+    for _case in 0..48 {
+        let len = 1 + rng.below(39);
+        let instrs: Vec<Instr> = (0..len).map(|_| random_data_instr(&mut rng)).collect();
         let mut src = String::new();
         for i in &instrs {
             src.push_str(&i.to_string());
@@ -180,65 +200,104 @@ B:  blt r1, r2, loop
         }
         let stream = fuzzy_sim::assembler::assemble_stream(&src).unwrap();
         let parsed: Vec<Instr> = stream.ops().iter().map(|o| o.instr).collect();
-        prop_assert_eq!(parsed, instrs);
+        assert_eq!(parsed, instrs);
     }
 }
 
-/// Strategy extending [`arb_data_instr`] with encodable control
-/// instructions.
-fn arb_codable_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        arb_data_instr(),
-        (0usize..1 << 20).prop_map(|target| Instr::Jump { target }),
-        (0usize..1 << 20).prop_map(|target| Instr::Call { target }),
-        Just(Instr::Ret),
-        (0u16..1000).prop_map(|cause| Instr::Trap { cause }),
-        (0u8..32, 0u8..32, 0usize..1 << 20, 0u8..6).prop_map(|(rs1, rs2, target, c)| {
-            let cond = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt][c as usize];
+/// Random codable instruction: data instructions plus encodable control.
+fn random_codable_instr(rng: &mut SplitMix64) -> Instr {
+    match rng.below(6) {
+        0 => random_data_instr(rng),
+        1 => Instr::Jump {
+            target: rng.below(1 << 20),
+        },
+        2 => Instr::Call {
+            target: rng.below(1 << 20),
+        },
+        3 => Instr::Ret,
+        4 => Instr::Trap {
+            cause: rng.range_u64(0, 999) as u16,
+        },
+        _ => {
+            let cond = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt]
+                [rng.below(6)];
             Instr::Branch {
                 cond,
-                rs1,
-                rs2,
-                target,
+                rs1: rng.below(32) as u8,
+                rs2: rng.below(32) as u8,
+                target: rng.below(1 << 20),
             }
-        }),
-    ]
+        }
+    }
 }
 
-/// Strategy for data (non-control) instructions whose Display form the
-/// assembler accepts.
-fn arb_data_instr() -> impl Strategy<Value = Instr> {
-    let reg = 0u8..32;
-    let imm = -1000i64..1000;
-    let off = -64i64..64;
-    prop_oneof![
-        (reg.clone(), imm.clone()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
-        (reg.clone(), reg.clone()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(rd, rs1, rs2)| Instr::Add { rd, rs1, rs2 }),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(rd, rs1, rs2)| Instr::Sub { rd, rs1, rs2 }),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
-        (reg.clone(), reg.clone(), imm.clone())
-            .prop_map(|(rd, rs, imm)| Instr::Addi { rd, rs, imm }),
-        (reg.clone(), reg.clone(), imm.clone())
-            .prop_map(|(rd, rs, imm)| Instr::Muli { rd, rs, imm }),
-        (reg.clone(), reg.clone(), imm.clone())
-            .prop_map(|(rd, rs, imm)| Instr::Divi { rd, rs, imm }),
-        (reg.clone(), reg.clone(), 0i64..64)
-            .prop_map(|(rd, rs, offset)| Instr::Load { rd, rs, offset }),
-        (reg.clone(), reg.clone(), 0i64..64)
-            .prop_map(|(rs, rb, offset)| Instr::Store { rs, rb, offset }),
-        (reg.clone(), reg, off, imm).prop_map(|(rd, rb, _o, imm)| Instr::FetchAdd {
-            rd,
-            rb,
+/// Random data (non-control) instruction whose Display form the assembler
+/// accepts.
+fn random_data_instr(rng: &mut SplitMix64) -> Instr {
+    let reg = |rng: &mut SplitMix64| rng.below(32) as u8;
+    let imm = |rng: &mut SplitMix64| rng.range_u64(0, 1999) as i64 - 1000;
+    match rng.below(15) {
+        0 => Instr::Li {
+            rd: reg(rng),
+            imm: imm(rng),
+        },
+        1 => Instr::Mov {
+            rd: reg(rng),
+            rs: reg(rng),
+        },
+        2 => Instr::Add {
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        3 => Instr::Sub {
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        4 => Instr::Mul {
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        5 => Instr::Addi {
+            rd: reg(rng),
+            rs: reg(rng),
+            imm: imm(rng),
+        },
+        6 => Instr::Muli {
+            rd: reg(rng),
+            rs: reg(rng),
+            imm: imm(rng),
+        },
+        7 => Instr::Divi {
+            rd: reg(rng),
+            rs: reg(rng),
+            imm: imm(rng),
+        },
+        8 => Instr::Load {
+            rd: reg(rng),
+            rs: reg(rng),
+            offset: rng.below(64) as i64,
+        },
+        9 => Instr::Store {
+            rs: reg(rng),
+            rb: reg(rng),
+            offset: rng.below(64) as i64,
+        },
+        10 => Instr::FetchAdd {
+            rd: reg(rng),
+            rb: reg(rng),
             offset: 0,
-            imm
-        }),
-        Just(Instr::Nop),
-        Just(Instr::Halt),
-        (1u64..1000).prop_map(|m| Instr::SetMask { mask: m }),
-        (0u16..100).prop_map(|t| Instr::SetTag { tag: t }),
-    ]
+            imm: imm(rng),
+        },
+        11 => Instr::Nop,
+        12 => Instr::Halt,
+        13 => Instr::SetMask {
+            mask: rng.range_u64(1, 999),
+        },
+        _ => Instr::SetTag {
+            tag: rng.range_u64(0, 99) as u16,
+        },
+    }
 }

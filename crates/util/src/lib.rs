@@ -1,0 +1,20 @@
+//! # fuzzy-util
+//!
+//! Small, dependency-free building blocks shared by every crate in the
+//! fuzzy-barrier workspace. The build environment is offline, so the few
+//! external utilities the workspace used to pull in (`crossbeam`'s
+//! `CachePadded`, `rand`'s seedable RNG) live here as minimal local
+//! implementations, alongside the JSON value type backing the unified
+//! telemetry export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod pad;
+pub mod rng;
+
+pub use json::Json;
+pub use pad::CachePadded;
+pub use rng::SplitMix64;

@@ -96,8 +96,8 @@ fn main() {
     // Host reference with identical (integer) arithmetic and the same
     // Jacobi-with-immediate-visibility update order.
     let mut reference = vec![0i64; n * n];
-    for col in 0..n {
-        reference[col] = 100;
+    for cell in reference.iter_mut().take(n) {
+        *cell = 100;
     }
     for _ in 0..10 * M {
         let prev = reference.clone();

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build, test, lint. Run from the repository root.
+#
+#   scripts/ci.sh
+#
+# Mirrors what reviewers run before merging: the release build and the
+# umbrella test suite are the seed's tier-1 checks; clippy (warnings as
+# errors, all targets) keeps the workspace lint-clean.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all checks passed"

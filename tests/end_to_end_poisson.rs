@@ -50,8 +50,8 @@ fn poisson(m: usize, iters: i64) -> (LoopNest, Vec<Vec<(VarId, i64)>>) {
 fn host_reference(m: usize, iters: i64, boundary: i64) -> Vec<i64> {
     let n = m + 2;
     let mut grid = vec![0i64; n * n];
-    for col in 0..n {
-        grid[col] = boundary;
+    for cell in grid.iter_mut().take(n) {
+        *cell = boundary;
     }
     for _ in 0..iters {
         let prev = grid.clone();

@@ -57,7 +57,7 @@ fn block_schedule_point_idle_matches_hand_math() {
     use fuzzy_sched::executor::simulate_static;
     // 6 iterations of cost 10 on 4 procs: chunks 2,2,1,1 -> work
     // 20,20,10,10 -> idle 0,0,10,10.
-    let r = simulate_static(&block(6, 4), &vec![10u64; 6]);
+    let r = simulate_static(&block(6, 4), &[10u64; 6]);
     assert_eq!(r.point_idle(), vec![0, 0, 10, 10]);
     assert_eq!(r.total_fuzzy_stall(10), 0);
     assert_eq!(r.total_fuzzy_stall(5), 10);
