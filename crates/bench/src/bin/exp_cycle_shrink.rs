@@ -61,9 +61,15 @@ fn reference() -> Vec<i64> {
     a
 }
 
-fn run(per_proc: &[Vec<(VarId, i64)>], opts: &CompileOptions, marked: &std::collections::BTreeSet<fuzzy_compiler::deps::AccessRef>) -> (u64, Vec<i64>) {
+fn run(
+    per_proc: &[Vec<(VarId, i64)>],
+    opts: &CompileOptions,
+    marked: &std::collections::BTreeSet<fuzzy_compiler::deps::AccessRef>,
+) -> (u64, Vec<i64>) {
     let compiled = compile_nest_with_marks(&nest(), per_proc, marked, opts).expect("compiles");
-    let mut m = MachineBuilder::new(compiled.program).build().expect("loads");
+    let mut m = MachineBuilder::new(compiled.program)
+        .build()
+        .expect("loads");
     m.memory_mut().poke(0, 5);
     m.memory_mut().poke(1, 7);
     m.memory_mut().poke(2, 11);
@@ -92,8 +98,7 @@ fn main() {
     let marked = shrunk.marked(&info);
     let k = VarId(0);
     let serial_inits = vec![vec![(k, 3i64)]];
-    let (serial_cycles, serial_vals) =
-        run(&serial_inits, &CompileOptions::default(), &marked);
+    let (serial_cycles, serial_vals) = run(&serial_inits, &CompileOptions::default(), &marked);
 
     // Shrunk: group_size processors, step = group_size.
     let (shrunk_cycles, shrunk_vals) = run(

@@ -72,7 +72,11 @@ fn stream(region_iters: i64, barrier: bool) -> Stream {
     } else {
         work_loop(&mut b, region_iters, "region");
     }
-    b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+    b.plain(Instr::Addi {
+        rd: 1,
+        rs: 1,
+        imm: 1,
+    });
     b.plain_branch(Cond::Lt, 1, 2, "outer");
     b.plain(Instr::Halt);
     b.finish().expect("labels")
@@ -121,7 +125,11 @@ fn hw_stream(region_iters: i64) -> Stream {
         imm: 1,
     });
     b.fuzzy_branch(Cond::Lt, 10, 11, "region");
-    b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+    b.plain(Instr::Addi {
+        rd: 1,
+        rs: 1,
+        imm: 1,
+    });
     b.plain_branch(Cond::Lt, 1, 2, "outer");
     b.plain(Instr::Halt);
     b.finish().expect("labels")
@@ -157,7 +165,10 @@ fn backend_telemetry(episodes: u64) -> Vec<(&'static str, fuzzy_barrier::Telemet
         ),
         (
             "dissemination",
-            Box::new(DisseminationBarrier::with_policy(n, StallPolicy::yielding())),
+            Box::new(DisseminationBarrier::with_policy(
+                n,
+                StallPolicy::yielding(),
+            )),
         ),
         (
             "tree",

@@ -34,7 +34,11 @@ fn calls_and_traps(export: &mut StatsExport) {
         b.plain(Instr::Li { rd: 1, imm: 0 });
         b.plain(Instr::Li { rd: 2, imm: work });
         b.label("w");
-        b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.plain(Instr::Addi {
+            rd: 1,
+            rs: 1,
+            imm: 1,
+        });
         b.plain_branch(Cond::Lt, 1, 2, "w");
         // Barrier region: call a helper, which itself traps to emulate a
         // "floating point" multiply (r3 = r1 * 3 via the trap handler).
@@ -45,7 +49,11 @@ fn calls_and_traps(export: &mut StatsExport) {
         b.fuzzy(Instr::Trap { cause: 1 }); // emulated fmul
         b.fuzzy(Instr::Ret);
         b.label("handler");
-        b.plain(Instr::Muli { rd: 3, rs: 1, imm: 3 });
+        b.plain(Instr::Muli {
+            rd: 3,
+            rs: 1,
+            imm: 3,
+        });
         b.plain(Instr::Ret);
         b.finish().expect("labels")
     };
@@ -116,7 +124,11 @@ fn pipelining(export: &mut StatsExport) {
                     rs2: 6,
                 });
             }
-            b.fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.fuzzy(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            });
             b.fuzzy_branch(Cond::Lt, 1, 2, "loop");
         } else {
             // Same work as the fuzzy variant, but all of it before a
@@ -134,7 +146,11 @@ fn pipelining(export: &mut StatsExport) {
                 });
             }
             b.fuzzy(Instr::Nop); // point barrier
-            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            });
             b.plain_branch(Cond::Lt, 1, 2, "loop");
         }
         b.plain(Instr::Halt);
@@ -175,9 +191,7 @@ fn pipelining(export: &mut StatsExport) {
     };
     let serial_gain = cycles(false, false) / cycles(false, true);
     let pipe_gain = cycles(true, false) / cycles(true, true);
-    println!(
-        "fuzzy-over-point speedup: serial {serial_gain:.2}x, pipelined {pipe_gain:.2}x\n"
-    );
+    println!("fuzzy-over-point speedup: serial {serial_gain:.2}x, pipelined {pipe_gain:.2}x\n");
     assert!(
         serial_gain > 1.0 && pipe_gain > 1.0,
         "fuzzy must beat point in both issue modes"

@@ -42,11 +42,18 @@ fn soft_stream(n: usize) -> Stream {
     let mut b = StreamBuilder::new();
     b.plain(Instr::Li { rd: 24, imm: 0 });
     b.plain(Instr::Li { rd: 1, imm: 0 });
-    b.plain(Instr::Li { rd: 2, imm: EPISODES });
+    b.plain(Instr::Li {
+        rd: 2,
+        imm: EPISODES,
+    });
     b.label("outer");
     work_loop(&mut b, WORK, "w");
     emit_soft_barrier(&mut b, n as i64, 0, SoftBarrierRegs::default());
-    b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+    b.plain(Instr::Addi {
+        rd: 1,
+        rs: 1,
+        imm: 1,
+    });
     b.plain_branch(Cond::Lt, 1, 2, "outer");
     b.plain(Instr::Halt);
     b.finish().expect("labels")
@@ -55,12 +62,19 @@ fn soft_stream(n: usize) -> Stream {
 fn hw_stream() -> Stream {
     let mut b = StreamBuilder::new();
     b.plain(Instr::Li { rd: 1, imm: 0 });
-    b.plain(Instr::Li { rd: 2, imm: EPISODES });
+    b.plain(Instr::Li {
+        rd: 2,
+        imm: EPISODES,
+    });
     b.label("outer");
     work_loop(&mut b, WORK, "w");
     // The entire synchronization: a null barrier region. Loop control
     // rides inside it, costing nothing extra.
-    b.fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+    b.fuzzy(Instr::Addi {
+        rd: 1,
+        rs: 1,
+        imm: 1,
+    });
     b.fuzzy_branch(Cond::Lt, 1, 2, "outer");
     b.plain(Instr::Halt);
     b.finish().expect("labels")

@@ -16,9 +16,9 @@
 //!    attempt is simply never satisfied and the bug is confined.
 
 use fuzzy_bench::{banner, StatsExport};
-use fuzzy_util::Json;
 use fuzzy_sim::assembler::assemble_program;
 use fuzzy_sim::builder::MachineBuilder;
+use fuzzy_util::Json;
 
 /// P0 takes the invalid branch from barrier 1 into barrier 2; P1
 /// synchronizes at both barriers properly.

@@ -109,14 +109,8 @@ fn stream(proc: usize, s1: &TacBody, s2: &TacBody, fuzzy: bool) -> Stream {
     let sp1 = split(s1);
     let sp2 = split(s2);
     let mut b = StreamBuilder::new();
-    b.fuzzy(Instr::Li {
-        rd: R_J,
-        imm: 1,
-    });
-    b.fuzzy(Instr::Li {
-        rd: R_JHI,
-        imm: 8,
-    });
+    b.fuzzy(Instr::Li { rd: R_J, imm: 1 });
+    b.fuzzy(Instr::Li { rd: R_JHI, imm: 8 });
     b.fuzzy(Instr::Li {
         rd: R_I,
         imm: proc as i64 + 1,
@@ -125,7 +119,11 @@ fn stream(proc: usize, s1: &TacBody, s2: &TacBody, fuzzy: bool) -> Stream {
     // S1 with barrier #1 (lexically forward) after it.
     emit_regions(
         &mut b,
-        &[(&sp1.prefix, true), (&sp1.non_barrier, false), (&sp1.suffix, true)],
+        &[
+            (&sp1.prefix, true),
+            (&sp1.non_barrier, false),
+            (&sp1.suffix, true),
+        ],
         &vars(),
         spill,
     )
@@ -138,7 +136,11 @@ fn stream(proc: usize, s1: &TacBody, s2: &TacBody, fuzzy: bool) -> Stream {
     // S2 with barrier #2 (loop carried) spanning the back edge.
     emit_regions(
         &mut b,
-        &[(&sp2.prefix, true), (&sp2.non_barrier, false), (&sp2.suffix, true)],
+        &[
+            (&sp2.prefix, true),
+            (&sp2.non_barrier, false),
+            (&sp2.suffix, true),
+        ],
         &vars(),
         spill + 48,
     )
@@ -167,7 +169,11 @@ fn run(fuzzy: bool, s1: &TacBody, s2: &TacBody) -> (u64, u64, Vec<i64>) {
     let out = m.run(100_000_000).expect("runs");
     assert!(out.is_halted(), "{out:?}");
     let values = (0..ROWS * COLS).map(|w| m.memory().peek(w)).collect();
-    (m.stats().total_stall_cycles(), m.stats().sync_events, values)
+    (
+        m.stats().total_stall_cycles(),
+        m.stats().sync_events,
+        values,
+    )
 }
 
 fn main() {
@@ -227,8 +233,14 @@ fn main() {
     ]);
     println!("{}", t.render());
     export.table("results", &t);
-    assert_eq!(vals_pt, expected, "point version must compute the recurrence");
-    assert_eq!(vals_fz, expected, "fuzzy version must compute the recurrence");
+    assert_eq!(
+        vals_pt, expected,
+        "point version must compute the recurrence"
+    );
+    assert_eq!(
+        vals_fz, expected,
+        "fuzzy version must compute the recurrence"
+    );
     assert!(
         stall_fz < stall_pt,
         "fuzzy regions should absorb drift ({stall_fz} vs {stall_pt})"

@@ -113,9 +113,18 @@ fn prologue(b: &mut StreamBuilder, proc: usize) {
     let jlo = 1 + proc as i64 * chunk;
     let jhi = jlo + chunk - 1;
     b.fuzzy(Instr::Li { rd: R_I, imm: 1 });
-    b.fuzzy(Instr::Li { rd: R_IHI, imm: N_OUTER });
-    b.fuzzy(Instr::Li { rd: R_JLO, imm: jlo });
-    b.fuzzy(Instr::Li { rd: R_JHI, imm: jhi });
+    b.fuzzy(Instr::Li {
+        rd: R_IHI,
+        imm: N_OUTER,
+    });
+    b.fuzzy(Instr::Li {
+        rd: R_JLO,
+        imm: jlo,
+    });
+    b.fuzzy(Instr::Li {
+        rd: R_JHI,
+        imm: jhi,
+    });
 }
 
 fn epilogue(b: &mut StreamBuilder) {
@@ -137,8 +146,13 @@ fn stream_without_distribution(pieces: &Pieces, proc: usize, spill: i64) -> Stre
     // j runs jlo .. jhi-1 fused, all non-barrier.
     b.plain(Instr::Mov { rd: R_J, rs: R_JLO });
     b.label("inner");
-    emit_regions(&mut b, &[(&pieces.s1, false), (&pieces.s2, false)], &vars(), spill)
-        .expect("codegen");
+    emit_regions(
+        &mut b,
+        &[(&pieces.s1, false), (&pieces.s2, false)],
+        &vars(),
+        spill,
+    )
+    .expect("codegen");
     b.plain(Instr::Addi {
         rd: R_J,
         rs: R_J,
@@ -242,9 +256,19 @@ fn main() {
 
     let mut t = Table::new(["version", "cycles", "stall cycles", "sync events"]);
     let (c1, s1, e1) = measure(without);
-    t.row(["fused (Fig 5b)".to_string(), c1.to_string(), s1.to_string(), e1.to_string()]);
+    t.row([
+        "fused (Fig 5b)".to_string(),
+        c1.to_string(),
+        s1.to_string(),
+        e1.to_string(),
+    ]);
     let (c2, s2, e2) = measure(with);
-    t.row(["distributed (Fig 5c)".to_string(), c2.to_string(), s2.to_string(), e2.to_string()]);
+    t.row([
+        "distributed (Fig 5c)".to_string(),
+        c2.to_string(),
+        s2.to_string(),
+        e2.to_string(),
+    ]);
     println!("{}", t.render());
     export.table("results", &t);
     println!(

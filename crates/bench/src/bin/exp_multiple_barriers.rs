@@ -15,9 +15,9 @@
 
 use fuzzy_barrier::{GroupRegistry, ProcMask};
 use fuzzy_bench::{banner, telemetry_json, StatsExport, Table};
-use fuzzy_util::Json;
 use fuzzy_sim::assembler::assemble_program;
 use fuzzy_sim::builder::MachineBuilder;
+use fuzzy_util::Json;
 use std::sync::Arc;
 
 /// P0 and P1 sync at tag 1 (masks naming only each other), then everyone

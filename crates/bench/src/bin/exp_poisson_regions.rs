@@ -76,7 +76,12 @@ fn main() {
     println!("--- after three-phase reordering (Fig. 4(b)) ---");
     println!("{}", render_split("after reordering", &after));
 
-    let mut t = Table::new(["", "barrier instrs", "non-barrier instrs", "barrier fraction"]);
+    let mut t = Table::new([
+        "",
+        "barrier instrs",
+        "non-barrier instrs",
+        "barrier fraction",
+    ]);
     t.row([
         "before".to_string(),
         before.barrier_len().to_string(),

@@ -29,7 +29,11 @@ fn stream(proc: usize, procs: usize, work: i64, region: i64) -> Stream {
     b.plain(Instr::Li { rd: 1, imm: 0 });
     b.plain(Instr::Li { rd: 2, imm: work });
     b.label("work");
-    b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+    b.plain(Instr::Addi {
+        rd: 1,
+        rs: 1,
+        imm: 1,
+    });
     b.plain_branch(Cond::Lt, 1, 2, "work");
     // Publish "I finished UNSHADED1".
     b.plain(Instr::Li { rd: 3, imm: 1 });
@@ -45,7 +49,11 @@ fn stream(proc: usize, procs: usize, work: i64, region: i64) -> Stream {
         b.fuzzy(Instr::Li { rd: 4, imm: 0 });
         b.fuzzy(Instr::Li { rd: 5, imm: region });
         b.label("region");
-        b.fuzzy(Instr::Addi { rd: 4, rs: 4, imm: 1 });
+        b.fuzzy(Instr::Addi {
+            rd: 4,
+            rs: 4,
+            imm: 1,
+        });
         b.fuzzy_branch(Cond::Lt, 4, 5, "region");
     }
     // UNSHADED2: read every other processor's flag.

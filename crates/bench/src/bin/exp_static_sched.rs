@@ -87,7 +87,10 @@ fn main() {
     println!("{}", t.render());
     export.table("results", &t);
 
-    assert_eq!(fixed_idle, rotated_idle, "rotation alone moves, not removes, idle");
+    assert_eq!(
+        fixed_idle, rotated_idle,
+        "rotation alone moves, not removes, idle"
+    );
     assert!(
         fixed_work.iter().max() != fixed_work.iter().min(),
         "fixed block loads one processor more"
@@ -96,7 +99,10 @@ fn main() {
         rotated_work.iter().all(|&w| w == rotated_work[0]),
         "rotation equalizes total work: {rotated_work:?}"
     );
-    assert_eq!(fuzzy_stall, 0, "fuzzy regions eliminate the idling (Fig 11c)");
+    assert_eq!(
+        fuzzy_stall, 0,
+        "fuzzy regions eliminate the idling (Fig 11c)"
+    );
 
     println!(
         "Reading: rotation equalizes *total* work (column 4) but a point\n\

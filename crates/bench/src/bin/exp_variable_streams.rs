@@ -67,8 +67,22 @@ fn stream(proc: i64, fuzzy_if: bool) -> Stream {
                 imm: proc,
             },
         );
-        op(b, Instr::Divi { rd: 4, rs: 3, imm: 2 });
-        op(b, Instr::Muli { rd: 4, rs: 4, imm: 2 });
+        op(
+            b,
+            Instr::Divi {
+                rd: 4,
+                rs: 3,
+                imm: 2,
+            },
+        );
+        op(
+            b,
+            Instr::Muli {
+                rd: 4,
+                rs: 4,
+                imm: 2,
+            },
+        );
     };
     bit(&mut b, fuzzy_if);
     if fuzzy_if {
@@ -90,7 +104,11 @@ fn stream(proc: i64, fuzzy_if: bool) -> Stream {
         // Point barrier: a single-instruction barrier region.
         b.fuzzy(Instr::Nop);
     }
-    b.fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+    b.fuzzy(Instr::Addi {
+        rd: 1,
+        rs: 1,
+        imm: 1,
+    });
     b.fuzzy_branch(Cond::Lt, 1, 2, "loop");
     b.plain(Instr::Halt);
     b.finish().expect("labels")

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod schema;
+
 use fuzzy_barrier::{HistogramSnapshot, StallHistogram, TelemetrySnapshot};
 use fuzzy_sim::MachineStats;
 use fuzzy_util::Json;
@@ -34,7 +36,8 @@ impl Table {
 
     /// Appends a row (stringifying each cell).
     pub fn row<S: Display, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
         self
     }
 

@@ -1,0 +1,309 @@
+//! Structural schema validation for `--stats-json` exports.
+//!
+//! A [`Shape`] describes the key set and value types a telemetry file must
+//! have; [`validate`] walks a parsed [`Json`] tree against it and collects
+//! every mismatch with a JSON-pointer-style path. CI's bench-smoke stage
+//! uses [`encore_shape`] to pin the `exp_encore` export format, so a field
+//! rename or type drift fails the build instead of silently breaking
+//! downstream plotting scripts.
+
+use fuzzy_util::Json;
+
+/// A structural type for one JSON value.
+#[derive(Debug, Clone)]
+pub enum Shape {
+    /// Any string.
+    Str,
+    /// Any number (the writer never emits non-finite values).
+    Num,
+    /// `true` or `false`.
+    Bool,
+    /// An array with at least `min_len` elements, each matching `elem`.
+    Arr {
+        /// Shape every element must match.
+        elem: Box<Shape>,
+        /// Minimum element count (0 = may be empty).
+        min_len: usize,
+    },
+    /// An object with exactly these keys (any order), each value matching
+    /// its shape. Missing and unexpected keys are both errors.
+    Obj(Vec<(&'static str, Shape)>),
+}
+
+/// Shorthand for a non-empty array of `elem`.
+#[must_use]
+pub fn arr_of(elem: Shape) -> Shape {
+    Shape::Arr {
+        elem: Box::new(elem),
+        min_len: 1,
+    }
+}
+
+/// Shorthand for an object shape from `(key, shape)` pairs.
+#[must_use]
+pub fn obj(fields: impl IntoIterator<Item = (&'static str, Shape)>) -> Shape {
+    Shape::Obj(fields.into_iter().collect())
+}
+
+/// Validates `value` against `shape`, returning every mismatch as a
+/// `path: problem` line. An empty vector means the document conforms.
+#[must_use]
+pub fn validate(value: &Json, shape: &Shape) -> Vec<String> {
+    let mut errors = Vec::new();
+    walk(value, shape, "$", &mut errors);
+    errors
+}
+
+fn type_name(value: &Json) -> &'static str {
+    match value {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+fn walk(value: &Json, shape: &Shape, path: &str, errors: &mut Vec<String>) {
+    match (shape, value) {
+        (Shape::Str, Json::Str(_)) | (Shape::Num, Json::Num(_)) | (Shape::Bool, Json::Bool(_)) => {}
+        (Shape::Arr { elem, min_len }, Json::Arr(items)) => {
+            if items.len() < *min_len {
+                errors.push(format!(
+                    "{path}: expected at least {min_len} element(s), got {}",
+                    items.len()
+                ));
+            }
+            for (i, item) in items.iter().enumerate() {
+                walk(item, elem, &format!("{path}[{i}]"), errors);
+            }
+        }
+        (Shape::Obj(fields), Json::Obj(actual)) => {
+            for (key, field_shape) in fields {
+                match value.get(key) {
+                    Some(v) => walk(v, field_shape, &format!("{path}.{key}"), errors),
+                    None => errors.push(format!("{path}: missing key {key:?}")),
+                }
+            }
+            for (key, _) in actual {
+                if !fields.iter().any(|(k, _)| k == key) {
+                    errors.push(format!("{path}: unexpected key {key:?}"));
+                }
+            }
+        }
+        (expected, actual) => {
+            let want = match expected {
+                Shape::Str => "string",
+                Shape::Num => "number",
+                Shape::Bool => "bool",
+                Shape::Arr { .. } => "array",
+                Shape::Obj(_) => "object",
+            };
+            errors.push(format!(
+                "{path}: expected {want}, got {}",
+                type_name(actual)
+            ));
+        }
+    }
+}
+
+/// One bucket row of a stall histogram export.
+fn hist_bucket() -> Shape {
+    obj([
+        ("bucket", Shape::Num),
+        ("lo", Shape::Num),
+        ("hi", Shape::Num),
+        ("count", Shape::Num),
+    ])
+}
+
+/// A `stall_hist` section: unit label, total count, bucket rows. Buckets
+/// may be empty (a run can finish without a single recorded stall).
+fn stall_hist() -> Shape {
+    obj([
+        ("unit", Shape::Str),
+        ("total", Shape::Num),
+        (
+            "buckets",
+            Shape::Arr {
+                elem: Box::new(hist_bucket()),
+                min_len: 0,
+            },
+        ),
+    ])
+}
+
+/// An interarrival-spread section with the given field names (the
+/// software path reports nanoseconds, the simulated machine cycles).
+fn spread(count_key: &'static str, keys: [&'static str; 4]) -> Shape {
+    let [total, max, last, mean] = keys;
+    obj([
+        (count_key, Shape::Num),
+        (total, Shape::Num),
+        (max, Shape::Num),
+        (last, Shape::Num),
+        (mean, Shape::Num),
+    ])
+}
+
+/// Per-backend telemetry block as exported by `telemetry_json`.
+fn backend_telemetry() -> Shape {
+    obj([
+        ("episodes", Shape::Num),
+        ("arrivals", Shape::Num),
+        ("waits", Shape::Num),
+        ("stalls", Shape::Num),
+        ("deschedules", Shape::Num),
+        ("probes", Shape::Num),
+        ("stall_ns", Shape::Num),
+        ("stall_hist", stall_hist()),
+        (
+            "spread",
+            spread("episodes", ["total_ns", "max_ns", "last_ns", "mean_ns"]),
+        ),
+        (
+            "per_participant",
+            arr_of(obj([
+                ("arrivals", Shape::Num),
+                ("waits", Shape::Num),
+                ("stalls", Shape::Num),
+                ("stall_ns", Shape::Num),
+                ("probes", Shape::Num),
+            ])),
+        ),
+    ])
+}
+
+/// The full `exp_encore --stats-json` document shape.
+#[must_use]
+pub fn encore_shape() -> Shape {
+    let soft_row = obj([
+        ("region (% of body)", Shape::Str),
+        ("total cycles", Shape::Num),
+        ("spin probes/proc/barrier", Shape::Num),
+        ("ctx switches", Shape::Num),
+        ("sync cost/barrier (cycles)", Shape::Num),
+    ]);
+    let machine = obj([
+        ("cycles", Shape::Num),
+        ("sync_events", Shape::Num),
+        ("stall_hist", stall_hist()),
+        (
+            "spread",
+            spread(
+                "events",
+                ["total_cycles", "max_cycles", "last_cycles", "mean_cycles"],
+            ),
+        ),
+        (
+            "procs",
+            arr_of(obj([
+                ("instructions", Shape::Num),
+                ("stall_cycles", Shape::Num),
+                ("stall_events", Shape::Num),
+                ("busy_cycles", Shape::Num),
+                ("barrier_entries", Shape::Num),
+                ("syncs", Shape::Num),
+            ])),
+        ),
+    ]);
+    let hw_row = obj([
+        ("region_pct", Shape::Num),
+        ("total_stall_cycles", Shape::Num),
+        ("machine", machine),
+    ]);
+    obj([
+        ("experiment", Shape::Str),
+        ("soft_sweep", arr_of(soft_row)),
+        ("hw_sweep", arr_of(hw_row)),
+        (
+            "backends",
+            obj([
+                ("central", backend_telemetry()),
+                ("counting", backend_telemetry()),
+                ("dissemination", backend_telemetry()),
+                ("tree", backend_telemetry()),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Json {
+        Json::obj()
+            .field("name", "x")
+            .field("xs", vec![1u64, 2])
+            .field("flag", true)
+    }
+
+    fn sample_shape() -> Shape {
+        obj([
+            ("name", Shape::Str),
+            ("xs", arr_of(Shape::Num)),
+            ("flag", Shape::Bool),
+        ])
+    }
+
+    #[test]
+    fn conforming_document_validates() {
+        assert_eq!(validate(&sample(), &sample_shape()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_extra_and_mistyped_keys_all_report() {
+        let doc = Json::obj()
+            .field("name", 7u64)
+            .field("stray", Json::Null)
+            .field("flag", true);
+        let errors = validate(&doc, &sample_shape());
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("$.name") && e.contains("expected string")));
+        assert!(errors.iter().any(|e| e.contains("missing key \"xs\"")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("unexpected key \"stray\"")));
+    }
+
+    #[test]
+    fn array_paths_point_at_the_bad_element() {
+        let doc = Json::obj()
+            .field("name", "x")
+            .field(
+                "xs",
+                Json::Arr(vec![Json::Num(1.0), Json::Str("two".into())]),
+            )
+            .field("flag", true);
+        let errors = validate(&doc, &sample_shape());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].starts_with("$.xs[1]:"), "{}", errors[0]);
+    }
+
+    #[test]
+    fn empty_array_fails_min_len() {
+        let doc = Json::obj()
+            .field("name", "x")
+            .field("xs", Json::Arr(vec![]))
+            .field("flag", true);
+        let errors = validate(&doc, &sample_shape());
+        assert!(errors[0].contains("at least 1 element"), "{}", errors[0]);
+    }
+
+    #[test]
+    fn checked_in_encore_export_conforms() {
+        // The committed reference export must always match the schema; if
+        // an exporter change shifts the format, regenerate the file and
+        // update `encore_shape` together.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_encore.json"
+        ))
+        .expect("BENCH_encore.json present in repo root");
+        let doc = Json::parse(&text).expect("reference export parses");
+        assert_eq!(validate(&doc, &encore_shape()), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,74 @@
+//! Thread-local binding of an OS worker thread to its virtual-thread slot.
+//!
+//! Shadow atomics and scenario bodies reach their scheduler through free
+//! functions here instead of threading a handle everywhere — the shadow
+//! types must satisfy `fuzzy_barrier::Atomic`, whose constructors take no
+//! scheduler argument, so TLS is the only clean channel.
+//!
+//! Outside a checker run (no context installed) every function degrades to
+//! a no-op, which makes the shadow types usable in plain unit tests: they
+//! behave exactly like the real atomics, just slower.
+
+use crate::sched::{Defect, OpKind, Shared};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+pub(crate) fn install(shared: Arc<Shared>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { shared, tid }));
+}
+
+pub(crate) fn clear() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+// Clone the context out of the cell so no RefCell borrow is held across a
+// blocking scheduler call.
+fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Announces a shadow operation: parks until the scheduler grants a step.
+pub fn yield_op(kind: OpKind) {
+    if let Some(ctx) = current() {
+        ctx.shared.yield_op(ctx.tid, kind);
+    }
+}
+
+/// The scheduler's current write generation, if a run is active.
+pub fn write_gen() -> Option<u64> {
+    current().map(|ctx| ctx.shared.current_write_gen())
+}
+
+/// Deschedules the current virtual thread until a write lands past `gen`.
+pub fn block_until_write_after(gen: u64) {
+    if let Some(ctx) = current() {
+        ctx.shared.block_until_write_after(ctx.tid, gen);
+    }
+}
+
+/// True when the current run is aborting because a defect was found.
+pub fn aborted() -> bool {
+    current().is_some_and(|ctx| ctx.shared.aborted())
+}
+
+/// Reports a defect from inside a virtual-thread body and aborts the run.
+pub fn report(defect: Defect) {
+    if let Some(ctx) = current() {
+        ctx.shared.report(defect);
+    }
+}
+
+/// The current virtual-thread id, if a run is active.
+pub fn tid() -> Option<usize> {
+    current().map(|ctx| ctx.tid)
+}

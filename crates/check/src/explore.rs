@@ -1,0 +1,457 @@
+//! Schedule exploration: exhaustive bounded-preemption DFS and seeded
+//! random walks over the scheduler's decision tree.
+//!
+//! A *decision point* is an instant where the controller chose among the
+//! runnable virtual threads. The canonical exploration order at each point
+//! puts the **default** choice first — keep running the last thread if it
+//! is still runnable, otherwise the lowest thread id — and the remaining
+//! runnable indices after it, ascending. A schedule is identified by the
+//! sequence of *positions* chosen in that order, so position `0` everywhere
+//! is the natural round-robin-free execution and every deviation at a
+//! non-forced point is a **preemption** (CHESS-style). DFS backtracks over
+//! positions depth-first; an optional preemption bound prunes subtrees that
+//! would exceed the budget, which is what keeps small-N state spaces
+//! tractable without sacrificing the empirically bug-rich low-preemption
+//! schedules.
+
+use crate::ctx;
+use crate::sched::{self, Defect, OpKind, RunResult, Shared, Strategy, Violation};
+use fuzzy_util::SplitMix64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A virtual-thread body.
+pub type Job = Box<dyn FnOnce() + Send>;
+
+/// One concrete run of a scenario: the per-thread bodies plus a
+/// post-classification hook.
+pub struct ScheduleRun {
+    /// One body per virtual thread (index = thread id).
+    pub bodies: Vec<Job>,
+    /// Runs on the controller after the schedule finishes. Receives the
+    /// defect found (if any) and may reclassify it (e.g. deadlock →
+    /// lost wakeup), clear it, or raise one of its own from final-state
+    /// invariants.
+    pub finish: Box<dyn FnOnce(Option<Defect>) -> Option<Defect>>,
+}
+
+impl std::fmt::Debug for ScheduleRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScheduleRun")
+            .field("bodies", &self.bodies.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A checkable scenario: a factory producing a fresh [`ScheduleRun`]
+/// (fresh barrier, fresh ledger) for every schedule the explorer tries.
+pub struct Scenario {
+    /// Display name.
+    pub name: String,
+    /// Number of virtual threads.
+    pub threads: usize,
+    /// Builds a fresh run.
+    pub build: Box<dyn FnMut() -> ScheduleRun>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Exploration budget and bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Stop after this many schedules even if the space is not exhausted.
+    pub max_schedules: usize,
+    /// Per-schedule step budget (livelock backstop).
+    pub step_limit: u64,
+    /// CHESS-style preemption bound; `None` = unbounded (full DFS).
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_schedules: 10_000,
+            step_limit: sched::DEFAULT_STEP_LIMIT,
+            preemption_bound: None,
+        }
+    }
+}
+
+/// Result of exploring a scenario.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// No schedule provoked a defect.
+    Pass {
+        /// Schedules executed. Under DFS every schedule is distinct by
+        /// construction (each corresponds to a different position prefix).
+        schedules: usize,
+        /// True if the (bounded) decision tree was fully explored rather
+        /// than cut off by `max_schedules`.
+        exhausted: bool,
+    },
+    /// A schedule provoked a defect.
+    Fail {
+        /// The defect and its replayable schedule.
+        violation: Violation,
+        /// Schedules executed up to and including the failing one.
+        schedules: usize,
+    },
+}
+
+impl Outcome {
+    /// True if no defect was found.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        matches!(self, Outcome::Pass { .. })
+    }
+
+    /// Schedules executed.
+    #[must_use]
+    pub fn schedules(&self) -> usize {
+        match self {
+            Outcome::Pass { schedules, .. } | Outcome::Fail { schedules, .. } => *schedules,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+struct Worker {
+    tx: Option<mpsc::Sender<(Arc<Shared>, Job)>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A pool of OS threads, one per virtual-thread slot, reused across every
+/// schedule of an exploration (spawning threads per schedule would dominate
+/// the runtime at tens of thousands of schedules).
+pub struct Pool {
+    workers: Vec<Worker>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawns `threads` workers.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let workers = (0..threads)
+            .map(|tid| {
+                let (tx, rx) = mpsc::channel::<(Arc<Shared>, Job)>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("vthread-{tid}"))
+                    .spawn(move || {
+                        for (shared, job) in rx {
+                            ctx::install(Arc::clone(&shared), tid);
+                            // Park until first scheduled, so job-delivery
+                            // timing never leaks into the interleaving.
+                            shared.yield_op(tid, OpKind::Spawn);
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                                shared.report(Defect::Panic {
+                                    thread: tid,
+                                    message: panic_message(&payload),
+                                });
+                            }
+                            shared.finish(tid);
+                            ctx::clear();
+                        }
+                    })
+                    .expect("spawn checker worker");
+                Worker {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Pool { workers }
+    }
+
+    fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn dispatch(&self, shared: &Arc<Shared>, bodies: Vec<Job>) {
+        assert_eq!(bodies.len(), self.len(), "one body per worker");
+        for (worker, body) in self.workers.iter().zip(bodies) {
+            worker
+                .tx
+                .as_ref()
+                .expect("pool not shut down")
+                .send((Arc::clone(shared), body))
+                .expect("checker worker alive");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            drop(worker.tx.take());
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one schedule of `run` on `pool` under `strategy`.
+fn run_one(
+    pool: &Pool,
+    run: ScheduleRun,
+    strategy: &mut dyn Strategy,
+    step_limit: u64,
+) -> RunResult {
+    let shared = Arc::new(Shared::new(pool.len()));
+    pool.dispatch(&shared, run.bodies);
+    let mut result = sched::run_schedule(&shared, strategy, step_limit);
+    let reclassified = (run.finish)(result.violation.as_ref().map(|v| v.defect.clone()));
+    result.violation = match (reclassified, result.violation.take()) {
+        (Some(defect), Some(mut v)) => {
+            v.defect = defect;
+            Some(v)
+        }
+        (Some(defect), None) => Some(Violation {
+            defect,
+            schedule: result.schedule.clone(),
+            steps: result.steps,
+        }),
+        (None, _) => None,
+    };
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Maps a canonical-order position to an index into the runnable set.
+/// Order: `[default, 0, 1, .., default-1, default+1, .., len-1]`.
+fn pos_to_index(default_idx: usize, pos: usize) -> usize {
+    if pos == 0 {
+        default_idx
+    } else if pos - 1 < default_idx {
+        pos - 1
+    } else {
+        pos
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PointRec {
+    len: usize,
+    chosen_pos: usize,
+    forced: bool,
+    preemptions_before: usize,
+}
+
+struct DfsWalk<'a> {
+    prefix: &'a [usize],
+    depth: usize,
+    preemptions: usize,
+    points: Vec<PointRec>,
+}
+
+impl Strategy for DfsWalk<'_> {
+    fn choose(&mut self, runnable: &[usize], last: Option<usize>) -> usize {
+        let default_idx = last
+            .and_then(|l| runnable.iter().position(|&t| t == l))
+            .unwrap_or(0);
+        // A switch is "forced" when the previous thread cannot continue;
+        // only unforced switches count against the preemption bound.
+        let forced = match last {
+            None => true,
+            Some(l) => !runnable.contains(&l),
+        };
+        let mut pos = if self.depth < self.prefix.len() {
+            self.prefix[self.depth]
+        } else {
+            0
+        };
+        if pos >= runnable.len() {
+            // Divergence guard; a well-formed prefix never hits this.
+            pos = 0;
+        }
+        self.points.push(PointRec {
+            len: runnable.len(),
+            chosen_pos: pos,
+            forced,
+            preemptions_before: self.preemptions,
+        });
+        if pos != 0 && !forced {
+            self.preemptions += 1;
+        }
+        self.depth += 1;
+        pos_to_index(default_idx, pos)
+    }
+}
+
+/// Computes the next DFS position prefix from the last run's decision
+/// points, or `None` when the (bounded) tree is exhausted.
+fn next_prefix(points: &mut Vec<PointRec>, bound: Option<usize>) -> Option<Vec<usize>> {
+    while let Some(point) = points.pop() {
+        let next_pos = point.chosen_pos + 1;
+        if next_pos >= point.len {
+            continue;
+        }
+        // Every alternative position at this point preempts (unless the
+        // switch was forced anyway), so one bound check covers them all.
+        if !point.forced {
+            if let Some(b) = bound {
+                if point.preemptions_before + 1 > b {
+                    continue;
+                }
+            }
+        }
+        let mut prefix: Vec<usize> = points.iter().map(|q| q.chosen_pos).collect();
+        prefix.push(next_pos);
+        return Some(prefix);
+    }
+    None
+}
+
+struct RandomWalk {
+    rng: SplitMix64,
+}
+
+impl Strategy for RandomWalk {
+    fn choose(&mut self, runnable: &[usize], _last: Option<usize>) -> usize {
+        self.rng.below(runnable.len())
+    }
+}
+
+/// Replays a recorded grant sequence (thread ids); falls back to the
+/// default choice — and flags divergence — if a requested thread is not
+/// runnable.
+struct ReplayWalk {
+    schedule: Vec<usize>,
+    depth: usize,
+    diverged: bool,
+}
+
+impl Strategy for ReplayWalk {
+    fn choose(&mut self, runnable: &[usize], last: Option<usize>) -> usize {
+        let default_idx = last
+            .and_then(|l| runnable.iter().position(|&t| t == l))
+            .unwrap_or(0);
+        if self.depth < self.schedule.len() {
+            let want = self.schedule[self.depth];
+            self.depth += 1;
+            match runnable.iter().position(|&t| t == want) {
+                Some(idx) => return idx,
+                None => self.diverged = true,
+            }
+        }
+        default_idx
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Exhaustive (optionally preemption-bounded) depth-first exploration.
+pub fn explore_dfs(scenario: &mut Scenario, opts: &ExploreOptions) -> Outcome {
+    let pool = Pool::new(scenario.threads);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let run = (scenario.build)();
+        let mut strategy = DfsWalk {
+            prefix: &prefix,
+            depth: 0,
+            preemptions: 0,
+            points: Vec::new(),
+        };
+        let result = run_one(&pool, run, &mut strategy, opts.step_limit);
+        let mut points = strategy.points;
+        schedules += 1;
+        if let Some(violation) = result.violation {
+            return Outcome::Fail {
+                violation,
+                schedules,
+            };
+        }
+        if schedules >= opts.max_schedules {
+            return Outcome::Pass {
+                schedules,
+                exhausted: false,
+            };
+        }
+        match next_prefix(&mut points, opts.preemption_bound) {
+            Some(p) => prefix = p,
+            None => {
+                return Outcome::Pass {
+                    schedules,
+                    exhausted: true,
+                }
+            }
+        }
+    }
+}
+
+/// Seeded random sampling: schedule `i` uses seed `seed + i`, so any
+/// failure is reproducible from the reported seed alone (and from the
+/// recorded grant sequence via [`replay`]).
+pub fn explore_random(scenario: &mut Scenario, opts: &ExploreOptions, seed: u64) -> Outcome {
+    let pool = Pool::new(scenario.threads);
+    for i in 0..opts.max_schedules {
+        let run = (scenario.build)();
+        let mut strategy = RandomWalk {
+            rng: SplitMix64::seed_from_u64(seed.wrapping_add(i as u64)),
+        };
+        let result = run_one(&pool, run, &mut strategy, opts.step_limit);
+        if let Some(violation) = result.violation {
+            return Outcome::Fail {
+                violation,
+                schedules: i + 1,
+            };
+        }
+    }
+    Outcome::Pass {
+        schedules: opts.max_schedules,
+        exhausted: false,
+    }
+}
+
+/// Re-executes one recorded schedule. Returns the run result plus whether
+/// the replay diverged from the recording.
+pub fn replay(scenario: &mut Scenario, schedule: Vec<usize>, step_limit: u64) -> (RunResult, bool) {
+    let pool = Pool::new(scenario.threads);
+    let run = (scenario.build)();
+    let mut strategy = ReplayWalk {
+        schedule,
+        depth: 0,
+        diverged: false,
+    };
+    let result = run_one(&pool, run, &mut strategy, step_limit);
+    let diverged = strategy.diverged;
+    (result, diverged)
+}

@@ -1,0 +1,433 @@
+//! Seeded-bug barrier backends ("mutants") that the checker must catch.
+//!
+//! Each mutant copies one stock backend and re-introduces a realistic
+//! concurrency bug — the kind a refactor could plausibly create. They are
+//! the checker's regression suite in reverse: a checker release is only
+//! trustworthy if it *fails* every one of these within its schedule
+//! budget. Three of the five are interleaving-dependent (they pass on the
+//! default round-robin-ish schedule and need a specific preemption), which
+//! is precisely what distinguishes a model checker from a stress test.
+
+use crate::shadow::ShadowSync;
+use fuzzy_barrier::spin::SpinReport;
+use fuzzy_barrier::stats::StatsSnapshot;
+use fuzzy_barrier::sync::{Atomic, SyncOps};
+use fuzzy_barrier::{ArrivalToken, SplitBarrier, StallPolicy, WaitOutcome};
+use std::sync::atomic::Ordering;
+
+fn outcome(episode: u64, report: SpinReport) -> WaitOutcome {
+    WaitOutcome {
+        episode,
+        stalled: !report.was_instant(),
+        descheduled: report.descheduled,
+        probes: report.probes,
+        stall_time: report.waited,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantCentral: publish-before-re-arm
+// ---------------------------------------------------------------------------
+
+/// Centralized barrier whose completing arrival **publishes the episode
+/// before re-arming the counter**.
+///
+/// The race: the last arriver bumps `episode`, releasing the waiters; a
+/// released thread re-arrives for the next episode and decrements the
+/// still-un-re-armed counter (0 → wraparound); the completer's belated
+/// `store(n)` then overwrites the counter, silently discarding that
+/// arrival. The next episode can never complete — a **lost wakeup** that
+/// needs at least two episodes and one specific preemption to manifest.
+#[derive(Debug)]
+pub struct MutantCentral<S: SyncOps = ShadowSync> {
+    n: usize,
+    count: S::AtomicUsize,
+    episode: S::AtomicU64,
+    local_episode: Vec<S::AtomicU64>,
+}
+
+impl<S: SyncOps> MutantCentral<S> {
+    /// Creates the mutant for `n` participants.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        MutantCentral {
+            n,
+            count: S::AtomicUsize::new(n),
+            episode: S::AtomicU64::new(0),
+            local_episode: (0..n).map(|_| S::AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl<S: SyncOps> SplitBarrier for MutantCentral<S> {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // BUG (seeded): the stock backend re-arms the counter first,
+            // then publishes. Swapping the two opens the window above.
+            self.episode.fetch_add(1, Ordering::Release);
+            self.count.store(self.n, Ordering::Release);
+        }
+        ArrivalToken::new(id, episode)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.episode.load(Ordering::Acquire) > token.episode()
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        let report = S::wait_until(StallPolicy::Spin, || {
+            self.episode.load(Ordering::Acquire) > token.episode()
+        });
+        outcome(token.episode(), report)
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantCounting: non-atomic increment
+// ---------------------------------------------------------------------------
+
+/// Counting barrier whose arrival increment is a **load/store pair**
+/// instead of a `fetch_add`.
+///
+/// Two arrivals interleaved load/load/store/store lose a count; the
+/// threshold `(e + 1) · n` is never reached and every waiter sticks — a
+/// lost wakeup reachable within a single episode.
+#[derive(Debug)]
+pub struct MutantCounting<S: SyncOps = ShadowSync> {
+    n: usize,
+    arrivals: S::AtomicU64,
+    local_episode: Vec<S::AtomicU64>,
+}
+
+impl<S: SyncOps> MutantCounting<S> {
+    /// Creates the mutant for `n` participants.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        MutantCounting {
+            n,
+            arrivals: S::AtomicU64::new(0),
+            local_episode: (0..n).map(|_| S::AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn threshold(&self, episode: u64) -> u64 {
+        (episode + 1) * self.n as u64
+    }
+}
+
+impl<S: SyncOps> SplitBarrier for MutantCounting<S> {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
+        // BUG (seeded): the stock backend uses fetch_add; a read-modify-
+        // write torn into a load and a store drops concurrent arrivals.
+        let current = self.arrivals.load(Ordering::Acquire);
+        self.arrivals.store(current + 1, Ordering::Release);
+        ArrivalToken::new(id, episode)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.arrivals.load(Ordering::Acquire) >= self.threshold(token.episode())
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        let threshold = self.threshold(token.episode());
+        let report = S::wait_until(StallPolicy::Spin, || {
+            self.arrivals.load(Ordering::Acquire) >= threshold
+        });
+        outcome(token.episode(), report)
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantDissemination: exact-match flag comparison
+// ---------------------------------------------------------------------------
+
+/// Dissemination barrier that compares received signals with `==` instead
+/// of `>=`.
+///
+/// Flags carry monotone `episode + 1` values precisely so that a slot
+/// overwritten by a *faster* partner (already an episode ahead — legal
+/// under split-phase semantics, where a peer may race through its region
+/// and re-arrive) still satisfies the slower waiter. Demanding an exact
+/// match turns that benign overwrite into a permanently missed signal.
+#[derive(Debug)]
+pub struct MutantDissemination<S: SyncOps = ShadowSync> {
+    n: usize,
+    rounds: u32,
+    flags: Vec<Vec<S::AtomicU64>>,
+    episode: Vec<S::AtomicU64>,
+    round: Vec<S::AtomicU32>,
+}
+
+impl<S: SyncOps> MutantDissemination<S> {
+    /// Creates the mutant for `n` participants.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 1, "the bug needs a partner");
+        let rounds = usize::BITS - (n - 1).leading_zeros();
+        MutantDissemination {
+            n,
+            rounds,
+            flags: (0..rounds)
+                .map(|_| (0..n).map(|_| S::AtomicU64::new(0)).collect())
+                .collect(),
+            episode: (0..n).map(|_| S::AtomicU64::new(0)).collect(),
+            round: (0..n).map(|_| S::AtomicU32::new(0)).collect(),
+        }
+    }
+
+    fn signal(&self, from: usize, round: u32, episode_plus_one: u64) {
+        let target = (from + (1usize << round)) % self.n;
+        self.flags[round as usize][target].store(episode_plus_one, Ordering::Release);
+    }
+
+    fn try_progress(&self, id: usize, episode: u64) -> bool {
+        let goal = episode + 1;
+        loop {
+            let round = self.round[id].load(Ordering::Relaxed);
+            if round >= self.rounds {
+                return true;
+            }
+            // BUG (seeded): `==` instead of `>=` — a partner running an
+            // episode ahead overwrites the slot with goal + 1 and this
+            // waiter never matches again.
+            if self.flags[round as usize][id].load(Ordering::Acquire) == goal {
+                let next = round + 1;
+                if next < self.rounds {
+                    self.signal(id, next, goal);
+                }
+                self.round[id].store(next, Ordering::Relaxed);
+                if next == self.rounds {
+                    return true;
+                }
+            } else {
+                return false;
+            }
+        }
+    }
+}
+
+impl<S: SyncOps> SplitBarrier for MutantDissemination<S> {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        let episode = self.episode[id].fetch_add(1, Ordering::Relaxed);
+        self.round[id].store(0, Ordering::Relaxed);
+        self.signal(id, 0, episode + 1);
+        ArrivalToken::new(id, episode)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.try_progress(token.participant(), token.episode())
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        let report = S::wait_until(StallPolicy::Spin, || {
+            self.try_progress(token.participant(), token.episode())
+        });
+        outcome(token.episode(), report)
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantTree: propagate-before-re-arm
+// ---------------------------------------------------------------------------
+
+/// Combining-tree barrier (fan-in 2) whose completing arrival at a node
+/// **propagates upward before re-arming the node** — the tree-shaped twin
+/// of [`MutantCentral`]: a fast participant released by the root's episode
+/// bump re-arrives and decrements a not-yet-re-armed node; the belated
+/// re-arm overwrites the wrapped counter and the arrival is lost.
+#[derive(Debug)]
+pub struct MutantTree<S: SyncOps = ShadowSync> {
+    n: usize,
+    nodes: Vec<MutantNode<S>>,
+    leaf_of: Vec<usize>,
+    episode: S::AtomicU64,
+    local_episode: Vec<S::AtomicU64>,
+}
+
+#[derive(Debug)]
+struct MutantNode<S: SyncOps> {
+    count: S::AtomicUsize,
+    expected: usize,
+    parent: Option<usize>,
+}
+
+impl<S: SyncOps> MutantTree<S> {
+    /// Creates the mutant for `n` participants, fan-in 2.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let fan_in = 2usize;
+        let mut nodes: Vec<MutantNode<S>> = Vec::new();
+        let level0 = n.div_ceil(fan_in);
+        for g in 0..level0 {
+            let members = fan_in.min(n - g * fan_in);
+            nodes.push(MutantNode {
+                count: S::AtomicUsize::new(members),
+                expected: members,
+                parent: None,
+            });
+        }
+        let leaf_of = (0..n).map(|id| id / fan_in).collect();
+        let mut level_start = 0usize;
+        let mut level_len = level0;
+        while level_len > 1 {
+            let next_len = level_len.div_ceil(fan_in);
+            let next_start = nodes.len();
+            for g in 0..next_len {
+                let members = fan_in.min(level_len - g * fan_in);
+                nodes.push(MutantNode {
+                    count: S::AtomicUsize::new(members),
+                    expected: members,
+                    parent: None,
+                });
+            }
+            for i in 0..level_len {
+                nodes[level_start + i].parent = Some(next_start + i / fan_in);
+            }
+            level_start = next_start;
+            level_len = next_len;
+        }
+        MutantTree {
+            n,
+            nodes,
+            leaf_of,
+            episode: S::AtomicU64::new(0),
+            local_episode: (0..n).map(|_| S::AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn signal_node(&self, index: usize) {
+        let node = &self.nodes[index];
+        if node.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // BUG (seeded): the stock backend re-arms the node before
+            // propagating; doing it after leaves a window where released
+            // participants decrement a stale counter.
+            match node.parent {
+                Some(parent) => self.signal_node(parent),
+                None => {
+                    self.episode.fetch_add(1, Ordering::Release);
+                }
+            }
+            node.count.store(node.expected, Ordering::Release);
+        }
+    }
+}
+
+impl<S: SyncOps> SplitBarrier for MutantTree<S> {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
+        self.signal_node(self.leaf_of[id]);
+        ArrivalToken::new(id, episode)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.episode.load(Ordering::Acquire) > token.episode()
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        let report = S::wait_until(StallPolicy::Spin, || {
+            self.episode.load(Ordering::Acquire) > token.episode()
+        });
+        outcome(token.episode(), report)
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantEarlyRelease: off-by-one wait predicate
+// ---------------------------------------------------------------------------
+
+/// Centralized barrier whose wait predicate uses `>=` instead of `>`:
+/// `wait(token)` for episode *e* returns as soon as the episode counter
+/// reaches *e* — i.e. immediately, before anyone else arrived. This is the
+/// canonical **fuzzy-semantics violation** and proves the checker's ledger
+/// check fires: no deadlock, no panic, just a barrier that does not
+/// barrier.
+#[derive(Debug)]
+pub struct MutantEarlyRelease<S: SyncOps = ShadowSync> {
+    n: usize,
+    count: S::AtomicUsize,
+    episode: S::AtomicU64,
+    local_episode: Vec<S::AtomicU64>,
+}
+
+impl<S: SyncOps> MutantEarlyRelease<S> {
+    /// Creates the mutant for `n` participants.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        MutantEarlyRelease {
+            n,
+            count: S::AtomicUsize::new(n),
+            episode: S::AtomicU64::new(0),
+            local_episode: (0..n).map(|_| S::AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl<S: SyncOps> SplitBarrier for MutantEarlyRelease<S> {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.count.store(self.n, Ordering::Release);
+            self.episode.fetch_add(1, Ordering::Release);
+        }
+        ArrivalToken::new(id, episode)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        // BUG (seeded): `>=` instead of `>` — satisfied before the
+        // episode completes.
+        self.episode.load(Ordering::Acquire) >= token.episode()
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        let report = S::wait_until(StallPolicy::Spin, || {
+            self.episode.load(Ordering::Acquire) >= token.episode()
+        });
+        outcome(token.episode(), report)
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+}

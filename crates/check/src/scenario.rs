@@ -1,0 +1,719 @@
+//! Checkable scenarios: the protocol workloads the explorer drives.
+//!
+//! Every scenario couples a barrier (instantiated in the [`ShadowSync`]
+//! domain) with a **ledger** of real (uninstrumented) atomics that records
+//! ground truth about arrivals. The fuzzy-barrier correctness property is
+//! checked against the ledger: `wait(token)` returning implies every
+//! masked participant's `arrive()` for that episode already executed.
+//! Because a thread increments its `begun` counter *immediately before*
+//! calling `arrive`, and threads are sequentialized, a completed `arrive`
+//! always implies a visible `begun` — the check can never false-positive,
+//! and any schedule in which a `wait` returns past a participant that has
+//! not even begun is a genuine semantics violation.
+
+use crate::ctx;
+use crate::explore::{Job, Scenario, ScheduleRun};
+use crate::sched::Defect;
+use crate::shadow::ShadowSync;
+use fuzzy_barrier::{
+    BarrierError, CentralBarrier, CountingBarrier, DisseminationBarrier, GroupRegistry, ProcMask,
+    SplitBarrier, StallPolicy, SubsetBarrier, Tag, TreeBarrier,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which backend a protocol scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Sense-reversing centralized counter.
+    Central,
+    /// Flat epoch-counting barrier.
+    Counting,
+    /// Dissemination barrier (log₂ n rounds).
+    Dissemination,
+    /// Combining tree, fan-in 2.
+    Tree,
+}
+
+impl BackendKind {
+    /// All four backends, in canonical order.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::Central,
+        BackendKind::Counting,
+        BackendKind::Dissemination,
+        BackendKind::Tree,
+    ];
+
+    /// CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Central => "central",
+            BackendKind::Counting => "counting",
+            BackendKind::Dissemination => "dissemination",
+            BackendKind::Tree => "tree",
+        }
+    }
+
+    /// Parses a CLI name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        Self::ALL.into_iter().find(|b| b.name() == s)
+    }
+
+    /// Builds this backend for `n` participants in the shadow domain.
+    #[must_use]
+    pub fn build_shadow(self, n: usize) -> Arc<dyn SplitBarrier> {
+        // The shadow wait_until ignores the stall policy; Spin documents
+        // the intent (no real sleeping inside the checker).
+        let policy = StallPolicy::Spin;
+        match self {
+            BackendKind::Central => {
+                Arc::new(CentralBarrier::<ShadowSync>::with_policy_in(n, policy))
+            }
+            BackendKind::Counting => {
+                Arc::new(CountingBarrier::<ShadowSync>::with_policy_in(n, policy))
+            }
+            BackendKind::Dissemination => Arc::new(
+                DisseminationBarrier::<ShadowSync>::with_policy_in(n, policy),
+            ),
+            BackendKind::Tree => Arc::new(TreeBarrier::<ShadowSync>::with_fan_in_in(n, 2, policy)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ledger
+// ---------------------------------------------------------------------------
+
+/// Ground-truth arrival record for one barrier, kept in *real* atomics so
+/// ledger updates are not themselves scheduling points.
+#[derive(Debug)]
+pub struct Ledger {
+    /// Global thread ids of the barrier's members, in rank order.
+    members: Vec<usize>,
+    /// `begun[rank]`: episodes this member has *started arriving* for
+    /// (incremented immediately before `arrive`).
+    begun: Vec<AtomicU64>,
+    /// Episode each member is currently waiting for (valid while
+    /// `in_wait`).
+    wait_target: Vec<AtomicU64>,
+    in_wait: Vec<AtomicBool>,
+}
+
+impl Ledger {
+    /// Creates a ledger for the given members (global thread ids).
+    #[must_use]
+    pub fn new(members: Vec<usize>) -> Self {
+        let n = members.len();
+        Ledger {
+            members,
+            begun: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            wait_target: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            in_wait: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Marks `rank` as beginning its next episode. Call immediately before
+    /// `arrive`.
+    pub fn begin(&self, rank: usize) {
+        self.begun[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks `rank` as entering `wait` for `episode`.
+    pub fn enter_wait(&self, rank: usize, episode: u64) {
+        self.wait_target[rank].store(episode, Ordering::Relaxed);
+        self.in_wait[rank].store(true, Ordering::Relaxed);
+    }
+
+    /// Marks `rank` as returned from `wait`.
+    pub fn exit_wait(&self, rank: usize) {
+        self.in_wait[rank].store(false, Ordering::Relaxed);
+    }
+
+    /// Asserts the fuzzy-barrier property after `rank`'s `wait(episode)`
+    /// returned: every member must have begun episode `episode` (begun
+    /// count > episode). Reports a [`Defect::FuzzyViolation`] otherwise.
+    pub fn check_fuzzy(&self, rank: usize, episode: u64) {
+        let missing: Vec<usize> = (0..self.members.len())
+            .filter(|&j| self.begun[j].load(Ordering::Relaxed) < episode + 1)
+            .map(|j| self.members[j])
+            .collect();
+        if !missing.is_empty() {
+            ctx::report(Defect::FuzzyViolation {
+                thread: self.members[rank],
+                episode,
+                missing,
+            });
+        }
+    }
+
+    /// True if global thread `tid` is stuck waiting on this barrier even
+    /// though every member already began the awaited episode — i.e. the
+    /// release signal was produced and lost.
+    fn stuck_despite_full_arrival(&self, tid: usize) -> bool {
+        let Some(rank) = self.members.iter().position(|&m| m == tid) else {
+            return false;
+        };
+        if !self.in_wait[rank].load(Ordering::Relaxed) {
+            return false;
+        }
+        let target = self.wait_target[rank].load(Ordering::Relaxed);
+        (0..self.members.len()).all(|j| self.begun[j].load(Ordering::Relaxed) > target)
+    }
+}
+
+/// Upgrades a [`Defect::Deadlock`] to [`Defect::LostWakeup`] when every
+/// stuck thread sits in some ledger's wait with its episode fully arrived.
+/// Other defects pass through unchanged.
+#[must_use]
+pub fn classify(ledgers: &[Arc<Ledger>], defect: Option<Defect>) -> Option<Defect> {
+    match defect {
+        Some(Defect::Deadlock { blocked }) => {
+            let all_lost = !blocked.is_empty()
+                && blocked
+                    .iter()
+                    .all(|&t| ledgers.iter().any(|l| l.stuck_despite_full_arrival(t)));
+            Some(if all_lost {
+                Defect::LostWakeup { blocked }
+            } else {
+                Defect::Deadlock { blocked }
+            })
+        }
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol scenario
+// ---------------------------------------------------------------------------
+
+/// The core scenario: `n` participants drive `episodes` episodes of the
+/// split-phase protocol on a fresh barrier per schedule, with the fuzzy
+/// property checked after every `wait`.
+///
+/// `factory` builds the barrier; use [`protocol`] for the stock backends
+/// and pass a mutant factory from tests.
+pub fn protocol_with(
+    name: impl Into<String>,
+    n: usize,
+    episodes: u64,
+    mut factory: impl FnMut() -> Arc<dyn SplitBarrier> + 'static,
+) -> Scenario {
+    Scenario {
+        name: name.into(),
+        threads: n,
+        build: Box::new(move || {
+            let barrier = factory();
+            assert_eq!(barrier.participants(), n, "factory/participant mismatch");
+            let ledger = Arc::new(Ledger::new((0..n).collect()));
+            let bodies: Vec<Job> = (0..n)
+                .map(|id| {
+                    let barrier = Arc::clone(&barrier);
+                    let ledger = Arc::clone(&ledger);
+                    Box::new(move || {
+                        protocol_body(&*barrier, &ledger, id, episodes);
+                    }) as Job
+                })
+                .collect();
+            let ledgers = vec![Arc::clone(&ledger)];
+            ScheduleRun {
+                bodies,
+                finish: Box::new(move |defect| classify(&ledgers, defect)),
+            }
+        }),
+    }
+}
+
+/// [`protocol_with`] over a stock backend.
+#[must_use]
+pub fn protocol(backend: BackendKind, n: usize, episodes: u64) -> Scenario {
+    protocol_with(
+        format!("protocol/{}/n{n}/e{episodes}", backend.name()),
+        n,
+        episodes,
+        move || backend.build_shadow(n),
+    )
+}
+
+fn protocol_body(barrier: &dyn SplitBarrier, ledger: &Ledger, id: usize, episodes: u64) {
+    for e in 0..episodes {
+        if ctx::aborted() {
+            return;
+        }
+        ledger.begin(id);
+        let token = barrier.arrive(id);
+        ledger.enter_wait(id, e);
+        let outcome = barrier.wait(token);
+        // On abort the drain protocol fakes wait's return; leave the
+        // ledger's `in_wait` intact so `classify` sees the stuck state.
+        if ctx::aborted() {
+            return;
+        }
+        ledger.exit_wait(id);
+        if outcome.episode != e {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: format!("expected episode {e}, wait returned {}", outcome.episode),
+            });
+            return;
+        }
+        ledger.check_fuzzy(id, e);
+        if ctx::aborted() {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subset scenario (masks + tags)
+// ---------------------------------------------------------------------------
+
+type Subset = SubsetBarrier<CentralBarrier<ShadowSync>>;
+
+fn subset(tag: u16, mask: &[usize]) -> Arc<Subset> {
+    let tag = Tag::new(tag).expect("non-zero tag");
+    let mask: ProcMask = mask.iter().copied().collect();
+    Arc::new(SubsetBarrier::with_policy_in(tag, mask, StallPolicy::Spin).expect("non-empty mask"))
+}
+
+fn report_err(id: usize, what: &str, err: &BarrierError) {
+    ctx::report(Defect::ProtocolError {
+        thread: id,
+        message: format!("{what}: unexpected error {err:?}"),
+    });
+}
+
+/// Masked/tagged synchronization over every non-empty subset of two
+/// participants — each thread synchronizes alone on a private singleton
+/// barrier and with its peer on a shared one, presenting tags explicitly.
+/// A deliberate wrong-tag arrival checks that the tag-match logic rejects
+/// cross-barrier synchronization (the paper's Fig. 6 bug).
+#[must_use]
+pub fn subset_pair(episodes: u64) -> Scenario {
+    Scenario {
+        name: format!("subset/pair/e{episodes}"),
+        threads: 2,
+        build: Box::new(move || {
+            let shared = subset(3, &[0, 1]);
+            let privates = [subset(1, &[0]), subset(2, &[1])];
+            let ledger = Arc::new(Ledger::new(vec![0, 1]));
+            let bodies: Vec<Job> = (0..2)
+                .map(|id| {
+                    let shared = Arc::clone(&shared);
+                    let private = Arc::clone(&privates[id]);
+                    let ledger = Arc::clone(&ledger);
+                    Box::new(move || {
+                        subset_pair_body(&shared, &private, &ledger, id, episodes);
+                    }) as Job
+                })
+                .collect();
+            let ledgers = vec![Arc::clone(&ledger)];
+            ScheduleRun {
+                bodies,
+                finish: Box::new(move |defect| classify(&ledgers, defect)),
+            }
+        }),
+    }
+}
+
+fn subset_pair_body(shared: &Subset, private: &Subset, ledger: &Ledger, id: usize, episodes: u64) {
+    let my_tag = private.tag();
+    let shared_tag = shared.tag();
+    // Presenting the private tag at the shared barrier must be rejected —
+    // tags are what keep Fig. 6's P3-at-B1 from synchronizing with
+    // P1-at-B2. The error path touches no shadow state, so this probe is
+    // deterministic and free.
+    match shared.arrive(id, my_tag) {
+        Err(BarrierError::TagMismatch { .. }) => {}
+        Ok(_) => {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: "wrong tag accepted by shared barrier".into(),
+            });
+            return;
+        }
+        Err(err) => {
+            report_err(id, "wrong-tag probe", &err);
+            return;
+        }
+    }
+    for e in 0..episodes {
+        if ctx::aborted() {
+            return;
+        }
+        // Solo synchronization on the private singleton barrier.
+        match private.point(id, my_tag) {
+            Ok(outcome) if outcome.episode == e => {}
+            Ok(outcome) => {
+                ctx::report(Defect::ProtocolError {
+                    thread: id,
+                    message: format!(
+                        "private barrier: expected episode {e}, got {}",
+                        outcome.episode
+                    ),
+                });
+                return;
+            }
+            Err(err) => {
+                report_err(id, "private point", &err);
+                return;
+            }
+        }
+        if ctx::aborted() {
+            return;
+        }
+        // Shared fuzzy synchronization.
+        ledger.begin(id);
+        let token = match shared.arrive(id, shared_tag) {
+            Ok(t) => t,
+            Err(err) => {
+                report_err(id, "shared arrive", &err);
+                return;
+            }
+        };
+        ledger.enter_wait(id, e);
+        let outcome = shared.wait(token);
+        if ctx::aborted() {
+            return;
+        }
+        ledger.exit_wait(id);
+        if outcome.episode != e {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: format!(
+                    "shared barrier: expected episode {e}, got {}",
+                    outcome.episode
+                ),
+            });
+            return;
+        }
+        ledger.check_fuzzy(id, e);
+        if ctx::aborted() {
+            return;
+        }
+    }
+}
+
+/// Fig. 6 stream-merge topology: three threads, two *overlapping* masked
+/// barriers — A over {0,1}, B over {1,2} — with the middle thread a member
+/// of both. The middle thread arrives at both barriers before waiting on
+/// either, so its barrier regions overlap and no cross-barrier circular
+/// wait is possible; the fuzzy property is asserted per barrier over its
+/// own mask.
+#[must_use]
+pub fn subset_overlap(episodes: u64) -> Scenario {
+    Scenario {
+        name: format!("subset/overlap/e{episodes}"),
+        threads: 3,
+        build: Box::new(move || {
+            let a = subset(1, &[0, 1]);
+            let b = subset(2, &[1, 2]);
+            let ledger_a = Arc::new(Ledger::new(vec![0, 1]));
+            let ledger_b = Arc::new(Ledger::new(vec![1, 2]));
+            let mut bodies: Vec<Job> = Vec::new();
+            {
+                let a = Arc::clone(&a);
+                let ledger_a = Arc::clone(&ledger_a);
+                bodies.push(Box::new(move || {
+                    edge_body(&a, &ledger_a, 0, 0, episodes);
+                }));
+            }
+            {
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                let ledger_a = Arc::clone(&ledger_a);
+                let ledger_b = Arc::clone(&ledger_b);
+                bodies.push(Box::new(move || {
+                    middle_body(&a, &b, &ledger_a, &ledger_b, episodes);
+                }));
+            }
+            {
+                let b = Arc::clone(&b);
+                let ledger_b = Arc::clone(&ledger_b);
+                bodies.push(Box::new(move || {
+                    edge_body(&b, &ledger_b, 2, 1, episodes);
+                }));
+            }
+            let ledgers = vec![Arc::clone(&ledger_a), Arc::clone(&ledger_b)];
+            ScheduleRun {
+                bodies,
+                finish: Box::new(move |defect| classify(&ledgers, defect)),
+            }
+        }),
+    }
+}
+
+/// Body for a thread that belongs to exactly one masked barrier.
+fn edge_body(barrier: &Subset, ledger: &Ledger, id: usize, rank: usize, episodes: u64) {
+    let tag = barrier.tag();
+    for e in 0..episodes {
+        if ctx::aborted() {
+            return;
+        }
+        ledger.begin(rank);
+        let token = match barrier.arrive(id, tag) {
+            Ok(t) => t,
+            Err(err) => {
+                report_err(id, "arrive", &err);
+                return;
+            }
+        };
+        ledger.enter_wait(rank, e);
+        let outcome = barrier.wait(token);
+        if ctx::aborted() {
+            return;
+        }
+        ledger.exit_wait(rank);
+        if outcome.episode != e {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: format!("expected episode {e}, got {}", outcome.episode),
+            });
+            return;
+        }
+        ledger.check_fuzzy(rank, e);
+        if ctx::aborted() {
+            return;
+        }
+    }
+}
+
+/// Body for the thread in both barriers: arrive at both, then wait both.
+fn middle_body(a: &Subset, b: &Subset, ledger_a: &Ledger, ledger_b: &Ledger, episodes: u64) {
+    let id = 1usize;
+    for e in 0..episodes {
+        if ctx::aborted() {
+            return;
+        }
+        ledger_a.begin(1);
+        let token_a = match a.arrive(id, a.tag()) {
+            Ok(t) => t,
+            Err(err) => {
+                report_err(id, "arrive A", &err);
+                return;
+            }
+        };
+        ledger_b.begin(0);
+        let token_b = match b.arrive(id, b.tag()) {
+            Ok(t) => t,
+            Err(err) => {
+                report_err(id, "arrive B", &err);
+                return;
+            }
+        };
+        ledger_b.enter_wait(0, e);
+        let outcome_b = b.wait(token_b);
+        if ctx::aborted() {
+            return;
+        }
+        ledger_b.exit_wait(0);
+        ledger_a.enter_wait(1, e);
+        let outcome_a = a.wait(token_a);
+        if ctx::aborted() {
+            return;
+        }
+        ledger_a.exit_wait(1);
+        if outcome_a.episode != e || outcome_b.episode != e {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: format!(
+                    "expected episode {e}, got A={} B={}",
+                    outcome_a.episode, outcome_b.episode
+                ),
+            });
+            return;
+        }
+        ledger_b.check_fuzzy(0, e);
+        ledger_a.check_fuzzy(1, e);
+        if ctx::aborted() {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry scenario (dynamic streams, N−1 bound, tag reuse)
+// ---------------------------------------------------------------------------
+
+/// Two streams against a [`GroupRegistry`] sized for four streams
+/// (capacity 3 = N−1): a shared barrier lives for the whole run while each
+/// thread repeatedly allocates, synchronizes on, and releases a private
+/// singleton barrier under an explicitly reused tag. The N−1 bound
+/// (`live_barriers() <= capacity()`) is asserted at every step of every
+/// schedule, and after clean runs the `finish` hook fills the registry to
+/// capacity and demands `RegistryFull`.
+///
+/// Registry calls go through a plain mutex (no shadow atomics), so they
+/// execute atomically within a thread's scheduling slice — which is why
+/// the scenario is written coordination-free: no thread ever retries an
+/// allocation in a loop, because a retry could never be woken by a shadow
+/// write.
+#[must_use]
+pub fn registry(episodes: u64) -> Scenario {
+    Scenario {
+        name: format!("registry/e{episodes}"),
+        threads: 2,
+        build: Box::new(move || {
+            let reg = Arc::new(GroupRegistry::<ShadowSync>::with_policy_in(
+                4,
+                StallPolicy::Spin,
+            ));
+            let shared_tag = Tag::new(7).expect("non-zero");
+            let shared = reg
+                .allocate_tagged(shared_tag, [0, 1].into_iter().collect())
+                .expect("fresh registry has room");
+            let ledger = Arc::new(Ledger::new(vec![0, 1]));
+            let bodies: Vec<Job> = (0..2)
+                .map(|id| {
+                    let reg = Arc::clone(&reg);
+                    let shared = Arc::clone(&shared);
+                    let ledger = Arc::clone(&ledger);
+                    Box::new(move || {
+                        registry_body(&reg, &shared, &ledger, id, episodes);
+                    }) as Job
+                })
+                .collect();
+            let ledgers = vec![Arc::clone(&ledger)];
+            let reg = Arc::clone(&reg);
+            ScheduleRun {
+                bodies,
+                finish: Box::new(move |defect| {
+                    let defect = classify(&ledgers, defect);
+                    if defect.is_some() {
+                        return defect;
+                    }
+                    registry_capacity_check(&reg)
+                }),
+            }
+        }),
+    }
+}
+
+fn registry_body(
+    reg: &GroupRegistry<ShadowSync>,
+    shared: &Subset,
+    ledger: &Ledger,
+    id: usize,
+    episodes: u64,
+) {
+    let private_tag = Tag::new(10 + id as u16).expect("non-zero");
+    let shared_tag = shared.tag();
+    for e in 0..episodes {
+        if ctx::aborted() {
+            return;
+        }
+        // Allocate a private singleton barrier under an explicitly reused
+        // tag. Capacity is 3 (shared + one private per thread), so this
+        // must succeed in every interleaving.
+        let private = match reg.allocate_tagged(private_tag, ProcMask::single(id)) {
+            Ok(b) => b,
+            Err(err) => {
+                report_err(id, "allocate private", &err);
+                return;
+            }
+        };
+        if reg.live_barriers() > reg.capacity() {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: format!(
+                    "N-1 bound violated: {} live barriers > capacity {}",
+                    reg.live_barriers(),
+                    reg.capacity()
+                ),
+            });
+            return;
+        }
+        // Solo sync on the private barrier (never blocks: one member).
+        // The barrier is freshly allocated each episode, so it always
+        // completes *its* episode 0.
+        match private.point(id, private_tag) {
+            Ok(outcome) if outcome.episode == 0 => {}
+            Ok(outcome) => {
+                ctx::report(Defect::ProtocolError {
+                    thread: id,
+                    message: format!(
+                        "fresh private barrier completed episode {}",
+                        outcome.episode
+                    ),
+                });
+                return;
+            }
+            Err(err) => {
+                report_err(id, "private point", &err);
+                return;
+            }
+        }
+        if ctx::aborted() {
+            return;
+        }
+        // Fuzzy sync with the peer stream on the long-lived shared barrier.
+        ledger.begin(id);
+        let token = match shared.arrive(id, shared_tag) {
+            Ok(t) => t,
+            Err(err) => {
+                report_err(id, "shared arrive", &err);
+                return;
+            }
+        };
+        ledger.enter_wait(id, e);
+        let outcome = shared.wait(token);
+        if ctx::aborted() {
+            return;
+        }
+        ledger.exit_wait(id);
+        if outcome.episode != e {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: format!("shared episode {e} != {}", outcome.episode),
+            });
+            return;
+        }
+        ledger.check_fuzzy(id, e);
+        if ctx::aborted() {
+            return;
+        }
+        // Release the slot; next episode re-allocates the same tag.
+        if let Err(err) = reg.release(private_tag) {
+            report_err(id, "release private", &err);
+            return;
+        }
+    }
+}
+
+/// Post-run invariant: the registry must refuse the N-th barrier. Runs on
+/// the controller after a clean schedule (all privates released; only the
+/// shared barrier lives).
+fn registry_capacity_check(reg: &GroupRegistry<ShadowSync>) -> Option<Defect> {
+    let mut allocated = Vec::new();
+    let verdict = loop {
+        if allocated.len() > reg.capacity() {
+            break Some(Defect::ProtocolError {
+                thread: 0,
+                message: "registry never reported RegistryFull".into(),
+            });
+        }
+        match reg.allocate(ProcMask::single(0)) {
+            Ok((tag, _)) => allocated.push(tag),
+            Err(BarrierError::RegistryFull { capacity }) => {
+                break (reg.live_barriers() != capacity).then(|| Defect::ProtocolError {
+                    thread: 0,
+                    message: format!(
+                        "RegistryFull at {} live barriers, capacity {capacity}",
+                        reg.live_barriers()
+                    ),
+                });
+            }
+            Err(err) => {
+                break Some(Defect::ProtocolError {
+                    thread: 0,
+                    message: format!("capacity fill: unexpected error {err:?}"),
+                })
+            }
+        }
+    };
+    for tag in allocated {
+        let _ = reg.release(tag);
+    }
+    verdict
+}

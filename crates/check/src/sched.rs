@@ -1,0 +1,375 @@
+//! The deterministic scheduler at the heart of the checker.
+//!
+//! A *virtual thread* is an ordinary OS thread that has agreed to move only
+//! when told to: before every shadow-atomic operation it parks in
+//! `Shared::yield_op` until the controller grants it exactly one step.
+//! At any instant at most one virtual thread is executing, so a run is a
+//! *sequentially consistent* interleaving fully described by the sequence
+//! of grants — the replayable **schedule**.
+//!
+//! The controller ([`run_schedule`]) waits for quiescence (no thread
+//! running, no grant outstanding), computes the runnable set, asks a
+//! [`Strategy`] to pick the next thread, and hands out the grant. A thread
+//! whose wait predicate failed parks via `Shared::block_until_write_after`
+//! and becomes runnable again only after some other thread performs a
+//! write — this is what makes deadlock detection sound: if nothing is
+//! runnable and not everything is finished, no future write can ever
+//! happen.
+
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Default per-schedule step budget; hitting it is reported as
+/// [`Defect::StepLimit`] (livelock suspicion) rather than looping forever.
+pub const DEFAULT_STEP_LIMIT: u64 = 100_000;
+
+/// Kind of shadow operation announced at a yield point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Virtual-thread startup: parks the body until first scheduled, so
+    /// thread creation order never leaks into the explored interleaving.
+    Spawn,
+    /// Atomic load.
+    Load,
+    /// Atomic store.
+    Store,
+    /// Atomic read-modify-write.
+    Rmw,
+}
+
+impl OpKind {
+    fn is_write(self) -> bool {
+        matches!(self, OpKind::Store | OpKind::Rmw)
+    }
+}
+
+/// A defect found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Defect {
+    /// No virtual thread is runnable, not all have finished, and at least
+    /// one waiter's wakeup condition cannot yet hold.
+    Deadlock {
+        /// The stuck virtual threads.
+        blocked: Vec<usize>,
+    },
+    /// Like a deadlock, except every stuck waiter's episode had *fully
+    /// arrived*: the release signal was produced and then lost.
+    LostWakeup {
+        /// The stuck virtual threads.
+        blocked: Vec<usize>,
+    },
+    /// `wait(token)` returned before every masked participant had arrived
+    /// for the token's episode — the fuzzy-barrier semantics were violated.
+    FuzzyViolation {
+        /// The thread whose `wait` returned early.
+        thread: usize,
+        /// The episode that had not fully arrived.
+        episode: u64,
+        /// Participants that had not yet begun the episode.
+        missing: Vec<usize>,
+    },
+    /// A scenario-level invariant failed (wrong episode observed, registry
+    /// over capacity, unexpected error from an API call, ...).
+    ProtocolError {
+        /// The reporting thread.
+        thread: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A virtual thread body panicked.
+    Panic {
+        /// The panicking thread.
+        thread: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The schedule exceeded its step budget (livelock suspicion).
+    StepLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for Defect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Defect::Deadlock { blocked } => write!(f, "deadlock: threads {blocked:?} stuck"),
+            Defect::LostWakeup { blocked } => write!(
+                f,
+                "lost wakeup: threads {blocked:?} stuck although every participant arrived"
+            ),
+            Defect::FuzzyViolation {
+                thread,
+                episode,
+                missing,
+            } => write!(
+                f,
+                "fuzzy violation: thread {thread} exited wait for episode {episode} \
+                 before participants {missing:?} arrived"
+            ),
+            Defect::ProtocolError { thread, message } => {
+                write!(f, "protocol error on thread {thread}: {message}")
+            }
+            Defect::Panic { thread, message } => {
+                write!(f, "panic on thread {thread}: {message}")
+            }
+            Defect::StepLimit { limit } => {
+                write!(f, "step limit {limit} exceeded (livelock suspicion)")
+            }
+        }
+    }
+}
+
+/// A defect plus everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong.
+    pub defect: Defect,
+    /// The grant sequence (thread ids) that provokes the defect; feed it
+    /// back via `check --replay` to re-execute the exact interleaving.
+    pub schedule: Vec<usize>,
+    /// Steps executed before the defect fired.
+    pub steps: u64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let trace: Vec<String> = self.schedule.iter().map(ToString::to_string).collect();
+        write!(
+            f,
+            "{} after {} steps\n  schedule: {}",
+            self.defect,
+            self.steps,
+            trace.join(",")
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Ready,
+    Running,
+    Blocked { at_gen: u64 },
+    Finished,
+}
+
+#[derive(Debug)]
+struct State {
+    phase: Vec<Phase>,
+    /// A grant the chosen thread has not yet consumed.
+    granted: Option<usize>,
+    /// Bumped on every shadow write; blocked threads become runnable only
+    /// once it passes the generation they observed before their last probe.
+    write_gen: u64,
+    steps: u64,
+    abort: bool,
+    violation: Option<Defect>,
+    schedule: Vec<usize>,
+}
+
+/// Scheduler state shared between the controller and its virtual threads.
+#[derive(Debug)]
+pub struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Shared {
+    /// Creates scheduler state for `threads` virtual threads.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Shared {
+            state: Mutex::new(State {
+                phase: vec![Phase::Ready; threads],
+                granted: None,
+                write_gen: 0,
+                steps: 0,
+                abort: false,
+                violation: None,
+                schedule: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Parks virtual thread `tid` until the controller grants it one step.
+    /// Under abort the thread free-runs (returns immediately) so the run
+    /// can drain.
+    pub(crate) fn yield_op(&self, tid: usize, kind: OpKind) {
+        let mut st = self.state.lock().expect("scheduler lock");
+        if st.abort {
+            if kind.is_write() {
+                st.write_gen += 1;
+            }
+            return;
+        }
+        st.phase[tid] = Phase::Ready;
+        self.cv.notify_all();
+        loop {
+            if st.abort {
+                st.phase[tid] = Phase::Running;
+                break;
+            }
+            if st.granted == Some(tid) {
+                st.granted = None;
+                st.phase[tid] = Phase::Running;
+                break;
+            }
+            st = self.cv.wait(st).expect("scheduler lock");
+        }
+        st.steps += 1;
+        if kind.is_write() {
+            st.write_gen += 1;
+        }
+    }
+
+    pub(crate) fn current_write_gen(&self) -> u64 {
+        self.state.lock().expect("scheduler lock").write_gen
+    }
+
+    /// Deschedules `tid` until some thread performs a write past `gen`.
+    ///
+    /// `gen` must have been read via [`Self::current_write_gen`] *before*
+    /// the failed predicate probe: any write that raced with the probe then
+    /// leaves `write_gen > gen` and the call returns immediately, so the
+    /// checker itself can never lose a wakeup.
+    pub(crate) fn block_until_write_after(&self, tid: usize, gen: u64) {
+        let mut st = self.state.lock().expect("scheduler lock");
+        if st.abort || st.write_gen > gen {
+            return;
+        }
+        st.phase[tid] = Phase::Blocked { at_gen: gen };
+        self.cv.notify_all();
+        loop {
+            if st.abort {
+                st.phase[tid] = Phase::Running;
+                return;
+            }
+            if st.granted == Some(tid) {
+                st.granted = None;
+                st.phase[tid] = Phase::Running;
+                st.steps += 1;
+                return;
+            }
+            st = self.cv.wait(st).expect("scheduler lock");
+        }
+    }
+
+    /// Marks `tid` finished and wakes the controller.
+    pub(crate) fn finish(&self, tid: usize) {
+        let mut st = self.state.lock().expect("scheduler lock");
+        st.phase[tid] = Phase::Finished;
+        if st.granted == Some(tid) {
+            st.granted = None;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records a defect (first reporter wins) and aborts the run.
+    pub(crate) fn report(&self, defect: Defect) {
+        let mut st = self.state.lock().expect("scheduler lock");
+        if st.violation.is_none() {
+            st.violation = Some(defect);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn aborted(&self) -> bool {
+        self.state.lock().expect("scheduler lock").abort
+    }
+}
+
+/// Result of driving one schedule to completion.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The defect, if the schedule provoked one.
+    pub violation: Option<Violation>,
+    /// The full grant sequence that was executed.
+    pub schedule: Vec<usize>,
+    /// Total steps executed.
+    pub steps: u64,
+}
+
+/// Picks the next thread to run at each scheduling decision.
+pub trait Strategy {
+    /// Chooses among `runnable` (ascending thread ids); `last` is the
+    /// previously granted thread. Returns an index into `runnable`.
+    fn choose(&mut self, runnable: &[usize], last: Option<usize>) -> usize;
+}
+
+/// Drives one schedule: repeatedly waits for quiescence, consults
+/// `strategy`, grants a step. Returns once every virtual thread finished.
+///
+/// The caller must have handed each virtual thread's body to an OS thread
+/// that yields through this `shared` (see `explore::Pool`).
+pub fn run_schedule(shared: &Shared, strategy: &mut dyn Strategy, step_limit: u64) -> RunResult {
+    let mut last: Option<usize> = None;
+    let mut st = shared.state.lock().expect("scheduler lock");
+    loop {
+        // Quiescence: nobody executing, no grant outstanding.
+        while st.granted.is_some() || st.phase.contains(&Phase::Running) {
+            st = shared.cv.wait(st).expect("scheduler lock");
+        }
+        if st.abort {
+            while !st.phase.iter().all(|p| *p == Phase::Finished) {
+                st = shared.cv.wait(st).expect("scheduler lock");
+            }
+            return take_result(&mut st);
+        }
+        if st.steps >= step_limit {
+            st.violation
+                .get_or_insert(Defect::StepLimit { limit: step_limit });
+            st.abort = true;
+            shared.cv.notify_all();
+            continue;
+        }
+        let runnable: Vec<usize> = st
+            .phase
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, p)| match *p {
+                Phase::Ready => Some(tid),
+                Phase::Blocked { at_gen } if st.write_gen > at_gen => Some(tid),
+                _ => None,
+            })
+            .collect();
+        if runnable.is_empty() {
+            if st.phase.iter().all(|p| *p == Phase::Finished) {
+                return take_result(&mut st);
+            }
+            let blocked: Vec<usize> = st
+                .phase
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !matches!(p, Phase::Finished))
+                .map(|(tid, _)| tid)
+                .collect();
+            st.violation.get_or_insert(Defect::Deadlock { blocked });
+            st.abort = true;
+            shared.cv.notify_all();
+            continue;
+        }
+        let idx = strategy.choose(&runnable, last).min(runnable.len() - 1);
+        let tid = runnable[idx];
+        st.schedule.push(tid);
+        st.granted = Some(tid);
+        last = Some(tid);
+        shared.cv.notify_all();
+    }
+}
+
+fn take_result(st: &mut State) -> RunResult {
+    let schedule = std::mem::take(&mut st.schedule);
+    let steps = st.steps;
+    let violation = st.violation.take().map(|defect| Violation {
+        defect,
+        schedule: schedule.clone(),
+        steps,
+    });
+    RunResult {
+        violation,
+        schedule,
+        steps,
+    }
+}

@@ -268,9 +268,7 @@ impl LoopNest {
     /// The display name of `var`.
     #[must_use]
     pub fn var_name(&self, var: VarId) -> &str {
-        self.var_names
-            .get(var.0)
-            .map_or("?", String::as_str)
+        self.var_names.get(var.0).map_or("?", String::as_str)
     }
 }
 

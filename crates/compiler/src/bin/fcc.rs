@@ -147,8 +147,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("regions before reordering: {}", summarize_split(&compiled.before));
-    println!("regions after  reordering: {}", summarize_split(&compiled.after));
+    println!(
+        "regions before reordering: {}",
+        summarize_split(&compiled.before)
+    );
+    println!(
+        "regions after  reordering: {}",
+        summarize_split(&compiled.after)
+    );
 
     if opts.listing {
         println!();
@@ -163,8 +169,7 @@ fn main() -> ExitCode {
         }
     }
     if opts.run {
-        let mut builder =
-            MachineBuilder::new(compiled.program).preload(parsed.data.clone());
+        let mut builder = MachineBuilder::new(compiled.program).preload(parsed.data.clone());
         if let Some(r) = opts.miss_rate {
             builder = builder.miss_rate(r);
         }
@@ -185,7 +190,9 @@ fn main() -> ExitCode {
         let stats = machine.stats();
         println!(
             "\nrun: {outcome:?} — {} cycles, {} syncs, {} stall cycles",
-            stats.cycles, stats.sync_events, stats.total_stall_cycles()
+            stats.cycles,
+            stats.sync_events,
+            stats.total_stall_cycles()
         );
         if let Some((a, b)) = opts.dump {
             println!("memory[{a}..{b}]:");

@@ -140,12 +140,7 @@ impl RegAlloc {
     /// Grabs a register, spilling the live temp with the farthest next use
     /// if none is free. `protect` lists registers that must not be evicted
     /// (operands of the current instruction).
-    fn take_reg(
-        &mut self,
-        pos: usize,
-        protect: &[Reg],
-        out: &mut Vec<Instr>,
-    ) -> Reg {
+    fn take_reg(&mut self, pos: usize, protect: &[Reg], out: &mut Vec<Instr>) -> Reg {
         if let Some(r) = self.free.pop() {
             return r;
         }
@@ -348,10 +343,7 @@ fn emit_one(
     match instr {
         TacInstr::Const { dst, value } => {
             let rd = alloc.define(*dst, pos, &protect, out);
-            out.push(Instr::Li {
-                rd,
-                imm: *value,
-            });
+            out.push(Instr::Li { rd, imm: *value });
         }
         TacInstr::Copy { dst, src } => {
             let v = resolve(*src, pos, alloc, vars, &mut protect, out)?;
@@ -403,15 +395,13 @@ fn emit_bin(
     pos: usize,
     out: &mut Vec<Instr>,
 ) -> Result<(), CodegenError> {
-    let materialize = |c: i64,
-                       protect: &mut Vec<Reg>,
-                       alloc: &mut RegAlloc,
-                       out: &mut Vec<Instr>| {
-        let r = alloc.take_reg(pos, protect, out);
-        out.push(Instr::Li { rd: r, imm: c });
-        protect.push(r);
-        r
-    };
+    let materialize =
+        |c: i64, protect: &mut Vec<Reg>, alloc: &mut RegAlloc, out: &mut Vec<Instr>| {
+            let r = alloc.take_reg(pos, protect, out);
+            out.push(Instr::Li { rd: r, imm: c });
+            protect.push(r);
+            r
+        };
     match (op, lv, rv) {
         // Constant folding.
         (BinOp::Add, Val::Imm(a), Val::Imm(b)) => out.push(Instr::Li {
@@ -434,11 +424,7 @@ fn emit_bin(
         (BinOp::Add, Val::Reg(r), Val::Imm(c)) | (BinOp::Add, Val::Imm(c), Val::Reg(r)) => {
             out.push(Instr::Addi { rd, rs: r, imm: c });
         }
-        (BinOp::Sub, Val::Reg(r), Val::Imm(c)) => out.push(Instr::Addi {
-            rd,
-            rs: r,
-            imm: -c,
-        }),
+        (BinOp::Sub, Val::Reg(r), Val::Imm(c)) => out.push(Instr::Addi { rd, rs: r, imm: -c }),
         (BinOp::Mul, Val::Reg(r), Val::Imm(c)) | (BinOp::Mul, Val::Imm(c), Val::Reg(r)) => {
             out.push(Instr::Muli { rd, rs: r, imm: c });
         }
@@ -454,21 +440,9 @@ fn emit_bin(
         }
         (BinOp::Div, _, Val::Reg(_)) => return Err(CodegenError::DivByNonConst),
         // Register-register forms.
-        (BinOp::Add, Val::Reg(a), Val::Reg(b)) => out.push(Instr::Add {
-            rd,
-            rs1: a,
-            rs2: b,
-        }),
-        (BinOp::Sub, Val::Reg(a), Val::Reg(b)) => out.push(Instr::Sub {
-            rd,
-            rs1: a,
-            rs2: b,
-        }),
-        (BinOp::Mul, Val::Reg(a), Val::Reg(b)) => out.push(Instr::Mul {
-            rd,
-            rs1: a,
-            rs2: b,
-        }),
+        (BinOp::Add, Val::Reg(a), Val::Reg(b)) => out.push(Instr::Add { rd, rs1: a, rs2: b }),
+        (BinOp::Sub, Val::Reg(a), Val::Reg(b)) => out.push(Instr::Sub { rd, rs1: a, rs2: b }),
+        (BinOp::Mul, Val::Reg(a), Val::Reg(b)) => out.push(Instr::Mul { rd, rs1: a, rs2: b }),
     }
     Ok(())
 }
@@ -546,8 +520,7 @@ mod tests {
         let info = deps::analyze(&nest);
         let body = lower_body(&nest, &info.marked_for_carried());
         let mut b = StreamBuilder::new();
-        let err = emit_regions(&mut b, &[(&body.instrs, false)], &VarMap::new(), 1000)
-            .unwrap_err();
+        let err = emit_regions(&mut b, &[(&body.instrs, false)], &VarMap::new(), 1000).unwrap_err();
         assert!(matches!(err, CodegenError::UnmappedVar { .. }));
     }
 
@@ -559,7 +532,10 @@ mod tests {
         // store results at 500/501.
         let t = Temp;
         let instrs = vec![
-            AnnotatedInstr::plain(TacInstr::Const { dst: t(1), value: 6 }),
+            AnnotatedInstr::plain(TacInstr::Const {
+                dst: t(1),
+                value: 6,
+            }),
             AnnotatedInstr::plain(TacInstr::Bin {
                 dst: t(2),
                 op: BinOp::Sub,
@@ -687,8 +663,7 @@ mod tests {
         };
 
         let mut b = StreamBuilder::new();
-        let stats = emit_regions(&mut b, &[(&body.instrs, false)], &VarMap::new(), 600)
-            .unwrap();
+        let stats = emit_regions(&mut b, &[(&body.instrs, false)], &VarMap::new(), 600).unwrap();
         assert!(stats.spill_ops > 0, "this body must force spills");
         b.plain(Instr::Halt);
         let mut m = Machine::new(

@@ -27,12 +27,13 @@ impl DepDag {
         let n = instrs.len();
         let mut succs = vec![Vec::new(); n];
         let mut preds = vec![Vec::new(); n];
-        let add_edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, preds: &mut Vec<Vec<usize>>| {
-            if !succs[from].contains(&to) {
-                succs[from].push(to);
-                preds[to].push(from);
-            }
-        };
+        let add_edge =
+            |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, preds: &mut Vec<Vec<usize>>| {
+                if !succs[from].contains(&to) {
+                    succs[from].push(to);
+                    preds[to].push(from);
+                }
+            };
 
         // Temp def sites.
         let mut def_site: HashMap<Temp, usize> = HashMap::new();
@@ -156,7 +157,10 @@ mod tests {
     /// T1 = 1; T2 = T1 + 1; store [T2] = T1; T3 = [T2]
     fn sample() -> Vec<AnnotatedInstr> {
         vec![
-            instr(TacInstr::Const { dst: t(1), value: 1 }),
+            instr(TacInstr::Const {
+                dst: t(1),
+                value: 1,
+            }),
             instr(TacInstr::Bin {
                 dst: t(2),
                 op: BinOp::Add,
@@ -186,13 +190,19 @@ mod tests {
     #[test]
     fn store_orders_with_later_load() {
         let dag = DepDag::build(&sample());
-        assert!(dag.succs[2].contains(&3), "load after store must be ordered");
+        assert!(
+            dag.succs[2].contains(&3),
+            "load after store must be ordered"
+        );
     }
 
     #[test]
     fn loads_commute() {
         let body = vec![
-            instr(TacInstr::Const { dst: t(1), value: 0 }),
+            instr(TacInstr::Const {
+                dst: t(1),
+                value: 0,
+            }),
             instr(TacInstr::Copy {
                 dst: t(2),
                 src: Src::Mem(t(1)),

@@ -158,9 +158,7 @@ impl DepInfo {
 
     /// Lexically forward dependences within an iteration.
     pub fn lex_forward(&self) -> impl Iterator<Item = &Dependence> {
-        self.deps
-            .iter()
-            .filter(|d| d.kind == DepKind::LexForward)
+        self.deps.iter().filter(|d| d.kind == DepKind::LexForward)
     }
 
     /// The *marked* accesses for a barrier enforcing the given dependences:

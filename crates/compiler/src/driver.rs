@@ -89,10 +89,9 @@ impl fmt::Display for CompileError {
             CompileError::MisplacedConditional => {
                 write!(f, "conditional statements must follow all assignments")
             }
-            CompileError::MarkedConditional => write!(
-                f,
-                "conditional branches contain cross-processor accesses"
-            ),
+            CompileError::MarkedConditional => {
+                write!(f, "conditional branches contain cross-processor accesses")
+            }
             CompileError::Codegen(e) => write!(f, "codegen: {e}"),
             CompileError::Build(e) => write!(f, "label resolution: {e}"),
         }
@@ -230,9 +229,7 @@ pub fn compile_nest_with_marks(
             imm: nest.seq_hi,
         });
         for &(v, value) in inits {
-            let rd = vars
-                .reg(v)
-                .ok_or(CodegenError::UnmappedVar { var: v })?;
+            let rd = vars.reg(v).ok_or(CodegenError::UnmappedVar { var: v })?;
             b.fuzzy(Instr::Li { rd, imm: value });
         }
         b.label("L1");

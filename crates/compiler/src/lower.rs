@@ -335,15 +335,7 @@ pub(crate) mod tests {
         let div_count = body
             .instrs
             .iter()
-            .filter(|a| {
-                matches!(
-                    a.instr,
-                    TacInstr::Bin {
-                        op: BinOp::Div,
-                        ..
-                    }
-                )
-            })
+            .filter(|a| matches!(a.instr, TacInstr::Bin { op: BinOp::Div, .. }))
             .count();
         assert_eq!(div_count, 1);
         assert!(body

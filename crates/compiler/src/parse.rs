@@ -521,9 +521,7 @@ impl Parser {
                     match self.parse_factor()? {
                         Expr::Const(c) if c != 0 => lhs = Expr::div_const(lhs, c),
                         Expr::Const(_) => return Err(self.err("division by zero")),
-                        _ => {
-                            return Err(self.err("division is only supported by constants"))
-                        }
+                        _ => return Err(self.err("division is only supported by constants")),
                     }
                 }
                 _ => return Ok(lhs),
@@ -769,7 +767,10 @@ for (k=1; k<=3; k++) do seq
         let parsed = parse_program(src).unwrap();
         assert_eq!(parsed.nest.body.len(), 2);
         assert!(matches!(parsed.nest.body[1], Stmt::If { equals: 1, .. }));
-        assert_eq!(parsed.nest.arrays[1].base, 8, "arrays laid out contiguously");
+        assert_eq!(
+            parsed.nest.arrays[1].base, 8,
+            "arrays laid out contiguously"
+        );
     }
 
     #[test]

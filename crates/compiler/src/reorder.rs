@@ -52,38 +52,37 @@ pub fn reorder(body: &TacBody) -> RegionSplit {
     // emitted or also selected.
     let mut emitted = vec![false; n];
     let mut order: Vec<usize> = Vec::with_capacity(n);
-    let emit_phase = |take: &dyn Fn(usize) -> bool,
-                          emitted: &mut Vec<bool>,
-                          order: &mut Vec<usize>| {
-        let start = order.len();
-        let mut pending: Vec<usize> = (0..n).filter(|&i| !emitted[i] && take(i)).collect();
-        // Kahn's algorithm restricted to the pending set, preserving
-        // original program order among ready nodes for stable output.
-        let mut remaining = pending.len();
-        while remaining > 0 {
-            let mut progressed = false;
-            pending.retain(|&i| {
-                if emitted[i] {
-                    return false;
-                }
-                let ready = dag.preds[i].iter().all(|&p| emitted[p]);
-                if ready {
-                    emitted[i] = true;
-                    order.push(i);
-                    progressed = true;
-                    false
-                } else {
-                    true
-                }
-            });
-            remaining = pending.len();
-            assert!(
-                progressed || remaining == 0,
-                "phase selection was not predecessor-closed"
-            );
-        }
-        order.len() - start
-    };
+    let emit_phase =
+        |take: &dyn Fn(usize) -> bool, emitted: &mut Vec<bool>, order: &mut Vec<usize>| {
+            let start = order.len();
+            let mut pending: Vec<usize> = (0..n).filter(|&i| !emitted[i] && take(i)).collect();
+            // Kahn's algorithm restricted to the pending set, preserving
+            // original program order among ready nodes for stable output.
+            let mut remaining = pending.len();
+            while remaining > 0 {
+                let mut progressed = false;
+                pending.retain(|&i| {
+                    if emitted[i] {
+                        return false;
+                    }
+                    let ready = dag.preds[i].iter().all(|&p| emitted[p]);
+                    if ready {
+                        emitted[i] = true;
+                        order.push(i);
+                        progressed = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                remaining = pending.len();
+                assert!(
+                    progressed || remaining == 0,
+                    "phase selection was not predecessor-closed"
+                );
+            }
+            order.len() - start
+        };
 
     let phase1 = emit_phase(&|i| !tainted[i], &mut emitted, &mut order);
     let phase2 = emit_phase(&|i| needed[i], &mut emitted, &mut order);

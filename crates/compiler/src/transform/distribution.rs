@@ -28,7 +28,9 @@ impl Distribution {
     /// Indices of groups that may move wholly into the barrier region.
     #[must_use]
     pub fn movable_groups(&self) -> Vec<usize> {
-        (0..self.groups.len()).filter(|&g| !self.pinned[g]).collect()
+        (0..self.groups.len())
+            .filter(|&g| !self.pinned[g])
+            .collect()
     }
 }
 
@@ -66,8 +68,7 @@ pub fn distribute(nest: &LoopNest) -> Distribution {
         }
     };
     for d in &info.deps {
-        if matches!(d.kind, DepKind::LexForward | DepKind::LexBackward)
-            && d.from.stmt != d.to.stmt
+        if matches!(d.kind, DepKind::LexForward | DepKind::LexBackward) && d.from.stmt != d.to.stmt
         {
             union(d.from.stmt, d.to.stmt, &mut parent);
         }
@@ -92,9 +93,9 @@ pub fn distribute(nest: &LoopNest) -> Distribution {
         .iter()
         .map(|members| {
             members.iter().any(|&s| {
-                info.deps.iter().any(|d| {
-                    d.cross_processor && (d.from.stmt == s || d.to.stmt == s)
-                })
+                info.deps
+                    .iter()
+                    .any(|d| d.cross_processor && (d.from.stmt == s || d.to.stmt == s))
             })
         })
         .collect();
@@ -129,10 +130,7 @@ mod tests {
             private_vars: vec![j],
             body: vec![
                 Stmt::Assign(Assign {
-                    target: ArrayAccess::new(
-                        a,
-                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
-                    ),
+                    target: ArrayAccess::new(a, vec![Subscript::var(j, 0), Subscript::var(i, 0)]),
                     value: Expr::add(
                         Expr::Access(ArrayAccess::new(
                             a,
@@ -142,10 +140,7 @@ mod tests {
                     ),
                 }),
                 Stmt::Assign(Assign {
-                    target: ArrayAccess::new(
-                        b,
-                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
-                    ),
+                    target: ArrayAccess::new(b, vec![Subscript::var(j, 0), Subscript::var(i, 0)]),
                     value: Expr::add(
                         Expr::Access(ArrayAccess::new(
                             b,
@@ -193,17 +188,11 @@ mod tests {
             private_vars: vec![j],
             body: vec![
                 Stmt::Assign(Assign {
-                    target: ArrayAccess::new(
-                        a,
-                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
-                    ),
+                    target: ArrayAccess::new(a, vec![Subscript::var(j, 0), Subscript::var(i, 0)]),
                     value: Expr::Const(1),
                 }),
                 Stmt::Assign(Assign {
-                    target: ArrayAccess::new(
-                        b,
-                        vec![Subscript::var(j, 0), Subscript::var(i, 0)],
-                    ),
+                    target: ArrayAccess::new(b, vec![Subscript::var(j, 0), Subscript::var(i, 0)]),
                     value: Expr::Access(ArrayAccess::new(
                         a,
                         vec![Subscript::var(j, 0), Subscript::var(i, 0)],

@@ -97,10 +97,7 @@ mod tests {
 
     #[test]
     fn selection_matches_fig12() {
-        assert_eq!(
-            LoopVersion::select(true, false),
-            LoopVersion::BarrierBefore
-        );
+        assert_eq!(LoopVersion::select(true, false), LoopVersion::BarrierBefore);
         assert_eq!(LoopVersion::select(false, true), LoopVersion::BarrierAfter);
         assert_eq!(LoopVersion::select(false, false), LoopVersion::NoBarrier);
         assert_eq!(LoopVersion::select(true, true), LoopVersion::BarrierBoth);

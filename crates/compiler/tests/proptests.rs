@@ -276,7 +276,10 @@ fn compiled_expressions_match_interpreter() {
         let mut vars = VarMap::new();
         vars.assign(i_var, 1);
         let mut b = StreamBuilder::new();
-        b.plain(fuzzy_sim::isa::Instr::Li { rd: 1, imm: i_value });
+        b.plain(fuzzy_sim::isa::Instr::Li {
+            rd: 1,
+            imm: i_value,
+        });
         emit_regions(&mut b, &[(&body.instrs, false)], &vars, 1000).unwrap();
         b.plain(fuzzy_sim::isa::Instr::Halt);
         let mut m = Machine::new(

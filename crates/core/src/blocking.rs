@@ -110,7 +110,10 @@ mod tests {
             let early = Arc::clone(&b);
             s.spawn(move || {
                 let o = early.wait(0);
-                assert!(o.stalled, "the early participant must stall at a point barrier");
+                assert!(
+                    o.stalled,
+                    "the early participant must stall at a point barrier"
+                );
             });
             let late = Arc::clone(&b);
             s.spawn(move || {

@@ -1,11 +1,12 @@
 //! Centralized (single-counter) split-phase barrier.
 
-use crate::spin::{self, StallPolicy};
+use crate::spin::StallPolicy;
 use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
+use crate::sync::{Atomic, RealSync, SyncOps};
 use crate::token::{ArrivalToken, WaitOutcome};
 use crate::SplitBarrier;
 use fuzzy_util::CachePadded;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 
 /// A centralized split-phase barrier: one shared count-down word plus a
 /// 64-bit episode number that plays the role of the classic sense flag.
@@ -34,18 +35,18 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// assert!(!outcome.stalled);
 /// ```
 #[derive(Debug)]
-pub struct CentralBarrier {
+pub struct CentralBarrier<S: SyncOps = RealSync> {
     n: usize,
     policy: StallPolicy,
     /// Participants still in the barrier (decreased by [`Self::leave`]).
-    expected: CachePadded<AtomicUsize>,
+    expected: CachePadded<S::AtomicUsize>,
     /// Remaining arrivals in the current episode (counts down from
     /// `expected`).
-    count: CachePadded<AtomicUsize>,
+    count: CachePadded<S::AtomicUsize>,
     /// Number of completed episodes; the release word waiters spin on.
-    episode: CachePadded<AtomicU64>,
+    episode: CachePadded<S::AtomicU64>,
     /// Per-participant count of arrivals performed, used to stamp tokens.
-    local_episode: Vec<CachePadded<AtomicU64>>,
+    local_episode: Vec<CachePadded<S::AtomicU64>>,
     stats: BarrierStats,
 }
 
@@ -67,15 +68,29 @@ impl CentralBarrier {
     /// Panics if `n == 0`.
     #[must_use]
     pub fn with_policy(n: usize, policy: StallPolicy) -> Self {
+        Self::with_policy_in(n, policy)
+    }
+}
+
+impl<S: SyncOps> CentralBarrier<S> {
+    /// Creates a barrier in an explicit [`SyncOps`] domain — `RealSync` in
+    /// production, instrumented shadow state under the `fuzzy-check` model
+    /// checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_policy_in(n: usize, policy: StallPolicy) -> Self {
         assert!(n > 0, "a barrier needs at least one participant");
         CentralBarrier {
             n,
             policy,
-            expected: CachePadded::new(AtomicUsize::new(n)),
-            count: CachePadded::new(AtomicUsize::new(n)),
-            episode: CachePadded::new(AtomicU64::new(0)),
+            expected: CachePadded::new(S::AtomicUsize::new(n)),
+            count: CachePadded::new(S::AtomicUsize::new(n)),
+            episode: CachePadded::new(S::AtomicU64::new(0)),
             local_episode: (0..n)
-                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .map(|_| CachePadded::new(S::AtomicU64::new(0)))
                 .collect(),
             stats: BarrierStats::with_participants(n),
         }
@@ -133,7 +148,7 @@ impl CentralBarrier {
     }
 }
 
-impl SplitBarrier for CentralBarrier {
+impl<S: SyncOps> SplitBarrier for CentralBarrier<S> {
     fn arrive(&self, id: usize) -> ArrivalToken {
         self.check_id(id);
         let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
@@ -157,7 +172,7 @@ impl SplitBarrier for CentralBarrier {
     }
 
     fn wait(&self, token: ArrivalToken) -> WaitOutcome {
-        let report = spin::wait_until(self.policy, || {
+        let report = S::wait_until(self.policy, || {
             self.episode.load(Ordering::Acquire) > token.episode
         });
         let outcome = WaitOutcome::from_report(token.episode, report);
@@ -338,6 +353,9 @@ mod tests {
                 assert!(!o.stalled);
             });
         });
-        assert!(b.stats().stalls >= 1, "the early thread should have stalled");
+        assert!(
+            b.stats().stalls >= 1,
+            "the early thread should have stalled"
+        );
     }
 }

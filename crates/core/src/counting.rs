@@ -1,11 +1,12 @@
 //! Flat counting split-phase barrier (the maximal hot-spot baseline).
 
-use crate::spin::{self, StallPolicy};
+use crate::spin::StallPolicy;
 use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
+use crate::sync::{Atomic, RealSync, SyncOps};
 use crate::token::{ArrivalToken, WaitOutcome};
 use crate::SplitBarrier;
 use fuzzy_util::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
 /// A split-phase barrier built on a single monotone arrival counter.
 ///
@@ -25,11 +26,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// assert!(b.wait(t).episode == 0);
 /// ```
 #[derive(Debug)]
-pub struct CountingBarrier {
+pub struct CountingBarrier<S: SyncOps = RealSync> {
     n: usize,
     policy: StallPolicy,
-    arrivals: CachePadded<AtomicU64>,
-    local_episode: Vec<CachePadded<AtomicU64>>,
+    arrivals: CachePadded<S::AtomicU64>,
+    local_episode: Vec<CachePadded<S::AtomicU64>>,
     stats: BarrierStats,
 }
 
@@ -51,13 +52,27 @@ impl CountingBarrier {
     /// Panics if `n == 0`.
     #[must_use]
     pub fn with_policy(n: usize, policy: StallPolicy) -> Self {
+        Self::with_policy_in(n, policy)
+    }
+}
+
+impl<S: SyncOps> CountingBarrier<S> {
+    /// Creates a barrier in an explicit [`SyncOps`] domain — `RealSync` in
+    /// production, instrumented shadow state under the `fuzzy-check` model
+    /// checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_policy_in(n: usize, policy: StallPolicy) -> Self {
         assert!(n > 0, "a barrier needs at least one participant");
         CountingBarrier {
             n,
             policy,
-            arrivals: CachePadded::new(AtomicU64::new(0)),
+            arrivals: CachePadded::new(S::AtomicU64::new(0)),
             local_episode: (0..n)
-                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .map(|_| CachePadded::new(S::AtomicU64::new(0)))
                 .collect(),
             stats: BarrierStats::with_participants(n),
         }
@@ -68,7 +83,7 @@ impl CountingBarrier {
     }
 }
 
-impl SplitBarrier for CountingBarrier {
+impl<S: SyncOps> SplitBarrier for CountingBarrier<S> {
     fn arrive(&self, id: usize) -> ArrivalToken {
         assert!(
             id < self.n,
@@ -90,7 +105,7 @@ impl SplitBarrier for CountingBarrier {
 
     fn wait(&self, token: ArrivalToken) -> WaitOutcome {
         let threshold = self.threshold(token.episode);
-        let report = spin::wait_until(self.policy, || {
+        let report = S::wait_until(self.policy, || {
             self.arrivals.load(Ordering::Acquire) >= threshold
         });
         let outcome = WaitOutcome::from_report(token.episode, report);

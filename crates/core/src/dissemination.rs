@@ -1,11 +1,12 @@
 //! Dissemination split-phase barrier — O(log n) rounds, no hot spot.
 
-use crate::spin::{self, StallPolicy};
+use crate::spin::StallPolicy;
 use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
+use crate::sync::{Atomic, RealSync, SyncOps};
 use crate::token::{ArrivalToken, WaitOutcome};
 use crate::SplitBarrier;
 use fuzzy_util::CachePadded;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
 /// A dissemination barrier with a split-phase interface.
 ///
@@ -32,17 +33,17 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 /// assert!(!b.wait(t).stalled);
 /// ```
 #[derive(Debug)]
-pub struct DisseminationBarrier {
+pub struct DisseminationBarrier<S: SyncOps = RealSync> {
     n: usize,
     rounds: u32,
     policy: StallPolicy,
     /// `flags[r][i]`: highest episode for which the round-`r` signal aimed
     /// at participant `i` has been sent. Single writer per slot.
-    flags: Vec<Vec<CachePadded<AtomicU64>>>,
+    flags: Vec<Vec<CachePadded<S::AtomicU64>>>,
     /// Per-participant progress through the current episode's rounds.
-    progress: Vec<CachePadded<Progress>>,
+    progress: Vec<CachePadded<Progress<S>>>,
     /// Highest episode any participant has fully completed (for stats).
-    completed: CachePadded<AtomicU64>,
+    completed: CachePadded<S::AtomicU64>,
     stats: BarrierStats,
 }
 
@@ -64,10 +65,19 @@ pub struct DisseminationBarrier {
 /// ([`DisseminationBarrier::signal`]) pair with the `Acquire` loads in
 /// `try_progress` to order each signaller's pre-barrier writes before the
 /// observer's post-barrier reads, transitively across all ⌈log₂ n⌉ rounds.
-#[derive(Debug, Default)]
-struct Progress {
-    episode: AtomicU64,
-    round: AtomicU32,
+#[derive(Debug)]
+struct Progress<S: SyncOps> {
+    episode: S::AtomicU64,
+    round: S::AtomicU32,
+}
+
+impl<S: SyncOps> Progress<S> {
+    fn new() -> Self {
+        Progress {
+            episode: S::AtomicU64::new(0),
+            round: S::AtomicU32::new(0),
+        }
+    }
 }
 
 impl DisseminationBarrier {
@@ -88,12 +98,26 @@ impl DisseminationBarrier {
     /// Panics if `n == 0`.
     #[must_use]
     pub fn with_policy(n: usize, policy: StallPolicy) -> Self {
+        Self::with_policy_in(n, policy)
+    }
+}
+
+impl<S: SyncOps> DisseminationBarrier<S> {
+    /// Creates a barrier in an explicit [`SyncOps`] domain — `RealSync` in
+    /// production, instrumented shadow state under the `fuzzy-check` model
+    /// checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_policy_in(n: usize, policy: StallPolicy) -> Self {
         assert!(n > 0, "a barrier needs at least one participant");
         let rounds = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n); 0 for n == 1
         let flags = (0..rounds)
             .map(|_| {
                 (0..n)
-                    .map(|_| CachePadded::new(AtomicU64::new(0)))
+                    .map(|_| CachePadded::new(S::AtomicU64::new(0)))
                     .collect()
             })
             .collect();
@@ -102,8 +126,8 @@ impl DisseminationBarrier {
             rounds,
             policy,
             flags,
-            progress: (0..n).map(|_| CachePadded::new(Progress::default())).collect(),
-            completed: CachePadded::new(AtomicU64::new(0)),
+            progress: (0..n).map(|_| CachePadded::new(Progress::new())).collect(),
+            completed: CachePadded::new(S::AtomicU64::new(0)),
             stats: BarrierStats::with_participants(n),
         }
     }
@@ -154,7 +178,7 @@ impl DisseminationBarrier {
     }
 }
 
-impl SplitBarrier for DisseminationBarrier {
+impl<S: SyncOps> SplitBarrier for DisseminationBarrier<S> {
     fn arrive(&self, id: usize) -> ArrivalToken {
         assert!(
             id < self.n,
@@ -180,8 +204,7 @@ impl SplitBarrier for DisseminationBarrier {
     }
 
     fn wait(&self, token: ArrivalToken) -> WaitOutcome {
-        let report =
-            spin::wait_until(self.policy, || self.try_progress(token.id, token.episode));
+        let report = S::wait_until(self.policy, || self.try_progress(token.id, token.episode));
         let outcome = WaitOutcome::from_report(token.episode, report);
         self.stats.record_wait(token.id, &outcome);
         outcome

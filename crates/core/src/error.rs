@@ -73,10 +73,16 @@ impl fmt::Display for BarrierError {
                 write!(f, "participant {id} is not in the barrier mask")
             }
             BarrierError::InvalidParticipant { id, capacity } => {
-                write!(f, "participant id {id} out of range for {capacity} participants")
+                write!(
+                    f,
+                    "participant id {id} out of range for {capacity} participants"
+                )
             }
             BarrierError::RegistryFull { capacity } => {
-                write!(f, "registry full: at most {capacity} barriers may be allocated")
+                write!(
+                    f,
+                    "registry full: at most {capacity} barriers may be allocated"
+                )
             }
             BarrierError::DuplicateTag { tag } => {
                 write!(f, "a barrier with tag {tag} already exists")
@@ -105,8 +111,7 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn Error + Send + Sync> =
-            Box::new(BarrierError::RegistryFull { capacity: 7 });
+        let e: Box<dyn Error + Send + Sync> = Box::new(BarrierError::RegistryFull { capacity: 7 });
         assert!(e.to_string().contains("registry full"));
     }
 

@@ -6,9 +6,9 @@ use crate::error::BarrierError;
 use crate::mask::ProcMask;
 use crate::spin::StallPolicy;
 use crate::stats::{StatsSnapshot, TelemetrySnapshot};
+use crate::sync::SyncOps;
 use crate::tag::Tag;
 use crate::token::{ArrivalToken, WaitOutcome};
-
 
 /// A split-phase barrier over a subset of global participants, identified
 /// by a [`Tag`].
@@ -63,13 +63,30 @@ impl SubsetBarrier<CentralBarrier> {
         mask: ProcMask,
         policy: StallPolicy,
     ) -> Result<Self, BarrierError> {
+        Self::with_policy_in(tag, mask, policy)
+    }
+}
+
+impl<S: SyncOps> SubsetBarrier<CentralBarrier<S>> {
+    /// Creates a centralized-backend barrier in an explicit [`SyncOps`]
+    /// domain — `RealSync` in production, instrumented shadow state under
+    /// the `fuzzy-check` model checker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BarrierError::EmptyGroup`] if the mask is empty.
+    pub fn with_policy_in(
+        tag: Tag,
+        mask: ProcMask,
+        policy: StallPolicy,
+    ) -> Result<Self, BarrierError> {
         if mask.is_empty() {
             return Err(BarrierError::EmptyGroup);
         }
         Ok(SubsetBarrier {
             tag,
             mask,
-            inner: CentralBarrier::with_policy(mask.len(), policy),
+            inner: CentralBarrier::with_policy_in(mask.len(), policy),
         })
     }
 }
@@ -234,9 +251,7 @@ mod tests {
         // Two disjoint groups with different tags: group A synchronizes
         // many times while group B never arrives. If the groups shared
         // state, A would deadlock.
-        let a = Arc::new(
-            SubsetBarrier::new(tag(1), [0, 1].into_iter().collect()).unwrap(),
-        );
+        let a = Arc::new(SubsetBarrier::new(tag(1), [0, 1].into_iter().collect()).unwrap());
         let _b = SubsetBarrier::new(tag(2), [2, 3].into_iter().collect()).unwrap();
         std::thread::scope(|s| {
             for id in 0..2usize {
@@ -277,8 +292,7 @@ mod tests {
     fn mismatched_backend_size_rejected() {
         use crate::counting::CountingBarrier;
         let mask: ProcMask = [0, 1].into_iter().collect();
-        let err =
-            SubsetBarrier::from_backend(tag(1), mask, CountingBarrier::new(5)).unwrap_err();
+        let err = SubsetBarrier::from_backend(tag(1), mask, CountingBarrier::new(5)).unwrap_err();
         assert!(matches!(err, BarrierError::InvalidParticipant { .. }));
     }
 

@@ -82,6 +82,7 @@ pub mod phased;
 pub mod registry;
 pub mod spin;
 pub mod stats;
+pub mod sync;
 pub mod tag;
 pub mod token;
 pub mod tree;
@@ -100,6 +101,7 @@ pub use stats::{
     HistogramSnapshot, ParticipantSnapshot, SpreadSnapshot, StallHistogram, StatsSnapshot,
     TelemetrySnapshot,
 };
+pub use sync::{Atomic, RealSync, SyncOps};
 pub use tag::Tag;
 pub use token::{ArrivalToken, WaitOutcome};
 pub use tree::TreeBarrier;

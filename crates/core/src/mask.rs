@@ -67,7 +67,10 @@ impl ProcMask {
     ///
     /// Panics if `id >= 64`.
     pub fn insert(&mut self, id: usize) -> bool {
-        assert!(id < Self::CAPACITY, "participant id {id} exceeds mask capacity");
+        assert!(
+            id < Self::CAPACITY,
+            "participant id {id} exceeds mask capacity"
+        );
         let bit = 1u64 << id;
         let fresh = self.0 & bit == 0;
         self.0 |= bit;

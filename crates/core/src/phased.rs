@@ -77,12 +77,7 @@ impl PhaseCtx {
 /// });
 /// assert_eq!(stats.episodes, 10);
 /// ```
-pub fn run_phases<F>(
-    threads: usize,
-    phases: u64,
-    policy: StallPolicy,
-    body: F,
-) -> StatsSnapshot
+pub fn run_phases<F>(threads: usize, phases: u64, policy: StallPolicy, body: F) -> StatsSnapshot
 where
     F: Fn(&mut PhaseCtx) + Sync,
 {
@@ -146,10 +141,7 @@ mod tests {
         });
         let mut seen = seen.into_inner().unwrap();
         seen.sort_unstable();
-        assert_eq!(
-            seen,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(seen, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //! [`GroupRegistry`] enforces exactly that budget and hands out
 //! tag-identified [`SubsetBarrier`]s.
 
+use crate::centralized::CentralBarrier;
 use crate::error::BarrierError;
 use crate::group::SubsetBarrier;
 use crate::mask::ProcMask;
 use crate::spin::StallPolicy;
 use crate::stats::TelemetrySnapshot;
+use crate::sync::{RealSync, SyncOps};
 use crate::tag::Tag;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -39,15 +41,19 @@ use std::sync::{Arc, Mutex};
 /// # Ok::<(), fuzzy_barrier::BarrierError>(())
 /// ```
 #[derive(Debug)]
-pub struct GroupRegistry {
+pub struct GroupRegistry<S: SyncOps = RealSync> {
     max_streams: usize,
     policy: StallPolicy,
-    inner: Mutex<Inner>,
+    inner: Mutex<Inner<S>>,
 }
 
+/// A registry-managed barrier: a tagged subset view over the centralized
+/// backend, shared between the registry and its users.
+pub type RegistryBarrier<S> = Arc<SubsetBarrier<CentralBarrier<S>>>;
+
 #[derive(Debug)]
-struct Inner {
-    barriers: HashMap<Tag, Arc<SubsetBarrier>>,
+struct Inner<S: SyncOps> {
+    barriers: HashMap<Tag, RegistryBarrier<S>>,
     next_tag: Tag,
 }
 
@@ -71,6 +77,20 @@ impl GroupRegistry {
     /// Panics if `max_streams < 2`.
     #[must_use]
     pub fn with_policy(max_streams: usize, policy: StallPolicy) -> Self {
+        Self::with_policy_in(max_streams, policy)
+    }
+}
+
+impl<S: SyncOps> GroupRegistry<S> {
+    /// Creates a registry in an explicit [`SyncOps`] domain — `RealSync`
+    /// in production, instrumented shadow state under the `fuzzy-check`
+    /// model checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_streams < 2`.
+    #[must_use]
+    pub fn with_policy_in(max_streams: usize, policy: StallPolicy) -> Self {
         assert!(
             max_streams >= 2,
             "a registry needs at least two streams to ever synchronize"
@@ -105,7 +125,7 @@ impl GroupRegistry {
     /// * [`BarrierError::RegistryFull`] if `max_streams − 1` barriers are
     ///   already live.
     /// * [`BarrierError::EmptyGroup`] if `mask` is empty.
-    pub fn allocate(&self, mask: ProcMask) -> Result<(Tag, Arc<SubsetBarrier>), BarrierError> {
+    pub fn allocate(&self, mask: ProcMask) -> Result<(Tag, RegistryBarrier<S>), BarrierError> {
         let mut inner = self.inner.lock().expect("registry lock");
         if inner.barriers.len() >= self.capacity() {
             return Err(BarrierError::RegistryFull {
@@ -119,7 +139,7 @@ impl GroupRegistry {
         while inner.barriers.contains_key(&tag) {
             tag = tag.next();
         }
-        let barrier = Arc::new(SubsetBarrier::with_policy(tag, mask, self.policy)?);
+        let barrier = Arc::new(SubsetBarrier::with_policy_in(tag, mask, self.policy)?);
         inner.barriers.insert(tag, Arc::clone(&barrier));
         inner.next_tag = tag.next();
         Ok((tag, barrier))
@@ -135,7 +155,7 @@ impl GroupRegistry {
         &self,
         tag: Tag,
         mask: ProcMask,
-    ) -> Result<Arc<SubsetBarrier>, BarrierError> {
+    ) -> Result<RegistryBarrier<S>, BarrierError> {
         let mut inner = self.inner.lock().expect("registry lock");
         if inner.barriers.len() >= self.capacity() {
             return Err(BarrierError::RegistryFull {
@@ -145,7 +165,7 @@ impl GroupRegistry {
         if inner.barriers.contains_key(&tag) {
             return Err(BarrierError::DuplicateTag { tag });
         }
-        let barrier = Arc::new(SubsetBarrier::with_policy(tag, mask, self.policy)?);
+        let barrier = Arc::new(SubsetBarrier::with_policy_in(tag, mask, self.policy)?);
         inner.barriers.insert(tag, Arc::clone(&barrier));
         Ok(barrier)
     }
@@ -155,7 +175,7 @@ impl GroupRegistry {
     /// # Errors
     ///
     /// Returns [`BarrierError::UnknownTag`] if no such barrier is live.
-    pub fn lookup(&self, tag: Tag) -> Result<Arc<SubsetBarrier>, BarrierError> {
+    pub fn lookup(&self, tag: Tag) -> Result<RegistryBarrier<S>, BarrierError> {
         self.inner
             .lock()
             .expect("registry lock")
@@ -286,6 +306,9 @@ mod tests {
         let r = GroupRegistry::new(4);
         let tag = Tag::new(5).unwrap();
         assert_eq!(r.lookup(tag).unwrap_err(), BarrierError::UnknownTag { tag });
-        assert_eq!(r.release(tag).unwrap_err(), BarrierError::UnknownTag { tag });
+        assert_eq!(
+            r.release(tag).unwrap_err(),
+            BarrierError::UnknownTag { tag }
+        );
     }
 }

@@ -38,7 +38,9 @@ impl StallPolicy {
     /// A spin-then-yield policy with a reasonable default spin budget.
     #[must_use]
     pub fn yielding() -> Self {
-        StallPolicy::SpinYield { spin_limit: 1 << 10 }
+        StallPolicy::SpinYield {
+            spin_limit: 1 << 10,
+        }
     }
 
     /// A spin-then-park policy with a reasonable default spin budget and a
@@ -54,7 +56,9 @@ impl StallPolicy {
 
 impl Default for StallPolicy {
     fn default() -> Self {
-        StallPolicy::SpinYield { spin_limit: 1 << 10 }
+        StallPolicy::SpinYield {
+            spin_limit: 1 << 10,
+        }
     }
 }
 

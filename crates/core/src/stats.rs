@@ -583,7 +583,10 @@ mod tests {
         assert_eq!(t.spread, SpreadSnapshot::default());
         assert_eq!(t.spread.mean(), Duration::ZERO);
         assert_eq!(t.per_participant.len(), 3);
-        assert!(t.per_participant.iter().all(|p| *p == ParticipantSnapshot::default()));
+        assert!(t
+            .per_participant
+            .iter()
+            .all(|p| *p == ParticipantSnapshot::default()));
     }
 
     #[test]

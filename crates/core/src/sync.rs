@@ -1,0 +1,141 @@
+//! The synchronization-primitive abstraction the barrier backends are
+//! written against.
+//!
+//! Every spin point and every shared atomic word in the four core backends
+//! goes through [`SyncOps`]. In production code the only implementation that
+//! exists is [`RealSync`], whose associated types are the `std::sync::atomic`
+//! types themselves and whose [`SyncOps::wait_until`] is
+//! [`crate::spin::wait_until`] — the abstraction monomorphizes away entirely
+//! and the release hot path is byte-for-byte what it was before the
+//! abstraction existed.
+//!
+//! The point of the indirection is *checkability*: the `fuzzy-check` crate
+//! provides a second implementation whose atomics report every access to a
+//! deterministic scheduler, letting a model checker drive the real backend
+//! code through systematically chosen interleavings (deadlock, lost-wakeup
+//! and fuzzy-semantics detection — see the repository's Verification docs).
+
+use crate::spin::{self, SpinReport, StallPolicy};
+use std::fmt::Debug;
+use std::sync::atomic::{self, Ordering};
+
+/// An atomic cell holding a value of type `T`.
+///
+/// The method set is exactly the subset of the `std::sync::atomic` API the
+/// barrier backends use; orderings are passed through untouched so the
+/// production instantiation keeps the backends' audited ordering story.
+pub trait Atomic<T: Copy>: Send + Sync + Debug {
+    /// Creates a cell holding `value`.
+    fn new(value: T) -> Self;
+    /// Atomically loads the value.
+    fn load(&self, order: Ordering) -> T;
+    /// Atomically stores `value`.
+    fn store(&self, value: T, order: Ordering);
+    /// Atomically adds `value`, returning the previous value.
+    fn fetch_add(&self, value: T, order: Ordering) -> T;
+    /// Atomically subtracts `value`, returning the previous value.
+    fn fetch_sub(&self, value: T, order: Ordering) -> T;
+    /// Atomically stores the maximum of the current and `value`, returning
+    /// the previous value.
+    fn fetch_max(&self, value: T, order: Ordering) -> T;
+}
+
+/// A family of synchronization primitives: atomic words plus the blocking
+/// wait primitive.
+///
+/// Backends are generic over an implementation of this trait (defaulting to
+/// [`RealSync`]), which is what lets the `fuzzy-check` model checker
+/// substitute instrumented shadow state without touching backend logic.
+pub trait SyncOps: Send + Sync + Debug + 'static {
+    /// The `u32`-valued atomic word.
+    type AtomicU32: Atomic<u32>;
+    /// The `u64`-valued atomic word.
+    type AtomicU64: Atomic<u64>;
+    /// The `usize`-valued atomic word.
+    type AtomicUsize: Atomic<usize>;
+
+    /// Waits until `pred` returns true, following `policy`.
+    ///
+    /// This is the backends' single blocking primitive; instrumented
+    /// implementations may ignore `policy` and instead deschedule the
+    /// virtual thread until shared state changes.
+    fn wait_until(policy: StallPolicy, pred: impl FnMut() -> bool) -> SpinReport;
+}
+
+macro_rules! impl_real_atomic {
+    ($ty:ty, $atomic:ty) => {
+        impl Atomic<$ty> for $atomic {
+            #[inline(always)]
+            fn new(value: $ty) -> Self {
+                <$atomic>::new(value)
+            }
+            #[inline(always)]
+            fn load(&self, order: Ordering) -> $ty {
+                <$atomic>::load(self, order)
+            }
+            #[inline(always)]
+            fn store(&self, value: $ty, order: Ordering) {
+                <$atomic>::store(self, value, order);
+            }
+            #[inline(always)]
+            fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                <$atomic>::fetch_add(self, value, order)
+            }
+            #[inline(always)]
+            fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                <$atomic>::fetch_sub(self, value, order)
+            }
+            #[inline(always)]
+            fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                <$atomic>::fetch_max(self, value, order)
+            }
+        }
+    };
+}
+
+impl_real_atomic!(u32, atomic::AtomicU32);
+impl_real_atomic!(u64, atomic::AtomicU64);
+impl_real_atomic!(usize, atomic::AtomicUsize);
+
+/// The production [`SyncOps`]: real `std::sync::atomic` words and the
+/// [`crate::spin`] stall machinery. Zero-cost — everything inlines to the
+/// pre-abstraction code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RealSync;
+
+impl SyncOps for RealSync {
+    type AtomicU32 = atomic::AtomicU32;
+    type AtomicU64 = atomic::AtomicU64;
+    type AtomicUsize = atomic::AtomicUsize;
+
+    #[inline(always)]
+    fn wait_until(policy: StallPolicy, pred: impl FnMut() -> bool) -> SpinReport {
+        spin::wait_until(policy, pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<A: Atomic<u64>>() {
+        let a = A::new(3);
+        assert_eq!(a.load(Ordering::Acquire), 3);
+        a.store(5, Ordering::Release);
+        assert_eq!(a.fetch_add(2, Ordering::AcqRel), 5);
+        assert_eq!(a.fetch_sub(1, Ordering::AcqRel), 7);
+        assert_eq!(a.fetch_max(100, Ordering::AcqRel), 6);
+        assert_eq!(a.load(Ordering::Acquire), 100);
+    }
+
+    #[test]
+    fn real_atomics_behave_like_std() {
+        roundtrip::<<RealSync as SyncOps>::AtomicU64>();
+    }
+
+    #[test]
+    fn real_wait_until_delegates_to_spin() {
+        let r = RealSync::wait_until(StallPolicy::Spin, || true);
+        assert!(r.was_instant());
+    }
+}

@@ -21,7 +21,13 @@ pub struct ArrivalToken {
 }
 
 impl ArrivalToken {
-    pub(crate) fn new(id: usize, episode: u64) -> Self {
+    /// Creates a token for participant `id` arriving at `episode`.
+    ///
+    /// Public so that external [`crate::SplitBarrier`] implementations
+    /// (alternative backends, the `fuzzy-check` model checker's mutants)
+    /// can mint tokens; protocol users only ever *receive* tokens from
+    /// [`crate::SplitBarrier::arrive`].
+    pub fn new(id: usize, episode: u64) -> Self {
         ArrivalToken { id, episode }
     }
 

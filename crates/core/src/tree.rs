@@ -1,11 +1,12 @@
 //! Combining-tree split-phase barrier with configurable fan-in.
 
-use crate::spin::{self, StallPolicy};
+use crate::spin::StallPolicy;
 use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
+use crate::sync::{Atomic, RealSync, SyncOps};
 use crate::token::{ArrivalToken, WaitOutcome};
 use crate::SplitBarrier;
 use fuzzy_util::CachePadded;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 
 /// A combining-tree barrier: arrivals are counted in a tree of nodes with
 /// fan-in `k`, so at most `k` participants ever contend on the same word.
@@ -27,21 +28,21 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// assert!(!b.wait(t).stalled);
 /// ```
 #[derive(Debug)]
-pub struct TreeBarrier {
+pub struct TreeBarrier<S: SyncOps = RealSync> {
     n: usize,
     fan_in: usize,
     policy: StallPolicy,
-    nodes: Vec<CachePadded<Node>>,
+    nodes: Vec<CachePadded<Node<S>>>,
     /// Leaf node index for each participant.
     leaf_of: Vec<usize>,
-    episode: CachePadded<AtomicU64>,
-    local_episode: Vec<CachePadded<AtomicU64>>,
+    episode: CachePadded<S::AtomicU64>,
+    local_episode: Vec<CachePadded<S::AtomicU64>>,
     stats: BarrierStats,
 }
 
 #[derive(Debug)]
-struct Node {
-    count: AtomicUsize,
+struct Node<S: SyncOps> {
+    count: S::AtomicUsize,
     expected: usize,
     parent: Option<usize>,
 }
@@ -64,12 +65,26 @@ impl TreeBarrier {
     /// Panics if `n == 0` or `fan_in < 2`.
     #[must_use]
     pub fn with_fan_in(n: usize, fan_in: usize, policy: StallPolicy) -> Self {
+        Self::with_fan_in_in(n, fan_in, policy)
+    }
+}
+
+impl<S: SyncOps> TreeBarrier<S> {
+    /// Creates a tree barrier in an explicit [`SyncOps`] domain —
+    /// `RealSync` in production, instrumented shadow state under the
+    /// `fuzzy-check` model checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `fan_in < 2`.
+    #[must_use]
+    pub fn with_fan_in_in(n: usize, fan_in: usize, policy: StallPolicy) -> Self {
         assert!(n > 0, "a barrier needs at least one participant");
         assert!(fan_in >= 2, "fan-in must be at least 2");
 
         // Build levels bottom-up. Level 0 nodes absorb the participants;
         // each higher level absorbs the level below, until one root remains.
-        let mut nodes: Vec<CachePadded<Node>> = Vec::new();
+        let mut nodes: Vec<CachePadded<Node<S>>> = Vec::new();
         let mut leaf_of = vec![0usize; n];
 
         // level 0
@@ -77,7 +92,7 @@ impl TreeBarrier {
         for g in 0..level0 {
             let members = members_of_group(n, fan_in, g);
             nodes.push(CachePadded::new(Node {
-                count: AtomicUsize::new(members),
+                count: S::AtomicUsize::new(members),
                 expected: members,
                 parent: None,
             }));
@@ -95,7 +110,7 @@ impl TreeBarrier {
             for g in 0..next_len {
                 let members = members_of_group(level_len, fan_in, g);
                 nodes.push(CachePadded::new(Node {
-                    count: AtomicUsize::new(members),
+                    count: S::AtomicUsize::new(members),
                     expected: members,
                     parent: None,
                 }));
@@ -114,9 +129,9 @@ impl TreeBarrier {
             policy,
             nodes,
             leaf_of,
-            episode: CachePadded::new(AtomicU64::new(0)),
+            episode: CachePadded::new(S::AtomicU64::new(0)),
             local_episode: (0..n)
-                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .map(|_| CachePadded::new(S::AtomicU64::new(0)))
                 .collect(),
             stats: BarrierStats::with_participants(n),
         }
@@ -156,7 +171,7 @@ fn members_of_group(total: usize, fan_in: usize, group: usize) -> usize {
     fan_in.min(total - start)
 }
 
-impl SplitBarrier for TreeBarrier {
+impl<S: SyncOps> SplitBarrier for TreeBarrier<S> {
     fn arrive(&self, id: usize) -> ArrivalToken {
         assert!(
             id < self.n,
@@ -174,7 +189,7 @@ impl SplitBarrier for TreeBarrier {
     }
 
     fn wait(&self, token: ArrivalToken) -> WaitOutcome {
-        let report = spin::wait_until(self.policy, || {
+        let report = S::wait_until(self.policy, || {
             self.episode.load(Ordering::Acquire) > token.episode
         });
         let outcome = WaitOutcome::from_report(token.episode, report);

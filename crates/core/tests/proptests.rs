@@ -109,8 +109,7 @@ fn mask_rank_matches_iteration_order() {
     let mut rng = SplitMix64::seed_from_u64(1);
     for _case in 0..64 {
         let count = rng.below(20);
-        let ids: std::collections::BTreeSet<usize> =
-            (0..count).map(|_| rng.below(64)).collect();
+        let ids: std::collections::BTreeSet<usize> = (0..count).map(|_| rng.below(64)).collect();
         let mask: ProcMask = ids.iter().copied().collect();
         assert_eq!(mask.len(), ids.len());
         for (rank, id) in mask.iter().enumerate() {

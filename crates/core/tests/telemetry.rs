@@ -70,10 +70,7 @@ fn all_backends_report_identical_episode_and_arrival_counts() {
 fn dissemination_non_power_of_two_episode_stress() {
     for n in [3usize, 5, 6, 7, 11] {
         let episodes = 600u64;
-        let b = Arc::new(DisseminationBarrier::with_policy(
-            n,
-            StallPolicy::default(),
-        ));
+        let b = Arc::new(DisseminationBarrier::with_policy(n, StallPolicy::default()));
         std::thread::scope(|s| {
             for id in 0..n {
                 let b = Arc::clone(&b);

@@ -9,8 +9,8 @@
 use crate::self_sched::{ChunkPolicy, WorkQueue};
 use crate::static_sched::Assignment;
 use fuzzy_barrier::{CentralBarrier, SplitBarrier, StallPolicy};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -69,7 +69,10 @@ impl VirtualReport {
 pub fn simulate_static(assignment: &Assignment, costs: &[u64]) -> VirtualReport {
     let finish = crate::static_sched::per_proc_work(assignment, costs);
     VirtualReport {
-        dispatches: assignment.iter().map(|c| usize::from(!c.is_empty())).collect(),
+        dispatches: assignment
+            .iter()
+            .map(|c| usize::from(!c.is_empty()))
+            .collect(),
         finish,
     }
 }
@@ -243,8 +246,8 @@ mod tests {
         let costs = CostModel::Jitter { lo: 1, hi: 20 }.costs(64, 3);
         let r = simulate_dynamic(4, &costs, &GuidedSelfScheduling, 2);
         let total: u64 = costs.iter().sum();
-        let busy: u64 = r.finish.iter().sum::<u64>()
-            - r.dispatches.iter().map(|&d| d as u64 * 2).sum::<u64>();
+        let busy: u64 =
+            r.finish.iter().sum::<u64>() - r.dispatches.iter().map(|&d| d as u64 * 2).sum::<u64>();
         // Every unit of work is accounted for on some processor.
         assert_eq!(busy, total);
     }
@@ -286,7 +289,12 @@ mod tests {
         assert_eq!(report.barrier.arrivals, 20);
         assert_eq!(report.telemetry.base, report.barrier);
         assert_eq!(report.telemetry.per_participant.len(), 4);
-        let per: u64 = report.telemetry.per_participant.iter().map(|p| p.arrivals).sum();
+        let per: u64 = report
+            .telemetry
+            .per_participant
+            .iter()
+            .map(|p| p.arrivals)
+            .sum();
         assert_eq!(per, 20);
     }
 

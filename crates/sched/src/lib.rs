@@ -39,8 +39,7 @@ pub mod workload;
 
 pub use executor::{simulate_dynamic, simulate_static, VirtualReport};
 pub use self_sched::{
-    ChunkPolicy, Factoring, FixedChunk, GuidedSelfScheduling, SelfScheduling, Trapezoid,
-    WorkQueue,
+    ChunkPolicy, Factoring, FixedChunk, GuidedSelfScheduling, SelfScheduling, Trapezoid, WorkQueue,
 };
 pub use static_sched::{block, cyclic, rotated_block, Assignment};
 pub use workload::CostModel;

@@ -130,7 +130,11 @@ mod tests {
         let owners: Vec<usize> = (0..3).map(who_gets_two).collect();
         let mut sorted = owners.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, vec![0, 1, 2], "each processor takes a turn: {owners:?}");
+        assert_eq!(
+            sorted,
+            vec![0, 1, 2],
+            "each processor takes a turn: {owners:?}"
+        );
     }
 
     #[test]

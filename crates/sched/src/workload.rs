@@ -66,9 +66,7 @@ impl CostModel {
                 assert!(lo <= hi, "lo must not exceed hi");
                 (0..n).map(|_| rng.range_u64(lo, hi)).collect()
             }
-            CostModel::Linear { base, slope } => {
-                (0..n).map(|i| base + slope * i as u64).collect()
-            }
+            CostModel::Linear { base, slope } => (0..n).map(|i| base + slope * i as u64).collect(),
         }
     }
 }
@@ -79,10 +77,7 @@ mod tests {
 
     #[test]
     fn uniform_is_constant() {
-        assert_eq!(
-            CostModel::Uniform { cost: 7 }.costs(3, 0),
-            vec![7, 7, 7]
-        );
+        assert_eq!(CostModel::Uniform { cost: 7 }.costs(3, 0), vec![7, 7, 7]);
     }
 
     #[test]

@@ -42,7 +42,10 @@ fn rotation_preserves_chunk_sizes() {
         let procs = 1 + rng.below(7);
         let outer = rng.below(20);
         let mut plain: Vec<usize> = block(iters, procs).iter().map(Vec::len).collect();
-        let mut rot: Vec<usize> = rotated_block(iters, procs, outer).iter().map(Vec::len).collect();
+        let mut rot: Vec<usize> = rotated_block(iters, procs, outer)
+            .iter()
+            .map(Vec::len)
+            .collect();
         plain.sort_unstable();
         rot.sort_unstable();
         assert_eq!(plain, rot);

@@ -166,9 +166,7 @@ pub fn assemble_stream(source: &str) -> Result<Stream, AsmError> {
         last_line = line;
         parse_line(raw, line, &mut builder)?;
     }
-    builder
-        .finish()
-        .map_err(|e| err(last_line, e.to_string()))
+    builder.finish().map_err(|e| err(last_line, e.to_string()))
 }
 
 /// A fully assembled translation unit: the program plus its initial
@@ -226,7 +224,11 @@ pub fn assemble(source: &str) -> Result<Assembled, AsmError> {
         }
         parse_line(raw, line, &mut builder)?;
     }
-    streams.push(builder.finish().map_err(|e| err(last_line, e.to_string()))?);
+    streams.push(
+        builder
+            .finish()
+            .map_err(|e| err(last_line, e.to_string()))?,
+    );
     Ok(Assembled {
         program: Program::new(streams),
         data,
@@ -245,9 +247,7 @@ pub fn assemble_program(source: &str) -> Result<Program, AsmError> {
 }
 
 fn strip_comment(raw: &str) -> &str {
-    let end = raw
-        .find([';', '#'])
-        .unwrap_or(raw.len());
+    let end = raw.find([';', '#']).unwrap_or(raw.len());
     &raw[..end]
 }
 
@@ -442,10 +442,7 @@ mod tests {
             "li r1, 0x10\nadd r2, r1, r1\nld r3, [r1+4]\nst r3, [r1-2]\nfaa r4, [r1], 1\nhalt\n",
         )
         .unwrap();
-        assert_eq!(
-            s.ops()[0],
-            Op::plain(Instr::Li { rd: 1, imm: 16 })
-        );
+        assert_eq!(s.ops()[0], Op::plain(Instr::Li { rd: 1, imm: 16 }));
         assert_eq!(
             s.ops()[2],
             Op::plain(Instr::Load {
@@ -518,7 +515,10 @@ mod tests {
         let src = ".stream\nli r1, 1\nhalt\n.stream\nli r1, 2\nhalt\n";
         let p = assemble_program(src).unwrap();
         assert_eq!(p.num_procs(), 2);
-        assert_eq!(p.streams()[1].ops()[0], Op::plain(Instr::Li { rd: 1, imm: 2 }));
+        assert_eq!(
+            p.streams()[1].ops()[0],
+            Op::plain(Instr::Li { rd: 1, imm: 2 })
+        );
     }
 
     #[test]

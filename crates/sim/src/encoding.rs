@@ -127,8 +127,8 @@ pub fn encode(op: &Op) -> Result<u64, CodecError> {
             // the addend in the low half; both must fit in 16 bits.
             let off = i16::try_from(offset)
                 .map_err(|_| CodecError::ImmediateOutOfRange { value: offset })?;
-            let add = i16::try_from(imm)
-                .map_err(|_| CodecError::ImmediateOutOfRange { value: imm })?;
+            let add =
+                i16::try_from(imm).map_err(|_| CodecError::ImmediateOutOfRange { value: imm })?;
             pack(
                 FAA,
                 rd,
@@ -162,9 +162,8 @@ pub fn encode(op: &Op) -> Result<u64, CodecError> {
             pack(opcode, rs1, rs2, t << 8)
         }
         Instr::SetMask { mask } => {
-            let m = u32::try_from(mask).map_err(|_| CodecError::ImmediateOutOfRange {
-                value: mask as i64,
-            })?;
+            let m = u32::try_from(mask)
+                .map_err(|_| CodecError::ImmediateOutOfRange { value: mask as i64 })?;
             pack(SETMASK, 0, 0, m)
         }
         Instr::SetTag { tag } => pack(SETTAG, 0, 0, u32::from(tag)),
@@ -411,18 +410,65 @@ mod tests {
         let samples = vec![
             Op::plain(Instr::Li { rd: 3, imm: -70000 }),
             Op::fuzzy(Instr::Mov { rd: 1, rs: 2 }),
-            Op::plain(Instr::Add { rd: 1, rs1: 2, rs2: 3 }),
-            Op::fuzzy(Instr::Sub { rd: 4, rs1: 5, rs2: 6 }),
-            Op::plain(Instr::Mul { rd: 7, rs1: 8, rs2: 9 }),
-            Op::fuzzy(Instr::Addi { rd: 1, rs: 1, imm: -1 }),
-            Op::plain(Instr::Muli { rd: 2, rs: 3, imm: 12 }),
-            Op::fuzzy(Instr::Divi { rd: 2, rs: 3, imm: 4 }),
-            Op::plain(Instr::Load { rd: 9, rs: 0, offset: 12345 }),
-            Op::fuzzy(Instr::Store { rs: 9, rb: 0, offset: -7 }),
-            Op::plain(Instr::FetchAdd { rd: 25, rb: 24, offset: 1, imm: -2 }),
+            Op::plain(Instr::Add {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            }),
+            Op::fuzzy(Instr::Sub {
+                rd: 4,
+                rs1: 5,
+                rs2: 6,
+            }),
+            Op::plain(Instr::Mul {
+                rd: 7,
+                rs1: 8,
+                rs2: 9,
+            }),
+            Op::fuzzy(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: -1,
+            }),
+            Op::plain(Instr::Muli {
+                rd: 2,
+                rs: 3,
+                imm: 12,
+            }),
+            Op::fuzzy(Instr::Divi {
+                rd: 2,
+                rs: 3,
+                imm: 4,
+            }),
+            Op::plain(Instr::Load {
+                rd: 9,
+                rs: 0,
+                offset: 12345,
+            }),
+            Op::fuzzy(Instr::Store {
+                rs: 9,
+                rb: 0,
+                offset: -7,
+            }),
+            Op::plain(Instr::FetchAdd {
+                rd: 25,
+                rb: 24,
+                offset: 1,
+                imm: -2,
+            }),
             Op::fuzzy(Instr::Jump { target: 99 }),
-            Op::plain(Instr::Branch { cond: Cond::Lt, rs1: 1, rs2: 2, target: 1000 }),
-            Op::fuzzy(Instr::Branch { cond: Cond::Ge, rs1: 30, rs2: 31, target: 0 }),
+            Op::plain(Instr::Branch {
+                cond: Cond::Lt,
+                rs1: 1,
+                rs2: 2,
+                target: 1000,
+            }),
+            Op::fuzzy(Instr::Branch {
+                cond: Cond::Ge,
+                rs1: 30,
+                rs2: 31,
+                target: 0,
+            }),
             Op::plain(Instr::SetMask { mask: 0b1011 }),
             Op::fuzzy(Instr::SetTag { tag: 65535 }),
             Op::plain(Instr::Nop),
@@ -483,10 +529,9 @@ mod tests {
     #[test]
     fn program_image_round_trips() {
         use crate::assembler::assemble_program;
-        let p = assemble_program(
-            ".stream\nli r1, 1\nB: nop\nhalt\n.stream\nli r1, 2\nB: nop\nhalt\n",
-        )
-        .unwrap();
+        let p =
+            assemble_program(".stream\nli r1, 1\nB: nop\nhalt\n.stream\nli r1, 2\nB: nop\nhalt\n")
+                .unwrap();
         let image = encode_program(&p).unwrap();
         let back = decode_program(&image).unwrap();
         assert_eq!(back, p);

@@ -90,8 +90,7 @@ impl RunOutcome {
     #[must_use]
     pub fn cycles(&self) -> u64 {
         match self {
-            RunOutcome::Halted { cycles }
-            | RunOutcome::CycleLimit { cycles } => *cycles,
+            RunOutcome::Halted { cycles } | RunOutcome::CycleLimit { cycles } => *cycles,
             RunOutcome::Deadlock { cycle } => *cycle,
         }
     }
@@ -150,7 +149,10 @@ impl fmt::Display for SimError {
                 write!(f, "processor {proc} at cycle {cycle}: call stack overflow")
             }
             SimError::ReturnWithoutFrame { proc, cycle } => {
-                write!(f, "processor {proc} at cycle {cycle}: ret with empty call stack")
+                write!(
+                    f,
+                    "processor {proc} at cycle {cycle}: ret with empty call stack"
+                )
             }
             SimError::UnhandledTrap { proc, cycle, cause } => {
                 write!(
@@ -216,11 +218,7 @@ impl Machine {
             program.validate()?;
         }
         let n = program.num_procs();
-        let all = if n >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << n) - 1
-        };
+        let all = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
         let procs = (0..n)
             .map(|id| {
                 let mask = all & !(1u64 << id);
@@ -371,8 +369,7 @@ impl Machine {
                 }
             })
             .collect();
-        let mut units: Vec<BarrierUnit> =
-            self.procs.iter().map(|p| p.unit.clone()).collect();
+        let mut units: Vec<BarrierUnit> = self.procs.iter().map(|p| p.unit.clone()).collect();
         let synced = evaluate_sync(&mut units, &ready_override);
         if !synced.is_empty() {
             let tags: BTreeSet<u16> = synced.iter().map(|&i| units[i].tag).collect();
@@ -786,7 +783,11 @@ mod tests {
         b.plain(Instr::Li { rd: 1, imm: 0 });
         b.plain(Instr::Li { rd: 2, imm: 10 });
         b.label("loop");
-        b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.plain(Instr::Addi {
+            rd: 1,
+            rs: 1,
+            imm: 1,
+        });
         b.plain_branch(Cond::Lt, 1, 2, "loop");
         b.plain(Instr::Halt);
         let mut m = single(b.finish().unwrap());
@@ -841,7 +842,11 @@ mod tests {
             b.plain(Instr::Li { rd: 1, imm: 0 });
             b.plain(Instr::Li { rd: 2, imm: work });
             b.label("w");
-            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            });
             b.plain_branch(Cond::Lt, 1, 2, "w");
             // Mark the end of phase 1 in memory.
             b.plain(Instr::Li { rd: 3, imm: 1 });
@@ -874,16 +879,8 @@ mod tests {
             .iter()
             .map(|op| {
                 let instr = match op.instr {
-                    Instr::Store { rs, rb, offset: 10 } => Instr::Store {
-                        rs,
-                        rb,
-                        offset: 11,
-                    },
-                    Instr::Load { rd, rs, offset: 11 } => Instr::Load {
-                        rd,
-                        rs,
-                        offset: 10,
-                    },
+                    Instr::Store { rs, rb, offset: 10 } => Instr::Store { rs, rb, offset: 11 },
+                    Instr::Load { rd, rs, offset: 11 } => Instr::Load { rd, rs, offset: 10 },
                     other => other,
                 };
                 Op {
@@ -916,13 +913,21 @@ mod tests {
             b.plain(Instr::Li { rd: 1, imm: 0 });
             b.plain(Instr::Li { rd: 2, imm: work });
             b.label("w");
-            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            });
             b.plain_branch(Cond::Lt, 1, 2, "w");
             // Barrier region: busy loop of `region` iterations.
             b.fuzzy(Instr::Li { rd: 5, imm: 0 });
             b.fuzzy(Instr::Li { rd: 6, imm: region });
             b.label("r");
-            b.fuzzy(Instr::Addi { rd: 5, rs: 5, imm: 1 });
+            b.fuzzy(Instr::Addi {
+                rd: 5,
+                rs: 5,
+                imm: 1,
+            });
             b.fuzzy_branch(Cond::Lt, 5, 6, "r");
             b.plain(Instr::Halt);
             b.finish().unwrap()
@@ -951,7 +956,11 @@ mod tests {
             b.plain(Instr::Li { rd: 1, imm: 0 });
             b.plain(Instr::Li { rd: 2, imm: work });
             b.label("w");
-            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            });
             b.plain_branch(Cond::Lt, 1, 2, "w");
             b.fuzzy(Instr::Nop);
             b.fuzzy(Instr::Nop);
@@ -1034,7 +1043,11 @@ mod tests {
             b.plain(Instr::Li { rd: 1, imm: 0 });
             b.plain(Instr::Li { rd: 2, imm: 50 });
             b.label("loop");
-            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            });
             // Barrier region at end of each iteration, including the
             // back-edge branch (regions may span the back edge, Sec. 3).
             b.fuzzy(Instr::Nop);
@@ -1110,7 +1123,11 @@ mod tests {
         b.call("double", false);
         b.plain(Instr::Halt);
         b.label("double");
-        b.plain(Instr::Muli { rd: 1, rs: 1, imm: 2 });
+        b.plain(Instr::Muli {
+            rd: 1,
+            rs: 1,
+            imm: 2,
+        });
         b.plain(Instr::Ret);
         let mut m = single(b.finish().unwrap());
         assert!(m.run(1000).unwrap().is_halted());
@@ -1129,8 +1146,16 @@ mod tests {
         b.label("fact");
         b.plain(Instr::Li { rd: 3, imm: 1 });
         b.plain_branch(Cond::Le, 1, 3, "base");
-        b.plain(Instr::Mul { rd: 2, rs1: 2, rs2: 1 });
-        b.plain(Instr::Addi { rd: 1, rs: 1, imm: -1 });
+        b.plain(Instr::Mul {
+            rd: 2,
+            rs1: 2,
+            rs2: 1,
+        });
+        b.plain(Instr::Addi {
+            rd: 1,
+            rs: 1,
+            imm: -1,
+        });
         b.call("fact", false);
         b.label("base");
         b.plain(Instr::Ret);
@@ -1150,13 +1175,21 @@ mod tests {
             b.plain(Instr::Li { rd: 1, imm: 0 });
             b.plain(Instr::Li { rd: 2, imm: work });
             b.label("w");
-            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            });
             b.plain_branch(Cond::Lt, 1, 2, "w");
             b.fuzzy(Instr::Nop); // enter barrier region
             b.call("helper", true); // call from the region
             b.plain(Instr::Halt); // crossing requires sync
             b.label("helper");
-            b.fuzzy(Instr::Addi { rd: 5, rs: 5, imm: 1 }); // region code
+            b.fuzzy(Instr::Addi {
+                rd: 5,
+                rs: 5,
+                imm: 1,
+            }); // region code
             b.fuzzy(Instr::Ret);
             b.finish().unwrap()
         };
@@ -1239,7 +1272,11 @@ mod tests {
         b0.fuzzy(Instr::Nop);
         b0.plain(Instr::Halt); // will stall here
         b0.label("handler");
-        b0.plain(Instr::Addi { rd: 6, rs: 6, imm: 1 });
+        b0.plain(Instr::Addi {
+            rd: 6,
+            rs: 6,
+            imm: 1,
+        });
         b0.plain(Instr::Ret);
         let handler_pc = 2;
         let mut b1 = StreamBuilder::new();
@@ -1247,7 +1284,11 @@ mod tests {
         b1.plain(Instr::Li { rd: 1, imm: 0 });
         b1.plain(Instr::Li { rd: 2, imm: 100 });
         b1.label("w");
-        b1.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b1.plain(Instr::Addi {
+            rd: 1,
+            rs: 1,
+            imm: 1,
+        });
         b1.plain_branch(Cond::Lt, 1, 2, "w");
         b1.fuzzy(Instr::Nop);
         b1.plain(Instr::Halt);
@@ -1280,7 +1321,10 @@ mod tests {
         let mut m = Machine::new(p, config()).unwrap();
         m.schedule_interrupt(0, 30, handler_pc);
         let out = m.run(10_000).unwrap();
-        assert!(out.is_halted(), "interrupt should resolve the stall: {out:?}");
+        assert!(
+            out.is_halted(),
+            "interrupt should resolve the stall: {out:?}"
+        );
         assert!(out.cycles() >= 30);
     }
 
@@ -1293,7 +1337,11 @@ mod tests {
             b.plain(Instr::Li { rd: 1, imm: 0 });
             b.plain(Instr::Li { rd: 2, imm: work });
             b.label("w");
-            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            });
             b.plain_branch(Cond::Lt, 1, 2, "w");
             for _ in 0..region {
                 b.fuzzy(Instr::Nop);
@@ -1349,12 +1397,7 @@ mod tests {
             .find(|e| e.proc == 0 && e.kind == K::EnterBarrier)
             .unwrap()
             .cycle;
-        let sync = m
-            .trace()
-            .of_kind(K::Sync)
-            .next()
-            .unwrap()
-            .cycle;
+        let sync = m.trace().of_kind(K::Sync).next().unwrap().cycle;
         assert!(
             sync >= enter0 + 30,
             "sync at {sync} must wait for the in-flight load              (entered at {enter0}, load latency ~40)"
@@ -1386,7 +1429,10 @@ mod tests {
             .unwrap()
             .cycle;
         let sync = m.trace().of_kind(K::Sync).next().unwrap().cycle;
-        assert_eq!(sync, enter0, "serial: ready the cycle the region is entered");
+        assert_eq!(
+            sync, enter0,
+            "serial: ready the cycle the region is entered"
+        );
     }
 
     #[test]
@@ -1396,7 +1442,11 @@ mod tests {
         let mk = || {
             let mut b = StreamBuilder::new();
             b.plain(Instr::Li { rd: 1, imm: 21 });
-            b.plain(Instr::Muli { rd: 1, rs: 1, imm: 2 });
+            b.plain(Instr::Muli {
+                rd: 1,
+                rs: 1,
+                imm: 2,
+            });
             b.fuzzy(Instr::Nop);
             b.plain(Instr::Store {
                 rs: 1,

@@ -176,7 +176,11 @@ mod tests {
     fn sample() -> Vec<Op> {
         vec![
             Op::plain(Instr::Li { rd: 1, imm: 0 }),
-            Op::fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 }),
+            Op::fuzzy(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            }),
             Op::fuzzy(Instr::Branch {
                 cond: Cond::Lt,
                 rs1: 1,
@@ -193,7 +197,10 @@ mod tests {
         let markers = to_markers(&ops);
         assert_eq!(from_markers(&markers).unwrap(), ops);
         assert_eq!(
-            markers.iter().filter(|m| matches!(m, MarkerItem::EnterRegion)).count(),
+            markers
+                .iter()
+                .filter(|m| matches!(m, MarkerItem::EnterRegion))
+                .count(),
             1
         );
     }
@@ -242,7 +249,11 @@ mod tests {
             Op::plain(Instr::Li { rd: 1, imm: 0 }),
             Op::fuzzy(Instr::Nop),
             Op::plain(Instr::Nop),
-            Op::fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 }),
+            Op::fuzzy(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            }),
             Op::plain(Instr::Halt),
         ];
         let stats = encoding_overhead(&ops);

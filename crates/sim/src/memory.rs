@@ -140,11 +140,7 @@ pub struct OutOfBounds {
 
 impl std::fmt::Display for OutOfBounds {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "memory access at {} outside 0..{}",
-            self.addr, self.size
-        )
+        write!(f, "memory access at {} outside 0..{}", self.addr, self.size)
     }
 }
 
@@ -238,13 +234,7 @@ impl Memory {
 
     /// Computes access latency (bank queueing + hit/miss) and updates bank
     /// and cache state. Returns total cycles from issue to completion.
-    fn access_latency(
-        &mut self,
-        proc: usize,
-        addr: usize,
-        kind: AccessKind,
-        cycle: u64,
-    ) -> u64 {
+    fn access_latency(&mut self, proc: usize, addr: usize, kind: AccessKind, cycle: u64) -> u64 {
         self.stats[proc].accesses += 1;
 
         // Cache lookup: only reads can hit; writes and RMWs always go to
@@ -396,7 +386,10 @@ mod tests {
         let mut m = Memory::new(cfg, 2);
         let (_, l0) = m.read(0, 0, 100).unwrap();
         let (_, l1) = m.read(1, 0, 100).unwrap();
-        assert!(l1 > l0, "second access ({l1}) must queue behind first ({l0})");
+        assert!(
+            l1 > l0,
+            "second access ({l1}) must queue behind first ({l0})"
+        );
         assert_eq!(m.stats(1).bank_wait_cycles, 4);
         assert_eq!(m.stats(0).bank_wait_cycles, 0);
     }

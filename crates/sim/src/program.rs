@@ -116,7 +116,9 @@ impl Stream {
     /// The region containing instruction `pc`, if in range.
     #[must_use]
     pub fn region_at(&self, pc: usize) -> Option<StaticRegion> {
-        self.regions().into_iter().find(|r| r.start <= pc && pc < r.end)
+        self.regions()
+            .into_iter()
+            .find(|r| r.start <= pc && pc < r.end)
     }
 
     /// Validates the stream per the Sec. 3 rules. See [`ValidationError`].
@@ -429,7 +431,10 @@ impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidationError::BranchOutOfRange { pc, target } => {
-                write!(f, "branch at {pc} targets out-of-range instruction {target}")
+                write!(
+                    f,
+                    "branch at {pc} targets out-of-range instruction {target}"
+                )
             }
             ValidationError::BarrierToBarrierBranch {
                 pc,
@@ -485,10 +490,22 @@ mod tests {
         let ops = vec![nop(false), nop(false), nop(true), nop(false), nop(true)];
         let regions = regions_of(&ops);
         assert_eq!(regions.len(), 4);
-        assert_eq!((regions[0].start, regions[0].end, regions[0].barrier), (0, 2, false));
-        assert_eq!((regions[1].start, regions[1].end, regions[1].barrier), (2, 3, true));
-        assert_eq!((regions[2].start, regions[2].end, regions[2].barrier), (3, 4, false));
-        assert_eq!((regions[3].start, regions[3].end, regions[3].barrier), (4, 5, true));
+        assert_eq!(
+            (regions[0].start, regions[0].end, regions[0].barrier),
+            (0, 2, false)
+        );
+        assert_eq!(
+            (regions[1].start, regions[1].end, regions[1].barrier),
+            (2, 3, true)
+        );
+        assert_eq!(
+            (regions[2].start, regions[2].end, regions[2].barrier),
+            (3, 4, false)
+        );
+        assert_eq!(
+            (regions[3].start, regions[3].end, regions[3].barrier),
+            (4, 5, true)
+        );
         assert!(regions.iter().all(|r| !r.is_empty()));
     }
 
@@ -531,7 +548,11 @@ mod tests {
         let mut b = StreamBuilder::new();
         b.plain(Instr::Li { rd: 1, imm: 0 });
         b.label("loop");
-        b.fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.fuzzy(Instr::Addi {
+            rd: 1,
+            rs: 1,
+            imm: 1,
+        });
         b.fuzzy_branch(Cond::Lt, 1, 2, "loop");
         b.plain(Instr::Halt);
         let s = b.finish().unwrap();
@@ -550,7 +571,10 @@ mod tests {
         b.plain(Instr::Halt);
         let s = b.finish().unwrap();
         let err = s.validate().unwrap_err();
-        assert!(matches!(err, ValidationError::BarrierToBarrierBranch { .. }));
+        assert!(matches!(
+            err,
+            ValidationError::BarrierToBarrierBranch { .. }
+        ));
     }
 
     #[test]
@@ -562,7 +586,11 @@ mod tests {
         let mut b = StreamBuilder::new();
         b.label("L1");
         b.fuzzy(Instr::Nop); // barrier prefix
-        b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 }); // non-barrier body
+        b.plain(Instr::Addi {
+            rd: 1,
+            rs: 1,
+            imm: 1,
+        }); // non-barrier body
         b.fuzzy(Instr::Nop); // barrier suffix
         b.fuzzy_branch(Cond::Lt, 1, 2, "L1"); // back edge, barrier → barrier
         b.plain(Instr::Halt);

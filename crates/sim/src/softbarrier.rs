@@ -225,7 +225,11 @@ mod tests {
                     imm: works[p],
                 });
                 b.label("w");
-                b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+                b.plain(Instr::Addi {
+                    rd: 1,
+                    rs: 1,
+                    imm: 1,
+                });
                 b.plain_branch(Cond::Lt, 1, 2, "w");
                 // Publish the phase flag.
                 b.plain(Instr::Li { rd: 3, imm: 1 });

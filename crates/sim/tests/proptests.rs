@@ -20,10 +20,17 @@ fn structured_stream(works: &[u8], regions: &[u8]) -> Stream {
     for (s, (&w, &r)) in works.iter().zip(regions).enumerate() {
         if w > 0 {
             b.plain(Instr::Li { rd: 1, imm: 0 });
-            b.plain(Instr::Li { rd: 2, imm: i64::from(w) });
+            b.plain(Instr::Li {
+                rd: 2,
+                imm: i64::from(w),
+            });
             let label = format!("w{s}");
             b.label(label.clone());
-            b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+            b.plain(Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            });
             b.plain_branch(Cond::Lt, 1, 2, label);
         } else {
             b.plain(Instr::Nop);
@@ -219,8 +226,7 @@ fn random_codable_instr(rng: &mut SplitMix64) -> Instr {
             cause: rng.range_u64(0, 999) as u16,
         },
         _ => {
-            let cond = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt]
-                [rng.below(6)];
+            let cond = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt][rng.below(6)];
             Instr::Branch {
                 cond,
                 rs1: rng.below(32) as u8,

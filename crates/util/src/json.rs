@@ -1,11 +1,29 @@
-//! A minimal JSON value and writer.
+//! A minimal JSON value, writer, and parser.
 //!
 //! The telemetry layer exports machine-readable snapshots (`--stats-json`)
 //! without pulling in `serde`; this module is the entire serialization
-//! stack: build a [`Json`] tree, call [`Json::to_string_pretty`]. Object
-//! keys keep insertion order so exported files diff cleanly.
+//! stack: build a [`Json`] tree, call [`Json::to_string_pretty`], read one
+//! back with [`Json::parse`]. Object keys keep insertion order so exported
+//! files diff cleanly.
 
 use std::fmt::Write as _;
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +95,27 @@ impl Json {
             Json::Arr(items) => Some(items),
             _ => None,
         }
+    }
+
+    /// Parses a JSON document (the value plus surrounding whitespace; any
+    /// trailing garbage is an error). Accepts everything the writer emits
+    /// and standard JSON beyond it (nested escapes, `\uXXXX`, exponents).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after value"));
+        }
+        Ok(value)
     }
 
     /// Compact single-line serialization.
@@ -178,6 +217,245 @@ fn write_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Nesting depth cap for the recursive-descent parser; telemetry files are
+/// a few levels deep, so this only guards against stack-smashing inputs.
+const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected character {:?}", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy runs of plain bytes in one slice.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 and we only stopped at ASCII
+                // delimiters, so the run is a valid str slice.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.error("unescaped control character in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonParseError> {
+        let c = self
+            .peek()
+            .ok_or_else(|| self.error("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: a second \uXXXX must follow.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(self.error("invalid low surrogate"));
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        return Err(self.error("lone high surrogate"));
+                    }
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.error("lone low surrogate"));
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.error("invalid unicode escape"))?);
+            }
+            other => {
+                return Err(self.error(format!("unknown escape \\{}", other as char)));
+            }
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .and_then(|c| (c as char).to_digit(16))
+                .ok_or_else(|| self.error("expected 4 hex digits"))?;
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let from = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            p.pos > from
+        };
+        if !digits(self) {
+            return Err(self.error("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(self.error("expected digits after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number chars are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error(format!("malformed number {text:?}")))
+    }
+}
+
 impl From<bool> for Json {
     fn from(b: bool) -> Self {
         Json::Bool(b)
@@ -252,10 +530,7 @@ mod tests {
             Json::Str("a\"b\\c\nd".into()).to_string_compact(),
             r#""a\"b\\c\nd""#
         );
-        assert_eq!(
-            Json::Str("\u{1}".into()).to_string_compact(),
-            "\"\\u0001\""
-        );
+        assert_eq!(Json::Str("\u{1}".into()).to_string_compact(), "\"\\u0001\"");
     }
 
     #[test]
@@ -278,6 +553,81 @@ mod tests {
         let pretty = j.to_string_pretty();
         assert!(pretty.contains("\n  \"xs\": [\n    1,"));
         assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let original = Json::obj()
+            .field("experiment", "encore")
+            .field("ok", true)
+            .field("nothing", Json::Null)
+            .field("pi", 3.25f64)
+            .field("counts", vec![0u64, 17, 94000])
+            .field(
+                "nested",
+                Json::obj()
+                    .field("text", "line\nbreak \"quoted\" \\slash")
+                    .field("empty_arr", Json::Arr(vec![]))
+                    .field("empty_obj", Json::obj()),
+            );
+        for text in [original.to_string_compact(), original.to_string_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), original);
+        }
+    }
+
+    #[test]
+    fn parser_accepts_standard_json_forms() {
+        assert_eq!(Json::parse(" null ").unwrap(), Json::Null);
+        assert_eq!(Json::parse("-1.5e3").unwrap(), Json::Num(-1500.0));
+        assert_eq!(Json::parse("1E2").unwrap(), Json::Num(100.0));
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9""#).unwrap(),
+            Json::Str("Aé".into())
+        );
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+        assert_eq!(
+            Json::parse("[1, [2, {\"k\": [3]}]]").unwrap(),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Arr(vec![Json::Num(2.0), Json::obj().field("k", vec![3u64]),]),
+            ])
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "\"bad escape \\q\"",
+            "\"lone \\ud800 surrogate\"",
+            "1 2",
+            "nan",
+            "--1",
+            "1.",
+            "1e",
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(!err.message.is_empty());
+            assert!(err.offset <= bad.len());
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_useful_offsets() {
+        let err = Json::parse(r#"{"a": 1, "b": oops}"#).unwrap_err();
+        assert_eq!(err.offset, 14);
+        assert_eq!(format!("{err}"), format!("{} at byte 14", err.message));
     }
 
     #[test]

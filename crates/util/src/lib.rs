@@ -15,6 +15,6 @@ pub mod json;
 pub mod pad;
 pub mod rng;
 
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use pad::CachePadded;
 pub use rng::SplitMix64;

@@ -75,7 +75,9 @@ fn main() {
     }
     println!("    ... ({} more)", stream0.len().saturating_sub(12));
 
-    let mut machine = MachineBuilder::new(compiled.program).build().expect("loads");
+    let mut machine = MachineBuilder::new(compiled.program)
+        .build()
+        .expect("loads");
     let outcome = machine.run(10_000_000).expect("runs");
     let stats = machine.stats();
     println!(
@@ -83,7 +85,10 @@ fn main() {
         stats.sync_events,
         stats.total_stall_cycles()
     );
-    println!("\n  a[9][1..=4] = {:?}", (1..=4)
-        .map(|col| machine.memory().peek(9 * 6 + col))
-        .collect::<Vec<_>>());
+    println!(
+        "\n  a[9][1..=4] = {:?}",
+        (1..=4)
+            .map(|col| machine.memory().peek(9 * 6 + col))
+            .collect::<Vec<_>>()
+    );
 }

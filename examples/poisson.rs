@@ -103,14 +103,18 @@ fn main() {
         let prev = reference.clone();
         for l in 1..=M {
             for m in 1..=M {
-                reference[l * n + m] =
-                    (prev[l * n + m + 1] + prev[l * n + m - 1] + prev[(l + 1) * n + m]
-                        + prev[(l - 1) * n + m])
-                        / 4;
+                reference[l * n + m] = (prev[l * n + m + 1]
+                    + prev[l * n + m - 1]
+                    + prev[(l + 1) * n + m]
+                    + prev[(l - 1) * n + m])
+                    / 4;
             }
         }
     }
     let simulated: Vec<i64> = (0..n * n).map(|w| machine.memory().peek(w)).collect();
-    assert_eq!(simulated, reference, "simulator must match the host reference");
+    assert_eq!(
+        simulated, reference,
+        "simulator must match the host reference"
+    );
     println!("\nsimulated grid matches the host reference exactly.");
 }

@@ -34,8 +34,7 @@ fn main() {
     }
 
     // Partial results: workers produce, parent consumes after merging.
-    let results: Arc<Vec<AtomicU64>> =
-        Arc::new((0..WORKERS).map(|_| AtomicU64::new(0)).collect());
+    let results: Arc<Vec<AtomicU64>> = Arc::new((0..WORKERS).map(|_| AtomicU64::new(0)).collect());
 
     std::thread::scope(|s| {
         for (w, barrier) in pairs.iter().enumerate() {

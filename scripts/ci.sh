@@ -1,22 +1,96 @@
 #!/usr/bin/env sh
-# Tier-1 gate: build, test, lint. Run from the repository root.
+# Staged CI pipeline. Run from anywhere; it cd's to the repository root.
 #
-#   scripts/ci.sh
+#   scripts/ci.sh            # run every stage
+#   scripts/ci.sh fmt test   # run only the named stages
 #
-# Mirrors what reviewers run before merging: the release build and the
-# umbrella test suite are the seed's tier-1 checks; clippy (warnings as
-# errors, all targets) keeps the workspace lint-clean.
-set -eu
+# Stages, in order:
+#
+#   fmt          cargo fmt --check (formatting is normative)
+#   build        cargo build --workspace --all-targets
+#   clippy       cargo clippy, warnings as errors, all targets
+#   test         cargo test -q --workspace
+#   tier1        the repo's tier-1 gate, verbatim from ROADMAP.md
+#   check-smoke  fuzzy-check: 10k DFS schedules per backend at N=3
+#   bench-smoke  exp_encore --stats-json + schema validation
+#   doc          cargo doc --no-deps (rustdoc warnings are errors)
+#
+# Each stage prints `ci: stage <name> PASS|FAIL`; the script stops at the
+# first failure and exits 1 naming the failing stage. Everything runs
+# offline: no stage touches the network (set CARGO_NET_OFFLINE=true to
+# have cargo enforce that).
+set -u
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+SELECTED="$*"
+failed_stage=""
 
-echo "==> cargo test -q"
-cargo test -q
+# want <name>: true if the stage was selected (no args = all stages).
+want() {
+    [ -z "$SELECTED" ] && return 0
+    case " $SELECTED " in
+    *" $1 "*) return 0 ;;
+    *) return 1 ;;
+    esac
+}
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+# run_stage <name> <command...>: runs the command, prints the PASS/FAIL
+# line, and stops the pipeline at the first failure.
+run_stage() {
+    name="$1"
+    shift
+    [ -n "$failed_stage" ] && return 0
+    echo "==> ci: stage $name: $*"
+    if "$@"; then
+        echo "ci: stage $name PASS"
+    else
+        echo "ci: stage $name FAIL"
+        failed_stage="$name"
+    fi
+}
 
-echo "ci: all checks passed"
+# The tier-1 gate, exactly as ROADMAP.md specifies it. Kept verbatim in a
+# single shell line so the stage tests precisely what reviewers run.
+tier1_gate() {
+    sh -c 'cargo build --release && cargo test -q'
+}
+
+# Model-checker smoke: explore 10k schedules per backend at N=3 with the
+# release binary (DFS, unbounded preemptions). A violation fails CI and
+# prints a replayable schedule.
+check_smoke() {
+    cargo build --release -q -p fuzzy-check --bin check &&
+        ./target/release/check --backend all --scenario all \
+            --participants 3 --episodes 2 --mode dfs --schedules 10000
+}
+
+# Telemetry smoke: run the encore experiment with --stats-json and verify
+# the export parses and matches the pinned schema (key names and types).
+bench_smoke() {
+    out="$(mktemp)" || return 1
+    status=1
+    if cargo run -q --release -p fuzzy-bench --bin exp_encore -- \
+        --stats-json "$out" >/dev/null; then
+        cargo run -q --release -p fuzzy-bench --bin validate_stats -- \
+            --schema encore "$out"
+        status=$?
+    fi
+    rm -f "$out"
+    return $status
+}
+
+want fmt && run_stage fmt cargo fmt --check
+want build && run_stage build cargo build --workspace --all-targets
+want clippy && run_stage clippy cargo clippy --workspace --all-targets -- -D warnings
+want test && run_stage test cargo test -q --workspace
+want tier1 && run_stage tier1 tier1_gate
+want check-smoke && run_stage check-smoke check_smoke
+want bench-smoke && run_stage bench-smoke bench_smoke
+want doc && run_stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+if [ -n "$failed_stage" ]; then
+    echo "ci: FAILED at stage $failed_stage"
+    exit 1
+fi
+echo "ci: all stages passed"

@@ -82,7 +82,9 @@ fn run_and_check(m: usize, iters: i64, reorder: bool) {
     assert!(compiled.program.validate().is_ok());
     // Zero drift: all processors run in lockstep, so reads of an iteration
     // complete before any writes of that iteration — Jacobi semantics.
-    let mut machine = MachineBuilder::new(compiled.program).build().expect("loads");
+    let mut machine = MachineBuilder::new(compiled.program)
+        .build()
+        .expect("loads");
     let n = m + 2;
     for col in 0..n {
         machine.memory_mut().poke(col, 400);

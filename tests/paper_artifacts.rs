@@ -84,7 +84,10 @@ B:  nop
 ";
     let program = assemble_program(src).unwrap();
     assert!(MachineBuilder::new(program.clone()).build().is_err());
-    let mut m = MachineBuilder::new(program).validate(false).build().unwrap();
+    let mut m = MachineBuilder::new(program)
+        .validate(false)
+        .build()
+        .unwrap();
     assert!(m.run(100_000).unwrap().is_deadlock());
 }
 
@@ -155,10 +158,17 @@ fn sec1_software_grows_hardware_flat() {
         let mut b = StreamBuilder::new();
         b.plain(Instr::Li { rd: 24, imm: 0 });
         b.plain(Instr::Li { rd: 1, imm: 0 });
-        b.plain(Instr::Li { rd: 2, imm: episodes });
+        b.plain(Instr::Li {
+            rd: 2,
+            imm: episodes,
+        });
         b.label("outer");
         emit_soft_barrier(&mut b, n as i64, 0, SoftBarrierRegs::default());
-        b.plain(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.plain(Instr::Addi {
+            rd: 1,
+            rs: 1,
+            imm: 1,
+        });
         b.plain_branch(Cond::Lt, 1, 2, "outer");
         b.plain(Instr::Halt);
         b.finish().unwrap()
@@ -166,9 +176,16 @@ fn sec1_software_grows_hardware_flat() {
     let hw = || -> Stream {
         let mut b = StreamBuilder::new();
         b.plain(Instr::Li { rd: 1, imm: 0 });
-        b.plain(Instr::Li { rd: 2, imm: episodes });
+        b.plain(Instr::Li {
+            rd: 2,
+            imm: episodes,
+        });
         b.label("outer");
-        b.fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.fuzzy(Instr::Addi {
+            rd: 1,
+            rs: 1,
+            imm: 1,
+        });
         b.fuzzy_branch(Cond::Lt, 1, 2, "outer");
         b.plain(Instr::Halt);
         b.finish().unwrap()

@@ -89,7 +89,11 @@ for (i=1; i<=8; i++) do seq
     let parsed = parse_program(src).unwrap();
     let dist = distribute(&parsed.nest);
     assert_eq!(dist.groups, vec![vec![0], vec![1]]);
-    assert_eq!(dist.pinned, vec![true, false], "S2 can move into the barrier region");
+    assert_eq!(
+        dist.pinned,
+        vec![true, false],
+        "S2 can move into the barrier region"
+    );
 }
 
 #[test]

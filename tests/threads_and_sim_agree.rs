@@ -57,7 +57,10 @@ fn simulator_computes_reference() {
         let mut b = StreamBuilder::new();
         b.plain(Instr::Li { rd: 1, imm: 0 }); // phase counter
         b.plain(Instr::Li { rd: 2, imm: PHASES });
-        b.plain(Instr::Li { rd: 3, imm: p as i64 }); // my id / addend
+        b.plain(Instr::Li {
+            rd: 3,
+            imm: p as i64,
+        }); // my id / addend
         b.label("loop");
         // read neighbour
         b.plain(Instr::Load {
@@ -79,7 +82,11 @@ fn simulator_computes_reference() {
             offset: p as i64,
         });
         // barrier 2 closes the phase; loop control rides inside it.
-        b.fuzzy(Instr::Addi { rd: 1, rs: 1, imm: 1 });
+        b.fuzzy(Instr::Addi {
+            rd: 1,
+            rs: 1,
+            imm: 1,
+        });
         b.fuzzy_branch(Cond::Lt, 1, 2, "loop");
         b.plain(Instr::Halt);
         b.finish().unwrap()
@@ -102,8 +109,7 @@ fn simulator_computes_reference() {
 fn all_backends_compute_the_same_thing() {
     use fuzzy_barrier::{CentralBarrier, CountingBarrier, DisseminationBarrier, TreeBarrier};
     let run = |b: Arc<dyn SplitBarrier>| -> Vec<i64> {
-        let cells: Arc<Vec<AtomicI64>> =
-            Arc::new((0..PROCS).map(|_| AtomicI64::new(0)).collect());
+        let cells: Arc<Vec<AtomicI64>> = Arc::new((0..PROCS).map(|_| AtomicI64::new(0)).collect());
         std::thread::scope(|s| {
             for p in 0..PROCS {
                 let b = Arc::clone(&b);
