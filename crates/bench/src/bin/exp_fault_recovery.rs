@@ -1,0 +1,208 @@
+//! Experiment EF — fault injection and watchdog recovery.
+//!
+//! The paper's hardware waits forever: a processor whose ready line never
+//! reaches the broadcast network stalls its partners indefinitely. This
+//! experiment injects exactly that fault into the simulated machine and
+//! measures the cost of the recovery mechanism layered on top — a
+//! per-unit *watchdog register* that, after a configurable cycle budget of
+//! ready-but-unsynchronized waiting, evicts the non-responsive partner
+//! from every barrier mask (the Sec. 5 mask update applied to a failed
+//! stream).
+//!
+//! Three runs:
+//!
+//! 1. **Stall sweep** — a processor's broadcast is severed mid-run; the
+//!    survivors' watchdogs (budget swept over powers of two) must evict it
+//!    and finish their remaining episodes. Recovery latency is the cycle
+//!    count from watchdog expiry to the survivors' next synchronization.
+//!    A larger budget tolerates more skew but stretches the outage.
+//! 2. **Transient delay** — the same line heals before the (generous)
+//!    budget runs out: no eviction may fire.
+//! 3. **Stutter** — a flaky line drops most broadcasts; under a tight
+//!    budget the watchdog treats it as dead. Deterministic per seed.
+
+use fuzzy_bench::{banner, StatsExport, Table};
+use fuzzy_sim::builder::MachineBuilder;
+use fuzzy_sim::program::{Program, StreamBuilder};
+use fuzzy_sim::{BarrierUnit, FaultPlan, Instr, Machine, ReadyFault, RunOutcome};
+use fuzzy_util::Json;
+
+/// Participants per run.
+const PROCS: usize = 4;
+/// Barrier episodes each stream executes.
+const EPISODES: i64 = 6;
+/// The processor whose broadcast is faulted.
+const VICTIM: usize = 3;
+/// Cycle at which the fault switches on (mid-run: a couple of episodes in).
+const ONSET: u64 = 20;
+
+/// One stream: `EPISODES` iterations of a short work phase followed by a
+/// two-instruction barrier region (lib-doc loop shape).
+fn stream() -> fuzzy_sim::Stream {
+    let mut b = StreamBuilder::new();
+    b.plain(Instr::Li { rd: 1, imm: 0 });
+    b.plain(Instr::Li {
+        rd: 2,
+        imm: EPISODES,
+    });
+    b.label("loop");
+    b.plain(Instr::Addi {
+        rd: 1,
+        rs: 1,
+        imm: 1,
+    });
+    b.plain(Instr::Nop);
+    b.fuzzy(Instr::Nop);
+    b.fuzzy_branch(fuzzy_sim::Cond::Lt, 1, 2, "loop");
+    b.plain(Instr::Halt);
+    b.finish().expect("valid stream")
+}
+
+/// All-to-all units under tag 1, each with the given watchdog budget
+/// (`None` = the paper's hardware, waiting forever).
+fn units(budget: Option<u64>) -> Vec<BarrierUnit> {
+    (0..PROCS)
+        .map(|i| {
+            let mask = ((1u64 << PROCS) - 1) & !(1u64 << i);
+            let unit = BarrierUnit::new(mask, 1);
+            match budget {
+                Some(b) => unit.with_watchdog(b),
+                None => unit,
+            }
+        })
+        .collect()
+}
+
+fn machine(budget: Option<u64>, fault: ReadyFault) -> Machine {
+    let program = Program::new((0..PROCS).map(|_| stream()).collect());
+    let mut m = MachineBuilder::new(program)
+        .units(units(budget))
+        .build()
+        .expect("valid program");
+    m.inject_ready_fault(FaultPlan {
+        victim: VICTIM,
+        onset: ONSET,
+        fault,
+    });
+    m
+}
+
+fn outcome_name(out: &RunOutcome) -> &'static str {
+    match out {
+        RunOutcome::Halted { .. } => "halted",
+        RunOutcome::Deadlock { .. } => "deadlock",
+        RunOutcome::CycleLimit { .. } => "cycle-limit",
+    }
+}
+
+/// Summarizes one run as a JSON section: eviction count, sync events,
+/// total cycles and how the run ended.
+fn run_summary(m: &Machine, out: &RunOutcome) -> Json {
+    Json::obj()
+        .field("evictions", m.evictions().len())
+        .field("sync_events", m.stats().sync_events)
+        .field("cycles", out.cycles())
+        .field("outcome", outcome_name(out))
+}
+
+fn main() {
+    let mut export = StatsExport::from_env("fault_recovery");
+    banner(
+        "EF: ready-line faults and watchdog eviction",
+        "the Sec. 5 mask update, applied to a failed stream",
+    );
+
+    // 1. Stall sweep: the victim dies; survivors must evict and finish.
+    let mut table = Table::new([
+        "watchdog budget",
+        "evicted at",
+        "recovery (cycles)",
+        "survivor syncs",
+        "victim syncs",
+        "total cycles",
+        "outcome",
+    ]);
+    let mut sweep_rows = Vec::new();
+    for budget in [4u64, 8, 16, 32, 64] {
+        let mut m = machine(Some(budget), ReadyFault::Stall);
+        let out = m.run(100_000).expect("no memory faults");
+        assert_eq!(
+            m.evictions().len(),
+            1,
+            "budget {budget}: exactly the victim is evicted"
+        );
+        let ev = m.evictions()[0];
+        assert_eq!(ev.victim, VICTIM);
+        let recovery = ev
+            .recovery_latency()
+            .expect("survivors resynchronized after the eviction");
+        let survivor_syncs = (0..PROCS)
+            .filter(|&i| i != VICTIM)
+            .map(|i| m.proc_stats(i).syncs)
+            .min()
+            .unwrap_or(0);
+        assert_eq!(
+            survivor_syncs, EPISODES as u64,
+            "budget {budget}: survivors finish every episode"
+        );
+        let victim_syncs = m.proc_stats(VICTIM).syncs;
+        table.row([
+            budget.to_string(),
+            ev.fired_at.to_string(),
+            recovery.to_string(),
+            survivor_syncs.to_string(),
+            victim_syncs.to_string(),
+            out.cycles().to_string(),
+            outcome_name(&out).to_string(),
+        ]);
+        sweep_rows.push(
+            Json::obj()
+                .field("budget", budget)
+                .field("fired_at", ev.fired_at)
+                .field("recovery_cycles", recovery)
+                .field("evictions", m.evictions().len())
+                .field("survivor_syncs_min", survivor_syncs)
+                .field("victim_syncs", victim_syncs)
+                .field("cycles", out.cycles())
+                .field("outcome", outcome_name(&out)),
+        );
+    }
+    println!("\nstall at cycle {ONSET}, {PROCS} procs, {EPISODES} episodes:\n");
+    println!("{}", table.render());
+
+    // 2. A transient glitch under a generous budget: nobody is evicted.
+    let mut m = machine(Some(200), ReadyFault::Delay { cycles: 30 });
+    let out = m.run(100_000).expect("no memory faults");
+    assert!(out.is_halted(), "delay heals, run completes: {out:?}");
+    assert!(m.evictions().is_empty(), "no eviction for a healed glitch");
+    println!(
+        "transient delay (30 cycles, budget 200): {} evictions, \
+         completed in {} cycles",
+        m.evictions().len(),
+        out.cycles()
+    );
+    let delay_summary = run_summary(&m, &out);
+
+    // 3. A heavy stutter under a tight budget reads as a dead partner.
+    let mut m = machine(Some(8), ReadyFault::Stutter { p: 0.9, seed: 11 });
+    let out = m.run(100_000).expect("no memory faults");
+    assert_eq!(
+        m.evictions().len(),
+        1,
+        "deterministic seed: the flaky line is cut"
+    );
+    println!(
+        "stutter (p=0.9, budget 8): victim evicted at cycle {}, \
+         survivors ran to {:?}",
+        m.evictions()[0].fired_at,
+        out
+    );
+    let stutter_summary = run_summary(&m, &out);
+
+    if export.enabled() {
+        export.section("stall_sweep", Json::Arr(sweep_rows));
+        export.section("transient_delay", delay_summary);
+        export.section("stutter", stutter_summary);
+    }
+    export.finish();
+}

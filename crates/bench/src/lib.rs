@@ -147,6 +147,9 @@ pub fn telemetry_json(t: &TelemetrySnapshot) -> Json {
         .field("stalls", t.base.stalls)
         .field("deschedules", t.base.deschedules)
         .field("probes", t.base.probes)
+        .field("timeouts", t.base.timeouts)
+        .field("evictions", t.base.evictions)
+        .field("poisonings", t.base.poisonings)
         .field("stall_ns", t.base.stall_time.as_nanos() as u64)
         .field("stall_hist", histogram_json(&hist.buckets, "ns"))
         .field(

@@ -156,6 +156,9 @@ fn backend_telemetry() -> Shape {
         ("stalls", Shape::Num),
         ("deschedules", Shape::Num),
         ("probes", Shape::Num),
+        ("timeouts", Shape::Num),
+        ("evictions", Shape::Num),
+        ("poisonings", Shape::Num),
         ("stall_ns", Shape::Num),
         ("stall_hist", stall_hist()),
         (
@@ -226,6 +229,38 @@ pub fn encore_shape() -> Shape {
                 ("tree", backend_telemetry()),
             ]),
         ),
+    ])
+}
+
+/// Summary block shared by the single-run sections of the fault-recovery
+/// export.
+fn fault_run_summary() -> Shape {
+    obj([
+        ("evictions", Shape::Num),
+        ("sync_events", Shape::Num),
+        ("cycles", Shape::Num),
+        ("outcome", Shape::Str),
+    ])
+}
+
+/// The full `exp_fault_recovery --stats-json` document shape.
+#[must_use]
+pub fn fault_recovery_shape() -> Shape {
+    let sweep_row = obj([
+        ("budget", Shape::Num),
+        ("fired_at", Shape::Num),
+        ("recovery_cycles", Shape::Num),
+        ("evictions", Shape::Num),
+        ("survivor_syncs_min", Shape::Num),
+        ("victim_syncs", Shape::Num),
+        ("cycles", Shape::Num),
+        ("outcome", Shape::Str),
+    ]);
+    obj([
+        ("experiment", Shape::Str),
+        ("stall_sweep", arr_of(sweep_row)),
+        ("transient_delay", fault_run_summary()),
+        ("stutter", fault_run_summary()),
     ])
 }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! check [--backend central|counting|dissemination|tree|all]
-//!       [--scenario protocol|subset|registry|all]
+//!       [--scenario protocol|subset|registry|poison|evict|all]
 //!       [-n/--participants N] [--episodes E]
 //!       [--mode dfs|random] [--schedules N] [--seed S]
 //!       [--preemptions N|unlimited]
@@ -58,7 +58,7 @@ impl Default for Config {
 fn usage() -> ! {
     eprintln!(
         "usage: check [--backend central|counting|dissemination|tree|all]\n\
-         \x20            [--scenario protocol|subset|registry|all]\n\
+         \x20            [--scenario protocol|subset|registry|poison|evict|all]\n\
          \x20            [-n|--participants N] [--episodes E]\n\
          \x20            [--mode dfs|random] [--schedules N] [--seed S]\n\
          \x20            [--preemptions N|unlimited]\n\
@@ -96,9 +96,17 @@ fn parse_args() -> Config {
                 let v = value("--scenario");
                 match v.as_str() {
                     "all" => {
-                        cfg.scenarios = vec!["protocol".into(), "subset".into(), "registry".into()];
+                        cfg.scenarios = vec![
+                            "protocol".into(),
+                            "subset".into(),
+                            "registry".into(),
+                            "poison".into(),
+                            "evict".into(),
+                        ];
                     }
-                    "protocol" | "subset" | "registry" => cfg.scenarios = vec![v],
+                    "protocol" | "subset" | "registry" | "poison" | "evict" => {
+                        cfg.scenarios = vec![v];
+                    }
                     _ => {
                         eprintln!("check: unknown scenario {v:?}");
                         usage();
@@ -185,6 +193,16 @@ fn scenarios(cfg: &Config) -> Vec<Scenario> {
                 out.push(fuzzy_check::subset_overlap(cfg.episodes));
             }
             "registry" => out.push(fuzzy_check::registry(cfg.episodes)),
+            "poison" => {
+                for backend in &cfg.backends {
+                    out.push(fuzzy_check::poison(*backend, cfg.participants));
+                }
+            }
+            "evict" => {
+                for backend in &cfg.backends {
+                    out.push(fuzzy_check::evict(*backend, cfg.participants, cfg.episodes));
+                }
+            }
             _ => unreachable!("validated in parse_args"),
         }
     }

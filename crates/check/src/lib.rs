@@ -39,8 +39,10 @@
 //! cargo run -p fuzzy-check --bin check -- --backend all -n 3 --schedules 10000
 //! ```
 //!
-//! The [`mutants`] module carries five seeded-bug backends the checker
-//! must catch; `cargo test -p fuzzy-check` proves it does.
+//! The [`mutants`] module carries seven seeded-bug backends the checker
+//! must catch — five concurrency races plus two fault-handling bugs (a
+//! no-op poison and a mask-preserving eviction); `cargo test -p
+//! fuzzy-check` proves it does.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,7 +58,8 @@ pub use explore::{
     explore_dfs, explore_random, replay, ExploreOptions, Outcome, Scenario, ScheduleRun,
 };
 pub use scenario::{
-    classify, protocol, protocol_with, registry, subset_overlap, subset_pair, BackendKind, Ledger,
+    classify, evict, evict_with, poison, poison_with, protocol, protocol_with, registry,
+    subset_overlap, subset_pair, BackendKind, Ledger,
 };
 pub use sched::{Defect, RunResult, Violation, DEFAULT_STEP_LIMIT};
 pub use shadow::ShadowSync;

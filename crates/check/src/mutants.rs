@@ -4,15 +4,20 @@
 //! concurrency bug — the kind a refactor could plausibly create. They are
 //! the checker's regression suite in reverse: a checker release is only
 //! trustworthy if it *fails* every one of these within its schedule
-//! budget. Three of the five are interleaving-dependent (they pass on the
-//! default round-robin-ish schedule and need a specific preemption), which
-//! is precisely what distinguishes a model checker from a stress test.
+//! budget. Three of the first five are interleaving-dependent (they pass
+//! on the default round-robin-ish schedule and need a specific
+//! preemption), which is precisely what distinguishes a model checker
+//! from a stress test. The last two seed *fault-handling* bugs — a
+//! recovery layer that forgets to poison, and an eviction that forgets to
+//! shrink the mask — caught by the poison/evict scenarios.
 
 use crate::shadow::ShadowSync;
 use fuzzy_barrier::spin::SpinReport;
 use fuzzy_barrier::stats::StatsSnapshot;
 use fuzzy_barrier::sync::{Atomic, SyncOps};
-use fuzzy_barrier::{ArrivalToken, SplitBarrier, StallPolicy, WaitOutcome};
+use fuzzy_barrier::{
+    ArrivalToken, BarrierError, CentralBarrier, Deadline, SplitBarrier, StallPolicy, WaitOutcome,
+};
 use std::sync::atomic::Ordering;
 
 fn outcome(episode: u64, report: SpinReport) -> WaitOutcome {
@@ -429,5 +434,144 @@ impl<S: SyncOps> SplitBarrier for MutantEarlyRelease<S> {
 
     fn stats(&self) -> StatsSnapshot {
         StatsSnapshot::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantNoPoison: forgets to poison
+// ---------------------------------------------------------------------------
+
+/// A fault-handling wrapper around the stock [`CentralBarrier`] whose
+/// `poison` is a **no-op** — the "caught the panic, forgot to tell the
+/// barrier" bug. `abort` still consumes the aborter's token, so the
+/// in-flight episode may complete, but peers that arrive for the *next*
+/// episode wait for a participant that will never come and nobody ever
+/// releases them: a deadlock only the poison path could have prevented.
+#[derive(Debug)]
+pub struct MutantNoPoison {
+    inner: CentralBarrier<ShadowSync>,
+}
+
+impl MutantNoPoison {
+    /// Creates the mutant for `n` participants.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        MutantNoPoison {
+            inner: CentralBarrier::with_policy_in(n, StallPolicy::Spin),
+        }
+    }
+}
+
+impl SplitBarrier for MutantNoPoison {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        self.inner.arrive(id)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.inner.is_complete(token)
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        self.inner.wait(token)
+    }
+
+    fn wait_deadline(
+        &self,
+        token: ArrivalToken,
+        deadline: Deadline,
+    ) -> Result<WaitOutcome, BarrierError> {
+        self.inner.wait_deadline(token, deadline)
+    }
+
+    // BUG (seeded): the recovery layer swallows the failure instead of
+    // poisoning. `abort` (the trait default) drops the token and calls
+    // *this* no-op, so peers blocked on the next episode hang forever.
+    fn poison(&self) {}
+
+    fn evict(&self, id: usize) -> Result<(), BarrierError> {
+        self.inner.evict(id)
+    }
+
+    fn participants(&self) -> usize {
+        self.inner.participants()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantEvictNoMask: evicts without shrinking the mask
+// ---------------------------------------------------------------------------
+
+/// A fault-handling wrapper around the stock [`CentralBarrier`] whose
+/// `evict` supplies the stand-in arrival but **forgets to shrink the
+/// participant mask**. The in-flight episode completes (the stand-in
+/// counts), so the bug looks fixed — but every later episode still waits
+/// for the dead participant's arrival. The survivors' ledger shows all of
+/// them arrived, so the checker classifies the hang as a lost wakeup.
+#[derive(Debug)]
+pub struct MutantEvictNoMask {
+    inner: CentralBarrier<ShadowSync>,
+}
+
+impl MutantEvictNoMask {
+    /// Creates the mutant for `n` participants.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        MutantEvictNoMask {
+            inner: CentralBarrier::with_policy_in(n, StallPolicy::Spin),
+        }
+    }
+}
+
+impl SplitBarrier for MutantEvictNoMask {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        self.inner.arrive(id)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.inner.is_complete(token)
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        self.inner.wait(token)
+    }
+
+    fn wait_deadline(
+        &self,
+        token: ArrivalToken,
+        deadline: Deadline,
+    ) -> Result<WaitOutcome, BarrierError> {
+        self.inner.wait_deadline(token, deadline)
+    }
+
+    fn poison(&self) {
+        self.inner.poison();
+    }
+
+    fn clear_poison(&self) {
+        self.inner.clear_poison();
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    fn evict(&self, id: usize) -> Result<(), BarrierError> {
+        // BUG (seeded): one stand-in arrival on the evictee's behalf, but
+        // the expected-arrivals mask keeps its old width — the *next*
+        // episode still counts the dead participant.
+        drop(self.inner.arrive(id));
+        Ok(())
+    }
+
+    fn participants(&self) -> usize {
+        self.inner.participants()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
     }
 }

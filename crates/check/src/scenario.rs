@@ -16,8 +16,8 @@ use crate::explore::{Job, Scenario, ScheduleRun};
 use crate::sched::Defect;
 use crate::shadow::ShadowSync;
 use fuzzy_barrier::{
-    BarrierError, CentralBarrier, CountingBarrier, DisseminationBarrier, GroupRegistry, ProcMask,
-    SplitBarrier, StallPolicy, SubsetBarrier, Tag, TreeBarrier,
+    BarrierError, CentralBarrier, CountingBarrier, Deadline, DisseminationBarrier, GroupRegistry,
+    ProcMask, SplitBarrier, StallPolicy, SubsetBarrier, Tag, TreeBarrier,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -685,6 +685,8 @@ fn registry_body(
 /// the controller after a clean schedule (all privates released; only the
 /// shared barrier lives).
 fn registry_capacity_check(reg: &GroupRegistry<ShadowSync>) -> Option<Defect> {
+    // Hold every allocated handle: a dropped handle is an orphan the
+    // registry may sweep to make room, which would defeat the fill.
     let mut allocated = Vec::new();
     let verdict = loop {
         if allocated.len() > reg.capacity() {
@@ -694,7 +696,7 @@ fn registry_capacity_check(reg: &GroupRegistry<ShadowSync>) -> Option<Defect> {
             });
         }
         match reg.allocate(ProcMask::single(0)) {
-            Ok((tag, _)) => allocated.push(tag),
+            Ok(entry) => allocated.push(entry),
             Err(BarrierError::RegistryFull { capacity }) => {
                 break (reg.live_barriers() != capacity).then(|| Defect::ProtocolError {
                     thread: 0,
@@ -712,8 +714,310 @@ fn registry_capacity_check(reg: &GroupRegistry<ShadowSync>) -> Option<Defect> {
             }
         }
     };
-    for tag in allocated {
+    for (tag, _handle) in allocated {
         let _ = reg.release(tag);
     }
     verdict
+}
+
+// ---------------------------------------------------------------------------
+// Fault scenarios (poisoning and eviction)
+// ---------------------------------------------------------------------------
+
+/// Poisoning scenario: participant `n − 1` arrives for episode 0 and then
+/// [`SplitBarrier::abort`]s (its arrival stands, the barrier is poisoned);
+/// the survivors drive unbounded [`SplitBarrier::wait_deadline`] calls.
+///
+/// What must hold in **every** interleaving:
+///
+/// * episode 0 either completes (`Ok`, fuzzy property checked against the
+///   full ledger — completion wins over poison) or reports
+///   [`BarrierError::Poisoned`];
+/// * episode 1 can never complete (the aborter never re-arrives), so each
+///   survivor's wait must end in `Poisoned` — a backend that forgets to
+///   poison deadlocks here, which is exactly how the checker catches
+///   [`crate::mutants::MutantNoPoison`];
+/// * no wait returns [`BarrierError::Timeout`] (no deadline was armed).
+pub fn poison_with(
+    name: impl Into<String>,
+    n: usize,
+    mut factory: impl FnMut() -> Arc<dyn SplitBarrier> + 'static,
+) -> Scenario {
+    assert!(n >= 2, "the poison scenario needs a survivor");
+    Scenario {
+        name: name.into(),
+        threads: n,
+        build: Box::new(move || {
+            let barrier = factory();
+            assert_eq!(barrier.participants(), n, "factory/participant mismatch");
+            let ledger = Arc::new(Ledger::new((0..n).collect()));
+            let bodies: Vec<Job> = (0..n)
+                .map(|id| {
+                    let barrier = Arc::clone(&barrier);
+                    let ledger = Arc::clone(&ledger);
+                    Box::new(move || {
+                        if id == n - 1 {
+                            aborter_body(&*barrier, &ledger, id);
+                        } else {
+                            poison_survivor_body(&*barrier, &ledger, id);
+                        }
+                    }) as Job
+                })
+                .collect();
+            let ledgers = vec![Arc::clone(&ledger)];
+            ScheduleRun {
+                bodies,
+                finish: Box::new(move |defect| classify(&ledgers, defect)),
+            }
+        }),
+    }
+}
+
+/// [`poison_with`] over a stock backend.
+#[must_use]
+pub fn poison(backend: BackendKind, n: usize) -> Scenario {
+    poison_with(format!("poison/{}/n{n}", backend.name()), n, move || {
+        backend.build_shadow(n)
+    })
+}
+
+fn aborter_body(barrier: &dyn SplitBarrier, ledger: &Ledger, id: usize) {
+    ledger.begin(id);
+    let token = barrier.arrive(id);
+    if ctx::aborted() {
+        return;
+    }
+    // Panic path: the arrival stands, the token is consumed, peers are
+    // released with `Poisoned` instead of hanging on the next episode.
+    barrier.abort(token);
+}
+
+fn poison_survivor_body(barrier: &dyn SplitBarrier, ledger: &Ledger, id: usize) {
+    // Episode 0: everyone (including the aborter) arrives, so either
+    // completion or poisoning can win the race.
+    ledger.begin(id);
+    let token = barrier.arrive(id);
+    ledger.enter_wait(id, 0);
+    let result = barrier.wait_deadline(token, Deadline::never());
+    if ctx::aborted() {
+        return;
+    }
+    match result {
+        Ok(outcome) => {
+            ledger.exit_wait(id);
+            if outcome.episode != 0 {
+                ctx::report(Defect::ProtocolError {
+                    thread: id,
+                    message: format!("expected episode 0, wait returned {}", outcome.episode),
+                });
+                return;
+            }
+            ledger.check_fuzzy(id, 0);
+        }
+        Err(BarrierError::Poisoned { .. }) => {
+            ledger.exit_wait(id);
+            // Poison won before episode 0 completed; nothing further to
+            // assert — the wait did not hang and did not return Ok early.
+            return;
+        }
+        Err(err) => {
+            report_err(id, "episode-0 wait", &err);
+            return;
+        }
+    }
+    if ctx::aborted() {
+        return;
+    }
+    // Episode 1: the aborter never re-arrives, so completion is
+    // impossible; the only legal exit from an unbounded wait is Poisoned.
+    ledger.begin(id);
+    let token = barrier.arrive(id);
+    ledger.enter_wait(id, 1);
+    let result = barrier.wait_deadline(token, Deadline::never());
+    if ctx::aborted() {
+        return;
+    }
+    match result {
+        Err(BarrierError::Poisoned { .. }) => {
+            ledger.exit_wait(id);
+        }
+        Ok(outcome) => {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: format!(
+                    "episode 1 completed (episode {}) without the aborter",
+                    outcome.episode
+                ),
+            });
+        }
+        Err(err) => report_err(id, "episode-1 wait", &err),
+    }
+}
+
+/// Eviction scenario: all `n` participants complete episode 0 at full
+/// strength; participant `n − 1` then evicts itself (a stand-in for a
+/// supervisor evicting a stuck-before-arrival straggler) and the survivors
+/// drive `episodes` more episodes without it.
+///
+/// What must hold in **every** interleaving:
+///
+/// * episode 0 completes with the fuzzy property over the full ledger;
+/// * every survivor episode completes with the fuzzy property over the
+///   *survivor* ledger — the eviction can neither lose the survivors'
+///   wakeups (deadlock) nor let their waits return before every survivor
+///   arrived;
+/// * an eviction that forgets to shrink the mask
+///   ([`crate::mutants::MutantEvictNoMask`]) strands the second
+///   post-eviction episode: the survivor ledger shows everyone arrived,
+///   so the checker classifies it as a lost wakeup.
+pub fn evict_with(
+    name: impl Into<String>,
+    n: usize,
+    episodes: u64,
+    mut factory: impl FnMut() -> Arc<dyn SplitBarrier> + 'static,
+) -> Scenario {
+    assert!(n >= 2, "the evict scenario needs a survivor");
+    Scenario {
+        name: name.into(),
+        threads: n,
+        build: Box::new(move || {
+            let barrier = factory();
+            assert_eq!(barrier.participants(), n, "factory/participant mismatch");
+            let full = Arc::new(Ledger::new((0..n).collect()));
+            // Post-eviction episodes are tracked against the survivors
+            // only, re-numbered from zero (ledger episode = barrier
+            // episode − 1).
+            let survivors = Arc::new(Ledger::new((0..n - 1).collect()));
+            let bodies: Vec<Job> = (0..n)
+                .map(|id| {
+                    let barrier = Arc::clone(&barrier);
+                    let full = Arc::clone(&full);
+                    let survivors = Arc::clone(&survivors);
+                    Box::new(move || {
+                        if id == n - 1 {
+                            evictee_body(&*barrier, &full, id);
+                        } else {
+                            evict_survivor_body(&*barrier, &full, &survivors, id, episodes);
+                        }
+                    }) as Job
+                })
+                .collect();
+            let ledgers = vec![Arc::clone(&full), Arc::clone(&survivors)];
+            ScheduleRun {
+                bodies,
+                finish: Box::new(move |defect| classify(&ledgers, defect)),
+            }
+        }),
+    }
+}
+
+/// [`evict_with`] over a stock backend.
+#[must_use]
+pub fn evict(backend: BackendKind, n: usize, episodes: u64) -> Scenario {
+    evict_with(
+        format!("evict/{}/n{n}/e{episodes}", backend.name()),
+        n,
+        episodes,
+        move || backend.build_shadow(n),
+    )
+}
+
+fn evictee_body(barrier: &dyn SplitBarrier, full: &Ledger, id: usize) {
+    full.begin(id);
+    let token = barrier.arrive(id);
+    full.enter_wait(id, 0);
+    let result = barrier.wait_deadline(token, Deadline::never());
+    if ctx::aborted() {
+        return;
+    }
+    match result {
+        Ok(outcome) if outcome.episode == 0 => {
+            full.exit_wait(id);
+            full.check_fuzzy(id, 0);
+        }
+        Ok(outcome) => {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: format!("expected episode 0, wait returned {}", outcome.episode),
+            });
+            return;
+        }
+        Err(err) => {
+            report_err(id, "evictee episode-0 wait", &err);
+            return;
+        }
+    }
+    if ctx::aborted() {
+        return;
+    }
+    // Contract honored: the evictee has not arrived for the in-flight
+    // episode (it only ever arrived for the completed episode 0).
+    if let Err(err) = barrier.evict(id) {
+        report_err(id, "self-evict", &err);
+    }
+}
+
+fn evict_survivor_body(
+    barrier: &dyn SplitBarrier,
+    full: &Ledger,
+    survivors: &Ledger,
+    id: usize,
+    episodes: u64,
+) {
+    // Episode 0 at full strength.
+    full.begin(id);
+    let token = barrier.arrive(id);
+    full.enter_wait(id, 0);
+    let result = barrier.wait_deadline(token, Deadline::never());
+    if ctx::aborted() {
+        return;
+    }
+    match result {
+        Ok(outcome) if outcome.episode == 0 => {
+            full.exit_wait(id);
+            full.check_fuzzy(id, 0);
+        }
+        Ok(outcome) => {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: format!("expected episode 0, wait returned {}", outcome.episode),
+            });
+            return;
+        }
+        Err(err) => {
+            report_err(id, "episode-0 wait", &err);
+            return;
+        }
+    }
+    // Post-eviction episodes: the evictee's ghost must keep the barrier
+    // completing for the survivors alone.
+    for e in 1..=episodes {
+        if ctx::aborted() {
+            return;
+        }
+        survivors.begin(id);
+        let token = barrier.arrive(id);
+        survivors.enter_wait(id, e - 1);
+        let result = barrier.wait_deadline(token, Deadline::never());
+        if ctx::aborted() {
+            return;
+        }
+        match result {
+            Ok(outcome) if outcome.episode == e => {
+                survivors.exit_wait(id);
+                survivors.check_fuzzy(id, e - 1);
+            }
+            Ok(outcome) => {
+                ctx::report(Defect::ProtocolError {
+                    thread: id,
+                    message: format!("expected episode {e}, wait returned {}", outcome.episode),
+                });
+                return;
+            }
+            Err(err) => {
+                report_err(id, "survivor wait", &err);
+                return;
+            }
+        }
+    }
 }

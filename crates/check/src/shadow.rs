@@ -95,6 +95,7 @@ impl SyncOps for ShadowSync {
                     probes,
                     descheduled,
                     waited: Duration::ZERO,
+                    timed_out: false,
                 };
             }
             // Capture the generation BEFORE probing: a write that lands
@@ -106,6 +107,7 @@ impl SyncOps for ShadowSync {
                     probes,
                     descheduled,
                     waited: Duration::ZERO,
+                    timed_out: false,
                 };
             }
             probes += 1;

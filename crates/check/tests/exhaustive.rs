@@ -7,8 +7,8 @@
 //! explored schedule.
 
 use fuzzy_check::{
-    explore_dfs, explore_random, protocol, registry, subset_overlap, subset_pair, BackendKind,
-    ExploreOptions, Outcome,
+    evict, explore_dfs, explore_random, poison, protocol, registry, subset_overlap, subset_pair,
+    BackendKind, ExploreOptions, Outcome,
 };
 
 fn bounded(bound: usize) -> ExploreOptions {
@@ -75,6 +75,25 @@ fn registry_exhausts_with_allocation_churn() {
     // Dynamic streams: per-episode allocate/release with tag reuse, the
     // N−1 capacity bound asserted at every step of every schedule.
     must_exhaust(registry(2), 2);
+}
+
+#[test]
+fn all_backends_exhaust_poison_at_three_participants() {
+    // One participant aborts mid-episode; every surviving waiter must end
+    // with Poisoned (or a completed episode 0), never a hang or an early
+    // return — across every bounded interleaving.
+    for backend in BackendKind::ALL {
+        must_exhaust(poison(backend, 3), 1);
+    }
+}
+
+#[test]
+fn all_backends_exhaust_evict_at_three_participants() {
+    // A participant is evicted after episode 0; survivors must complete
+    // two further episodes with no lost wakeup and no fuzzy violation.
+    for backend in BackendKind::ALL {
+        must_exhaust(evict(backend, 3, 2), 1);
+    }
 }
 
 #[test]

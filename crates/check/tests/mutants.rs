@@ -5,10 +5,12 @@
 
 use fuzzy_barrier::SplitBarrier;
 use fuzzy_check::mutants::{
-    MutantCentral, MutantCounting, MutantDissemination, MutantEarlyRelease, MutantTree,
+    MutantCentral, MutantCounting, MutantDissemination, MutantEarlyRelease, MutantEvictNoMask,
+    MutantNoPoison, MutantTree,
 };
 use fuzzy_check::{
-    explore_dfs, explore_random, protocol_with, replay, Defect, ExploreOptions, Outcome, ShadowSync,
+    evict_with, explore_dfs, explore_random, poison_with, protocol_with, replay, Defect,
+    ExploreOptions, Outcome, ShadowSync,
 };
 use std::sync::Arc;
 
@@ -169,6 +171,66 @@ fn random_mode_also_catches_a_mutant() {
         }
         Outcome::Pass { schedules, .. } => {
             panic!("random mode missed the torn increment in {schedules} schedules")
+        }
+    }
+}
+
+#[test]
+fn forgotten_poison_is_caught() {
+    // The aborter calls abort(), but the mutant's poison() is a no-op, so
+    // the survivors never learn episode 1 can't complete and hang forever
+    // in wait_deadline(never). Episode 1 is not fully arrived (the aborter
+    // quit), so this classifies as a plain deadlock, not a lost wakeup.
+    let mut scenario = poison_with("mutant/no-poison".to_string(), 3, || {
+        Arc::new(MutantNoPoison::new(3)) as Arc<dyn SplitBarrier>
+    });
+    match explore_dfs(&mut scenario, &opts(2)) {
+        Outcome::Fail {
+            violation,
+            schedules,
+        } => {
+            assert!(
+                is_lost_signal(&violation.defect),
+                "mutant/no-poison: wrong defect class: {:?}",
+                violation.defect
+            );
+            eprintln!(
+                "mutant/no-poison: caught after {schedules} schedules: {}",
+                violation.defect
+            );
+        }
+        Outcome::Pass { schedules, .. } => {
+            panic!("mutant/no-poison survived {schedules} schedules")
+        }
+    }
+}
+
+#[test]
+fn eviction_without_mask_update_is_caught() {
+    // The mutant "evicts" by pushing a stand-in arrival instead of
+    // shrinking the expected mask. The first post-evict episode completes
+    // on the free arrival; the second strands the survivors with a fully
+    // arrived survivor ledger — a lost wakeup. Needs episodes >= 2.
+    let mut scenario = evict_with("mutant/evict-no-mask".to_string(), 3, 2, || {
+        Arc::new(MutantEvictNoMask::new(3)) as Arc<dyn SplitBarrier>
+    });
+    match explore_dfs(&mut scenario, &opts(2)) {
+        Outcome::Fail {
+            violation,
+            schedules,
+        } => {
+            assert!(
+                is_lost_signal(&violation.defect),
+                "mutant/evict-no-mask: wrong defect class: {:?}",
+                violation.defect
+            );
+            eprintln!(
+                "mutant/evict-no-mask: caught after {schedules} schedules: {}",
+                violation.defect
+            );
+        }
+        Outcome::Pass { schedules, .. } => {
+            panic!("mutant/evict-no-mask survived {schedules} schedules")
         }
     }
 }

@@ -1,5 +1,7 @@
 //! Centralized (single-counter) split-phase barrier.
 
+use crate::error::BarrierError;
+use crate::failure::{self, Deadline, OnTimeout, WaitPolicy};
 use crate::spin::StallPolicy;
 use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
 use crate::sync::{Atomic, RealSync, SyncOps};
@@ -47,6 +49,10 @@ pub struct CentralBarrier<S: SyncOps = RealSync> {
     episode: CachePadded<S::AtomicU64>,
     /// Per-participant count of arrivals performed, used to stamp tokens.
     local_episode: Vec<CachePadded<S::AtomicU64>>,
+    /// Non-zero once the barrier is poisoned (see [`SplitBarrier::poison`]).
+    poisoned: CachePadded<S::AtomicU32>,
+    /// Per-participant eviction flags (non-zero once evicted).
+    evicted: Vec<CachePadded<S::AtomicU32>>,
     stats: BarrierStats,
 }
 
@@ -91,6 +97,10 @@ impl<S: SyncOps> CentralBarrier<S> {
             episode: CachePadded::new(S::AtomicU64::new(0)),
             local_episode: (0..n)
                 .map(|_| CachePadded::new(S::AtomicU64::new(0)))
+                .collect(),
+            poisoned: CachePadded::new(S::AtomicU32::new(0)),
+            evicted: (0..n)
+                .map(|_| CachePadded::new(S::AtomicU32::new(0)))
                 .collect(),
             stats: BarrierStats::with_participants(n),
         }
@@ -146,6 +156,34 @@ impl<S: SyncOps> CentralBarrier<S> {
             self.n
         );
     }
+
+    /// The poison-aware bounded wait all wait flavors funnel through.
+    fn wait_core(
+        &self,
+        token: &ArrivalToken,
+        deadline: Deadline,
+        policy: StallPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        let result = failure::guarded_wait::<S>(
+            policy,
+            deadline,
+            token.episode,
+            || self.episode.load(Ordering::Acquire) > token.episode,
+            || self.poisoned.load(Ordering::Acquire) != 0,
+        );
+        match result {
+            Ok(outcome) => {
+                self.stats.record_wait(token.id, &outcome);
+                Ok(outcome)
+            }
+            Err(fault) => {
+                if matches!(fault.error, BarrierError::Timeout { .. }) {
+                    self.stats.record_timeout(token.id, &fault.report);
+                }
+                Err(fault.error)
+            }
+        }
+    }
 }
 
 impl<S: SyncOps> SplitBarrier for CentralBarrier<S> {
@@ -172,12 +210,84 @@ impl<S: SyncOps> SplitBarrier for CentralBarrier<S> {
     }
 
     fn wait(&self, token: ArrivalToken) -> WaitOutcome {
-        let report = S::wait_until(self.policy, || {
-            self.episode.load(Ordering::Acquire) > token.episode
-        });
-        let outcome = WaitOutcome::from_report(token.episode, report);
-        self.stats.record_wait(token.id, &outcome);
-        outcome
+        match self.wait_core(&token, Deadline::never(), self.policy) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("CentralBarrier::wait failed: {e} (use wait_deadline to recover)"),
+        }
+    }
+
+    fn wait_deadline(
+        &self,
+        token: ArrivalToken,
+        deadline: Deadline,
+    ) -> Result<WaitOutcome, BarrierError> {
+        self.wait_core(&token, deadline, self.policy)
+    }
+
+    fn wait_with(
+        &self,
+        token: ArrivalToken,
+        policy: &WaitPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        let backoff = policy.backoff.unwrap_or(self.policy);
+        let result = self.wait_core(&token, policy.arm(), backoff);
+        if matches!(result, Err(BarrierError::Timeout { .. }))
+            && policy.on_timeout == OnTimeout::Poison
+        {
+            self.poison();
+        }
+        result
+    }
+
+    fn poison(&self) {
+        if self.poisoned.fetch_max(1, Ordering::AcqRel) == 0 {
+            self.stats.record_poisoning();
+        }
+    }
+
+    fn clear_poison(&self) {
+        self.poisoned.store(0, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire) != 0
+    }
+
+    fn evict(&self, id: usize) -> Result<(), BarrierError> {
+        if id >= self.n {
+            return Err(BarrierError::InvalidParticipant {
+                id,
+                capacity: self.n,
+            });
+        }
+        // A dead id stays dead regardless of how many live remain, so the
+        // already-evicted check comes first; the RMW below re-checks it
+        // when claiming. (Concurrent evictions that race past the
+        // EmptyGroup check toward an empty barrier are a caller contract
+        // violation, as for `leave`.)
+        if self.evicted[id].load(Ordering::Acquire) != 0 {
+            return Err(BarrierError::NotAParticipant { id });
+        }
+        if self.expected.load(Ordering::Acquire) <= 1 {
+            return Err(BarrierError::EmptyGroup);
+        }
+        if self.evicted[id].fetch_max(1, Ordering::AcqRel) != 0 {
+            return Err(BarrierError::NotAParticipant { id });
+        }
+        self.stats.record_eviction();
+        // Same discipline as `leave`: shrink the expectation BEFORE the
+        // stand-in arrival decrement, so the episode resetter (ordered
+        // after us by the RMW chain on `count`) re-arms with the shrunk
+        // value. The evicted participant must not have arrived for the
+        // in-flight episode — this decrement is its stand-in arrival.
+        self.expected.fetch_sub(1, Ordering::AcqRel);
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let expected = self.expected.load(Ordering::Acquire);
+            self.count.store(expected, Ordering::Release);
+            self.episode.fetch_add(1, Ordering::Release);
+            self.stats.record_episode();
+        }
+        Ok(())
     }
 
     fn participants(&self) -> usize {
@@ -331,6 +441,146 @@ mod tests {
     fn last_participant_cannot_leave() {
         let b = CentralBarrier::new(1);
         b.leave(0);
+    }
+
+    #[test]
+    fn stalled_participant_times_out_then_eviction_recovers() {
+        // The headline fault story at N=4: participant 3 permanently stalls
+        // before arriving. Peers no longer deadlock — they observe a
+        // Timeout within their deadline, the straggler is evicted, and the
+        // survivors complete the next episode.
+        let n = 4;
+        let b = Arc::new(CentralBarrier::new(n));
+        std::thread::scope(|s| {
+            let mut waiters = Vec::new();
+            for id in 0..3 {
+                let b = Arc::clone(&b);
+                waiters.push(s.spawn(move || {
+                    let t = b.arrive(id);
+                    let err = b
+                        .wait_deadline(t, Deadline::after(std::time::Duration::from_millis(30)))
+                        .unwrap_err();
+                    assert_eq!(err, BarrierError::Timeout { episode: 0 });
+                }));
+            }
+            for w in waiters {
+                w.join().unwrap();
+            }
+        });
+        // Evict the straggler: its stand-in arrival completes episode 0.
+        b.evict(3).unwrap();
+        assert_eq!(b.remaining_participants(), 3);
+        // Survivors re-synchronize on the next episode.
+        std::thread::scope(|s| {
+            for id in 0..3 {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    let t = b.arrive(id);
+                    let o = b.wait(t);
+                    assert_eq!(o.episode, 1);
+                });
+            }
+        });
+        let stats = b.stats();
+        assert_eq!(stats.timeouts, 3);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.episodes, 2);
+    }
+
+    #[test]
+    fn poison_releases_unbounded_deadline_waiters() {
+        let b = Arc::new(CentralBarrier::new(2));
+        std::thread::scope(|s| {
+            let b0 = Arc::clone(&b);
+            s.spawn(move || {
+                let t = b0.arrive(0);
+                let err = b0.wait_deadline(t, Deadline::never()).unwrap_err();
+                assert_eq!(err, BarrierError::Poisoned { episode: 0 });
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            b.poison();
+        });
+        assert!(b.is_poisoned());
+        assert_eq!(b.stats().poisonings, 1);
+        // Recovery: clear the poison, evict the participant that never
+        // arrived, and the survivor synchronizes alone from then on.
+        b.clear_poison();
+        assert!(!b.is_poisoned());
+        b.evict(1).unwrap();
+        let t = b.arrive(0);
+        assert_eq!(b.wait(t).episode, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "use wait_deadline to recover")]
+    fn plain_wait_panics_on_poison() {
+        let b = CentralBarrier::new(2);
+        let t = b.arrive(0);
+        b.poison();
+        let _ = b.wait(t);
+    }
+
+    #[test]
+    fn abort_consumes_token_and_poisons() {
+        let b = CentralBarrier::new(2);
+        let t = b.arrive(0);
+        b.abort(t);
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn completion_wins_over_poison() {
+        let b = CentralBarrier::new(1);
+        let t = b.arrive(0); // n == 1: the episode completes immediately
+        b.poison();
+        let o = b
+            .wait_deadline(t, Deadline::never())
+            .expect("completed episode must win over poison");
+        assert_eq!(o.episode, 0);
+    }
+
+    #[test]
+    fn wait_with_poison_on_timeout_releases_peers() {
+        // Participant 2 never arrives. Participant 0 escalates its timeout
+        // to a poisoning, which releases participant 1's unbounded wait.
+        let b = Arc::new(CentralBarrier::new(3));
+        std::thread::scope(|s| {
+            let b0 = Arc::clone(&b);
+            s.spawn(move || {
+                let t = b0.arrive(0);
+                let policy = WaitPolicy::new()
+                    .deadline(std::time::Duration::from_millis(20))
+                    .on_timeout(OnTimeout::Poison);
+                let err = b0.wait_with(t, &policy).unwrap_err();
+                assert_eq!(err, BarrierError::Timeout { episode: 0 });
+            });
+            let b1 = Arc::clone(&b);
+            s.spawn(move || {
+                let t = b1.arrive(1);
+                let err = b1.wait_deadline(t, Deadline::never()).unwrap_err();
+                assert_eq!(err, BarrierError::Poisoned { episode: 0 });
+            });
+        });
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn evict_guards_reject_bad_ids() {
+        let b = CentralBarrier::new(2);
+        assert_eq!(
+            b.evict(5).unwrap_err(),
+            BarrierError::InvalidParticipant { id: 5, capacity: 2 }
+        );
+        b.evict(1).unwrap();
+        assert_eq!(
+            b.evict(1).unwrap_err(),
+            BarrierError::NotAParticipant { id: 1 }
+        );
+        assert_eq!(b.evict(0).unwrap_err(), BarrierError::EmptyGroup);
+        // The survivor still synchronizes: its arrival joins the evictee's
+        // stand-in arrival to complete episode 0.
+        let t = b.arrive(0);
+        assert_eq!(b.wait(t).episode, 0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Dissemination split-phase barrier — O(log n) rounds, no hot spot.
 
+use crate::error::BarrierError;
+use crate::failure::{self, Deadline, OnTimeout, WaitPolicy};
 use crate::spin::StallPolicy;
 use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
 use crate::sync::{Atomic, RealSync, SyncOps};
@@ -44,6 +46,13 @@ pub struct DisseminationBarrier<S: SyncOps = RealSync> {
     progress: Vec<CachePadded<Progress<S>>>,
     /// Highest episode any participant has fully completed (for stats).
     completed: CachePadded<S::AtomicU64>,
+    /// Number of evicted participants (guards against emptying the barrier).
+    dead: CachePadded<S::AtomicUsize>,
+    /// Non-zero once the barrier is poisoned.
+    poisoned: CachePadded<S::AtomicU32>,
+    /// Per-participant eviction flags (non-zero once evicted). Read by the
+    /// ghost-signal closure in [`Self::flag_ready`].
+    evicted: Vec<CachePadded<S::AtomicU32>>,
     stats: BarrierStats,
 }
 
@@ -128,6 +137,11 @@ impl<S: SyncOps> DisseminationBarrier<S> {
             flags,
             progress: (0..n).map(|_| CachePadded::new(Progress::new())).collect(),
             completed: CachePadded::new(S::AtomicU64::new(0)),
+            dead: CachePadded::new(S::AtomicUsize::new(0)),
+            poisoned: CachePadded::new(S::AtomicU32::new(0)),
+            evicted: (0..n)
+                .map(|_| CachePadded::new(S::AtomicU32::new(0)))
+                .collect(),
             stats: BarrierStats::with_participants(n),
         }
     }
@@ -142,9 +156,46 @@ impl<S: SyncOps> DisseminationBarrier<S> {
         (id + (1usize << round)) % self.n
     }
 
+    /// Inverse of [`Self::partner`]: the participant whose round-`round`
+    /// signal is aimed at `id`. (`2^round < n` holds for every valid round,
+    /// so the subtraction cannot underflow modulo `n`.)
+    fn source(&self, id: usize, round: u32) -> usize {
+        (id + self.n - (1usize << round)) % self.n
+    }
+
     fn signal(&self, from: usize, round: u32, episode_plus_one: u64) {
         let target = self.partner(from, round);
         self.flags[round as usize][target].store(episode_plus_one, Ordering::Release);
+    }
+
+    /// True once the round-`round` signal aimed at `receiver` is available
+    /// for goal `goal` (= episode + 1): either actually stored in the flag
+    /// slot, or *deducible* because the sender was evicted.
+    ///
+    /// Eviction leaves the signalling pattern untouched — no slot is ever
+    /// written on the evicted participant's behalf. Instead, receivers
+    /// close over the ghost: an evicted sender's arrival is waived (it is
+    /// no longer part of the surviving set), so its round-`r` signal counts
+    /// as sent once every signal *it* would have needed for rounds `0..r`
+    /// is itself available, recursively. The recursion strictly decreases
+    /// the round, so it terminates; every input (flag slots, eviction
+    /// flags) is monotone, so the predicate is monotone and a probe that
+    /// once returned true can never regress — no wakeup can be lost.
+    fn flag_ready(&self, receiver: usize, round: u32, goal: u64) -> bool {
+        if self.flags[round as usize][receiver].load(Ordering::Acquire) >= goal {
+            return true;
+        }
+        let sender = self.source(receiver, round);
+        self.ghost_sent(sender, round, goal)
+    }
+
+    /// Would the evicted `sender` have sent its round-`round` signal for
+    /// `goal`? False for live senders.
+    fn ghost_sent(&self, sender: usize, round: u32, goal: u64) -> bool {
+        if self.evicted[sender].load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        (0..round).all(|r| self.flag_ready(sender, r, goal))
     }
 
     /// Advances participant `id` through as many rounds of `episode` as the
@@ -157,7 +208,7 @@ impl<S: SyncOps> DisseminationBarrier<S> {
             if round >= self.rounds {
                 return true;
             }
-            if self.flags[round as usize][id].load(Ordering::Acquire) >= goal {
+            if self.flag_ready(id, round, goal) {
                 let next = round + 1;
                 if next < self.rounds {
                     self.signal(id, next, goal);
@@ -173,6 +224,34 @@ impl<S: SyncOps> DisseminationBarrier<S> {
                 }
             } else {
                 return false;
+            }
+        }
+    }
+
+    /// The poison-aware bounded wait all wait flavors funnel through.
+    fn wait_core(
+        &self,
+        token: &ArrivalToken,
+        deadline: Deadline,
+        policy: StallPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        let result = failure::guarded_wait::<S>(
+            policy,
+            deadline,
+            token.episode,
+            || self.try_progress(token.id, token.episode),
+            || self.poisoned.load(Ordering::Acquire) != 0,
+        );
+        match result {
+            Ok(outcome) => {
+                self.stats.record_wait(token.id, &outcome);
+                Ok(outcome)
+            }
+            Err(fault) => {
+                if matches!(fault.error, BarrierError::Timeout { .. }) {
+                    self.stats.record_timeout(token.id, &fault.report);
+                }
+                Err(fault.error)
             }
         }
     }
@@ -204,10 +283,77 @@ impl<S: SyncOps> SplitBarrier for DisseminationBarrier<S> {
     }
 
     fn wait(&self, token: ArrivalToken) -> WaitOutcome {
-        let report = S::wait_until(self.policy, || self.try_progress(token.id, token.episode));
-        let outcome = WaitOutcome::from_report(token.episode, report);
-        self.stats.record_wait(token.id, &outcome);
-        outcome
+        match self.wait_core(&token, Deadline::never(), self.policy) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                panic!("DisseminationBarrier::wait failed: {e} (use wait_deadline to recover)")
+            }
+        }
+    }
+
+    fn wait_deadline(
+        &self,
+        token: ArrivalToken,
+        deadline: Deadline,
+    ) -> Result<WaitOutcome, BarrierError> {
+        self.wait_core(&token, deadline, self.policy)
+    }
+
+    fn wait_with(
+        &self,
+        token: ArrivalToken,
+        policy: &WaitPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        let backoff = policy.backoff.unwrap_or(self.policy);
+        let result = self.wait_core(&token, policy.arm(), backoff);
+        if matches!(result, Err(BarrierError::Timeout { .. }))
+            && policy.on_timeout == OnTimeout::Poison
+        {
+            self.poison();
+        }
+        result
+    }
+
+    fn poison(&self) {
+        if self.poisoned.fetch_max(1, Ordering::AcqRel) == 0 {
+            self.stats.record_poisoning();
+        }
+    }
+
+    fn clear_poison(&self) {
+        self.poisoned.store(0, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire) != 0
+    }
+
+    fn evict(&self, id: usize) -> Result<(), BarrierError> {
+        if id >= self.n {
+            return Err(BarrierError::InvalidParticipant {
+                id,
+                capacity: self.n,
+            });
+        }
+        // Already-dead ids are rejected before the EmptyGroup guard: a
+        // dead id stays dead regardless of how many live remain.
+        if self.evicted[id].load(Ordering::Acquire) != 0 {
+            return Err(BarrierError::NotAParticipant { id });
+        }
+        if self.dead.load(Ordering::Acquire) + 1 >= self.n {
+            return Err(BarrierError::EmptyGroup);
+        }
+        if self.evicted[id].fetch_max(1, Ordering::AcqRel) != 0 {
+            return Err(BarrierError::NotAParticipant { id });
+        }
+        self.dead.fetch_add(1, Ordering::AcqRel);
+        self.stats.record_eviction();
+        // Nothing else to do: the single write above (an RMW, so blocked
+        // checker waiters re-probe) flips every survivor's ghost-closure
+        // predicate — see [`Self::flag_ready`]. The evicted participant's
+        // pending arrival for the in-flight episode is waived vacuously,
+        // and no flag slot gains a second writer.
+        Ok(())
     }
 
     fn participants(&self) -> usize {
@@ -276,6 +422,75 @@ mod tests {
             });
             assert_eq!(b.stats().episodes, 200, "n={n}");
         }
+    }
+
+    #[test]
+    fn eviction_over_all_survivor_counts_and_victims() {
+        // Survivor counts 2..=9 (so n = 3..=10, covering non-powers of two
+        // and the power-of-two edges), evicting each id once. The victim
+        // completes episode 0 and is then evicted; survivors must complete
+        // episodes 1 and 2 through the ghost-signal closure.
+        for survivors in 2usize..=9 {
+            let n = survivors + 1;
+            for victim in 0..n {
+                let b = Arc::new(DisseminationBarrier::new(n));
+                std::thread::scope(|s| {
+                    let bv = Arc::clone(&b);
+                    let victim_thread = s.spawn(move || {
+                        let t = bv.arrive(victim);
+                        assert_eq!(bv.wait(t).episode, 0);
+                    });
+                    for id in (0..n).filter(|&id| id != victim) {
+                        let b = Arc::clone(&b);
+                        s.spawn(move || {
+                            for e in 0..3u64 {
+                                let t = b.arrive(id);
+                                assert_eq!(b.wait(t).episode, e, "n={n} victim={victim} id={id}");
+                            }
+                        });
+                    }
+                    victim_thread.join().unwrap();
+                    b.evict(victim).unwrap();
+                });
+                assert_eq!(b.stats().evictions, 1, "n={n} victim={victim}");
+            }
+        }
+    }
+
+    #[test]
+    fn evict_guards() {
+        let b = DisseminationBarrier::new(3);
+        assert_eq!(
+            b.evict(7).unwrap_err(),
+            BarrierError::InvalidParticipant { id: 7, capacity: 3 }
+        );
+        b.evict(0).unwrap();
+        assert_eq!(
+            b.evict(0).unwrap_err(),
+            BarrierError::NotAParticipant { id: 0 }
+        );
+        b.evict(1).unwrap();
+        assert_eq!(b.evict(2).unwrap_err(), BarrierError::EmptyGroup);
+        // The lone survivor still synchronizes: both peers are ghosts.
+        let t = b.arrive(2);
+        assert_eq!(b.wait(t).episode, 0);
+    }
+
+    #[test]
+    fn poison_unblocks_dissemination_waiters() {
+        let b = Arc::new(DisseminationBarrier::new(2));
+        std::thread::scope(|s| {
+            let b0 = Arc::clone(&b);
+            s.spawn(move || {
+                let t = b0.arrive(0);
+                let err = b0.wait_deadline(t, Deadline::never()).unwrap_err();
+                assert_eq!(err, BarrierError::Poisoned { episode: 0 });
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            b.poison();
+        });
+        assert!(b.is_poisoned());
+        assert_eq!(b.stats().poisonings, 1);
     }
 
     #[test]

@@ -57,6 +57,22 @@ pub enum BarrierError {
     },
     /// A barrier group was asked for zero participants.
     EmptyGroup,
+    /// A bounded wait (see [`crate::failure::Deadline`]) expired before the
+    /// episode completed. The arrival already counted; the caller may retry
+    /// the wait with a fresh token-free probe, poison the barrier, or evict
+    /// the straggler and re-synchronize.
+    Timeout {
+        /// The episode the waiter was stalled on.
+        episode: u64,
+    },
+    /// The barrier was poisoned (a participant panicked or called `abort`)
+    /// while the caller was waiting; the episode may never complete.
+    Poisoned {
+        /// The episode the waiter was stalled on.
+        episode: u64,
+    },
+    /// The backend does not implement participant eviction.
+    EvictionUnsupported,
 }
 
 impl fmt::Display for BarrierError {
@@ -91,6 +107,18 @@ impl fmt::Display for BarrierError {
                 write!(f, "no barrier with tag {tag} exists")
             }
             BarrierError::EmptyGroup => write!(f, "barrier group must have at least one member"),
+            BarrierError::Timeout { episode } => {
+                write!(
+                    f,
+                    "wait deadline expired before episode {episode} completed"
+                )
+            }
+            BarrierError::Poisoned { episode } => {
+                write!(f, "barrier poisoned while waiting on episode {episode}")
+            }
+            BarrierError::EvictionUnsupported => {
+                write!(f, "this backend does not support participant eviction")
+            }
         }
     }
 }

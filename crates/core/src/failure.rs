@@ -1,0 +1,243 @@
+//! Fault tolerance: deadlines, poisoning, and the bounded-wait engine.
+//!
+//! The paper's protocol assumes every masked processor eventually reaches
+//! the barrier; a single stuck stream therefore stalls all of its peers
+//! forever. This module supplies the recovery primitives layered on top of
+//! the split-phase protocol:
+//!
+//! - [`Deadline`] / [`WaitPolicy`] bound how long `wait` may stall, turning
+//!   a straggler into an observable [`BarrierError::Timeout`] instead of a
+//!   silent deadlock.
+//! - **Poisoning** (std-`Mutex`-style): a participant that panics mid
+//!   episode or calls `abort()` marks the barrier; peers blocked in a
+//!   bounded wait unblock with [`BarrierError::Poisoned`].
+//! - **Eviction** (Sec. 5 of the paper, in reverse): the same mask shrink
+//!   that lets a dynamically terminating stream leave a barrier group is
+//!   used to remove a *failed* stream, so survivors re-synchronize on the
+//!   next episode.
+//!
+//! Completion always wins: if an episode completed *and* the barrier was
+//! poisoned (or the deadline passed), the wait still returns the successful
+//! [`WaitOutcome`] — the synchronization genuinely happened.
+
+use crate::error::BarrierError;
+use crate::spin::StallPolicy;
+use crate::sync::SyncOps;
+use crate::token::WaitOutcome;
+use std::time::{Duration, Instant};
+
+/// A point in time after which a blocked `wait` gives up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires: the wait is unbounded, exactly like
+    /// plain `wait`.
+    #[must_use]
+    pub fn never() -> Self {
+        Deadline { at: None }
+    }
+
+    /// A deadline at an absolute instant.
+    #[must_use]
+    pub fn at(instant: Instant) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// A deadline `timeout` from now. Saturates to [`Deadline::never`] if
+    /// the addition overflows the clock.
+    #[must_use]
+    pub fn after(timeout: Duration) -> Self {
+        Deadline {
+            at: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// The absolute expiry instant, if the deadline is bounded.
+    #[must_use]
+    pub fn instant(&self) -> Option<Instant> {
+        self.at
+    }
+
+    /// True once the deadline has passed (never true for
+    /// [`Deadline::never`]).
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+/// What a waiter does when its deadline expires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OnTimeout {
+    /// Return [`BarrierError::Timeout`] and leave the barrier untouched;
+    /// the caller decides what to do (retry, evict the straggler, give up).
+    #[default]
+    Fail,
+    /// Poison the barrier before returning [`BarrierError::Timeout`], so
+    /// every other waiter unblocks with [`BarrierError::Poisoned`] instead
+    /// of stalling on an episode that will never complete.
+    Poison,
+}
+
+/// Per-call wait configuration for `SplitBarrier::wait_with`.
+///
+/// The default policy is an unbounded wait with the barrier's own stall
+/// policy — indistinguishable from plain `wait`, minus the panic on poison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitPolicy {
+    /// How long the wait may stall before giving up; `None` waits forever.
+    pub deadline: Option<Duration>,
+    /// Stall policy override for this call; `None` uses the policy the
+    /// barrier was constructed with.
+    pub backoff: Option<StallPolicy>,
+    /// What to do when the deadline expires.
+    pub on_timeout: OnTimeout,
+}
+
+impl WaitPolicy {
+    /// An unbounded wait using the barrier's own stall policy.
+    #[must_use]
+    pub fn new() -> Self {
+        WaitPolicy::default()
+    }
+
+    /// Sets the wait deadline (relative; armed when the wait starts).
+    #[must_use]
+    pub fn deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(timeout);
+        self
+    }
+
+    /// Overrides the stall policy for this call.
+    #[must_use]
+    pub fn backoff(mut self, policy: StallPolicy) -> Self {
+        self.backoff = Some(policy);
+        self
+    }
+
+    /// Sets the timeout reaction.
+    #[must_use]
+    pub fn on_timeout(mut self, action: OnTimeout) -> Self {
+        self.on_timeout = action;
+        self
+    }
+
+    /// Arms the relative deadline into an absolute [`Deadline`].
+    #[must_use]
+    pub fn arm(&self) -> Deadline {
+        match self.deadline {
+            Some(timeout) => Deadline::after(timeout),
+            None => Deadline::never(),
+        }
+    }
+}
+
+/// A failed bounded wait: the error to surface plus the spin report the
+/// backend needs for stall telemetry.
+pub(crate) struct FaultedWait {
+    pub(crate) error: BarrierError,
+    pub(crate) report: crate::spin::SpinReport,
+}
+
+/// Drives one poison-aware bounded wait over the sync domain `S`.
+///
+/// Blocks (per `policy`) until `complete()` holds, `poisoned()` holds, or
+/// `deadline` passes. Completion wins over both fault outcomes: the
+/// predicates are re-checked after the stall loop exits, in that order, so
+/// an episode that completed concurrently with a poison or timeout still
+/// reports success.
+///
+/// Instrumented domains (the model checker's `ShadowSync`) ignore the
+/// deadline entirely — a descheduled virtual thread never times out,
+/// because wall-clock expiry is nondeterminism the checker must not
+/// explore. Poisoning, by contrast, is an ordinary shadow write and is
+/// fully explored.
+pub(crate) fn guarded_wait<S: SyncOps>(
+    policy: StallPolicy,
+    deadline: Deadline,
+    episode: u64,
+    mut complete: impl FnMut() -> bool,
+    poisoned: impl Fn() -> bool,
+) -> Result<WaitOutcome, FaultedWait> {
+    let report = S::wait_until_budget(policy, deadline.instant(), || complete() || poisoned());
+    if complete() {
+        return Ok(WaitOutcome::from_report(episode, report));
+    }
+    let error = if poisoned() {
+        BarrierError::Poisoned { episode }
+    } else {
+        BarrierError::Timeout { episode }
+    };
+    Err(FaultedWait { error, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::RealSync;
+
+    #[test]
+    fn never_deadline_does_not_expire() {
+        let d = Deadline::never();
+        assert!(!d.expired());
+        assert!(d.instant().is_none());
+    }
+
+    #[test]
+    fn after_deadline_expires() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn wait_policy_builder_chains() {
+        let p = WaitPolicy::new()
+            .deadline(Duration::from_millis(5))
+            .backoff(StallPolicy::Spin)
+            .on_timeout(OnTimeout::Poison);
+        assert_eq!(p.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(p.backoff, Some(StallPolicy::Spin));
+        assert_eq!(p.on_timeout, OnTimeout::Poison);
+        assert!(p.arm().instant().is_some());
+        assert!(WaitPolicy::new().arm().instant().is_none());
+    }
+
+    #[test]
+    fn guarded_wait_completion_wins_over_poison() {
+        let r = guarded_wait::<RealSync>(StallPolicy::Spin, Deadline::never(), 7, || true, || true);
+        let outcome = r.unwrap_or_else(|_| panic!("completion must win"));
+        assert_eq!(outcome.episode, 7);
+    }
+
+    #[test]
+    fn guarded_wait_reports_poison() {
+        let r =
+            guarded_wait::<RealSync>(StallPolicy::Spin, Deadline::never(), 3, || false, || true);
+        match r {
+            Err(fault) => assert_eq!(fault.error, BarrierError::Poisoned { episode: 3 }),
+            Ok(_) => panic!("expected poison"),
+        }
+    }
+
+    #[test]
+    fn guarded_wait_reports_timeout() {
+        let r = guarded_wait::<RealSync>(
+            StallPolicy::Spin,
+            Deadline::after(Duration::from_millis(1)),
+            5,
+            || false,
+            || false,
+        );
+        match r {
+            Err(fault) => {
+                assert_eq!(fault.error, BarrierError::Timeout { episode: 5 });
+                assert!(fault.report.timed_out);
+            }
+            Ok(_) => panic!("expected timeout"),
+        }
+    }
+}

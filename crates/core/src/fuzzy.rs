@@ -1,6 +1,8 @@
 //! The split-phase barrier trait and the [`FuzzyBarrier`] front door.
 
 use crate::centralized::CentralBarrier;
+use crate::error::BarrierError;
+use crate::failure::{Deadline, OnTimeout, WaitPolicy};
 use crate::spin::StallPolicy;
 use crate::stats::{StatsSnapshot, TelemetrySnapshot};
 use crate::token::{ArrivalToken, WaitOutcome};
@@ -40,7 +42,104 @@ pub trait SplitBarrier: Send + Sync {
 
     /// Blocks (per the backend's [`StallPolicy`]) until the episode named by
     /// `token` completes.
+    ///
+    /// If the barrier is poisoned before the episode completes,
+    /// implementations with poison support **panic** (like unwrapping a
+    /// poisoned `std::sync::Mutex`); use [`Self::wait_deadline`] or
+    /// [`Self::wait_with`] to observe poisoning as an error instead.
     fn wait(&self, token: ArrivalToken) -> WaitOutcome;
+
+    /// Bounded, poison-aware wait: blocks until the episode named by
+    /// `token` completes, the barrier is poisoned
+    /// ([`BarrierError::Poisoned`]), or `deadline` passes
+    /// ([`BarrierError::Timeout`]). Completion wins over both faults.
+    ///
+    /// On `Err` the arrival still counted — the caller may probe again
+    /// later (via a fresh bounded wait on a reconstructed token is *not*
+    /// possible; tokens are consumed), [`Self::evict`] the straggler so the
+    /// episode completes, or [`Self::poison`] the barrier to release peers.
+    ///
+    /// The default implementation ignores the deadline and cannot observe
+    /// poison (it delegates to plain [`Self::wait`]); the four stock
+    /// backends override it.
+    fn wait_deadline(
+        &self,
+        token: ArrivalToken,
+        deadline: Deadline,
+    ) -> Result<WaitOutcome, BarrierError> {
+        let _ = deadline;
+        Ok(self.wait(token))
+    }
+
+    /// Waits under a full [`WaitPolicy`]: optional deadline, optional stall
+    /// policy override, and a timeout reaction (for
+    /// [`OnTimeout::Poison`], the barrier is poisoned before the
+    /// [`BarrierError::Timeout`] is returned, releasing every other
+    /// waiter).
+    ///
+    /// The default implementation layers the timeout reaction over
+    /// [`Self::wait_deadline`]; backends override it to also honor the
+    /// `backoff` override.
+    fn wait_with(
+        &self,
+        token: ArrivalToken,
+        policy: &WaitPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        let result = self.wait_deadline(token, policy.arm());
+        if matches!(result, Err(BarrierError::Timeout { .. }))
+            && policy.on_timeout == OnTimeout::Poison
+        {
+            self.poison();
+        }
+        result
+    }
+
+    /// Poisons the barrier: every current and future bounded wait returns
+    /// [`BarrierError::Poisoned`] (and plain [`Self::wait`] panics) until
+    /// [`Self::clear_poison`]. Completion still wins for episodes that
+    /// manage to complete. The default implementation is a no-op for
+    /// backends without poison support.
+    fn poison(&self) {}
+
+    /// Clears a poisoned barrier (like `std::sync::Mutex::clear_poison`),
+    /// typically after the failed participant has been [`Self::evict`]ed
+    /// and recovery is complete.
+    fn clear_poison(&self) {}
+
+    /// True if the barrier is currently poisoned.
+    fn is_poisoned(&self) -> bool {
+        false
+    }
+
+    /// Abandons an episode from inside it: consumes the token and poisons
+    /// the barrier. The aborter's arrival already counted, so the in-flight
+    /// episode may still complete — but the aborter will never arrive
+    /// again, so without poisoning its peers would hang on the *next*
+    /// episode. Call this on a panic path before unwinding past
+    /// barrier-using code (the `sched` executor does exactly that for
+    /// panicking workers).
+    fn abort(&self, token: ArrivalToken) {
+        drop(token);
+        self.poison();
+    }
+
+    /// Permanently removes participant `id` from the barrier — the paper's
+    /// Sec. 5 mask shrink applied to a *failed* stream: survivors
+    /// re-synchronize without it from the in-flight episode onward.
+    ///
+    /// The evicted participant must **not** have arrived for the in-flight
+    /// episode (evict stragglers that are stuck *before* their arrival; a
+    /// participant that already arrived will have its arrival double
+    /// counted). Eviction is permanent: ids are never reused. Evicting the
+    /// last live participant fails with [`BarrierError::EmptyGroup`];
+    /// evicting twice fails with [`BarrierError::NotAParticipant`].
+    ///
+    /// The default implementation reports
+    /// [`BarrierError::EvictionUnsupported`].
+    fn evict(&self, id: usize) -> Result<(), BarrierError> {
+        let _ = id;
+        Err(BarrierError::EvictionUnsupported)
+    }
 
     /// Number of participants.
     fn participants(&self) -> usize;
@@ -161,6 +260,42 @@ impl<B: SplitBarrier> SplitBarrier for FuzzyBarrier<B> {
 
     fn wait(&self, token: ArrivalToken) -> WaitOutcome {
         self.inner.wait(token)
+    }
+
+    fn wait_deadline(
+        &self,
+        token: ArrivalToken,
+        deadline: Deadline,
+    ) -> Result<WaitOutcome, BarrierError> {
+        self.inner.wait_deadline(token, deadline)
+    }
+
+    fn wait_with(
+        &self,
+        token: ArrivalToken,
+        policy: &WaitPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        self.inner.wait_with(token, policy)
+    }
+
+    fn poison(&self) {
+        self.inner.poison();
+    }
+
+    fn clear_poison(&self) {
+        self.inner.clear_poison();
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    fn abort(&self, token: ArrivalToken) {
+        self.inner.abort(token);
+    }
+
+    fn evict(&self, id: usize) -> Result<(), BarrierError> {
+        self.inner.evict(id)
     }
 
     fn participants(&self) -> usize {

@@ -3,12 +3,19 @@
 
 use crate::centralized::CentralBarrier;
 use crate::error::BarrierError;
+use crate::failure::{Deadline, WaitPolicy};
 use crate::mask::ProcMask;
 use crate::spin::StallPolicy;
 use crate::stats::{StatsSnapshot, TelemetrySnapshot};
 use crate::sync::SyncOps;
 use crate::tag::Tag;
 use crate::token::{ArrivalToken, WaitOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fault-tolerant barrier group: a [`SubsetBarrier`] under its canonical
+/// name when used for dynamic membership (arrivals gated on the live mask,
+/// [`SubsetBarrier::evict`] shrinking it).
+pub type BarrierGroup<B = CentralBarrier> = SubsetBarrier<B>;
 
 /// A split-phase barrier over a subset of global participants, identified
 /// by a [`Tag`].
@@ -38,7 +45,12 @@ use crate::token::{ArrivalToken, WaitOutcome};
 #[derive(Debug)]
 pub struct SubsetBarrier<B: crate::SplitBarrier = CentralBarrier> {
     tag: Tag,
+    /// The founding mask. Ranks are frozen against it forever, so eviction
+    /// never renumbers the survivors (the paper's mask shrink changes *who
+    /// participates*, not *who is who*).
     mask: ProcMask,
+    /// Bit per live global id; starts as `mask.bits()` and only loses bits.
+    live: AtomicU64,
     inner: B,
 }
 
@@ -86,6 +98,7 @@ impl<S: SyncOps> SubsetBarrier<CentralBarrier<S>> {
         Ok(SubsetBarrier {
             tag,
             mask,
+            live: AtomicU64::new(mask.bits()),
             inner: CentralBarrier::with_policy_in(mask.len(), policy),
         })
     }
@@ -113,6 +126,7 @@ impl<B: crate::SplitBarrier> SubsetBarrier<B> {
         Ok(SubsetBarrier {
             tag,
             mask,
+            live: AtomicU64::new(mask.bits()),
             inner: backend,
         })
     }
@@ -123,10 +137,17 @@ impl<B: crate::SplitBarrier> SubsetBarrier<B> {
         self.tag
     }
 
-    /// The participant mask.
+    /// The founding participant mask (unchanged by eviction; see
+    /// [`Self::live_mask`]).
     #[must_use]
     pub fn mask(&self) -> ProcMask {
         self.mask
+    }
+
+    /// The mask of participants that have not been evicted.
+    #[must_use]
+    pub fn live_mask(&self) -> ProcMask {
+        ProcMask::from_bits(self.live.load(Ordering::Acquire))
     }
 
     /// Announces that global participant `id` is ready to synchronize,
@@ -137,7 +158,8 @@ impl<B: crate::SplitBarrier> SubsetBarrier<B> {
     /// * [`BarrierError::TagMismatch`] if `tag` differs from the barrier's
     ///   tag (the hardware would simply never match; the library surfaces
     ///   the bug).
-    /// * [`BarrierError::NotAParticipant`] if `id` is not in the mask.
+    /// * [`BarrierError::NotAParticipant`] if `id` is not in the mask or
+    ///   has been [`Self::evict`]ed.
     pub fn arrive(&self, id: usize, tag: Tag) -> Result<ArrivalToken, BarrierError> {
         if !tag.matches(&self.tag) {
             return Err(BarrierError::TagMismatch {
@@ -149,6 +171,9 @@ impl<B: crate::SplitBarrier> SubsetBarrier<B> {
             .mask
             .rank_of(id)
             .ok_or(BarrierError::NotAParticipant { id })?;
+        if self.live.load(Ordering::Acquire) & (1 << id) == 0 {
+            return Err(BarrierError::NotAParticipant { id });
+        }
         Ok(self.inner.arrive(rank))
     }
 
@@ -158,9 +183,96 @@ impl<B: crate::SplitBarrier> SubsetBarrier<B> {
         self.inner.is_complete(token)
     }
 
-    /// Blocks until the episode named by `token` completes.
+    /// Blocks until the episode named by `token` completes. Panics if the
+    /// group is poisoned first; see [`Self::wait_deadline`].
     pub fn wait(&self, token: ArrivalToken) -> WaitOutcome {
         self.inner.wait(token)
+    }
+
+    /// Bounded, poison-aware wait (see
+    /// [`crate::SplitBarrier::wait_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// [`BarrierError::Timeout`] once `deadline` passes,
+    /// [`BarrierError::Poisoned`] if the group is poisoned first.
+    pub fn wait_deadline(
+        &self,
+        token: ArrivalToken,
+        deadline: Deadline,
+    ) -> Result<WaitOutcome, BarrierError> {
+        self.inner.wait_deadline(token, deadline)
+    }
+
+    /// Waits under a full [`WaitPolicy`] (see
+    /// [`crate::SplitBarrier::wait_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::wait_deadline`].
+    pub fn wait_with(
+        &self,
+        token: ArrivalToken,
+        policy: &WaitPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        self.inner.wait_with(token, policy)
+    }
+
+    /// Poisons the group's barrier, releasing bounded waiters with
+    /// [`BarrierError::Poisoned`].
+    pub fn poison(&self) {
+        self.inner.poison();
+    }
+
+    /// Clears poison after recovery.
+    pub fn clear_poison(&self) {
+        self.inner.clear_poison();
+    }
+
+    /// True if the group's barrier is poisoned.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    /// Abandons an episode from inside it: consumes the token and poisons
+    /// the group (see [`crate::SplitBarrier::abort`]).
+    pub fn abort(&self, token: ArrivalToken) {
+        self.inner.abort(token);
+    }
+
+    /// Permanently removes global participant `id` from the group: its live
+    /// bit is cleared and the backend's mask shrinks, so survivors
+    /// re-synchronize without it from the in-flight episode onward. Ranks
+    /// are frozen against the founding mask, so survivors keep their ids.
+    ///
+    /// # Errors
+    ///
+    /// * [`BarrierError::NotAParticipant`] if `id` is outside the founding
+    ///   mask or already evicted.
+    /// * [`BarrierError::EmptyGroup`] if `id` is the last live participant.
+    /// * [`BarrierError::EvictionUnsupported`] if the backend has no
+    ///   eviction support (the live bit is restored).
+    pub fn evict(&self, id: usize) -> Result<(), BarrierError> {
+        let rank = self
+            .mask
+            .rank_of(id)
+            .ok_or(BarrierError::NotAParticipant { id })?;
+        let bit = 1u64 << id;
+        if self.live.fetch_and(!bit, Ordering::AcqRel) & bit == 0 {
+            return Err(BarrierError::NotAParticipant { id });
+        }
+        if let Err(err) = self.inner.evict(rank) {
+            // The backend refused (last survivor, unsupported, racing
+            // evict): readmit so the live mask stays in step with it.
+            self.live.fetch_or(bit, Ordering::AcqRel);
+            return Err(match err {
+                // The backend names ranks; re-map to the global id.
+                BarrierError::NotAParticipant { .. } => BarrierError::NotAParticipant { id },
+                other => other,
+            });
+        }
+        Ok(())
     }
 
     /// Arrive + wait with no region: a point synchronization of the subset.
@@ -294,6 +406,110 @@ mod tests {
         let mask: ProcMask = [0, 1].into_iter().collect();
         let err = SubsetBarrier::from_backend(tag(1), mask, CountingBarrier::new(5)).unwrap_err();
         assert!(matches!(err, BarrierError::InvalidParticipant { .. }));
+    }
+
+    #[test]
+    fn eviction_shrinks_group_and_survivors_resync() {
+        let mask: ProcMask = [2, 5, 9].into_iter().collect();
+        let g = Arc::new(BarrierGroup::new(tag(3), mask).unwrap());
+        // Full-strength episode 0.
+        std::thread::scope(|s| {
+            for id in [2usize, 5, 9] {
+                let g = Arc::clone(&g);
+                s.spawn(move || {
+                    let t = g.arrive(id, tag(3)).unwrap();
+                    assert_eq!(g.wait(t).episode, 0);
+                });
+            }
+        });
+        g.evict(5).unwrap();
+        assert_eq!(g.live_mask(), [2, 9].into_iter().collect());
+        assert_eq!(g.mask(), [2, 5, 9].into_iter().collect());
+        assert_eq!(
+            g.arrive(5, tag(3)).unwrap_err(),
+            BarrierError::NotAParticipant { id: 5 }
+        );
+        // Survivors keep their frozen ranks and complete without 5.
+        std::thread::scope(|s| {
+            for id in [2usize, 9] {
+                let g = Arc::clone(&g);
+                s.spawn(move || {
+                    for e in 1..4u64 {
+                        let t = g.arrive(id, tag(3)).unwrap();
+                        assert_eq!(g.wait(t).episode, e);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.stats().evictions, 1);
+    }
+
+    #[test]
+    fn evict_guards_and_live_mask_restore() {
+        let g = BarrierGroup::new(tag(1), ProcMask::first_n(2)).unwrap();
+        assert_eq!(
+            g.evict(7).unwrap_err(),
+            BarrierError::NotAParticipant { id: 7 }
+        );
+        g.evict(0).unwrap();
+        assert_eq!(
+            g.evict(0).unwrap_err(),
+            BarrierError::NotAParticipant { id: 0 }
+        );
+        // Refusing to evict the last survivor must leave it live.
+        assert_eq!(g.evict(1).unwrap_err(), BarrierError::EmptyGroup);
+        assert!(g.live_mask().contains(1));
+        let t = g.arrive(1, tag(1)).unwrap();
+        assert_eq!(g.wait(t).episode, 0);
+    }
+
+    #[test]
+    fn eviction_unsupported_backend_readmits() {
+        /// A backend that keeps the trait's default (unsupported) `evict`.
+        struct NoEvict(CentralBarrier);
+        impl crate::SplitBarrier for NoEvict {
+            fn arrive(&self, id: usize) -> ArrivalToken {
+                self.0.arrive(id)
+            }
+            fn is_complete(&self, token: &ArrivalToken) -> bool {
+                self.0.is_complete(token)
+            }
+            fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+                self.0.wait(token)
+            }
+            fn participants(&self) -> usize {
+                self.0.participants()
+            }
+            fn stats(&self) -> StatsSnapshot {
+                self.0.stats()
+            }
+        }
+        let mask: ProcMask = [0, 1].into_iter().collect();
+        let g = BarrierGroup::from_backend(tag(1), mask, NoEvict(CentralBarrier::new(2))).unwrap();
+        assert_eq!(g.evict(0).unwrap_err(), BarrierError::EvictionUnsupported);
+        assert!(g.live_mask().contains(0), "live bit restored on refusal");
+    }
+
+    #[test]
+    fn poison_flows_through_group() {
+        let g = Arc::new(BarrierGroup::new(tag(2), ProcMask::first_n(2)).unwrap());
+        std::thread::scope(|s| {
+            let g0 = Arc::clone(&g);
+            s.spawn(move || {
+                let t = g0.arrive(0, tag(2)).unwrap();
+                let err = g0.wait_deadline(t, Deadline::never()).unwrap_err();
+                assert_eq!(err, BarrierError::Poisoned { episode: 0 });
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            g.poison();
+        });
+        assert!(g.is_poisoned());
+        g.clear_poison();
+        assert!(!g.is_poisoned());
+        // abort consumes the token and re-poisons.
+        let t = g.arrive(1, tag(2)).unwrap();
+        g.abort(t);
+        assert!(g.is_poisoned());
     }
 
     #[test]

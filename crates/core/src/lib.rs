@@ -75,6 +75,7 @@ pub mod centralized;
 pub mod counting;
 pub mod dissemination;
 pub mod error;
+pub mod failure;
 pub mod fuzzy;
 pub mod group;
 pub mod mask;
@@ -92,8 +93,9 @@ pub use centralized::CentralBarrier;
 pub use counting::CountingBarrier;
 pub use dissemination::DisseminationBarrier;
 pub use error::BarrierError;
+pub use failure::{Deadline, OnTimeout, WaitPolicy};
 pub use fuzzy::{FuzzyBarrier, SplitBarrier};
-pub use group::SubsetBarrier;
+pub use group::{BarrierGroup, SubsetBarrier};
 pub use mask::ProcMask;
 pub use registry::GroupRegistry;
 pub use spin::StallPolicy;

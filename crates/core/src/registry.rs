@@ -128,6 +128,9 @@ impl<S: SyncOps> GroupRegistry<S> {
     pub fn allocate(&self, mask: ProcMask) -> Result<(Tag, RegistryBarrier<S>), BarrierError> {
         let mut inner = self.inner.lock().expect("registry lock");
         if inner.barriers.len() >= self.capacity() {
+            Self::sweep_orphans_locked(&mut inner);
+        }
+        if inner.barriers.len() >= self.capacity() {
             return Err(BarrierError::RegistryFull {
                 capacity: self.capacity(),
             });
@@ -157,6 +160,9 @@ impl<S: SyncOps> GroupRegistry<S> {
         mask: ProcMask,
     ) -> Result<RegistryBarrier<S>, BarrierError> {
         let mut inner = self.inner.lock().expect("registry lock");
+        if inner.barriers.len() >= self.capacity() {
+            Self::sweep_orphans_locked(&mut inner);
+        }
         if inner.barriers.len() >= self.capacity() {
             return Err(BarrierError::RegistryFull {
                 capacity: self.capacity(),
@@ -211,6 +217,9 @@ impl<S: SyncOps> GroupRegistry<S> {
             total.base.deschedules += t.base.deschedules;
             total.base.stall_time += t.base.stall_time;
             total.base.probes += t.base.probes;
+            total.base.timeouts += t.base.timeouts;
+            total.base.evictions += t.base.evictions;
+            total.base.poisonings += t.base.poisonings;
             total.stall_hist.merge(&t.stall_hist);
             total.spread.episodes += t.spread.episodes;
             total.spread.total += t.spread.total;
@@ -218,6 +227,27 @@ impl<S: SyncOps> GroupRegistry<S> {
             total.spread.last = t.spread.last;
         }
         (total, per_barrier)
+    }
+
+    /// Drops orphaned barriers — entries whose only remaining handle is
+    /// the registry's own — and returns how many were reclaimed.
+    ///
+    /// A stream that arrives, drops its [`ArrivalToken`](crate::token::ArrivalToken)
+    /// and then its barrier handle without ever calling [`Self::release`]
+    /// would otherwise pin a slot forever, starving the paper's *N − 1*
+    /// budget. [`Self::allocate`] and [`Self::allocate_tagged`] sweep
+    /// automatically before reporting [`BarrierError::RegistryFull`], so
+    /// leaked tags can never wedge allocation; call this directly to
+    /// reclaim eagerly.
+    pub fn sweep_orphans(&self) -> usize {
+        let mut inner = self.inner.lock().expect("registry lock");
+        Self::sweep_orphans_locked(&mut inner)
+    }
+
+    fn sweep_orphans_locked(inner: &mut Inner<S>) -> usize {
+        let before = inner.barriers.len();
+        inner.barriers.retain(|_, b| Arc::strong_count(b) > 1);
+        before - inner.barriers.len()
     }
 
     /// Releases the barrier with `tag`, freeing its registry slot.
@@ -257,8 +287,10 @@ mod tests {
     fn allocation_exhausts_at_capacity() {
         let r = GroupRegistry::new(3);
         let m = ProcMask::first_n(2);
-        r.allocate(m).unwrap();
-        r.allocate(m).unwrap();
+        // Hold the handles: only *live* barriers exhaust the budget
+        // (orphaned ones are swept on demand; see below).
+        let (_t1, _b1) = r.allocate(m).unwrap();
+        let (_t2, _b2) = r.allocate(m).unwrap();
         assert_eq!(
             r.allocate(m).unwrap_err(),
             BarrierError::RegistryFull { capacity: 2 }
@@ -299,6 +331,40 @@ mod tests {
             BarrierError::DuplicateTag { tag }
         );
         assert_eq!(r.lookup(tag).unwrap().tag(), tag);
+    }
+
+    #[test]
+    fn dropped_handle_without_release_does_not_leak_slot() {
+        // Regression: a stream that arrives, drops the token without
+        // waiting, and then drops its handle must not pin the slot under
+        // the N−1 budget forever.
+        let r = GroupRegistry::new(2); // capacity 1
+        let m = ProcMask::first_n(2);
+        let (_tag, barrier) = r.allocate(m).unwrap();
+        let token = barrier.arrive(0, barrier.tag()).unwrap();
+        drop(token);
+        drop(barrier); // no release(tag): the slot is now orphaned
+        assert_eq!(r.live_barriers(), 1);
+        // Allocation sweeps the orphan instead of reporting RegistryFull.
+        let (_tag2, _b2) = r.allocate(m).unwrap();
+        assert_eq!(r.live_barriers(), 1);
+    }
+
+    #[test]
+    fn sweep_spares_live_handles() {
+        let r = GroupRegistry::new(3);
+        let m = ProcMask::first_n(2);
+        let (tag_live, _held) = r.allocate(m).unwrap();
+        let (tag_leak, leaked) = r.allocate(m).unwrap();
+        drop(leaked);
+        assert_eq!(r.sweep_orphans(), 1);
+        assert_eq!(r.live_barriers(), 1);
+        assert!(r.lookup(tag_live).is_ok());
+        assert_eq!(
+            r.lookup(tag_leak).unwrap_err(),
+            BarrierError::UnknownTag { tag: tag_leak }
+        );
+        assert_eq!(r.sweep_orphans(), 0);
     }
 
     #[test]

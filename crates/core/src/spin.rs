@@ -73,6 +73,9 @@ pub struct SpinReport {
     pub descheduled: bool,
     /// Wall-clock time spent waiting.
     pub waited: Duration,
+    /// Whether the wait gave up because its deadline passed (only ever set
+    /// by [`wait_until_budget`]; the predicate did *not* hold on exit).
+    pub timed_out: bool,
 }
 
 impl SpinReport {
@@ -89,53 +92,75 @@ impl SpinReport {
 /// before any timing machinery is set up, so the common fuzzy-barrier fast
 /// path (synchronization already happened while the caller was in its
 /// barrier region) costs a single predicate call.
-pub fn wait_until(policy: StallPolicy, mut pred: impl FnMut() -> bool) -> SpinReport {
+pub fn wait_until(policy: StallPolicy, pred: impl FnMut() -> bool) -> SpinReport {
+    wait_until_budget(policy, None, pred)
+}
+
+/// While pure-spinning, the wall clock is consulted only once every this
+/// many probes; an `Instant::now()` per probe would dominate the spin loop.
+/// Once the policy deschedules, probes are already slow and every one
+/// checks the clock.
+const DEADLINE_CHECK_MASK: u64 = (1 << 6) - 1;
+
+/// Bounded variant of [`wait_until`]: waits until `pred` returns true *or*
+/// `deadline` passes, whichever comes first.
+///
+/// With `deadline: None` this is exactly [`wait_until`] — an unbounded
+/// wait. On expiry the report has [`SpinReport::timed_out`] set and the
+/// predicate did not hold at the final probe. The predicate is always
+/// probed at least once more after the deadline check fails, never the
+/// other way round, so a satisfied predicate always wins over the clock.
+pub fn wait_until_budget(
+    policy: StallPolicy,
+    deadline: Option<Instant>,
+    mut pred: impl FnMut() -> bool,
+) -> SpinReport {
     if pred() {
         return SpinReport::default();
     }
     let start = Instant::now();
     let mut probes: u64 = 1;
     let mut descheduled = false;
-    match policy {
-        StallPolicy::Spin => loop {
-            std::hint::spin_loop();
-            probes += 1;
-            if pred() {
+    let mut timed_out = false;
+    loop {
+        match policy {
+            StallPolicy::Spin => std::hint::spin_loop(),
+            StallPolicy::SpinYield { spin_limit } => {
+                if probes < u64::from(spin_limit) {
+                    std::hint::spin_loop();
+                } else {
+                    descheduled = true;
+                    std::thread::yield_now();
+                }
+            }
+            StallPolicy::Park {
+                spin_limit,
+                park_interval,
+            } => {
+                if probes < u64::from(spin_limit) {
+                    std::hint::spin_loop();
+                } else {
+                    descheduled = true;
+                    std::thread::sleep(park_interval);
+                }
+            }
+        }
+        probes += 1;
+        if pred() {
+            break;
+        }
+        if let Some(deadline) = deadline {
+            if (descheduled || probes & DEADLINE_CHECK_MASK == 0) && Instant::now() >= deadline {
+                timed_out = true;
                 break;
             }
-        },
-        StallPolicy::SpinYield { spin_limit } => loop {
-            if probes < u64::from(spin_limit) {
-                std::hint::spin_loop();
-            } else {
-                descheduled = true;
-                std::thread::yield_now();
-            }
-            probes += 1;
-            if pred() {
-                break;
-            }
-        },
-        StallPolicy::Park {
-            spin_limit,
-            park_interval,
-        } => loop {
-            if probes < u64::from(spin_limit) {
-                std::hint::spin_loop();
-            } else {
-                descheduled = true;
-                std::thread::sleep(park_interval);
-            }
-            probes += 1;
-            if pred() {
-                break;
-            }
-        },
+        }
     }
     SpinReport {
         probes,
         descheduled,
         waited: start.elapsed(),
+        timed_out,
     }
 }
 
@@ -182,6 +207,41 @@ mod tests {
         let r = wait_until(policy, || flag.load(Ordering::Acquire));
         h.join().unwrap();
         assert!(r.descheduled, "park policy should have descheduled: {r:?}");
+    }
+
+    #[test]
+    fn expired_budget_times_out() {
+        let deadline = Instant::now() + Duration::from_millis(2);
+        let r = wait_until_budget(StallPolicy::yielding(), Some(deadline), || false);
+        assert!(r.timed_out, "deadline should have fired: {r:?}");
+        // `waited` starts ticking inside the call, a hair after the
+        // deadline was anchored — only a loose lower bound is exact.
+        assert!(r.waited >= Duration::from_millis(1));
+        assert!(!r.was_instant());
+    }
+
+    #[test]
+    fn satisfied_predicate_beats_the_budget() {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let r = wait_until_budget(StallPolicy::Spin, Some(deadline), || true);
+        assert!(!r.timed_out);
+        assert!(r.was_instant());
+    }
+
+    #[test]
+    fn budget_still_sees_late_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            f2.store(true, Ordering::Release);
+        });
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let r = wait_until_budget(StallPolicy::yielding(), Some(deadline), || {
+            flag.load(Ordering::Acquire)
+        });
+        h.join().unwrap();
+        assert!(!r.timed_out, "flag arrived well before the deadline: {r:?}");
     }
 
     #[test]

@@ -208,6 +208,9 @@ pub struct BarrierStats {
     deschedules: AtomicU64,
     stall_nanos: AtomicU64,
     probes: AtomicU64,
+    timeouts: AtomicU64,
+    evictions: AtomicU64,
+    poisonings: AtomicU64,
     stall_hist: StallHistogram,
     spread: SpreadTracker,
     /// Monotonic time origin for arrival timestamps.
@@ -244,6 +247,9 @@ impl BarrierStats {
             deschedules: AtomicU64::new(0),
             stall_nanos: AtomicU64::new(0),
             probes: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            poisonings: AtomicU64::new(0),
             stall_hist: StallHistogram::new(),
             spread,
             anchor: Instant::now(),
@@ -307,6 +313,39 @@ impl BarrierStats {
         }
     }
 
+    /// Records a wait that expired at its deadline. The time spent stalled
+    /// before giving up goes into the same stall histogram and per
+    /// participant attribution as a successful stalled wait — a timeout
+    /// *is* a stall, just one that was cut short — plus the dedicated
+    /// `timeouts` counter. `waits`/`stalls` are untouched so the
+    /// waits-equals-arrivals invariant keeps holding once the wait is
+    /// eventually retried to completion.
+    pub(crate) fn record_timeout(&self, id: usize, report: &crate::spin::SpinReport) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(report.waited.as_nanos()).unwrap_or(u64::MAX);
+        self.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.probes.fetch_add(report.probes, Ordering::Relaxed);
+        self.stall_hist.record(nanos);
+        if report.descheduled {
+            self.deschedules.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(p) = self.per_participant.get(id) {
+            p.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+            p.probes.fetch_add(report.probes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a participant eviction (mask shrink due to failure).
+    pub(crate) fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a poisoning transition (only the first `poison` call after a
+    /// clear counts).
+    pub(crate) fn record_poisoning(&self) {
+        self.poisonings.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for reporting (fields are read
     /// individually with relaxed ordering; exact cross-field consistency is
     /// not needed for statistics).
@@ -320,6 +359,9 @@ impl BarrierStats {
             deschedules: self.deschedules.load(Ordering::Relaxed),
             stall_time: Duration::from_nanos(self.stall_nanos.load(Ordering::Relaxed)),
             probes: self.probes.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            poisonings: self.poisonings.load(Ordering::Relaxed),
         }
     }
 
@@ -368,6 +410,12 @@ pub struct StatsSnapshot {
     pub stall_time: Duration,
     /// Total wait probes performed while stalled.
     pub probes: u64,
+    /// Bounded waits that expired at their deadline.
+    pub timeouts: u64,
+    /// Participants evicted from the barrier (mask shrinks due to failure).
+    pub evictions: u64,
+    /// Poisoning transitions (unpoisoned barrier marked poisoned).
+    pub poisonings: u64,
 }
 
 impl StatsSnapshot {
@@ -608,6 +656,33 @@ mod tests {
         let t = stats.telemetry();
         assert_eq!(t.spread.episodes, 2);
         assert!(t.spread.last <= t.spread.max);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let stats = BarrierStats::with_participants(2);
+        stats.record_timeout(
+            1,
+            &crate::spin::SpinReport {
+                probes: 40,
+                descheduled: true,
+                waited: Duration::from_micros(9),
+                timed_out: true,
+            },
+        );
+        stats.record_eviction();
+        stats.record_poisoning();
+        let t = stats.telemetry();
+        assert_eq!(t.base.timeouts, 1);
+        assert_eq!(t.base.evictions, 1);
+        assert_eq!(t.base.poisonings, 1);
+        assert_eq!(t.base.deschedules, 1);
+        assert_eq!(t.base.stall_time, Duration::from_micros(9));
+        assert_eq!(t.stall_hist.total(), 1, "timeout stall lands in the hist");
+        assert_eq!(t.per_participant[1].probes, 40);
+        // Waits/stalls untouched: the arrival has not completed its wait.
+        assert_eq!(t.base.waits, 0);
+        assert_eq!(t.base.stalls, 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::spin::{self, SpinReport, StallPolicy};
 use std::fmt::Debug;
 use std::sync::atomic::{self, Ordering};
+use std::time::Instant;
 
 /// An atomic cell holding a value of type `T`.
 ///
@@ -60,6 +61,24 @@ pub trait SyncOps: Send + Sync + Debug + 'static {
     /// implementations may ignore `policy` and instead deschedule the
     /// virtual thread until shared state changes.
     fn wait_until(policy: StallPolicy, pred: impl FnMut() -> bool) -> SpinReport;
+
+    /// Bounded variant of [`Self::wait_until`]: gives up (with
+    /// [`SpinReport::timed_out`] set) once `deadline` passes.
+    ///
+    /// The default implementation ignores the deadline and waits forever —
+    /// this is deliberately what the model checker's instrumented domain
+    /// inherits: a descheduled virtual thread must never time out, because
+    /// wall-clock expiry is nondeterminism the checker cannot explore.
+    /// Deadline behavior is exercised by real-time tests over [`RealSync`],
+    /// which overrides this with [`crate::spin::wait_until_budget`].
+    fn wait_until_budget(
+        policy: StallPolicy,
+        deadline: Option<Instant>,
+        pred: impl FnMut() -> bool,
+    ) -> SpinReport {
+        let _ = deadline;
+        Self::wait_until(policy, pred)
+    }
 }
 
 macro_rules! impl_real_atomic {
@@ -112,6 +131,15 @@ impl SyncOps for RealSync {
     fn wait_until(policy: StallPolicy, pred: impl FnMut() -> bool) -> SpinReport {
         spin::wait_until(policy, pred)
     }
+
+    #[inline(always)]
+    fn wait_until_budget(
+        policy: StallPolicy,
+        deadline: Option<Instant>,
+        pred: impl FnMut() -> bool,
+    ) -> SpinReport {
+        spin::wait_until_budget(policy, deadline, pred)
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +165,12 @@ mod tests {
     fn real_wait_until_delegates_to_spin() {
         let r = RealSync::wait_until(StallPolicy::Spin, || true);
         assert!(r.was_instant());
+    }
+
+    #[test]
+    fn real_wait_until_budget_honors_deadline() {
+        let deadline = Instant::now() + std::time::Duration::from_millis(1);
+        let r = RealSync::wait_until_budget(StallPolicy::yielding(), Some(deadline), || false);
+        assert!(r.timed_out);
     }
 }

@@ -103,6 +103,7 @@ mod tests {
             probes: 10,
             descheduled: true,
             waited: Duration::from_micros(5),
+            timed_out: false,
         };
         let o = WaitOutcome::from_report(0, r);
         assert!(o.stalled);

@@ -1,5 +1,7 @@
 //! Combining-tree split-phase barrier with configurable fan-in.
 
+use crate::error::BarrierError;
+use crate::failure::{self, Deadline, OnTimeout, WaitPolicy};
 use crate::spin::StallPolicy;
 use crate::stats::{BarrierStats, StatsSnapshot, TelemetrySnapshot};
 use crate::sync::{Atomic, RealSync, SyncOps};
@@ -37,13 +39,21 @@ pub struct TreeBarrier<S: SyncOps = RealSync> {
     leaf_of: Vec<usize>,
     episode: CachePadded<S::AtomicU64>,
     local_episode: Vec<CachePadded<S::AtomicU64>>,
+    /// Live (non-evicted) participants; guards against emptying the tree.
+    live: CachePadded<S::AtomicUsize>,
+    /// Non-zero once the barrier is poisoned.
+    poisoned: CachePadded<S::AtomicU32>,
+    /// Per-participant eviction flags (non-zero once evicted).
+    evicted: Vec<CachePadded<S::AtomicU32>>,
     stats: BarrierStats,
 }
 
 #[derive(Debug)]
 struct Node<S: SyncOps> {
     count: S::AtomicUsize,
-    expected: usize,
+    /// Arrivals this node expects per episode. Atomic because eviction
+    /// shrinks it at runtime; the completer re-reads it when re-arming.
+    expected: S::AtomicUsize,
     parent: Option<usize>,
 }
 
@@ -93,7 +103,7 @@ impl<S: SyncOps> TreeBarrier<S> {
             let members = members_of_group(n, fan_in, g);
             nodes.push(CachePadded::new(Node {
                 count: S::AtomicUsize::new(members),
-                expected: members,
+                expected: S::AtomicUsize::new(members),
                 parent: None,
             }));
         }
@@ -111,7 +121,7 @@ impl<S: SyncOps> TreeBarrier<S> {
                 let members = members_of_group(level_len, fan_in, g);
                 nodes.push(CachePadded::new(Node {
                     count: S::AtomicUsize::new(members),
-                    expected: members,
+                    expected: S::AtomicUsize::new(members),
                     parent: None,
                 }));
             }
@@ -133,6 +143,11 @@ impl<S: SyncOps> TreeBarrier<S> {
             local_episode: (0..n)
                 .map(|_| CachePadded::new(S::AtomicU64::new(0)))
                 .collect(),
+            live: CachePadded::new(S::AtomicUsize::new(n)),
+            poisoned: CachePadded::new(S::AtomicU32::new(0)),
+            evicted: (0..n)
+                .map(|_| CachePadded::new(S::AtomicU32::new(0)))
+                .collect(),
             stats: BarrierStats::with_participants(n),
         }
     }
@@ -153,14 +168,46 @@ impl<S: SyncOps> TreeBarrier<S> {
         let node = &self.nodes[index];
         if node.count.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Re-arm this node *before* propagating, so participants released
-            // by the eventual episode bump find a full counter.
-            node.count.store(node.expected, Ordering::Release);
+            // by the eventual episode bump find a full counter. The
+            // expectation is re-read because eviction may have shrunk it
+            // (the shrink is ordered before this read by the RMW chain on
+            // `count`, exactly like the centralized barrier's `leave`).
+            node.count
+                .store(node.expected.load(Ordering::Acquire), Ordering::Release);
             match node.parent {
                 Some(parent) => self.signal_node(parent),
                 None => {
                     self.episode.fetch_add(1, Ordering::Release);
                     self.stats.record_episode();
                 }
+            }
+        }
+    }
+
+    /// The poison-aware bounded wait all wait flavors funnel through.
+    fn wait_core(
+        &self,
+        token: &ArrivalToken,
+        deadline: Deadline,
+        policy: StallPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        let result = failure::guarded_wait::<S>(
+            policy,
+            deadline,
+            token.episode,
+            || self.episode.load(Ordering::Acquire) > token.episode,
+            || self.poisoned.load(Ordering::Acquire) != 0,
+        );
+        match result {
+            Ok(outcome) => {
+                self.stats.record_wait(token.id, &outcome);
+                Ok(outcome)
+            }
+            Err(fault) => {
+                if matches!(fault.error, BarrierError::Timeout { .. }) {
+                    self.stats.record_timeout(token.id, &fault.report);
+                }
+                Err(fault.error)
             }
         }
     }
@@ -189,12 +236,98 @@ impl<S: SyncOps> SplitBarrier for TreeBarrier<S> {
     }
 
     fn wait(&self, token: ArrivalToken) -> WaitOutcome {
-        let report = S::wait_until(self.policy, || {
-            self.episode.load(Ordering::Acquire) > token.episode
-        });
-        let outcome = WaitOutcome::from_report(token.episode, report);
-        self.stats.record_wait(token.id, &outcome);
-        outcome
+        match self.wait_core(&token, Deadline::never(), self.policy) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("TreeBarrier::wait failed: {e} (use wait_deadline to recover)"),
+        }
+    }
+
+    fn wait_deadline(
+        &self,
+        token: ArrivalToken,
+        deadline: Deadline,
+    ) -> Result<WaitOutcome, BarrierError> {
+        self.wait_core(&token, deadline, self.policy)
+    }
+
+    fn wait_with(
+        &self,
+        token: ArrivalToken,
+        policy: &WaitPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        let backoff = policy.backoff.unwrap_or(self.policy);
+        let result = self.wait_core(&token, policy.arm(), backoff);
+        if matches!(result, Err(BarrierError::Timeout { .. }))
+            && policy.on_timeout == OnTimeout::Poison
+        {
+            self.poison();
+        }
+        result
+    }
+
+    fn poison(&self) {
+        if self.poisoned.fetch_max(1, Ordering::AcqRel) == 0 {
+            self.stats.record_poisoning();
+        }
+    }
+
+    fn clear_poison(&self) {
+        self.poisoned.store(0, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire) != 0
+    }
+
+    fn evict(&self, id: usize) -> Result<(), BarrierError> {
+        if id >= self.n {
+            return Err(BarrierError::InvalidParticipant {
+                id,
+                capacity: self.n,
+            });
+        }
+        // Already-dead ids are rejected before the EmptyGroup guard: a
+        // dead id stays dead regardless of how many live remain.
+        if self.evicted[id].load(Ordering::Acquire) != 0 {
+            return Err(BarrierError::NotAParticipant { id });
+        }
+        if self.live.load(Ordering::Acquire) <= 1 {
+            return Err(BarrierError::EmptyGroup);
+        }
+        if self.evicted[id].fetch_max(1, Ordering::AcqRel) != 0 {
+            return Err(BarrierError::NotAParticipant { id });
+        }
+        self.live.fetch_sub(1, Ordering::AcqRel);
+        self.stats.record_eviction();
+        // Walk the evicted participant's leaf-to-root path. At each node,
+        // shrink the expectation first (the completer re-reads it when
+        // re-arming); then:
+        //  - if other contributors remain, perform one stand-in arrival at
+        //    this node for the in-flight episode (the evicted participant
+        //    must not have arrived for it) and stop — future episodes are
+        //    handled by the shrunk expectation;
+        //  - if the node's expectation dropped to zero, the node is retired
+        //    (nothing will ever signal it again) and the eviction moves up:
+        //    the parent must stop expecting the retired node's signal.
+        let mut index = self.leaf_of[id];
+        loop {
+            let node = &self.nodes[index];
+            let prev = node.expected.fetch_sub(1, Ordering::AcqRel);
+            if prev > 1 {
+                self.signal_node(index);
+                return Ok(());
+            }
+            match node.parent {
+                Some(parent) => index = parent,
+                None => {
+                    // Unreachable with the live-count guard: a surviving
+                    // participant keeps the expectation chain on the shared
+                    // path segment above 1, stopping the walk before the
+                    // root retires.
+                    unreachable!("evicting the last live participant is rejected above")
+                }
+            }
+        }
     }
 
     fn participants(&self) -> usize {
@@ -252,6 +385,117 @@ mod tests {
             assert!(b.is_complete(&t));
             assert_eq!(b.wait(t).episode, e);
         }
+    }
+
+    #[test]
+    fn eviction_over_all_survivor_counts_victims_and_fanins() {
+        // Survivor counts 2..=9 (n = 3..=10) at fan-ins 2 and 3, evicting
+        // each id once. Covers single-member leaf groups (whose node
+        // retires and pushes the eviction up the tree) and multi-member
+        // groups (stand-in arrival at the leaf).
+        for fan_in in [2usize, 3] {
+            for survivors in 2usize..=9 {
+                let n = survivors + 1;
+                for victim in 0..n {
+                    let b = Arc::new(TreeBarrier::with_fan_in(n, fan_in, StallPolicy::default()));
+                    std::thread::scope(|s| {
+                        let bv = Arc::clone(&b);
+                        let victim_thread = s.spawn(move || {
+                            let t = bv.arrive(victim);
+                            assert_eq!(bv.wait(t).episode, 0);
+                        });
+                        for id in (0..n).filter(|&id| id != victim) {
+                            let b = Arc::clone(&b);
+                            s.spawn(move || {
+                                for e in 0..3u64 {
+                                    let t = b.arrive(id);
+                                    assert_eq!(
+                                        b.wait(t).episode,
+                                        e,
+                                        "n={n} k={fan_in} victim={victim} id={id}"
+                                    );
+                                }
+                            });
+                        }
+                        victim_thread.join().unwrap();
+                        b.evict(victim).unwrap();
+                    });
+                    assert_eq!(b.stats().evictions, 1, "n={n} k={fan_in} victim={victim}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evicting_sole_leaf_member_retires_its_path() {
+        // n = 5, fan-in 2: participant 4 sits alone in its leaf group, and
+        // the leaf's parent chain up to (not including) the root has
+        // expectation 1 throughout — eviction must retire the whole path.
+        let b = TreeBarrier::new(5);
+        b.evict(4).unwrap();
+        for e in 0..3u64 {
+            let tokens: Vec<_> = (0..4).map(|id| b.arrive(id)).collect();
+            for t in tokens {
+                assert_eq!(b.wait(t).episode, e);
+            }
+        }
+    }
+
+    #[test]
+    fn evict_mid_episode_completes_it() {
+        let b = TreeBarrier::new(3);
+        let t0 = b.arrive(0);
+        let t1 = b.arrive(1);
+        b.evict(2).unwrap();
+        assert!(b.is_complete(&t0), "stand-in arrival completes episode 0");
+        assert_eq!(b.wait(t0).episode, 0);
+        assert_eq!(b.wait(t1).episode, 0);
+    }
+
+    #[test]
+    fn tree_evict_guards() {
+        let b = TreeBarrier::new(2);
+        assert_eq!(
+            b.evict(9).unwrap_err(),
+            BarrierError::InvalidParticipant { id: 9, capacity: 2 }
+        );
+        b.evict(0).unwrap();
+        assert_eq!(
+            b.evict(0).unwrap_err(),
+            BarrierError::NotAParticipant { id: 0 }
+        );
+        assert_eq!(b.evict(1).unwrap_err(), BarrierError::EmptyGroup);
+        let t = b.arrive(1);
+        assert_eq!(b.wait(t).episode, 0);
+    }
+
+    #[test]
+    fn poison_unblocks_tree_waiters() {
+        // n = 3: participant 2 never arrives, so neither wait below can be
+        // satisfied by completion.
+        let b = Arc::new(TreeBarrier::new(3));
+        std::thread::scope(|s| {
+            let b0 = Arc::clone(&b);
+            s.spawn(move || {
+                let t = b0.arrive(0);
+                let err = b0.wait_deadline(t, Deadline::never()).unwrap_err();
+                assert_eq!(err, BarrierError::Poisoned { episode: 0 });
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            b.poison();
+        });
+        assert!(b.is_poisoned());
+        // wait_with escalation path still reports the timeout distinctly.
+        b.clear_poison();
+        let t = b.arrive(1);
+        let policy = WaitPolicy::new()
+            .deadline(std::time::Duration::from_millis(5))
+            .on_timeout(OnTimeout::Poison);
+        assert!(matches!(
+            b.wait_with(t, &policy),
+            Err(BarrierError::Timeout { episode: 0 })
+        ));
+        assert!(b.is_poisoned());
     }
 
     #[test]

@@ -162,17 +162,19 @@ fn registry_never_exceeds_budget() {
     for _case in 0..64 {
         let max_streams = 2 + rng.below(8);
         let ops: Vec<bool> = (0..1 + rng.below(39)).map(|_| rng.chance(0.5)).collect();
-        // true = allocate, false = release the oldest live barrier.
+        // true = allocate, false = release the oldest live barrier. The
+        // model holds each handle: a dropped handle would make the barrier
+        // an orphan that allocation may legitimately sweep.
         let registry = GroupRegistry::new(max_streams);
         let mask = ProcMask::first_n(2);
-        let mut live: Vec<Tag> = Vec::new();
+        let mut live: Vec<(Tag, fuzzy_barrier::registry::RegistryBarrier<_>)> = Vec::new();
         for op in ops {
             if op {
                 match registry.allocate(mask) {
-                    Ok((tag, _)) => live.push(tag),
+                    Ok((tag, handle)) => live.push((tag, handle)),
                     Err(_) => assert_eq!(live.len(), max_streams - 1),
                 }
-            } else if let Some(tag) = live.first().copied() {
+            } else if let Some((tag, _)) = live.first().cloned() {
                 registry.release(tag).unwrap();
                 live.remove(0);
             }

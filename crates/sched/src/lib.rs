@@ -12,7 +12,10 @@
 //!   jitter, triangular);
 //! * [`executor`] — a deterministic virtual-time executor that reports
 //!   idle/stall time at point vs. fuzzy barriers, plus a real thread
-//!   executor built on the `fuzzy-barrier` crate.
+//!   executor built on the `fuzzy-barrier` crate;
+//! * [`supervisor`] — a fault-tolerant executor: panicking workers poison
+//!   the barrier, get evicted, and the supervisor retries the episode
+//!   with their iterations redistributed over the survivors.
 //!
 //! ## Example
 //!
@@ -35,6 +38,7 @@
 pub mod executor;
 pub mod self_sched;
 pub mod static_sched;
+pub mod supervisor;
 pub mod workload;
 
 pub use executor::{simulate_dynamic, simulate_static, VirtualReport};
@@ -42,4 +46,5 @@ pub use self_sched::{
     ChunkPolicy, Factoring, FixedChunk, GuidedSelfScheduling, SelfScheduling, Trapezoid, WorkQueue,
 };
 pub use static_sched::{block, cyclic, rotated_block, Assignment};
+pub use supervisor::{run_supervised, SupervisedReport};
 pub use workload::CostModel;

@@ -1,0 +1,199 @@
+//! Fault-tolerant loop execution: panicking workers poison the barrier,
+//! the supervisor evicts them and retries the episode on the survivors.
+//!
+//! The threaded executor in [`crate::executor`] assumes every worker
+//! reaches every barrier; one panic deadlocks the rest. This module wraps
+//! each worker body in `catch_unwind` and layers the `fuzzy-barrier`
+//! fault-recovery protocol on top:
+//!
+//! 1. a worker that panics mid-episode **poisons** the barrier, so every
+//!    peer blocked in `wait_deadline` unblocks with
+//!    [`BarrierError::Poisoned`] instead of stalling forever;
+//! 2. the supervisor collects the dead worker, shrinks the group, and
+//!    **retries the interrupted episode** with the dead worker's
+//!    iterations redistributed over the survivors;
+//! 3. episodes that completed before the fault are never re-run — the
+//!    barrier's episode counter tells the supervisor exactly where to
+//!    resume.
+//!
+//! Delivery is therefore *at-least-once* per outer iteration: survivors
+//! may re-execute work they had finished inside the interrupted episode,
+//! so work bodies should be idempotent (as loop iterations writing their
+//! own output elements are).
+
+use fuzzy_barrier::{BarrierError, CentralBarrier, Deadline, SplitBarrier, StallPolicy};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Outcome of a supervised run.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisedReport {
+    /// Wall-clock duration of the whole run, retries included.
+    pub elapsed: Duration,
+    /// Outer iterations that completed (== the requested count unless
+    /// every worker died).
+    pub completed_outer: usize,
+    /// Global ids of workers that panicked, in eviction order.
+    pub panicked: Vec<usize>,
+    /// Supervisor retry rounds (one per batch of evictions).
+    pub retries: u64,
+    /// Barrier episodes completed, summed over all rounds.
+    pub episodes: u64,
+    /// Poison events observed, summed over all rounds.
+    pub poisonings: u64,
+}
+
+/// Runs `outer` barrier-separated phases of `iters` iterations on `procs`
+/// workers, surviving worker panics.
+///
+/// `work(worker, outer, iter)` performs one iteration and may panic; a
+/// panic evicts that worker for the rest of the run. Iterations are
+/// block-partitioned over the *live* workers, so each eviction
+/// redistributes the dead worker's share. Returns once all `outer`
+/// iterations completed or every worker died.
+///
+/// # Panics
+///
+/// Panics if `procs == 0` or the barrier fails for a reason other than
+/// poisoning (which the protocol rules out under a never-expiring
+/// deadline).
+#[must_use]
+pub fn run_supervised(
+    procs: usize,
+    outer: usize,
+    iters: usize,
+    stall_policy: StallPolicy,
+    work: impl Fn(usize, usize, usize) + Sync,
+) -> SupervisedReport {
+    assert!(procs > 0, "need at least one worker");
+    let work = &work;
+    let mut report = SupervisedReport::default();
+    let mut live: Vec<usize> = (0..procs).collect();
+    let mut done = 0usize;
+    let start = std::time::Instant::now();
+    while done < outer && !live.is_empty() {
+        let barrier = Arc::new(CentralBarrier::with_policy(live.len(), stall_policy));
+        let dead: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let shares = crate::static_sched::block(iters, live.len());
+        std::thread::scope(|s| {
+            for (rank, &worker) in live.iter().enumerate() {
+                let barrier = Arc::clone(&barrier);
+                let dead = &dead;
+                let shares = &shares;
+                s.spawn(move || {
+                    for k in done..outer {
+                        let body = AssertUnwindSafe(|| {
+                            for &i in &shares[rank] {
+                                work(worker, k, i);
+                            }
+                        });
+                        if catch_unwind(body).is_err() {
+                            dead.lock().expect("dead list").push(worker);
+                            // The worker dies before arriving, so there is
+                            // no token to abort with — poison directly.
+                            barrier.poison();
+                            return;
+                        }
+                        let token = barrier.arrive(rank);
+                        match barrier.wait_deadline(token, Deadline::never()) {
+                            Ok(_) => {}
+                            // A peer died; hand the episode back to the
+                            // supervisor for redistribution.
+                            Err(BarrierError::Poisoned { .. }) => return,
+                            Err(err) => panic!("supervised wait failed: {err}"),
+                        }
+                    }
+                });
+            }
+        });
+        let stats = barrier.stats();
+        report.episodes += stats.episodes;
+        report.poisonings += stats.poisonings;
+        // Every completed episode is a fully finished outer iteration (the
+        // work of outer `k` happens before its arrival).
+        done += stats.episodes as usize;
+        let mut newly = dead.into_inner().expect("dead list");
+        if newly.is_empty() {
+            debug_assert_eq!(done, outer, "clean round must finish the loop");
+        } else {
+            report.retries += 1;
+            newly.sort_unstable();
+            live.retain(|w| !newly.contains(w));
+            report.panicked.extend(newly);
+        }
+    }
+    report.completed_outer = done;
+    report.elapsed = start.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn fault_free_run_completes_every_outer() {
+        let r = run_supervised(4, 6, 16, StallPolicy::yielding(), |_, _, _| {
+            crate::executor::busy(5);
+        });
+        assert_eq!(r.completed_outer, 6);
+        assert_eq!(r.episodes, 6);
+        assert!(r.panicked.is_empty());
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.poisonings, 0);
+    }
+
+    #[test]
+    fn panicking_worker_is_evicted_and_work_is_redistributed() {
+        let armed = AtomicBool::new(true);
+        let seen: Mutex<HashSet<(usize, usize)>> = Mutex::new(HashSet::new());
+        let r = run_supervised(4, 5, 12, StallPolicy::yielding(), |worker, k, i| {
+            if worker == 2 && k == 2 && armed.swap(false, Ordering::AcqRel) {
+                panic!("injected fault");
+            }
+            seen.lock().unwrap().insert((k, i));
+        });
+        assert_eq!(r.completed_outer, 5);
+        assert_eq!(r.panicked, vec![2]);
+        assert_eq!(r.retries, 1);
+        assert!(r.poisonings >= 1, "the panic must poison the barrier");
+        // Episodes 0 and 1 completed in round one, 2..=4 in round two.
+        assert_eq!(r.episodes, 5);
+        // Every iteration of every outer ran at least once, the dead
+        // worker's share included.
+        let seen = seen.into_inner().unwrap();
+        for k in 0..5 {
+            for i in 0..12 {
+                assert!(seen.contains(&(k, i)), "outer {k} iter {i} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_faults_leave_a_single_survivor_that_finishes() {
+        // Workers 0, 1 and 2 die at different outers; worker 3 carries the
+        // loop home alone.
+        let fuses: Vec<AtomicBool> = (0..3).map(|_| AtomicBool::new(true)).collect();
+        let r = run_supervised(4, 6, 8, StallPolicy::yielding(), |worker, k, _| {
+            if worker < 3 && k == worker + 1 && fuses[worker].swap(false, Ordering::AcqRel) {
+                panic!("injected fault for worker {worker}");
+            }
+        });
+        assert_eq!(r.completed_outer, 6);
+        assert_eq!(r.panicked.len(), 3);
+        assert!(r.retries >= 1 && r.retries <= 3);
+    }
+
+    #[test]
+    fn total_loss_terminates_short() {
+        let r = run_supervised(3, 4, 6, StallPolicy::yielding(), |_, _, _| {
+            panic!("everyone dies immediately");
+        });
+        assert_eq!(r.completed_outer, 0);
+        assert_eq!(r.panicked.len(), 3);
+        assert_eq!(r.episodes, 0);
+    }
+}

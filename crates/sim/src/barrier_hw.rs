@@ -39,6 +39,16 @@ pub struct BarrierUnit {
     pub mask: u64,
     /// Barrier tag; 0 means "not participating".
     pub tag: u16,
+    /// Watchdog register: the cycle budget this unit tolerates with its
+    /// ready line raised and synchronization absent before raising an
+    /// eviction interrupt. `None` disables the watchdog (the paper's
+    /// hardware, which waits forever).
+    pub watchdog: Option<u64>,
+    /// Consecutive cycles spent ready-but-unsynchronized, maintained by
+    /// the machine's broadcast evaluation. Compared against
+    /// [`Self::watchdog`]; reset on synchronization or whenever the ready
+    /// line drops.
+    pub waiting: u64,
 }
 
 impl BarrierUnit {
@@ -50,7 +60,22 @@ impl BarrierUnit {
             state: BarrierState::NonBarrier,
             mask,
             tag,
+            watchdog: None,
+            waiting: 0,
         }
+    }
+
+    /// The same unit with an armed watchdog register.
+    #[must_use]
+    pub fn with_watchdog(mut self, budget: u64) -> Self {
+        self.watchdog = Some(budget);
+        self
+    }
+
+    /// True once the unit has outwaited its watchdog budget.
+    #[must_use]
+    pub fn watchdog_expired(&self) -> bool {
+        self.watchdog.is_some_and(|budget| self.waiting > budget)
     }
 
     /// The broadcast ready line: raised while the processor is ready to
@@ -126,6 +151,7 @@ mod tests {
             state: BarrierState::ReadyUnsynced,
             mask,
             tag,
+            ..BarrierUnit::default()
         }
     }
 
@@ -207,6 +233,20 @@ mod tests {
     fn empty_mask_syncs_alone() {
         let mut units = vec![ready_unit(0, 1)];
         assert_eq!(evaluate_sync(&mut units, &[true]), vec![0]);
+    }
+
+    #[test]
+    fn watchdog_register_expires_strictly_past_budget() {
+        let mut u = BarrierUnit::new(0b10, 1).with_watchdog(3);
+        assert!(!u.watchdog_expired());
+        u.waiting = 3;
+        assert!(!u.watchdog_expired(), "budget itself is still tolerated");
+        u.waiting = 4;
+        assert!(u.watchdog_expired());
+        // A unit without a watchdog waits forever, like the paper's.
+        let mut forever = BarrierUnit::new(0b10, 1);
+        forever.waiting = u64::MAX;
+        assert!(!forever.watchdog_expired());
     }
 
     #[test]

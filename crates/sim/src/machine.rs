@@ -8,6 +8,7 @@
 //! barrier group discover synchronization in the same cycle.
 
 use crate::barrier_hw::{evaluate_sync, BarrierState, BarrierUnit};
+use crate::fault::{EvictionEvent, FaultPlan, FaultState};
 use crate::isa::Instr;
 use crate::memory::{Memory, MemoryConfig, OutOfBounds};
 use crate::processor::Processor;
@@ -201,6 +202,10 @@ pub struct Machine {
     /// Machine-level stall histogram and arrival-spread accumulators —
     /// the cycle-domain mirror of the thread library's telemetry.
     telemetry: SyncTelemetry,
+    /// Injected ready-line faults (see [`crate::fault`]).
+    faults: Vec<FaultState>,
+    /// Watchdog-triggered evictions, in firing order.
+    evictions: Vec<EvictionEvent>,
 }
 
 impl Machine {
@@ -237,6 +242,8 @@ impl Machine {
             interrupts: Vec::new(),
             sync_positions: Vec::new(),
             telemetry: SyncTelemetry::default(),
+            faults: Vec::new(),
+            evictions: Vec::new(),
         })
     }
 
@@ -254,6 +261,21 @@ impl Machine {
     /// takes the interrupt, runs the handler, and resumes its stall.
     pub fn schedule_interrupt(&mut self, proc: usize, cycle: u64, handler: usize) {
         self.interrupts.push((cycle, proc, handler));
+    }
+
+    /// Injects a ready-line fault: from `plan.onset` onward the victim's
+    /// outgoing ready broadcast misbehaves per [`crate::fault::ReadyFault`].
+    /// Suppression is applied at the broadcast network, so no unit —
+    /// including the victim's own — observes the suppressed line.
+    pub fn inject_ready_fault(&mut self, plan: FaultPlan) {
+        assert!(plan.victim < self.procs.len(), "fault victim out of range");
+        self.faults.push(FaultState::new(plan));
+    }
+
+    /// Watchdog-triggered evictions recorded so far, in firing order.
+    #[must_use]
+    pub fn evictions(&self) -> &[EvictionEvent] {
+        &self.evictions
     }
 
     /// Creates a machine and applies per-processor initial masks and tags.
@@ -358,7 +380,7 @@ impl Machine {
         // Broadcast synchronization evaluation, once per cycle, after all
         // processors have acted — "all processors simultaneously discover
         // the occurrence of synchronization".
-        let ready_override: Vec<bool> = self
+        let mut ready_override: Vec<bool> = self
             .procs
             .iter()
             .map(|p| {
@@ -369,9 +391,19 @@ impl Machine {
                 }
             })
             .collect();
+        for fault in &mut self.faults {
+            if fault.suppresses(cycle) {
+                ready_override[fault.victim()] = false;
+            }
+        }
         let mut units: Vec<BarrierUnit> = self.procs.iter().map(|p| p.unit.clone()).collect();
         let synced = evaluate_sync(&mut units, &ready_override);
         if !synced.is_empty() {
+            for ev in &mut self.evictions {
+                if ev.recovered_at.is_none() && synced.contains(&ev.watchdog) {
+                    ev.recovered_at = Some(cycle);
+                }
+            }
             let tags: BTreeSet<u16> = synced.iter().map(|&i| units[i].tag).collect();
             self.sync_events += tags.len() as u64;
             // Arrival spread per tag group: first-to-last barrier-region
@@ -407,8 +439,77 @@ impl Machine {
             }
         }
 
+        self.maintain_watchdogs(cycle, &ready_override, &synced);
+
         self.cycle += 1;
         Ok(!self.all_halted())
+    }
+
+    /// Advances every armed watchdog register and evicts stragglers once a
+    /// budget is exceeded — the paper's Sec. 5 mask update for dynamically
+    /// terminating streams, applied here to a *failed* stream: the
+    /// non-responsive partner is cleared from every unit's mask and its tag
+    /// zeroed, so survivors synchronize without it from the next broadcast
+    /// evaluation onward. The watchdog processor's trap handler (if
+    /// registered) is raised as an eviction interrupt on the next cycle.
+    fn maintain_watchdogs(&mut self, cycle: u64, ready_override: &[bool], synced: &[usize]) {
+        let n = self.procs.len();
+        let effective_ready: Vec<bool> = (0..n)
+            .map(|i| self.procs[i].unit.ready_line() && ready_override[i])
+            .collect();
+        for (i, p) in self.procs.iter_mut().enumerate() {
+            if synced.contains(&i) || p.halted || p.unit.tag == 0 || !p.unit.ready_line() {
+                p.unit.waiting = 0;
+            } else {
+                p.unit.waiting += 1;
+            }
+        }
+
+        let mut fired: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            if self.procs[i].halted || !self.procs[i].unit.watchdog_expired() {
+                continue;
+            }
+            let unit = &self.procs[i].unit;
+            let stragglers: Vec<usize> = (0..n)
+                .filter(|&j| j != i && unit.mask & (1u64 << j) != 0)
+                .filter(|&j| !effective_ready[j] || self.procs[j].unit.tag != unit.tag)
+                .collect();
+            if stragglers.is_empty() {
+                // Every partner looks healthy from here; the wait must be
+                // someone else's fault (e.g. our own broadcast is the one
+                // being suppressed). Re-arm rather than evict the innocent.
+                self.procs[i].unit.waiting = 0;
+                continue;
+            }
+            for j in stragglers {
+                fired.push((i, j));
+            }
+        }
+
+        let mut evicted_now: BTreeSet<usize> = BTreeSet::new();
+        for (watchdog, victim) in fired {
+            if !evicted_now.insert(victim) {
+                continue; // several watchdogs named the same straggler
+            }
+            for p in &mut self.procs {
+                p.unit.mask &= !(1u64 << victim);
+            }
+            let v = &mut self.procs[victim].unit;
+            v.mask = 0;
+            v.tag = 0;
+            v.waiting = 0;
+            self.evictions.push(EvictionEvent {
+                victim,
+                watchdog,
+                fired_at: cycle,
+                recovered_at: None,
+            });
+            self.trace.record(cycle, victim, EventKind::Evict);
+            if let Some(handler) = self.trap_handlers[watchdog] {
+                self.interrupts.push((cycle + 1, watchdog, handler));
+            }
+        }
     }
 
     /// Runs until halt, deadlock or `max_cycles`.
@@ -437,6 +538,11 @@ impl Machine {
         if !self.interrupts.is_empty() {
             return false;
         }
+        // An armed watchdog staring at a straggler will evict it within a
+        // finite number of cycles.
+        if self.eviction_pending() {
+            return false;
+        }
         let mut any_live = false;
         for p in &self.procs {
             if p.halted {
@@ -450,7 +556,52 @@ impl Machine {
                 return false;
             }
         }
-        any_live
+        if !any_live {
+            return false;
+        }
+        // Probe whether a future broadcast evaluation could fire before
+        // declaring the machine stuck: state relevant to synchronization
+        // may have changed *after* this cycle's evaluation (an eviction
+        // just updated the masks), and a transient fault may heal or
+        // glitch through. The probe is optimistic — only a permanently
+        // severed line counts as suppression — so a delay waiting to heal
+        // or a stutter (p < 1) that could let one evaluation through both
+        // defer deadlock, while a dead line does not mask a real deadlock.
+        let mut units: Vec<BarrierUnit> = self.procs.iter().map(|p| p.unit.clone()).collect();
+        let ready: Vec<bool> = (0..units.len())
+            .map(|i| {
+                !self
+                    .faults
+                    .iter()
+                    .any(|f| f.victim() == i && f.severed_from(self.cycle))
+            })
+            .collect();
+        evaluate_sync(&mut units, &ready).is_empty()
+    }
+
+    /// Whether some armed watchdog currently sees a straggler it will
+    /// eventually evict. Mirrors the straggler test in
+    /// [`Self::maintain_watchdogs`] for the quiescent state deadlock
+    /// detection runs in (nothing in flight, transient faults inert).
+    fn eviction_pending(&self) -> bool {
+        for (i, p) in self.procs.iter().enumerate() {
+            if p.halted || p.unit.watchdog.is_none() || p.unit.tag == 0 || !p.unit.ready_line() {
+                continue;
+            }
+            for (j, q) in self.procs.iter().enumerate() {
+                if j == i || p.unit.mask & (1u64 << j) == 0 {
+                    continue;
+                }
+                let suppressed = self
+                    .faults
+                    .iter()
+                    .any(|f| f.victim() == j && f.suppresses_deterministic(self.cycle));
+                if suppressed || !q.unit.ready_line() || q.unit.tag != p.unit.tag {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     fn step_proc(&mut self, i: usize, cycle: u64) -> Result<(), SimError> {
@@ -731,6 +882,7 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ReadyFault;
     use crate::isa::{Cond, Instr, Op};
     use crate::program::{Stream, StreamBuilder};
 
@@ -1459,5 +1611,178 @@ mod tests {
         let mut m = Machine::new(Program::new(vec![mk()]), cfg).unwrap();
         assert!(m.run(1000).unwrap().is_halted());
         assert_eq!(m.memory().peek(0), 42);
+    }
+
+    #[test]
+    fn watchdog_evicts_a_stalled_victim_and_survivors_recover() {
+        // Three processors, one barrier each. Proc 2's ready broadcast is
+        // severed before it ever reaches the network; every unit carries an
+        // armed watchdog. Procs 0 and 1 must cut the victim out of the
+        // masks, synchronize with each other and halt, while the victim's
+        // own watchdog keeps re-arming (its partners look healthy from its
+        // side) and it idles forever — so the run ends in deadlock with the
+        // survivors halted.
+        let mk = || {
+            let mut b = StreamBuilder::new();
+            b.plain(Instr::Nop);
+            b.fuzzy(Instr::Nop);
+            b.plain(Instr::Li { rd: 9, imm: 1 });
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let p = Program::new(vec![mk(), mk(), mk()]);
+        let units = vec![
+            BarrierUnit::new(0b110, 1).with_watchdog(8),
+            BarrierUnit::new(0b101, 1).with_watchdog(8),
+            BarrierUnit::new(0b011, 1).with_watchdog(8),
+        ];
+        let mut m = Machine::with_units(p, config(), units).unwrap();
+        m.inject_ready_fault(FaultPlan {
+            victim: 2,
+            onset: 0,
+            fault: ReadyFault::Stall,
+        });
+        let out = m.run(10_000).unwrap();
+        assert!(out.is_deadlock(), "victim idles forever: {out:?}");
+        assert!(m.procs()[0].halted && m.procs()[1].halted);
+        assert!(!m.procs()[2].halted);
+        assert_eq!(m.evictions().len(), 1, "one eviction, deduplicated");
+        let ev = m.evictions()[0];
+        assert_eq!(ev.victim, 2);
+        assert!(ev.watchdog < 2);
+        // Survivors synchronize on the broadcast evaluation right after
+        // the mask update.
+        assert_eq!(ev.recovery_latency(), Some(1));
+        assert_eq!(m.stats().sync_events, 1);
+        assert_eq!(m.proc_stats(0).syncs, 1);
+        assert_eq!(m.proc_stats(1).syncs, 1);
+        assert_eq!(m.proc_stats(2).syncs, 0);
+        assert_eq!(m.procs()[0].reg(9), 1, "survivor ran its post-barrier code");
+    }
+
+    #[test]
+    fn transient_delay_heals_without_eviction() {
+        // Proc 1's broadcast is suppressed for 40 cycles — well past both
+        // arrivals — and no watchdog is armed anywhere. The machine must
+        // not report deadlock while the fault can still heal; once it
+        // does, the barrier fires normally.
+        let mk = || {
+            let mut b = StreamBuilder::new();
+            b.fuzzy(Instr::Nop);
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let p = Program::new(vec![mk(), mk()]);
+        let mut m = Machine::new(p, config()).unwrap();
+        m.inject_ready_fault(FaultPlan {
+            victim: 1,
+            onset: 0,
+            fault: ReadyFault::Delay { cycles: 40 },
+        });
+        let out = m.run(10_000).unwrap();
+        assert!(out.is_halted(), "{out:?}");
+        assert!(out.cycles() >= 40, "sync had to wait out the glitch");
+        assert!(m.evictions().is_empty());
+        assert_eq!(m.stats().sync_events, 1);
+    }
+
+    #[test]
+    fn generous_watchdog_tolerates_a_transient_delay() {
+        // Same transient glitch, but now watchdogs ARE armed — with a
+        // budget larger than the outage. The glitch must heal before any
+        // eviction fires.
+        let mk = || {
+            let mut b = StreamBuilder::new();
+            b.fuzzy(Instr::Nop);
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let p = Program::new(vec![mk(), mk()]);
+        let units = vec![
+            BarrierUnit::new(0b10, 1).with_watchdog(100),
+            BarrierUnit::new(0b01, 1).with_watchdog(100),
+        ];
+        let mut m = Machine::with_units(p, config(), units).unwrap();
+        m.inject_ready_fault(FaultPlan {
+            victim: 1,
+            onset: 0,
+            fault: ReadyFault::Delay { cycles: 40 },
+        });
+        let out = m.run(10_000).unwrap();
+        assert!(out.is_halted(), "{out:?}");
+        assert!(m.evictions().is_empty(), "budget outlasted the glitch");
+        assert_eq!(m.stats().sync_events, 1);
+    }
+
+    #[test]
+    fn eviction_raises_an_interrupt_on_the_watchdog_processor() {
+        // Proc 0's trap handler increments r6. When its watchdog evicts
+        // the dead proc 1, the eviction interrupt must run that handler
+        // exactly once; proc 0 (mask now empty) then synchronizes alone
+        // and halts.
+        let mut b0 = StreamBuilder::new();
+        b0.fuzzy(Instr::Nop);
+        b0.plain(Instr::Halt);
+        b0.label("handler");
+        b0.plain(Instr::Addi {
+            rd: 6,
+            rs: 6,
+            imm: 1,
+        });
+        b0.plain(Instr::Ret);
+        let handler_pc = 2;
+        let mut b1 = StreamBuilder::new();
+        b1.fuzzy(Instr::Nop);
+        b1.plain(Instr::Halt);
+        let p = Program::new(vec![b0.finish().unwrap(), b1.finish().unwrap()]);
+        let units = vec![
+            BarrierUnit::new(0b10, 1).with_watchdog(5),
+            BarrierUnit::new(0b01, 1),
+        ];
+        let mut m = Machine::with_units(p, config(), units).unwrap();
+        m.set_trap_handler(0, handler_pc);
+        m.inject_ready_fault(FaultPlan {
+            victim: 1,
+            onset: 0,
+            fault: ReadyFault::Stall,
+        });
+        let out = m.run(10_000).unwrap();
+        assert!(out.is_deadlock(), "the dead victim never halts: {out:?}");
+        assert!(m.procs()[0].halted);
+        assert_eq!(m.procs()[0].reg(6), 1, "eviction handler ran once");
+        assert_eq!(m.evictions().len(), 1);
+        assert_eq!(m.evictions()[0].victim, 1);
+        assert!(m.evictions()[0].recovery_latency().is_some());
+    }
+
+    #[test]
+    fn stutter_starves_partners_until_the_watchdog_fires() {
+        // A heavy stutter (p = 0.95) keeps dropping proc 1's broadcast;
+        // sooner or later the partners' ready cycles never line up long
+        // enough and proc 0's watchdog evicts it. Deterministic per seed.
+        let mk = || {
+            let mut b = StreamBuilder::new();
+            b.fuzzy(Instr::Nop);
+            b.plain(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let p = Program::new(vec![mk(), mk()]);
+        let units = vec![
+            BarrierUnit::new(0b10, 1).with_watchdog(4),
+            BarrierUnit::new(0b01, 1),
+        ];
+        let mut m = Machine::with_units(p, config(), units).unwrap();
+        m.inject_ready_fault(FaultPlan {
+            victim: 1,
+            onset: 0,
+            fault: ReadyFault::Stutter { p: 0.95, seed: 7 },
+        });
+        let out = m.run(10_000).unwrap();
+        // Either the stutter let one evaluation through before the budget
+        // ran out (sync) or the watchdog fired (eviction) — with p = 0.95
+        // and a budget of 4 the eviction path is what the seed produces,
+        // and determinism means it stays that way.
+        assert_eq!(m.evictions().len(), 1, "{out:?}");
+        assert_eq!(m.evictions()[0].victim, 1);
     }
 }

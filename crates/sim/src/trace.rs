@@ -23,6 +23,9 @@ pub enum EventKind {
     Trap,
     /// The processor halted.
     Halt,
+    /// The processor was evicted from the barrier masks by a partner's
+    /// watchdog.
+    Evict,
 }
 
 impl fmt::Display for EventKind {
@@ -35,6 +38,7 @@ impl fmt::Display for EventKind {
             EventKind::Interrupt => "interrupt",
             EventKind::Trap => "trap",
             EventKind::Halt => "halt",
+            EventKind::Evict => "evict",
         };
         f.write_str(s)
     }

@@ -13,6 +13,7 @@
 #   tier1        the repo's tier-1 gate, verbatim from ROADMAP.md
 #   check-smoke  fuzzy-check: 10k DFS schedules per backend at N=3
 #   bench-smoke  exp_encore --stats-json + schema validation
+#   fault-smoke  check --scenario poison + exp_fault_recovery export
 #   doc          cargo doc --no-deps (rustdoc warnings are errors)
 #
 # Each stage prints `ci: stage <name> PASS|FAIL`; the script stops at the
@@ -80,6 +81,26 @@ bench_smoke() {
     return $status
 }
 
+# Fault smoke: the poisoning scenario on the model checker (1k DFS
+# schedules per backend at N=3), then the fault-recovery experiment with
+# its --stats-json export schema-validated.
+fault_smoke() {
+    cargo build --release -q -p fuzzy-check --bin check &&
+        ./target/release/check --backend all --scenario poison \
+            --participants 3 --episodes 2 --mode dfs --schedules 1000 ||
+        return 1
+    out="$(mktemp)" || return 1
+    status=1
+    if cargo run -q --release -p fuzzy-bench --bin exp_fault_recovery -- \
+        --stats-json "$out" >/dev/null; then
+        cargo run -q --release -p fuzzy-bench --bin validate_stats -- \
+            --schema fault_recovery "$out"
+        status=$?
+    fi
+    rm -f "$out"
+    return $status
+}
+
 want fmt && run_stage fmt cargo fmt --check
 want build && run_stage build cargo build --workspace --all-targets
 want clippy && run_stage clippy cargo clippy --workspace --all-targets -- -D warnings
@@ -87,6 +108,7 @@ want test && run_stage test cargo test -q --workspace
 want tier1 && run_stage tier1 tier1_gate
 want check-smoke && run_stage check-smoke check_smoke
 want bench-smoke && run_stage bench-smoke bench_smoke
+want fault-smoke && run_stage fault-smoke fault_smoke
 want doc && run_stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 if [ -n "$failed_stage" ]; then

@@ -98,10 +98,15 @@ fn sec5_barrier_budget() {
     for n in 2..8 {
         let r = GroupRegistry::new(n);
         assert_eq!(r.capacity(), n - 1);
-        for _ in 0..n - 1 {
-            r.allocate(ProcMask::first_n(2)).unwrap();
-        }
+        // Hold every handle: dropped handles are orphans the registry may
+        // sweep to make room, which would defeat the exhaustion check.
+        let held: Vec<_> = (0..n - 1)
+            .map(|_| r.allocate(ProcMask::first_n(2)).unwrap())
+            .collect();
         assert!(r.allocate(ProcMask::first_n(2)).is_err());
+        drop(held);
+        // Once the streams abandon their barriers, the budget frees up.
+        assert!(r.allocate(ProcMask::first_n(2)).is_ok());
     }
 }
 
