@@ -1,0 +1,414 @@
+//! Experiment E15 — backend face-off: topology-aware hierarchy vs the
+//! flat barriers.
+//!
+//! The paper's Sec. 1 frames the software design space as "linear or
+//! logarithmic cost in the number of processors". This experiment sweeps
+//! every split-phase backend over the processor count and measures what
+//! that cost actually looks like on a real (oversubscribed) thread
+//! library: mean stall probes per episode, total stall time and arrival
+//! spread. The [`fuzzy_barrier::HierBarrier`] rows run with the adaptive
+//! stall policy (its default), so the sweep doubles as an end-to-end test
+//! of EWMA-driven spin-budget sizing: on a saturated machine the adaptive
+//! policy collapses its spin budget and the hierarchy's sharded arrival
+//! words keep the remaining probes off any single hot line.
+//!
+//! Invariant asserted on the default sweep (and recorded in the export):
+//! at every `N >= 16` the best hierarchical configuration spends strictly
+//! fewer probes per episode than both `CentralBarrier` and
+//! `CountingBarrier`.
+//!
+//! ```text
+//! exp_backend_faceoff [--quick] [--stats-json <path>]
+//! exp_backend_faceoff --compare <fresh.json> --baseline <base.json>
+//!                     [--tolerance <x>]
+//! ```
+//!
+//! Compare mode re-reads two exports and fails (exit 1) if any fresh
+//! `probes_per_episode` exceeds its baseline row by more than the
+//! multiplicative tolerance (arrival spread is held to `4×` the
+//! tolerance — wall-clock spread is far noisier than probe counts).
+
+use fuzzy_barrier::{StallPolicy, TopLevel};
+use fuzzy_bench::{banner, StatsExport, Table};
+use fuzzy_sched::static_sched::block;
+use fuzzy_sched::{executor::Strategy, run_threaded_with, BarrierChoice, ThreadReport};
+use fuzzy_util::Json;
+
+const EPISODES: usize = 100;
+const QUICK_EPISODES: usize = 40;
+const ITER_COST: u64 = 8;
+const REGION_UNITS: u64 = 4;
+/// Probe-count slack added on top of the ratio check so near-zero
+/// baselines (instant episodes) cannot fail on absolute noise.
+const PROBE_SLACK: f64 = 1024.0;
+/// Arrival-spread slack, nanoseconds.
+const SPREAD_SLACK_NS: f64 = 200_000.0;
+
+/// One backend configuration in the sweep.
+struct Contender {
+    label: &'static str,
+    /// 0 for the flat backends.
+    shard_size: usize,
+    choice: BarrierChoice,
+    policy: StallPolicy,
+}
+
+fn contenders() -> Vec<Contender> {
+    let flat = StallPolicy::default();
+    vec![
+        Contender {
+            label: "central",
+            shard_size: 0,
+            choice: BarrierChoice::Central,
+            policy: flat,
+        },
+        Contender {
+            label: "counting",
+            shard_size: 0,
+            choice: BarrierChoice::Counting,
+            policy: flat,
+        },
+        Contender {
+            label: "dissemination",
+            shard_size: 0,
+            choice: BarrierChoice::Dissemination,
+            policy: flat,
+        },
+        Contender {
+            label: "tree",
+            shard_size: 0,
+            choice: BarrierChoice::Tree { fan_in: 2 },
+            policy: flat,
+        },
+        Contender {
+            label: "hier/4",
+            shard_size: 4,
+            choice: BarrierChoice::Hier {
+                shard_size: 4,
+                top: TopLevel::Dissemination,
+            },
+            policy: StallPolicy::adaptive(),
+        },
+        Contender {
+            label: "hier/8",
+            shard_size: 8,
+            choice: BarrierChoice::Hier {
+                shard_size: 8,
+                top: TopLevel::Tree,
+            },
+            policy: StallPolicy::adaptive(),
+        },
+    ]
+}
+
+struct Row {
+    label: &'static str,
+    shard_size: usize,
+    procs: usize,
+    episodes: u64,
+    probes_per_episode: f64,
+    stalls: u64,
+    stall_ns: u64,
+    spread_mean_ns: u64,
+    elapsed_ms: f64,
+}
+
+fn measure(c: &Contender, procs: usize, episodes: usize) -> Row {
+    // One block-assigned iteration of fixed cost per processor per outer
+    // step: the work is balanced, so every stall the barrier reports is
+    // synchronization cost, not load imbalance.
+    let costs: Vec<Vec<u64>> = (0..episodes).map(|_| vec![ITER_COST; procs]).collect();
+    let assign = move |_outer: usize| block(procs, procs);
+    let report: ThreadReport = run_threaded_with(
+        procs,
+        &costs,
+        &Strategy::Static(&assign),
+        REGION_UNITS,
+        c.policy,
+        c.choice,
+    );
+    let t = &report.telemetry;
+    let episodes = t.base.episodes.max(1);
+    Row {
+        label: c.label,
+        shard_size: c.shard_size,
+        procs,
+        episodes: t.base.episodes,
+        probes_per_episode: t.base.probes as f64 / episodes as f64,
+        stalls: t.base.stalls,
+        stall_ns: u64::try_from(t.base.stall_time.as_nanos()).unwrap_or(u64::MAX),
+        spread_mean_ns: u64::try_from(t.spread.mean().as_nanos()).unwrap_or(u64::MAX),
+        elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+    }
+}
+
+fn row_json(r: &Row) -> Json {
+    Json::obj()
+        .field("backend", r.label)
+        .field("shard_size", r.shard_size)
+        .field("procs", r.procs)
+        .field("episodes", r.episodes)
+        .field("probes_per_episode", r.probes_per_episode)
+        .field("stalls", r.stalls)
+        .field("stall_ns", r.stall_ns)
+        .field("spread_mean_ns", r.spread_mean_ns)
+        .field("elapsed_ms", r.elapsed_ms)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: exp_backend_faceoff [--quick] [--stats-json <path>]\n\
+         \x20      exp_backend_faceoff --compare <fresh.json> --baseline <base.json>\n\
+         \x20                          [--tolerance <x>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut compare: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 8.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("exp_backend_faceoff: {name} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--compare" => compare = Some(value("--compare")),
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--tolerance" => {
+                tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
+                    eprintln!("exp_backend_faceoff: --tolerance wants a number");
+                    usage();
+                });
+            }
+            "--stats-json" => {
+                let _ = value("--stats-json"); // consumed again by StatsExport
+            }
+            other if other.starts_with("--stats-json=") => {}
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("exp_backend_faceoff: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    if let Some(fresh) = compare {
+        let Some(base) = baseline else {
+            eprintln!("exp_backend_faceoff: --compare needs --baseline");
+            usage();
+        };
+        std::process::exit(run_compare(&fresh, &base, tolerance));
+    }
+    if baseline.is_some() {
+        eprintln!("exp_backend_faceoff: --baseline only makes sense with --compare");
+        usage();
+    }
+
+    run_sweep(quick);
+}
+
+fn run_sweep(quick: bool) {
+    let mut export = StatsExport::from_env("backend_faceoff");
+    banner(
+        "E15: backend face-off — hierarchical sharding + adaptive stalls",
+        "Sec. 1 cost claims of Gupta, ASPLOS 1989",
+    );
+    let (ns, episodes): (&[usize], usize) = if quick {
+        (&[2, 8, 16], QUICK_EPISODES)
+    } else {
+        (&[2, 4, 8, 16, 32], EPISODES)
+    };
+    println!(
+        "\n{episodes} episodes per configuration, {} work units + {REGION_UNITS} region units\n\
+         per processor per episode; hier rows use the adaptive stall policy.\n",
+        ITER_COST
+    );
+
+    let mut t = Table::new([
+        "backend",
+        "procs",
+        "probes/episode",
+        "stalls",
+        "stall ms",
+        "spread mean us",
+        "elapsed ms",
+    ]);
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in ns {
+        for c in contenders() {
+            let row = measure(&c, n, episodes);
+            t.row([
+                row.label.to_string(),
+                row.procs.to_string(),
+                format!("{:.1}", row.probes_per_episode),
+                row.stalls.to_string(),
+                format!("{:.2}", row.stall_ns as f64 / 1e6),
+                format!("{:.1}", row.spread_mean_ns as f64 / 1e3),
+                format!("{:.1}", row.elapsed_ms),
+            ]);
+            rows.push(row);
+        }
+    }
+    println!("{}", t.render());
+
+    // The tentpole claim: sharded arrivals + adaptive stalling beat both
+    // single-hot-word designs once the group is large.
+    let mut asserted_at: Vec<usize> = Vec::new();
+    let mut beats_counting = true;
+    let mut beats_central = true;
+    for &n in ns.iter().filter(|&&n| n >= 16) {
+        let probes = |label: &str| -> f64 {
+            rows.iter()
+                .filter(|r| r.procs == n && r.label == label)
+                .map(|r| r.probes_per_episode)
+                .next()
+                .expect("swept backend present")
+        };
+        let best_hier = rows
+            .iter()
+            .filter(|r| r.procs == n && r.shard_size > 0)
+            .map(|r| r.probes_per_episode)
+            .fold(f64::INFINITY, f64::min);
+        let counting = probes("counting");
+        let central = probes("central");
+        println!(
+            "N={n}: best hier {best_hier:.1} probes/episode vs counting {counting:.1}, \
+             central {central:.1}"
+        );
+        beats_counting &= best_hier < counting;
+        beats_central &= best_hier < central;
+        asserted_at.push(n);
+    }
+    assert!(
+        beats_counting && beats_central,
+        "hier must spend strictly fewer probes/episode than counting and central at N >= 16"
+    );
+    if !asserted_at.is_empty() {
+        println!("\nhier < counting and hier < central at every swept N >= 16: OK");
+    }
+
+    export.section(
+        "config",
+        Json::obj()
+            .field("episodes", episodes)
+            .field("region_units", REGION_UNITS)
+            .field("quick", quick),
+    );
+    export.section("sweep", Json::Arr(rows.iter().map(row_json).collect()));
+    export.section(
+        "verdict",
+        Json::obj()
+            .field(
+                "asserted_at",
+                Json::Arr(asserted_at.iter().map(|&n| Json::Num(n as f64)).collect()),
+            )
+            .field("hier_beats_counting", beats_counting)
+            .field("hier_beats_central", beats_central),
+    );
+    export.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Compare mode (the perf gate)
+// ---------------------------------------------------------------------------
+
+fn load_sweep(path: &str) -> Result<Vec<Json>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+    let sweep = doc
+        .get("sweep")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no `sweep` array"))?;
+    Ok(sweep.to_vec())
+}
+
+fn row_key(row: &Json) -> Option<(String, u64)> {
+    let backend = match row.get("backend") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => return None,
+    };
+    let procs = row.get("procs").and_then(Json::as_f64)? as u64;
+    Some((backend, procs))
+}
+
+fn metric(row: &Json, key: &str) -> Option<f64> {
+    row.get(key).and_then(Json::as_f64)
+}
+
+fn run_compare(fresh_path: &str, base_path: &str, tolerance: f64) -> i32 {
+    let (fresh, base) = match (load_sweep(fresh_path), load_sweep(base_path)) {
+        (Ok(f), Ok(b)) => (f, b),
+        (f, b) => {
+            for err in [f.err(), b.err()].into_iter().flatten() {
+                eprintln!("exp_backend_faceoff: {err}");
+            }
+            return 1;
+        }
+    };
+    // (metric, multiplicative tolerance, absolute slack) — spread is held
+    // to a looser bound because wall-clock interarrival times on a shared
+    // box swing far more than probe counts do.
+    let checks = [
+        ("probes_per_episode", tolerance, PROBE_SLACK),
+        ("spread_mean_ns", tolerance * 4.0, SPREAD_SLACK_NS),
+    ];
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for fresh_row in &fresh {
+        let Some(key) = row_key(fresh_row) else {
+            eprintln!("exp_backend_faceoff: {fresh_path}: malformed sweep row");
+            failures += 1;
+            continue;
+        };
+        let Some(base_row) = base.iter().find(|r| row_key(r).as_ref() == Some(&key)) else {
+            // The baseline is the full sweep; a quick fresh run must be a
+            // subset of it.
+            eprintln!(
+                "exp_backend_faceoff: no baseline row for {}@{} — regenerate the baseline",
+                key.0, key.1
+            );
+            failures += 1;
+            continue;
+        };
+        compared += 1;
+        for (name, tol, slack) in checks {
+            let (Some(f), Some(b)) = (metric(fresh_row, name), metric(base_row, name)) else {
+                eprintln!(
+                    "exp_backend_faceoff: missing metric {name} for {}@{}",
+                    key.0, key.1
+                );
+                failures += 1;
+                continue;
+            };
+            let allowed = b * tol + slack;
+            if f > allowed {
+                eprintln!(
+                    "REGRESSION {}@{} {name}: fresh {f:.1} > allowed {allowed:.1} \
+                     (baseline {b:.1} x{tol:.1} + {slack:.0})",
+                    key.0, key.1
+                );
+                failures += 1;
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!("exp_backend_faceoff: nothing compared — empty sweep?");
+        return 1;
+    }
+    if failures == 0 {
+        println!(
+            "exp_backend_faceoff: {compared} row(s) within tolerance x{tolerance:.1} of {base_path}"
+        );
+        0
+    } else {
+        eprintln!("exp_backend_faceoff: {failures} gate failure(s)");
+        1
+    }
+}

@@ -1,7 +1,7 @@
 //! `validate_stats` — checks a `--stats-json` export against its schema.
 //!
 //! ```text
-//! validate_stats <file.json> [--schema encore|fault_recovery]
+//! validate_stats <file.json> [--schema encore|fault_recovery|backend_faceoff]
 //! ```
 //!
 //! Parses the file with the in-tree JSON parser and validates key names
@@ -9,11 +9,13 @@
 //! 0 = conforms, 1 = schema violations or unreadable/unparsable input,
 //! 2 = usage error.
 
-use fuzzy_bench::schema::{encore_shape, fault_recovery_shape, validate, Shape};
+use fuzzy_bench::schema::{
+    backend_faceoff_shape, encore_shape, fault_recovery_shape, validate, Shape,
+};
 use fuzzy_util::Json;
 
 fn usage() -> ! {
-    eprintln!("usage: validate_stats <file.json> [--schema encore|fault_recovery]");
+    eprintln!("usage: validate_stats <file.json> [--schema encore|fault_recovery|backend_faceoff]");
     std::process::exit(2);
 }
 
@@ -21,6 +23,7 @@ fn shape_for(name: &str) -> Option<Shape> {
     match name {
         "encore" => Some(encore_shape()),
         "fault_recovery" => Some(fault_recovery_shape()),
+        "backend_faceoff" => Some(backend_faceoff_shape()),
         _ => None,
     }
 }
@@ -46,7 +49,10 @@ fn main() {
     }
     let Some(path) = file else { usage() };
     let Some(shape) = shape_for(&schema_name) else {
-        eprintln!("validate_stats: unknown schema {schema_name:?} (have: encore, fault_recovery)");
+        eprintln!(
+            "validate_stats: unknown schema {schema_name:?} \
+             (have: encore, fault_recovery, backend_faceoff)"
+        );
         usage();
     };
 

@@ -232,6 +232,48 @@ pub fn encore_shape() -> Shape {
     ])
 }
 
+/// The full `exp_backend_faceoff --stats-json` document shape.
+#[must_use]
+pub fn backend_faceoff_shape() -> Shape {
+    let sweep_row = obj([
+        ("backend", Shape::Str),
+        ("shard_size", Shape::Num),
+        ("procs", Shape::Num),
+        ("episodes", Shape::Num),
+        ("probes_per_episode", Shape::Num),
+        ("stalls", Shape::Num),
+        ("stall_ns", Shape::Num),
+        ("spread_mean_ns", Shape::Num),
+        ("elapsed_ms", Shape::Num),
+    ]);
+    obj([
+        ("experiment", Shape::Str),
+        (
+            "config",
+            obj([
+                ("episodes", Shape::Num),
+                ("region_units", Shape::Num),
+                ("quick", Shape::Bool),
+            ]),
+        ),
+        ("sweep", arr_of(sweep_row)),
+        (
+            "verdict",
+            obj([
+                (
+                    "asserted_at",
+                    Shape::Arr {
+                        elem: Box::new(Shape::Num),
+                        min_len: 0,
+                    },
+                ),
+                ("hier_beats_counting", Shape::Bool),
+                ("hier_beats_central", Shape::Bool),
+            ]),
+        ),
+    ])
+}
+
 /// Summary block shared by the single-run sections of the fault-recovery
 /// export.
 fn fault_run_summary() -> Shape {
@@ -326,6 +368,34 @@ mod tests {
             .field("flag", true);
         let errors = validate(&doc, &sample_shape());
         assert!(errors[0].contains("at least 1 element"), "{}", errors[0]);
+    }
+
+    #[test]
+    fn checked_in_faceoff_export_conforms() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_faceoff.json"
+        ))
+        .expect("BENCH_faceoff.json present in repo root");
+        let doc = Json::parse(&text).expect("reference export parses");
+        assert_eq!(
+            validate(&doc, &backend_faceoff_shape()),
+            Vec::<String>::new()
+        );
+        // The baseline must have been generated from the *default* sweep
+        // with its verdict asserted — a quick run is not a valid baseline.
+        assert_eq!(
+            doc.get("config").unwrap().get("quick"),
+            Some(&Json::Bool(false))
+        );
+        assert_eq!(
+            doc.get("verdict").unwrap().get("hier_beats_counting"),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(
+            doc.get("verdict").unwrap().get("hier_beats_central"),
+            Some(&Json::Bool(true))
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `check` — command-line front end for the fuzzy-check model checker.
 //!
 //! ```text
-//! check [--backend central|counting|dissemination|tree|all]
+//! check [--backend central|counting|dissemination|tree|hier|all]
 //!       [--scenario protocol|subset|registry|poison|evict|all]
 //!       [-n/--participants N] [--episodes E]
 //!       [--mode dfs|random] [--schedules N] [--seed S]
@@ -57,7 +57,7 @@ impl Default for Config {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: check [--backend central|counting|dissemination|tree|all]\n\
+        "usage: check [--backend central|counting|dissemination|tree|hier|all]\n\
          \x20            [--scenario protocol|subset|registry|poison|evict|all]\n\
          \x20            [-n|--participants N] [--episodes E]\n\
          \x20            [--mode dfs|random] [--schedules N] [--seed S]\n\

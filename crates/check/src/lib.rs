@@ -2,8 +2,9 @@
 //!
 //! A dependency-free, loom-lite **model checker** for the fuzzy-barrier
 //! backends. It runs the *real* backend code — `CentralBarrier`,
-//! `CountingBarrier`, `DisseminationBarrier`, `TreeBarrier`, plus the
-//! mask/tag/registry layers — on virtual threads under a deterministic
+//! `CountingBarrier`, `DisseminationBarrier`, `TreeBarrier`,
+//! `HierBarrier`, plus the mask/tag/registry layers — on virtual threads
+//! under a deterministic
 //! scheduler, and explores the interleavings of their atomic operations:
 //! exhaustively (bounded-preemption DFS) or by seeded random sampling.
 //!
@@ -39,10 +40,11 @@
 //! cargo run -p fuzzy-check --bin check -- --backend all -n 3 --schedules 10000
 //! ```
 //!
-//! The [`mutants`] module carries seven seeded-bug backends the checker
-//! must catch — five concurrency races plus two fault-handling bugs (a
-//! no-op poison and a mask-preserving eviction); `cargo test -p
-//! fuzzy-check` proves it does.
+//! The [`mutants`] module carries eight seeded-bug backends the checker
+//! must catch — six concurrency races (including a hierarchical shard
+//! leader that releases early) plus two fault-handling bugs (a no-op
+//! poison and a mask-preserving eviction); `cargo test -p fuzzy-check`
+//! proves it does.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

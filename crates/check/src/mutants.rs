@@ -7,9 +7,12 @@
 //! budget. Three of the first five are interleaving-dependent (they pass
 //! on the default round-robin-ish schedule and need a specific
 //! preemption), which is precisely what distinguishes a model checker
-//! from a stress test. The last two seed *fault-handling* bugs — a
-//! recovery layer that forgets to poison, and an eviction that forgets to
-//! shrink the mask — caught by the poison/evict scenarios.
+//! from a stress test. The sixth is hierarchical: a shard leader that
+//! releases its shard before the top-level sync completes — the sharded
+//! flavor of the early-release fuzzy violation. The last two seed
+//! *fault-handling* bugs — a recovery layer that forgets to poison, and
+//! an eviction that forgets to shrink the mask — caught by the
+//! poison/evict scenarios.
 
 use crate::shadow::ShadowSync;
 use fuzzy_barrier::spin::SpinReport;
@@ -424,6 +427,103 @@ impl<S: SyncOps> SplitBarrier for MutantEarlyRelease<S> {
     fn wait(&self, token: ArrivalToken) -> WaitOutcome {
         let report = S::wait_until(StallPolicy::Spin, || {
             self.episode.load(Ordering::Acquire) >= token.episode()
+        });
+        outcome(token.episode(), report)
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantLeaderEarlyRelease: shard released before the top-level sync
+// ---------------------------------------------------------------------------
+
+/// Hierarchical (sharded) barrier whose shard leader **bumps the shard's
+/// release epoch as soon as its own shard fills**, before the top-level
+/// synchronization across shards has completed.
+///
+/// The tempting-but-wrong optimization: "my shard is done, release my
+/// local waiters early and let the leader handle the rest". A full shard's
+/// waiters then sail past participants in *other* shards that have not
+/// even arrived — the hierarchical flavor of the canonical fuzzy-semantics
+/// violation, invisible to deadlock detection (every wait returns) and
+/// caught only by the ledger check. The stock
+/// [`fuzzy_barrier::HierBarrier`] guards exactly this edge: a shard epoch
+/// may only advance after the shard's leader rounds complete.
+#[derive(Debug)]
+pub struct MutantLeaderEarlyRelease<S: SyncOps = ShadowSync> {
+    n: usize,
+    shards: Vec<MutantShard<S>>,
+    /// Total shard sign-ins — what the *correct* wait predicate would
+    /// consult (`sign_ins >= (episode + 1) * shards`).
+    top_sign_ins: S::AtomicU64,
+    local_episode: Vec<S::AtomicU64>,
+}
+
+#[derive(Debug)]
+struct MutantShard<S: SyncOps> {
+    count: S::AtomicUsize,
+    expected: usize,
+    epoch: S::AtomicU64,
+}
+
+impl<S: SyncOps> MutantLeaderEarlyRelease<S> {
+    const SHARD: usize = 2;
+
+    /// Creates the mutant for `n` participants, shard size 2.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > Self::SHARD, "the bug needs a second shard");
+        let shards = (0..n.div_ceil(Self::SHARD))
+            .map(|g| {
+                let members = Self::SHARD.min(n - g * Self::SHARD);
+                MutantShard {
+                    count: S::AtomicUsize::new(members),
+                    expected: members,
+                    epoch: S::AtomicU64::new(0),
+                }
+            })
+            .collect();
+        MutantLeaderEarlyRelease {
+            n,
+            shards,
+            top_sign_ins: S::AtomicU64::new(0),
+            local_episode: (0..n).map(|_| S::AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl<S: SyncOps> SplitBarrier for MutantLeaderEarlyRelease<S> {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        let episode = self.local_episode[id].fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[id / Self::SHARD];
+        if shard.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            shard.count.store(shard.expected, Ordering::Release);
+            self.top_sign_ins.fetch_add(1, Ordering::Release);
+            // BUG (seeded): the shard epoch must only advance once the
+            // top level confirms *every* shard arrived. Bumping it here
+            // releases this shard's waiters while other shards may still
+            // be empty.
+            shard.epoch.fetch_add(1, Ordering::Release);
+        }
+        ArrivalToken::new(id, episode)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        let shard = &self.shards[token.participant() / Self::SHARD];
+        shard.epoch.load(Ordering::Acquire) > token.episode()
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        let shard = &self.shards[token.participant() / Self::SHARD];
+        let report = S::wait_until(StallPolicy::Spin, || {
+            shard.epoch.load(Ordering::Acquire) > token.episode()
         });
         outcome(token.episode(), report)
     }

@@ -17,7 +17,7 @@ use crate::sched::Defect;
 use crate::shadow::ShadowSync;
 use fuzzy_barrier::{
     BarrierError, CentralBarrier, CountingBarrier, Deadline, DisseminationBarrier, GroupRegistry,
-    ProcMask, SplitBarrier, StallPolicy, SubsetBarrier, Tag, TreeBarrier,
+    HierBarrier, ProcMask, SplitBarrier, StallPolicy, SubsetBarrier, Tag, TopLevel, TreeBarrier,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,15 +33,19 @@ pub enum BackendKind {
     Dissemination,
     /// Combining tree, fan-in 2.
     Tree,
+    /// Hierarchical barrier: arrival shards of two members with a
+    /// dissemination top level over the shard leaders.
+    Hier,
 }
 
 impl BackendKind {
-    /// All four backends, in canonical order.
-    pub const ALL: [BackendKind; 4] = [
+    /// All five backends, in canonical order.
+    pub const ALL: [BackendKind; 5] = [
         BackendKind::Central,
         BackendKind::Counting,
         BackendKind::Dissemination,
         BackendKind::Tree,
+        BackendKind::Hier,
     ];
 
     /// CLI name.
@@ -52,6 +56,7 @@ impl BackendKind {
             BackendKind::Counting => "counting",
             BackendKind::Dissemination => "dissemination",
             BackendKind::Tree => "tree",
+            BackendKind::Hier => "hier",
         }
     }
 
@@ -78,6 +83,15 @@ impl BackendKind {
                 DisseminationBarrier::<ShadowSync>::with_policy_in(n, policy),
             ),
             BackendKind::Tree => Arc::new(TreeBarrier::<ShadowSync>::with_fan_in_in(n, 2, policy)),
+            // Shards of two with a dissemination top keep the hierarchy
+            // non-trivial (multiple shards, leader rounds) at the small n
+            // the explorer can exhaust.
+            BackendKind::Hier => Arc::new(HierBarrier::<ShadowSync>::with_shards_in(
+                n,
+                2,
+                TopLevel::Dissemination,
+                policy,
+            )),
         }
     }
 }

@@ -6,7 +6,7 @@
 use fuzzy_barrier::SplitBarrier;
 use fuzzy_check::mutants::{
     MutantCentral, MutantCounting, MutantDissemination, MutantEarlyRelease, MutantEvictNoMask,
-    MutantNoPoison, MutantTree,
+    MutantLeaderEarlyRelease, MutantNoPoison, MutantTree,
 };
 use fuzzy_check::{
     evict_with, explore_dfs, explore_random, poison_with, protocol_with, replay, Defect,
@@ -149,6 +149,23 @@ fn early_release_fuzzy_violation_is_caught() {
         1,
         0,
         || Arc::new(MutantEarlyRelease::<ShadowSync>::new(2)),
+        |d| matches!(d, Defect::FuzzyViolation { .. }),
+    );
+}
+
+#[test]
+fn hier_leader_early_release_is_caught() {
+    // n=3, shard size 2: shard {0,1} fills and the buggy leader bumps the
+    // shard epoch before the top level has heard from shard {2}. Both
+    // members of the full shard return from wait while participant 2 has
+    // not even begun — a fuzzy violation visible on the very first
+    // sequential schedule, no preemption needed.
+    must_catch(
+        "mutant/hier-leader-early-release",
+        3,
+        1,
+        0,
+        || Arc::new(MutantLeaderEarlyRelease::<ShadowSync>::new(3)),
         |d| matches!(d, Defect::FuzzyViolation { .. }),
     );
 }

@@ -164,6 +164,9 @@ impl<S: SyncOps> CentralBarrier<S> {
         deadline: Deadline,
         policy: StallPolicy,
     ) -> Result<WaitOutcome, BarrierError> {
+        // Adaptive policies become a concrete budget sized by this
+        // barrier's wait-cost history; everything else passes through.
+        let policy = self.stats.resolve_policy(policy);
         let result = failure::guarded_wait::<S>(
             policy,
             deadline,

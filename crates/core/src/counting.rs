@@ -156,6 +156,7 @@ impl<S: SyncOps> CountingBarrier<S> {
         policy: StallPolicy,
     ) -> Result<WaitOutcome, BarrierError> {
         let threshold = self.threshold(token.episode);
+        let policy = self.stats.resolve_policy(policy);
         let result = failure::guarded_wait::<S>(
             policy,
             deadline,

@@ -39,9 +39,19 @@ pub struct DisseminationBarrier<S: SyncOps = RealSync> {
     n: usize,
     rounds: u32,
     policy: StallPolicy,
-    /// `flags[r][i]`: highest episode for which the round-`r` signal aimed
-    /// at participant `i` has been sent. Single writer per slot.
-    flags: Vec<Vec<CachePadded<S::AtomicU64>>>,
+    /// `flags[r * n + i]`: highest episode for which the round-`r` signal
+    /// aimed at participant `i` has been sent. Single writer per slot.
+    ///
+    /// False-sharing audit: every slot is individually [`CachePadded`], so
+    /// two participants' flags can never share a line regardless of layout.
+    /// The slots are kept in **one** round-major allocation (rather than a
+    /// `Vec` per round) so the outer spine is a single pointer-width block:
+    /// the per-round `Vec` headers (ptr/len/cap triples, 24 bytes apiece)
+    /// previously sat adjacent in the spine and were re-read on every probe
+    /// next to their neighbours' headers — read-only sharing, but still a
+    /// needless dependent load per round. A flat slice makes the indexing
+    /// arithmetic (`r * n + i`) and drops one indirection per flag access.
+    flags: Box<[CachePadded<S::AtomicU64>]>,
     /// Per-participant progress through the current episode's rounds.
     progress: Vec<CachePadded<Progress<S>>>,
     /// Highest episode any participant has fully completed (for stats).
@@ -123,12 +133,8 @@ impl<S: SyncOps> DisseminationBarrier<S> {
     pub fn with_policy_in(n: usize, policy: StallPolicy) -> Self {
         assert!(n > 0, "a barrier needs at least one participant");
         let rounds = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n); 0 for n == 1
-        let flags = (0..rounds)
-            .map(|_| {
-                (0..n)
-                    .map(|_| CachePadded::new(S::AtomicU64::new(0)))
-                    .collect()
-            })
+        let flags = (0..rounds as usize * n)
+            .map(|_| CachePadded::new(S::AtomicU64::new(0)))
             .collect();
         DisseminationBarrier {
             n,
@@ -165,7 +171,7 @@ impl<S: SyncOps> DisseminationBarrier<S> {
 
     fn signal(&self, from: usize, round: u32, episode_plus_one: u64) {
         let target = self.partner(from, round);
-        self.flags[round as usize][target].store(episode_plus_one, Ordering::Release);
+        self.flags[round as usize * self.n + target].store(episode_plus_one, Ordering::Release);
     }
 
     /// True once the round-`round` signal aimed at `receiver` is available
@@ -182,7 +188,7 @@ impl<S: SyncOps> DisseminationBarrier<S> {
     /// flags) is monotone, so the predicate is monotone and a probe that
     /// once returned true can never regress — no wakeup can be lost.
     fn flag_ready(&self, receiver: usize, round: u32, goal: u64) -> bool {
-        if self.flags[round as usize][receiver].load(Ordering::Acquire) >= goal {
+        if self.flags[round as usize * self.n + receiver].load(Ordering::Acquire) >= goal {
             return true;
         }
         let sender = self.source(receiver, round);
@@ -235,6 +241,7 @@ impl<S: SyncOps> DisseminationBarrier<S> {
         deadline: Deadline,
         policy: StallPolicy,
     ) -> Result<WaitOutcome, BarrierError> {
+        let policy = self.stats.resolve_policy(policy);
         let result = failure::guarded_wait::<S>(
             policy,
             deadline,

@@ -41,7 +41,7 @@
 //!
 //! ## Backends
 //!
-//! Four interchangeable [`SplitBarrier`] backends are provided, mirroring
+//! Five interchangeable [`SplitBarrier`] backends are provided, mirroring
 //! the design space the paper positions itself in (software barriers whose
 //! cost grows linearly or logarithmically with the number of processors,
 //! Sec. 1):
@@ -50,7 +50,11 @@
 //!   counter; the classic hot-spot-prone design),
 //! * [`CountingBarrier`] — flat epoch-counting barrier,
 //! * [`DisseminationBarrier`] — O(log n) rounds, no single hot word,
-//! * [`TreeBarrier`] — combining tree with configurable fan-in.
+//! * [`TreeBarrier`] — combining tree with configurable fan-in,
+//! * [`HierBarrier`] — topology-aware hierarchy: cache-line-sharded
+//!   arrival words, a configurable leader protocol over shards
+//!   (dissemination or tree), per-shard release broadcast, and an
+//!   adaptive stall policy by default.
 //!
 //! All backends expose the same split-phase protocol and record
 //! [`stats::BarrierStats`] so experiments can observe how often waits
@@ -78,6 +82,7 @@ pub mod error;
 pub mod failure;
 pub mod fuzzy;
 pub mod group;
+pub mod hier;
 pub mod mask;
 pub mod phased;
 pub mod registry;
@@ -96,12 +101,13 @@ pub use error::BarrierError;
 pub use failure::{Deadline, OnTimeout, WaitPolicy};
 pub use fuzzy::{FuzzyBarrier, SplitBarrier};
 pub use group::{BarrierGroup, SubsetBarrier};
+pub use hier::{HierBarrier, TopLevel};
 pub use mask::ProcMask;
 pub use registry::GroupRegistry;
-pub use spin::StallPolicy;
+pub use spin::{AdaptiveSpin, StallPolicy};
 pub use stats::{
-    HistogramSnapshot, ParticipantSnapshot, SpreadSnapshot, StallHistogram, StatsSnapshot,
-    TelemetrySnapshot,
+    AdaptiveSnapshot, HistogramSnapshot, ParticipantSnapshot, SpreadSnapshot, StallHistogram,
+    StatsSnapshot, TelemetrySnapshot,
 };
 pub use sync::{Atomic, RealSync, SyncOps};
 pub use tag::Tag;
@@ -120,6 +126,7 @@ mod send_sync_tests {
         assert_send_sync::<CountingBarrier>();
         assert_send_sync::<DisseminationBarrier>();
         assert_send_sync::<TreeBarrier>();
+        assert_send_sync::<HierBarrier>();
         assert_send_sync::<PointBarrier>();
         assert_send_sync::<SubsetBarrier>();
         assert_send_sync::<FuzzyBarrier>();

@@ -7,6 +7,7 @@
 //! spin-then-yield, and spin-then-park (expensive stall, the Encore-like
 //! case where a stall implies a context switch).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How a participant waits once it has exhausted its barrier region and
@@ -32,6 +33,24 @@ pub enum StallPolicy {
         /// How long each park slice lasts.
         park_interval: Duration,
     },
+    /// Size the spin budget from an EWMA of recent wait costs: spin when
+    /// recent waits have been short (the budget grows to cover them),
+    /// escalate to yielding almost immediately when they have been long
+    /// (spinning through a wait that dwarfs a context switch buys
+    /// nothing — the Sec. 8 trade-off, decided per barrier at runtime).
+    ///
+    /// The history lives in an [`AdaptiveSpin`] accumulator owned by the
+    /// barrier's statistics block; backends resolve this variant to a
+    /// concrete `SpinYield` budget before each wait. Passed directly to
+    /// [`wait_until_budget`] (no accumulator in sight) it degrades to
+    /// `SpinYield { spin_limit: max_spin }`.
+    Adaptive {
+        /// Smallest spin budget the EWMA may shrink the policy to.
+        min_spin: u32,
+        /// Largest spin budget the EWMA may grow the policy to; also the
+        /// optimistic budget used before any wait has been observed.
+        max_spin: u32,
+    },
 }
 
 impl StallPolicy {
@@ -50,6 +69,16 @@ impl StallPolicy {
         StallPolicy::Park {
             spin_limit: 1 << 8,
             park_interval: Duration::from_micros(50),
+        }
+    }
+
+    /// An adaptive policy with a reasonable budget range: between 32 and
+    /// 4096 spin probes, sized per wait by the barrier's recent history.
+    #[must_use]
+    pub fn adaptive() -> Self {
+        StallPolicy::Adaptive {
+            min_spin: 1 << 5,
+            max_spin: 1 << 12,
         }
     }
 }
@@ -118,18 +147,35 @@ pub fn wait_until_budget(
     if pred() {
         return SpinReport::default();
     }
-    let start = Instant::now();
+    // Timing is lazy: the clock is only armed when a deadline must be
+    // policed or the policy escalates past pure spinning. A no-deadline
+    // pure-`Spin` wait therefore performs zero `Instant::now()` calls —
+    // the loop is nothing but predicate probes and relax hints — and
+    // reports `waited == 0`. For escalating no-deadline waits, `waited`
+    // measures from the first deschedule: the portion of the stall that
+    // actually costs a context switch, which is the part Sec. 8 prices.
+    let mut start: Option<Instant> = deadline.map(|_| Instant::now());
     let mut probes: u64 = 1;
     let mut descheduled = false;
     let mut timed_out = false;
     loop {
         match policy {
             StallPolicy::Spin => std::hint::spin_loop(),
-            StallPolicy::SpinYield { spin_limit } => {
+            StallPolicy::SpinYield { spin_limit }
+            | StallPolicy::Adaptive {
+                // No accumulator here: fall back to the policy's widest
+                // (most optimistic) budget and let yielding bound the
+                // damage, exactly a `SpinYield { spin_limit: max_spin }`.
+                max_spin: spin_limit,
+                ..
+            } => {
                 if probes < u64::from(spin_limit) {
                     std::hint::spin_loop();
                 } else {
-                    descheduled = true;
+                    if !descheduled {
+                        descheduled = true;
+                        start.get_or_insert_with(Instant::now);
+                    }
                     std::thread::yield_now();
                 }
             }
@@ -140,7 +186,10 @@ pub fn wait_until_budget(
                 if probes < u64::from(spin_limit) {
                     std::hint::spin_loop();
                 } else {
-                    descheduled = true;
+                    if !descheduled {
+                        descheduled = true;
+                        start.get_or_insert_with(Instant::now);
+                    }
                     std::thread::sleep(park_interval);
                 }
             }
@@ -159,8 +208,113 @@ pub fn wait_until_budget(
     SpinReport {
         probes,
         descheduled,
-        waited: start.elapsed(),
+        waited: start.map_or(Duration::ZERO, |s| s.elapsed()),
         timed_out,
+    }
+}
+
+/// Wait-cost history backing [`StallPolicy::Adaptive`]: integer EWMAs of
+/// recent per-wait probe counts and descheduled stall time, updated by the
+/// statistics layer after every completed wait and consulted by backends
+/// to size the *next* wait's spin budget.
+///
+/// The counters are plain process-wide atomics updated with racy
+/// read-modify-write sequences: concurrent observers may each fold their
+/// sample against the same previous value and one update may be lost. That
+/// is deliberate — this is a sizing heuristic, not synchronization, and it
+/// sits outside the `SyncOps` model so the shadow-sync model checker never
+/// schedules against it.
+#[derive(Debug, Default)]
+pub struct AdaptiveSpin {
+    /// EWMA of per-wait predicate probes (weight 1/2^[`Self::EWMA_SHIFT`]).
+    ewma_probes: AtomicU64,
+    /// EWMA of per-wait stall time in nanoseconds, same weight.
+    ewma_stall_nanos: AtomicU64,
+    /// Number of waits folded in so far.
+    observations: AtomicU64,
+}
+
+impl AdaptiveSpin {
+    /// EWMA weight: each new sample contributes 1/8, so the history spans
+    /// roughly the last dozen waits — long enough to smooth jitter, short
+    /// enough to track a phase change within an episode or two.
+    pub const EWMA_SHIFT: u32 = 3;
+
+    /// Stalls longer than this (50 µs — context-switch scale) are not
+    /// worth covering by spinning at all: the budget collapses to
+    /// `min_spin` so the waiter deschedules almost immediately.
+    pub const SPIN_WORTH_NANOS: u64 = 50_000;
+
+    /// A fresh accumulator with no history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one completed wait (its probe count and stall time) into the
+    /// history. The first observation seeds the EWMAs directly so the
+    /// policy does not spend its warm-up decaying from zero.
+    pub fn observe(&self, probes: u64, stall_nanos: u64) {
+        if self.observations.fetch_add(1, Ordering::Relaxed) == 0 {
+            self.ewma_probes.store(probes, Ordering::Relaxed);
+            self.ewma_stall_nanos.store(stall_nanos, Ordering::Relaxed);
+            return;
+        }
+        let fold = |cell: &AtomicU64, sample: u64| {
+            let prev = cell.load(Ordering::Relaxed);
+            let shifted = prev - (prev >> Self::EWMA_SHIFT) + (sample >> Self::EWMA_SHIFT);
+            cell.store(shifted, Ordering::Relaxed);
+        };
+        fold(&self.ewma_probes, probes);
+        fold(&self.ewma_stall_nanos, stall_nanos);
+    }
+
+    /// Current probe-count EWMA.
+    #[must_use]
+    pub fn ewma_probes(&self) -> u64 {
+        self.ewma_probes.load(Ordering::Relaxed)
+    }
+
+    /// Current stall-time EWMA.
+    #[must_use]
+    pub fn ewma_stall(&self) -> Duration {
+        Duration::from_nanos(self.ewma_stall_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Number of waits observed so far.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// The spin budget the history recommends, clamped to
+    /// `[min_spin, max_spin]`: optimistic (`max_spin`) before any wait has
+    /// been seen, `min_spin` once stalls run past
+    /// [`Self::SPIN_WORTH_NANOS`], and twice the probe EWMA in between
+    /// (enough headroom to absorb a typical wait without descheduling).
+    #[must_use]
+    pub fn spin_budget(&self, min_spin: u32, max_spin: u32) -> u32 {
+        if self.observations() == 0 {
+            return max_spin;
+        }
+        if self.ewma_stall_nanos.load(Ordering::Relaxed) > Self::SPIN_WORTH_NANOS {
+            return min_spin;
+        }
+        let want = self.ewma_probes().saturating_mul(2);
+        want.clamp(u64::from(min_spin), u64::from(max_spin)) as u32
+    }
+
+    /// Resolves a policy against the history: `Adaptive` becomes a
+    /// concrete `SpinYield` sized by [`Self::spin_budget`]; every other
+    /// variant passes through untouched.
+    #[must_use]
+    pub fn resolve(&self, policy: StallPolicy) -> StallPolicy {
+        match policy {
+            StallPolicy::Adaptive { min_spin, max_spin } => StallPolicy::SpinYield {
+                spin_limit: self.spin_budget(min_spin, max_spin),
+            },
+            other => other,
+        }
     }
 }
 
@@ -250,5 +404,100 @@ mod tests {
             StallPolicy::default(),
             StallPolicy::SpinYield { .. }
         ));
+    }
+
+    #[test]
+    fn pure_spin_without_deadline_never_reads_the_clock() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            f2.store(true, Ordering::Release);
+        });
+        let r = wait_until(StallPolicy::Spin, || flag.load(Ordering::Acquire));
+        h.join().unwrap();
+        assert!(r.probes > 0);
+        assert!(!r.descheduled);
+        // The clock was never armed: the loop is probes and relax hints
+        // only, so the report's `waited` stays at zero by construction.
+        assert_eq!(r.waited, Duration::ZERO);
+    }
+
+    #[test]
+    fn escalated_wait_still_measures_time() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            f2.store(true, Ordering::Release);
+        });
+        let policy = StallPolicy::Park {
+            spin_limit: 1,
+            park_interval: Duration::from_millis(1),
+        };
+        let r = wait_until(policy, || flag.load(Ordering::Acquire));
+        h.join().unwrap();
+        assert!(r.descheduled);
+        assert!(r.waited > Duration::ZERO, "timed from first park: {r:?}");
+    }
+
+    #[test]
+    fn adaptive_without_history_falls_back_to_max_spin() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            f2.store(true, Ordering::Release);
+        });
+        let policy = StallPolicy::Adaptive {
+            min_spin: 2,
+            max_spin: 8,
+        };
+        let r = wait_until(policy, || flag.load(Ordering::Acquire));
+        h.join().unwrap();
+        // An 8-probe budget cannot cover a multi-millisecond wait: the
+        // stateless fallback must have escalated to yielding.
+        assert!(r.descheduled, "{r:?}");
+        assert!(r.probes >= 8);
+    }
+
+    #[test]
+    fn adaptive_history_sizes_the_budget() {
+        let adaptive = AdaptiveSpin::new();
+        // No history yet: optimistic.
+        assert_eq!(adaptive.spin_budget(32, 4096), 4096);
+        // Short waits (40 probes, negligible stall): budget covers twice
+        // the EWMA.
+        adaptive.observe(40, 100);
+        assert_eq!(adaptive.observations(), 1);
+        assert_eq!(adaptive.spin_budget(32, 4096), 80);
+        // Clamped at both ends.
+        assert_eq!(adaptive.spin_budget(100, 4096), 100);
+        assert_eq!(adaptive.spin_budget(8, 64), 64);
+        // Long stalls: collapse to the floor and deschedule early.
+        for _ in 0..32 {
+            adaptive.observe(10_000, 2 * AdaptiveSpin::SPIN_WORTH_NANOS);
+        }
+        assert_eq!(adaptive.spin_budget(32, 4096), 32);
+        assert!(adaptive.ewma_stall() > Duration::from_micros(50));
+    }
+
+    #[test]
+    fn adaptive_resolves_to_spin_yield_and_passes_others_through() {
+        let adaptive = AdaptiveSpin::new();
+        adaptive.observe(10, 0);
+        let resolved = adaptive.resolve(StallPolicy::Adaptive {
+            min_spin: 4,
+            max_spin: 256,
+        });
+        assert_eq!(resolved, StallPolicy::SpinYield { spin_limit: 20 });
+        assert_eq!(
+            adaptive.resolve(StallPolicy::Spin),
+            StallPolicy::Spin,
+            "non-adaptive policies must pass through untouched"
+        );
+        assert_eq!(adaptive.resolve(StallPolicy::parking()), {
+            StallPolicy::parking()
+        });
     }
 }

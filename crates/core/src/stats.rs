@@ -23,6 +23,7 @@
 //! performed at least one synchronizing atomic; nothing on the hot path
 //! allocates (all storage is sized at construction).
 
+use crate::spin::{AdaptiveSpin, StallPolicy};
 use crate::token::WaitOutcome;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -213,6 +214,8 @@ pub struct BarrierStats {
     poisonings: AtomicU64,
     stall_hist: StallHistogram,
     spread: SpreadTracker,
+    /// Wait-cost EWMAs feeding [`StallPolicy::Adaptive`] budget sizing.
+    adaptive: AdaptiveSpin,
     /// Monotonic time origin for arrival timestamps.
     anchor: Instant,
     /// Per-participant counters; empty when participant-blind.
@@ -252,6 +255,7 @@ impl BarrierStats {
             poisonings: AtomicU64::new(0),
             stall_hist: StallHistogram::new(),
             spread,
+            adaptive: AdaptiveSpin::new(),
             anchor: Instant::now(),
             per_participant: (0..n).map(|_| ParticipantCounters::default()).collect(),
         }
@@ -296,6 +300,12 @@ impl BarrierStats {
         if let Some(p) = p {
             p.waits.fetch_add(1, Ordering::Relaxed);
         }
+        // Every completed wait — including the instant ones, which pull
+        // the EWMAs toward zero — feeds the adaptive budget history.
+        self.adaptive.observe(
+            outcome.probes,
+            u64::try_from(outcome.stall_time.as_nanos()).unwrap_or(u64::MAX),
+        );
         if outcome.stalled {
             self.stalls.fetch_add(1, Ordering::Relaxed);
             let nanos = u64::try_from(outcome.stall_time.as_nanos()).unwrap_or(u64::MAX);
@@ -323,6 +333,7 @@ impl BarrierStats {
     pub(crate) fn record_timeout(&self, id: usize, report: &crate::spin::SpinReport) {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
         let nanos = u64::try_from(report.waited.as_nanos()).unwrap_or(u64::MAX);
+        self.adaptive.observe(report.probes, nanos);
         self.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.probes.fetch_add(report.probes, Ordering::Relaxed);
         self.stall_hist.record(nanos);
@@ -344,6 +355,21 @@ impl BarrierStats {
     /// clear counts).
     pub(crate) fn record_poisoning(&self) {
         self.poisonings.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The adaptive wait-cost history, fed by every recorded wait and
+    /// timeout.
+    #[must_use]
+    pub fn adaptive(&self) -> &AdaptiveSpin {
+        &self.adaptive
+    }
+
+    /// Resolves a stall policy for the next wait: [`StallPolicy::Adaptive`]
+    /// is sized from this barrier's wait-cost EWMAs, everything else passes
+    /// through unchanged. Backends call this at the top of their wait path.
+    #[must_use]
+    pub fn resolve_policy(&self, policy: StallPolicy) -> StallPolicy {
+        self.adaptive.resolve(policy)
     }
 
     /// Takes a consistent-enough snapshot for reporting (fields are read
@@ -377,6 +403,11 @@ impl BarrierStats {
                 total: Duration::from_nanos(self.spread.total_nanos.load(Ordering::Relaxed)),
                 max: Duration::from_nanos(self.spread.max_nanos.load(Ordering::Relaxed)),
                 last: Duration::from_nanos(self.spread.last_nanos.load(Ordering::Relaxed)),
+            },
+            adaptive: AdaptiveSnapshot {
+                observations: self.adaptive.observations(),
+                ewma_probes: self.adaptive.ewma_probes(),
+                ewma_stall: self.adaptive.ewma_stall(),
             },
             per_participant: self
                 .per_participant
@@ -482,8 +513,20 @@ pub struct ParticipantSnapshot {
     pub probes: u64,
 }
 
+/// A point-in-time copy of the adaptive wait-cost history backing
+/// [`StallPolicy::Adaptive`] budget sizing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveSnapshot {
+    /// Waits folded into the EWMAs so far.
+    pub observations: u64,
+    /// EWMA of per-wait predicate probes.
+    pub ewma_probes: u64,
+    /// EWMA of per-wait stall time.
+    pub ewma_stall: Duration,
+}
+
 /// The full telemetry picture: flat counters, stall histogram, arrival
-/// spread, and per-participant counters.
+/// spread, adaptive-policy state, and per-participant counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TelemetrySnapshot {
     /// The flat counters (same values as [`BarrierStats::snapshot`]).
@@ -492,6 +535,8 @@ pub struct TelemetrySnapshot {
     pub stall_hist: HistogramSnapshot,
     /// Per-episode first-to-last arrival gap summary.
     pub spread: SpreadSnapshot,
+    /// Wait-cost EWMAs driving [`StallPolicy::Adaptive`] budget sizing.
+    pub adaptive: AdaptiveSnapshot,
     /// Per-participant counters; empty for participant-blind stats.
     pub per_participant: Vec<ParticipantSnapshot>,
 }
@@ -711,5 +756,42 @@ mod tests {
         // not a panic.
         stats.record_wait(9, &WaitOutcome::default());
         assert_eq!(stats.snapshot().waits, 3);
+    }
+
+    #[test]
+    fn waits_feed_the_adaptive_history() {
+        let stats = BarrierStats::with_participants(2);
+        stats.record_wait(
+            0,
+            &WaitOutcome {
+                episode: 0,
+                stalled: true,
+                descheduled: false,
+                probes: 64,
+                stall_time: Duration::from_nanos(400),
+            },
+        );
+        let t = stats.telemetry();
+        assert_eq!(t.adaptive.observations, 1);
+        assert_eq!(t.adaptive.ewma_probes, 64);
+        assert_eq!(t.adaptive.ewma_stall, Duration::from_nanos(400));
+        // Short recorded waits produce a budget near twice the EWMA, so an
+        // adaptive policy resolves to a concrete SpinYield in that range.
+        let resolved = stats.resolve_policy(StallPolicy::adaptive());
+        assert_eq!(resolved, StallPolicy::SpinYield { spin_limit: 128 });
+        // Non-adaptive policies are untouched.
+        assert_eq!(stats.resolve_policy(StallPolicy::Spin), StallPolicy::Spin);
+        // Timeouts count as (expensive) waits in the history too.
+        stats.record_timeout(
+            1,
+            &crate::spin::SpinReport {
+                probes: 1_000,
+                descheduled: true,
+                waited: Duration::from_millis(10),
+                timed_out: true,
+            },
+        );
+        assert_eq!(stats.telemetry().adaptive.observations, 2);
+        assert!(stats.adaptive().ewma_stall() > Duration::from_nanos(400));
     }
 }

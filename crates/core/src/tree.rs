@@ -191,6 +191,7 @@ impl<S: SyncOps> TreeBarrier<S> {
         deadline: Deadline,
         policy: StallPolicy,
     ) -> Result<WaitOutcome, BarrierError> {
+        let policy = self.stats.resolve_policy(policy);
         let result = failure::guarded_wait::<S>(
             policy,
             deadline,

@@ -5,8 +5,8 @@
 //! generator ([`fuzzy_util::SplitMix64`]) sweeping many random cases.
 
 use fuzzy_barrier::{
-    CentralBarrier, CountingBarrier, DisseminationBarrier, GroupRegistry, ProcMask, SplitBarrier,
-    StallPolicy, Tag, TreeBarrier,
+    CentralBarrier, CountingBarrier, DisseminationBarrier, GroupRegistry, HierBarrier, ProcMask,
+    SplitBarrier, StallPolicy, Tag, TopLevel, TreeBarrier,
 };
 use fuzzy_util::SplitMix64;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -105,6 +105,40 @@ fn tree_barrier_is_safe() {
 }
 
 #[test]
+fn hier_barrier_is_safe() {
+    // Random non-power-of-two group sizes and shard sizes, both top
+    // levels, both stall policies — including the degenerate shapes:
+    // shard size 1 (every participant its own leader: the hierarchy
+    // collapses to the pure top-level protocol) and shard size >= n (one
+    // shard: the top level collapses to a no-op release).
+    let mut rng = SplitMix64::seed_from_u64(0x41E2);
+    for case in 0..16 {
+        let (n, delays) = random_case(&mut rng);
+        let shard_size = match case % 4 {
+            0 => 1, // all-leaders degenerate
+            1 => n, // single-shard degenerate
+            _ => 1 + rng.below(n.max(1)),
+        };
+        let top = if rng.chance(0.5) {
+            TopLevel::Dissemination
+        } else {
+            TopLevel::Tree
+        };
+        let policy = if rng.chance(0.5) {
+            StallPolicy::adaptive()
+        } else {
+            StallPolicy::default()
+        };
+        exercise_backend(
+            HierBarrier::with_shards(n, shard_size, top, policy),
+            n,
+            40,
+            &delays,
+        );
+    }
+}
+
+#[test]
 fn mask_rank_matches_iteration_order() {
     let mut rng = SplitMix64::seed_from_u64(1);
     for _case in 0..64 {
@@ -195,6 +229,13 @@ fn backends_agree_on_episode_counts() {
         Box::new(CountingBarrier::new(n)),
         Box::new(DisseminationBarrier::new(n)),
         Box::new(TreeBarrier::new(n)),
+        Box::new(HierBarrier::new(n)),
+        Box::new(HierBarrier::with_shards(
+            n,
+            2,
+            TopLevel::Tree,
+            StallPolicy::default(),
+        )),
     ];
     for b in &backends {
         let b = &**b;

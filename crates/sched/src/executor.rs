@@ -8,7 +8,10 @@
 
 use crate::self_sched::{ChunkPolicy, WorkQueue};
 use crate::static_sched::Assignment;
-use fuzzy_barrier::{CentralBarrier, SplitBarrier, StallPolicy};
+use fuzzy_barrier::{
+    CentralBarrier, CountingBarrier, DisseminationBarrier, HierBarrier, SplitBarrier, StallPolicy,
+    TopLevel, TreeBarrier,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -153,6 +156,55 @@ impl std::fmt::Debug for Strategy<'_> {
     }
 }
 
+/// Which split-phase barrier backend a threaded run synchronizes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BarrierChoice {
+    /// Sense-reversing centralized barrier (the historical default).
+    Central,
+    /// Flat epoch-counting barrier.
+    Counting,
+    /// Dissemination barrier.
+    Dissemination,
+    /// Combining tree with the given fan-in.
+    Tree {
+        /// Children per tree node (≥ 2).
+        fan_in: usize,
+    },
+    /// Hierarchical sharded barrier.
+    Hier {
+        /// Participants per arrival shard (≥ 1).
+        shard_size: usize,
+        /// Leader protocol across shards.
+        top: TopLevel,
+    },
+}
+
+impl BarrierChoice {
+    /// Builds the chosen backend for `procs` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0`, or on a degenerate shape (`fan_in < 2`,
+    /// `shard_size == 0`).
+    #[must_use]
+    pub fn build(self, procs: usize, policy: StallPolicy) -> Arc<dyn SplitBarrier> {
+        match self {
+            BarrierChoice::Central => Arc::new(CentralBarrier::with_policy(procs, policy)),
+            BarrierChoice::Counting => Arc::new(CountingBarrier::with_policy(procs, policy)),
+            BarrierChoice::Dissemination => {
+                Arc::new(DisseminationBarrier::with_policy(procs, policy))
+            }
+            BarrierChoice::Tree { fan_in } => {
+                Arc::new(TreeBarrier::with_fan_in(procs, fan_in, policy))
+            }
+            BarrierChoice::Hier { shard_size, top } => {
+                Arc::new(HierBarrier::with_shards(procs, shard_size, top, policy))
+            }
+        }
+    }
+}
+
 /// Runs `outer` barrier-separated phases over `costs[outer_idx][iter]`
 /// work on `procs` OS threads, synchronizing with a split-phase barrier.
 ///
@@ -172,8 +224,33 @@ pub fn run_threaded(
     region_units: u64,
     stall_policy: StallPolicy,
 ) -> ThreadReport {
+    run_threaded_with(
+        procs,
+        costs,
+        strategy,
+        region_units,
+        stall_policy,
+        BarrierChoice::Central,
+    )
+}
+
+/// [`run_threaded`] with an explicit [`BarrierChoice`], so experiments can
+/// sweep the backend dimension of the same loop nest.
+///
+/// # Panics
+///
+/// Panics if `procs == 0` or a static assignment has the wrong arity.
+#[must_use]
+pub fn run_threaded_with(
+    procs: usize,
+    costs: &[Vec<u64>],
+    strategy: &Strategy<'_>,
+    region_units: u64,
+    stall_policy: StallPolicy,
+    backend: BarrierChoice,
+) -> ThreadReport {
     assert!(procs > 0, "need at least one processor");
-    let barrier = Arc::new(CentralBarrier::with_policy(procs, stall_policy));
+    let barrier: Arc<dyn SplitBarrier> = backend.build(procs, stall_policy);
     // Pre-build the per-outer work pools for the dynamic strategy.
     let queues: Vec<WorkQueue> = costs.iter().map(|c| WorkQueue::new(c.len())).collect();
 
@@ -296,6 +373,37 @@ mod tests {
             .map(|p| p.arrivals)
             .sum();
         assert_eq!(per, 20);
+    }
+
+    #[test]
+    fn threaded_run_sweeps_every_backend() {
+        let costs: Vec<Vec<u64>> = (0..3).map(|_| vec![5u64; 8]).collect();
+        let choices = [
+            BarrierChoice::Central,
+            BarrierChoice::Counting,
+            BarrierChoice::Dissemination,
+            BarrierChoice::Tree { fan_in: 2 },
+            BarrierChoice::Hier {
+                shard_size: 2,
+                top: TopLevel::Dissemination,
+            },
+            BarrierChoice::Hier {
+                shard_size: 2,
+                top: TopLevel::Tree,
+            },
+        ];
+        for choice in choices {
+            let report = run_threaded_with(
+                4,
+                &costs,
+                &Strategy::Dynamic(&GuidedSelfScheduling),
+                0,
+                StallPolicy::yielding(),
+                choice,
+            );
+            assert_eq!(report.barrier.episodes, 3, "{choice:?}");
+            assert_eq!(report.barrier.arrivals, 12, "{choice:?}");
+        }
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub mod static_sched;
 pub mod supervisor;
 pub mod workload;
 
-pub use executor::{simulate_dynamic, simulate_static, VirtualReport};
+pub use executor::{
+    run_threaded, run_threaded_with, simulate_dynamic, simulate_static, BarrierChoice,
+    ThreadReport, VirtualReport,
+};
 pub use self_sched::{
     ChunkPolicy, Factoring, FixedChunk, GuidedSelfScheduling, SelfScheduling, Trapezoid, WorkQueue,
 };

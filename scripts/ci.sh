@@ -14,6 +14,7 @@
 #   check-smoke  fuzzy-check: 10k DFS schedules per backend at N=3
 #   bench-smoke  exp_encore --stats-json + schema validation
 #   fault-smoke  check --scenario poison + exp_fault_recovery export
+#   perf-gate    exp_backend_faceoff quick sweep vs checked-in baseline
 #   doc          cargo doc --no-deps (rustdoc warnings are errors)
 #
 # Each stage prints `ci: stage <name> PASS|FAIL`; the script stops at the
@@ -101,6 +102,13 @@ fault_smoke() {
     return $status
 }
 
+# Perf gate: the quick backend-faceoff sweep, schema-validated and
+# compared against the checked-in BENCH_faceoff.json baseline (see
+# scripts/perf_gate.sh for the tolerance model).
+perf_gate() {
+    sh scripts/perf_gate.sh
+}
+
 want fmt && run_stage fmt cargo fmt --check
 want build && run_stage build cargo build --workspace --all-targets
 want clippy && run_stage clippy cargo clippy --workspace --all-targets -- -D warnings
@@ -109,6 +117,7 @@ want tier1 && run_stage tier1 tier1_gate
 want check-smoke && run_stage check-smoke check_smoke
 want bench-smoke && run_stage bench-smoke bench_smoke
 want fault-smoke && run_stage fault-smoke fault_smoke
+want perf-gate && run_stage perf-gate perf_gate
 want doc && run_stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 if [ -n "$failed_stage" ]; then

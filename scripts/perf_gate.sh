@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Performance gate for the split-phase barrier backends.
+#
+#   scripts/perf_gate.sh [--full]
+#
+# Runs the exp_backend_faceoff sweep (quick subset by default, full sweep
+# with --full), schema-validates the fresh export, and compares its
+# stall-probe / arrival-spread aggregates against the checked-in baseline
+# BENCH_faceoff.json within a multiplicative tolerance. The faceoff binary
+# itself additionally asserts that the hierarchical backend beats the
+# central and counting barriers at N >= 16 (full sweep), so a perf
+# regression in the tentpole claim fails the gate even before the
+# baseline comparison runs.
+#
+# Environment:
+#   PERF_GATE_TOLERANCE   multiplicative slack for probes/episode
+#                         (default 8; arrival spread gets 4x this — see
+#                         exp_backend_faceoff --compare). Loose on purpose:
+#                         the gate is meant to catch order-of-magnitude
+#                         regressions on noisy shared runners, not 10%
+#                         drifts.
+#
+# Exit codes: 0 = gate passed, 1 = regression/validation failure.
+set -u
+
+cd "$(dirname "$0")/.."
+
+MODE="--quick"
+[ "${1:-}" = "--full" ] && MODE=""
+TOLERANCE="${PERF_GATE_TOLERANCE:-8}"
+BASELINE="BENCH_faceoff.json"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "perf_gate: missing baseline $BASELINE — regenerate with:" >&2
+    echo "  cargo run --release -p fuzzy-bench --bin exp_backend_faceoff -- --stats-json $BASELINE" >&2
+    exit 1
+fi
+
+fresh="$(mktemp)" || exit 1
+status=1
+# shellcheck disable=SC2086  # $MODE is intentionally word-split ('' or --quick)
+if cargo run -q --release -p fuzzy-bench --bin exp_backend_faceoff -- \
+    $MODE --stats-json "$fresh" >/dev/null; then
+    if cargo run -q --release -p fuzzy-bench --bin validate_stats -- \
+        --schema backend_faceoff "$fresh"; then
+        cargo run -q --release -p fuzzy-bench --bin exp_backend_faceoff -- \
+            --compare "$fresh" --baseline "$BASELINE" --tolerance "$TOLERANCE"
+        status=$?
+    fi
+else
+    echo "perf_gate: faceoff run failed (tentpole assertion or crash)" >&2
+fi
+rm -f "$fresh"
+
+if [ "$status" -eq 0 ]; then
+    echo "perf_gate: PASS (tolerance x$TOLERANCE vs $BASELINE)"
+else
+    echo "perf_gate: FAIL" >&2
+fi
+exit "$status"
