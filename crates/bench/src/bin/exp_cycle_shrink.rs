@@ -88,6 +88,12 @@ fn main() {
 
     let info = deps::analyze(&nest());
     let shrunk = shrink(&info).expect("the recurrence has distance 3");
+    // N = 60 divides by 3; a ragged trip count would deadlock the final
+    // group barrier (see `Shrunk::applies_to`).
+    assert!(
+        shrunk.applies_to(&nest()),
+        "trip count must divide by group"
+    );
     println!(
         "\ncarried dependence distance: {} -> groups of {} iterations run in parallel\n",
         shrunk.group_size, shrunk.group_size

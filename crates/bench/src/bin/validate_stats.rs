@@ -1,7 +1,7 @@
 //! `validate_stats` — checks a `--stats-json` export against its schema.
 //!
 //! ```text
-//! validate_stats <file.json> [--schema encore|fault_recovery|backend_faceoff]
+//! validate_stats <file.json> [--schema encore|fault_recovery|backend_faceoff|fuzz_campaign]
 //! ```
 //!
 //! Parses the file with the in-tree JSON parser and validates key names
@@ -10,12 +10,15 @@
 //! 2 = usage error.
 
 use fuzzy_bench::schema::{
-    backend_faceoff_shape, encore_shape, fault_recovery_shape, validate, Shape,
+    backend_faceoff_shape, encore_shape, fault_recovery_shape, fuzz_campaign_shape, validate, Shape,
 };
 use fuzzy_util::Json;
 
 fn usage() -> ! {
-    eprintln!("usage: validate_stats <file.json> [--schema encore|fault_recovery|backend_faceoff]");
+    eprintln!(
+        "usage: validate_stats <file.json> \
+         [--schema encore|fault_recovery|backend_faceoff|fuzz_campaign]"
+    );
     std::process::exit(2);
 }
 
@@ -24,6 +27,7 @@ fn shape_for(name: &str) -> Option<Shape> {
         "encore" => Some(encore_shape()),
         "fault_recovery" => Some(fault_recovery_shape()),
         "backend_faceoff" => Some(backend_faceoff_shape()),
+        "fuzz_campaign" => Some(fuzz_campaign_shape()),
         _ => None,
     }
 }
@@ -51,7 +55,7 @@ fn main() {
     let Some(shape) = shape_for(&schema_name) else {
         eprintln!(
             "validate_stats: unknown schema {schema_name:?} \
-             (have: encore, fault_recovery, backend_faceoff)"
+             (have: encore, fault_recovery, backend_faceoff, fuzz_campaign)"
         );
         usage();
     };

@@ -306,6 +306,30 @@ pub fn fault_recovery_shape() -> Shape {
     ])
 }
 
+/// The `fuzz --stats-json` campaign summary shape (see
+/// `fuzzy_fuzz::campaign::CampaignStats::to_json`). `repros` may be empty
+/// — a clean campaign is the expected steady state.
+#[must_use]
+pub fn fuzz_campaign_shape() -> Shape {
+    let repro = obj([("name", Shape::Str), ("divergences", arr_of(Shape::Str))]);
+    obj([
+        ("schema", Shape::Str),
+        ("seed", Shape::Num),
+        ("iters", Shape::Num),
+        ("rejected_nests", Shape::Num),
+        ("near_invalid_ok", Shape::Num),
+        ("near_invalid_bad", Shape::Num),
+        ("divergent_cases", Shape::Num),
+        (
+            "repros",
+            Shape::Arr {
+                elem: Box::new(repro),
+                min_len: 0,
+            },
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -237,21 +237,26 @@ pub fn analyze(nest: &LoopNest) -> DepInfo {
                 cross_processor,
             } = relate(&w.target, &v.target, nest.seq_var, &private)
             {
-                if cross_processor || seq_distance.unwrap_or(0) != 0 {
-                    deps.push(Dependence {
-                        from: AccessRef {
-                            stmt: wi,
-                            loc: AccessLoc::Target,
-                        },
-                        to: AccessRef {
-                            stmt: vi,
-                            loc: AccessLoc::Target,
-                        },
-                        array: w.target.array,
-                        kind: classify(seq_distance, cross_processor, wi, vi),
-                        cross_processor,
-                    });
-                }
+                // Within-iteration same-processor output dependences
+                // (zero distance, not cross-processor) are ordering
+                // constraints too: two statements storing to the same
+                // element must keep their lexical order, or the later
+                // value is lost. They classify as LexForward/LexBackward
+                // and are what keeps loop distribution from splitting the
+                // pair apart.
+                deps.push(Dependence {
+                    from: AccessRef {
+                        stmt: wi,
+                        loc: AccessLoc::Target,
+                    },
+                    to: AccessRef {
+                        stmt: vi,
+                        loc: AccessLoc::Target,
+                    },
+                    array: w.target.array,
+                    kind: classify(seq_distance, cross_processor, wi, vi),
+                    cross_processor,
+                });
             }
         }
     }

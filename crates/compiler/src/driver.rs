@@ -547,4 +547,69 @@ mod tests {
         let err = compile_nest(&bad, &[vec![]], &CompileOptions::default()).unwrap_err();
         assert!(matches!(err, CompileError::MisplacedConditional));
     }
+
+    #[test]
+    fn nested_conditional_rejected() {
+        // An If inside a trailing If's branch: branches may only hold
+        // straight-line assignments.
+        let (nest, inits) = fig9_nest();
+        let mut bad = nest.clone();
+        bad.body.push(Stmt::If {
+            var: VarId(1),
+            equals: 1,
+            then_branch: vec![Stmt::If {
+                var: VarId(1),
+                equals: 2,
+                then_branch: vec![],
+                else_branch: vec![],
+            }],
+            else_branch: vec![],
+        });
+        let err = compile_nest(&bad, &inits, &CompileOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::MisplacedConditional));
+    }
+
+    #[test]
+    fn marked_conditional_rejected() {
+        // m[k][p] = m[k-1][p-1] carries a cross-processor dependence, so
+        // both endpoints are marked (they delimit the barrier region). A
+        // trailing conditional whose branch touches a marked access would
+        // make the region's extent control-dependent — rejected.
+        let k = VarId(0);
+        let p = VarId(1);
+        let m = ArrayId(0);
+        let carried_read =
+            || ArrayAccess::new(m, vec![Subscript::var(k, -1), Subscript::var(p, -1)]);
+        let write = || ArrayAccess::new(m, vec![Subscript::var(k, 0), Subscript::var(p, 0)]);
+        let nest = LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "m".into(),
+                dims: vec![8, 4],
+                base: 0,
+            }],
+            seq_var: k,
+            seq_lo: 1,
+            seq_hi: 6,
+            private_vars: vec![p],
+            body: vec![
+                Stmt::Assign(Assign {
+                    target: write(),
+                    value: Expr::add(Expr::Access(carried_read()), Expr::Const(1)),
+                }),
+                Stmt::If {
+                    var: p,
+                    equals: 1,
+                    then_branch: vec![Stmt::Assign(Assign {
+                        target: write(),
+                        value: Expr::Access(carried_read()),
+                    })],
+                    else_branch: vec![],
+                },
+            ],
+            var_names: vec!["k".into(), "p".into()],
+        };
+        let inits: Vec<Vec<(VarId, i64)>> = (1..=2).map(|l| vec![(p, l)]).collect();
+        let err = compile_nest(&nest, &inits, &CompileOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::MarkedConditional));
+    }
 }

@@ -52,6 +52,25 @@ pub fn shrink(info: &DepInfo) -> Option<Shrunk> {
 }
 
 impl Shrunk {
+    /// Whether shrinking may actually be applied to `nest`'s bounds: the
+    /// trip count must be a positive multiple of the group size.
+    ///
+    /// The compiled group loop is a do-while (`k += group; if k <= hi go
+    /// to L1`), so every one of the `group_size` processors executes
+    /// `ceil((hi - lo + 1 - p) / group_size)` iterations. When the trip
+    /// count is not divisible, those counts differ between processors and
+    /// the last group's barriers are entered by only a subset of them —
+    /// the machine deadlocks waiting for processors that already halted
+    /// (found by the differential fuzzer; see
+    /// `crates/fuzz/corpus`). Callers must check this before using
+    /// [`Self::per_proc_inits`], exactly as Fig. 11 pads trip counts to
+    /// divisibility before unrolling.
+    #[must_use]
+    pub fn applies_to(&self, nest: &LoopNest) -> bool {
+        let trip = nest.seq_hi - nest.seq_lo + 1;
+        trip >= self.group_size && trip % self.group_size == 0
+    }
+
     /// Marked accesses for the group barrier: the endpoints of **all**
     /// carried dependences. (Under shrinking, iterations of a group run
     /// on different processors, so even same-variable carried dependences
@@ -196,5 +215,24 @@ mod tests {
         }
         let simulated: Vec<i64> = (0..64).map(|w| m.memory().peek(w)).collect();
         assert_eq!(simulated, a);
+    }
+
+    #[test]
+    fn ragged_trip_counts_are_inapplicable() {
+        // Trip 40 divides by 2: applicable. Trip 39 does not: processor 0
+        // would execute 20 group iterations against processor 1's 19 and
+        // the final barrier would deadlock.
+        let nest = distance2_nest();
+        let info = deps::analyze(&nest);
+        let shrunk = shrink(&info).expect("distance 2");
+        assert!(shrunk.applies_to(&nest));
+        let ragged = LoopNest {
+            seq_hi: nest.seq_hi - 1,
+            ..nest
+        };
+        assert!(!shrunk.applies_to(&ragged));
+        // A group larger than the whole trip is inapplicable too.
+        let tiny = Shrunk { group_size: 64 };
+        assert!(!tiny.applies_to(&ragged));
     }
 }

@@ -190,7 +190,16 @@ pub fn wait_until_budget(
                         descheduled = true;
                         start.get_or_insert_with(Instant::now);
                     }
-                    std::thread::sleep(park_interval);
+                    // Never sleep past the deadline: a full slice here
+                    // would overshoot a nearer `wait_deadline` by up to
+                    // one `park_interval`.
+                    let nap = deadline.map_or(park_interval, |d| {
+                        d.saturating_duration_since(Instant::now())
+                            .min(park_interval)
+                    });
+                    if !nap.is_zero() {
+                        std::thread::sleep(nap);
+                    }
                 }
             }
         }
@@ -226,9 +235,16 @@ pub fn wait_until_budget(
 /// schedules against it.
 #[derive(Debug, Default)]
 pub struct AdaptiveSpin {
-    /// EWMA of per-wait predicate probes (weight 1/2^[`Self::EWMA_SHIFT`]).
+    /// EWMA of per-wait predicate probes (weight 1/2^[`Self::EWMA_SHIFT`]),
+    /// stored in fixed-point: the real value shifted left by
+    /// [`Self::EWMA_SHIFT`]. Keeping the fractional bits matters: folding
+    /// in integer units would drop any sample below `2^EWMA_SHIFT` on the
+    /// way in *and* leave the decay term `prev >> EWMA_SHIFT` stuck at zero
+    /// once the average fell below `2^EWMA_SHIFT`, freezing short-wait
+    /// history.
     ewma_probes: AtomicU64,
-    /// EWMA of per-wait stall time in nanoseconds, same weight.
+    /// EWMA of per-wait stall time in nanoseconds, same weight and same
+    /// fixed-point representation.
     ewma_stall_nanos: AtomicU64,
     /// Number of waits folded in so far.
     observations: AtomicU64,
@@ -256,13 +272,20 @@ impl AdaptiveSpin {
     /// policy does not spend its warm-up decaying from zero.
     pub fn observe(&self, probes: u64, stall_nanos: u64) {
         if self.observations.fetch_add(1, Ordering::Relaxed) == 0 {
-            self.ewma_probes.store(probes, Ordering::Relaxed);
-            self.ewma_stall_nanos.store(stall_nanos, Ordering::Relaxed);
+            self.ewma_probes
+                .store(probes << Self::EWMA_SHIFT, Ordering::Relaxed);
+            self.ewma_stall_nanos
+                .store(stall_nanos << Self::EWMA_SHIFT, Ordering::Relaxed);
             return;
         }
+        // In fixed-point (value × 2^EWMA_SHIFT) the fold
+        //   next = prev − prev/2^s + sample
+        // is exactly next_real = (1 − 1/2^s)·prev_real + sample/2^s with
+        // the fractional bits retained, so a run of small samples decays
+        // the average all the way down instead of freezing at 2^s.
         let fold = |cell: &AtomicU64, sample: u64| {
             let prev = cell.load(Ordering::Relaxed);
-            let shifted = prev - (prev >> Self::EWMA_SHIFT) + (sample >> Self::EWMA_SHIFT);
+            let shifted = prev - (prev >> Self::EWMA_SHIFT) + sample;
             cell.store(shifted, Ordering::Relaxed);
         };
         fold(&self.ewma_probes, probes);
@@ -272,13 +295,13 @@ impl AdaptiveSpin {
     /// Current probe-count EWMA.
     #[must_use]
     pub fn ewma_probes(&self) -> u64 {
-        self.ewma_probes.load(Ordering::Relaxed)
+        self.ewma_probes.load(Ordering::Relaxed) >> Self::EWMA_SHIFT
     }
 
     /// Current stall-time EWMA.
     #[must_use]
     pub fn ewma_stall(&self) -> Duration {
-        Duration::from_nanos(self.ewma_stall_nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.ewma_stall_nanos.load(Ordering::Relaxed) >> Self::EWMA_SHIFT)
     }
 
     /// Number of waits observed so far.
@@ -297,7 +320,9 @@ impl AdaptiveSpin {
         if self.observations() == 0 {
             return max_spin;
         }
-        if self.ewma_stall_nanos.load(Ordering::Relaxed) > Self::SPIN_WORTH_NANOS {
+        if self.ewma_stall_nanos.load(Ordering::Relaxed) >> Self::EWMA_SHIFT
+            > Self::SPIN_WORTH_NANOS
+        {
             return min_spin;
         }
         let want = self.ewma_probes().saturating_mul(2);
@@ -480,6 +505,60 @@ mod tests {
         }
         assert_eq!(adaptive.spin_budget(32, 4096), 32);
         assert!(adaptive.ewma_stall() > Duration::from_micros(50));
+    }
+
+    #[test]
+    fn short_wait_history_decays_to_min_spin() {
+        // Regression: the integer-unit fold dropped samples < 2^EWMA_SHIFT
+        // on the way in and could not decay the average below 2^EWMA_SHIFT,
+        // so a long run of 1-probe waits left the budget stuck above
+        // `min_spin`. In fixed-point the average must converge to ~1 and
+        // the budget to the floor.
+        let adaptive = AdaptiveSpin::new();
+        adaptive.observe(10_000, 0);
+        assert_eq!(adaptive.spin_budget(32, 4096), 4096);
+        for _ in 0..200 {
+            adaptive.observe(1, 1);
+        }
+        assert!(
+            adaptive.ewma_probes() <= 2,
+            "probe EWMA should decay to the sample value, got {}",
+            adaptive.ewma_probes()
+        );
+        assert_eq!(
+            adaptive.spin_budget(32, 4096),
+            32,
+            "budget must reach min_spin's neighborhood"
+        );
+        // And tiny stall samples are not discarded: the stall EWMA tracks
+        // a steady 4 ns signal instead of freezing at zero.
+        let steady = AdaptiveSpin::new();
+        for _ in 0..200 {
+            steady.observe(1, 4);
+        }
+        assert_eq!(steady.ewma_stall(), Duration::from_nanos(4));
+    }
+
+    #[test]
+    fn park_clamps_sleep_to_the_deadline() {
+        // Regression: a parked waiter used to sleep a full park_interval
+        // even when the deadline was nearer, overshooting by up to one
+        // slice. With the clamp, a 200 ms slice must not delay a ~5 ms
+        // deadline: the timeout is reported within a fraction of the slice.
+        let policy = StallPolicy::Park {
+            spin_limit: 1,
+            park_interval: Duration::from_millis(200),
+        };
+        let begin = Instant::now();
+        let deadline = begin + Duration::from_millis(5);
+        let r = wait_until_budget(policy, Some(deadline), || false);
+        let elapsed = begin.elapsed();
+        assert!(r.timed_out, "{r:?}");
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "timeout latency {elapsed:?} overshot the 5 ms deadline by most \
+             of a 200 ms park slice"
+        );
     }
 
     #[test]

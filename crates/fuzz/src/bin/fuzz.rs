@@ -1,0 +1,188 @@
+//! `fuzz` — differential fuzzing CLI for the compiler→simulator pipeline.
+//!
+//! ```text
+//! fuzz [--seed N] [--iters N] [--no-shrink] [--no-stalls]
+//!      [--replay PATH] [--corpus-out DIR] [--stats-json PATH]
+//! ```
+//!
+//! Default mode generates `--iters` cases from `--seed`, runs each through
+//! the full differential matrix, shrinks failures, and (with
+//! `--corpus-out`) writes repros as JSON. `--replay` re-runs a corpus file
+//! or directory instead of generating. Exit status is non-zero when any
+//! divergence (or unclean compiler rejection) is found.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fuzzy_fuzz::campaign::{run_campaign, CampaignOptions};
+use fuzzy_fuzz::corpus;
+use fuzzy_fuzz::diff::check_case;
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    shrink: bool,
+    check_stalls: bool,
+    replay: Option<PathBuf>,
+    corpus_out: Option<PathBuf>,
+    stats_json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 7,
+        iters: 200,
+        shrink: true,
+        check_stalls: true,
+        replay: None,
+        corpus_out: None,
+        stats_json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--shrink" => args.shrink = true,
+            "--no-shrink" => args.shrink = false,
+            "--no-stalls" => args.check_stalls = false,
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            "--corpus-out" => args.corpus_out = Some(PathBuf::from(value("--corpus-out")?)),
+            "--stats-json" => args.stats_json = Some(PathBuf::from(value("--stats-json")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: fuzz [--seed N] [--iters N] [--no-shrink] [--no-stalls] \
+                     [--replay PATH] [--corpus-out DIR] [--stats-json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.replay {
+        return replay(path, &args);
+    }
+    campaign(&args)
+}
+
+fn campaign(args: &Args) -> ExitCode {
+    let opts = CampaignOptions {
+        seed: args.seed,
+        iters: args.iters,
+        shrink: args.shrink,
+        diff: fuzzy_fuzz::DiffOptions {
+            check_stalls: args.check_stalls,
+            drift_seed: args.seed,
+            ..fuzzy_fuzz::DiffOptions::default()
+        },
+        ..CampaignOptions::default()
+    };
+    let stats = run_campaign(&opts, |i, divergences| {
+        for d in divergences {
+            eprintln!("case {i}: {d}");
+        }
+    });
+    println!(
+        "fuzz: seed {} | {} cases | {} rejected candidates | {} near-invalid ok | {} divergent",
+        args.seed, stats.iters, stats.rejected_nests, stats.near_invalid_ok, stats.divergent_cases
+    );
+    for repro in &stats.repros {
+        eprintln!("repro {}:", repro.case.name);
+        for d in &repro.divergences {
+            eprintln!("  {d}");
+        }
+        if let Some(dir) = &args.corpus_out {
+            match corpus::save(&repro.case, dir) {
+                Ok(path) => eprintln!("  saved {}", path.display()),
+                Err(e) => eprintln!("  save failed: {e}"),
+            }
+        }
+    }
+    if stats.near_invalid_bad > 0 {
+        eprintln!(
+            "fuzz: {} near-invalid nests were not rejected cleanly",
+            stats.near_invalid_bad
+        );
+    }
+    if let Some(path) = &args.stats_json {
+        let doc = stats.to_json(args.seed).to_string_pretty() + "\n";
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("fuzz: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if stats.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn replay(path: &Path, args: &Args) -> ExitCode {
+    let cases = if path.is_dir() {
+        match corpus::load_dir(path) {
+            Ok(cases) => cases,
+            Err(e) => {
+                eprintln!("fuzz: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let load = || -> Result<(String, fuzzy_fuzz::FuzzCase), String> {
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let doc = fuzzy_util::Json::parse(&text).map_err(|e| e.to_string())?;
+            let case = corpus::from_json(&doc).map_err(|e| e.to_string())?;
+            Ok((path.display().to_string(), case))
+        };
+        match load() {
+            Ok(entry) => vec![entry],
+            Err(e) => {
+                eprintln!("fuzz: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let diff = fuzzy_fuzz::DiffOptions {
+        check_stalls: args.check_stalls,
+        ..fuzzy_fuzz::DiffOptions::default()
+    };
+    let mut failed = false;
+    for (name, case) in &cases {
+        let divergences = check_case(case, &diff);
+        if divergences.is_empty() {
+            println!("ok   {name}");
+        } else {
+            failed = true;
+            println!("FAIL {name}");
+            for d in &divergences {
+                println!("  {d}");
+            }
+        }
+    }
+    println!("fuzz: replayed {} corpus case(s)", cases.len());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

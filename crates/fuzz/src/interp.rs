@@ -1,0 +1,234 @@
+//! Sequential reference interpreter: executes a [`LoopNest`] directly on
+//! the AST to produce the golden final-memory image the compiled parallel
+//! program must reproduce.
+//!
+//! The interpreter models the paper's execution semantics: one outer
+//! iteration at a time, with an (implicit) barrier between iterations —
+//! inside an iteration every processor runs the body with its own private
+//! environment, and processors are stepped in index order. That order is
+//! only an oracle for nests the generator's soundness filter accepted
+//! (no cross-processor dependences within an iteration), which is exactly
+//! the class the differential driver feeds it.
+//!
+//! All arithmetic is **wrapping** and division **truncating**, mirroring
+//! the simulator ALU (`crates/sim/src/machine.rs`) instruction for
+//! instruction, so a divergence always implicates the pipeline rather
+//! than the oracle.
+
+use std::collections::BTreeMap;
+
+use fuzzy_compiler::ast::{ArrayAccess, Expr, LoopNest, Stmt, VarId};
+
+/// Interpreter failure: the nest stepped outside a declared array. The
+/// generator keeps subscripts in bounds by construction, so hitting this
+/// means the generator (not the pipeline) is broken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfBounds {
+    /// Array name from the nest declaration.
+    pub array: String,
+    /// Dimension index of the violation.
+    pub dim: usize,
+    /// The offending subscript value.
+    pub value: i64,
+}
+
+impl std::fmt::Display for OutOfBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "subscript {} out of bounds in dim {} of array {}",
+            self.value, self.dim, self.array
+        )
+    }
+}
+
+/// Deterministic initial value for word `w` of the shared image. Poked
+/// identically into the simulator before each run so reads of
+/// never-written elements still diff meaningfully.
+#[must_use]
+pub fn init_word(w: usize) -> i64 {
+    ((w as i64).wrapping_mul(37) % 29) - 13
+}
+
+/// The half-open word span `[lo, hi)` covered by the nest's arrays.
+#[must_use]
+pub fn memory_span(nest: &LoopNest) -> (usize, usize) {
+    let lo = nest.arrays.iter().map(|d| d.base).min().unwrap_or(0);
+    let hi = nest
+        .arrays
+        .iter()
+        .map(|d| d.base + d.len() as i64)
+        .max()
+        .unwrap_or(0);
+    (lo as usize, hi as usize)
+}
+
+/// The golden image: array-span words after sequentially executing the
+/// nest for the given per-processor private-variable environments.
+///
+/// `per_proc` holds one `(var, value)` list per processor; an empty outer
+/// list means "one processor, no privates". Iteration `k` runs every
+/// processor's body before `k + seq_step` begins (the barrier point).
+pub fn reference_image(
+    nest: &LoopNest,
+    per_proc: &[Vec<(VarId, i64)>],
+    seq_step: i64,
+) -> Result<BTreeMap<usize, i64>, OutOfBounds> {
+    let (lo, hi) = memory_span(nest);
+    let mut mem: BTreeMap<usize, i64> = (lo..hi).map(|w| (w, init_word(w))).collect();
+    let procs: Vec<Vec<(VarId, i64)>> = if per_proc.is_empty() {
+        vec![Vec::new()]
+    } else {
+        per_proc.to_vec()
+    };
+    let mut k = nest.seq_lo;
+    while k <= nest.seq_hi {
+        for inits in &procs {
+            let mut env: BTreeMap<VarId, i64> = inits.iter().copied().collect();
+            env.insert(nest.seq_var, k);
+            run_stmts(nest, &nest.body, &env, &mut mem)?;
+        }
+        k += seq_step;
+    }
+    Ok(mem)
+}
+
+fn run_stmts(
+    nest: &LoopNest,
+    stmts: &[Stmt],
+    env: &BTreeMap<VarId, i64>,
+    mem: &mut BTreeMap<usize, i64>,
+) -> Result<(), OutOfBounds> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign(a) => {
+                let value = eval(nest, &a.value, env, mem)?;
+                let addr = resolve(nest, &a.target, env)?;
+                mem.insert(addr, value);
+            }
+            Stmt::If {
+                var,
+                equals,
+                then_branch,
+                else_branch,
+            } => {
+                let taken = env.get(var).copied().unwrap_or(0) == *equals;
+                let branch = if taken { then_branch } else { else_branch };
+                run_stmts(nest, branch, env, mem)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn eval(
+    nest: &LoopNest,
+    expr: &Expr,
+    env: &BTreeMap<VarId, i64>,
+    mem: &BTreeMap<usize, i64>,
+) -> Result<i64, OutOfBounds> {
+    Ok(match expr {
+        Expr::Const(c) => *c,
+        Expr::Var(v) => env.get(v).copied().unwrap_or(0),
+        Expr::Access(access) => {
+            let addr = resolve(nest, access, env)?;
+            mem.get(&addr).copied().unwrap_or_else(|| init_word(addr))
+        }
+        Expr::Add(l, r) => eval(nest, l, env, mem)?.wrapping_add(eval(nest, r, env, mem)?),
+        Expr::Sub(l, r) => eval(nest, l, env, mem)?.wrapping_sub(eval(nest, r, env, mem)?),
+        Expr::Mul(l, r) => eval(nest, l, env, mem)?.wrapping_mul(eval(nest, r, env, mem)?),
+        Expr::DivConst(l, c) => eval(nest, l, env, mem)?.wrapping_div(*c),
+    })
+}
+
+/// Resolves an access to a word address, bounds-checking each dimension.
+fn resolve(
+    nest: &LoopNest,
+    access: &ArrayAccess,
+    env: &BTreeMap<VarId, i64>,
+) -> Result<usize, OutOfBounds> {
+    let decl = nest.array(access.array);
+    let mut addr = decl.base;
+    for (d, sub) in access.subs.iter().enumerate() {
+        let value = sub.var.map_or(0, |v| env.get(&v).copied().unwrap_or(0)) + sub.offset;
+        if value < 0 || value >= decl.dims[d] as i64 {
+            return Err(OutOfBounds {
+                array: decl.name.clone(),
+                dim: d,
+                value,
+            });
+        }
+        addr = addr.wrapping_add(decl.stride(d).wrapping_mul(value));
+    }
+    Ok(addr as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzy_compiler::ast::{ArrayDecl, Assign, Subscript};
+
+    /// `a[k] = a[k-1] + 2` over k = 1..=4 starting from the deterministic
+    /// init image: a hand-run recurrence.
+    #[test]
+    fn interprets_a_carried_recurrence() {
+        let nest = LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "a".into(),
+                dims: vec![8],
+                base: 100,
+            }],
+            seq_var: VarId(0),
+            seq_lo: 1,
+            seq_hi: 4,
+            private_vars: vec![],
+            body: vec![Stmt::Assign(Assign {
+                target: ArrayAccess::new(
+                    fuzzy_compiler::ast::ArrayId(0),
+                    vec![Subscript::var(VarId(0), 0)],
+                ),
+                value: Expr::add(
+                    Expr::Access(ArrayAccess::new(
+                        fuzzy_compiler::ast::ArrayId(0),
+                        vec![Subscript::var(VarId(0), -1)],
+                    )),
+                    Expr::Const(2),
+                ),
+            })],
+            var_names: vec!["k".into()],
+        };
+        let mem = reference_image(&nest, &[], 1).unwrap();
+        let mut expect = init_word(100);
+        for k in 1..=4usize {
+            expect += 2;
+            assert_eq!(mem[&(100 + k)], expect);
+        }
+        assert_eq!(mem[&100], init_word(100));
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_not_wrapped() {
+        let nest = LoopNest {
+            arrays: vec![ArrayDecl {
+                name: "a".into(),
+                dims: vec![4],
+                base: 64,
+            }],
+            seq_var: VarId(0),
+            seq_lo: 0,
+            seq_hi: 5,
+            private_vars: vec![],
+            body: vec![Stmt::Assign(Assign {
+                target: ArrayAccess::new(
+                    fuzzy_compiler::ast::ArrayId(0),
+                    vec![Subscript::var(VarId(0), 0)],
+                ),
+                value: Expr::Const(1),
+            })],
+            var_names: vec!["k".into()],
+        };
+        let err = reference_image(&nest, &[], 1).unwrap_err();
+        assert_eq!(err.dim, 0);
+        assert_eq!(err.value, 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! Differential fuzzing harness for the compiler→simulator pipeline.
+//!
+//! The paper's compiler transforms (three-phase reordering, loop
+//! distribution, unrolling, multi-version loops, cycle shrinking — Sec. 4)
+//! all claim to grow barrier regions *without changing program semantics*.
+//! This crate checks that claim mechanically:
+//!
+//! 1. [`generate`] draws seeded random [`fuzzy_compiler::ast::LoopNest`]s
+//!    whose parallel execution is provably deterministic (the dependence
+//!    analysis itself filters candidates), so the sequential reference is
+//!    a valid oracle;
+//! 2. [`interp`] executes a nest directly on the AST, mirroring the
+//!    simulator ALU's wrapping arithmetic, to produce the golden
+//!    final-memory image;
+//! 3. [`diff`] compiles the nest under the full option matrix (processor
+//!    count × reorder × unroll × distribution × multi-version ×
+//!    cycle-shrink), runs each program on the cycle-level machine, and
+//!    compares memory images, schedule/DAG consistency, region sizes and
+//!    stall monotonicity;
+//! 4. [`shrink`] minimizes diverging cases and [`corpus`] persists them as
+//!    JSON repros replayed by `cargo test`;
+//! 5. [`campaign`] ties it together for the CLI bin, CI smoke stage and
+//!    tests.
+
+pub mod campaign;
+pub mod corpus;
+pub mod diff;
+pub mod generate;
+pub mod interp;
+pub mod shrink;
+
+pub use campaign::{run_campaign, CampaignOptions, CampaignStats};
+pub use diff::{check_case, Check, DiffOptions, Divergence};
+pub use generate::{FuzzCase, Generator};

@@ -1,0 +1,142 @@
+//! Greedy case minimizer: repeatedly applies structural simplifications
+//! (delete a statement, shrink the loop bounds, reduce the processor
+//! count, replace an expression by a subexpression) and keeps a candidate
+//! whenever it still diverges, until a fixpoint or the attempt budget.
+//!
+//! Candidates that the soundness filter would reject are skipped — a
+//! checked-in repro must itself be a valid fuzz case, or replaying it
+//! proves nothing.
+
+use fuzzy_compiler::ast::{Expr, Stmt};
+
+use crate::diff::{check_case, DiffOptions};
+use crate::generate::{soundness, FuzzCase, Soundness};
+
+/// Shrinks `case` (which must diverge under `opts`) to a smaller case
+/// that still diverges. At most `max_attempts` candidate evaluations.
+#[must_use]
+pub fn shrink_case(case: &FuzzCase, opts: &DiffOptions, max_attempts: usize) -> FuzzCase {
+    let mut best = case.clone();
+    let mut attempts = 0usize;
+    'outer: loop {
+        for cand in candidates(&best) {
+            if attempts >= max_attempts {
+                break 'outer;
+            }
+            attempts += 1;
+            if soundness(&cand.nest) != Soundness::Deterministic {
+                continue;
+            }
+            if !check_case(&cand, opts).is_empty() {
+                best = cand;
+                continue 'outer; // restart from the smaller case
+            }
+        }
+        break; // no candidate still diverges: fixpoint
+    }
+    best
+}
+
+/// All one-step simplifications of `case`, most aggressive first.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+
+    // Delete one statement (keep at least one).
+    if case.nest.body.len() > 1 {
+        for i in 0..case.nest.body.len() {
+            let mut c = case.clone();
+            c.nest.body.remove(i);
+            out.push(c);
+        }
+    }
+
+    // Shrink the trip count: halve, then decrement.
+    let trip = case.nest.seq_hi - case.nest.seq_lo;
+    if trip > 0 {
+        let mut halved = case.clone();
+        halved.nest.seq_hi = case.nest.seq_lo + trip / 2;
+        out.push(halved);
+        let mut dec = case.clone();
+        dec.nest.seq_hi -= 1;
+        out.push(dec);
+    }
+
+    // Fewer processors.
+    if case.max_procs > 2 {
+        let mut c = case.clone();
+        c.max_procs -= 1;
+        out.push(c);
+    }
+
+    // Replace a statement's value by one of its direct subexpressions, or
+    // by a constant.
+    for (i, stmt) in case.nest.body.iter().enumerate() {
+        let Stmt::Assign(a) = stmt else { continue };
+        for replacement in simplify_expr(&a.value) {
+            let mut c = case.clone();
+            if let Stmt::Assign(ca) = &mut c.nest.body[i] {
+                ca.value = replacement;
+            }
+            out.push(c);
+        }
+    }
+
+    // Drop one branch of a trailing conditional.
+    for (i, stmt) in case.nest.body.iter().enumerate() {
+        let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = stmt
+        else {
+            continue;
+        };
+        if !else_branch.is_empty() {
+            let mut c = case.clone();
+            if let Stmt::If { else_branch, .. } = &mut c.nest.body[i] {
+                else_branch.clear();
+            }
+            out.push(c);
+        }
+        if !then_branch.is_empty() {
+            let mut c = case.clone();
+            if let Stmt::If { then_branch, .. } = &mut c.nest.body[i] {
+                then_branch.clear();
+            }
+            out.push(c);
+        }
+    }
+
+    out
+}
+
+/// One-step simplifications of an expression: each direct child, then a
+/// constant (only for non-trivial expressions).
+fn simplify_expr(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => Vec::new(),
+        Expr::Access(_) => vec![Expr::Const(1)],
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+            vec![(**a).clone(), (**b).clone(), Expr::Const(1)]
+        }
+        Expr::DivConst(a, _) => vec![(**a).clone(), Expr::Const(1)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::Generator;
+
+    #[test]
+    fn candidates_are_strictly_simpler_or_equal_shape() {
+        let case = Generator::new(1).next_case().case;
+        for cand in candidates(&case) {
+            let simpler = cand.nest.body.len() < case.nest.body.len()
+                || cand.nest.seq_hi < case.nest.seq_hi
+                || cand.max_procs < case.max_procs
+                || cand != case;
+            assert!(simpler);
+        }
+    }
+}

@@ -97,6 +97,27 @@ impl Json {
         }
     }
 
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an integer, if this is a number that is
+    /// exactly an `i64` (round-trips losslessly through the `f64`
+    /// representation).
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation)]
+            Json::Num(x) if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) => Some(*x as i64),
+            _ => None,
+        }
+    }
+
     /// Parses a JSON document (the value plus surrounding whitespace; any
     /// trailing garbage is an error). Accepts everything the writer emits
     /// and standard JSON beyond it (nested escapes, `\uXXXX`, exponents).

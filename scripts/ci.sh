@@ -14,6 +14,8 @@
 #   check-smoke  fuzzy-check: 10k DFS schedules per backend at N=3
 #   bench-smoke  exp_encore --stats-json + schema validation
 #   fault-smoke  check --scenario poison + exp_fault_recovery export
+#   fuzz-smoke   differential fuzzer: 200 nests at a fixed seed, zero
+#                divergences required, stats export schema-validated
 #   perf-gate    exp_backend_faceoff quick sweep vs checked-in baseline
 #   doc          cargo doc --no-deps (rustdoc warnings are errors)
 #
@@ -102,6 +104,24 @@ fault_smoke() {
     return $status
 }
 
+# Fuzz smoke: the compiler->simulator differential fuzzer at a fixed
+# seed. Any divergence (memory mismatch, DAG violation, region growth,
+# stall regression, pipeline panic) fails the stage; the campaign summary
+# is schema-validated like every other telemetry export. The checked-in
+# regression corpus is replayed separately by `cargo test` (stage test).
+fuzz_smoke() {
+    out="$(mktemp)" || return 1
+    status=1
+    if cargo run -q --release -p fuzzy-fuzz --bin fuzz -- \
+        --seed 7 --iters 200 --stats-json "$out"; then
+        cargo run -q --release -p fuzzy-bench --bin validate_stats -- \
+            --schema fuzz_campaign "$out"
+        status=$?
+    fi
+    rm -f "$out"
+    return $status
+}
+
 # Perf gate: the quick backend-faceoff sweep, schema-validated and
 # compared against the checked-in BENCH_faceoff.json baseline (see
 # scripts/perf_gate.sh for the tolerance model).
@@ -117,6 +137,7 @@ want tier1 && run_stage tier1 tier1_gate
 want check-smoke && run_stage check-smoke check_smoke
 want bench-smoke && run_stage bench-smoke bench_smoke
 want fault-smoke && run_stage fault-smoke fault_smoke
+want fuzz-smoke && run_stage fuzz-smoke fuzz_smoke
 want perf-gate && run_stage perf-gate perf_gate
 want doc && run_stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
