@@ -1,7 +1,8 @@
 //! `validate_stats` — checks a `--stats-json` export against its schema.
 //!
 //! ```text
-//! validate_stats <file.json> [--schema encore|fault_recovery|backend_faceoff|fuzz_campaign]
+//! validate_stats <file.json>
+//!                [--schema encore|fault_recovery|backend_faceoff|fuzz_campaign|async_scale]
 //! ```
 //!
 //! Parses the file with the in-tree JSON parser and validates key names
@@ -10,14 +11,15 @@
 //! 2 = usage error.
 
 use fuzzy_bench::schema::{
-    backend_faceoff_shape, encore_shape, fault_recovery_shape, fuzz_campaign_shape, validate, Shape,
+    async_scale_shape, backend_faceoff_shape, encore_shape, fault_recovery_shape,
+    fuzz_campaign_shape, validate, Shape,
 };
 use fuzzy_util::Json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: validate_stats <file.json> \
-         [--schema encore|fault_recovery|backend_faceoff|fuzz_campaign]"
+         [--schema encore|fault_recovery|backend_faceoff|fuzz_campaign|async_scale]"
     );
     std::process::exit(2);
 }
@@ -28,6 +30,7 @@ fn shape_for(name: &str) -> Option<Shape> {
         "fault_recovery" => Some(fault_recovery_shape()),
         "backend_faceoff" => Some(backend_faceoff_shape()),
         "fuzz_campaign" => Some(fuzz_campaign_shape()),
+        "async_scale" => Some(async_scale_shape()),
         _ => None,
     }
 }
@@ -55,7 +58,7 @@ fn main() {
     let Some(shape) = shape_for(&schema_name) else {
         eprintln!(
             "validate_stats: unknown schema {schema_name:?} \
-             (have: encore, fault_recovery, backend_faceoff, fuzz_campaign)"
+             (have: encore, fault_recovery, backend_faceoff, fuzz_campaign, async_scale)"
         );
         usage();
     };

@@ -306,6 +306,45 @@ pub fn fault_recovery_shape() -> Shape {
     ])
 }
 
+/// The full `exp_async_scale --stats-json` document shape.
+#[must_use]
+pub fn async_scale_shape() -> Shape {
+    let sweep_row = obj([
+        ("tasks", Shape::Num),
+        ("workers", Shape::Num),
+        ("episodes", Shape::Num),
+        ("arrivals", Shape::Num),
+        ("parked", Shape::Num),
+        ("resumed", Shape::Num),
+        ("steals", Shape::Num),
+        ("polls", Shape::Num),
+        ("wakes", Shape::Num),
+        ("drains", Shape::Num),
+        ("polls_per_arrival", Shape::Num),
+        ("elapsed_ms", Shape::Num),
+    ]);
+    obj([
+        ("experiment", Shape::Str),
+        (
+            "config",
+            obj([
+                ("episodes", Shape::Num),
+                ("region_units", Shape::Num),
+                ("quick", Shape::Bool),
+                ("liveness_seeds", Shape::Num),
+            ]),
+        ),
+        ("sweep", arr_of(sweep_row)),
+        (
+            "verdict",
+            obj([
+                ("deadlock_free_seeds", Shape::Num),
+                ("parked_equals_resumed", Shape::Bool),
+            ]),
+        ),
+    ])
+}
+
 /// The `fuzz --stats-json` campaign summary shape (see
 /// `fuzzy_fuzz::campaign::CampaignStats::to_json`). `repros` may be empty
 /// — a clean campaign is the expected steady state.
@@ -418,6 +457,31 @@ mod tests {
         );
         assert_eq!(
             doc.get("verdict").unwrap().get("hier_beats_central"),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn checked_in_async_export_conforms() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_async.json"
+        ))
+        .expect("BENCH_async.json present in repo root");
+        let doc = Json::parse(&text).expect("reference export parses");
+        assert_eq!(validate(&doc, &async_scale_shape()), Vec::<String>::new());
+        // The baseline must come from the *default* sweep with all five
+        // liveness seeds completed — a quick run is not a valid baseline.
+        assert_eq!(
+            doc.get("config").unwrap().get("quick"),
+            Some(&Json::Bool(false))
+        );
+        assert_eq!(
+            doc.get("verdict").unwrap().get("deadlock_free_seeds"),
+            Some(&Json::Num(5.0))
+        );
+        assert_eq!(
+            doc.get("verdict").unwrap().get("parked_equals_resumed"),
             Some(&Json::Bool(true))
         );
     }

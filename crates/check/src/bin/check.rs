@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! check [--backend central|counting|dissemination|tree|hier|all]
-//!       [--scenario protocol|subset|registry|poison|evict|all]
+//!       [--scenario protocol|subset|registry|poison|evict|async|all]
 //!       [-n/--participants N] [--episodes E]
 //!       [--mode dfs|random] [--schedules N] [--seed S]
 //!       [--preemptions N|unlimited]
@@ -58,7 +58,7 @@ impl Default for Config {
 fn usage() -> ! {
     eprintln!(
         "usage: check [--backend central|counting|dissemination|tree|hier|all]\n\
-         \x20            [--scenario protocol|subset|registry|poison|evict|all]\n\
+         \x20            [--scenario protocol|subset|registry|poison|evict|async|all]\n\
          \x20            [-n|--participants N] [--episodes E]\n\
          \x20            [--mode dfs|random] [--schedules N] [--seed S]\n\
          \x20            [--preemptions N|unlimited]\n\
@@ -102,9 +102,10 @@ fn parse_args() -> Config {
                             "registry".into(),
                             "poison".into(),
                             "evict".into(),
+                            "async".into(),
                         ];
                     }
-                    "protocol" | "subset" | "registry" | "poison" | "evict" => {
+                    "protocol" | "subset" | "registry" | "poison" | "evict" | "async" => {
                         cfg.scenarios = vec![v];
                     }
                     _ => {
@@ -201,6 +202,15 @@ fn scenarios(cfg: &Config) -> Vec<Scenario> {
             "evict" => {
                 for backend in &cfg.backends {
                     out.push(fuzzy_check::evict(*backend, cfg.participants, cfg.episodes));
+                }
+            }
+            "async" => {
+                for backend in &cfg.backends {
+                    out.push(fuzzy_check::async_handoff(
+                        *backend,
+                        cfg.participants,
+                        cfg.episodes,
+                    ));
                 }
             }
             _ => unreachable!("validated in parse_args"),

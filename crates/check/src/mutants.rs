@@ -9,11 +9,15 @@
 //! preemption), which is precisely what distinguishes a model checker
 //! from a stress test. The sixth is hierarchical: a shard leader that
 //! releases its shard before the top-level sync completes — the sharded
-//! flavor of the early-release fuzzy violation. The last two seed
+//! flavor of the early-release fuzzy violation. The next two seed
 //! *fault-handling* bugs — a recovery layer that forgets to poison, and
 //! an eviction that forgets to shrink the mask — caught by the
-//! poison/evict scenarios.
+//! poison/evict scenarios. The ninth is an *async frontend* whose
+//! completion path forgets to drain the parked-waker registry — the
+//! canonical lost wakeup of poll-based waiting, caught by the
+//! waker-handoff scenario.
 
+use crate::scenario::{AsyncArrival, AsyncFrontend};
 use crate::shadow::ShadowSync;
 use fuzzy_barrier::spin::SpinReport;
 use fuzzy_barrier::stats::StatsSnapshot;
@@ -21,7 +25,11 @@ use fuzzy_barrier::sync::{Atomic, SyncOps};
 use fuzzy_barrier::{
     ArrivalToken, BarrierError, CentralBarrier, Deadline, SplitBarrier, StallPolicy, WaitOutcome,
 };
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
 
 fn outcome(episode: u64, report: SpinReport) -> WaitOutcome {
     WaitOutcome {
@@ -673,5 +681,88 @@ impl SplitBarrier for MutantEvictNoMask {
 
     fn stats(&self) -> StatsSnapshot {
         self.inner.stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantNoDrain: async frontend that forgets the release drain
+// ---------------------------------------------------------------------------
+
+/// An async-frontend replica over the stock [`CentralBarrier`] whose
+/// completion path **never drains the parked-waker registry**.
+///
+/// Polling probes the poller's *own* token, so the task that happens to
+/// poll after the last arrival resolves fine — the frontend looks healthy
+/// in any single-task test. But a peer that parked earlier is woken by
+/// nobody: its episode fully arrived, its waker sits in the registry, and
+/// the flag it sleeps on is never set. The checker's deadlock detector
+/// sees the stuck shadow wait and the ledger upgrades it to a lost
+/// wakeup. This is the bug the real
+/// [`fuzzy_barrier::AsyncBarrier`] avoids by draining the registry under
+/// the probe lock on every completion path (arrive, poll, poison).
+#[derive(Debug)]
+pub struct MutantNoDrain {
+    inner: CentralBarrier<ShadowSync>,
+    /// Registered and then forgotten: nothing ever pops this.
+    parked: Mutex<Vec<(usize, u64, Waker)>>,
+}
+
+impl MutantNoDrain {
+    /// Creates the mutant for `n` participants.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        MutantNoDrain {
+            inner: CentralBarrier::with_policy_in(n, StallPolicy::Spin),
+            parked: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl AsyncFrontend for MutantNoDrain {
+    fn participants(&self) -> usize {
+        self.inner.participants()
+    }
+
+    fn arrive_future(self: Arc<Self>, id: usize) -> AsyncArrival {
+        let token = self.inner.arrive(id);
+        let episode = token.episode();
+        drop(token);
+        Box::pin(NoDrainFuture {
+            owner: self,
+            id,
+            episode,
+        })
+    }
+}
+
+struct NoDrainFuture {
+    owner: Arc<MutantNoDrain>,
+    id: usize,
+    episode: u64,
+}
+
+impl Future for NoDrainFuture {
+    type Output = Result<WaitOutcome, BarrierError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = Pin::into_inner(self);
+        let probe = ArrivalToken::new(this.id, this.episode);
+        if this.owner.inner.is_complete(&probe) {
+            // BUG (seeded): the real frontend drains the parked-waker
+            // registry on every completion path; returning without the
+            // drain strands every earlier-parked peer.
+            return Poll::Ready(Ok(WaitOutcome {
+                episode: this.episode,
+                ..WaitOutcome::default()
+            }));
+        }
+        // No shadow operations below this lock: the critical section can
+        // never be descheduled while held, so a plain mutex is safe here.
+        this.owner
+            .parked
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((this.id, this.episode, cx.waker().clone()));
+        Poll::Pending
     }
 }

@@ -14,13 +14,18 @@
 use crate::ctx;
 use crate::explore::{Job, Scenario, ScheduleRun};
 use crate::sched::Defect;
-use crate::shadow::ShadowSync;
+use crate::shadow::{ShadowSync, ShadowU32};
+use fuzzy_barrier::sync::{Atomic, SyncOps};
 use fuzzy_barrier::{
-    BarrierError, CentralBarrier, CountingBarrier, Deadline, DisseminationBarrier, GroupRegistry,
-    HierBarrier, ProcMask, SplitBarrier, StallPolicy, SubsetBarrier, Tag, TopLevel, TreeBarrier,
+    AsyncBarrier, BarrierError, CentralBarrier, CountingBarrier, Deadline, DisseminationBarrier,
+    GroupRegistry, HierBarrier, ProcMask, SplitBarrier, StallPolicy, SubsetBarrier, Tag, TopLevel,
+    TreeBarrier, WaitOutcome,
 };
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
 
 /// Which backend a protocol scenario exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1032,6 +1037,182 @@ fn evict_survivor_body(
                 report_err(id, "survivor wait", &err);
                 return;
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Async waker-handoff scenario
+// ---------------------------------------------------------------------------
+
+/// Boxed split-phase arrival future, the unit the async scenario polls.
+pub type AsyncArrival = Pin<Box<dyn Future<Output = Result<WaitOutcome, BarrierError>> + Send>>;
+
+/// Abstraction over an async barrier frontend, so the waker-handoff
+/// scenario can drive both the real [`fuzzy_barrier::AsyncBarrier`] and
+/// seeded-bug replicas like [`crate::mutants::MutantNoDrain`].
+pub trait AsyncFrontend: Send + Sync {
+    /// Number of participants.
+    fn participants(&self) -> usize;
+
+    /// Eagerly arrives `id` (the split-phase arrival half) and returns the
+    /// future whose completion is the release half.
+    fn arrive_future(self: Arc<Self>, id: usize) -> AsyncArrival;
+}
+
+impl AsyncFrontend for AsyncBarrier<Arc<dyn SplitBarrier>, ShadowSync> {
+    fn participants(&self) -> usize {
+        SplitBarrier::participants(self)
+    }
+
+    fn arrive_future(self: Arc<Self>, id: usize) -> AsyncArrival {
+        Box::pin(self.arrive_async(id))
+    }
+}
+
+/// A checker-visible parking flag: `wake` performs a *shadow* store, so a
+/// task blocked in [`ShadowSync::wait_until`] on the flag is a genuine
+/// blocked thread to the deadlock detector, and a wake is a genuine
+/// scheduling event. A frontend that forgets to invoke the waker leaves
+/// the flag at zero forever — exactly a lost wakeup.
+struct WakeFlag(ShadowU32);
+
+impl WakeFlag {
+    fn new() -> Self {
+        WakeFlag(ShadowU32::new(0))
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Release);
+    }
+
+    fn is_set(&self) -> bool {
+        self.0.load(Ordering::Acquire) != 0
+    }
+}
+
+impl Wake for WakeFlag {
+    fn wake(self: Arc<Self>) {
+        self.0.store(1, Ordering::Release);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.store(1, Ordering::Release);
+    }
+}
+
+/// The async waker-handoff scenario: `n` logical participants drive
+/// `episodes` split-phase episodes through an [`AsyncFrontend`], each
+/// parking on a checker-visible wake flag (a shadow word, so a parked
+/// task is a genuinely blocked thread to the detector) whenever its future
+/// returns `Pending`.
+///
+/// This model-checks the handoff the executor relies on: a `Pending` poll
+/// registers the task's waker against the episode word; whoever completes
+/// the episode must drain the registry and invoke those wakers. In
+/// **every** interleaving each episode must complete with the fuzzy
+/// property intact. A frontend that completes an episode without draining
+/// — [`crate::mutants::MutantNoDrain`] — strands an earlier-parked peer
+/// whose episode has fully arrived, which the checker classifies as a
+/// lost wakeup.
+pub fn async_handoff_with(
+    name: impl Into<String>,
+    n: usize,
+    episodes: u64,
+    mut factory: impl FnMut() -> Arc<dyn AsyncFrontend> + 'static,
+) -> Scenario {
+    Scenario {
+        name: name.into(),
+        threads: n,
+        build: Box::new(move || {
+            let frontend = factory();
+            assert_eq!(frontend.participants(), n, "factory/participant mismatch");
+            let ledger = Arc::new(Ledger::new((0..n).collect()));
+            let bodies: Vec<Job> = (0..n)
+                .map(|id| {
+                    let frontend = Arc::clone(&frontend);
+                    let ledger = Arc::clone(&ledger);
+                    Box::new(move || {
+                        async_body(&frontend, &ledger, id, episodes);
+                    }) as Job
+                })
+                .collect();
+            let ledgers = vec![Arc::clone(&ledger)];
+            ScheduleRun {
+                bodies,
+                finish: Box::new(move |defect| classify(&ledgers, defect)),
+            }
+        }),
+    }
+}
+
+/// [`async_handoff_with`] over the real [`AsyncBarrier`] frontend on a
+/// stock backend.
+#[must_use]
+pub fn async_handoff(backend: BackendKind, n: usize, episodes: u64) -> Scenario {
+    async_handoff_with(
+        format!("async/{}/n{n}/e{episodes}", backend.name()),
+        n,
+        episodes,
+        move || {
+            Arc::new(AsyncBarrier::<_, ShadowSync>::new_in(
+                backend.build_shadow(n),
+            ))
+        },
+    )
+}
+
+fn async_body(frontend: &Arc<dyn AsyncFrontend>, ledger: &Ledger, id: usize, episodes: u64) {
+    // One flag per participant, reset before every poll. The waker handed
+    // to the frontend is stable across polls of one future, matching how
+    // an executor reuses a task's waker.
+    let flag = Arc::new(WakeFlag::new());
+    let waker = Waker::from(Arc::clone(&flag));
+    for e in 0..episodes {
+        if ctx::aborted() {
+            return;
+        }
+        ledger.begin(id);
+        let mut future = Arc::clone(frontend).arrive_future(id);
+        ledger.enter_wait(id, e);
+        let result = loop {
+            // Reset *before* polling so a wake delivered during the poll
+            // itself is observed by the park below rather than lost.
+            flag.reset();
+            let mut cx = Context::from_waker(&waker);
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(result) => break result,
+                Poll::Pending => {
+                    // Park until woken: a blocked shadow wait, visible to
+                    // the deadlock detector.
+                    ShadowSync::wait_until(StallPolicy::Spin, || flag.is_set());
+                    if ctx::aborted() {
+                        return;
+                    }
+                }
+            }
+        };
+        if ctx::aborted() {
+            return;
+        }
+        ledger.exit_wait(id);
+        match result {
+            Ok(outcome) if outcome.episode == e => {}
+            Ok(outcome) => {
+                ctx::report(Defect::ProtocolError {
+                    thread: id,
+                    message: format!("expected episode {e}, future resolved {}", outcome.episode),
+                });
+                return;
+            }
+            Err(err) => {
+                report_err(id, "async arrival", &err);
+                return;
+            }
+        }
+        ledger.check_fuzzy(id, e);
+        if ctx::aborted() {
+            return;
         }
     }
 }

@@ -276,3 +276,51 @@ fn failing_schedule_replays_to_the_same_defect() {
         v.defect
     );
 }
+
+#[test]
+fn async_no_drain_is_caught_as_lost_wakeup() {
+    // t0 arrives, polls Pending, parks its waker. t1 arrives (completing
+    // the episode), polls its own token to Ready — and never drains the
+    // registry. t0 sleeps on a flag nobody sets; its episode fully
+    // arrived, so the checker must classify the hang as a lost wakeup.
+    use fuzzy_check::mutants::MutantNoDrain;
+    use fuzzy_check::{async_handoff_with, AsyncFrontend};
+    let mut scenario = async_handoff_with("mutant/no-drain".to_string(), 2, 1, || {
+        Arc::new(MutantNoDrain::new(2)) as Arc<dyn AsyncFrontend>
+    });
+    match explore_dfs(&mut scenario, &opts(2)) {
+        Outcome::Fail {
+            violation,
+            schedules,
+        } => {
+            assert!(
+                matches!(violation.defect, Defect::LostWakeup { .. }),
+                "mutant/no-drain: expected LostWakeup, got {:?}",
+                violation.defect
+            );
+            eprintln!(
+                "mutant/no-drain: caught after {schedules} schedules: {}",
+                violation.defect
+            );
+        }
+        Outcome::Pass { schedules, .. } => {
+            panic!("mutant/no-drain survived {schedules} schedules")
+        }
+    }
+}
+
+#[test]
+fn real_async_frontend_survives_the_no_drain_schedule_space() {
+    // The same tiny configuration over the *real* AsyncBarrier frontend
+    // must exhaust clean: the drain-on-every-completion-path discipline is
+    // exactly what separates it from MutantNoDrain.
+    let mut scenario = fuzzy_check::async_handoff(fuzzy_check::BackendKind::Central, 2, 1);
+    match explore_dfs(&mut scenario, &opts(2)) {
+        Outcome::Pass { schedules, .. } => {
+            eprintln!("async/central clean over {schedules} schedules");
+        }
+        Outcome::Fail { violation, .. } => {
+            panic!("real async frontend failed: {}", violation)
+        }
+    }
+}

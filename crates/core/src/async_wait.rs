@@ -1,0 +1,686 @@
+//! Poll-based (async) waiting on any [`SplitBarrier`] backend.
+//!
+//! The paper's fuzzy barrier lets a *processor* keep working inside the
+//! barrier region instead of stalling. The software analogue at high
+//! multiplexing is a **logical participant that parks without pinning an OS
+//! thread**: [`AsyncBarrier::arrive_async`] returns a [`BarrierFuture`]
+//! that registers a [`Waker`] against the episode instead of spinning, and
+//! the completing side drains the waker list on release. `M ≫ N` logical
+//! participants can then complete fuzzy episodes multiplexed over `N`
+//! worker threads (see `fuzzy-sched`'s episode executor).
+//!
+//! # The waker protocol
+//!
+//! All async-frontend probing is serialized under a ticket **probe lock**
+//! built from two [`SyncOps`] atomic words — *not* a `std` mutex, so the
+//! `fuzzy-check` model checker can observe (and deschedule through) the
+//! lock's spin in its instrumented domain. Under the lock lives a registry
+//! of parked waiters (`(id, episode, Waker)` triples).
+//!
+//! * **Arrive** (sync or async) drains the registry after the backend's
+//!   arrival: if this arrival completed an episode, every parked waiter of
+//!   that episode is removed and its waker collected.
+//! * **Every poll** — including polls that will return `Pending` — runs the
+//!   same drain before probing its own token. This is what makes the
+//!   frontend safe on *cooperative* backends (dissemination, hier), whose
+//!   [`SplitBarrier::is_complete`] help-drives the probed participant's
+//!   rounds: a poll may be the last event in the system, so it must push
+//!   the whole registry to a fixpoint, not just itself.
+//! * **Poison / abort / evict** also drain, so parked waiters observe
+//!   faults promptly instead of at their next (never-coming) wakeup.
+//!
+//! The drain loops to a **fixpoint**: probing one waiter's token can
+//! enable another's (a dissemination probe that advances a round sends the
+//! next round's signal), and enablement chains ascend one round per sweep
+//! in the worst case, so the drain keeps sweeping until `help_rounds + 1`
+//! consecutive sweeps make no progress (`help_rounds` defaults to
+//! `ceil(log2(participants))`, an upper bound on any backend's round
+//! count; for non-cooperative backends it can be set to 0).
+//!
+//! Collected wakers are invoked **after** the probe lock is released: in
+//! the checker's shadow domain a wake is itself a scheduling point, and no
+//! schedule may interleave inside the lock.
+//!
+//! # Lost-wakeup freedom
+//!
+//! A waiter's probe-then-register and a completer's drain are both
+//! critical sections of the probe lock. If the waiter's section runs
+//! first, the completer's drain sees the registered entry, probes it
+//! complete, and wakes it. If the completer's runs first, the waiter's own
+//! probe happens-after the completing arrival (lock release/acquire
+//! ordering) and observes completion directly. Participants that arrived
+//! but have not yet polled are why every poll drains: they will probe —
+//! and help-drive — on their first poll.
+
+use crate::error::BarrierError;
+use crate::failure::{Deadline, WaitPolicy};
+use crate::fuzzy::SplitBarrier;
+use crate::spin::StallPolicy;
+use crate::stats::{AsyncSnapshot, AsyncStats, StatsSnapshot, TelemetrySnapshot};
+use crate::sync::{Atomic, RealSync, SyncOps};
+use crate::token::{ArrivalToken, WaitOutcome};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::task::{Context, Poll, Waker};
+use std::time::Instant;
+
+/// A parked async waiter: which arrival it waits on and how to resume it.
+struct Parked {
+    id: usize,
+    episode: u64,
+    waker: Waker,
+}
+
+/// An async frontend over any [`SplitBarrier`] backend.
+///
+/// Wraps a backend and adds [`AsyncBarrier::arrive_async`], which returns
+/// a [`BarrierFuture`] completing when the episode releases — without the
+/// future's task spinning or blocking a thread. The wrapper still
+/// implements [`SplitBarrier`] itself, so sync and async participants can
+/// share one barrier (each participant id must stick to one style within
+/// an episode).
+///
+/// Generic over the [`SyncOps`] domain (`RealSync` in production) so the
+/// `fuzzy-check` model checker can explore the waker handoff itself.
+///
+/// # Examples
+///
+/// ```
+/// use fuzzy_barrier::{AsyncBarrier, CentralBarrier, SplitBarrier};
+/// use std::future::Future;
+/// use std::sync::Arc;
+///
+/// let barrier = Arc::new(AsyncBarrier::new(CentralBarrier::new(1)));
+/// let mut future = barrier.arrive_async(0);
+/// // Single participant: the episode is already complete on first poll.
+/// let waker = std::task::Waker::noop();
+/// let mut cx = std::task::Context::from_waker(waker);
+/// match std::pin::Pin::new(&mut future).poll(&mut cx) {
+///     std::task::Poll::Ready(Ok(outcome)) => assert_eq!(outcome.episode, 0),
+///     other => panic!("expected Ready(Ok(_)), got {other:?}"),
+/// }
+/// ```
+pub struct AsyncBarrier<B: SplitBarrier, S: SyncOps = RealSync> {
+    inner: B,
+    /// Probe-lock ticket dispenser.
+    ticket: S::AtomicU64,
+    /// Probe-lock "now serving" word; release is a fetch_add so that the
+    /// checker's shadow domain sees an RMW (write-generation bump) that
+    /// re-wakes descheduled acquirers.
+    serving: S::AtomicU64,
+    /// Parked waiters. Only ever accessed while holding the probe lock, so
+    /// this std mutex never contends (and never blocks a checker vthread
+    /// invisibly).
+    registry: Mutex<Vec<Parked>>,
+    /// Upper bound on help-driving enablement chain length; see module
+    /// docs. 0 means a single no-progress sweep ends the drain.
+    help_rounds: usize,
+    astats: AsyncStats,
+}
+
+impl<B: SplitBarrier> AsyncBarrier<B> {
+    /// Wraps `inner` for production use ([`RealSync`]).
+    #[must_use]
+    pub fn new(inner: B) -> Self {
+        Self::new_in(inner)
+    }
+}
+
+impl<B: SplitBarrier, S: SyncOps> AsyncBarrier<B, S> {
+    /// Wraps `inner` in an explicit [`SyncOps`] domain (the checker's
+    /// instrumented domain, or [`RealSync`]).
+    #[must_use]
+    pub fn new_in(inner: B) -> Self {
+        let n = inner.participants().max(1);
+        // ceil(log2(n)): an upper bound on the round count of any stock
+        // cooperative backend (dissemination rounds, hier leader rounds).
+        let help_rounds = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        AsyncBarrier {
+            inner,
+            ticket: S::AtomicU64::new(0),
+            serving: S::AtomicU64::new(0),
+            registry: Mutex::new(Vec::new()),
+            help_rounds,
+            astats: AsyncStats::new(),
+        }
+    }
+
+    /// Overrides the drain's no-progress sweep budget. Use 0 for backends
+    /// whose `is_complete` is a pure read (central, counting, tree) — one
+    /// sweep that removes nobody is already a fixpoint there.
+    #[must_use]
+    pub fn with_help_rounds(mut self, rounds: usize) -> Self {
+        self.help_rounds = rounds;
+        self
+    }
+
+    /// Borrows the wrapped backend.
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.inner
+    }
+
+    /// Snapshot of the async-frontend counters (parks, resumes, drains,
+    /// wakes, polls).
+    #[must_use]
+    pub fn async_stats(&self) -> AsyncSnapshot {
+        self.astats.snapshot()
+    }
+
+    /// Arrives *and* returns a future that completes when this episode
+    /// releases — the async form of `arrive` + `wait`. The arrival happens
+    /// eagerly, here, not on first poll: peers may already be released by
+    /// it while the caller's region work runs.
+    ///
+    /// The future **must be polled to completion** (the async analogue of
+    /// the protocol's every-arrival-waits rule); dropping it mid-episode
+    /// counts as an abort and poisons the barrier so peers are not left
+    /// hanging on a cancelled participant.
+    pub fn arrive_async(self: &Arc<Self>, id: usize) -> BarrierFuture<B, S> {
+        let token = SplitBarrier::arrive(self.as_ref(), id);
+        let episode = token.episode();
+        drop(token);
+        BarrierFuture {
+            barrier: Arc::clone(self),
+            id,
+            episode,
+            parked: false,
+            polls: 0,
+            first_pending: None,
+            done: false,
+        }
+    }
+
+    /// Acquires the probe lock: a ticket lock over the `S` domain, so
+    /// blocked acquirers deschedule properly under the model checker.
+    fn probe_lock(&self) -> ProbeGuard<'_, B, S> {
+        let ticket = self.ticket.fetch_add(1, Ordering::AcqRel);
+        if self.serving.load(Ordering::Acquire) != ticket {
+            // Spin-then-yield, never pure spin: the holder may be another
+            // worker thread on the same core, and a pure spinner would burn
+            // its whole OS timeslice while the holder sits descheduled.
+            S::wait_until(StallPolicy::yielding(), || {
+                self.serving.load(Ordering::Acquire) == ticket
+            });
+        }
+        ProbeGuard { owner: self }
+    }
+
+    /// Probes every parked waiter — plus the caller's own token, when
+    /// given — to a fixpoint. Must be called with the probe lock held.
+    /// Returns the wakers of completed (or fault-released) waiters, to be
+    /// invoked *after* the lock is dropped, and whether `own` completed.
+    fn drain_locked(&self, own: Option<&ArrivalToken>) -> (Vec<Waker>, bool) {
+        self.astats.record_drain();
+        let mut woken = Vec::new();
+        let mut own_done = false;
+        let mut registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut stale = 0usize;
+        loop {
+            let mut progressed = false;
+            let poisoned = self.inner.is_poisoned();
+            if let Some(token) = own {
+                if !own_done && self.inner.is_complete(token) {
+                    own_done = true;
+                    progressed = true;
+                }
+            }
+            let mut i = 0;
+            while i < registry.len() {
+                let done = poisoned || {
+                    let entry = &registry[i];
+                    let probe = ArrivalToken::new(entry.id, entry.episode);
+                    self.inner.is_complete(&probe)
+                };
+                if done {
+                    woken.push(registry.swap_remove(i).waker);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if progressed {
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale > self.help_rounds {
+                    break;
+                }
+            }
+        }
+        (woken, own_done)
+    }
+
+    /// Registers (or refreshes) a parked waiter. Must be called with the
+    /// probe lock held. Returns true if the waiter was newly parked.
+    fn register_locked(&self, id: usize, episode: u64, waker: &Waker) -> bool {
+        let mut registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
+        match registry
+            .iter_mut()
+            .find(|e| e.id == id && e.episode == episode)
+        {
+            Some(entry) => {
+                entry.waker.clone_from(waker);
+                false
+            }
+            None => {
+                registry.push(Parked {
+                    id,
+                    episode,
+                    waker: waker.clone(),
+                });
+                true
+            }
+        }
+    }
+
+    /// Removes a waiter's entry, if present. Must be called with the probe
+    /// lock held.
+    fn deregister_locked(&self, id: usize, episode: u64) {
+        self.registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|e| !(e.id == id && e.episode == episode));
+    }
+
+    /// Drain + wake, used by the completion-producing [`SplitBarrier`]
+    /// hooks (arrive, poison, abort, evict).
+    fn drain_and_wake(&self) {
+        let guard = self.probe_lock();
+        let (wakers, _) = self.drain_locked(None);
+        drop(guard);
+        self.astats.record_wakes(wakers.len() as u64);
+        for waker in wakers {
+            waker.wake();
+        }
+    }
+}
+
+impl<B: SplitBarrier, S: SyncOps> fmt::Debug for AsyncBarrier<B, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncBarrier")
+            .field("participants", &self.inner.participants())
+            .field("help_rounds", &self.help_rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII release of the probe lock; the `fetch_add` is an RMW so shadow
+/// acquirers blocked on the serving word are re-woken by the checker.
+struct ProbeGuard<'a, B: SplitBarrier, S: SyncOps> {
+    owner: &'a AsyncBarrier<B, S>,
+}
+
+impl<B: SplitBarrier, S: SyncOps> Drop for ProbeGuard<'_, B, S> {
+    fn drop(&mut self) {
+        self.owner.serving.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Every [`SplitBarrier`] completion-producing path drains the parked
+/// waiters, so sync and async participants can share one
+/// [`AsyncBarrier`].
+impl<B: SplitBarrier, S: SyncOps> SplitBarrier for AsyncBarrier<B, S> {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        let token = self.inner.arrive(id);
+        self.drain_and_wake();
+        token
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        self.inner.is_complete(token)
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        let outcome = self.inner.wait(token);
+        // On cooperative backends the blocking wait just performed rounds
+        // (flag stores) that may have enabled a parked async waiter whose
+        // last drain ran before those stores landed.
+        self.drain_and_wake();
+        outcome
+    }
+
+    fn wait_deadline(
+        &self,
+        token: ArrivalToken,
+        deadline: Deadline,
+    ) -> Result<WaitOutcome, BarrierError> {
+        let result = self.inner.wait_deadline(token, deadline);
+        // Drain on *every* return: even a timed-out cooperative wait may
+        // have progressed rounds that enable a parked waiter.
+        self.drain_and_wake();
+        result
+    }
+
+    fn wait_with(
+        &self,
+        token: ArrivalToken,
+        policy: &WaitPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        let result = self.inner.wait_with(token, policy);
+        // Drain on every return; this also propagates an
+        // `OnTimeout::Poison` fault (poisoned *inside* the inner wait,
+        // bypassing our poison hook) to the parked waiters.
+        self.drain_and_wake();
+        result
+    }
+
+    fn poison(&self) {
+        self.inner.poison();
+        self.drain_and_wake();
+    }
+
+    fn clear_poison(&self) {
+        self.inner.clear_poison();
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    fn abort(&self, token: ArrivalToken) {
+        self.inner.abort(token);
+        self.drain_and_wake();
+    }
+
+    fn evict(&self, id: usize) -> Result<(), BarrierError> {
+        let result = self.inner.evict(id);
+        if result.is_ok() {
+            // The stand-in arrival may have completed the episode.
+            self.drain_and_wake();
+        }
+        result
+    }
+
+    fn participants(&self) -> usize {
+        self.inner.participants()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        self.inner.telemetry()
+    }
+}
+
+/// A future resolving when the episode the participant arrived for
+/// releases (or the barrier is poisoned first).
+///
+/// Created by [`AsyncBarrier::arrive_async`]; the arrival already counted
+/// when this future exists. Resolves to `Ok(WaitOutcome)` on release and
+/// `Err(BarrierError::Poisoned)` on poisoning (completion wins when both
+/// hold). Dropping an unresolved future poisons the barrier — the async
+/// form of [`SplitBarrier::abort`].
+#[must_use = "an async arrival must be polled to completion"]
+pub struct BarrierFuture<B: SplitBarrier, S: SyncOps = RealSync> {
+    barrier: Arc<AsyncBarrier<B, S>>,
+    id: usize,
+    episode: u64,
+    /// True once a waker has been registered (we parked at least once).
+    parked: bool,
+    /// Completion probes performed by this future's polls.
+    polls: u64,
+    /// When the first pending poll happened; the async stall clock.
+    first_pending: Option<Instant>,
+    done: bool,
+}
+
+impl<B: SplitBarrier, S: SyncOps> BarrierFuture<B, S> {
+    /// The participant id this future waits for.
+    #[must_use]
+    pub fn participant(&self) -> usize {
+        self.id
+    }
+
+    /// The episode this future waits on.
+    #[must_use]
+    pub fn episode(&self) -> u64 {
+        self.episode
+    }
+}
+
+impl<B: SplitBarrier, S: SyncOps> fmt::Debug for BarrierFuture<B, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BarrierFuture")
+            .field("id", &self.id)
+            .field("episode", &self.episode)
+            .field("parked", &self.parked)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl<B: SplitBarrier, S: SyncOps> Future for BarrierFuture<B, S> {
+    type Output = Result<WaitOutcome, BarrierError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // All fields are Unpin (Arc + plain data), so the future is too.
+        let this = Pin::into_inner(self);
+        assert!(!this.done, "BarrierFuture polled after completion");
+        this.polls += 1;
+        this.barrier.astats.record_poll();
+        let own = ArrivalToken::new(this.id, this.episode);
+
+        let guard = this.barrier.probe_lock();
+        let (wakers, own_done) = this.barrier.drain_locked(Some(&own));
+        let result = if own_done {
+            // The drain may have collected our own (stale) entry already;
+            // deregistering again is a harmless no-op.
+            this.barrier.deregister_locked(this.id, this.episode);
+            Some(Ok(WaitOutcome {
+                episode: this.episode,
+                stalled: this.polls > 1,
+                descheduled: this.parked,
+                probes: this.polls,
+                stall_time: this.first_pending.map(|t| t.elapsed()).unwrap_or_default(),
+            }))
+        } else if this.barrier.inner.is_poisoned() {
+            this.barrier.deregister_locked(this.id, this.episode);
+            Some(Err(BarrierError::Poisoned {
+                episode: this.episode,
+            }))
+        } else {
+            if this
+                .barrier
+                .register_locked(this.id, this.episode, cx.waker())
+            {
+                this.barrier.astats.record_parked();
+                this.parked = true;
+            }
+            None
+        };
+        drop(guard);
+
+        // Cascaded completions are woken outside the lock: in the checker
+        // domain a wake is itself a scheduling point.
+        this.barrier.astats.record_wakes(wakers.len() as u64);
+        for waker in wakers {
+            waker.wake();
+        }
+
+        match result {
+            Some(output) => {
+                this.done = true;
+                if this.parked {
+                    this.barrier.astats.record_resumed();
+                }
+                Poll::Ready(output)
+            }
+            None => {
+                if this.first_pending.is_none() {
+                    this.first_pending = Some(Instant::now());
+                }
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<B: SplitBarrier, S: SyncOps> Drop for BarrierFuture<B, S> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        self.probe_and_deregister();
+    }
+}
+
+impl<B: SplitBarrier, S: SyncOps> BarrierFuture<B, S> {
+    /// Drop path: deregister, and poison if the episode had not completed
+    /// — an arrival that will never be waited on would otherwise hang its
+    /// peers on the next episode (mirrors [`SplitBarrier::abort`]).
+    fn probe_and_deregister(&self) {
+        let own = ArrivalToken::new(self.id, self.episode);
+        let guard = self.barrier.probe_lock();
+        self.barrier.deregister_locked(self.id, self.episode);
+        let complete = self.barrier.inner.is_complete(&own);
+        drop(guard);
+        if !complete {
+            SplitBarrier::poison(self.barrier.as_ref());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::CentralBarrier;
+    use crate::dissemination::DisseminationBarrier;
+
+    fn poll_once<B: SplitBarrier, S: SyncOps>(
+        fut: &mut BarrierFuture<B, S>,
+    ) -> Poll<Result<WaitOutcome, BarrierError>> {
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        Pin::new(fut).poll(&mut cx)
+    }
+
+    #[test]
+    fn single_participant_completes_on_first_poll() {
+        let b = Arc::new(AsyncBarrier::new(CentralBarrier::new(1)));
+        for episode in 0..3 {
+            let mut fut = b.arrive_async(0);
+            match poll_once(&mut fut) {
+                Poll::Ready(Ok(outcome)) => {
+                    assert_eq!(outcome.episode, episode);
+                    assert!(!outcome.stalled);
+                    assert!(!outcome.descheduled);
+                }
+                other => panic!("expected Ready(Ok(_)), got {other:?}"),
+            }
+        }
+        assert_eq!(b.async_stats().parked, 0);
+        assert_eq!(b.async_stats().polls, 3);
+    }
+
+    #[test]
+    fn pending_until_last_arrival_then_woken() {
+        let b = Arc::new(AsyncBarrier::new(CentralBarrier::new(2)));
+        let mut fut = b.arrive_async(0);
+        assert!(poll_once(&mut fut).is_pending());
+        assert_eq!(b.async_stats().parked, 1);
+        // The last arrival drains the registry and hands out the waker.
+        let token = SplitBarrier::arrive(b.as_ref(), 1);
+        assert_eq!(b.async_stats().wakes, 1);
+        match poll_once(&mut fut) {
+            Poll::Ready(Ok(outcome)) => {
+                assert_eq!(outcome.episode, 0);
+                assert!(outcome.stalled);
+                assert!(outcome.descheduled);
+            }
+            other => panic!("expected Ready(Ok(_)), got {other:?}"),
+        }
+        assert_eq!(b.async_stats().resumed, 1);
+        let outcome = SplitBarrier::wait(b.as_ref(), token);
+        assert_eq!(outcome.episode, 0);
+    }
+
+    #[test]
+    fn polls_help_drive_cooperative_backends() {
+        // Dissemination: all arrivals happen before any poll; the polls
+        // alone must drive every participant's rounds to completion.
+        let n = 4;
+        let b = Arc::new(AsyncBarrier::new(DisseminationBarrier::new(n)));
+        let mut futures: Vec<_> = (0..n).map(|id| b.arrive_async(id)).collect();
+        let mut resolved = vec![false; n];
+        for _ in 0..n + 1 {
+            for (id, fut) in futures.iter_mut().enumerate() {
+                if resolved[id] {
+                    continue;
+                }
+                if let Poll::Ready(result) = poll_once(fut) {
+                    assert_eq!(result.expect("episode completes").episode, 0);
+                    resolved[id] = true;
+                }
+            }
+        }
+        assert!(
+            resolved.iter().all(|&r| r),
+            "all waiters resolve: {resolved:?}"
+        );
+    }
+
+    #[test]
+    fn poison_releases_parked_waiters_with_err() {
+        let b = Arc::new(AsyncBarrier::new(CentralBarrier::new(2)));
+        let mut fut = b.arrive_async(0);
+        assert!(poll_once(&mut fut).is_pending());
+        SplitBarrier::poison(b.as_ref());
+        assert_eq!(b.async_stats().wakes, 1, "poison drains the registry");
+        match poll_once(&mut fut) {
+            Poll::Ready(Err(BarrierError::Poisoned { episode })) => assert_eq!(episode, 0),
+            other => panic!("expected Ready(Err(Poisoned)), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropping_unresolved_future_poisons() {
+        let b = Arc::new(AsyncBarrier::new(CentralBarrier::new(2)));
+        let fut = b.arrive_async(0);
+        drop(fut);
+        assert!(SplitBarrier::is_poisoned(b.as_ref()));
+        // A resolved future's drop must NOT poison.
+        let b = Arc::new(AsyncBarrier::new(CentralBarrier::new(1)));
+        let mut fut = b.arrive_async(0);
+        assert!(poll_once(&mut fut).is_ready());
+        drop(fut);
+        assert!(!SplitBarrier::is_poisoned(b.as_ref()));
+        // Nor the drop of an unpolled future whose episode completed.
+        let fut = b.arrive_async(0);
+        drop(fut);
+        assert!(!SplitBarrier::is_poisoned(b.as_ref()));
+    }
+
+    #[test]
+    fn mixed_sync_and_async_participants_agree() {
+        let b = Arc::new(AsyncBarrier::new(CentralBarrier::new(3)));
+        std::thread::scope(|s| {
+            for id in 1..3 {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    for episode in 0..50u64 {
+                        let token = SplitBarrier::arrive(b.as_ref(), id);
+                        let outcome = SplitBarrier::wait(b.as_ref(), token);
+                        assert_eq!(outcome.episode, episode);
+                    }
+                });
+            }
+            for episode in 0..50u64 {
+                let mut fut = b.arrive_async(0);
+                loop {
+                    if let Poll::Ready(result) = poll_once(&mut fut) {
+                        assert_eq!(result.expect("no faults").episode, episode);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert_eq!(SplitBarrier::stats(b.as_ref()).episodes, 50);
+    }
+}

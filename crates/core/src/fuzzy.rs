@@ -175,6 +175,72 @@ pub trait SplitBarrier: Send + Sync {
     }
 }
 
+/// A shared barrier is a barrier: delegating through [`std::sync::Arc`]
+/// lets generic layers (the async frontend, the checker's scenarios) wrap
+/// an `Arc<dyn SplitBarrier>` or `Arc<ConcreteBackend>` without caring
+/// which they were handed.
+impl<B: SplitBarrier + ?Sized> SplitBarrier for std::sync::Arc<B> {
+    fn arrive(&self, id: usize) -> ArrivalToken {
+        (**self).arrive(id)
+    }
+
+    fn is_complete(&self, token: &ArrivalToken) -> bool {
+        (**self).is_complete(token)
+    }
+
+    fn wait(&self, token: ArrivalToken) -> WaitOutcome {
+        (**self).wait(token)
+    }
+
+    fn wait_deadline(
+        &self,
+        token: ArrivalToken,
+        deadline: Deadline,
+    ) -> Result<WaitOutcome, BarrierError> {
+        (**self).wait_deadline(token, deadline)
+    }
+
+    fn wait_with(
+        &self,
+        token: ArrivalToken,
+        policy: &WaitPolicy,
+    ) -> Result<WaitOutcome, BarrierError> {
+        (**self).wait_with(token, policy)
+    }
+
+    fn poison(&self) {
+        (**self).poison();
+    }
+
+    fn clear_poison(&self) {
+        (**self).clear_poison();
+    }
+
+    fn is_poisoned(&self) -> bool {
+        (**self).is_poisoned()
+    }
+
+    fn abort(&self, token: ArrivalToken) {
+        (**self).abort(token);
+    }
+
+    fn evict(&self, id: usize) -> Result<(), BarrierError> {
+        (**self).evict(id)
+    }
+
+    fn participants(&self) -> usize {
+        (**self).participants()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        (**self).stats()
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        (**self).telemetry()
+    }
+}
+
 /// The default fuzzy barrier: a [`SplitBarrier`] backend (centralized
 /// sense-reversing by default) behind a thin, well-documented front door.
 ///

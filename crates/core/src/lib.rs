@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod async_wait;
 pub mod blocking;
 pub mod centralized;
 pub mod counting;
@@ -93,6 +94,7 @@ pub mod tag;
 pub mod token;
 pub mod tree;
 
+pub use async_wait::{AsyncBarrier, BarrierFuture};
 pub use blocking::PointBarrier;
 pub use centralized::CentralBarrier;
 pub use counting::CountingBarrier;
@@ -106,8 +108,8 @@ pub use mask::ProcMask;
 pub use registry::GroupRegistry;
 pub use spin::{AdaptiveSpin, StallPolicy};
 pub use stats::{
-    AdaptiveSnapshot, HistogramSnapshot, ParticipantSnapshot, SpreadSnapshot, StallHistogram,
-    StatsSnapshot, TelemetrySnapshot,
+    AdaptiveSnapshot, AsyncSnapshot, AsyncStats, HistogramSnapshot, ParticipantSnapshot,
+    SpreadSnapshot, StallHistogram, StatsSnapshot, TelemetrySnapshot,
 };
 pub use sync::{Atomic, RealSync, SyncOps};
 pub use tag::Tag;
@@ -130,6 +132,8 @@ mod send_sync_tests {
         assert_send_sync::<PointBarrier>();
         assert_send_sync::<SubsetBarrier>();
         assert_send_sync::<FuzzyBarrier>();
+        assert_send_sync::<AsyncBarrier<CentralBarrier>>();
+        assert_send_sync::<BarrierFuture<CentralBarrier>>();
         assert_send_sync::<GroupRegistry>();
         assert_send_sync::<BarrierError>();
     }

@@ -525,6 +525,107 @@ pub struct AdaptiveSnapshot {
     pub ewma_stall: Duration,
 }
 
+/// Relaxed counters for the async (poll-based) barrier frontend.
+///
+/// Tracked separately from [`BarrierStats`] on purpose: the flat
+/// [`StatsSnapshot`] feeds schema-pinned experiment exports, so async-only
+/// counters live in their own block rather than widening a frozen shape.
+/// All record methods are public — `fuzzy-sched`'s executor records steal
+/// events into its own instance; `fuzzy-barrier`'s `AsyncBarrier` records
+/// the parking-protocol events.
+#[derive(Debug, Default)]
+pub struct AsyncStats {
+    parked: AtomicU64,
+    resumed: AtomicU64,
+    drains: AtomicU64,
+    wakes: AtomicU64,
+    polls: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl AsyncStats {
+    /// Creates a zeroed counter block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a waiter registering a waker (first `Poll::Pending`).
+    pub fn record_parked(&self) {
+        self.parked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a previously parked waiter completing its episode.
+    pub fn record_resumed(&self) {
+        self.resumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one drain sweep over the parked-waiter registry.
+    pub fn record_drain(&self) {
+        self.drains.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` wakers invoked by a drain.
+    pub fn record_wakes(&self, n: u64) {
+        if n > 0 {
+            self.wakes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one `Future::poll` of a barrier future.
+    pub fn record_poll(&self) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a task stolen from another worker's run queue.
+    pub fn record_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> AsyncSnapshot {
+        AsyncSnapshot {
+            parked: self.parked.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
+            polls: self.polls.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`AsyncStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AsyncSnapshot {
+    /// Waiters that registered a waker (first pending poll).
+    pub parked: u64,
+    /// Previously parked waiters that completed their episode.
+    pub resumed: u64,
+    /// Drain sweeps over the parked-waiter registry.
+    pub drains: u64,
+    /// Wakers invoked by drains.
+    pub wakes: u64,
+    /// Barrier-future polls.
+    pub polls: u64,
+    /// Tasks stolen from another worker's run queue.
+    pub steals: u64,
+}
+
+impl AsyncSnapshot {
+    /// Adds another snapshot's counts into this one (for aggregation
+    /// across barriers or executors).
+    pub fn merge(&mut self, other: &AsyncSnapshot) {
+        self.parked = self.parked.saturating_add(other.parked);
+        self.resumed = self.resumed.saturating_add(other.resumed);
+        self.drains = self.drains.saturating_add(other.drains);
+        self.wakes = self.wakes.saturating_add(other.wakes);
+        self.polls = self.polls.saturating_add(other.polls);
+        self.steals = self.steals.saturating_add(other.steals);
+    }
+}
+
 /// The full telemetry picture: flat counters, stall histogram, arrival
 /// spread, adaptive-policy state, and per-participant counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

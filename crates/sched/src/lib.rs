@@ -15,7 +15,11 @@
 //!   executor built on the `fuzzy-barrier` crate;
 //! * [`supervisor`] — a fault-tolerant executor: panicking workers poison
 //!   the barrier, get evicted, and the supervisor retries the episode
-//!   with their iterations redistributed over the survivors.
+//!   with their iterations redistributed over the survivors;
+//! * [`async_exec`] — a std-only M:N episode executor: `M ≫ N` logical
+//!   participants, each an async `arrive → region → await` loop over
+//!   `fuzzy_barrier::AsyncBarrier`, multiplexed over `N` worker threads
+//!   with per-worker run queues and work stealing.
 //!
 //! ## Example
 //!
@@ -35,12 +39,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod async_exec;
 pub mod executor;
 pub mod self_sched;
 pub mod static_sched;
 pub mod supervisor;
 pub mod workload;
 
+pub use async_exec::{run_async_episodes, AsyncExecutor, AsyncRunReport};
 pub use executor::{
     run_threaded, run_threaded_with, simulate_dynamic, simulate_static, BarrierChoice,
     ThreadReport, VirtualReport,

@@ -1,0 +1,163 @@
+//! Randomized tests pitting [`BarrierFuture`] against the blocking
+//! [`SplitBarrier::wait`] on one shared barrier.
+//!
+//! Formerly the domain of `proptest`; the build environment is offline,
+//! so the same properties are exercised with a deterministic seeded
+//! generator ([`fuzzy_util::SplitMix64`]) sweeping many random cases.
+//!
+//! The property under test is the mixed-mode contract of
+//! [`AsyncBarrier`]: sync participants (OS threads blocking in `wait`)
+//! and async participants (futures parked on an [`AsyncExecutor`]) of the
+//! *same* episode must agree on the release epoch, and a poisoning fault
+//! must reach both sides — the parked futures resolve to
+//! `Err(Poisoned)` rather than sleeping forever.
+
+use fuzzy_barrier::{AsyncBarrier, BarrierError, SplitBarrier, StallPolicy};
+use fuzzy_sched::async_exec::AsyncExecutor;
+use fuzzy_sched::executor::{busy, BarrierChoice};
+use fuzzy_util::SplitMix64;
+use std::sync::{Arc, Mutex};
+
+fn backends() -> [BarrierChoice; 4] {
+    [
+        BarrierChoice::Central,
+        BarrierChoice::Counting,
+        BarrierChoice::Dissemination,
+        BarrierChoice::Tree { fan_in: 2 },
+    ]
+}
+
+/// Mixed sync/async participants of one barrier agree on the release
+/// epoch of every episode, across backends, splits and pool sizes.
+#[test]
+fn mixed_participants_agree_on_release_epoch() {
+    let mut rng = SplitMix64::seed_from_u64(40);
+    for case in 0..24 {
+        let total = 2 + rng.below(5);
+        // At least one of each kind: genuinely mixed.
+        let async_count = 1 + rng.below(total - 1);
+        let episodes = 1 + rng.below(3) as u64;
+        let workers = 1 + rng.below(3);
+        let backend = backends()[rng.below(4)];
+        let jitter = rng.next_u64();
+
+        let barrier = Arc::new(AsyncBarrier::new(
+            backend.build(total, StallPolicy::yielding()),
+        ));
+        // epochs[id] collects the release epoch each participant saw per
+        // episode, in episode order.
+        let epochs: Arc<Vec<Mutex<Vec<u64>>>> =
+            Arc::new((0..total).map(|_| Mutex::new(Vec::new())).collect());
+
+        let pool = AsyncExecutor::new(workers);
+        for id in 0..async_count {
+            let barrier = Arc::clone(&barrier);
+            let epochs = Arc::clone(&epochs);
+            pool.spawn(async move {
+                for episode in 0..episodes {
+                    let future = barrier.arrive_async(id);
+                    busy(jitter.wrapping_add(id as u64) % 8);
+                    let outcome = future.await.expect("un-poisoned episode");
+                    assert_eq!(outcome.episode, episode, "case {case} async {id}");
+                    epochs[id].lock().unwrap().push(outcome.episode);
+                }
+            });
+        }
+        std::thread::scope(|s| {
+            for id in async_count..total {
+                let barrier = Arc::clone(&barrier);
+                let epochs = Arc::clone(&epochs);
+                s.spawn(move || {
+                    for episode in 0..episodes {
+                        let token = barrier.arrive(id);
+                        busy(jitter.wrapping_add(id as u64) % 8);
+                        let outcome = barrier.wait(token);
+                        assert_eq!(outcome.episode, episode, "case {case} sync {id}");
+                        epochs[id].lock().unwrap().push(outcome.episode);
+                    }
+                });
+            }
+            pool.wait_idle();
+        });
+
+        let expected: Vec<u64> = (0..episodes).collect();
+        for (id, seen) in epochs.iter().enumerate() {
+            assert_eq!(
+                *seen.lock().unwrap(),
+                expected,
+                "case {case} participant {id} (total {total}, async {async_count}, \
+                 backend {backend:?})"
+            );
+        }
+        let frontend = barrier.async_stats();
+        assert_eq!(
+            frontend.parked, frontend.resumed,
+            "case {case}: a parked future never resumed"
+        );
+    }
+}
+
+/// Poisoning reaches both sides of a mixed episode: with one participant
+/// permanently missing, the parked futures and the bounded sync waits all
+/// resolve to `Err(Poisoned)` instead of hanging.
+#[test]
+fn poison_propagates_to_parked_futures_and_sync_waiters() {
+    let mut rng = SplitMix64::seed_from_u64(41);
+    for case in 0..16 {
+        let total = 3 + rng.below(4);
+        let async_count = 1 + rng.below(total - 2);
+        let workers = 1 + rng.below(3);
+        let backend = backends()[rng.below(4)];
+
+        let barrier = Arc::new(AsyncBarrier::new(
+            backend.build(total, StallPolicy::yielding()),
+        ));
+        let poisoned = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+
+        // Participant `total - 1` never arrives, so episode 0 can only end
+        // by poisoning. Every waiter must observe the fault.
+        let pool = AsyncExecutor::new(workers);
+        for id in 0..async_count {
+            let barrier = Arc::clone(&barrier);
+            let poisoned = Arc::clone(&poisoned);
+            pool.spawn(async move {
+                let err = barrier.arrive_async(id).await.expect_err("must poison");
+                assert!(
+                    matches!(err, BarrierError::Poisoned { .. }),
+                    "case {case} async {id}: {err:?}"
+                );
+                poisoned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+        std::thread::scope(|s| {
+            for id in async_count..total - 1 {
+                let barrier = Arc::clone(&barrier);
+                let poisoned = Arc::clone(&poisoned);
+                s.spawn(move || {
+                    let token = barrier.arrive(id);
+                    let err = barrier
+                        .wait_deadline(token, fuzzy_barrier::Deadline::never())
+                        .expect_err("must poison");
+                    assert!(
+                        matches!(err, BarrierError::Poisoned { .. }),
+                        "case {case} sync {id}: {err:?}"
+                    );
+                    poisoned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+            // Fault injection: wait until every present participant has
+            // arrived, then poison on behalf of the missing stream.
+            while barrier.stats().arrivals < (total - 1) as u64 {
+                std::thread::yield_now();
+            }
+            barrier.poison();
+            pool.wait_idle();
+        });
+
+        assert_eq!(
+            poisoned.load(std::sync::atomic::Ordering::Relaxed),
+            total - 1,
+            "case {case}: every waiter observed the poison"
+        );
+    }
+}

@@ -3,6 +3,10 @@
 #
 #   scripts/ci.sh            # run every stage
 #   scripts/ci.sh fmt test   # run only the named stages
+#   scripts/ci.sh --list     # print the stage roster, one per line
+#
+# Naming a stage that does not exist is an error: the script exits 1
+# listing the valid stages instead of silently running nothing.
 #
 # Stages, in order:
 #
@@ -13,22 +17,48 @@
 #   tier1        the repo's tier-1 gate, verbatim from ROADMAP.md
 #   check-smoke  fuzzy-check: 10k DFS schedules per backend at N=3
 #   bench-smoke  exp_encore --stats-json + schema validation
+#   async-smoke  exp_async_scale quick sweep + schema validation, then
+#                the lost-wakeup mutant must still be caught by the
+#                model checker
 #   fault-smoke  check --scenario poison + exp_fault_recovery export
 #   fuzz-smoke   differential fuzzer: 200 nests at a fixed seed, zero
 #                divergences required, stats export schema-validated
-#   perf-gate    exp_backend_faceoff quick sweep vs checked-in baseline
+#   perf-gate    exp_backend_faceoff + exp_async_scale quick sweeps vs
+#                the checked-in baselines
 #   doc          cargo doc --no-deps (rustdoc warnings are errors)
 #
-# Each stage prints `ci: stage <name> PASS|FAIL`; the script stops at the
-# first failure and exits 1 naming the failing stage. Everything runs
-# offline: no stage touches the network (set CARGO_NET_OFFLINE=true to
-# have cargo enforce that).
+# Each stage prints `ci: stage <name> PASS|FAIL (N.Ns)`; the script stops
+# at the first failure, prints a per-stage timing summary, and exits 1
+# naming the failing stage. Everything runs offline: no stage touches the
+# network (set CARGO_NET_OFFLINE=true to have cargo enforce that).
 set -u
 
 cd "$(dirname "$0")/.."
 
-SELECTED="$*"
+STAGES="fmt build clippy test tier1 check-smoke bench-smoke async-smoke fault-smoke fuzz-smoke perf-gate doc"
+
+SELECTED=""
+for arg in "$@"; do
+    case "$arg" in
+    --list)
+        for s in $STAGES; do echo "$s"; done
+        exit 0
+        ;;
+    *)
+        known=1
+        for s in $STAGES; do [ "$arg" = "$s" ] && known=0; done
+        if [ "$known" -ne 0 ]; then
+            echo "ci: unknown stage '$arg'" >&2
+            echo "ci: valid stages: $STAGES" >&2
+            exit 1
+        fi
+        SELECTED="$SELECTED $arg"
+        ;;
+    esac
+done
+
 failed_stage=""
+SUMMARY=""
 
 # want <name>: true if the stage was selected (no args = all stages).
 want() {
@@ -39,19 +69,34 @@ want() {
     esac
 }
 
-# run_stage <name> <command...>: runs the command, prints the PASS/FAIL
-# line, and stops the pipeline at the first failure.
+# Nanosecond wall clock; falls back to whole seconds where date(1) does
+# not understand %N (the summary then shows 1-second granularity).
+now_ns() {
+    t="$(date +%s%N)"
+    case "$t" in
+    *N*) echo "$(date +%s)000000000" ;;
+    *) echo "$t" ;;
+    esac
+}
+
+# run_stage <name> <command...>: runs the command, prints the timed
+# PASS/FAIL line, and stops the pipeline at the first failure.
 run_stage() {
     name="$1"
     shift
     [ -n "$failed_stage" ] && return 0
     echo "==> ci: stage $name: $*"
+    start="$(now_ns)"
     if "$@"; then
-        echo "ci: stage $name PASS"
+        verdict=PASS
     else
-        echo "ci: stage $name FAIL"
+        verdict=FAIL
         failed_stage="$name"
     fi
+    elapsed="$(awk "BEGIN { printf \"%.1f\", ($(now_ns) - $start) / 1e9 }")"
+    echo "ci: stage $name $verdict (${elapsed}s)"
+    SUMMARY="$SUMMARY$name $verdict ${elapsed}s
+"
 }
 
 # The tier-1 gate, exactly as ROADMAP.md specifies it. Kept verbatim in a
@@ -79,6 +124,26 @@ bench_smoke() {
         cargo run -q --release -p fuzzy-bench --bin validate_stats -- \
             --schema encore "$out"
         status=$?
+    fi
+    rm -f "$out"
+    return $status
+}
+
+# Async smoke: the quick exp_async_scale sweep (every row asserts
+# parked == resumed and full completion), schema-validated, followed by
+# the model checker's no-drain mutant pair — the seeded lost-wakeup bug
+# must be caught and the real frontend must survive the same schedule
+# space.
+async_smoke() {
+    out="$(mktemp)" || return 1
+    status=1
+    if cargo run -q --release -p fuzzy-bench --bin exp_async_scale -- \
+        --quick --stats-json "$out" >/dev/null; then
+        if cargo run -q --release -p fuzzy-bench --bin validate_stats -- \
+            --schema async_scale "$out"; then
+            cargo test -q -p fuzzy-check --test mutants no_drain
+            status=$?
+        fi
     fi
     rm -f "$out"
     return $status
@@ -122,8 +187,8 @@ fuzz_smoke() {
     return $status
 }
 
-# Perf gate: the quick backend-faceoff sweep, schema-validated and
-# compared against the checked-in BENCH_faceoff.json baseline (see
+# Perf gate: quick backend-faceoff and async-scale sweeps, each
+# schema-validated and compared against its checked-in baseline (see
 # scripts/perf_gate.sh for the tolerance model).
 perf_gate() {
     sh scripts/perf_gate.sh
@@ -136,10 +201,19 @@ want test && run_stage test cargo test -q --workspace
 want tier1 && run_stage tier1 tier1_gate
 want check-smoke && run_stage check-smoke check_smoke
 want bench-smoke && run_stage bench-smoke bench_smoke
+want async-smoke && run_stage async-smoke async_smoke
 want fault-smoke && run_stage fault-smoke fault_smoke
 want fuzz-smoke && run_stage fuzz-smoke fuzz_smoke
 want perf-gate && run_stage perf-gate perf_gate
 want doc && run_stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+if [ -n "$SUMMARY" ]; then
+    echo ""
+    echo "ci: summary"
+    echo "$SUMMARY" | while read -r name verdict elapsed; do
+        [ -n "$name" ] && printf '  %-12s %-4s %8s\n' "$name" "$verdict" "$elapsed"
+    done
+fi
 
 if [ -n "$failed_stage" ]; then
     echo "ci: FAILED at stage $failed_stage"

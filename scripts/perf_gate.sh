@@ -1,24 +1,32 @@
 #!/usr/bin/env sh
-# Performance gate for the split-phase barrier backends.
+# Performance gate for the split-phase barrier backends and the async
+# frontend.
 #
 #   scripts/perf_gate.sh [--full]
 #
-# Runs the exp_backend_faceoff sweep (quick subset by default, full sweep
-# with --full), schema-validates the fresh export, and compares its
-# stall-probe / arrival-spread aggregates against the checked-in baseline
-# BENCH_faceoff.json within a multiplicative tolerance. The faceoff binary
-# itself additionally asserts that the hierarchical backend beats the
-# central and counting barriers at N >= 16 (full sweep), so a perf
-# regression in the tentpole claim fails the gate even before the
-# baseline comparison runs.
+# Two sub-gates, both of which must pass:
+#
+#   faceoff  runs the exp_backend_faceoff sweep (quick subset by default,
+#            full sweep with --full), schema-validates the fresh export,
+#            and compares its stall-probe / arrival-spread aggregates
+#            against the checked-in baseline BENCH_faceoff.json within a
+#            multiplicative tolerance. The faceoff binary itself
+#            additionally asserts that the hierarchical backend beats the
+#            central and counting barriers at N >= 16 (full sweep), so a
+#            perf regression in that claim fails the gate even before the
+#            baseline comparison runs.
+#   async    runs the exp_async_scale sweep the same way and compares its
+#            polls-per-arrival / elapsed-time rows against
+#            BENCH_async.json. The sweep itself asserts parked == resumed
+#            on every row, so a lost wakeup fails the gate outright.
 #
 # Environment:
-#   PERF_GATE_TOLERANCE   multiplicative slack for probes/episode
-#                         (default 8; arrival spread gets 4x this — see
-#                         exp_backend_faceoff --compare). Loose on purpose:
-#                         the gate is meant to catch order-of-magnitude
-#                         regressions on noisy shared runners, not 10%
-#                         drifts.
+#   PERF_GATE_TOLERANCE   multiplicative slack for probes/episode and
+#                         polls/arrival (default 8; wall-clock metrics get
+#                         4x this — see the binaries' --compare modes).
+#                         Loose on purpose: the gate is meant to catch
+#                         order-of-magnitude regressions on noisy shared
+#                         runners, not 10% drifts.
 #
 # Exit codes: 0 = gate passed, 1 = regression/validation failure.
 set -u
@@ -28,33 +36,51 @@ cd "$(dirname "$0")/.."
 MODE="--quick"
 [ "${1:-}" = "--full" ] && MODE=""
 TOLERANCE="${PERF_GATE_TOLERANCE:-8}"
-BASELINE="BENCH_faceoff.json"
 
-if [ ! -f "$BASELINE" ]; then
-    echo "perf_gate: missing baseline $BASELINE — regenerate with:" >&2
-    echo "  cargo run --release -p fuzzy-bench --bin exp_backend_faceoff -- --stats-json $BASELINE" >&2
-    exit 1
-fi
+# run_gate <label> <bin> <schema> <baseline>: sweep, validate, compare.
+run_gate() {
+    label="$1"
+    bin="$2"
+    schema="$3"
+    baseline="$4"
 
-fresh="$(mktemp)" || exit 1
-status=1
-# shellcheck disable=SC2086  # $MODE is intentionally word-split ('' or --quick)
-if cargo run -q --release -p fuzzy-bench --bin exp_backend_faceoff -- \
-    $MODE --stats-json "$fresh" >/dev/null; then
-    if cargo run -q --release -p fuzzy-bench --bin validate_stats -- \
-        --schema backend_faceoff "$fresh"; then
-        cargo run -q --release -p fuzzy-bench --bin exp_backend_faceoff -- \
-            --compare "$fresh" --baseline "$BASELINE" --tolerance "$TOLERANCE"
-        status=$?
+    if [ ! -f "$baseline" ]; then
+        echo "perf_gate: missing baseline $baseline — regenerate with:" >&2
+        echo "  cargo run --release -p fuzzy-bench --bin $bin -- --stats-json $baseline" >&2
+        return 1
     fi
-else
-    echo "perf_gate: faceoff run failed (tentpole assertion or crash)" >&2
-fi
-rm -f "$fresh"
 
-if [ "$status" -eq 0 ]; then
-    echo "perf_gate: PASS (tolerance x$TOLERANCE vs $BASELINE)"
+    fresh="$(mktemp)" || return 1
+    status=1
+    # shellcheck disable=SC2086  # $MODE is intentionally word-split ('' or --quick)
+    if cargo run -q --release -p fuzzy-bench --bin "$bin" -- \
+        $MODE --stats-json "$fresh" >/dev/null; then
+        if cargo run -q --release -p fuzzy-bench --bin validate_stats -- \
+            --schema "$schema" "$fresh"; then
+            cargo run -q --release -p fuzzy-bench --bin "$bin" -- \
+                --compare "$fresh" --baseline "$baseline" --tolerance "$TOLERANCE"
+            status=$?
+        fi
+    else
+        echo "perf_gate: $label run failed (in-run assertion or crash)" >&2
+    fi
+    rm -f "$fresh"
+
+    if [ "$status" -eq 0 ]; then
+        echo "perf_gate: $label PASS (tolerance x$TOLERANCE vs $baseline)"
+    else
+        echo "perf_gate: $label FAIL" >&2
+    fi
+    return "$status"
+}
+
+overall=0
+run_gate faceoff exp_backend_faceoff backend_faceoff BENCH_faceoff.json || overall=1
+run_gate async exp_async_scale async_scale BENCH_async.json || overall=1
+
+if [ "$overall" -eq 0 ]; then
+    echo "perf_gate: PASS"
 else
     echo "perf_gate: FAIL" >&2
 fi
-exit "$status"
+exit "$overall"
