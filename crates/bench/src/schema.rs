@@ -345,6 +345,55 @@ pub fn async_scale_shape() -> Shape {
     ])
 }
 
+/// The full `exp_chaos_churn --stats-json` document shape. One row per
+/// (backend, mode) chaos run; `recovery` is the post-event epoch-recovery
+/// latency histogram in the standard `stall_hist` format.
+#[must_use]
+pub fn chaos_churn_shape() -> Shape {
+    let run = obj([
+        ("backend", Shape::Str),
+        ("mode", Shape::Str),
+        (
+            "events",
+            obj([
+                ("joins", Shape::Num),
+                ("leaves", Shape::Num),
+                ("crashes", Shape::Num),
+                ("delays", Shape::Num),
+                ("spurious", Shape::Num),
+                ("total", Shape::Num),
+            ]),
+        ),
+        ("episodes", Shape::Num),
+        ("final_epoch", Shape::Num),
+        ("final_members", Shape::Num),
+        ("agreement", Shape::Bool),
+        ("spurious_hits", Shape::Num),
+        ("elapsed_ms", Shape::Num),
+        ("recovery", stall_hist()),
+    ]);
+    obj([
+        ("experiment", Shape::Str),
+        (
+            "config",
+            obj([
+                ("seed", Shape::Num),
+                ("events_per_run", Shape::Num),
+                ("quick", Shape::Bool),
+            ]),
+        ),
+        ("runs", arr_of(run)),
+        (
+            "verdict",
+            obj([
+                ("runs", Shape::Num),
+                ("total_events", Shape::Num),
+                ("all_agreed", Shape::Bool),
+            ]),
+        ),
+    ])
+}
+
 /// The `fuzz --stats-json` campaign summary shape (see
 /// `fuzzy_fuzz::campaign::CampaignStats::to_json`). `repros` may be empty
 /// — a clean campaign is the expected steady state.

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! check [--backend central|counting|dissemination|tree|hier|all]
-//!       [--scenario protocol|subset|registry|poison|evict|async|all]
+//!       [--scenario protocol|subset|registry|poison|evict|async|reconfig|all]
 //!       [-n/--participants N] [--episodes E]
 //!       [--mode dfs|random] [--schedules N] [--seed S]
 //!       [--preemptions N|unlimited]
@@ -58,7 +58,7 @@ impl Default for Config {
 fn usage() -> ! {
     eprintln!(
         "usage: check [--backend central|counting|dissemination|tree|hier|all]\n\
-         \x20            [--scenario protocol|subset|registry|poison|evict|async|all]\n\
+         \x20            [--scenario protocol|subset|registry|poison|evict|async|reconfig|all]\n\
          \x20            [-n|--participants N] [--episodes E]\n\
          \x20            [--mode dfs|random] [--schedules N] [--seed S]\n\
          \x20            [--preemptions N|unlimited]\n\
@@ -103,9 +103,11 @@ fn parse_args() -> Config {
                             "poison".into(),
                             "evict".into(),
                             "async".into(),
+                            "reconfig".into(),
                         ];
                     }
-                    "protocol" | "subset" | "registry" | "poison" | "evict" | "async" => {
+                    "protocol" | "subset" | "registry" | "poison" | "evict" | "async"
+                    | "reconfig" => {
                         cfg.scenarios = vec![v];
                     }
                     _ => {
@@ -212,6 +214,14 @@ fn scenarios(cfg: &Config) -> Vec<Scenario> {
                         cfg.episodes,
                     ));
                 }
+            }
+            // The reconfig scenarios pin their own membership shapes
+            // (founders + joiner, leaver + reuser, evictee + joiner);
+            // -n and --backend are intentionally ignored for them.
+            "reconfig" => {
+                out.push(fuzzy_check::join_mid_episode());
+                out.push(fuzzy_check::stale_generation());
+                out.push(fuzzy_check::join_evict_race());
             }
             _ => unreachable!("validated in parse_args"),
         }

@@ -40,12 +40,13 @@
 //! cargo run -p fuzzy-check --bin check -- --backend all -n 3 --schedules 10000
 //! ```
 //!
-//! The [`mutants`] module carries nine seeded-bug backends the checker
+//! The [`mutants`] module carries eleven seeded-bug backends the checker
 //! must catch — six concurrency races (including a hierarchical shard
 //! leader that releases early), two fault-handling bugs (a no-op poison
-//! and a mask-preserving eviction), and an async frontend that forgets
-//! to drain its parked-waker registry on release; `cargo test -p
-//! fuzzy-check` proves it does.
+//! and a mask-preserving eviction), an async frontend that forgets
+//! to drain its parked-waker registry on release, and two
+//! dynamic-membership bugs (a join admitted mid-episode and a forgotten
+//! generation check); `cargo test -p fuzzy-check` proves it does.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,9 +62,10 @@ pub use explore::{
     explore_dfs, explore_random, replay, ExploreOptions, Outcome, Scenario, ScheduleRun,
 };
 pub use scenario::{
-    async_handoff, async_handoff_with, classify, evict, evict_with, poison, poison_with, protocol,
-    protocol_with, registry, subset_overlap, subset_pair, AsyncArrival, AsyncFrontend, BackendKind,
-    Ledger,
+    async_handoff, async_handoff_with, classify, evict, evict_with, join_evict_race,
+    join_mid_episode, join_mid_episode_with, poison, poison_with, protocol, protocol_with,
+    registry, stale_generation, stale_generation_with, subset_overlap, subset_pair, AsyncArrival,
+    AsyncFrontend, BackendKind, Ledger, ReconfigOps,
 };
 pub use sched::{Defect, RunResult, Violation, DEFAULT_STEP_LIMIT};
 pub use shadow::ShadowSync;

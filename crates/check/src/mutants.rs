@@ -15,15 +15,19 @@
 //! poison/evict scenarios. The ninth is an *async frontend* whose
 //! completion path forgets to drain the parked-waker registry — the
 //! canonical lost wakeup of poll-based waiting, caught by the
-//! waker-handoff scenario.
+//! waker-handoff scenario. The last two seed *dynamic-membership* bugs:
+//! a join admitted mid-episode instead of at the boundary, and a
+//! credential check that forgets the slot generation — caught by the
+//! reconfig scenarios.
 
-use crate::scenario::{AsyncArrival, AsyncFrontend};
+use crate::scenario::{AsyncArrival, AsyncFrontend, ReconfigOps};
 use crate::shadow::ShadowSync;
 use fuzzy_barrier::spin::SpinReport;
 use fuzzy_barrier::stats::StatsSnapshot;
 use fuzzy_barrier::sync::{Atomic, SyncOps};
 use fuzzy_barrier::{
-    ArrivalToken, BarrierError, CentralBarrier, Deadline, SplitBarrier, StallPolicy, WaitOutcome,
+    ArrivalToken, BarrierError, CentralBarrier, Deadline, JoinTicket, MemberHandle,
+    ReconfigBarrier, SplitBarrier, StallPolicy, WaitOutcome,
 };
 use std::future::Future;
 use std::pin::Pin;
@@ -764,5 +768,189 @@ impl Future for NoDrainFuture {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push((this.id, this.episode, cx.waker().clone()));
         Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantJoinMidEpoch: join admitted without an episode boundary
+// ---------------------------------------------------------------------------
+
+/// A minimal dynamic-membership barrier that **admits joiners
+/// immediately** instead of staging them until the episode boundary.
+///
+/// The group's width changes under an in-flight episode whose arrival
+/// countdown was armed at the old width. Depending on the interleaving,
+/// the joiner's arrival either completes the episode one peer early —
+/// releasing waiters past a member that never began (the fuzzy
+/// violation) — or the re-armed countdown expects an arrival the episode
+/// never gets, and every later waiter hangs. This is exactly the bug the
+/// real [`ReconfigBarrier`]'s install protocol exists to prevent: the
+/// last arriver of epoch *e* installs the membership for *e + 1*, so no
+/// episode ever runs at a width it was not armed for.
+#[derive(Debug)]
+pub struct MutantJoinMidEpoch<S: SyncOps = ShadowSync> {
+    capacity: usize,
+    /// Current episode width.
+    members: S::AtomicUsize,
+    /// Arrivals remaining in the in-flight episode.
+    remaining: S::AtomicUsize,
+    epoch: S::AtomicU64,
+    /// Slot claim refcounts, as in the real protocol.
+    reserved: Vec<S::AtomicU32>,
+}
+
+impl<S: SyncOps> MutantJoinMidEpoch<S> {
+    /// Creates the mutant group with `initial` members over `capacity`
+    /// slots.
+    #[must_use]
+    pub fn new(capacity: usize, initial: usize) -> Self {
+        assert!(initial > 0 && initial <= capacity);
+        MutantJoinMidEpoch {
+            capacity,
+            members: S::AtomicUsize::new(initial),
+            remaining: S::AtomicUsize::new(initial),
+            epoch: S::AtomicU64::new(0),
+            reserved: (0..capacity)
+                .map(|slot| S::AtomicU32::new(u32::from(slot < initial)))
+                .collect(),
+        }
+    }
+}
+
+impl<S: SyncOps> ReconfigOps for MutantJoinMidEpoch<S> {
+    fn join(&self) -> Result<(usize, u64), BarrierError> {
+        for slot in 0..self.capacity {
+            if self.reserved[slot].fetch_add(1, Ordering::AcqRel) == 0 {
+                // BUG (seeded): the real protocol stages the join and
+                // lets the boundary installer activate it. Widening the
+                // group here changes the width under the in-flight
+                // episode, whose countdown was armed at the old width.
+                self.members.fetch_add(1, Ordering::AcqRel);
+                return Ok((slot, 0));
+            }
+            self.reserved[slot].fetch_sub(1, Ordering::AcqRel);
+        }
+        Err(BarrierError::GroupFull {
+            capacity: self.capacity,
+        })
+    }
+
+    fn wait_active(&self, _slot: usize, _generation: u64) {
+        // Part of the same bug: the member was admitted on join, so there
+        // is no boundary to wait for.
+    }
+
+    fn sync(&self, _slot: usize, _generation: u64) -> Result<u64, BarrierError> {
+        let e = self.epoch.load(Ordering::Acquire);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.remaining
+                .store(self.members.load(Ordering::Acquire), Ordering::Release);
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        } else {
+            S::wait_until(StallPolicy::Spin, || self.epoch.load(Ordering::Acquire) > e);
+        }
+        Ok(e)
+    }
+
+    fn leave(&self, slot: usize, _generation: u64) -> Result<(), BarrierError> {
+        // Mirror sloppiness: the departure is applied immediately too.
+        self.members.fetch_sub(1, Ordering::AcqRel);
+        self.reserved[slot].fetch_sub(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    fn evict(&self, slot: usize, generation: u64) -> Result<(), BarrierError> {
+        self.leave(slot, generation)
+    }
+
+    fn members(&self) -> usize {
+        self.members.load(Ordering::Acquire)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantStaleGeneration: credential check forgets the generation
+// ---------------------------------------------------------------------------
+
+/// A membership layer over the real [`ReconfigBarrier`] whose arrival
+/// path **replaces the credential's generation with whatever the slot
+/// currently carries** — "the slot number checks out, good enough".
+///
+/// A departed member's retained handle then arrives straight into the
+/// re-occupied slot: the re-occupant's rank gets a second arrival stream,
+/// the inner countdown skews, and a member that was removed from the
+/// group still gets released by it. The stale-generation scenario expects
+/// exactly [`BarrierError::StaleGeneration`] from the probe, so any
+/// schedule on which the forged arrival is accepted (or refused with the
+/// wrong error) convicts this mutant immediately.
+#[derive(Debug)]
+pub struct MutantStaleGeneration {
+    inner: Arc<ReconfigBarrier<ShadowSync>>,
+}
+
+impl MutantStaleGeneration {
+    /// Creates the mutant group with `initial` members over `capacity`
+    /// slots.
+    #[must_use]
+    pub fn new(capacity: usize, initial: usize) -> Self {
+        let (inner, _founders) = ReconfigBarrier::<ShadowSync>::with_policy_in(
+            capacity,
+            initial,
+            StallPolicy::Spin,
+            |n| {
+                Arc::new(CentralBarrier::<ShadowSync>::with_policy_in(
+                    n,
+                    StallPolicy::Spin,
+                )) as Arc<dyn SplitBarrier>
+            },
+        );
+        MutantStaleGeneration {
+            inner: Arc::new(inner),
+        }
+    }
+}
+
+impl ReconfigOps for MutantStaleGeneration {
+    fn join(&self) -> Result<(usize, u64), BarrierError> {
+        let ticket = self.inner.join()?;
+        Ok((ticket.slot(), ticket.generation()))
+    }
+
+    fn wait_active(&self, slot: usize, generation: u64) {
+        let _ = self
+            .inner
+            .wait_active(&JoinTicket::from_parts(slot, generation));
+    }
+
+    fn sync(&self, slot: usize, _generation: u64) -> Result<u64, BarrierError> {
+        // BUG (seeded): the held generation is dropped on the floor and
+        // rebuilt from the slot's current one, so the stale-credential
+        // check can never fire and a departed member's handle arrives
+        // into whoever occupies the slot now.
+        let current = self.inner.generation_of(slot);
+        let token = self
+            .inner
+            .arrive(&MemberHandle::from_parts(slot, current))?;
+        self.inner.wait(&token).map(|outcome| outcome.episode)
+    }
+
+    fn leave(&self, slot: usize, generation: u64) -> Result<(), BarrierError> {
+        self.inner.leave(MemberHandle::from_parts(slot, generation))
+    }
+
+    fn evict(&self, slot: usize, generation: u64) -> Result<(), BarrierError> {
+        self.inner.evict(slot, generation)
+    }
+
+    fn members(&self) -> usize {
+        self.inner.members()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
     }
 }

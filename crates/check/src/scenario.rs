@@ -18,8 +18,8 @@ use crate::shadow::{ShadowSync, ShadowU32};
 use fuzzy_barrier::sync::{Atomic, SyncOps};
 use fuzzy_barrier::{
     AsyncBarrier, BarrierError, CentralBarrier, CountingBarrier, Deadline, DisseminationBarrier,
-    GroupRegistry, HierBarrier, ProcMask, SplitBarrier, StallPolicy, SubsetBarrier, Tag, TopLevel,
-    TreeBarrier, WaitOutcome,
+    GroupRegistry, HierBarrier, JoinTicket, MemberHandle, ProcMask, ReconfigBarrier, SplitBarrier,
+    StallPolicy, SubsetBarrier, Tag, TopLevel, TreeBarrier, WaitOutcome,
 };
 use std::future::Future;
 use std::pin::Pin;
@@ -1215,4 +1215,608 @@ fn async_body(frontend: &Arc<dyn AsyncFrontend>, ledger: &Ledger, id: usize, epi
             return;
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic-membership (reconfig) scenarios
+// ---------------------------------------------------------------------------
+
+/// Object-safe view of a dynamic-membership barrier, so the reconfig
+/// scenarios can drive the real [`ReconfigBarrier`] and seeded mutants
+/// like [`crate::mutants::MutantJoinMidEpoch`] through one interface.
+///
+/// Credentials travel as plain `(slot, generation)` pairs, and `sync`
+/// performs one whole episode (arrive, then wait for release). The
+/// checker interleaves at shadow-atomic granularity, so a combined call
+/// explores exactly the same membership races as split arrive/wait.
+pub trait ReconfigOps: Send + Sync {
+    /// Stages a join; returns the claimed `(slot, generation)`.
+    fn join(&self) -> Result<(usize, u64), BarrierError>;
+
+    /// Blocks until the staged join activates at an episode boundary.
+    fn wait_active(&self, slot: usize, generation: u64);
+
+    /// One full episode under the credential: arrive, then wait. Returns
+    /// the wrapper epoch the release happened for.
+    fn sync(&self, slot: usize, generation: u64) -> Result<u64, BarrierError>;
+
+    /// Voluntary departure.
+    fn leave(&self, slot: usize, generation: u64) -> Result<(), BarrierError>;
+
+    /// Supervisor-driven eviction of a member that will never arrive.
+    fn evict(&self, slot: usize, generation: u64) -> Result<(), BarrierError>;
+
+    /// Live member count.
+    fn members(&self) -> usize;
+
+    /// Completed wrapper epochs.
+    fn epoch(&self) -> u64;
+}
+
+impl ReconfigOps for ReconfigBarrier<ShadowSync> {
+    fn join(&self) -> Result<(usize, u64), BarrierError> {
+        let ticket = ReconfigBarrier::join(self)?;
+        Ok((ticket.slot(), ticket.generation()))
+    }
+
+    fn wait_active(&self, slot: usize, generation: u64) {
+        let handle = ReconfigBarrier::wait_active(self, &JoinTicket::from_parts(slot, generation));
+        debug_assert_eq!(handle.slot(), slot);
+    }
+
+    fn sync(&self, slot: usize, generation: u64) -> Result<u64, BarrierError> {
+        let handle = MemberHandle::from_parts(slot, generation);
+        let token = self.arrive(&handle)?;
+        self.wait(&token).map(|outcome| outcome.episode)
+    }
+
+    fn leave(&self, slot: usize, generation: u64) -> Result<(), BarrierError> {
+        ReconfigBarrier::leave(self, MemberHandle::from_parts(slot, generation))
+    }
+
+    fn evict(&self, slot: usize, generation: u64) -> Result<(), BarrierError> {
+        ReconfigBarrier::evict(self, slot, generation)
+    }
+
+    fn members(&self) -> usize {
+        ReconfigBarrier::members(self)
+    }
+
+    fn epoch(&self) -> u64 {
+        ReconfigBarrier::epoch(self)
+    }
+}
+
+/// The default shadow-domain group: a [`ReconfigBarrier`] whose factory
+/// rebuilds a shadow central backend at every growth boundary. The
+/// membership protocol under test is the wrapper's own; the inner
+/// backend just needs to be a correct barrier.
+fn shadow_group(capacity: usize, initial: usize) -> Arc<dyn ReconfigOps> {
+    let (group, _founders) =
+        ReconfigBarrier::<ShadowSync>::with_policy_in(capacity, initial, StallPolicy::Spin, |n| {
+            Arc::new(CentralBarrier::<ShadowSync>::with_policy_in(
+                n,
+                StallPolicy::Spin,
+            )) as Arc<dyn SplitBarrier>
+        });
+    Arc::new(group)
+}
+
+/// One checked episode through a [`ReconfigOps`] group: ledger `begin`
+/// before the arrival, fuzzy check after the release, release epoch
+/// asserted against `epoch`. Returns `false` once the body should stop
+/// (abort or reported defect). `id` is both the global thread id and the
+/// member's rank in `ledger`; `ledger_episode` is the episode number in
+/// the ledger's own (possibly re-based) numbering.
+///
+/// `enter_wait` brackets the whole combined call — the arrival half is
+/// gate-bounded and never blocks on peers, so treating the span as "in
+/// wait" keeps the lost-wakeup classification sound.
+fn reconfig_sync_checked(
+    group: &dyn ReconfigOps,
+    ledger: &Ledger,
+    id: usize,
+    ledger_episode: u64,
+    epoch: u64,
+    slot: usize,
+    generation: u64,
+) -> bool {
+    if ctx::aborted() {
+        return false;
+    }
+    ledger.begin(id);
+    ledger.enter_wait(id, ledger_episode);
+    let result = group.sync(slot, generation);
+    if ctx::aborted() {
+        return false;
+    }
+    match result {
+        Ok(e) if e == epoch => {
+            ledger.exit_wait(id);
+            ledger.check_fuzzy(id, ledger_episode);
+            !ctx::aborted()
+        }
+        Ok(e) => {
+            ctx::report(Defect::ProtocolError {
+                thread: id,
+                message: format!("expected release at epoch {epoch}, sync returned {e}"),
+            });
+            false
+        }
+        Err(err) => {
+            report_err(id, "membership sync", &err);
+            false
+        }
+    }
+}
+
+/// Join-during-episode scenario: two founders and one joiner over a
+/// three-slot group. The founders hold epoch 0 until the join is staged,
+/// so on **every** schedule the membership the installer sees at the
+/// first boundary is the same: epoch 0 must run at the founding pair and
+/// epoch 1 at the grown trio. A protocol that admits the joiner
+/// mid-episode ([`crate::mutants::MutantJoinMidEpoch`]) either releases
+/// a founder past its peer (fuzzy violation) or skews the arrival
+/// counts into a deadlock.
+pub fn join_mid_episode_with(
+    name: impl Into<String>,
+    mut factory: impl FnMut() -> Arc<dyn ReconfigOps> + 'static,
+) -> Scenario {
+    Scenario {
+        name: name.into(),
+        threads: 3,
+        build: Box::new(move || {
+            let group = factory();
+            let joined = Arc::new(ShadowU32::new(0));
+            let founders = Arc::new(Ledger::new(vec![0, 1]));
+            let grown = Arc::new(Ledger::new(vec![0, 1, 2]));
+            let bodies: Vec<Job> = (0..3)
+                .map(|id| {
+                    let group = Arc::clone(&group);
+                    let joined = Arc::clone(&joined);
+                    let founders = Arc::clone(&founders);
+                    let grown = Arc::clone(&grown);
+                    Box::new(move || {
+                        if id == 2 {
+                            join_mid_episode_joiner(&*group, &joined, &grown);
+                        } else {
+                            join_mid_episode_founder(&*group, &joined, &founders, &grown, id);
+                        }
+                    }) as Job
+                })
+                .collect();
+            let ledgers = vec![Arc::clone(&founders), Arc::clone(&grown)];
+            ScheduleRun {
+                bodies,
+                finish: Box::new(move |defect| classify(&ledgers, defect)),
+            }
+        }),
+    }
+}
+
+/// [`join_mid_episode_with`] over the real shadow-domain group.
+#[must_use]
+pub fn join_mid_episode() -> Scenario {
+    join_mid_episode_with("reconfig/join-mid-episode", || shadow_group(3, 2))
+}
+
+fn join_mid_episode_founder(
+    group: &dyn ReconfigOps,
+    joined: &ShadowU32,
+    founders: &Ledger,
+    grown: &Ledger,
+    id: usize,
+) {
+    // Hold epoch 0 until the join is staged: the installer at the first
+    // boundary then sees the pending join on every schedule.
+    ShadowSync::wait_until(StallPolicy::Spin, || joined.load(Ordering::Acquire) == 1);
+    if ctx::aborted() {
+        return;
+    }
+    // Epoch 0 at the founding pair; founders hold slot `id`, generation 0.
+    if !reconfig_sync_checked(group, founders, id, 0, 0, id, 0) {
+        return;
+    }
+    // Epoch 1 at the grown trio (the grown ledger numbers from zero).
+    reconfig_sync_checked(group, grown, id, 0, 1, id, 0);
+}
+
+fn join_mid_episode_joiner(group: &dyn ReconfigOps, joined: &ShadowU32, grown: &Ledger) {
+    let (slot, generation) = match group.join() {
+        Ok(credential) => credential,
+        Err(err) => {
+            report_err(2, "join", &err);
+            return;
+        }
+    };
+    joined.store(1, Ordering::Release);
+    if ctx::aborted() {
+        return;
+    }
+    group.wait_active(slot, generation);
+    if ctx::aborted() {
+        return;
+    }
+    // The joiner's first episode is the grown trio's epoch 1.
+    if !reconfig_sync_checked(group, grown, 2, 0, 1, slot, generation) {
+        return;
+    }
+    // The staged join must actually have landed: three live members.
+    let members = group.members();
+    if ctx::aborted() {
+        return;
+    }
+    if members != 3 {
+        ctx::report(Defect::ProtocolError {
+            thread: 2,
+            message: format!("expected 3 members after activation, found {members}"),
+        });
+    }
+}
+
+/// Stale-generation scenario over a two-slot group: member A leaves, its
+/// slot is re-claimed by joiner J at a bumped generation, and A's retained
+/// credential must then be refused with exactly
+/// [`BarrierError::StaleGeneration`] — on every schedule, including those
+/// where the probe races J's activation. A membership layer that forgets
+/// the generation check ([`crate::mutants::MutantStaleGeneration`]) lets
+/// the stale arrival into the re-occupied slot, which this scenario
+/// reports as a protocol error the moment the probe returns anything
+/// else.
+pub fn stale_generation_with(
+    name: impl Into<String>,
+    mut factory: impl FnMut() -> Arc<dyn ReconfigOps> + 'static,
+) -> Scenario {
+    Scenario {
+        name: name.into(),
+        threads: 3,
+        build: Box::new(move || {
+            let group = factory();
+            let joined = Arc::new(ShadowU32::new(0));
+            let a_done = Arc::new(ShadowU32::new(0));
+            let j_done = Arc::new(ShadowU32::new(0));
+            let pump = Arc::new(ShadowU32::new(0));
+            let bodies: Vec<Job> = (0..3)
+                .map(|id| {
+                    let group = Arc::clone(&group);
+                    let joined = Arc::clone(&joined);
+                    let a_done = Arc::clone(&a_done);
+                    let j_done = Arc::clone(&j_done);
+                    let pump = Arc::clone(&pump);
+                    Box::new(move || match id {
+                        0 => stale_generation_leaver(&*group, &joined, &a_done, &pump),
+                        1 => stale_generation_driver(&*group, &j_done, &pump),
+                        _ => stale_generation_reuser(&*group, &joined, &a_done, &j_done, &pump),
+                    }) as Job
+                })
+                .collect();
+            // No fuzzy ledger: this scenario checks the credential
+            // lifecycle, so a hang is reported as the deadlock it is.
+            ScheduleRun {
+                bodies,
+                finish: Box::new(|defect| defect),
+            }
+        }),
+    }
+}
+
+/// [`stale_generation_with`] over the real shadow-domain group.
+#[must_use]
+pub fn stale_generation() -> Scenario {
+    stale_generation_with("reconfig/stale-generation", || shadow_group(2, 2))
+}
+
+fn stale_generation_leaver(
+    group: &dyn ReconfigOps,
+    joined: &ShadowU32,
+    a_done: &ShadowU32,
+    pump: &ShadowU32,
+) {
+    // Epoch 0 at full strength, then depart. The departure bumps the slot
+    // generation immediately, so the retained (0, 0) credential is stale
+    // from here on.
+    match group.sync(0, 0) {
+        Ok(0) => {}
+        Ok(e) => {
+            ctx::report(Defect::ProtocolError {
+                thread: 0,
+                message: format!("expected release at epoch 0, sync returned {e}"),
+            });
+            return;
+        }
+        Err(err) => {
+            report_err(0, "pre-leave sync", &err);
+            return;
+        }
+    }
+    if ctx::aborted() {
+        return;
+    }
+    if let Err(err) = group.leave(0, 0) {
+        report_err(0, "leave", &err);
+        return;
+    }
+    // The freed slot installs at the next boundary: ask the driver for
+    // one.
+    pump.fetch_add(1, Ordering::AcqRel);
+    if ctx::aborted() {
+        return;
+    }
+    // Probe only once the slot has been re-claimed, so the stale arrival
+    // races a live re-occupant rather than an empty slot.
+    ShadowSync::wait_until(StallPolicy::Spin, || joined.load(Ordering::Acquire) == 1);
+    if ctx::aborted() {
+        return;
+    }
+    match group.sync(0, 0) {
+        Err(BarrierError::StaleGeneration {
+            slot,
+            held,
+            current,
+        }) if slot == 0 && held == 0 && current >= 1 => {}
+        Ok(e) => {
+            ctx::report(Defect::ProtocolError {
+                thread: 0,
+                message: format!("stale credential accepted; released at epoch {e}"),
+            });
+            return;
+        }
+        Err(err) => {
+            report_err(0, "stale probe", &err);
+            return;
+        }
+    }
+    a_done.store(1, Ordering::Release);
+}
+
+fn stale_generation_driver(group: &dyn ReconfigOps, j_done: &ShadowU32, pump: &ShadowU32) {
+    // Epoch 0 at full strength alongside the leaver.
+    match group.sync(1, 0) {
+        Ok(0) => {}
+        Ok(e) => {
+            ctx::report(Defect::ProtocolError {
+                thread: 1,
+                message: format!("expected release at epoch 0, sync returned {e}"),
+            });
+            return;
+        }
+        Err(err) => {
+            report_err(1, "driver sync", &err);
+            return;
+        }
+    }
+    // Drive one boundary per request so departures free, joins install,
+    // and the reuser activates. Each pump is *requested* (the driver
+    // blocks between them): an ungated loop would spin solo boundaries
+    // forever and never yield the schedule to the other threads.
+    let mut served = 0u32;
+    let mut next_epoch = 1u64;
+    loop {
+        ShadowSync::wait_until(StallPolicy::Spin, || {
+            j_done.load(Ordering::Acquire) == 1 || pump.load(Ordering::Acquire) > served
+        });
+        if ctx::aborted() || j_done.load(Ordering::Acquire) == 1 {
+            return;
+        }
+        match group.sync(1, 0) {
+            Ok(e) if e >= next_epoch => next_epoch = e + 1,
+            Ok(e) => {
+                ctx::report(Defect::ProtocolError {
+                    thread: 1,
+                    message: format!("release epoch went backwards: {e} < {next_epoch}"),
+                });
+                return;
+            }
+            Err(err) => {
+                report_err(1, "driver sync", &err);
+                return;
+            }
+        }
+        served += 1;
+    }
+}
+
+fn stale_generation_reuser(
+    group: &dyn ReconfigOps,
+    joined: &ShadowU32,
+    a_done: &ShadowU32,
+    j_done: &ShadowU32,
+    pump: &ShadowU32,
+) {
+    // The departed slot frees at the boundary after the leave: epoch 2
+    // implies the installer processed it, so the join below cannot see
+    // GroupFull.
+    ShadowSync::wait_until(StallPolicy::Spin, || group.epoch() >= 2);
+    if ctx::aborted() {
+        return;
+    }
+    let (slot, generation) = match group.join() {
+        Ok(credential) => credential,
+        Err(err) => {
+            report_err(2, "reuse join", &err);
+            return;
+        }
+    };
+    if slot != 0 || generation == 0 {
+        ctx::report(Defect::ProtocolError {
+            thread: 2,
+            message: format!(
+                "expected to reuse slot 0 at a bumped generation, got slot {slot} \
+                 generation {generation}"
+            ),
+        });
+        return;
+    }
+    joined.store(1, Ordering::Release);
+    // Activation installs at the boundary after the staging: request it.
+    pump.fetch_add(1, Ordering::AcqRel);
+    if ctx::aborted() {
+        return;
+    }
+    group.wait_active(slot, generation);
+    if ctx::aborted() {
+        return;
+    }
+    // The sync below needs the driver as a partner: request a boundary.
+    pump.fetch_add(1, Ordering::AcqRel);
+    if let Err(err) = group.sync(slot, generation) {
+        report_err(2, "reuser sync", &err);
+        return;
+    }
+    if ctx::aborted() {
+        return;
+    }
+    // Leave only after the stale probe resolved, so the probe always
+    // races a live re-occupant.
+    ShadowSync::wait_until(StallPolicy::Spin, || a_done.load(Ordering::Acquire) == 1);
+    if ctx::aborted() {
+        return;
+    }
+    if let Err(err) = group.leave(slot, generation) {
+        report_err(2, "reuse leave", &err);
+        return;
+    }
+    j_done.store(1, Ordering::Release);
+}
+
+/// Join/evict-race scenario: a joiner stages into a three-slot group with
+/// no ordering constraints while the driver evicts the idle founder, so
+/// the pending join and the pending free race into the same (or
+/// adjacent) boundary installs across schedules. Liveness and final
+/// agreement are asserted: every sync returns, the joiner activates and
+/// departs cleanly, and the group converges to the driver alone.
+#[must_use]
+pub fn join_evict_race() -> Scenario {
+    Scenario {
+        name: "reconfig/join-evict-race".into(),
+        threads: 3,
+        build: Box::new(|| {
+            let group = shadow_group(3, 2);
+            let j_done = Arc::new(ShadowU32::new(0));
+            let pump = Arc::new(ShadowU32::new(0));
+            let full = Arc::new(Ledger::new(vec![0, 1]));
+            let bodies: Vec<Job> = (0..3)
+                .map(|id| {
+                    let group = Arc::clone(&group);
+                    let j_done = Arc::clone(&j_done);
+                    let pump = Arc::clone(&pump);
+                    let full = Arc::clone(&full);
+                    Box::new(move || match id {
+                        0 => {
+                            // The evictee synchronizes once and goes
+                            // silent; the driver removes it. Arriving only
+                            // for the completed epoch 0 honors the
+                            // eviction contract on every schedule.
+                            reconfig_sync_checked(&*group, &full, 0, 0, 0, 0, 0);
+                        }
+                        1 => join_evict_race_driver(&*group, &full, &j_done, &pump),
+                        _ => join_evict_race_joiner(&*group, &j_done, &pump),
+                    }) as Job
+                })
+                .collect();
+            let ledgers = vec![Arc::clone(&full)];
+            ScheduleRun {
+                bodies,
+                finish: Box::new(move |defect| classify(&ledgers, defect)),
+            }
+        }),
+    }
+}
+
+fn join_evict_race_driver(
+    group: &dyn ReconfigOps,
+    full: &Ledger,
+    j_done: &ShadowU32,
+    pump: &ShadowU32,
+) {
+    if !reconfig_sync_checked(group, full, 1, 0, 0, 1, 0) {
+        return;
+    }
+    // Epoch 0 is complete, so the founder's last arrival is behind the
+    // in-flight epoch and the eviction contract holds.
+    if let Err(err) = group.evict(0, 0) {
+        report_err(1, "evict", &err);
+        return;
+    }
+    // Drive one boundary per joiner request (activation, then
+    // partnership) until the joiner has activated, synchronized, and
+    // departed; the eviction's stand-in covers the founder's arrival.
+    // Gating each pump on a request keeps the driver blocked between
+    // boundaries — an ungated loop would spin solo epochs forever
+    // without ever yielding the schedule to the joiner.
+    let mut served = 0u32;
+    let mut next_epoch = 1u64;
+    loop {
+        ShadowSync::wait_until(StallPolicy::Spin, || {
+            j_done.load(Ordering::Acquire) == 1 || pump.load(Ordering::Acquire) > served
+        });
+        if ctx::aborted() {
+            return;
+        }
+        if j_done.load(Ordering::Acquire) == 1 {
+            break;
+        }
+        match group.sync(1, 0) {
+            Ok(e) if e >= next_epoch => next_epoch = e + 1,
+            Ok(e) => {
+                ctx::report(Defect::ProtocolError {
+                    thread: 1,
+                    message: format!("release epoch went backwards: {e} < {next_epoch}"),
+                });
+                return;
+            }
+            Err(err) => {
+                report_err(1, "driver sync", &err);
+                return;
+            }
+        }
+        served += 1;
+    }
+    if ctx::aborted() {
+        return;
+    }
+    // Convergence: the evictee is gone and the joiner left — the driver
+    // must be alone, on every schedule.
+    let members = group.members();
+    if ctx::aborted() {
+        return;
+    }
+    if members != 1 {
+        ctx::report(Defect::ProtocolError {
+            thread: 1,
+            message: format!("expected 1 member after convergence, found {members}"),
+        });
+    }
+}
+
+fn join_evict_race_joiner(group: &dyn ReconfigOps, j_done: &ShadowU32, pump: &ShadowU32) {
+    // No gating: the join races the founders' epoch 0 and the eviction
+    // across schedules. Slot 2 is free on every one of them.
+    let (slot, generation) = match group.join() {
+        Ok(credential) => credential,
+        Err(err) => {
+            report_err(2, "race join", &err);
+            return;
+        }
+    };
+    // Activation installs at the boundary after the staging: request one.
+    pump.fetch_add(1, Ordering::AcqRel);
+    group.wait_active(slot, generation);
+    if ctx::aborted() {
+        return;
+    }
+    // The sync below needs the driver as a partner: request a boundary.
+    pump.fetch_add(1, Ordering::AcqRel);
+    if let Err(err) = group.sync(slot, generation) {
+        report_err(2, "joiner sync", &err);
+        return;
+    }
+    if ctx::aborted() {
+        return;
+    }
+    if let Err(err) = group.leave(slot, generation) {
+        report_err(2, "joiner leave", &err);
+        return;
+    }
+    j_done.store(1, Ordering::Release);
 }

@@ -324,3 +324,126 @@ fn real_async_frontend_survives_the_no_drain_schedule_space() {
         }
     }
 }
+
+#[test]
+fn join_mid_epoch_mutant_is_caught() {
+    // The mutant widens the episode the moment join() returns instead of
+    // staging the joiner to the next boundary. Depending on the order the
+    // checker picks, that surfaces as a fuzzy violation (the in-flight
+    // episode releases counting the joiner who never arrived for it), a
+    // deadlock (the widened countdown never fills), or a protocol error
+    // (a participant is released at the wrong epoch) — any defect class
+    // means the checker saw the boundary discipline break.
+    use fuzzy_check::mutants::MutantJoinMidEpoch;
+    use fuzzy_check::{join_mid_episode_with, ReconfigOps};
+    let mut scenario = join_mid_episode_with("mutant/join-mid-epoch".to_string(), || {
+        Arc::new(MutantJoinMidEpoch::<ShadowSync>::new(3, 2)) as Arc<dyn ReconfigOps>
+    });
+    match explore_dfs(&mut scenario, &opts(2)) {
+        Outcome::Fail {
+            violation,
+            schedules,
+        } => {
+            eprintln!(
+                "mutant/join-mid-epoch: caught after {schedules} schedules: {}",
+                violation.defect
+            );
+        }
+        Outcome::Pass { schedules, .. } => {
+            panic!("mutant/join-mid-epoch survived {schedules} schedules")
+        }
+    }
+}
+
+#[test]
+fn stale_generation_mutant_is_caught() {
+    // The mutant looks up the slot's *current* generation instead of
+    // checking the credential it was handed, so a departed member's stale
+    // handle is accepted — it either completes an episode it has no right
+    // to join (protocol error: "stale credential accepted") or trips the
+    // honest inner barrier's rank check (also a protocol error). Either
+    // way the probe never sees the StaleGeneration rejection the scenario
+    // demands, deterministically, on the very first sequential schedule.
+    use fuzzy_check::mutants::MutantStaleGeneration;
+    use fuzzy_check::{stale_generation_with, ReconfigOps};
+    let mut scenario = stale_generation_with("mutant/stale-generation".to_string(), || {
+        Arc::new(MutantStaleGeneration::new(2, 2)) as Arc<dyn ReconfigOps>
+    });
+    match explore_dfs(&mut scenario, &opts(0)) {
+        Outcome::Fail {
+            violation,
+            schedules,
+        } => {
+            assert!(
+                matches!(violation.defect, Defect::ProtocolError { .. }),
+                "mutant/stale-generation: expected ProtocolError, got {:?}",
+                violation.defect
+            );
+            eprintln!(
+                "mutant/stale-generation: caught after {schedules} schedules: {}",
+                violation.defect
+            );
+        }
+        Outcome::Pass { schedules, .. } => {
+            panic!("mutant/stale-generation survived {schedules} schedules")
+        }
+    }
+}
+
+/// DFS options for the real-implementation reconfig pass runs: the
+/// scenarios have three threads and membership churn, so the schedule
+/// space is deep — 10k schedules at bound 2 keeps the suite fast while
+/// still covering every join/arrive and depart/arrive race the mutants
+/// fail under.
+fn reconfig_pass_opts() -> ExploreOptions {
+    ExploreOptions {
+        max_schedules: 10_000,
+        step_limit: 20_000,
+        preemption_bound: Some(2),
+    }
+}
+
+#[test]
+fn real_reconfig_survives_join_mid_episode_schedules() {
+    let mut scenario = fuzzy_check::join_mid_episode();
+    match explore_dfs(&mut scenario, &reconfig_pass_opts()) {
+        Outcome::Pass { schedules, .. } => {
+            eprintln!("reconfig/join-mid-episode clean over {schedules} schedules");
+        }
+        Outcome::Fail { violation, .. } => {
+            panic!(
+                "real ReconfigBarrier failed join-mid-episode: {}",
+                violation
+            )
+        }
+    }
+}
+
+#[test]
+fn real_reconfig_survives_stale_generation_schedules() {
+    let mut scenario = fuzzy_check::stale_generation();
+    match explore_dfs(&mut scenario, &reconfig_pass_opts()) {
+        Outcome::Pass { schedules, .. } => {
+            eprintln!("reconfig/stale-generation clean over {schedules} schedules");
+        }
+        Outcome::Fail { violation, .. } => {
+            panic!(
+                "real ReconfigBarrier failed stale-generation: {}",
+                violation
+            )
+        }
+    }
+}
+
+#[test]
+fn real_reconfig_survives_join_evict_race_schedules() {
+    let mut scenario = fuzzy_check::join_evict_race();
+    match explore_dfs(&mut scenario, &reconfig_pass_opts()) {
+        Outcome::Pass { schedules, .. } => {
+            eprintln!("reconfig/join-evict-race clean over {schedules} schedules");
+        }
+        Outcome::Fail { violation, .. } => {
+            panic!("real ReconfigBarrier failed join-evict-race: {}", violation)
+        }
+    }
+}

@@ -11,10 +11,10 @@
 //!
 //! # The waker protocol
 //!
-//! All async-frontend probing is serialized under a ticket **probe lock**
-//! built from two [`SyncOps`] atomic words — *not* a `std` mutex, so the
-//! `fuzzy-check` model checker can observe (and deschedule through) the
-//! lock's spin in its instrumented domain. Under the lock lives a registry
+//! All async-frontend probing is serialized under a **probe lock** — the
+//! shared [`crate::sync::TicketLock`] over the [`SyncOps`] domain, *not* a
+//! `std` mutex, so the `fuzzy-check` model checker can observe (and
+//! deschedule through) the lock's spin in its instrumented domain. Under the lock lives a registry
 //! of parked waiters (`(id, episode, Waker)` triples).
 //!
 //! * **Arrive** (sync or async) drains the registry after the backend's
@@ -55,14 +55,12 @@
 use crate::error::BarrierError;
 use crate::failure::{Deadline, WaitPolicy};
 use crate::fuzzy::SplitBarrier;
-use crate::spin::StallPolicy;
 use crate::stats::{AsyncSnapshot, AsyncStats, StatsSnapshot, TelemetrySnapshot};
-use crate::sync::{Atomic, RealSync, SyncOps};
+use crate::sync::{RealSync, SyncOps, TicketGuard, TicketLock};
 use crate::token::{ArrivalToken, WaitOutcome};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::task::{Context, Poll, Waker};
 use std::time::Instant;
@@ -105,12 +103,9 @@ struct Parked {
 /// ```
 pub struct AsyncBarrier<B: SplitBarrier, S: SyncOps = RealSync> {
     inner: B,
-    /// Probe-lock ticket dispenser.
-    ticket: S::AtomicU64,
-    /// Probe-lock "now serving" word; release is a fetch_add so that the
-    /// checker's shadow domain sees an RMW (write-generation bump) that
-    /// re-wakes descheduled acquirers.
-    serving: S::AtomicU64,
+    /// The probe lock: the shared spin-then-yield ticket lock from
+    /// [`crate::sync`], whose release RMW re-wakes shadow acquirers.
+    probe: TicketLock<S>,
     /// Parked waiters. Only ever accessed while holding the probe lock, so
     /// this std mutex never contends (and never blocks a checker vthread
     /// invisibly).
@@ -140,8 +135,7 @@ impl<B: SplitBarrier, S: SyncOps> AsyncBarrier<B, S> {
         let help_rounds = (usize::BITS - (n - 1).leading_zeros()) as usize;
         AsyncBarrier {
             inner,
-            ticket: S::AtomicU64::new(0),
-            serving: S::AtomicU64::new(0),
+            probe: TicketLock::new(),
             registry: Mutex::new(Vec::new()),
             help_rounds,
             astats: AsyncStats::new(),
@@ -194,19 +188,10 @@ impl<B: SplitBarrier, S: SyncOps> AsyncBarrier<B, S> {
         }
     }
 
-    /// Acquires the probe lock: a ticket lock over the `S` domain, so
+    /// Acquires the probe lock: a [`TicketLock`] over the `S` domain, so
     /// blocked acquirers deschedule properly under the model checker.
-    fn probe_lock(&self) -> ProbeGuard<'_, B, S> {
-        let ticket = self.ticket.fetch_add(1, Ordering::AcqRel);
-        if self.serving.load(Ordering::Acquire) != ticket {
-            // Spin-then-yield, never pure spin: the holder may be another
-            // worker thread on the same core, and a pure spinner would burn
-            // its whole OS timeslice while the holder sits descheduled.
-            S::wait_until(StallPolicy::yielding(), || {
-                self.serving.load(Ordering::Acquire) == ticket
-            });
-        }
-        ProbeGuard { owner: self }
+    fn probe_lock(&self) -> TicketGuard<'_, S> {
+        self.probe.acquire()
     }
 
     /// Probes every parked waiter — plus the caller's own token, when
@@ -305,18 +290,6 @@ impl<B: SplitBarrier, S: SyncOps> fmt::Debug for AsyncBarrier<B, S> {
             .field("participants", &self.inner.participants())
             .field("help_rounds", &self.help_rounds)
             .finish_non_exhaustive()
-    }
-}
-
-/// RAII release of the probe lock; the `fetch_add` is an RMW so shadow
-/// acquirers blocked on the serving word are re-woken by the checker.
-struct ProbeGuard<'a, B: SplitBarrier, S: SyncOps> {
-    owner: &'a AsyncBarrier<B, S>,
-}
-
-impl<B: SplitBarrier, S: SyncOps> Drop for ProbeGuard<'_, B, S> {
-    fn drop(&mut self) {
-        self.owner.serving.fetch_add(1, Ordering::Release);
     }
 }
 

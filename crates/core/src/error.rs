@@ -73,6 +73,26 @@ pub enum BarrierError {
     },
     /// The backend does not implement participant eviction.
     EvictionUnsupported,
+    /// A reconfigurable group (see [`crate::reconfig::ReconfigBarrier`])
+    /// has no free membership slot for a joiner. Slots free up when the
+    /// departure of a leaver or evictee is applied at the next episode
+    /// boundary, so callers may back off and retry.
+    GroupFull {
+        /// The fixed slot capacity of the group.
+        capacity: usize,
+    },
+    /// A membership handle is stale: the slot's generation has advanced
+    /// past the one stamped into the handle (its holder left or was
+    /// evicted, and the slot may since have been re-issued to a new
+    /// joiner). A stale handle can never arrive into the resized barrier.
+    StaleGeneration {
+        /// The membership slot the handle named.
+        slot: usize,
+        /// The generation stamped into the handle.
+        held: u64,
+        /// The slot's current generation.
+        current: u64,
+    },
 }
 
 impl fmt::Display for BarrierError {
@@ -119,6 +139,19 @@ impl fmt::Display for BarrierError {
             BarrierError::EvictionUnsupported => {
                 write!(f, "this backend does not support participant eviction")
             }
+            BarrierError::GroupFull { capacity } => {
+                write!(f, "group full: all {capacity} membership slots are claimed")
+            }
+            BarrierError::StaleGeneration {
+                slot,
+                held,
+                current,
+            } => {
+                write!(
+                    f,
+                    "stale handle for slot {slot}: holds generation {held}, slot is at {current}"
+                )
+            }
         }
     }
 }
@@ -141,6 +174,28 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn Error + Send + Sync> = Box::new(BarrierError::RegistryFull { capacity: 7 });
         assert!(e.to_string().contains("registry full"));
+    }
+
+    #[test]
+    fn reconfig_errors_mention_slots_and_generations() {
+        let full = BarrierError::GroupFull { capacity: 8 };
+        assert_eq!(
+            full.to_string(),
+            "group full: all 8 membership slots are claimed"
+        );
+        let stale = BarrierError::StaleGeneration {
+            slot: 2,
+            held: 1,
+            current: 3,
+        };
+        let s = stale.to_string();
+        assert!(
+            s.contains("slot 2") && s.contains("generation 1") && s.contains("at 3"),
+            "{s}"
+        );
+        // Both thread through a boxed error stack like any std error.
+        let boxed: Box<dyn Error + Send + Sync> = Box::new(stale);
+        assert!(boxed.to_string().starts_with("stale handle"));
     }
 
     #[test]

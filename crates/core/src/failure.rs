@@ -223,6 +223,50 @@ mod tests {
         }
     }
 
+    /// Regression: the evict-vs-timeout race. A waiter whose peer is
+    /// evicted in the same episode must resolve deterministically — either
+    /// the eviction's stand-in arrival releases it (`Ok`) or its deadline
+    /// fires first (`Err(Timeout)`) — and the episode must be complete
+    /// once the eviction returns, so a timed-out waiter's retry succeeds
+    /// immediately. It must never hang and never see any third outcome.
+    #[test]
+    fn evicted_peer_vs_deadline_resolves_deterministically() {
+        use crate::centralized::CentralBarrier;
+        use crate::fuzzy::SplitBarrier;
+        use crate::token::ArrivalToken;
+        use std::sync::Arc;
+
+        // Jitter both sides around the same scale so the interleaving
+        // lands on every side of the race across iterations.
+        for i in 0..50u64 {
+            let b = Arc::new(CentralBarrier::with_policy(2, StallPolicy::yielding()));
+            let wait_us = 20 * (i % 5);
+            let evict_us = 20 * ((i / 5) % 5);
+            std::thread::scope(|s| {
+                let waiter = {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || {
+                        let token = b.arrive(0);
+                        b.wait_deadline(token, Deadline::after(Duration::from_micros(wait_us)))
+                    })
+                };
+                std::thread::sleep(Duration::from_micros(evict_us));
+                b.evict(1).expect("peer never arrived, eviction is legal");
+                match waiter.join().expect("waiter must not panic") {
+                    Ok(outcome) => assert_eq!(outcome.episode, 0),
+                    Err(BarrierError::Timeout { episode }) => assert_eq!(episode, 0),
+                    Err(other) => panic!("unexpected outcome {other:?}"),
+                }
+            });
+            // The eviction's stand-in arrival completed the episode: a
+            // retry probe observes completion without any further waiting.
+            assert!(
+                b.is_complete(&ArrivalToken::new(0, 0)),
+                "episode must be complete once the eviction returned"
+            );
+        }
+    }
+
     #[test]
     fn guarded_wait_reports_timeout() {
         let r = guarded_wait::<RealSync>(

@@ -86,6 +86,7 @@ pub mod group;
 pub mod hier;
 pub mod mask;
 pub mod phased;
+pub mod reconfig;
 pub mod registry;
 pub mod spin;
 pub mod stats;
@@ -105,13 +106,16 @@ pub use fuzzy::{FuzzyBarrier, SplitBarrier};
 pub use group::{BarrierGroup, SubsetBarrier};
 pub use hier::{HierBarrier, TopLevel};
 pub use mask::ProcMask;
+pub use reconfig::{
+    ActivationFuture, JoinTicket, MemberHandle, ReconfigBarrier, ReconfigFuture, ReconfigToken,
+};
 pub use registry::GroupRegistry;
 pub use spin::{AdaptiveSpin, StallPolicy};
 pub use stats::{
     AdaptiveSnapshot, AsyncSnapshot, AsyncStats, HistogramSnapshot, ParticipantSnapshot,
     SpreadSnapshot, StallHistogram, StatsSnapshot, TelemetrySnapshot,
 };
-pub use sync::{Atomic, RealSync, SyncOps};
+pub use sync::{Atomic, RealSync, SyncOps, TicketGuard, TicketLock};
 pub use tag::Tag;
 pub use token::{ArrivalToken, WaitOutcome};
 pub use tree::TreeBarrier;
@@ -136,5 +140,8 @@ mod send_sync_tests {
         assert_send_sync::<BarrierFuture<CentralBarrier>>();
         assert_send_sync::<GroupRegistry>();
         assert_send_sync::<BarrierError>();
+        assert_send_sync::<ReconfigBarrier>();
+        assert_send_sync::<ReconfigToken>();
+        assert_send_sync::<TicketLock>();
     }
 }

@@ -148,6 +148,39 @@ impl<S: SyncOps> GroupRegistry<S> {
         Ok((tag, barrier))
     }
 
+    /// Capacity-aware admission: like [`Self::allocate`], but on
+    /// [`BarrierError::RegistryFull`] backs off and retries up to
+    /// `retries` times with exponential backoff (`base`, doubling per
+    /// attempt), giving concurrently departing streams time to release or
+    /// orphan their slots. Each retry re-sweeps orphans via the allocation
+    /// path.
+    ///
+    /// This is the admission side of dynamic membership: a recovered
+    /// worker re-joining a fully subscribed system waits for churn instead
+    /// of failing fast.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::allocate`]; [`BarrierError::RegistryFull`] only after
+    /// every retry is exhausted.
+    pub fn allocate_with_backoff(
+        &self,
+        mask: ProcMask,
+        retries: u32,
+        base: std::time::Duration,
+    ) -> Result<(Tag, RegistryBarrier<S>), BarrierError> {
+        let mut attempt = 0;
+        loop {
+            match self.allocate(mask) {
+                Err(BarrierError::RegistryFull { .. }) if attempt < retries => {
+                    std::thread::sleep(base.saturating_mul(1 << attempt.min(16)));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Allocates a barrier with a caller-chosen tag.
     ///
     /// # Errors
@@ -365,6 +398,100 @@ mod tests {
             BarrierError::UnknownTag { tag: tag_leak }
         );
         assert_eq!(r.sweep_orphans(), 0);
+    }
+
+    #[test]
+    fn sweep_at_zero_groups_is_a_noop() {
+        let r = GroupRegistry::new(4);
+        assert_eq!(r.sweep_orphans(), 0);
+        assert_eq!(r.live_barriers(), 0);
+        // And again: sweeping an already-empty registry stays a no-op.
+        assert_eq!(r.sweep_orphans(), 0);
+    }
+
+    #[test]
+    fn double_sweep_is_idempotent() {
+        let r = GroupRegistry::new(4);
+        let m = ProcMask::first_n(2);
+        let (_tag, leaked) = r.allocate(m).unwrap();
+        drop(leaked);
+        assert_eq!(r.sweep_orphans(), 1);
+        // The orphan is gone; a second sweep finds nothing new to reclaim
+        // and must not disturb surviving entries.
+        let (tag_live, _held) = r.allocate(m).unwrap();
+        assert_eq!(r.sweep_orphans(), 0);
+        assert_eq!(r.sweep_orphans(), 0);
+        assert!(r.lookup(tag_live).is_ok());
+    }
+
+    #[test]
+    fn sweep_racing_concurrent_joins_never_reclaims_live_handles() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // Joiners continuously allocate-and-hold while a sweeper loops;
+        // a sweep must only ever reclaim handles the joiners dropped.
+        let r = std::sync::Arc::new(GroupRegistry::new(64));
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let r = std::sync::Arc::clone(&r);
+                let stop = std::sync::Arc::clone(&stop);
+                s.spawn(move || {
+                    let m = ProcMask::first_n(2);
+                    while !stop.load(Ordering::Acquire) {
+                        let (tag, barrier) = r
+                            .allocate_with_backoff(m, 8, std::time::Duration::from_micros(50))
+                            .expect("backoff admission should eventually succeed");
+                        // The held handle must survive any concurrent sweep.
+                        assert_eq!(r.lookup(tag).unwrap().tag(), barrier.tag());
+                        drop(barrier); // orphan it for the sweeper
+                    }
+                });
+            }
+            let sweeper = {
+                let r = std::sync::Arc::clone(&r);
+                let stop = std::sync::Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut reclaimed = 0usize;
+                    while !stop.load(Ordering::Acquire) {
+                        reclaimed += r.sweep_orphans();
+                        std::thread::yield_now();
+                    }
+                    reclaimed
+                })
+            };
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            stop.store(true, Ordering::Release);
+            let _ = sweeper;
+        });
+        // Whatever is left is orphaned; a final sweep drains it all.
+        r.sweep_orphans();
+        assert_eq!(r.live_barriers(), 0);
+    }
+
+    #[test]
+    fn backoff_admission_waits_out_a_full_registry() {
+        let r = std::sync::Arc::new(GroupRegistry::new(2)); // capacity 1
+        let m = ProcMask::first_n(2);
+        let (tag, _held) = r.allocate(m).unwrap();
+        // Fail-fast path: zero retries surfaces RegistryFull immediately.
+        assert_eq!(
+            r.allocate_with_backoff(m, 0, std::time::Duration::from_micros(10))
+                .unwrap_err(),
+            BarrierError::RegistryFull { capacity: 1 }
+        );
+        std::thread::scope(|s| {
+            let r2 = std::sync::Arc::clone(&r);
+            let admitted = s.spawn(move || {
+                r2.allocate_with_backoff(m, 12, std::time::Duration::from_micros(100))
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            r.release(tag).unwrap();
+            let (tag2, _b2) = admitted
+                .join()
+                .unwrap()
+                .expect("admission must succeed once the slot frees");
+            assert!(r.lookup(tag2).is_ok());
+        });
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! * [`async_exec`] — a std-only M:N episode executor: `M ≫ N` logical
 //!   participants, each an async `arrive → region → await` loop over
 //!   `fuzzy_barrier::AsyncBarrier`, multiplexed over `N` worker threads
-//!   with per-worker run queues and work stealing.
+//!   with per-worker run queues and work stealing;
+//! * [`chaos`] — a seeded real-thread chaos harness that injects
+//!   join/leave/crash/delay/spurious-timeout events into live episodes
+//!   over a dynamic-membership `ReconfigBarrier` and asserts liveness
+//!   and release-epoch agreement.
 //!
 //! ## Example
 //!
@@ -40,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod async_exec;
+pub mod chaos;
 pub mod executor;
 pub mod self_sched;
 pub mod static_sched;
@@ -47,6 +52,7 @@ pub mod supervisor;
 pub mod workload;
 
 pub use async_exec::{run_async_episodes, AsyncExecutor, AsyncRunReport};
+pub use chaos::{run_chaos, ChaosConfig, ChaosMode, ChaosReport, EventCounts};
 pub use executor::{
     run_threaded, run_threaded_with, simulate_dynamic, simulate_static, BarrierChoice,
     ThreadReport, VirtualReport,
@@ -55,5 +61,5 @@ pub use self_sched::{
     ChunkPolicy, Factoring, FixedChunk, GuidedSelfScheduling, SelfScheduling, Trapezoid, WorkQueue,
 };
 pub use static_sched::{block, cyclic, rotated_block, Assignment};
-pub use supervisor::{run_supervised, SupervisedReport};
+pub use supervisor::{run_supervised, run_supervised_with, ReadmitPolicy, SupervisedReport};
 pub use workload::CostModel;

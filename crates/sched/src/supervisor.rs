@@ -22,9 +22,10 @@
 //! own output elements are).
 
 use fuzzy_barrier::{BarrierError, CentralBarrier, Deadline, SplitBarrier, StallPolicy};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Outcome of a supervised run.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +43,58 @@ pub struct SupervisedReport {
     pub episodes: u64,
     /// Poison events observed, summed over all rounds.
     pub poisonings: u64,
+    /// Recovered workers re-admitted into the group after backoff.
+    pub readmissions: u64,
+    /// Workers permanently abandoned after exhausting their re-admission
+    /// budget, in abandonment order.
+    pub abandoned: Vec<usize>,
+}
+
+/// Bounded retry-with-exponential-backoff re-admission of recovered
+/// workers: how [`run_supervised_with`] treats a panicked worker.
+///
+/// A panicked worker sits out at least `base_backoff`, doubling per prior
+/// panic, and is re-admitted into the live group at the next round
+/// boundary once its backoff expires — up to `max_readmissions` times,
+/// after which it is abandoned for good (the original
+/// [`run_supervised`] behavior, [`ReadmitPolicy::none`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadmitPolicy {
+    /// How many times one worker may be re-admitted before being
+    /// abandoned; `0` never re-admits.
+    pub max_readmissions: u32,
+    /// Sit-out time before the first re-admission; doubles per prior
+    /// panic of the same worker.
+    pub base_backoff: Duration,
+}
+
+impl ReadmitPolicy {
+    /// Never re-admit: a panicked worker is evicted for the rest of the
+    /// run.
+    #[must_use]
+    pub fn none() -> Self {
+        ReadmitPolicy {
+            max_readmissions: 0,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Re-admit up to `max_readmissions` times, backing off exponentially
+    /// from `base_backoff`.
+    #[must_use]
+    pub fn new(max_readmissions: u32, base_backoff: Duration) -> Self {
+        ReadmitPolicy {
+            max_readmissions,
+            base_backoff,
+        }
+    }
+}
+
+/// A panicked worker sitting out its backoff before re-admission.
+#[derive(Debug)]
+struct Benched {
+    worker: usize,
+    ready_at: Instant,
 }
 
 /// Runs `outer` barrier-separated phases of `iters` iterations on `procs`
@@ -66,13 +119,71 @@ pub fn run_supervised(
     stall_policy: StallPolicy,
     work: impl Fn(usize, usize, usize) + Sync,
 ) -> SupervisedReport {
+    run_supervised_with(
+        procs,
+        outer,
+        iters,
+        stall_policy,
+        ReadmitPolicy::none(),
+        work,
+    )
+}
+
+/// [`run_supervised`] with bounded retry-with-exponential-backoff
+/// **re-admission** of recovered workers.
+///
+/// Where plain supervision only ever rebuilds the group *smaller*, this
+/// variant benches a panicked worker for its backoff (per `readmit`) and
+/// re-admits it into the live group at the next round boundary — the
+/// supervisor-level face of dynamic membership. A worker that keeps
+/// panicking doubles its sit-out each time until its re-admission budget
+/// is spent, at which point it is abandoned like under
+/// [`ReadmitPolicy::none`]. If every worker is benched at once, the
+/// supervisor sleeps until the first backoff expires instead of giving up.
+///
+/// # Panics
+///
+/// As [`run_supervised`].
+#[must_use]
+pub fn run_supervised_with(
+    procs: usize,
+    outer: usize,
+    iters: usize,
+    stall_policy: StallPolicy,
+    readmit: ReadmitPolicy,
+    work: impl Fn(usize, usize, usize) + Sync,
+) -> SupervisedReport {
     assert!(procs > 0, "need at least one worker");
     let work = &work;
     let mut report = SupervisedReport::default();
     let mut live: Vec<usize> = (0..procs).collect();
+    let mut bench: Vec<Benched> = Vec::new();
+    let mut panics_of: HashMap<usize, u32> = HashMap::new();
     let mut done = 0usize;
     let start = std::time::Instant::now();
-    while done < outer && !live.is_empty() {
+    while done < outer && (!live.is_empty() || !bench.is_empty()) {
+        // Round boundary: re-admit every benched worker whose backoff has
+        // expired. With nobody live at all, wait out the earliest one —
+        // abandoning the run while recoveries are pending would waste them.
+        if live.is_empty() {
+            if let Some(earliest) = bench.iter().map(|b| b.ready_at).min() {
+                std::thread::sleep(earliest.saturating_duration_since(Instant::now()));
+            }
+        }
+        let now = Instant::now();
+        bench.retain(|b| {
+            if b.ready_at <= now {
+                live.push(b.worker);
+                report.readmissions += 1;
+                false
+            } else {
+                true
+            }
+        });
+        live.sort_unstable();
+        if live.is_empty() {
+            continue;
+        }
         let barrier = Arc::new(CentralBarrier::with_policy(live.len(), stall_policy));
         let dead: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         let shares = crate::static_sched::block(iters, live.len());
@@ -120,6 +231,22 @@ pub fn run_supervised(
             report.retries += 1;
             newly.sort_unstable();
             live.retain(|w| !newly.contains(w));
+            for &worker in &newly {
+                let attempts = panics_of.entry(worker).or_insert(0);
+                *attempts += 1;
+                if *attempts <= readmit.max_readmissions {
+                    // Exponential sit-out: base, 2·base, 4·base, …
+                    let backoff = readmit
+                        .base_backoff
+                        .saturating_mul(1 << (*attempts - 1).min(16));
+                    bench.push(Benched {
+                        worker,
+                        ready_at: Instant::now() + backoff,
+                    });
+                } else {
+                    report.abandoned.push(worker);
+                }
+            }
             report.panicked.extend(newly);
         }
     }
@@ -195,5 +322,106 @@ mod tests {
         assert_eq!(r.completed_outer, 0);
         assert_eq!(r.panicked.len(), 3);
         assert_eq!(r.episodes, 0);
+    }
+
+    #[test]
+    fn recovered_worker_is_readmitted_after_backoff() {
+        // Worker 1 dies once at outer 1, then recovers; with re-admission
+        // it must rejoin the group and execute later outers itself.
+        let armed = AtomicBool::new(true);
+        let late_work_by_1 = AtomicBool::new(false);
+        // Zero backoff keeps the test deterministic: the benched worker is
+        // always ready again by the next round boundary.
+        let r = run_supervised_with(
+            3,
+            6,
+            9,
+            StallPolicy::yielding(),
+            ReadmitPolicy::new(2, Duration::ZERO),
+            |worker, k, _| {
+                if worker == 1 && k == 1 && armed.swap(false, Ordering::AcqRel) {
+                    panic!("transient fault");
+                }
+                if worker == 1 && k >= 4 {
+                    late_work_by_1.store(true, Ordering::Release);
+                }
+            },
+        );
+        assert_eq!(r.completed_outer, 6);
+        assert_eq!(r.panicked, vec![1]);
+        assert_eq!(r.readmissions, 1);
+        assert!(r.abandoned.is_empty());
+        assert!(
+            late_work_by_1.load(Ordering::Acquire),
+            "the recovered worker must run again after re-admission"
+        );
+    }
+
+    #[test]
+    fn repeat_offender_exhausts_budget_and_is_abandoned() {
+        // A solo worker panics every time it is admitted; with a budget of
+        // 2 re-admissions it is benched twice and then dropped for good,
+        // at which point the run terminates short.
+        let r = run_supervised_with(
+            1,
+            4,
+            4,
+            StallPolicy::yielding(),
+            ReadmitPolicy::new(2, Duration::from_micros(100)),
+            |_, _, _| panic!("permanent fault"),
+        );
+        assert_eq!(r.completed_outer, 0);
+        assert_eq!(
+            r.panicked,
+            vec![0, 0, 0],
+            "initial admission plus two re-admissions"
+        );
+        assert_eq!(r.readmissions, 2);
+        assert_eq!(r.abandoned, vec![0]);
+    }
+
+    #[test]
+    fn all_benched_waits_for_recovery_instead_of_giving_up() {
+        // The sole worker dies once; the supervisor must sleep out the
+        // backoff (nobody is live meanwhile) and still finish the run.
+        let armed = AtomicBool::new(true);
+        let r = run_supervised_with(
+            1,
+            3,
+            5,
+            StallPolicy::yielding(),
+            ReadmitPolicy::new(1, Duration::from_millis(2)),
+            |_, k, _| {
+                if k == 0 && armed.swap(false, Ordering::AcqRel) {
+                    panic!("transient solo fault");
+                }
+            },
+        );
+        assert_eq!(r.completed_outer, 3);
+        assert_eq!(r.readmissions, 1);
+        assert!(
+            r.elapsed >= Duration::from_millis(2),
+            "the backoff was served"
+        );
+    }
+
+    #[test]
+    fn none_policy_matches_plain_supervision() {
+        let r = run_supervised_with(
+            3,
+            4,
+            6,
+            StallPolicy::yielding(),
+            ReadmitPolicy::none(),
+            |worker, _, _| {
+                if worker == 2 {
+                    panic!("die once, stay dead");
+                }
+            },
+        );
+        assert_eq!(r.completed_outer, 4);
+        assert_eq!(r.panicked, vec![2]);
+        assert_eq!(r.readmissions, 0);
+        assert_eq!(r.abandoned, vec![2]);
     }
 }

@@ -23,6 +23,10 @@
 #   fault-smoke  check --scenario poison + exp_fault_recovery export
 #   fuzz-smoke   differential fuzzer: 200 nests at a fixed seed, zero
 #                divergences required, stats export schema-validated
+#   chaos-smoke  reconfig mutants must be caught (and the real barrier
+#                must survive the same schedules), then exp_chaos_churn
+#                --quick across every backend on both runtimes, schema
+#                validated
 #   perf-gate    exp_backend_faceoff + exp_async_scale quick sweeps vs
 #                the checked-in baselines
 #   doc          cargo doc --no-deps (rustdoc warnings are errors)
@@ -35,7 +39,7 @@ set -u
 
 cd "$(dirname "$0")/.."
 
-STAGES="fmt build clippy test tier1 check-smoke bench-smoke async-smoke fault-smoke fuzz-smoke perf-gate doc"
+STAGES="fmt build clippy test tier1 check-smoke bench-smoke async-smoke fault-smoke fuzz-smoke chaos-smoke perf-gate doc"
 
 SELECTED=""
 for arg in "$@"; do
@@ -187,6 +191,27 @@ fuzz_smoke() {
     return $status
 }
 
+# Chaos smoke: the dynamic-membership gate. First the model checker's
+# reconfig mutant pair (join-before-boundary and stale-generation depart
+# must both be caught) plus the real implementation surviving the same
+# schedule spaces; then the quick chaos-churn experiment — real threads,
+# every backend, both runtimes, seeded join/leave/crash/delay/spurious
+# churn — with its telemetry export schema-validated.
+chaos_smoke() {
+    cargo test -q -p fuzzy-check --test mutants -- \
+        join_mid_epoch stale_generation real_reconfig || return 1
+    out="$(mktemp)" || return 1
+    status=1
+    if cargo run -q --release -p fuzzy-bench --bin exp_chaos_churn -- \
+        --quick --stats-json "$out" >/dev/null; then
+        cargo run -q --release -p fuzzy-bench --bin validate_stats -- \
+            --schema chaos_churn "$out"
+        status=$?
+    fi
+    rm -f "$out"
+    return $status
+}
+
 # Perf gate: quick backend-faceoff and async-scale sweeps, each
 # schema-validated and compared against its checked-in baseline (see
 # scripts/perf_gate.sh for the tolerance model).
@@ -204,6 +229,7 @@ want bench-smoke && run_stage bench-smoke bench_smoke
 want async-smoke && run_stage async-smoke async_smoke
 want fault-smoke && run_stage fault-smoke fault_smoke
 want fuzz-smoke && run_stage fuzz-smoke fuzz_smoke
+want chaos-smoke && run_stage chaos-smoke chaos_smoke
 want perf-gate && run_stage perf-gate perf_gate
 want doc && run_stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
