@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! validate_stats <file.json>
-//!                [--schema encore|fault_recovery|backend_faceoff|fuzz_campaign|async_scale|chaos_churn]
+//!                [--schema encore|fault_recovery|backend_faceoff|fuzz_campaign|async_scale|net_scale|chaos_churn]
 //! ```
 //!
 //! Parses the file with the in-tree JSON parser and validates key names
@@ -12,14 +12,15 @@
 
 use fuzzy_bench::schema::{
     async_scale_shape, backend_faceoff_shape, chaos_churn_shape, encore_shape,
-    fault_recovery_shape, fuzz_campaign_shape, validate, Shape,
+    fault_recovery_shape, fuzz_campaign_shape, net_scale_shape, validate, Shape,
 };
 use fuzzy_util::Json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: validate_stats <file.json> \
-         [--schema encore|fault_recovery|backend_faceoff|fuzz_campaign|async_scale|chaos_churn]"
+         [--schema encore|fault_recovery|backend_faceoff|fuzz_campaign|async_scale|net_scale|\
+         chaos_churn]"
     );
     std::process::exit(2);
 }
@@ -31,6 +32,7 @@ fn shape_for(name: &str) -> Option<Shape> {
         "backend_faceoff" => Some(backend_faceoff_shape()),
         "fuzz_campaign" => Some(fuzz_campaign_shape()),
         "async_scale" => Some(async_scale_shape()),
+        "net_scale" => Some(net_scale_shape()),
         "chaos_churn" => Some(chaos_churn_shape()),
         _ => None,
     }
@@ -60,7 +62,7 @@ fn main() {
         eprintln!(
             "validate_stats: unknown schema {schema_name:?} \
              (have: encore, fault_recovery, backend_faceoff, fuzz_campaign, async_scale, \
-             chaos_churn)"
+             net_scale, chaos_churn)"
         );
         usage();
     };

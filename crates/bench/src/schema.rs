@@ -345,6 +345,52 @@ pub fn async_scale_shape() -> Shape {
     ])
 }
 
+/// The full `exp_net_scale --stats-json` document shape.
+#[must_use]
+pub fn net_scale_shape() -> Shape {
+    let sweep_row = obj([
+        ("nodes", Shape::Num),
+        ("region_us", Shape::Num),
+        ("episodes", Shape::Num),
+        ("frames_sent", Shape::Num),
+        ("frames_received", Shape::Num),
+        ("retries", Shape::Num),
+        ("nacks", Shape::Num),
+        ("frames_per_arrival", Shape::Num),
+        ("elapsed_ms", Shape::Num),
+    ]);
+    let multiproc_row = obj([
+        ("seed", Shape::Num),
+        ("nodes", Shape::Num),
+        ("episodes", Shape::Num),
+        ("released", Shape::Num),
+        ("elapsed_ms", Shape::Num),
+    ]);
+    obj([
+        ("experiment", Shape::Str),
+        (
+            "config",
+            obj([
+                ("episodes", Shape::Num),
+                ("quick", Shape::Bool),
+                ("multiproc_nodes", Shape::Num),
+                ("multiproc_seeds", Shape::Num),
+                ("multiproc_episodes", Shape::Num),
+            ]),
+        ),
+        ("sweep", arr_of(sweep_row)),
+        ("multiproc", arr_of(multiproc_row)),
+        (
+            "verdict",
+            obj([
+                ("wedge_free_seeds", Shape::Num),
+                ("all_released", Shape::Bool),
+                ("zero_retries", Shape::Bool),
+            ]),
+        ),
+    ])
+}
+
 /// The full `exp_chaos_churn --stats-json` document shape. One row per
 /// (backend, mode) chaos run; `recovery` is the post-event epoch-recovery
 /// latency histogram in the standard `stall_hist` format.
@@ -531,6 +577,34 @@ mod tests {
         );
         assert_eq!(
             doc.get("verdict").unwrap().get("parked_equals_resumed"),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn checked_in_net_export_conforms() {
+        let text =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json"))
+                .expect("BENCH_net.json present in repo root");
+        let doc = Json::parse(&text).expect("reference export parses");
+        assert_eq!(validate(&doc, &net_scale_shape()), Vec::<String>::new());
+        // The baseline must come from the *default* sweep with all five
+        // multi-process seeds wedge-free — a quick run is not a valid
+        // baseline.
+        assert_eq!(
+            doc.get("config").unwrap().get("quick"),
+            Some(&Json::Bool(false))
+        );
+        assert_eq!(
+            doc.get("verdict").unwrap().get("wedge_free_seeds"),
+            Some(&Json::Num(5.0))
+        );
+        assert_eq!(
+            doc.get("verdict").unwrap().get("all_released"),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(
+            doc.get("verdict").unwrap().get("zero_retries"),
             Some(&Json::Bool(true))
         );
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! check [--backend central|counting|dissemination|tree|hier|all]
-//!       [--scenario protocol|subset|registry|poison|evict|async|reconfig|all]
+//!       [--scenario protocol|subset|registry|poison|evict|async|reconfig|net|all]
 //!       [-n/--participants N] [--episodes E]
 //!       [--mode dfs|random] [--schedules N] [--seed S]
 //!       [--preemptions N|unlimited]
@@ -58,7 +58,7 @@ impl Default for Config {
 fn usage() -> ! {
     eprintln!(
         "usage: check [--backend central|counting|dissemination|tree|hier|all]\n\
-         \x20            [--scenario protocol|subset|registry|poison|evict|async|reconfig|all]\n\
+         \x20            [--scenario protocol|subset|registry|poison|evict|async|reconfig|net|all]\n\
          \x20            [-n|--participants N] [--episodes E]\n\
          \x20            [--mode dfs|random] [--schedules N] [--seed S]\n\
          \x20            [--preemptions N|unlimited]\n\
@@ -104,10 +104,11 @@ fn parse_args() -> Config {
                             "evict".into(),
                             "async".into(),
                             "reconfig".into(),
+                            "net".into(),
                         ];
                     }
                     "protocol" | "subset" | "registry" | "poison" | "evict" | "async"
-                    | "reconfig" => {
+                    | "reconfig" | "net" => {
                         cfg.scenarios = vec![v];
                     }
                     _ => {
@@ -223,6 +224,9 @@ fn scenarios(cfg: &Config) -> Vec<Scenario> {
                 out.push(fuzzy_check::stale_generation());
                 out.push(fuzzy_check::join_evict_race());
             }
+            // The net scenario pins its own backend (a NetBarrier per
+            // loopback endpoint); --backend is intentionally ignored.
+            "net" => out.push(fuzzy_check::net_round(cfg.participants, cfg.episodes)),
             _ => unreachable!("validated in parse_args"),
         }
     }

@@ -40,13 +40,15 @@
 //! cargo run -p fuzzy-check --bin check -- --backend all -n 3 --schedules 10000
 //! ```
 //!
-//! The [`mutants`] module carries eleven seeded-bug backends the checker
+//! The [`mutants`] module carries twelve seeded-bug backends the checker
 //! must catch — six concurrency races (including a hierarchical shard
 //! leader that releases early), two fault-handling bugs (a no-op poison
 //! and a mask-preserving eviction), an async frontend that forgets
-//! to drain its parked-waker registry on release, and two
+//! to drain its parked-waker registry on release, two
 //! dynamic-membership bugs (a join admitted mid-episode and a forgotten
-//! generation check); `cargo test -p fuzzy-check` proves it does.
+//! generation check), and a distributed bug (a transport that forges the
+//! higher dissemination rounds, releasing a `NetBarrier` endpoint on
+//! first contact); `cargo test -p fuzzy-check` proves it does.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,9 +65,9 @@ pub use explore::{
 };
 pub use scenario::{
     async_handoff, async_handoff_with, classify, evict, evict_with, join_evict_race,
-    join_mid_episode, join_mid_episode_with, poison, poison_with, protocol, protocol_with,
-    registry, stale_generation, stale_generation_with, subset_overlap, subset_pair, AsyncArrival,
-    AsyncFrontend, BackendKind, Ledger, ReconfigOps,
+    join_mid_episode, join_mid_episode_with, net_round, net_round_with, poison, poison_with,
+    protocol, protocol_with, registry, stale_generation, stale_generation_with, subset_overlap,
+    subset_pair, AsyncArrival, AsyncFrontend, BackendKind, Ledger, ReconfigOps,
 };
 pub use sched::{Defect, RunResult, Violation, DEFAULT_STEP_LIMIT};
 pub use shadow::ShadowSync;

@@ -15,10 +15,13 @@
 //! poison/evict scenarios. The ninth is an *async frontend* whose
 //! completion path forgets to drain the parked-waker registry — the
 //! canonical lost wakeup of poll-based waiting, caught by the
-//! waker-handoff scenario. The last two seed *dynamic-membership* bugs:
+//! waker-handoff scenario. The next two seed *dynamic-membership* bugs:
 //! a join admitted mid-episode instead of at the boundary, and a
 //! credential check that forgets the slot generation — caught by the
-//! reconfig scenarios.
+//! reconfig scenarios. The last is a *distributed* bug: a transport
+//! wrapper that forges the higher dissemination rounds from the round-0
+//! signal, releasing a `NetBarrier` endpoint on first contact — caught by
+//! the net-round scenario's cross-mesh fuzzy check.
 
 use crate::scenario::{AsyncArrival, AsyncFrontend, ReconfigOps};
 use crate::shadow::ShadowSync;
@@ -29,10 +32,11 @@ use fuzzy_barrier::{
     ArrivalToken, BarrierError, CentralBarrier, Deadline, JoinTicket, MemberHandle,
     ReconfigBarrier, SplitBarrier, StallPolicy, WaitOutcome,
 };
+use fuzzy_net::{DecodeError, FrameSink, Message, NetError, Transport};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::task::{Context, Poll, Waker};
 
 fn outcome(episode: u64, report: SpinReport) -> WaitOutcome {
@@ -952,5 +956,127 @@ impl ReconfigOps for MutantStaleGeneration {
 
     fn epoch(&self) -> u64 {
         self.inner.epoch()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MutantNetSkipRound: forged dissemination round
+// ---------------------------------------------------------------------------
+
+/// Transport wrapper that **forges the higher dissemination rounds** the
+/// moment a round-0 signal arrives, as if an optimizing refactor decided
+/// the final round's signal "implies" the earlier ones and collapsed the
+/// wait into a single receive.
+///
+/// The bug: a dissemination endpoint's release is a *transitive* proof —
+/// round `r`'s inbound signal certifies the arrival of every endpoint
+/// within distance `2^r`, but only because the sender itself waited for
+/// its own round `r-1` signal first. Forging the higher rounds from the
+/// round-0 signal lets the endpoint release knowing only its immediate
+/// predecessor arrived; with three endpoints, ranks release while the
+/// third has not even begun. No deadlock, no panic — the barrier simply
+/// fails to barrier across the mesh, which only the ledger's fuzzy check
+/// can see.
+pub struct MutantNetSkipRound {
+    inner: Arc<dyn Transport>,
+    /// Keeps the forging sink alive: the wrapped transport (by the
+    /// [`Transport`] contract) holds its sink weakly, so without this
+    /// anchor the forger would die at `start` and drop every frame.
+    forger: Mutex<Option<Arc<ForgingSink>>>,
+}
+
+impl std::fmt::Debug for MutantNetSkipRound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutantNetSkipRound")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MutantNetSkipRound {
+    /// Wraps a real transport endpoint.
+    #[must_use]
+    pub fn new(inner: Arc<dyn Transport>) -> Self {
+        MutantNetSkipRound {
+            inner,
+            forger: Mutex::new(None),
+        }
+    }
+
+    /// Dissemination rounds of the wrapped mesh.
+    fn rounds(&self) -> u32 {
+        let nodes = self.inner.nodes();
+        if nodes <= 1 {
+            0
+        } else {
+            usize::BITS - (nodes - 1).leading_zeros()
+        }
+    }
+}
+
+impl Transport for MutantNetSkipRound {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn nodes(&self) -> usize {
+        self.inner.nodes()
+    }
+
+    fn send(&self, to: usize, msg: &Message) -> Result<(), NetError> {
+        self.inner.send(to, msg)
+    }
+
+    fn start(&self, sink: Arc<dyn FrameSink>) {
+        // Hold the real sink weakly, as transports do: the barrier owns
+        // this transport, and a strong reference back would cycle.
+        let forger = Arc::new(ForgingSink {
+            inner: Arc::downgrade(&sink),
+            rounds: self.rounds(),
+        });
+        *self.forger.lock().expect("forger lock") = Some(Arc::clone(&forger));
+        self.inner.start(forger);
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+}
+
+/// The delivery-path half of [`MutantNetSkipRound`].
+struct ForgingSink {
+    inner: Weak<dyn FrameSink>,
+    rounds: u32,
+}
+
+impl FrameSink for ForgingSink {
+    fn deliver(&self, from: usize, msg: Message) {
+        let Some(sink) = self.inner.upgrade() else {
+            return;
+        };
+        let forge = match msg {
+            Message::Signal { episode, round: 0 } => Some(episode),
+            _ => None,
+        };
+        sink.deliver(from, msg);
+        if let Some(episode) = forge {
+            // BUG (seeded): claim every higher round's signal is already
+            // in, so the barrier releases on first contact.
+            for round in 1..self.rounds {
+                sink.deliver(from, Message::Signal { episode, round });
+            }
+        }
+    }
+
+    fn decode_failure(&self, from: usize, err: DecodeError) {
+        if let Some(sink) = self.inner.upgrade() {
+            sink.decode_failure(from, err);
+        }
+    }
+
+    fn link_down(&self, peer: usize, graceful: bool) {
+        if let Some(sink) = self.inner.upgrade() {
+            sink.link_down(peer, graceful);
+        }
     }
 }

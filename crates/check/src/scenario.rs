@@ -21,6 +21,7 @@ use fuzzy_barrier::{
     GroupRegistry, HierBarrier, JoinTicket, MemberHandle, ProcMask, ReconfigBarrier, SplitBarrier,
     StallPolicy, SubsetBarrier, Tag, TopLevel, TreeBarrier, WaitOutcome,
 };
+use fuzzy_net::{LoopbackMesh, NetBarrier, NetConfig};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -278,6 +279,119 @@ fn protocol_body(barrier: &dyn SplitBarrier, ledger: &Ledger, id: usize, episode
             return;
         }
         ledger.check_fuzzy(id, e);
+        if ctx::aborted() {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Net-round scenario (distributed NetBarrier over an in-process mesh)
+// ---------------------------------------------------------------------------
+
+/// Distributed episode scenario: each virtual thread is one endpoint of a
+/// loopback mesh, driving its own [`fuzzy_net::NetBarrier`] (instantiated
+/// in the shadow domain) through `episodes` dissemination episodes as the
+/// endpoint's sole local participant. Loopback delivery is synchronous, so
+/// every frame lands inside some thread's atomic step and the explorer
+/// interleaves the endpoints' sends, receives, and releases like any other
+/// shared-memory schedule. The ledger checks the fuzzy property *across
+/// the mesh*: an endpoint's `wait` may not return before every endpoint's
+/// `arrive` for that episode.
+///
+/// `factory` builds the per-endpoint barriers, in rank order; use
+/// [`net_round`] for the real transport+barrier stack and pass a wrapping
+/// factory from tests (see `MutantNetSkipRound`).
+pub fn net_round_with(
+    name: impl Into<String>,
+    nodes: usize,
+    episodes: u64,
+    mut factory: impl FnMut() -> Vec<Arc<dyn SplitBarrier>> + 'static,
+) -> Scenario {
+    Scenario {
+        name: name.into(),
+        threads: nodes,
+        build: Box::new(move || {
+            let barriers = factory();
+            assert_eq!(barriers.len(), nodes, "factory/endpoint mismatch");
+            let ledger = Arc::new(Ledger::new((0..nodes).collect()));
+            let bodies: Vec<Job> = barriers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, barrier)| {
+                    let ledger = Arc::clone(&ledger);
+                    Box::new(move || {
+                        net_round_body(&*barrier, &ledger, rank, episodes);
+                    }) as Job
+                })
+                .collect();
+            let ledgers = vec![Arc::clone(&ledger)];
+            ScheduleRun {
+                bodies,
+                finish: Box::new(move |defect| classify(&ledgers, defect)),
+            }
+        }),
+    }
+}
+
+/// [`net_round_with`] over the real loopback transport and `NetBarrier`.
+///
+/// The recovery machinery (round timeouts, nacks, peer-death declarations)
+/// is wall-clock-driven and stays off under the checker: the shadow
+/// domain's waits ignore time budgets, `round_timeout` is `None`, and a
+/// genuinely lost release surfaces as a deadlock/lost-wakeup defect rather
+/// than a masking retransmission.
+#[must_use]
+pub fn net_round(nodes: usize, episodes: u64) -> Scenario {
+    net_round_with(
+        format!("net/loopback/n{nodes}/e{episodes}"),
+        nodes,
+        episodes,
+        move || {
+            let mesh = LoopbackMesh::new(nodes);
+            mesh.endpoints()
+                .into_iter()
+                .map(|t| {
+                    NetBarrier::<ShadowSync>::start_in(
+                        Arc::new(t),
+                        NetConfig::new()
+                            .policy(StallPolicy::Spin)
+                            .round_timeout(None),
+                    ) as Arc<dyn SplitBarrier>
+                })
+                .collect()
+        },
+    )
+}
+
+fn net_round_body(barrier: &dyn SplitBarrier, ledger: &Ledger, rank: usize, episodes: u64) {
+    for e in 0..episodes {
+        if ctx::aborted() {
+            return;
+        }
+        ledger.begin(rank);
+        let token = barrier.arrive(0);
+        ledger.enter_wait(rank, e);
+        // Block at scenario level on `is_complete` rather than inside
+        // `wait`: NetBarrier's wait loop re-checks its own predicate
+        // around the shadow wait, so the drain protocol's faked wakeups
+        // would never unwind it after an abort. `is_complete` also pumps
+        // `drive()`, so probing here makes the same protocol progress a
+        // real waiter would.
+        ShadowSync::wait_until(StallPolicy::Spin, || barrier.is_complete(&token));
+        if ctx::aborted() {
+            return;
+        }
+        let outcome = barrier.wait(token);
+        ledger.exit_wait(rank);
+        if outcome.episode != e {
+            ctx::report(Defect::ProtocolError {
+                thread: rank,
+                message: format!("expected episode {e}, wait returned {}", outcome.episode),
+            });
+            return;
+        }
+        ledger.check_fuzzy(rank, e);
         if ctx::aborted() {
             return;
         }

@@ -447,3 +447,71 @@ fn real_reconfig_survives_join_evict_race_schedules() {
         }
     }
 }
+
+#[test]
+fn net_skip_round_forged_release_is_caught() {
+    // The transport forges rounds 1.. from the round-0 signal, so an
+    // endpoint releases knowing only that its immediate predecessor
+    // arrived. At three endpoints the very first sequential order already
+    // lets rank 1 release while rank 2 has not begun: no deadlock, no
+    // panic — only the ledger's cross-mesh fuzzy check can see it.
+    use fuzzy_check::mutants::MutantNetSkipRound;
+    use fuzzy_check::net_round_with;
+    use fuzzy_net::{LoopbackMesh, NetBarrier, NetConfig};
+    let mut scenario = net_round_with("mutant/net-skip-round".to_string(), 3, 1, move || {
+        let mesh = LoopbackMesh::new(3);
+        mesh.endpoints()
+            .into_iter()
+            .map(|t| {
+                NetBarrier::<ShadowSync>::start_in(
+                    Arc::new(MutantNetSkipRound::new(Arc::new(t))),
+                    NetConfig::new()
+                        .policy(fuzzy_barrier::StallPolicy::Spin)
+                        .round_timeout(None),
+                ) as Arc<dyn SplitBarrier>
+            })
+            .collect()
+    });
+    match explore_dfs(&mut scenario, &opts(1)) {
+        Outcome::Fail {
+            violation,
+            schedules,
+        } => {
+            assert!(
+                matches!(violation.defect, Defect::FuzzyViolation { .. }),
+                "mutant/net-skip-round: expected FuzzyViolation, got {:?}",
+                violation.defect
+            );
+            eprintln!(
+                "mutant/net-skip-round: caught after {schedules} schedules: {}",
+                violation.defect
+            );
+        }
+        Outcome::Pass { schedules, .. } => {
+            panic!("mutant/net-skip-round survived {schedules} schedules")
+        }
+    }
+}
+
+#[test]
+fn real_net_barrier_survives_the_skip_round_schedule_space() {
+    // The same mesh shape over the *real* transport must stay clean: the
+    // per-round inbound waits are exactly what the mutant short-circuits.
+    let mut scenario = fuzzy_check::net_round(3, 1);
+    let options = ExploreOptions {
+        max_schedules: 5_000,
+        step_limit: 20_000,
+        preemption_bound: Some(1),
+    };
+    match explore_dfs(&mut scenario, &options) {
+        Outcome::Pass { schedules, .. } => {
+            eprintln!("net/loopback clean over {schedules} schedules");
+        }
+        Outcome::Fail { violation, .. } => {
+            panic!(
+                "real NetBarrier failed the net-round scenario: {}",
+                violation
+            )
+        }
+    }
+}

@@ -81,6 +81,15 @@ pub enum BarrierError {
         /// The fixed slot capacity of the group.
         capacity: usize,
     },
+    /// A remote peer of a message-passing barrier (see the `fuzzy-net`
+    /// crate) is unreachable or its link died: connect/send retries were
+    /// exhausted, or the peer's connection closed without a goodbye frame.
+    /// Survivors of a mid-episode peer death observe the barrier poisoned;
+    /// this variant names the peer on the transport-facing paths.
+    PeerDown {
+        /// The mesh rank of the unreachable or dead peer.
+        peer: usize,
+    },
     /// A membership handle is stale: the slot's generation has advanced
     /// past the one stamped into the handle (its holder left or was
     /// evicted, and the slot may since have been re-issued to a new
@@ -142,6 +151,9 @@ impl fmt::Display for BarrierError {
             BarrierError::GroupFull { capacity } => {
                 write!(f, "group full: all {capacity} membership slots are claimed")
             }
+            BarrierError::PeerDown { peer } => {
+                write!(f, "peer {peer} is down or unreachable")
+            }
             BarrierError::StaleGeneration {
                 slot,
                 held,
@@ -196,6 +208,12 @@ mod tests {
         // Both thread through a boxed error stack like any std error.
         let boxed: Box<dyn Error + Send + Sync> = Box::new(stale);
         assert!(boxed.to_string().starts_with("stale handle"));
+    }
+
+    #[test]
+    fn peer_down_names_the_peer() {
+        let e = BarrierError::PeerDown { peer: 3 };
+        assert_eq!(e.to_string(), "peer 3 is down or unreachable");
     }
 
     #[test]

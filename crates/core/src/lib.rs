@@ -112,8 +112,9 @@ pub use reconfig::{
 pub use registry::GroupRegistry;
 pub use spin::{AdaptiveSpin, StallPolicy};
 pub use stats::{
-    AdaptiveSnapshot, AsyncSnapshot, AsyncStats, HistogramSnapshot, ParticipantSnapshot,
-    SpreadSnapshot, StallHistogram, StatsSnapshot, TelemetrySnapshot,
+    AdaptiveSnapshot, AsyncSnapshot, AsyncStats, HistogramSnapshot, NetSnapshot, NetStats,
+    ParticipantSnapshot, PeerLinkSnapshot, SpreadSnapshot, StallHistogram, StatsSnapshot,
+    TelemetrySnapshot,
 };
 pub use sync::{Atomic, RealSync, SyncOps, TicketGuard, TicketLock};
 pub use tag::Tag;

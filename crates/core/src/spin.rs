@@ -131,6 +131,35 @@ pub fn wait_until(policy: StallPolicy, pred: impl FnMut() -> bool) -> SpinReport
 /// checks the clock.
 const DEADLINE_CHECK_MASK: u64 = (1 << 6) - 1;
 
+/// How long a parked (or otherwise sleeping) waiter may nap without
+/// overshooting `deadline`: the full `interval` when no deadline is armed
+/// or it is far away, the remaining budget when the deadline is nearer,
+/// and zero once it has passed.
+///
+/// This is the overshoot clamp shared by every sleep the waiting machinery
+/// takes against a deadline: [`wait_until_budget`]'s park slices and the
+/// per-round receive naps in `fuzzy-net`'s socket readers both size their
+/// sleeps here, so deadline arithmetic lives in exactly one place.
+#[must_use]
+pub fn clamped_nap(deadline: Option<Instant>, interval: Duration) -> Duration {
+    deadline.map_or(interval, |d| {
+        d.saturating_duration_since(Instant::now()).min(interval)
+    })
+}
+
+/// The nearer of two optional deadlines; `None` means unbounded.
+///
+/// Used to combine an outer wait deadline with a per-round receive budget
+/// (a bounded `wait_deadline` must win over a longer round timeout, and
+/// vice versa) without re-deriving `Instant` comparisons at each call site.
+#[must_use]
+pub fn nearest_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
 /// Bounded variant of [`wait_until`]: waits until `pred` returns true *or*
 /// `deadline` passes, whichever comes first.
 ///
@@ -193,10 +222,7 @@ pub fn wait_until_budget(
                     // Never sleep past the deadline: a full slice here
                     // would overshoot a nearer `wait_deadline` by up to
                     // one `park_interval`.
-                    let nap = deadline.map_or(park_interval, |d| {
-                        d.saturating_duration_since(Instant::now())
-                            .min(park_interval)
-                    });
+                    let nap = clamped_nap(deadline, park_interval);
                     if !nap.is_zero() {
                         std::thread::sleep(nap);
                     }
@@ -537,6 +563,36 @@ mod tests {
             steady.observe(1, 4);
         }
         assert_eq!(steady.ewma_stall(), Duration::from_nanos(4));
+    }
+
+    #[test]
+    fn clamped_nap_is_the_single_overshoot_clamp() {
+        // Regression for the extraction: the helper must reproduce the
+        // Park-arm arithmetic exactly — full slice without a deadline,
+        // remaining budget when the deadline is nearer than the slice,
+        // zero once it has passed — so callers outside this module (the
+        // fuzzy-net receive loops) cannot drift from `wait_until_budget`.
+        let slice = Duration::from_millis(50);
+        assert_eq!(clamped_nap(None, slice), slice);
+        let far = Instant::now() + Duration::from_secs(60);
+        assert_eq!(clamped_nap(Some(far), slice), slice);
+        let near = Instant::now() + Duration::from_millis(5);
+        let nap = clamped_nap(Some(near), slice);
+        assert!(nap <= Duration::from_millis(5), "nap {nap:?} overshoots");
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(clamped_nap(Some(past), slice), Duration::ZERO);
+    }
+
+    #[test]
+    fn nearest_deadline_prefers_the_sooner_bound() {
+        let now = Instant::now();
+        let soon = now + Duration::from_millis(1);
+        let late = now + Duration::from_secs(1);
+        assert_eq!(nearest_deadline(None, None), None);
+        assert_eq!(nearest_deadline(Some(soon), None), Some(soon));
+        assert_eq!(nearest_deadline(None, Some(late)), Some(late));
+        assert_eq!(nearest_deadline(Some(soon), Some(late)), Some(soon));
+        assert_eq!(nearest_deadline(Some(late), Some(soon)), Some(soon));
     }
 
     #[test]

@@ -265,7 +265,13 @@ impl BarrierStats {
         u64::try_from(self.anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
-    pub(crate) fn record_arrival(&self, id: usize) {
+    /// Records one arrival by participant `id` (aggregate, per-participant
+    /// and arrival-spread bookkeeping).
+    ///
+    /// Public so that [`crate::SplitBarrier`] implementations outside this
+    /// crate (the `fuzzy-net` message-passing backend, checker mutants) can
+    /// feed the same telemetry schema as the in-process backends.
+    pub fn record_arrival(&self, id: usize) {
         self.arrivals.fetch_add(1, Ordering::Relaxed);
         if let Some(p) = self.per_participant.get(id) {
             p.arrivals.fetch_add(1, Ordering::Relaxed);
@@ -281,7 +287,10 @@ impl BarrierStats {
         self.spread.last.fetch_max(now, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_episode(&self) {
+    /// Records one completed episode and folds the episode's arrival
+    /// spread. Call exactly once per episode, from whichever participant
+    /// observes completion first.
+    pub fn record_episode(&self) {
         self.episodes.fetch_add(1, Ordering::Relaxed);
         let first = self.spread.first.swap(SPREAD_ARMED, Ordering::Relaxed);
         let last = self.spread.last.swap(0, Ordering::Relaxed);
@@ -294,7 +303,9 @@ impl BarrierStats {
         }
     }
 
-    pub(crate) fn record_wait(&self, id: usize, outcome: &WaitOutcome) {
+    /// Records one completed wait by participant `id`: stall/deschedule
+    /// counters, the stall histogram and the adaptive budget history.
+    pub fn record_wait(&self, id: usize, outcome: &WaitOutcome) {
         self.waits.fetch_add(1, Ordering::Relaxed);
         let p = self.per_participant.get(id);
         if let Some(p) = p {
@@ -330,7 +341,7 @@ impl BarrierStats {
     /// `timeouts` counter. `waits`/`stalls` are untouched so the
     /// waits-equals-arrivals invariant keeps holding once the wait is
     /// eventually retried to completion.
-    pub(crate) fn record_timeout(&self, id: usize, report: &crate::spin::SpinReport) {
+    pub fn record_timeout(&self, id: usize, report: &crate::spin::SpinReport) {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
         let nanos = u64::try_from(report.waited.as_nanos()).unwrap_or(u64::MAX);
         self.adaptive.observe(report.probes, nanos);
@@ -347,13 +358,13 @@ impl BarrierStats {
     }
 
     /// Records a participant eviction (mask shrink due to failure).
-    pub(crate) fn record_eviction(&self) {
+    pub fn record_eviction(&self) {
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a poisoning transition (only the first `poison` call after a
     /// clear counts).
-    pub(crate) fn record_poisoning(&self) {
+    pub fn record_poisoning(&self) {
         self.poisonings.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -626,6 +637,140 @@ impl AsyncSnapshot {
     }
 }
 
+/// Per-peer link counters for a message-passing barrier (the `fuzzy-net`
+/// crate).
+///
+/// Like [`AsyncStats`], this lives beside [`BarrierStats`] rather than
+/// inside it: the flat [`StatsSnapshot`] feeds schema-pinned experiment
+/// exports, so transport-only counters get their own block. One instance
+/// covers one mesh endpoint; the `per-peer` rows are indexed by mesh rank
+/// (the local rank's row stays zero).
+#[derive(Debug)]
+pub struct NetStats {
+    retries: AtomicU64,
+    decode_errors: AtomicU64,
+    poison_frames: AtomicU64,
+    nacks: AtomicU64,
+    per_peer: Vec<LinkCounters>,
+}
+
+#[derive(Debug, Default)]
+struct LinkCounters {
+    sent: AtomicU64,
+    received: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl NetStats {
+    /// Creates a zeroed counter block for a mesh of `nodes` endpoints.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        NetStats {
+            retries: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            poison_frames: AtomicU64::new(0),
+            nacks: AtomicU64::new(0),
+            per_peer: (0..nodes).map(|_| LinkCounters::default()).collect(),
+        }
+    }
+
+    /// Records one frame sent to `peer`. Out-of-range ranks are counted in
+    /// the aggregate only (snapshot totals still add up).
+    pub fn record_send(&self, peer: usize) {
+        if let Some(link) = self.per_peer.get(peer) {
+            link.sent.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one frame received from `peer`.
+    pub fn record_recv(&self, peer: usize) {
+        if let Some(link) = self.per_peer.get(peer) {
+            link.received.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one retransmission (send retry or nack-triggered resend)
+    /// toward `peer`.
+    pub fn record_retry(&self, peer: usize) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        if let Some(link) = self.per_peer.get(peer) {
+            link.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a frame that failed to decode (bad magic/version/length).
+    pub fn record_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a poison frame sent or delivered.
+    pub fn record_poison_frame(&self) {
+        self.poison_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a nack frame sent (a receiver asking for a retransmission).
+    pub fn record_nack(&self) {
+        self.nacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> NetSnapshot {
+        let per_peer: Vec<PeerLinkSnapshot> = self
+            .per_peer
+            .iter()
+            .enumerate()
+            .map(|(peer, link)| PeerLinkSnapshot {
+                peer,
+                sent: link.sent.load(Ordering::Relaxed),
+                received: link.received.load(Ordering::Relaxed),
+                retries: link.retries.load(Ordering::Relaxed),
+            })
+            .collect();
+        NetSnapshot {
+            frames_sent: per_peer.iter().map(|p| p.sent).sum(),
+            frames_received: per_peer.iter().map(|p| p.received).sum(),
+            retries: self.retries.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            poison_frames: self.poison_frames.load(Ordering::Relaxed),
+            nacks: self.nacks.load(Ordering::Relaxed),
+            per_peer,
+        }
+    }
+}
+
+/// A point-in-time copy of [`NetStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// Total frames sent across all links.
+    pub frames_sent: u64,
+    /// Total frames received across all links.
+    pub frames_received: u64,
+    /// Retransmissions (send retries plus nack-triggered resends).
+    pub retries: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+    /// Poison frames sent or delivered.
+    pub poison_frames: u64,
+    /// Nack frames sent.
+    pub nacks: u64,
+    /// Per-peer link rows, indexed by mesh rank.
+    pub per_peer: Vec<PeerLinkSnapshot>,
+}
+
+/// One peer's row in a [`NetSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerLinkSnapshot {
+    /// The peer's mesh rank.
+    pub peer: usize,
+    /// Frames sent to this peer.
+    pub sent: u64,
+    /// Frames received from this peer.
+    pub received: u64,
+    /// Retransmissions toward this peer.
+    pub retries: u64,
+}
+
 /// The full telemetry picture: flat counters, stall histogram, arrival
 /// spread, adaptive-policy state, and per-participant counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -894,5 +1039,35 @@ mod tests {
         );
         assert_eq!(stats.telemetry().adaptive.observations, 2);
         assert!(stats.adaptive().ewma_stall() > Duration::from_nanos(400));
+    }
+
+    #[test]
+    fn net_stats_aggregates_match_per_peer_rows() {
+        let net = NetStats::new(3);
+        net.record_send(1);
+        net.record_send(2);
+        net.record_send(2);
+        net.record_recv(1);
+        net.record_retry(2);
+        net.record_decode_error();
+        net.record_poison_frame();
+        net.record_nack();
+        let snap = net.snapshot();
+        assert_eq!(snap.frames_sent, 3);
+        assert_eq!(snap.frames_received, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.decode_errors, 1);
+        assert_eq!(snap.poison_frames, 1);
+        assert_eq!(snap.nacks, 1);
+        assert_eq!(snap.per_peer.len(), 3);
+        assert_eq!(snap.per_peer[2].sent, 2);
+        assert_eq!(snap.per_peer[2].retries, 1);
+        assert_eq!(snap.per_peer[0].sent, 0);
+        // Out-of-range ranks never panic and never skew the per-peer rows.
+        net.record_send(99);
+        assert_eq!(
+            net.snapshot().per_peer.iter().map(|p| p.sent).sum::<u64>(),
+            3
+        );
     }
 }

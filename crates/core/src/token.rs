@@ -67,7 +67,12 @@ pub struct WaitOutcome {
 }
 
 impl WaitOutcome {
-    pub(crate) fn from_report(episode: u64, report: SpinReport) -> Self {
+    /// Builds an outcome from a stall-loop [`SpinReport`]. Public so that
+    /// external [`crate::SplitBarrier`] implementations (the `fuzzy-net`
+    /// message-passing backend) report waits in the same shape as the
+    /// stock backends.
+    #[must_use]
+    pub fn from_report(episode: u64, report: SpinReport) -> Self {
         WaitOutcome {
             episode,
             stalled: !report.was_instant(),

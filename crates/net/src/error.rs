@@ -1,0 +1,146 @@
+//! Transport-level errors and their mapping onto the barrier contract.
+
+use crate::wire::DecodeError;
+use fuzzy_barrier::BarrierError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by a [`crate::Transport`].
+///
+/// Protocol-level faults (timeout, poison) stay in [`BarrierError`]; this
+/// type covers the layer below — sockets, framing, mesh setup. Where a
+/// fault is attributable to a peer, [`NetError::peer`] names it, and
+/// [`NetError::to_barrier`] maps it onto
+/// [`BarrierError::PeerDown`] so transport faults degrade into the same
+/// poison-and-release story the in-memory backends use.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// An I/O error on the link to `peer` (or during setup when the peer
+    /// is not yet known).
+    Io {
+        /// The mesh rank of the peer, when attributable.
+        peer: Option<usize>,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A frame from `peer` failed to decode.
+    Decode {
+        /// The mesh rank of the sender, when attributable.
+        peer: Option<usize>,
+        /// The decode failure.
+        source: DecodeError,
+    },
+    /// The link to `peer` is down: connect retries were exhausted or the
+    /// connection closed without a `Bye`.
+    PeerDown {
+        /// The mesh rank of the unreachable peer.
+        peer: usize,
+    },
+    /// The transport has been shut down; no further frames can be sent.
+    Closed,
+    /// A handshake or configuration mismatch: the peer presented a rank or
+    /// mesh size inconsistent with this endpoint's configuration.
+    Handshake {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl NetError {
+    /// Convenience constructor for an I/O error on a known link.
+    #[must_use]
+    pub fn io(peer: usize, source: io::Error) -> Self {
+        NetError::Io {
+            peer: Some(peer),
+            source,
+        }
+    }
+
+    /// The peer this error is attributable to, if any.
+    #[must_use]
+    pub fn peer(&self) -> Option<usize> {
+        match self {
+            NetError::Io { peer, .. } | NetError::Decode { peer, .. } => *peer,
+            NetError::PeerDown { peer } => Some(*peer),
+            NetError::Closed | NetError::Handshake { .. } => None,
+        }
+    }
+
+    /// Maps this transport fault onto the barrier contract:
+    /// peer-attributable faults become [`BarrierError::PeerDown`], the
+    /// rest report as a poisoned episode (the caller poisons the barrier
+    /// when it surfaces one of these mid-episode).
+    #[must_use]
+    pub fn to_barrier(&self, episode: u64) -> BarrierError {
+        match self.peer() {
+            Some(peer) => BarrierError::PeerDown { peer },
+            None => BarrierError::Poisoned { episode },
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io {
+                peer: Some(p),
+                source,
+            } => write!(f, "i/o error on link to peer {p}: {source}"),
+            NetError::Io { peer: None, source } => {
+                write!(f, "i/o error during mesh setup: {source}")
+            }
+            NetError::Decode {
+                peer: Some(p),
+                source,
+            } => write!(f, "bad frame from peer {p}: {source}"),
+            NetError::Decode { peer: None, source } => write!(f, "bad frame: {source}"),
+            NetError::PeerDown { peer } => write!(f, "peer {peer} is down or unreachable"),
+            NetError::Closed => write!(f, "transport is shut down"),
+            NetError::Handshake { detail } => write!(f, "handshake failed: {detail}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Io { source, .. } => Some(source),
+            NetError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for NetError {
+    fn from(source: DecodeError) -> Self {
+        NetError::Decode { peer: None, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_attribution_flows_to_barrier_error() {
+        let e = NetError::io(4, io::Error::new(io::ErrorKind::BrokenPipe, "gone"));
+        assert_eq!(e.peer(), Some(4));
+        assert_eq!(e.to_barrier(7), BarrierError::PeerDown { peer: 4 });
+        let c = NetError::Closed;
+        assert_eq!(c.peer(), None);
+        assert_eq!(c.to_barrier(7), BarrierError::Poisoned { episode: 7 });
+    }
+
+    #[test]
+    fn display_names_the_layer() {
+        let e = NetError::from(DecodeError::BadMagic(0x13));
+        assert!(e.to_string().contains("bad frame"));
+        assert!(e.source().is_some());
+        let h = NetError::Handshake {
+            detail: "rank 9 of 4".into(),
+        };
+        assert!(h.to_string().contains("handshake"));
+    }
+}

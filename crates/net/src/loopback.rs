@@ -1,0 +1,528 @@
+//! In-process loopback transport: a mesh of channels inside one address
+//! space.
+//!
+//! The loopback mesh serves two roles. First, it is the zero-setup way to
+//! run a [`crate::NetBarrier`] between threads — sends dispatch
+//! synchronously into the receiver's sink, so the whole protocol is
+//! deterministic enough for the `fuzzy-check` model checker to explore.
+//! Second, it is the **deterministic fault surface**: a seeded
+//! [`FaultPlan`] injects drops, duplicates, delays, and reorders on every
+//! link, and [`LoopbackMesh::kill`] simulates a peer death, so the
+//! protocol's recovery machinery (nack-driven retransmission, poison
+//! propagation) can be driven repeatably without sockets or real crashes.
+//!
+//! Frames still travel as encoded bytes and are decoded at delivery, so
+//! the loopback path exercises the same wire codec as the socket
+//! transports ([`LoopbackMesh::inject_raw`] feeds arbitrary bytes through
+//! it for hardening tests).
+//!
+//! Fault semantics per link (ordered, single held-frame slot):
+//! - **drop**: the frame vanishes (recovered by the receiver's nack).
+//! - **dup**: the frame is delivered twice (the protocol is idempotent).
+//! - **delay**: the frame is held and delivered *before* the next frame on
+//!   the same link — late but in order.
+//! - **reorder**: the frame is delivered *before* a currently held frame —
+//!   out of order (falls back to delay when nothing is held).
+//!
+//! The fault outcome is computed under the link's lock, but delivery
+//! happens **after** the lock is released: a sink's `deliver` may cascade
+//! into further `send`s (the barrier's drive loop does exactly that), and
+//! those may target the very link being processed.
+
+use crate::error::NetError;
+use crate::transport::{FrameSink, Transport};
+use crate::wire::{self, Message};
+use fuzzy_util::SplitMix64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Seeded per-link fault rates, in permille (0–1000) of sent frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the per-link fault RNGs; the same seed and send sequence
+    /// replay the same faults.
+    pub seed: u64,
+    /// Permille of frames silently dropped.
+    pub drop_permille: u16,
+    /// Permille of frames delivered twice.
+    pub dup_permille: u16,
+    /// Permille of frames held one send (late, in order).
+    pub delay_permille: u16,
+    /// Permille of frames delivered ahead of a held frame (out of order).
+    pub reorder_permille: u16,
+}
+
+impl FaultPlan {
+    /// Combined permille across all fault kinds (must stay ≤ 1000).
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        u32::from(self.drop_permille)
+            + u32::from(self.dup_permille)
+            + u32::from(self.delay_permille)
+            + u32::from(self.reorder_permille)
+    }
+}
+
+/// Point-in-time injected-fault counts for a mesh.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Frames dropped.
+    pub drops: u64,
+    /// Frames duplicated.
+    pub dups: u64,
+    /// Frames delayed (held at least one send).
+    pub delays: u64,
+    /// Frames delivered out of order.
+    pub reorders: u64,
+}
+
+enum SinkSlot {
+    /// No sink yet: frames queue here and flush, in order, at `start`.
+    Pending(Vec<(usize, Vec<u8>)>),
+    Attached(Weak<dyn FrameSink>),
+    /// The endpoint shut down or was killed.
+    Gone,
+}
+
+struct Slot {
+    sink: Mutex<SinkSlot>,
+    dead: AtomicBool,
+}
+
+struct LinkState {
+    rng: SplitMix64,
+    held: Option<Vec<u8>>,
+}
+
+struct Fabric {
+    nodes: usize,
+    plan: FaultPlan,
+    slots: Vec<Slot>,
+    /// Row-major `from * nodes + to` ordered-link state.
+    links: Vec<Mutex<LinkState>>,
+    drops: AtomicU64,
+    dups: AtomicU64,
+    delays: AtomicU64,
+    reorders: AtomicU64,
+}
+
+impl Fabric {
+    fn sink_of(&self, rank: usize) -> Option<Arc<dyn FrameSink>> {
+        match &*self.slots[rank].sink.lock().expect("sink lock") {
+            SinkSlot::Attached(weak) => weak.upgrade(),
+            _ => None,
+        }
+    }
+
+    /// Queues or delivers `bytes` to `to`, decoding at the boundary.
+    fn deliver_bytes(&self, from: usize, to: usize, bytes: Vec<u8>) {
+        let sink = {
+            let mut slot = self.slots[to].sink.lock().expect("sink lock");
+            match &mut *slot {
+                SinkSlot::Pending(queue) => {
+                    queue.push((from, bytes));
+                    return;
+                }
+                SinkSlot::Attached(weak) => match weak.upgrade() {
+                    Some(sink) => sink,
+                    None => return,
+                },
+                SinkSlot::Gone => return,
+            }
+        };
+        // Decode and deliver outside the slot lock: deliver may cascade
+        // into sends that target this same endpoint.
+        match wire::decode(&bytes) {
+            Ok((msg, _)) => sink.deliver(from, msg),
+            Err(err) => sink.decode_failure(from, err),
+        }
+    }
+}
+
+/// A mesh of [`LoopbackTransport`] endpoints in one process.
+#[derive(Clone)]
+pub struct LoopbackMesh {
+    fabric: Arc<Fabric>,
+}
+
+impl std::fmt::Debug for LoopbackMesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackMesh")
+            .field("nodes", &self.fabric.nodes)
+            .field("plan", &self.fabric.plan)
+            .finish()
+    }
+}
+
+impl LoopbackMesh {
+    /// A fault-free mesh of `nodes` endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Self::with_faults(nodes, FaultPlan::default())
+    }
+
+    /// A mesh whose links inject the given seeded faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or the plan's rates sum past 1000 permille.
+    #[must_use]
+    pub fn with_faults(nodes: usize, plan: FaultPlan) -> Self {
+        assert!(nodes > 0, "a mesh needs at least one endpoint");
+        assert!(
+            plan.total() <= 1000,
+            "fault rates sum to {} permille (> 1000)",
+            plan.total()
+        );
+        let links = (0..nodes * nodes)
+            .map(|i| {
+                Mutex::new(LinkState {
+                    // Distinct stream per ordered link, stable under seed.
+                    rng: SplitMix64::seed_from_u64(
+                        plan.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+                    ),
+                    held: None,
+                })
+            })
+            .collect();
+        LoopbackMesh {
+            fabric: Arc::new(Fabric {
+                nodes,
+                plan,
+                slots: (0..nodes)
+                    .map(|_| Slot {
+                        sink: Mutex::new(SinkSlot::Pending(Vec::new())),
+                        dead: AtomicBool::new(false),
+                    })
+                    .collect(),
+                links,
+                drops: AtomicU64::new(0),
+                dups: AtomicU64::new(0),
+                delays: AtomicU64::new(0),
+                reorders: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The endpoint for `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn endpoint(&self, rank: usize) -> LoopbackTransport {
+        assert!(rank < self.fabric.nodes, "rank {rank} out of range");
+        LoopbackTransport {
+            fabric: Arc::clone(&self.fabric),
+            rank,
+        }
+    }
+
+    /// All `nodes` endpoints, in rank order.
+    #[must_use]
+    pub fn endpoints(&self) -> Vec<LoopbackTransport> {
+        (0..self.fabric.nodes).map(|r| self.endpoint(r)).collect()
+    }
+
+    /// Injected-fault counts so far.
+    #[must_use]
+    pub fn fault_counts(&self) -> FaultCounts {
+        FaultCounts {
+            drops: self.fabric.drops.load(Ordering::Relaxed),
+            dups: self.fabric.dups.load(Ordering::Relaxed),
+            delays: self.fabric.delays.load(Ordering::Relaxed),
+            reorders: self.fabric.reorders.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Simulates the abrupt death of `rank`: its sink is detached, frames
+    /// held on its links are discarded, and every other live endpoint
+    /// observes a non-graceful `link_down` — exactly what the socket
+    /// transports report when a peer's connection closes without a `Bye`.
+    pub fn kill(&self, rank: usize) {
+        assert!(rank < self.fabric.nodes, "rank {rank} out of range");
+        if self.fabric.slots[rank].dead.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        *self.fabric.slots[rank].sink.lock().expect("sink lock") = SinkSlot::Gone;
+        for i in 0..self.fabric.nodes {
+            self.fabric.links[rank * self.fabric.nodes + i]
+                .lock()
+                .expect("link lock")
+                .held = None;
+        }
+        for peer in 0..self.fabric.nodes {
+            if peer != rank {
+                if let Some(sink) = self.fabric.sink_of(peer) {
+                    sink.link_down(rank, false);
+                }
+            }
+        }
+    }
+
+    /// Pushes raw bytes across a link, bypassing fault injection — the
+    /// hardening hook for feeding mangled frames to the decode boundary.
+    pub fn inject_raw(&self, from: usize, to: usize, bytes: &[u8]) {
+        assert!(
+            from < self.fabric.nodes && to < self.fabric.nodes,
+            "link {from}->{to} out of range"
+        );
+        self.fabric.deliver_bytes(from, to, bytes.to_vec());
+    }
+
+    /// Delivers every held (delayed) frame immediately.
+    pub fn flush(&self) {
+        for from in 0..self.fabric.nodes {
+            for to in 0..self.fabric.nodes {
+                let held = self.fabric.links[from * self.fabric.nodes + to]
+                    .lock()
+                    .expect("link lock")
+                    .held
+                    .take();
+                if let Some(bytes) = held {
+                    self.fabric.deliver_bytes(from, to, bytes);
+                }
+            }
+        }
+    }
+}
+
+/// One rank's handle onto a [`LoopbackMesh`].
+#[derive(Clone)]
+pub struct LoopbackTransport {
+    fabric: Arc<Fabric>,
+    rank: usize,
+}
+
+impl std::fmt::Debug for LoopbackTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackTransport")
+            .field("rank", &self.rank)
+            .field("nodes", &self.fabric.nodes)
+            .finish()
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nodes(&self) -> usize {
+        self.fabric.nodes
+    }
+
+    fn send(&self, to: usize, msg: &Message) -> Result<(), NetError> {
+        let f = &*self.fabric;
+        assert!(to < f.nodes, "rank {to} out of range");
+        if f.slots[self.rank].dead.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        if f.slots[to].dead.load(Ordering::Acquire) {
+            return Err(NetError::PeerDown { peer: to });
+        }
+        let bytes = msg.encode();
+        // Decide the fault outcome under the link lock, deliver after.
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(2);
+        {
+            let mut link = f.links[self.rank * f.nodes + to].lock().expect("link lock");
+            let roll = if f.plan.total() == 0 {
+                1000
+            } else {
+                link.rng.below(1000) as u32
+            };
+            let p = &f.plan;
+            let d = u32::from(p.drop_permille);
+            let du = d + u32::from(p.dup_permille);
+            let de = du + u32::from(p.delay_permille);
+            let re = de + u32::from(p.reorder_permille);
+            if roll < d {
+                f.drops.fetch_add(1, Ordering::Relaxed);
+            } else if roll < du {
+                f.dups.fetch_add(1, Ordering::Relaxed);
+                if let Some(held) = link.held.take() {
+                    out.push(held);
+                }
+                out.push(bytes.clone());
+                out.push(bytes);
+            } else if roll < de {
+                f.delays.fetch_add(1, Ordering::Relaxed);
+                if let Some(held) = link.held.take() {
+                    out.push(held);
+                }
+                link.held = Some(bytes);
+            } else if roll < re {
+                if let Some(held) = link.held.take() {
+                    f.reorders.fetch_add(1, Ordering::Relaxed);
+                    out.push(bytes);
+                    out.push(held);
+                } else {
+                    f.delays.fetch_add(1, Ordering::Relaxed);
+                    link.held = Some(bytes);
+                }
+            } else {
+                if let Some(held) = link.held.take() {
+                    out.push(held);
+                }
+                out.push(bytes);
+            }
+        }
+        for frame in out {
+            f.deliver_bytes(self.rank, to, frame);
+        }
+        Ok(())
+    }
+
+    fn start(&self, sink: Arc<dyn FrameSink>) {
+        let queued = {
+            let mut slot = self.fabric.slots[self.rank].sink.lock().expect("sink lock");
+            let queued = match &mut *slot {
+                SinkSlot::Pending(queue) => std::mem::take(queue),
+                _ => Vec::new(),
+            };
+            *slot = SinkSlot::Attached(Arc::downgrade(&sink));
+            queued
+        };
+        for (from, bytes) in queued {
+            match wire::decode(&bytes) {
+                Ok((msg, _)) => sink.deliver(from, msg),
+                Err(err) => sink.decode_failure(from, err),
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        let f = &*self.fabric;
+        if f.slots[self.rank].dead.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Flush frames this endpoint already sent but the fabric held.
+        for to in 0..f.nodes {
+            let held = f.links[self.rank * f.nodes + to]
+                .lock()
+                .expect("link lock")
+                .held
+                .take();
+            if let Some(bytes) = held {
+                f.deliver_bytes(self.rank, to, bytes);
+            }
+        }
+        *f.slots[self.rank].sink.lock().expect("sink lock") = SinkSlot::Gone;
+        for peer in 0..f.nodes {
+            if peer != self.rank {
+                if let Some(sink) = f.sink_of(peer) {
+                    sink.link_down(self.rank, true);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    #[derive(Default)]
+    struct Recorder {
+        frames: StdMutex<Vec<(usize, Message)>>,
+        downs: StdMutex<Vec<(usize, bool)>>,
+        decode_errors: AtomicU64,
+    }
+
+    impl FrameSink for Recorder {
+        fn deliver(&self, from: usize, msg: Message) {
+            self.frames.lock().unwrap().push((from, msg));
+        }
+        fn decode_failure(&self, _from: usize, _err: crate::wire::DecodeError) {
+            self.decode_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        fn link_down(&self, peer: usize, graceful: bool) {
+            self.downs.lock().unwrap().push((peer, graceful));
+        }
+    }
+
+    fn sig(episode: u64, round: u32) -> Message {
+        Message::Signal { episode, round }
+    }
+
+    #[test]
+    fn frames_sent_before_start_flush_in_order() {
+        let mesh = LoopbackMesh::new(2);
+        let a = mesh.endpoint(0);
+        let b = mesh.endpoint(1);
+        a.send(1, &sig(0, 0)).unwrap();
+        a.send(1, &sig(0, 1)).unwrap();
+        let rec = Arc::new(Recorder::default());
+        b.start(rec.clone());
+        assert_eq!(
+            *rec.frames.lock().unwrap(),
+            vec![(0, sig(0, 0)), (0, sig(0, 1))]
+        );
+        a.send(1, &sig(1, 0)).unwrap();
+        assert_eq!(rec.frames.lock().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn kill_reports_non_graceful_shutdown_reports_graceful() {
+        let mesh = LoopbackMesh::new(3);
+        let recs: Vec<Arc<Recorder>> = (0..3).map(|_| Arc::new(Recorder::default())).collect();
+        for (r, rec) in recs.iter().enumerate() {
+            mesh.endpoint(r).start(rec.clone());
+        }
+        mesh.kill(2);
+        assert_eq!(*recs[0].downs.lock().unwrap(), vec![(2, false)]);
+        assert_eq!(*recs[1].downs.lock().unwrap(), vec![(2, false)]);
+        assert!(matches!(
+            mesh.endpoint(0).send(2, &sig(0, 0)),
+            Err(NetError::PeerDown { peer: 2 })
+        ));
+        mesh.endpoint(1).shutdown();
+        assert_eq!(*recs[0].downs.lock().unwrap(), vec![(2, false), (1, true)]);
+    }
+
+    #[test]
+    fn seeded_faults_replay_exactly() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop_permille: 200,
+            dup_permille: 200,
+            delay_permille: 100,
+            reorder_permille: 100,
+        };
+        let run = |plan: FaultPlan| {
+            let mesh = LoopbackMesh::with_faults(2, plan);
+            let rec = Arc::new(Recorder::default());
+            mesh.endpoint(1).start(rec.clone());
+            let a = mesh.endpoint(0);
+            for e in 0..200u64 {
+                a.send(1, &sig(e, 0)).unwrap();
+            }
+            mesh.flush();
+            let delivered: Vec<_> = rec.frames.lock().unwrap().clone();
+            (mesh.fault_counts(), delivered)
+        };
+        let (c1, d1) = run(plan);
+        let (c2, d2) = run(plan);
+        assert_eq!(c1, c2);
+        assert_eq!(d1, d2);
+        assert!(c1.drops > 0 && c1.dups > 0 && c1.delays > 0);
+        // Conservation: every sent frame was dropped, delivered, or
+        // delivered twice.
+        assert_eq!(200 + c1.dups - c1.drops, d1.len() as u64);
+    }
+
+    #[test]
+    fn raw_injection_hits_the_decode_boundary() {
+        let mesh = LoopbackMesh::new(2);
+        let rec = Arc::new(Recorder::default());
+        mesh.endpoint(1).start(rec.clone());
+        mesh.inject_raw(0, 1, &[0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0]);
+        assert_eq!(rec.decode_errors.load(Ordering::Relaxed), 1);
+        assert!(rec.frames.lock().unwrap().is_empty());
+    }
+}

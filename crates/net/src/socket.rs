@@ -1,0 +1,604 @@
+//! Socket transports: Unix-domain sockets and TCP over `std::net`.
+//!
+//! Both flavors share one implementation over a small stream enum; the
+//! only differences are addressing (filesystem paths vs socket addresses)
+//! and `TCP_NODELAY` (signals are tiny and latency-critical, so Nagle is
+//! disabled).
+//!
+//! # Mesh formation
+//!
+//! Every rank binds its listener **first**, then connects to all lower
+//! ranks (with capped exponential [`Backoff`], because a peer process may
+//! not have bound yet), then accepts the `nodes − 1 − rank` connections
+//! from higher ranks. Connect-side dependencies point only at listeners,
+//! which exist before any rank blocks, and accepted connections queue in
+//! the kernel backlog — so formation cannot deadlock regardless of
+//! process start order.
+//!
+//! Each connection starts with a `Hello { rank, nodes }` frame. A
+//! connection whose hello is garbage, inconsistent, or duplicated is
+//! dropped and accepting continues: a stranger spraying bytes at a
+//! listener can waste one backlog slot, never wedge or corrupt the mesh.
+//!
+//! # Delivery
+//!
+//! [`Transport::start`] spawns one reader thread per link. Readers block
+//! in short (`READ_SLICE`) timeout slices so they can observe shutdown,
+//! read exactly one validated header and then exactly the declared
+//! payload (a corrupt length can never force an unbounded read), and push
+//! decoded messages into the [`FrameSink`]. A clean `Bye` reports
+//! `link_down(peer, graceful = true)`; EOF or an I/O/decode error without
+//! one reports a non-graceful link-down, which the barrier layer treats
+//! as a peer death.
+
+use crate::error::NetError;
+use crate::transport::{Backoff, FrameSink, Transport};
+use crate::wire::{self, Message, HEADER_LEN};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a reader blocks in one `read` before re-checking shutdown.
+const READ_SLICE: Duration = Duration::from_millis(50);
+/// How long mesh formation waits for peers to connect and say hello.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(20);
+/// How many malformed connections formation tolerates before giving up.
+const MAX_BAD_HANDSHAKES: usize = 64;
+
+/// The socket file for `rank` inside a mesh directory.
+#[must_use]
+pub fn unix_socket_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("fuzzy-net-{rank}.sock"))
+}
+
+#[derive(Debug)]
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    fn shutdown_both(&self) {
+        let _ = match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(on),
+            Listener::Tcp(l) => l.set_nonblocking(on),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+            Listener::Tcp(l) => {
+                let s = l.accept()?.0;
+                s.set_nodelay(true)?;
+                Stream::Tcp(s)
+            }
+        })
+    }
+}
+
+struct Link {
+    writer: Mutex<Stream>,
+    /// The read half, taken by `start` when the reader thread spawns.
+    reader: Mutex<Option<Stream>>,
+}
+
+struct Inner {
+    rank: usize,
+    nodes: usize,
+    links: Vec<Option<Link>>,
+    sink: Mutex<Option<Weak<dyn FrameSink>>>,
+    /// Shared with reader threads (they must not keep `Inner` — and with
+    /// it the writer sockets — alive).
+    shutdown: Arc<AtomicBool>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Our own listener's socket file, removed at shutdown (UDS only).
+    own_path: Option<PathBuf>,
+}
+
+/// A socket-backed mesh endpoint (Unix-domain or TCP).
+pub struct SocketTransport {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for SocketTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketTransport")
+            .field("rank", &self.inner.rank)
+            .field("nodes", &self.inner.nodes)
+            .finish()
+    }
+}
+
+impl SocketTransport {
+    /// Forms a Unix-domain-socket mesh endpoint. Every process of the mesh
+    /// must call this with the same `dir` and `nodes`; the call blocks
+    /// until the full mesh is connected (bounded by the backoff budget and
+    /// `HANDSHAKE_TIMEOUT`).
+    pub fn unix(rank: usize, nodes: usize, dir: &Path) -> Result<Self, NetError> {
+        Self::unix_with(rank, nodes, dir, Backoff::default())
+    }
+
+    /// [`SocketTransport::unix`] with an explicit connect backoff.
+    pub fn unix_with(
+        rank: usize,
+        nodes: usize,
+        dir: &Path,
+        backoff: Backoff,
+    ) -> Result<Self, NetError> {
+        check_rank(rank, nodes)?;
+        let own = unix_socket_path(dir, rank);
+        // A stale file from a crashed previous run would make bind fail.
+        let _ = std::fs::remove_file(&own);
+        let listener = UnixListener::bind(&own).map_err(setup_err)?;
+        let connect = |peer: usize| -> io::Result<Stream> {
+            Ok(Stream::Unix(UnixStream::connect(unix_socket_path(
+                dir, peer,
+            ))?))
+        };
+        Self::form(
+            rank,
+            nodes,
+            Listener::Unix(listener),
+            Some(own),
+            connect,
+            backoff,
+        )
+    }
+
+    /// Forms a TCP mesh endpoint. `addrs[i]` is the listen address of rank
+    /// `i`; the mesh size is `addrs.len()`.
+    pub fn tcp(rank: usize, addrs: &[SocketAddr]) -> Result<Self, NetError> {
+        Self::tcp_with(rank, addrs, Backoff::default())
+    }
+
+    /// [`SocketTransport::tcp`] with an explicit connect backoff.
+    pub fn tcp_with(rank: usize, addrs: &[SocketAddr], backoff: Backoff) -> Result<Self, NetError> {
+        let nodes = addrs.len();
+        check_rank(rank, nodes)?;
+        let listener = TcpListener::bind(addrs[rank]).map_err(setup_err)?;
+        let addrs = addrs.to_vec();
+        let connect = move |peer: usize| -> io::Result<Stream> {
+            let s = TcpStream::connect(addrs[peer])?;
+            s.set_nodelay(true)?;
+            Ok(Stream::Tcp(s))
+        };
+        Self::form(rank, nodes, Listener::Tcp(listener), None, connect, backoff)
+    }
+
+    fn form(
+        rank: usize,
+        nodes: usize,
+        listener: Listener,
+        own_path: Option<PathBuf>,
+        connect: impl Fn(usize) -> io::Result<Stream>,
+        backoff: Backoff,
+    ) -> Result<Self, NetError> {
+        let mut links: Vec<Option<Link>> = (0..nodes).map(|_| None).collect();
+        let hello = Message::Hello {
+            rank: rank as u32,
+            nodes: nodes as u32,
+        };
+        // Connect to every lower rank; their listeners may not exist yet.
+        for (peer, slot) in links.iter_mut().enumerate().take(rank) {
+            let mut stream = backoff.retry(|| connect(peer)).map_err(|e| NetError::Io {
+                peer: Some(peer),
+                source: e,
+            })?;
+            stream
+                .write_all(&hello.encode())
+                .map_err(|e| NetError::Io {
+                    peer: Some(peer),
+                    source: e,
+                })?;
+            *slot = Some(link_from(stream).map_err(setup_err)?);
+        }
+        // Accept from every higher rank; malformed connections are dropped
+        // and accepting continues.
+        listener.set_nonblocking(true).map_err(setup_err)?;
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        let mut expected: usize = nodes - 1 - rank;
+        let mut bad = 0usize;
+        while expected > 0 {
+            let mut stream = match listener.accept() {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Handshake {
+                            detail: format!("timed out waiting for {expected} peer(s)"),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                Err(e) => return Err(setup_err(e)),
+            };
+            match read_hello(&mut stream) {
+                Ok((peer_rank, peer_nodes))
+                    if peer_nodes == nodes
+                        && peer_rank > rank
+                        && peer_rank < nodes
+                        && links[peer_rank].is_none() =>
+                {
+                    links[peer_rank] = Some(link_from(stream).map_err(setup_err)?);
+                    expected -= 1;
+                }
+                _ => {
+                    // Garbage, a misconfigured peer, or a duplicate: drop
+                    // the connection, keep the mesh intact.
+                    stream.shutdown_both();
+                    bad += 1;
+                    if bad > MAX_BAD_HANDSHAKES {
+                        return Err(NetError::Handshake {
+                            detail: format!("{bad} malformed connections"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(SocketTransport {
+            inner: Arc::new(Inner {
+                rank,
+                nodes,
+                links,
+                sink: Mutex::new(None),
+                shutdown: Arc::new(AtomicBool::new(false)),
+                readers: Mutex::new(Vec::new()),
+                own_path,
+            }),
+        })
+    }
+}
+
+fn check_rank(rank: usize, nodes: usize) -> Result<(), NetError> {
+    if nodes == 0 || rank >= nodes {
+        return Err(NetError::Handshake {
+            detail: format!("rank {rank} of {nodes}"),
+        });
+    }
+    Ok(())
+}
+
+fn setup_err(source: io::Error) -> NetError {
+    NetError::Io { peer: None, source }
+}
+
+/// Splits a handshaken stream into a link (cloned writer + reader halves),
+/// arming the reader's shutdown-poll timeout.
+fn link_from(stream: Stream) -> io::Result<Link> {
+    stream.set_read_timeout(Some(READ_SLICE))?;
+    let writer = stream.try_clone()?;
+    Ok(Link {
+        writer: Mutex::new(writer),
+        reader: Mutex::new(Some(stream)),
+    })
+}
+
+/// Reads and validates the handshake frame, under a read timeout so a
+/// silent connection cannot stall mesh formation for long.
+fn read_hello(stream: &mut Stream) -> Result<(usize, usize), NetError> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(setup_err)?;
+    let mut header = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header).map_err(setup_err)?;
+    let (kind, len) = wire::decode_header(&header)?;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).map_err(setup_err)?;
+    match wire::decode_payload(kind, &payload)? {
+        Message::Hello { rank, nodes } => Ok((rank as usize, nodes as usize)),
+        other => Err(NetError::Handshake {
+            detail: format!("expected hello, got {other:?}"),
+        }),
+    }
+}
+
+enum ReadStatus {
+    Full,
+    Eof,
+    Shutdown,
+}
+
+/// Fills `buf` across timeout slices, polling `stop` between reads so a
+/// blocked reader observes shutdown within one `READ_SLICE`.
+fn read_full(stream: &mut Stream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<ReadStatus> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::Acquire) {
+            return Ok(ReadStatus::Shutdown);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(ReadStatus::Eof),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadStatus::Full)
+}
+
+/// One link's reader loop: frame boundary → decode → sink, until EOF,
+/// `Bye`, an error, or shutdown.
+fn reader_loop(mut stream: Stream, peer: usize, sink: Weak<dyn FrameSink>, stop: Arc<AtomicBool>) {
+    let fail = |graceful: bool| {
+        if let Some(s) = sink.upgrade() {
+            s.link_down(peer, graceful);
+        }
+    };
+    loop {
+        let mut header = [0u8; HEADER_LEN];
+        match read_full(&mut stream, &mut header, &stop) {
+            Ok(ReadStatus::Full) => {}
+            Ok(ReadStatus::Eof) => return fail(false),
+            Ok(ReadStatus::Shutdown) => return,
+            Err(_) => return fail(false),
+        }
+        let (kind, len) = match wire::decode_header(&header) {
+            Ok(v) => v,
+            Err(e) => {
+                // Framing is lost; the connection is unrecoverable.
+                if let Some(s) = sink.upgrade() {
+                    s.decode_failure(peer, e);
+                }
+                stream.shutdown_both();
+                return fail(false);
+            }
+        };
+        let mut payload = vec![0u8; len];
+        match read_full(&mut stream, &mut payload, &stop) {
+            Ok(ReadStatus::Full) => {}
+            Ok(ReadStatus::Eof) => return fail(false),
+            Ok(ReadStatus::Shutdown) => return,
+            Err(_) => return fail(false),
+        }
+        match wire::decode_payload(kind, &payload) {
+            Ok(Message::Bye) => return fail(true),
+            Ok(msg) => match sink.upgrade() {
+                Some(s) => s.deliver(peer, msg),
+                None => return,
+            },
+            Err(e) => {
+                if let Some(s) = sink.upgrade() {
+                    s.decode_failure(peer, e);
+                }
+                stream.shutdown_both();
+                return fail(false);
+            }
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    fn nodes(&self) -> usize {
+        self.inner.nodes
+    }
+
+    fn send(&self, to: usize, msg: &Message) -> Result<(), NetError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        let link = self
+            .inner
+            .links
+            .get(to)
+            .and_then(Option::as_ref)
+            .ok_or(NetError::PeerDown { peer: to })?;
+        let mut writer = link.writer.lock().expect("writer lock");
+        writer
+            .write_all(&msg.encode())
+            .map_err(|e| NetError::io(to, e))
+    }
+
+    fn start(&self, sink: Arc<dyn FrameSink>) {
+        let weak = Arc::downgrade(&sink);
+        *self.inner.sink.lock().expect("sink lock") = Some(weak.clone());
+        let mut readers = self.inner.readers.lock().expect("readers lock");
+        for (peer, link) in self.inner.links.iter().enumerate() {
+            let Some(link) = link else { continue };
+            let Some(stream) = link.reader.lock().expect("reader lock").take() else {
+                continue;
+            };
+            let weak = weak.clone();
+            let stop = Arc::clone(&self.inner.shutdown);
+            let handle = std::thread::Builder::new()
+                .name(format!("fuzzy-net-rx-{}-{peer}", self.inner.rank))
+                .spawn(move || reader_loop(stream, peer, weak, stop))
+                .expect("spawn reader");
+            readers.push(handle);
+        }
+    }
+
+    fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for link in self.inner.links.iter().flatten() {
+            let mut writer = link.writer.lock().expect("writer lock");
+            let _ = writer.write_all(&Message::Bye.encode());
+            writer.shutdown_both();
+        }
+        let handles: Vec<_> = self
+            .inner
+            .readers
+            .lock()
+            .expect("readers lock")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.inner.own_path {
+            let _ = std::fs::remove_file(path);
+        }
+        *self.inner.sink.lock().expect("sink lock") = None;
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        // Last handle out turns off the lights; reader threads hold only
+        // the sink weakly and the stop flag, not `Inner`.
+        if Arc::strong_count(&self.inner) == 1 {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::DecodeError;
+    use std::sync::Mutex as StdMutex;
+
+    #[derive(Default)]
+    struct Recorder {
+        frames: StdMutex<Vec<(usize, Message)>>,
+        downs: StdMutex<Vec<(usize, bool)>>,
+        decode_errors: StdMutex<Vec<(usize, DecodeError)>>,
+    }
+
+    impl FrameSink for Recorder {
+        fn deliver(&self, from: usize, msg: Message) {
+            self.frames.lock().unwrap().push((from, msg));
+        }
+        fn decode_failure(&self, from: usize, err: DecodeError) {
+            self.decode_errors.lock().unwrap().push((from, err));
+        }
+        fn link_down(&self, peer: usize, graceful: bool) {
+            self.downs.lock().unwrap().push((peer, graceful));
+        }
+    }
+
+    fn wait_for<T>(probe: impl Fn() -> Option<T>) -> T {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(v) = probe() {
+                return v;
+            }
+            assert!(Instant::now() < deadline, "probe timed out");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn unix_pair_exchanges_signals_and_says_goodbye() {
+        let dir = std::env::temp_dir().join(format!("fuzzy-net-ut-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = std::thread::spawn({
+            let dir = dir.clone();
+            move || SocketTransport::unix(1, 2, &dir).unwrap()
+        });
+        let a = SocketTransport::unix(0, 2, &dir).unwrap();
+        let b = b.join().unwrap();
+
+        let ra = Arc::new(Recorder::default());
+        let rb = Arc::new(Recorder::default());
+        a.start(ra.clone());
+        b.start(rb.clone());
+
+        a.send(
+            1,
+            &Message::Signal {
+                episode: 3,
+                round: 0,
+            },
+        )
+        .unwrap();
+        b.send(0, &Message::Poison { episode: 3 }).unwrap();
+
+        wait_for(|| (!rb.frames.lock().unwrap().is_empty()).then_some(()));
+        wait_for(|| (!ra.frames.lock().unwrap().is_empty()).then_some(()));
+        assert_eq!(
+            rb.frames.lock().unwrap()[0],
+            (
+                0,
+                Message::Signal {
+                    episode: 3,
+                    round: 0
+                }
+            )
+        );
+        assert_eq!(
+            ra.frames.lock().unwrap()[0],
+            (1, Message::Poison { episode: 3 })
+        );
+
+        b.shutdown();
+        // a's reader sees the Bye: graceful link-down, not a peer death.
+        let downs = wait_for(|| {
+            let d = ra.downs.lock().unwrap();
+            (!d.is_empty()).then(|| d.clone())
+        });
+        assert_eq!(downs, vec![(1, true)]);
+        a.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

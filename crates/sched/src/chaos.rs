@@ -673,6 +673,157 @@ pub fn run_chaos(config: ChaosConfig) -> ChaosReport {
     }
 }
 
+/// Configuration for one seeded **transport** chaos run: a loopback mesh
+/// whose links drop / delay / duplicate / reorder frames at the given
+/// rates while every endpoint runs live [`fuzzy_net::NetBarrier`]
+/// episodes.
+///
+/// This is the network-layer sibling of [`ChaosConfig`]: membership chaos
+/// attacks the reconfiguration protocol, transport chaos attacks the
+/// dissemination protocol's recovery path (per-round timeouts, claimed
+/// retransmission, nacks). The assertion discipline is the same —
+/// liveness under a watchdog, release-episode agreement across
+/// endpoints.
+#[derive(Debug, Clone, Copy)]
+pub struct NetChaosConfig {
+    /// Mesh endpoints (each one local participant).
+    pub nodes: usize,
+    /// Episodes every endpoint must complete.
+    pub episodes: u64,
+    /// Seed for the fabric's per-link fault dice. Unlike membership
+    /// chaos, the *counts* are not run-deterministic: recovery
+    /// retransmissions depend on real-time round expiry, so the number of
+    /// frames rolled against the dice varies between runs.
+    pub seed: u64,
+    /// Per-frame drop probability, permille.
+    pub drop_permille: u16,
+    /// Per-frame duplicate probability, permille.
+    pub dup_permille: u16,
+    /// Per-frame delay (late but in-order) probability, permille.
+    pub delay_permille: u16,
+    /// Per-frame reorder probability, permille.
+    pub reorder_permille: u16,
+    /// Receive budget per dissemination round before recovery runs.
+    pub round_timeout: Duration,
+    /// Watchdog per episode wait; expiry fails the run loudly.
+    pub watchdog: Duration,
+}
+
+impl NetChaosConfig {
+    /// A CI-smoke scenario: 4 endpoints, moderate fault rates on every
+    /// event kind.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        NetChaosConfig {
+            nodes: 4,
+            episodes: 60,
+            seed,
+            drop_permille: 50,
+            dup_permille: 50,
+            delay_permille: 50,
+            reorder_permille: 50,
+            round_timeout: Duration::from_millis(20),
+            watchdog: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of one transport chaos run. Liveness and agreement already
+/// held if this was returned (violations panic inside [`run_net_chaos`]).
+#[derive(Debug, Clone)]
+pub struct NetChaosReport {
+    /// Episodes completed per endpoint (equal across endpoints).
+    pub episodes: u64,
+    /// Frames dropped / duplicated / delayed / reordered by the fabric.
+    pub faults: fuzzy_net::FaultCounts,
+    /// Retransmissions the recovery path performed, summed over
+    /// endpoints.
+    pub retries: u64,
+    /// Nack frames sent, summed over endpoints.
+    pub nacks: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// Runs seeded transport chaos: every endpoint completes
+/// `config.episodes` episodes over a faulty loopback fabric, with every
+/// wait under the watchdog deadline.
+///
+/// # Panics
+///
+/// Panics if any wait times out (a wedge the recovery path failed to
+/// break), errors, or releases the wrong episode — and if the fault rates
+/// were nonzero but the fabric never actually injected a fault (a
+/// vacuously green run is a configuration bug, not a pass).
+#[must_use]
+pub fn run_net_chaos(config: NetChaosConfig) -> NetChaosReport {
+    use fuzzy_barrier::SplitBarrier;
+    use fuzzy_net::{FaultPlan, LoopbackMesh, NetBarrier, NetConfig};
+
+    assert!(config.nodes >= 2, "transport chaos needs a real mesh");
+    let started = Instant::now();
+    let plan = FaultPlan {
+        seed: config.seed,
+        drop_permille: config.drop_permille,
+        dup_permille: config.dup_permille,
+        delay_permille: config.delay_permille,
+        reorder_permille: config.reorder_permille,
+    };
+    let mesh = LoopbackMesh::with_faults(config.nodes, plan);
+    let net_config = NetConfig::new()
+        .round_timeout(Some(config.round_timeout))
+        // The watchdog is the only legitimate stop: recovery must keep
+        // retrying for the whole wait, not declare a live peer dead.
+        .resend_limit(u32::MAX);
+    let barriers: Vec<Arc<NetBarrier>> = mesh
+        .endpoints()
+        .into_iter()
+        .map(|t| NetBarrier::start(Arc::new(t), net_config))
+        .collect();
+    std::thread::scope(|s| {
+        for b in &barriers {
+            let b = Arc::clone(b);
+            s.spawn(move || {
+                for episode in 0..config.episodes {
+                    let token = b.arrive(0);
+                    let outcome = b
+                        .wait_deadline(token, Deadline::after(config.watchdog))
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "net chaos liveness violation at rank {} episode {episode}: {e}",
+                                b.rank()
+                            )
+                        });
+                    assert_eq!(
+                        outcome.episode,
+                        episode,
+                        "release-episode disagreement at rank {}",
+                        b.rank()
+                    );
+                }
+            });
+        }
+    });
+    let faults = mesh.fault_counts();
+    if plan.total() > 0 && config.episodes * (config.nodes as u64) >= 100 {
+        assert!(
+            faults.drops + faults.dups + faults.delays + faults.reorders > 0,
+            "fault rates were set but the fabric injected nothing"
+        );
+    }
+    let (retries, nacks) = barriers.iter().fold((0, 0), |(r, n), b| {
+        let s = b.net_stats();
+        (r + s.retries, n + s.nacks)
+    });
+    NetChaosReport {
+        episodes: config.episodes,
+        faults,
+        retries,
+        nacks,
+        elapsed: started.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -732,6 +883,33 @@ mod tests {
             a.events, b.events,
             "event schedule must be seed-deterministic"
         );
+    }
+
+    #[test]
+    fn net_chaos_smoke_survives_transport_faults() {
+        let r = run_net_chaos(NetChaosConfig::smoke(11));
+        assert_eq!(r.episodes, 60);
+        assert!(
+            r.faults.drops > 0,
+            "drop rate was set but nothing dropped: {:?}",
+            r.faults
+        );
+        assert!(
+            r.retries > 0,
+            "dropped frames must have forced the recovery path"
+        );
+    }
+
+    #[test]
+    fn net_chaos_exercises_every_fault_kind() {
+        let r = run_net_chaos(NetChaosConfig {
+            episodes: 120,
+            ..NetChaosConfig::smoke(5)
+        });
+        assert!(r.faults.drops > 0, "{:?}", r.faults);
+        assert!(r.faults.dups > 0, "{:?}", r.faults);
+        assert!(r.faults.delays > 0, "{:?}", r.faults);
+        assert!(r.faults.reorders > 0, "{:?}", r.faults);
     }
 
     #[test]

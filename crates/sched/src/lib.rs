@@ -23,7 +23,13 @@
 //! * [`chaos`] — a seeded real-thread chaos harness that injects
 //!   join/leave/crash/delay/spurious-timeout events into live episodes
 //!   over a dynamic-membership `ReconfigBarrier` and asserts liveness
-//!   and release-epoch agreement.
+//!   and release-epoch agreement — plus transport chaos
+//!   ([`run_net_chaos`]) that drops, delays, duplicates and reorders
+//!   frames under a live distributed `NetBarrier`;
+//! * [`multiproc`] — a harness that forks real worker *processes* (by
+//!   re-executing the calling binary) and runs episodes over a
+//!   `fuzzy-net` socket mesh, with a parent watchdog so a wedged mesh
+//!   becomes a loud failure rather than a hung run.
 //!
 //! ## Example
 //!
@@ -46,16 +52,24 @@
 pub mod async_exec;
 pub mod chaos;
 pub mod executor;
+pub mod multiproc;
 pub mod self_sched;
 pub mod static_sched;
 pub mod supervisor;
 pub mod workload;
 
 pub use async_exec::{run_async_episodes, AsyncExecutor, AsyncRunReport};
-pub use chaos::{run_chaos, ChaosConfig, ChaosMode, ChaosReport, EventCounts};
+pub use chaos::{
+    run_chaos, run_net_chaos, ChaosConfig, ChaosMode, ChaosReport, EventCounts, NetChaosConfig,
+    NetChaosReport,
+};
 pub use executor::{
     run_threaded, run_threaded_with, simulate_dynamic, simulate_static, BarrierChoice,
     ThreadReport, VirtualReport,
+};
+pub use multiproc::{
+    maybe_run_worker, run_multiproc, MeshTransport, MultiprocConfig, MultiprocReport, WorkerFate,
+    WorkerOutcome,
 };
 pub use self_sched::{
     ChunkPolicy, Factoring, FixedChunk, GuidedSelfScheduling, SelfScheduling, Trapezoid, WorkQueue,

@@ -1,0 +1,454 @@
+//! Multi-process episode harness: real OS processes over a socket mesh.
+//!
+//! Everything else in this crate synchronizes threads inside one address
+//! space. This module forks **real worker processes** — separate address
+//! spaces, separate lifetimes, killable with a signal — and has them run
+//! fuzzy-barrier episodes over a [`fuzzy_net::NetBarrier`] on Unix-domain
+//! or TCP sockets. It exists for two reasons:
+//!
+//! * the `exp_net_scale` experiment needs genuine process-granularity
+//!   endpoints, or the socket path would be theater over shared memory;
+//! * the acceptance scenario — *killing one worker mid-episode poisons
+//!   (not hangs) all survivors within the deadline* — can only be tested
+//!   with a process that actually dies (`std::process::abort`), taking
+//!   its sockets with it and sending no `Bye`.
+//!
+//! # Self-exec protocol
+//!
+//! There is no `fork()` in safe std, so workers are re-executions of the
+//! calling binary. The parent spawns `config.exe` with
+//! [`ROLE_ENV`]`=worker` plus the `FUZZY_NET_*` parameter environment; the
+//! child's `main` (or a designated `#[test]` entry) calls
+//! [`maybe_run_worker`] *first thing*, which is a no-op in the parent but
+//! hijacks the process in a worker: it runs the episode loop, writes a
+//! JSON outcome to the [`RESULT_ENV`] path, and exits with a code that
+//! names its fate ([`EXIT_RELEASED`], [`EXIT_POISONED`], ...). The parent
+//! polls children under a deadline, so a wedged mesh becomes a killed
+//! process group and a loud [`WorkerFate::Wedged`] — never a hung test.
+
+use fuzzy_barrier::{BarrierError, Deadline, SplitBarrier};
+use fuzzy_net::{NetBarrier, NetConfig, SocketTransport, Transport};
+use fuzzy_util::{Json, SplitMix64};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Env var that marks a process as a spawned worker.
+pub const ROLE_ENV: &str = "FUZZY_NET_ROLE";
+/// Worker rank within the mesh.
+pub const RANK_ENV: &str = "FUZZY_NET_RANK";
+/// Mesh size.
+pub const NODES_ENV: &str = "FUZZY_NET_NODES";
+/// Episodes each worker runs.
+pub const EPISODES_ENV: &str = "FUZZY_NET_EPISODES";
+/// Mean fuzzy-region busy time per episode, microseconds.
+pub const REGION_ENV: &str = "FUZZY_NET_REGION_US";
+/// Seed for the worker's region-jitter RNG.
+pub const SEED_ENV: &str = "FUZZY_NET_SEED";
+/// Transport selector: `uds` or `tcp`.
+pub const TRANSPORT_ENV: &str = "FUZZY_NET_TRANSPORT";
+/// Socket directory (UDS transport).
+pub const DIR_ENV: &str = "FUZZY_NET_DIR";
+/// Comma-separated socket addresses, rank-ordered (TCP transport).
+pub const ADDRS_ENV: &str = "FUZZY_NET_ADDRS";
+/// If set, the worker calls `std::process::abort()` upon *arriving* at
+/// this episode — mid-episode, inside the fuzzy region, sockets open.
+pub const KILL_AT_ENV: &str = "FUZZY_NET_KILL_AT";
+/// Path the worker writes its JSON outcome to.
+pub const RESULT_ENV: &str = "FUZZY_NET_RESULT";
+
+/// Worker exit code: every episode released.
+pub const EXIT_RELEASED: i32 = 0;
+/// Worker exit code: a wait observed poison (expected for survivors of a
+/// killed peer).
+pub const EXIT_POISONED: i32 = 3;
+/// Worker exit code: a wait hit its deadline.
+pub const EXIT_TIMEOUT: i32 = 4;
+/// Worker exit code: mesh formation or configuration failed.
+pub const EXIT_SETUP: i32 = 5;
+
+/// Which socket transport the workers form their mesh over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshTransport {
+    /// Unix-domain sockets under a parent-managed temp directory.
+    Unix,
+    /// TCP over loopback; the parent picks free ports up front.
+    Tcp,
+}
+
+/// Configuration for one multi-process run.
+#[derive(Debug, Clone)]
+pub struct MultiprocConfig {
+    /// Binary to re-execute as workers (usually
+    /// `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// Extra argv for the workers. A test binary names its worker entry
+    /// here (e.g. `["net_worker_entry", "--exact", "--nocapture"]`) so
+    /// libtest routes the child straight into [`maybe_run_worker`].
+    pub args: Vec<String>,
+    /// Worker processes to fork (mesh size).
+    pub nodes: usize,
+    /// Episodes each worker runs.
+    pub episodes: u64,
+    /// Mean fuzzy-region busy time per episode.
+    pub region: Duration,
+    /// Seed for per-worker region jitter (worker `r` derives from
+    /// `seed ^ r`).
+    pub seed: u64,
+    /// Socket flavor for the mesh.
+    pub transport: MeshTransport,
+    /// Kill `(rank, episode)`: that worker aborts upon arriving at that
+    /// episode — the peer-death acceptance scenario.
+    pub kill_at: Option<(usize, u64)>,
+    /// Parent-side watchdog over the whole run. Expiry kills every child
+    /// and reports them [`WorkerFate::Wedged`].
+    pub timeout: Duration,
+}
+
+impl MultiprocConfig {
+    /// A UDS run of `nodes` workers × `episodes` episodes re-executing
+    /// `exe`.
+    #[must_use]
+    pub fn new(exe: PathBuf, nodes: usize, episodes: u64) -> Self {
+        MultiprocConfig {
+            exe,
+            args: Vec::new(),
+            nodes,
+            episodes,
+            region: Duration::from_micros(100),
+            seed: 1,
+            transport: MeshTransport::Unix,
+            kill_at: None,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// How one worker process ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerFate {
+    /// Exited [`EXIT_RELEASED`]: every episode released.
+    Released,
+    /// Exited [`EXIT_POISONED`]: a wait observed poison.
+    Poisoned,
+    /// Exited [`EXIT_TIMEOUT`]: a wait hit its deadline.
+    TimedOut,
+    /// Died on a signal (the `kill_at` victim's abort lands here).
+    Killed,
+    /// Still running when the parent watchdog expired; killed by the
+    /// parent. A wedge — always a failure.
+    Wedged,
+    /// Any other exit code (setup failure, panic, ...).
+    Failed(i32),
+}
+
+/// One worker's observed outcome.
+#[derive(Debug, Clone)]
+pub struct WorkerOutcome {
+    /// The worker's mesh rank.
+    pub rank: usize,
+    /// How the process ended.
+    pub fate: WorkerFate,
+    /// Episodes the worker reported completing (from its result file;
+    /// 0 if it died before writing one).
+    pub episodes: u64,
+}
+
+/// Outcome of a whole multi-process run.
+#[derive(Debug, Clone)]
+pub struct MultiprocReport {
+    /// Per-worker outcomes, rank-ordered.
+    pub outcomes: Vec<WorkerOutcome>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl MultiprocReport {
+    /// True if any worker wedged (parent watchdog expired).
+    #[must_use]
+    pub fn wedged(&self) -> bool {
+        self.outcomes.iter().any(|o| o.fate == WorkerFate::Wedged)
+    }
+
+    /// Workers that ended with the given fate.
+    #[must_use]
+    pub fn count(&self, fate: &WorkerFate) -> usize {
+        self.outcomes.iter().filter(|o| o.fate == *fate).count()
+    }
+}
+
+/// Forks `config.nodes` worker processes, waits for them all under the
+/// watchdog, and classifies each one's fate. Never hangs: watchdog expiry
+/// kills the stragglers.
+///
+/// # Panics
+///
+/// Panics if a worker process cannot be spawned at all, or if the scratch
+/// directory cannot be created.
+#[must_use]
+pub fn run_multiproc(config: &MultiprocConfig) -> MultiprocReport {
+    let started = Instant::now();
+    let scratch = std::env::temp_dir().join(format!(
+        "fuzzy-multiproc-{}-{}",
+        std::process::id(),
+        config.seed
+    ));
+    std::fs::create_dir_all(&scratch).expect("create multiproc scratch dir");
+
+    // TCP: reserve rank-ordered ports up front by probing the OS.
+    let addrs = match config.transport {
+        MeshTransport::Tcp => {
+            let probes: Vec<_> = (0..config.nodes)
+                .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("probe port"))
+                .collect();
+            let list = probes
+                .iter()
+                .map(|p| p.local_addr().expect("probe addr").to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            Some(list)
+        }
+        MeshTransport::Unix => None,
+    };
+
+    let mut children: Vec<(usize, Child, PathBuf)> = Vec::new();
+    for rank in 0..config.nodes {
+        let result_path = scratch.join(format!("result-{rank}.json"));
+        let mut cmd = Command::new(&config.exe);
+        cmd.args(&config.args)
+            .env(ROLE_ENV, "worker")
+            .env(RANK_ENV, rank.to_string())
+            .env(NODES_ENV, config.nodes.to_string())
+            .env(EPISODES_ENV, config.episodes.to_string())
+            .env(REGION_ENV, config.region.as_micros().to_string())
+            .env(SEED_ENV, (config.seed ^ rank as u64).to_string())
+            .env(RESULT_ENV, &result_path)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        match (&config.transport, &addrs) {
+            (MeshTransport::Unix, _) => {
+                cmd.env(TRANSPORT_ENV, "uds").env(DIR_ENV, &scratch);
+            }
+            (MeshTransport::Tcp, Some(list)) => {
+                cmd.env(TRANSPORT_ENV, "tcp").env(ADDRS_ENV, list);
+            }
+            (MeshTransport::Tcp, None) => unreachable!("tcp addrs reserved above"),
+        }
+        if let Some((victim, episode)) = config.kill_at {
+            if victim == rank {
+                cmd.env(KILL_AT_ENV, episode.to_string());
+            }
+        }
+        let child = cmd
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn worker {rank}: {e}"));
+        children.push((rank, child, result_path));
+    }
+
+    // Poll every child under the shared watchdog; classify as they exit.
+    let deadline = Instant::now() + config.timeout;
+    let mut outcomes: Vec<Option<WorkerOutcome>> = (0..config.nodes).map(|_| None).collect();
+    loop {
+        let mut pending = false;
+        for (rank, child, result_path) in &mut children {
+            if outcomes[*rank].is_some() {
+                continue;
+            }
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    let fate = match status.code() {
+                        Some(EXIT_RELEASED) => WorkerFate::Released,
+                        Some(EXIT_POISONED) => WorkerFate::Poisoned,
+                        Some(EXIT_TIMEOUT) => WorkerFate::TimedOut,
+                        Some(code) => WorkerFate::Failed(code),
+                        // No code: a signal. The abort victim lands here.
+                        None => WorkerFate::Killed,
+                    };
+                    outcomes[*rank] = Some(WorkerOutcome {
+                        rank: *rank,
+                        fate,
+                        episodes: read_reported_episodes(result_path),
+                    });
+                }
+                Ok(None) => pending = true,
+                Err(_) => pending = true,
+            }
+        }
+        if !pending {
+            break;
+        }
+        if Instant::now() >= deadline {
+            // Wedge: kill the stragglers, classify them loudly.
+            for (rank, child, result_path) in &mut children {
+                if outcomes[*rank].is_none() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    outcomes[*rank] = Some(WorkerOutcome {
+                        rank: *rank,
+                        fate: WorkerFate::Wedged,
+                        episodes: read_reported_episodes(result_path),
+                    });
+                }
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    MultiprocReport {
+        outcomes: outcomes.into_iter().map(Option::unwrap).collect(),
+        elapsed: started.elapsed(),
+    }
+}
+
+fn read_reported_episodes(path: &Path) -> u64 {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|json| json.get("episodes").and_then(Json::as_i64))
+        .and_then(|n| u64::try_from(n).ok())
+        .unwrap_or(0)
+}
+
+/// Worker-side entry point. Call this **first** in any binary or test
+/// entry the parent re-executes: in the parent (no [`ROLE_ENV`]) it
+/// returns `false` immediately; in a worker it runs the whole episode
+/// loop and **exits the process**, never returning.
+pub fn maybe_run_worker() -> bool {
+    if std::env::var(ROLE_ENV).as_deref() != Ok("worker") {
+        return false;
+    }
+    let code = worker_main();
+    std::process::exit(code);
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+fn worker_main() -> i32 {
+    let Some(rank) = env_u64(RANK_ENV).map(|v| v as usize) else {
+        return EXIT_SETUP;
+    };
+    let Some(nodes) = env_u64(NODES_ENV).map(|v| v as usize) else {
+        return EXIT_SETUP;
+    };
+    let Some(episodes) = env_u64(EPISODES_ENV) else {
+        return EXIT_SETUP;
+    };
+    let region = Duration::from_micros(env_u64(REGION_ENV).unwrap_or(0));
+    let seed = env_u64(SEED_ENV).unwrap_or(0);
+    let kill_at = env_u64(KILL_AT_ENV);
+
+    let transport: Arc<dyn Transport> = match std::env::var(TRANSPORT_ENV).as_deref() {
+        Ok("uds") => {
+            let Ok(dir) = std::env::var(DIR_ENV) else {
+                return EXIT_SETUP;
+            };
+            match SocketTransport::unix(rank, nodes, Path::new(&dir)) {
+                Ok(t) => Arc::new(t),
+                Err(_) => return EXIT_SETUP,
+            }
+        }
+        Ok("tcp") => {
+            let Ok(list) = std::env::var(ADDRS_ENV) else {
+                return EXIT_SETUP;
+            };
+            let addrs: Vec<std::net::SocketAddr> =
+                list.split(',').filter_map(|a| a.parse().ok()).collect();
+            if addrs.len() != nodes {
+                return EXIT_SETUP;
+            }
+            match SocketTransport::tcp(rank, &addrs) {
+                Ok(t) => Arc::new(t),
+                Err(_) => return EXIT_SETUP,
+            }
+        }
+        _ => return EXIT_SETUP,
+    };
+
+    let barrier = NetBarrier::start(transport, NetConfig::new());
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut completed = 0u64;
+    let mut code = EXIT_RELEASED;
+    for episode in 0..episodes {
+        let token = barrier.arrive(0);
+        if kill_at == Some(episode) {
+            // The acceptance scenario: die mid-episode, inside the fuzzy
+            // region, with the arrival already on the wire. No Bye, no
+            // unwinding — the sockets just close.
+            std::process::abort();
+        }
+        // Fuzzy region: jittered busy time standing in for useful work.
+        if !region.is_zero() {
+            let jitter = rng.range_u64(region.as_micros() as u64 / 2, region.as_micros() as u64);
+            std::thread::sleep(Duration::from_micros(jitter));
+        }
+        match barrier.wait_deadline(token, Deadline::after(Duration::from_secs(30))) {
+            Ok(outcome) => {
+                if outcome.episode != episode {
+                    code = EXIT_SETUP;
+                    break;
+                }
+                completed += 1;
+            }
+            Err(BarrierError::Timeout { .. }) => {
+                code = EXIT_TIMEOUT;
+                break;
+            }
+            Err(_) => {
+                code = EXIT_POISONED;
+                break;
+            }
+        }
+    }
+    if code == EXIT_RELEASED {
+        barrier.shutdown();
+    }
+    write_result(rank, completed, code);
+    code
+}
+
+fn write_result(rank: usize, episodes: u64, code: i32) {
+    if let Ok(path) = std::env::var(RESULT_ENV) {
+        let json = Json::obj()
+            .field("rank", rank as i64)
+            .field("episodes", episodes as i64)
+            .field("code", i64::from(code));
+        let _ = std::fs::write(path, json.to_string_compact());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_context_is_untouched() {
+        // No ROLE_ENV in the test runner: must be a cheap no-op.
+        assert!(!maybe_run_worker());
+    }
+
+    #[test]
+    fn report_classifies_wedges() {
+        let report = MultiprocReport {
+            outcomes: vec![
+                WorkerOutcome {
+                    rank: 0,
+                    fate: WorkerFate::Released,
+                    episodes: 5,
+                },
+                WorkerOutcome {
+                    rank: 1,
+                    fate: WorkerFate::Wedged,
+                    episodes: 0,
+                },
+            ],
+            elapsed: Duration::from_secs(1),
+        };
+        assert!(report.wedged());
+        assert_eq!(report.count(&WorkerFate::Released), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Mixed local/remote groups: a process whose local threads synchronize
+//! through a shared-memory [`HierBarrier`] leaf, while the leaf's
+//! representative carries the whole group into a distributed
+//! [`NetBarrier`] episode. Asserts release-epoch agreement across the
+//! three layers: hier episode == net episode == remote endpoint episode,
+//! every iteration.
+
+use fuzzy_barrier::{Deadline, HierBarrier, SplitBarrier};
+use fuzzy_net::{LoopbackMesh, NetBarrier, NetConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const LOCALS: usize = 4;
+const EPISODES: u64 = 30;
+
+#[test]
+fn hier_leaf_participates_in_net_episodes_with_epoch_agreement() {
+    let mesh = LoopbackMesh::new(2);
+    let mut endpoints = mesh.endpoints().into_iter();
+    // "Process A": a 4-thread HierBarrier leaf whose representative is
+    // the sole local participant of net endpoint 0.
+    let net_local = NetBarrier::start(Arc::new(endpoints.next().unwrap()), NetConfig::new());
+    // "Process B": a plain remote endpoint.
+    let net_remote = NetBarrier::start(Arc::new(endpoints.next().unwrap()), NetConfig::new());
+    let hier = Arc::new(HierBarrier::new(LOCALS));
+    // Net releases the representative observed, published for the other
+    // local threads to check against their hier releases (stores
+    // `episode + 1`).
+    let net_released = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // Representative: local id 0 of the hier leaf AND participant 0
+        // of the net endpoint. It joins the hier group only after the
+        // net episode released, so the whole leaf is gated on the mesh.
+        {
+            let hier = Arc::clone(&hier);
+            let net = Arc::clone(&net_local);
+            let net_released = Arc::clone(&net_released);
+            s.spawn(move || {
+                for episode in 0..EPISODES {
+                    let nt = net.arrive(0);
+                    // Fuzzy region: the network round-trip hides here.
+                    let net_outcome = net
+                        .wait_deadline(nt, Deadline::after(Duration::from_secs(20)))
+                        .expect("net episode");
+                    assert_eq!(net_outcome.episode, episode);
+                    net_released.store(episode + 1, Ordering::Release);
+                    let ht = hier.arrive(0);
+                    let hier_outcome = hier.wait(ht);
+                    assert_eq!(
+                        hier_outcome.episode, episode,
+                        "hier and net must release the same epoch"
+                    );
+                }
+            });
+        }
+        // The rest of the leaf: pure hier participants, transitively
+        // gated on the remote endpoint through the representative.
+        for id in 1..LOCALS {
+            let hier = Arc::clone(&hier);
+            let net_released = Arc::clone(&net_released);
+            s.spawn(move || {
+                for episode in 0..EPISODES {
+                    let ht = hier.arrive(id);
+                    let outcome = hier.wait(ht);
+                    assert_eq!(outcome.episode, episode);
+                    // Agreement across layers: our hier release implies
+                    // the representative already saw the same net epoch.
+                    assert!(
+                        net_released.load(Ordering::Acquire) > episode,
+                        "hier epoch {episode} released before net epoch {episode}"
+                    );
+                }
+            });
+        }
+        // The remote endpoint runs the same episodes.
+        {
+            let net = Arc::clone(&net_remote);
+            s.spawn(move || {
+                for episode in 0..EPISODES {
+                    let token = net.arrive(0);
+                    let outcome = net
+                        .wait_deadline(token, Deadline::after(Duration::from_secs(20)))
+                        .expect("remote episode");
+                    assert_eq!(outcome.episode, episode);
+                }
+            });
+        }
+    });
+
+    assert_eq!(net_local.stats().episodes, EPISODES);
+    assert_eq!(net_remote.stats().episodes, EPISODES);
+    assert_eq!(hier.stats().episodes, EPISODES);
+}

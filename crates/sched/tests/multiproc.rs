@@ -1,0 +1,80 @@
+//! Multi-process acceptance tests: real forked workers over a
+//! Unix-domain socket mesh, including the headline scenario — killing one
+//! worker mid-episode poisons (not hangs) all survivors within the
+//! deadline.
+
+use fuzzy_sched::multiproc::{maybe_run_worker, run_multiproc, MultiprocConfig, WorkerFate};
+
+/// The worker entry the parent re-execs this test binary into. In a
+/// normal test run (no `FUZZY_NET_ROLE`) this is an instant no-op pass;
+/// in a spawned worker it runs the episode loop and exits the process.
+#[test]
+fn net_worker_entry() {
+    maybe_run_worker();
+}
+
+fn config(nodes: usize, episodes: u64, seed: u64) -> MultiprocConfig {
+    let mut config = MultiprocConfig::new(
+        std::env::current_exe().expect("test binary path"),
+        nodes,
+        episodes,
+    );
+    // Route the child straight into `net_worker_entry`.
+    config.args = vec![
+        "net_worker_entry".into(),
+        "--exact".into(),
+        "--nocapture".into(),
+    ];
+    // Distinct seeds keep concurrent tests' scratch directories apart.
+    config.seed = seed;
+    config
+}
+
+#[test]
+fn four_process_uds_mesh_completes_all_episodes() {
+    let report = run_multiproc(&config(4, 12, 0xA));
+    assert!(!report.wedged(), "outcomes: {:?}", report.outcomes);
+    for outcome in &report.outcomes {
+        assert_eq!(
+            outcome.fate,
+            WorkerFate::Released,
+            "rank {}: {:?}",
+            outcome.rank,
+            report.outcomes
+        );
+        assert_eq!(outcome.episodes, 12, "rank {}", outcome.rank);
+    }
+}
+
+#[test]
+fn killing_one_worker_mid_episode_poisons_all_survivors() {
+    let mut config = config(4, 12, 0xB);
+    config.kill_at = Some((2, 5));
+    let report = run_multiproc(&config);
+    // Nobody may wedge: the watchdog converting a hang into Wedged is
+    // exactly the failure this asserts against.
+    assert!(!report.wedged(), "outcomes: {:?}", report.outcomes);
+    assert_eq!(
+        report.outcomes[2].fate,
+        WorkerFate::Killed,
+        "the victim dies on its own abort: {:?}",
+        report.outcomes
+    );
+    assert_eq!(
+        report.count(&WorkerFate::Poisoned),
+        3,
+        "every survivor must observe poison, not hang: {:?}",
+        report.outcomes
+    );
+    // Survivors got through the pre-kill episodes before the poison.
+    for outcome in &report.outcomes {
+        if outcome.fate == WorkerFate::Poisoned {
+            assert!(
+                outcome.episodes >= 4 && outcome.episodes < 12,
+                "rank {} reported {} episodes",
+                outcome.rank,
+                outcome.episodes
+            );
+        }
+    }
+}

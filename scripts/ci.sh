@@ -27,8 +27,13 @@
 #                must survive the same schedules), then exp_chaos_churn
 #                --quick across every backend on both runtimes, schema
 #                validated
-#   perf-gate    exp_backend_faceoff + exp_async_scale quick sweeps vs
-#                the checked-in baselines
+#   net-smoke    the forged-round transport mutant must be caught (and
+#                the real NetBarrier must survive the same schedules),
+#                the multi-process harness tests (including the
+#                kill-a-worker poison scenario) must pass, then the
+#                quick exp_net_scale sweep, schema validated
+#   perf-gate    exp_backend_faceoff + exp_async_scale + exp_net_scale
+#                quick sweeps vs the checked-in baselines
 #   doc          cargo doc --no-deps (rustdoc warnings are errors)
 #
 # Each stage prints `ci: stage <name> PASS|FAIL (N.Ns)`; the script stops
@@ -39,7 +44,7 @@ set -u
 
 cd "$(dirname "$0")/.."
 
-STAGES="fmt build clippy test tier1 check-smoke bench-smoke async-smoke fault-smoke fuzz-smoke chaos-smoke perf-gate doc"
+STAGES="fmt build clippy test tier1 check-smoke bench-smoke async-smoke fault-smoke fuzz-smoke chaos-smoke net-smoke perf-gate doc"
 
 SELECTED=""
 for arg in "$@"; do
@@ -212,6 +217,30 @@ chaos_smoke() {
     return $status
 }
 
+# Net smoke: the distributed gate. First the model checker's net mutant
+# pair — the transport that forges the higher dissemination rounds must
+# be caught as a fuzzy violation, and the real NetBarrier must survive
+# the same schedule space; then the multi-process harness tests (a real
+# UDS worker mesh completing every episode, and the acceptance scenario:
+# killing one worker mid-episode poisons, not hangs, all survivors);
+# finally the quick exp_net_scale sweep — in-process loopback mesh plus
+# forked UDS worker processes — with its export schema-validated.
+net_smoke() {
+    cargo test -q -p fuzzy-check --test mutants -- \
+        net_skip_round real_net_barrier || return 1
+    cargo test -q -p fuzzy-sched --test multiproc || return 1
+    out="$(mktemp)" || return 1
+    status=1
+    if cargo run -q --release -p fuzzy-bench --bin exp_net_scale -- \
+        --quick --stats-json "$out" >/dev/null; then
+        cargo run -q --release -p fuzzy-bench --bin validate_stats -- \
+            --schema net_scale "$out"
+        status=$?
+    fi
+    rm -f "$out"
+    return $status
+}
+
 # Perf gate: quick backend-faceoff and async-scale sweeps, each
 # schema-validated and compared against its checked-in baseline (see
 # scripts/perf_gate.sh for the tolerance model).
@@ -230,6 +259,7 @@ want async-smoke && run_stage async-smoke async_smoke
 want fault-smoke && run_stage fault-smoke fault_smoke
 want fuzz-smoke && run_stage fuzz-smoke fuzz_smoke
 want chaos-smoke && run_stage chaos-smoke chaos_smoke
+want net-smoke && run_stage net-smoke net_smoke
 want perf-gate && run_stage perf-gate perf_gate
 want doc && run_stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

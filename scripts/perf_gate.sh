@@ -4,7 +4,7 @@
 #
 #   scripts/perf_gate.sh [--full]
 #
-# Two sub-gates, both of which must pass:
+# Three sub-gates, all of which must pass:
 #
 #   faceoff  runs the exp_backend_faceoff sweep (quick subset by default,
 #            full sweep with --full), schema-validates the fresh export,
@@ -19,6 +19,12 @@
 #            polls-per-arrival / elapsed-time rows against
 #            BENCH_async.json. The sweep itself asserts parked == resumed
 #            on every row, so a lost wakeup fails the gate outright.
+#   net      runs the exp_net_scale sweep the same way and compares its
+#            frames-per-arrival / elapsed-time rows against
+#            BENCH_net.json. The sweep itself asserts zero retries and
+#            zero decode errors on the lossless loopback mesh, plus a
+#            wedge-free multi-process UDS run, so a frame-traffic or
+#            liveness regression fails the gate before the comparison.
 #
 # Environment:
 #   PERF_GATE_TOLERANCE   multiplicative slack for probes/episode and
@@ -77,6 +83,7 @@ run_gate() {
 overall=0
 run_gate faceoff exp_backend_faceoff backend_faceoff BENCH_faceoff.json || overall=1
 run_gate async exp_async_scale async_scale BENCH_async.json || overall=1
+run_gate net exp_net_scale net_scale BENCH_net.json || overall=1
 
 if [ "$overall" -eq 0 ]; then
     echo "perf_gate: PASS"
